@@ -1,0 +1,83 @@
+//===- bench/BenchUtil.h - Shared benchmark-harness helpers ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction harnesses.
+///
+/// Every harness accepts:
+///   --scale <f>   scale every profile's routine count by f (default 1.0,
+///                 i.e. the paper's full benchmark sizes; use e.g. 0.1
+///                 for a quick pass),
+///   --only <name> run a single benchmark,
+/// and honors the SPIKE_BENCH_SCALE environment variable as a default
+/// for --scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_BENCH_BENCHUTIL_H
+#define SPIKE_BENCH_BENCHUTIL_H
+
+#include "synth/Profiles.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace spike {
+namespace benchutil {
+
+/// Parsed common options.
+struct Options {
+  double Scale = 1.0;
+  std::string Only;
+};
+
+inline Options parseOptions(int Argc, char **Argv) {
+  Options Opts;
+  if (const char *Env = std::getenv("SPIKE_BENCH_SCALE"))
+    Opts.Scale = std::atof(Env);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--scale") == 0 && I + 1 < Argc)
+      Opts.Scale = std::atof(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--only") == 0 && I + 1 < Argc)
+      Opts.Only = Argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale <f>] [--only <benchmark>]\n",
+                   Argv[0]);
+      std::exit(2);
+    }
+  }
+  if (Opts.Scale <= 0)
+    Opts.Scale = 1.0;
+  return Opts;
+}
+
+/// Returns the selected paper profiles, scaled.
+inline std::vector<BenchmarkProfile> selectedProfiles(const Options &Opts) {
+  std::vector<BenchmarkProfile> Result;
+  for (const BenchmarkProfile &P : paperProfiles()) {
+    if (!Opts.Only.empty() && P.Name != Opts.Only)
+      continue;
+    BenchmarkProfile Scaled =
+        Opts.Scale == 1.0 ? P : scaledProfile(P, Opts.Scale);
+    Scaled.Name = P.Name; // Keep the paper's name for the table row.
+    Result.push_back(Scaled);
+  }
+  return Result;
+}
+
+/// Prints the standard harness banner.
+inline void banner(const char *What, const Options &Opts) {
+  std::printf("== %s (scale %.3g) ==\n", What, Opts.Scale);
+}
+
+} // namespace benchutil
+} // namespace spike
+
+#endif // SPIKE_BENCH_BENCHUTIL_H

@@ -1,0 +1,86 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations ------------------===//
+//
+// Ablations for the design decisions DESIGN.md calls out:
+//   1. Compact representation payoff: PSG pipeline time vs the CFG-level
+//      two-phase reference (identical results, no compaction) vs the
+//      whole-program supergraph liveness baseline, across program sizes.
+//   2. Branch nodes on/off: effect on PSG size and on end-to-end time
+//      (Section 3.6's motivation beyond raw edge counts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "interproc/CfgTwoPhase.h"
+#include "interproc/Supergraph.h"
+#include "psg/Analyzer.h"
+#include "support/Stopwatch.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner("Ablation: PSG vs CFG-level analyses; branch nodes",
+                    Opts);
+
+  const BenchmarkProfile *Base = findProfile("gcc");
+
+  TablePrinter Compact;
+  Compact.header({"Routines", "Blocks", "PSG total (s)",
+                  "CFG two-phase (s)", "Supergraph liveness (s)",
+                  "PSG speedup vs reference"});
+  for (double Scale : {0.25, 0.5, 1.0}) {
+    BenchmarkProfile P = scaledProfile(*Base, Scale * Opts.Scale);
+    Image Img = generateCfgProgram(P);
+
+    AnalysisResult Result = analyzeImage(Img);
+    double PsgSeconds = Result.Stages.totalSeconds();
+
+    Stopwatch Watch;
+    Watch.start();
+    InterprocSummaries Ref =
+        runCfgTwoPhase(Result.Prog, Result.SavedPerRoutine);
+    double RefSeconds = Watch.seconds();
+    (void)Ref;
+
+    Watch.start();
+    Supergraph Graph = buildSupergraph(Result.Prog);
+    SupergraphLiveness Live = solveSupergraphLiveness(Result.Prog, Graph);
+    double SuperSeconds = Watch.seconds();
+    (void)Live;
+
+    Compact.row({TablePrinter::num(uint64_t(Result.Prog.Routines.size())),
+                 TablePrinter::num(Result.Prog.numBlocks()),
+                 TablePrinter::num(PsgSeconds, 4),
+                 TablePrinter::num(RefSeconds, 4),
+                 TablePrinter::num(SuperSeconds, 4),
+                 TablePrinter::num(
+                     PsgSeconds > 0 ? RefSeconds / PsgSeconds : 0, 2) +
+                     "x"});
+  }
+  std::printf("\n-- compact representation payoff (gcc-shaped) --\n");
+  Compact.print();
+
+  TablePrinter Branch;
+  Branch.header({"Benchmark", "Edges w/", "Edges w/o", "Time w/ (s)",
+                 "Time w/o (s)"});
+  for (const char *Name : {"sqlservr", "perl", "winword"}) {
+    const BenchmarkProfile *Profile = findProfile(Name);
+    BenchmarkProfile P = Opts.Scale == 1.0
+                             ? *Profile
+                             : scaledProfile(*Profile, Opts.Scale);
+    Image Img = generateCfgProgram(P);
+    AnalysisResult With = analyzeImage(Img);
+    AnalysisOptions NoBranchOpts;
+    NoBranchOpts.Psg.UseBranchNodes = false;
+    AnalysisResult Without = analyzeImage(Img, CallingConv(), NoBranchOpts);
+    Branch.row({Name, TablePrinter::num(uint64_t(With.Psg.Edges.size())),
+                TablePrinter::num(uint64_t(Without.Psg.Edges.size())),
+                TablePrinter::num(With.Stages.totalSeconds(), 4),
+                TablePrinter::num(Without.Stages.totalSeconds(), 4)});
+  }
+  std::printf("\n-- branch-node ablation (Section 3.6) --\n");
+  Branch.print();
+  return 0;
+}

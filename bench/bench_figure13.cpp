@@ -1,0 +1,51 @@
+//===- bench/bench_figure13.cpp - Figure 13 reproduction ------------------===//
+//
+// "Fraction of total time spent in different stages of the dataflow
+// analysis": CFG build, initialization, PSG build, phase 1, phase 2, for
+// the large benchmarks (gcc and the eight PC applications — the paper
+// omits the small benchmarks because of timer resolution).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+#include <set>
+#include <string>
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner("Figure 13: fraction of time per analysis stage",
+                    Opts);
+
+  const std::set<std::string> LargeBenchmarks = {
+      "gcc",      "acad",  "excel", "maxeda", "sqlservr",
+      "texim",    "ustation", "vc",  "winword"};
+
+  TablePrinter Table;
+  Table.header({"Benchmark", "CFG Build", "Initialization", "PSG Build",
+                "Phase 1", "Phase 2", "Total (sec.)"});
+
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    if (Opts.Only.empty() && !LargeBenchmarks.count(Profile.Name))
+      continue;
+    Image Img = generateCfgProgram(Profile);
+    AnalysisResult Result = analyzeImage(Img);
+    const StageTimer &Stages = Result.Stages;
+    Table.row(
+        {Profile.Name,
+         TablePrinter::percent(Stages.fraction(AnalysisStage::CfgBuild)),
+         TablePrinter::percent(
+             Stages.fraction(AnalysisStage::Initialization)),
+         TablePrinter::percent(Stages.fraction(AnalysisStage::PsgBuild)),
+         TablePrinter::percent(Stages.fraction(AnalysisStage::Phase1)),
+         TablePrinter::percent(Stages.fraction(AnalysisStage::Phase2)),
+         TablePrinter::num(Stages.totalSeconds(), 3)});
+  }
+  Table.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/bench_figure14.cpp - Figure 14 reproduction ------------------===//
+//
+// "Total interprocedural dataflow analysis time for each benchmark as a
+// function of number of routines, basic blocks, and instructions."
+//
+// Two series are printed:
+//   1. one point per calibrated benchmark (the paper's scatter), and
+//   2. a controlled size sweep of one profile family (gcc-shaped),
+//      scaling the routine count, to expose the near-linear trend the
+//      paper reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+namespace {
+
+void printPoint(TablePrinter &Table, const std::string &Name,
+                const AnalysisResult &Result) {
+  Table.row({Name,
+             TablePrinter::num(uint64_t(Result.Prog.Routines.size())),
+             TablePrinter::num(Result.Prog.numBlocks()),
+             TablePrinter::num(uint64_t(Result.Prog.Insts.size())),
+             TablePrinter::num(Result.Stages.totalSeconds(), 4)});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner(
+      "Figure 14: analysis time vs routines / blocks / instructions",
+      Opts);
+
+  TablePrinter Scatter;
+  Scatter.header({"Benchmark", "Routines", "Basic Blocks", "Instructions",
+                  "Time (sec.)"});
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    Image Img = generateCfgProgram(Profile);
+    AnalysisResult Result = analyzeImage(Img);
+    printPoint(Scatter, Profile.Name, Result);
+  }
+  std::printf("\n-- per-benchmark points --\n");
+  Scatter.print();
+
+  if (Opts.Only.empty()) {
+    const BenchmarkProfile *Base = findProfile("gcc");
+    TablePrinter Sweep;
+    Sweep.header({"Sweep", "Routines", "Basic Blocks", "Instructions",
+                  "Time (sec.)"});
+    for (double Scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      BenchmarkProfile P = scaledProfile(*Base, Scale * Opts.Scale);
+      Image Img = generateCfgProgram(P);
+      AnalysisResult Result = analyzeImage(Img);
+      printPoint(Sweep, P.Name, Result);
+    }
+    std::printf("\n-- gcc-shaped size sweep (near-linear expected) --\n");
+    Sweep.print();
+  }
+  return 0;
+}

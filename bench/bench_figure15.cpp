@@ -1,0 +1,61 @@
+//===- bench/bench_figure15.cpp - Figure 15 reproduction ------------------===//
+//
+// "Memory usage for each benchmark as a function of number of routines,
+// basic blocks, and instructions": the analysis-memory analogue of
+// Figure 14, using the tracked-allocation peak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+namespace {
+
+void printPoint(TablePrinter &Table, const std::string &Name,
+                const AnalysisResult &Result) {
+  Table.row({Name,
+             TablePrinter::num(uint64_t(Result.Prog.Routines.size())),
+             TablePrinter::num(Result.Prog.numBlocks()),
+             TablePrinter::num(uint64_t(Result.Prog.Insts.size())),
+             TablePrinter::num(Result.Memory.peakMBytes(), 3)});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner(
+      "Figure 15: analysis memory vs routines / blocks / instructions",
+      Opts);
+
+  TablePrinter Scatter;
+  Scatter.header({"Benchmark", "Routines", "Basic Blocks", "Instructions",
+                  "Memory (MB)"});
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    Image Img = generateCfgProgram(Profile);
+    AnalysisResult Result = analyzeImage(Img);
+    printPoint(Scatter, Profile.Name, Result);
+  }
+  std::printf("\n-- per-benchmark points --\n");
+  Scatter.print();
+
+  if (Opts.Only.empty()) {
+    const BenchmarkProfile *Base = findProfile("gcc");
+    TablePrinter Sweep;
+    Sweep.header({"Sweep", "Routines", "Basic Blocks", "Instructions",
+                  "Memory (MB)"});
+    for (double Scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      BenchmarkProfile P = scaledProfile(*Base, Scale * Opts.Scale);
+      Image Img = generateCfgProgram(P);
+      AnalysisResult Result = analyzeImage(Img);
+      printPoint(Sweep, P.Name, Result);
+    }
+    std::printf("\n-- gcc-shaped size sweep (near-linear expected) --\n");
+    Sweep.print();
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/bench_table2.cpp - Table 2 reproduction ----------------------===//
+//
+// "Benchmark size, dataflow analysis time and memory usage."
+//
+// For each of the sixteen calibrated benchmarks: routine count, basic
+// blocks, instructions (thousands), total interprocedural dataflow time
+// in seconds, and analysis memory in MBytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner("Table 2: benchmark size, dataflow time, memory",
+                    Opts);
+
+  TablePrinter Table;
+  Table.header({"Suite", "Benchmark", "Routines", "Basic Blocks",
+                "Instructions (k)", "Total Dataflow Time (sec.)",
+                "Memory Usage (Mbytes)"});
+
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    Image Img = generateCfgProgram(Profile);
+    AnalysisResult Result = analyzeImage(Img);
+    Table.row({Profile.Suite, Profile.Name,
+               TablePrinter::num(uint64_t(Result.Prog.Routines.size())),
+               TablePrinter::num(Result.Prog.numBlocks()),
+               TablePrinter::num(double(Result.Prog.Insts.size()) / 1000.0,
+                                 1),
+               TablePrinter::num(Result.Stages.totalSeconds(), 3),
+               TablePrinter::num(Result.Memory.peakMBytes(), 2)});
+  }
+  Table.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- bench/bench_table3.cpp - Table 3 reproduction ----------------------===//
+//
+// "Benchmark characteristics influencing PSG size and construction time":
+// entrances, exits, calls, branches, PSG nodes, and PSG edges per routine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner("Table 3: per-routine characteristics", Opts);
+
+  TablePrinter Table;
+  Table.header({"Suite", "Benchmark", "Entrances/Routine", "Exits/Routine",
+                "Calls/Routine", "Branches/Routine", "PSG Nodes/Routine",
+                "PSG Edges/Routine"});
+
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    Image Img = generateCfgProgram(Profile);
+    AnalysisResult Result = analyzeImage(Img);
+
+    double N = double(Result.Prog.Routines.size());
+    double Entrances = 0, Exits = 0, Calls = 0, Branches = 0;
+    for (const Routine &R : Result.Prog.Routines) {
+      Entrances += R.numEntries();
+      Exits += R.ExitBlocks.size();
+      Calls += R.CallBlocks.size();
+      Branches += R.NumBranches;
+    }
+    double Nodes = double(Result.Psg.Nodes.size());
+    double Edges = double(Result.Psg.Edges.size());
+
+    Table.row({Profile.Suite, Profile.Name,
+               TablePrinter::num(Entrances / N, 2),
+               TablePrinter::num(Exits / N, 2),
+               TablePrinter::num(Calls / N, 2),
+               TablePrinter::num(Branches / N, 2),
+               TablePrinter::num(Nodes / N, 2),
+               TablePrinter::num(Edges / N, 2)});
+  }
+  Table.print();
+  return 0;
+}

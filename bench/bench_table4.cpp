@@ -1,0 +1,46 @@
+//===- bench/bench_table4.cpp - Table 4 reproduction ----------------------===//
+//
+// "PSG edge reduction provided by branch nodes": percentage of PSG edges
+// eliminated by inserting branch nodes at multiway branches, and the
+// percentage of nodes added, versus a PSG built without branch nodes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner("Table 4: branch-node edge reduction", Opts);
+
+  TablePrinter Table;
+  Table.header({"Benchmark", "PSG Edge Reduction", "PSG Node Increase"});
+
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    Image Img = generateCfgProgram(Profile);
+
+    AnalysisResult With = analyzeImage(Img);
+    AnalysisOptions NoBranchOpts;
+    NoBranchOpts.Psg.UseBranchNodes = false;
+    AnalysisResult Without = analyzeImage(Img, CallingConv(), NoBranchOpts);
+
+    double EdgesWith = double(With.Psg.Edges.size());
+    double EdgesWithout = double(Without.Psg.Edges.size());
+    double NodesWith = double(With.Psg.Nodes.size());
+    double NodesWithout = double(Without.Psg.Nodes.size());
+
+    double Reduction =
+        EdgesWithout > 0 ? (EdgesWithout - EdgesWith) / EdgesWithout : 0;
+    double Increase =
+        NodesWithout > 0 ? (NodesWith - NodesWithout) / NodesWithout : 0;
+
+    Table.row({Profile.Name, TablePrinter::percent(Reduction),
+               TablePrinter::percent(Increase)});
+  }
+  Table.print();
+  return 0;
+}

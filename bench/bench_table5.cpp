@@ -1,0 +1,55 @@
+//===- bench/bench_table5.cpp - Table 5 reproduction ----------------------===//
+//
+// "Comparison of PSG nodes and edges to CFG basic blocks and arcs": PSG
+// size versus the whole-program CFG (the [Srivastava93] supergraph,
+// including call and return arcs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "interproc/Supergraph.h"
+#include "psg/Analyzer.h"
+#include "support/TablePrinter.h"
+#include "synth/CfgGenerator.h"
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::banner("Table 5: PSG size vs whole-program CFG size", Opts);
+
+  TablePrinter Table;
+  Table.header({"Suite", "Benchmark", "PSG Nodes (k)", "PSG Edges (k)",
+                "Basic Blocks (k)", "CFG Arcs (k)", "Nodes/Basic Block",
+                "Edges/Arc"});
+
+  double SumNodeRatio = 0, SumEdgeRatio = 0;
+  unsigned Count = 0;
+  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+    Image Img = generateCfgProgram(Profile);
+    AnalysisResult Result = analyzeImage(Img);
+    Supergraph Graph = buildSupergraph(Result.Prog);
+
+    double Nodes = double(Result.Psg.Nodes.size());
+    double Edges = double(Result.Psg.Edges.size());
+    double Blocks = double(Result.Prog.numBlocks());
+    double Arcs = double(Graph.numArcs());
+
+    SumNodeRatio += Nodes / Blocks;
+    SumEdgeRatio += Edges / Arcs;
+    ++Count;
+
+    Table.row({Profile.Suite, Profile.Name,
+               TablePrinter::num(Nodes / 1000.0, 2),
+               TablePrinter::num(Edges / 1000.0, 2),
+               TablePrinter::num(Blocks / 1000.0, 2),
+               TablePrinter::num(Arcs / 1000.0, 2),
+               TablePrinter::num(Nodes / Blocks, 2),
+               TablePrinter::num(Edges / Arcs, 2)});
+  }
+  Table.print();
+  if (Count > 0)
+    std::printf("\naverage nodes/block %.2f, average edges/arc %.2f\n",
+                SumNodeRatio / Count, SumEdgeRatio / Count);
+  return 0;
+}

@@ -1,0 +1,452 @@
+//===- binary/Assembler.cpp - Text assembler -------------------------------===//
+
+#include "binary/Assembler.h"
+
+#include "isa/Encoding.h"
+#include "isa/Registers.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+/// One instruction line waiting for pass-2 encoding.
+struct PendingInst {
+  unsigned LineNo;
+  uint64_t Address;
+  std::string Mnemonic;
+  std::vector<std::string> Operands;
+};
+
+/// A jump-table directive waiting for target resolution.
+struct PendingTable {
+  unsigned LineNo;
+  size_t Index;
+  std::vector<std::string> Targets;
+};
+
+/// The two-pass assembler state.
+class Assembler {
+public:
+  std::optional<Image> run(const std::string &Source,
+                           std::string *ErrorOut) {
+    if (!passOne(Source) || !passTwo()) {
+      if (ErrorOut)
+        *ErrorOut = Error;
+      return std::nullopt;
+    }
+    Img.finalize();
+    if (std::optional<std::string> Problem = Img.verify()) {
+      if (ErrorOut)
+        *ErrorOut = "assembled image fails verification: " + *Problem;
+      return std::nullopt;
+    }
+    return std::move(Img);
+  }
+
+private:
+  bool fail(unsigned LineNo, const std::string &Message) {
+    Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  }
+
+  static std::string trim(const std::string &Text) {
+    size_t Begin = Text.find_first_not_of(" \t\r");
+    if (Begin == std::string::npos)
+      return "";
+    size_t End = Text.find_last_not_of(" \t\r");
+    return Text.substr(Begin, End - Begin + 1);
+  }
+
+  static bool isInteger(const std::string &Token) {
+    if (Token.empty())
+      return false;
+    size_t I = Token[0] == '-' ? 1 : 0;
+    if (I == Token.size())
+      return false;
+    for (; I < Token.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Token[I])))
+        return false;
+    return true;
+  }
+
+  /// Splits "a, b, c" on commas and trims each piece.
+  static std::vector<std::string> splitOperands(const std::string &Text) {
+    std::vector<std::string> Out;
+    std::string Current;
+    for (char C : Text) {
+      if (C == ',') {
+        Out.push_back(trim(Current));
+        Current.clear();
+      } else {
+        Current += C;
+      }
+    }
+    Current = trim(Current);
+    if (!Current.empty())
+      Out.push_back(Current);
+    return Out;
+  }
+
+  /// Splits on whitespace.
+  static std::vector<std::string> splitWords(const std::string &Text) {
+    std::vector<std::string> Out;
+    std::istringstream Stream(Text);
+    std::string Word;
+    while (Stream >> Word)
+      Out.push_back(Word);
+    return Out;
+  }
+
+  bool passOne(const std::string &Source) {
+    std::istringstream Stream(Source);
+    std::string RawLine;
+    unsigned LineNo = 0;
+    while (std::getline(Stream, RawLine)) {
+      ++LineNo;
+      // Strip comments.
+      size_t Hash = RawLine.find_first_of("#;");
+      if (Hash != std::string::npos)
+        RawLine.resize(Hash);
+      std::string Line = trim(RawLine);
+      if (Line.empty())
+        continue;
+
+      if (Line.rfind(".start", 0) == 0) {
+        StartToken = trim(Line.substr(6));
+        StartLine = LineNo;
+        if (StartToken.empty())
+          return fail(LineNo, ".start needs an address or name");
+        continue;
+      }
+      if (Line.rfind(".data", 0) == 0) {
+        for (const std::string &Word : splitWords(Line.substr(5))) {
+          if (!isInteger(Word))
+            return fail(LineNo, "bad data word '" + Word + "'");
+          Img.Data.push_back(std::strtoll(Word.c_str(), nullptr, 10));
+        }
+        continue;
+      }
+      if (Line.rfind(".table", 0) == 0) {
+        std::string Rest = trim(Line.substr(6));
+        size_t Colon = Rest.find(':');
+        if (Colon == std::string::npos)
+          return fail(LineNo, ".table needs 'index: targets'");
+        std::string IndexToken = trim(Rest.substr(0, Colon));
+        if (!isInteger(IndexToken))
+          return fail(LineNo, "bad table index '" + IndexToken + "'");
+        PendingTable Table;
+        Table.LineNo = LineNo;
+        Table.Index = size_t(std::strtoull(IndexToken.c_str(), nullptr, 10));
+        Table.Targets = splitWords(Rest.substr(Colon + 1));
+        if (Table.Targets.empty())
+          return fail(LineNo, "jump table with no targets");
+        Tables.push_back(std::move(Table));
+        continue;
+      }
+
+      // Label / symbol definitions end with ':' and have nothing after,
+      // modulo the "(secondary entry)" / "(address taken)" suffixes.
+      if (Line.back() == ':') {
+        std::string Name = trim(Line.substr(0, Line.size() - 1));
+        bool Secondary = false, AddressTaken = false;
+        auto StripSuffix = [&](const char *Suffix, bool &Flag) {
+          size_t Pos = Name.find(Suffix);
+          if (Pos == std::string::npos)
+            return;
+          Flag = true;
+          Name = trim(Name.substr(0, Pos));
+        };
+        StripSuffix("(secondary entry)", Secondary);
+        StripSuffix("(address taken)", AddressTaken);
+        if (Name.empty())
+          return fail(LineNo, "empty label name");
+        if (Name.find_first_of(" \t") != std::string::npos)
+          return fail(LineNo, "label '" + Name + "' contains spaces");
+        if (Labels.count(Name))
+          return fail(LineNo, "duplicate label '" + Name + "'");
+        Labels[Name] = NextAddress;
+        if (Name.rfind(".L", 0) != 0) {
+          Symbol Sym;
+          Sym.Name = Name;
+          Sym.Address = NextAddress;
+          Sym.Secondary = Secondary;
+          Sym.AddressTaken = AddressTaken;
+          Img.Symbols.push_back(Sym);
+          if (FirstPrimary.empty() && !Secondary)
+            FirstPrimary = Name;
+        }
+        continue;
+      }
+
+      // Instruction, with an optional "addr:" prefix from disassembly.
+      std::string Body = Line;
+      size_t Colon = Body.find(':');
+      if (Colon != std::string::npos &&
+          isInteger(trim(Body.substr(0, Colon))))
+        Body = trim(Body.substr(Colon + 1));
+
+      size_t Space = Body.find_first_of(" \t");
+      PendingInst Inst;
+      Inst.LineNo = LineNo;
+      Inst.Address = NextAddress;
+      Inst.Mnemonic = Space == std::string::npos
+                          ? Body
+                          : Body.substr(0, Space);
+      if (Space != std::string::npos)
+        Inst.Operands = splitOperands(trim(Body.substr(Space + 1)));
+      Insts.push_back(std::move(Inst));
+      ++NextAddress;
+    }
+    return true;
+  }
+
+  /// Looks up a mnemonic; returns NumOpcodes on failure.
+  static unsigned findOpcode(const std::string &Mnemonic) {
+    for (unsigned Op = 0; Op < NumOpcodes; ++Op)
+      if (Mnemonic == opcodeInfo(Opcode(Op)).Name)
+        return Op;
+    return NumOpcodes;
+  }
+
+  bool parseReg(const PendingInst &Inst, const std::string &Token,
+                unsigned &RegOut) {
+    RegOut = parseRegName(Token.c_str());
+    if (RegOut >= NumIntRegs)
+      return fail(Inst.LineNo, "bad register '" + Token + "'");
+    return true;
+  }
+
+  bool parseImm(const PendingInst &Inst, const std::string &Token,
+                int64_t &Out) {
+    if (!isInteger(Token))
+      return fail(Inst.LineNo, "bad immediate '" + Token + "'");
+    Out = std::strtoll(Token.c_str(), nullptr, 10);
+    return true;
+  }
+
+  /// Resolves a branch/call target: absolute number, or label/symbol.
+  bool resolveTarget(unsigned LineNo, const std::string &Token,
+                     uint64_t &Out) {
+    if (isInteger(Token)) {
+      Out = uint64_t(std::strtoll(Token.c_str(), nullptr, 10));
+      return true;
+    }
+    auto It = Labels.find(Token);
+    if (It == Labels.end())
+      return fail(LineNo, "unknown label '" + Token + "'");
+    Out = It->second;
+    return true;
+  }
+
+  /// Parses "disp(reg)" memory operands.
+  bool parseMem(const PendingInst &Inst, const std::string &Token,
+                int64_t &Disp, unsigned &Base) {
+    size_t Open = Token.find('(');
+    size_t Close = Token.find(')');
+    if (Open == std::string::npos || Close == std::string::npos ||
+        Close < Open)
+      return fail(Inst.LineNo, "bad memory operand '" + Token + "'");
+    std::string DispToken = trim(Token.substr(0, Open));
+    if (DispToken.empty())
+      DispToken = "0";
+    if (!parseImm(Inst, DispToken, Disp))
+      return false;
+    return parseReg(Inst,
+                    trim(Token.substr(Open + 1, Close - Open - 1)), Base);
+  }
+
+  /// Parses "(reg)" operands of indirect jumps/calls.
+  bool parseParenReg(const PendingInst &Inst, const std::string &Token,
+                     unsigned &RegOut) {
+    if (Token.size() < 3 || Token.front() != '(' || Token.back() != ')')
+      return fail(Inst.LineNo, "expected '(reg)', got '" + Token + "'");
+    return parseReg(Inst, trim(Token.substr(1, Token.size() - 2)), RegOut);
+  }
+
+  bool wantOperands(const PendingInst &Inst, size_t Count) {
+    if (Inst.Operands.size() == Count)
+      return true;
+    return fail(Inst.LineNo, Inst.Mnemonic + " expects " +
+                                 std::to_string(Count) + " operand(s)");
+  }
+
+  bool encodeOne(const PendingInst &Pending) {
+    unsigned OpIndex = findOpcode(Pending.Mnemonic);
+    if (OpIndex == NumOpcodes)
+      return fail(Pending.LineNo,
+                  "unknown mnemonic '" + Pending.Mnemonic + "'");
+    Opcode Op = Opcode(OpIndex);
+    Instruction Inst;
+    Inst.Op = Op;
+    unsigned Ra = 0, Rb = 0, Rc = 0;
+    int64_t Imm = 0;
+    uint64_t Target = 0;
+
+    switch (opcodeInfo(Op).Format) {
+    case OperandFormat::None:
+      if (!wantOperands(Pending, 0))
+        return false;
+      break;
+    case OperandFormat::RRR:
+      if (!wantOperands(Pending, 3) ||
+          !parseReg(Pending, Pending.Operands[0], Rc) ||
+          !parseReg(Pending, Pending.Operands[1], Ra) ||
+          !parseReg(Pending, Pending.Operands[2], Rb))
+        return false;
+      Inst.Rc = uint8_t(Rc);
+      Inst.Ra = uint8_t(Ra);
+      Inst.Rb = uint8_t(Rb);
+      break;
+    case OperandFormat::RRI:
+      if (!wantOperands(Pending, 3) ||
+          !parseReg(Pending, Pending.Operands[0], Rc) ||
+          !parseReg(Pending, Pending.Operands[1], Ra) ||
+          !parseImm(Pending, Pending.Operands[2], Imm))
+        return false;
+      Inst.Rc = uint8_t(Rc);
+      Inst.Ra = uint8_t(Ra);
+      Inst.Imm = int32_t(Imm);
+      break;
+    case OperandFormat::RI:
+      // lda accepts a label/symbol name as well as a number, so address
+      // loads ("lda pv, helper") can be written symbolically.
+      if (!wantOperands(Pending, 2) ||
+          !parseReg(Pending, Pending.Operands[0], Rc) ||
+          !resolveTarget(Pending.LineNo, Pending.Operands[1], Target))
+        return false;
+      Inst.Rc = uint8_t(Rc);
+      Inst.Imm = int32_t(int64_t(Target));
+      break;
+    case OperandFormat::RR:
+      if (!wantOperands(Pending, 2) ||
+          !parseReg(Pending, Pending.Operands[0], Rc) ||
+          !parseReg(Pending, Pending.Operands[1], Ra))
+        return false;
+      Inst.Rc = uint8_t(Rc);
+      Inst.Ra = uint8_t(Ra);
+      break;
+    case OperandFormat::Load:
+      if (!wantOperands(Pending, 2) ||
+          !parseReg(Pending, Pending.Operands[0], Rc) ||
+          !parseMem(Pending, Pending.Operands[1], Imm, Rb))
+        return false;
+      Inst.Rc = uint8_t(Rc);
+      Inst.Rb = uint8_t(Rb);
+      Inst.Imm = int32_t(Imm);
+      break;
+    case OperandFormat::Store:
+      if (!wantOperands(Pending, 2) ||
+          !parseReg(Pending, Pending.Operands[0], Ra) ||
+          !parseMem(Pending, Pending.Operands[1], Imm, Rb))
+        return false;
+      Inst.Ra = uint8_t(Ra);
+      Inst.Rb = uint8_t(Rb);
+      Inst.Imm = int32_t(Imm);
+      break;
+    case OperandFormat::BranchDisp:
+      if (!wantOperands(Pending, 1) ||
+          !resolveTarget(Pending.LineNo, Pending.Operands[0], Target))
+        return false;
+      Inst.Imm = int32_t(int64_t(Target) - int64_t(Pending.Address) - 1);
+      break;
+    case OperandFormat::CondBranch:
+      if (!wantOperands(Pending, 2) ||
+          !parseReg(Pending, Pending.Operands[0], Ra) ||
+          !resolveTarget(Pending.LineNo, Pending.Operands[1], Target))
+        return false;
+      Inst.Ra = uint8_t(Ra);
+      Inst.Imm = int32_t(int64_t(Target) - int64_t(Pending.Address) - 1);
+      break;
+    case OperandFormat::CallAbs:
+      if (!wantOperands(Pending, 1) ||
+          !resolveTarget(Pending.LineNo, Pending.Operands[0], Target))
+        return false;
+      Inst.Imm = int32_t(Target);
+      break;
+    case OperandFormat::CallReg:
+    case OperandFormat::RegJump:
+      if (!wantOperands(Pending, 1) ||
+          !parseParenReg(Pending, Pending.Operands[0], Rb))
+        return false;
+      Inst.Rb = uint8_t(Rb);
+      break;
+    case OperandFormat::TableJump: {
+      if (!wantOperands(Pending, 2) ||
+          !parseReg(Pending, Pending.Operands[0], Ra))
+        return false;
+      const std::string &Token = Pending.Operands[1];
+      if (Token.rfind("table:", 0) != 0 || !isInteger(Token.substr(6)))
+        return fail(Pending.LineNo,
+                    "expected 'table:<n>', got '" + Token + "'");
+      Inst.Ra = uint8_t(Ra);
+      Inst.Imm = int32_t(std::strtoll(Token.c_str() + 6, nullptr, 10));
+      break;
+    }
+    case OperandFormat::HaltFmt:
+      if (!wantOperands(Pending, 1) ||
+          !parseReg(Pending, Pending.Operands[0], Ra))
+        return false;
+      Inst.Ra = uint8_t(Ra);
+      break;
+    }
+
+    Img.Code.push_back(encodeInstruction(Inst));
+    return true;
+  }
+
+  bool passTwo() {
+    for (const PendingInst &Pending : Insts)
+      if (!encodeOne(Pending))
+        return false;
+
+    // Jump tables: size the table list, resolve targets.
+    size_t MaxIndex = 0;
+    for (const PendingTable &Table : Tables)
+      MaxIndex = std::max(MaxIndex, Table.Index + 1);
+    Img.JumpTables.resize(MaxIndex);
+    for (const PendingTable &Table : Tables) {
+      JumpTable &Out = Img.JumpTables[Table.Index];
+      for (const std::string &Token : Table.Targets) {
+        uint64_t Target = 0;
+        if (!resolveTarget(Table.LineNo, Token, Target))
+          return false;
+        Out.Targets.push_back(Target);
+      }
+    }
+
+    // Entry point: .start value, else the first primary symbol, else 0.
+    if (!StartToken.empty()) {
+      uint64_t Target = 0;
+      if (!resolveTarget(StartLine, StartToken, Target))
+        return false;
+      Img.EntryAddress = Target;
+    } else if (!FirstPrimary.empty()) {
+      Img.EntryAddress = Labels.at(FirstPrimary);
+    }
+    return true;
+  }
+
+  Image Img;
+  std::string Error;
+  std::map<std::string, uint64_t> Labels;
+  std::vector<PendingInst> Insts;
+  std::vector<PendingTable> Tables;
+  std::string StartToken;
+  unsigned StartLine = 0;
+  std::string FirstPrimary;
+  uint64_t NextAddress = 0;
+};
+
+} // namespace
+
+std::optional<Image> spike::parseAssembly(const std::string &Source,
+                                          std::string *ErrorOut) {
+  Assembler Asm;
+  return Asm.run(Source, ErrorOut);
+}

@@ -1,0 +1,55 @@
+//===- binary/Assembler.h - Text assembler --------------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass text assembler for the synthetic ISA.
+///
+/// The accepted dialect is a superset of what disassemble() prints, so
+/// `parseAssembly(disassembled image)` round-trips (property-tested).
+/// Grammar, line oriented ('#' or ';' start comments):
+///
+///   .start <addr|name>          program entry point
+///   .data <int> <int> ...       append data-section words
+///   .table <n>: <t> <t> ...     jump table n's targets (addr or label)
+///   name:                       routine symbol (primary; starts routine)
+///   name (secondary entry):     secondary entrance symbol
+///   name (address taken):       primary symbol, address-taken
+///   .Llabel:                    local label (no symbol-table entry)
+///   <addr>: <instruction>       optional numeric address prefix
+///
+/// Instructions use the printer's operand syntax:
+///
+///   add t0, t1, t2      addi t0, t1, -5     lda t0, 99
+///   mov t0, t1          ldq t0, 8(sp)       stq t0, 8(sp)
+///   br <target>         beq t0, <target>    jsr <target>
+///   jsr_r (pv)          jmp_r (t0)          jmp_tab t0, table:2
+///   ret                 nop                 halt v0
+///
+/// Branch/call targets may be numeric absolute addresses (what the
+/// disassembler prints), label names, or symbol names.  The first
+/// primary symbol defaults to the entry point when no .start is given.
+/// Local labels start with ".L" and create no symbol-table entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_BINARY_ASSEMBLER_H
+#define SPIKE_BINARY_ASSEMBLER_H
+
+#include "binary/Image.h"
+
+#include <optional>
+#include <string>
+
+namespace spike {
+
+/// Assembles \p Source into an image.  On failure, returns std::nullopt
+/// and (when \p ErrorOut is non-null) a "line N: message" description.
+std::optional<Image> parseAssembly(const std::string &Source,
+                                   std::string *ErrorOut = nullptr);
+
+} // namespace spike
+
+#endif // SPIKE_BINARY_ASSEMBLER_H

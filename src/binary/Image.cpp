@@ -1,0 +1,318 @@
+//===- binary/Image.cpp - Executable image model --------------------------===//
+
+#include "binary/Image.h"
+
+#include "isa/Encoding.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+using namespace spike;
+
+void Image::finalize() {
+  std::stable_sort(Symbols.begin(), Symbols.end(),
+                   [](const Symbol &A, const Symbol &B) {
+                     if (A.Address != B.Address)
+                       return A.Address < B.Address;
+                     return !A.Secondary && B.Secondary;
+                   });
+}
+
+std::optional<std::string> Image::verify() const {
+  auto Fail = [](const std::string &Message) {
+    return std::optional<std::string>(Message);
+  };
+  for (const Symbol &Sym : Symbols)
+    if (Sym.Address >= Code.size())
+      return Fail("symbol '" + Sym.Name + "' address out of range");
+  if (!Symbols.empty() && EntryAddress >= Code.size())
+    return Fail("entry address out of range");
+  for (size_t TableIndex = 0; TableIndex < JumpTables.size(); ++TableIndex) {
+    const JumpTable &Table = JumpTables[TableIndex];
+    if (Table.Targets.empty())
+      return Fail("jump table " + std::to_string(TableIndex) + " is empty");
+    for (uint64_t Target : Table.Targets)
+      if (Target >= Code.size())
+        return Fail("jump table " + std::to_string(TableIndex) +
+                    " target out of range");
+  }
+  for (uint64_t Address = 0; Address < Code.size(); ++Address) {
+    std::optional<Instruction> Inst = decodeInstruction(Code[Address]);
+    if (!Inst)
+      return Fail("undecodable instruction at address " +
+                  std::to_string(Address));
+    if (Inst->Op == Opcode::JmpTab &&
+        uint64_t(uint32_t(Inst->Imm)) >= JumpTables.size())
+      return Fail("jmp_tab at address " + std::to_string(Address) +
+                  " names a missing jump table");
+    if (Inst->Op == Opcode::Jsr &&
+        (Inst->Imm < 0 || uint64_t(Inst->Imm) >= Code.size()))
+      return Fail("jsr at address " + std::to_string(Address) +
+                  " targets outside the code section");
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Little-endian byte writer for the container format.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  void u64(uint64_t Value) {
+    for (int I = 0; I < 8; ++I)
+      Bytes.push_back(uint8_t(Value >> (8 * I)));
+  }
+
+  void str(const std::string &Value) {
+    u64(Value.size());
+    Bytes.insert(Bytes.end(), Value.begin(), Value.end());
+  }
+
+private:
+  std::vector<uint8_t> &Bytes;
+};
+
+/// Little-endian byte reader with bounds checking.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool u64(uint64_t &Value) {
+    if (Offset + 8 > Bytes.size())
+      return false;
+    Value = 0;
+    for (int I = 0; I < 8; ++I)
+      Value |= uint64_t(Bytes[Offset + I]) << (8 * I);
+    Offset += 8;
+    return true;
+  }
+
+  bool str(std::string &Value) {
+    uint64_t Size = 0;
+    if (!u64(Size) || Offset + Size > Bytes.size())
+      return false;
+    Value.assign(Bytes.begin() + Offset, Bytes.begin() + Offset + Size);
+    Offset += Size;
+    return true;
+  }
+
+  bool atEnd() const { return Offset == Bytes.size(); }
+
+  /// Bytes left to read; used to sanity-check element counts before
+  /// resizing containers (a corrupted count must not trigger a huge
+  /// allocation).
+  size_t remaining() const { return Bytes.size() - Offset; }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Offset = 0;
+};
+
+constexpr uint64_t ImageMagic = 0x3158454b49505357ull; // "WSPIKEX1"
+
+} // namespace
+
+std::vector<uint8_t> spike::writeImage(const Image &Img) {
+  std::vector<uint8_t> Bytes;
+  ByteWriter Writer(Bytes);
+  Writer.u64(ImageMagic);
+  Writer.u64(Img.EntryAddress);
+  Writer.u64(Img.Code.size());
+  for (uint64_t Word : Img.Code)
+    Writer.u64(Word);
+  Writer.u64(Img.Symbols.size());
+  for (const Symbol &Sym : Img.Symbols) {
+    Writer.str(Sym.Name);
+    Writer.u64(Sym.Address);
+    Writer.u64((Sym.Secondary ? 1 : 0) | (Sym.AddressTaken ? 2 : 0));
+  }
+  Writer.u64(Img.JumpTables.size());
+  for (const JumpTable &Table : Img.JumpTables) {
+    Writer.u64(Table.Targets.size());
+    for (uint64_t Target : Table.Targets)
+      Writer.u64(Target);
+  }
+  Writer.u64(Img.Data.size());
+  for (int64_t Word : Img.Data)
+    Writer.u64(uint64_t(Word));
+  Writer.u64(Img.CallAnnotations.size());
+  for (const IndirectCallAnnotation &Annot : Img.CallAnnotations) {
+    Writer.u64(Annot.Address);
+    Writer.u64(Annot.Used.mask());
+    Writer.u64(Annot.Defined.mask());
+    Writer.u64(Annot.Killed.mask());
+  }
+  Writer.u64(Img.JumpAnnotations.size());
+  for (const IndirectJumpAnnotation &Annot : Img.JumpAnnotations) {
+    Writer.u64(Annot.Address);
+    Writer.u64(Annot.LiveAtTarget.mask());
+  }
+  return Bytes;
+}
+
+std::optional<Image> spike::readImage(const std::vector<uint8_t> &Bytes,
+                                      std::string *ErrorOut) {
+  auto Fail = [&](const char *Message) -> std::optional<Image> {
+    if (ErrorOut)
+      *ErrorOut = Message;
+    return std::nullopt;
+  };
+  ByteReader Reader(Bytes);
+  uint64_t Magic = 0;
+  if (!Reader.u64(Magic) || Magic != ImageMagic)
+    return Fail("bad magic; not a SPKX image");
+  Image Img;
+  uint64_t Count = 0;
+  // Each serialized element occupies at least MinElementBytes, so any
+  // count larger than remaining()/MinElementBytes is corrupt; checking
+  // first keeps corrupted inputs from triggering huge allocations.
+  auto CountOk = [&](uint64_t N, uint64_t MinElementBytes) {
+    return N <= Reader.remaining() / MinElementBytes;
+  };
+  if (!Reader.u64(Img.EntryAddress) || !Reader.u64(Count) ||
+      !CountOk(Count, 8))
+    return Fail("truncated header");
+  Img.Code.resize(Count);
+  for (uint64_t &Word : Img.Code)
+    if (!Reader.u64(Word))
+      return Fail("truncated code section");
+  if (!Reader.u64(Count) || !CountOk(Count, 24))
+    return Fail("truncated symbol table");
+  Img.Symbols.resize(Count);
+  for (Symbol &Sym : Img.Symbols) {
+    uint64_t Flags = 0;
+    if (!Reader.str(Sym.Name) || !Reader.u64(Sym.Address) ||
+        !Reader.u64(Flags))
+      return Fail("truncated symbol record");
+    Sym.Secondary = (Flags & 1) != 0;
+    Sym.AddressTaken = (Flags & 2) != 0;
+  }
+  if (!Reader.u64(Count) || !CountOk(Count, 8))
+    return Fail("truncated jump-table section");
+  Img.JumpTables.resize(Count);
+  for (JumpTable &Table : Img.JumpTables) {
+    if (!Reader.u64(Count) || !CountOk(Count, 8))
+      return Fail("truncated jump table");
+    Table.Targets.resize(Count);
+    for (uint64_t &Target : Table.Targets)
+      if (!Reader.u64(Target))
+        return Fail("truncated jump-table entry");
+  }
+  if (!Reader.u64(Count) || !CountOk(Count, 8))
+    return Fail("truncated data section");
+  Img.Data.resize(Count);
+  for (int64_t &Word : Img.Data) {
+    uint64_t Raw = 0;
+    if (!Reader.u64(Raw))
+      return Fail("truncated data word");
+    Word = int64_t(Raw);
+  }
+  // Section 3.5 annotation tables (absent in older images).
+  if (!Reader.atEnd()) {
+    if (!Reader.u64(Count) || !CountOk(Count, 32))
+      return Fail("truncated call-annotation section");
+    Img.CallAnnotations.resize(Count);
+    for (IndirectCallAnnotation &Annot : Img.CallAnnotations) {
+      uint64_t Used = 0, Defined = 0, Killed = 0;
+      if (!Reader.u64(Annot.Address) || !Reader.u64(Used) ||
+          !Reader.u64(Defined) || !Reader.u64(Killed))
+        return Fail("truncated call annotation");
+      Annot.Used = RegSet::fromMask(Used);
+      Annot.Defined = RegSet::fromMask(Defined);
+      Annot.Killed = RegSet::fromMask(Killed);
+    }
+    if (!Reader.u64(Count) || !CountOk(Count, 16))
+      return Fail("truncated jump-annotation section");
+    Img.JumpAnnotations.resize(Count);
+    for (IndirectJumpAnnotation &Annot : Img.JumpAnnotations) {
+      uint64_t Live = 0;
+      if (!Reader.u64(Annot.Address) || !Reader.u64(Live))
+        return Fail("truncated jump annotation");
+      Annot.LiveAtTarget = RegSet::fromMask(Live);
+    }
+  }
+  if (!Reader.atEnd())
+    return Fail("trailing bytes after image");
+  return Img;
+}
+
+bool spike::writeImageFile(const Image &Img, const std::string &Path) {
+  std::vector<uint8_t> Bytes = writeImage(Img);
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  return Written == Bytes.size();
+}
+
+std::optional<Image> spike::readImageFile(const std::string &Path,
+                                          std::string *ErrorOut) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (ErrorOut)
+      *ErrorOut = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buffer[4096];
+  size_t Read = 0;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Bytes.insert(Bytes.end(), Buffer, Buffer + Read);
+  std::fclose(File);
+  return readImage(Bytes, ErrorOut);
+}
+
+void spike::disassemble(const Image &Img, std::string &Out) {
+  std::ostringstream OS;
+  OS << ".start " << Img.EntryAddress << '\n';
+
+  // Index symbols by address for label printing.
+  std::vector<const Symbol *> ByAddress;
+  ByAddress.reserve(Img.Symbols.size());
+  for (const Symbol &Sym : Img.Symbols)
+    ByAddress.push_back(&Sym);
+  std::stable_sort(ByAddress.begin(), ByAddress.end(),
+                   [](const Symbol *A, const Symbol *B) {
+                     return A->Address < B->Address;
+                   });
+  size_t NextSymbol = 0;
+  for (uint64_t Address = 0; Address < Img.Code.size(); ++Address) {
+    while (NextSymbol < ByAddress.size() &&
+           ByAddress[NextSymbol]->Address == Address) {
+      const Symbol *Sym = ByAddress[NextSymbol];
+      OS << Sym->Name;
+      if (Sym->Secondary)
+        OS << " (secondary entry)";
+      else if (Sym->AddressTaken)
+        OS << " (address taken)";
+      OS << ":\n";
+      ++NextSymbol;
+    }
+    std::optional<Instruction> Inst = decodeInstruction(Img.Code[Address]);
+    OS << "  " << Address << ":\t";
+    if (Inst)
+      OS << Inst->str(int64_t(Address));
+    else
+      OS << "<bad encoding>";
+    OS << '\n';
+  }
+  for (size_t TableIndex = 0; TableIndex < Img.JumpTables.size();
+       ++TableIndex) {
+    OS << ".table " << TableIndex << ':';
+    for (uint64_t Target : Img.JumpTables[TableIndex].Targets)
+      OS << ' ' << Target;
+    OS << '\n';
+  }
+  if (!Img.Data.empty()) {
+    OS << ".data";
+    for (int64_t Word : Img.Data)
+      OS << ' ' << Word;
+    OS << '\n';
+  }
+  Out += OS.str();
+}

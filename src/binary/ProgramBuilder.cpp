@@ -1,0 +1,156 @@
+//===- binary/ProgramBuilder.cpp - Assembler-style image builder ---------===//
+
+#include "binary/ProgramBuilder.h"
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace spike;
+
+ProgramBuilder::LabelId ProgramBuilder::makeLabel() {
+  LabelAddresses.push_back(std::nullopt);
+  return LabelId(LabelAddresses.size() - 1);
+}
+
+void ProgramBuilder::bind(LabelId Label) {
+  assert(Label < LabelAddresses.size() && "unknown label");
+  assert(!LabelAddresses[Label] && "label bound twice");
+  LabelAddresses[Label] = currentAddress();
+}
+
+void ProgramBuilder::beginRoutine(const std::string &Name,
+                                  bool AddressTaken) {
+  Symbol Sym;
+  Sym.Name = Name;
+  Sym.Address = currentAddress();
+  Sym.AddressTaken = AddressTaken;
+  Symbols.push_back(Sym);
+  RoutineAddresses[Name] = Sym.Address;
+  if (EntryName.empty())
+    EntryName = Name;
+}
+
+void ProgramBuilder::addSecondaryEntry(const std::string &Name) {
+  assert(!Symbols.empty() && "secondary entry before any routine");
+  Symbol Sym;
+  Sym.Name = Name;
+  Sym.Address = currentAddress();
+  Sym.Secondary = true;
+  Symbols.push_back(Sym);
+  RoutineAddresses[Name] = Sym.Address;
+}
+
+void ProgramBuilder::emit(const Instruction &Inst) {
+  Code.push_back(encodeInstruction(Inst));
+}
+
+void ProgramBuilder::emitBr(LabelId Target) {
+  LabelFixups.push_back({currentAddress(), Target, /*Relative=*/true});
+  emit(inst::br(0));
+}
+
+void ProgramBuilder::emitCondBr(Opcode Op, unsigned Ra, LabelId Target) {
+  LabelFixups.push_back({currentAddress(), Target, /*Relative=*/true});
+  emit(inst::condBr(Op, Ra, 0));
+}
+
+void ProgramBuilder::emitCall(const std::string &Callee) {
+  CallFixups.push_back({currentAddress(), Callee, /*IsAddressLoad=*/false});
+  emit(inst::jsr(0));
+}
+
+void ProgramBuilder::emitCallTo(LabelId Target) {
+  LabelFixups.push_back({currentAddress(), Target, /*Relative=*/false});
+  emit(inst::jsr(0));
+}
+
+unsigned ProgramBuilder::emitTableJump(unsigned IndexReg,
+                                       const std::vector<LabelId> &Targets) {
+  assert(!Targets.empty() && "jump table must have at least one target");
+  unsigned TableIndex = unsigned(JumpTables.size());
+  JumpTables.emplace_back();
+  JumpTables.back().Targets.resize(Targets.size(), 0);
+  TableFixups.push_back({TableIndex, Targets});
+  emit(inst::jmpTab(IndexReg, int32_t(TableIndex)));
+  return TableIndex;
+}
+
+void ProgramBuilder::emitLoadRoutineAddress(unsigned Rc,
+                                            const std::string &Callee) {
+  CallFixups.push_back({currentAddress(), Callee, /*IsAddressLoad=*/true});
+  emit(inst::lda(Rc, 0));
+}
+
+size_t ProgramBuilder::addData(int64_t Value) {
+  Data.push_back(Value);
+  return Data.size() - 1;
+}
+
+void ProgramBuilder::setEntry(const std::string &Name) { EntryName = Name; }
+
+std::optional<Image> ProgramBuilder::buildChecked(std::string *ErrorOut) {
+  auto Fail = [&](const std::string &Message) -> std::optional<Image> {
+    if (ErrorOut)
+      *ErrorOut = Message;
+    return std::nullopt;
+  };
+
+  auto PatchImm = [&](uint64_t Address, int32_t Imm) {
+    std::optional<Instruction> Inst = decodeInstruction(Code[Address]);
+    assert(Inst && "builder emitted an undecodable word");
+    Inst->Imm = Imm;
+    Code[Address] = encodeInstruction(*Inst);
+  };
+
+  for (const LabelFixup &Fixup : LabelFixups) {
+    if (!LabelAddresses[Fixup.Label])
+      return Fail("unbound label " + std::to_string(Fixup.Label));
+    uint64_t Target = *LabelAddresses[Fixup.Label];
+    int64_t Imm = Fixup.Relative
+                      ? int64_t(Target) - int64_t(Fixup.Address) - 1
+                      : int64_t(Target);
+    PatchImm(Fixup.Address, int32_t(Imm));
+  }
+
+  for (const CallFixup &Fixup : CallFixups) {
+    auto It = RoutineAddresses.find(Fixup.Callee);
+    if (It == RoutineAddresses.end())
+      return Fail("call to unknown routine '" + Fixup.Callee + "'");
+    PatchImm(Fixup.Address, int32_t(It->second));
+  }
+
+  for (const TableFixup &Fixup : TableFixups) {
+    JumpTable &Table = JumpTables[Fixup.TableIndex];
+    for (size_t I = 0; I < Fixup.Targets.size(); ++I) {
+      if (!LabelAddresses[Fixup.Targets[I]])
+        return Fail("unbound jump-table label");
+      Table.Targets[I] = *LabelAddresses[Fixup.Targets[I]];
+    }
+  }
+
+  Image Img;
+  Img.Code = Code;
+  Img.Symbols = Symbols;
+  Img.JumpTables = JumpTables;
+  Img.Data = Data;
+  if (!EntryName.empty()) {
+    auto It = RoutineAddresses.find(EntryName);
+    if (It == RoutineAddresses.end())
+      return Fail("entry routine '" + EntryName + "' not defined");
+    Img.EntryAddress = It->second;
+  }
+  Img.finalize();
+  if (std::optional<std::string> Problem = Img.verify())
+    return Fail("built image fails verification: " + *Problem);
+  return Img;
+}
+
+Image ProgramBuilder::build() {
+  std::string Error;
+  std::optional<Image> Img = buildChecked(&Error);
+  assert(Img && "ProgramBuilder::build failed; use buildChecked for details");
+  if (!Img)
+    return Image(); // Unreachable with asserts on; keeps release builds safe.
+  return std::move(*Img);
+}

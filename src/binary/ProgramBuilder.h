@@ -1,0 +1,131 @@
+//===- binary/ProgramBuilder.h - Assembler-style image builder -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for constructing Images in tests, examples, and the
+/// synthetic program generators.
+///
+/// The builder provides labels with fixups for branch displacements,
+/// by-name call targets resolved at build() time (playing the role of the
+/// linker), and jump-table creation for multiway branches.  All structural
+/// mistakes (unbound labels, unknown callees) are programmer errors and
+/// are reported via buildChecked() or trapped by assertions in build().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_BINARY_PROGRAMBUILDER_H
+#define SPIKE_BINARY_PROGRAMBUILDER_H
+
+#include "binary/Image.h"
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// Incrementally assembles an Image.
+class ProgramBuilder {
+public:
+  /// Opaque label handle.
+  using LabelId = unsigned;
+
+  /// Creates a fresh, unbound label.
+  LabelId makeLabel();
+
+  /// Binds \p Label to the current emission address.  A label may be bound
+  /// only once.
+  void bind(LabelId Label);
+
+  /// Starts a new routine named \p Name at the current address and adds
+  /// its primary entry symbol.
+  void beginRoutine(const std::string &Name, bool AddressTaken = false);
+
+  /// Adds a secondary entrance to the current routine at the current
+  /// address (routines with multiple entrances; Table 3).
+  void addSecondaryEntry(const std::string &Name);
+
+  /// Appends \p Inst verbatim.
+  void emit(const Instruction &Inst);
+
+  /// Appends an unconditional branch to \p Target.
+  void emitBr(LabelId Target);
+
+  /// Appends a conditional branch (\p Op must be a conditional branch
+  /// opcode) on register \p Ra to \p Target.
+  void emitCondBr(Opcode Op, unsigned Ra, LabelId Target);
+
+  /// Appends a direct call to the routine named \p Callee (resolved when
+  /// the image is built, like a linker resolving a relocation).
+  void emitCall(const std::string &Callee);
+
+  /// Appends a direct call to a label (e.g. a secondary entry).
+  void emitCallTo(LabelId Target);
+
+  /// Appends a multiway branch on \p IndexReg whose jump table holds the
+  /// given \p Targets; returns the table index.
+  unsigned emitTableJump(unsigned IndexReg,
+                         const std::vector<LabelId> &Targets);
+
+  /// Appends an "lda Rc, <address of Callee>" whose immediate is fixed up
+  /// to the callee's entry address (for building indirect calls).
+  void emitLoadRoutineAddress(unsigned Rc, const std::string &Callee);
+
+  /// Returns the next emission address.
+  uint64_t currentAddress() const { return uint64_t(Code.size()); }
+
+  /// Appends a word to the data section; returns its data index.
+  size_t addData(int64_t Value);
+
+  /// Selects the program entry routine by name (defaults to the first
+  /// routine if never called).
+  void setEntry(const std::string &Name);
+
+  /// Resolves all fixups and returns the finished image.  Returns
+  /// std::nullopt and sets \p ErrorOut on unbound labels or unresolved
+  /// callee names.
+  std::optional<Image> buildChecked(std::string *ErrorOut = nullptr);
+
+  /// Like buildChecked() but asserts on failure; for tests and generators
+  /// whose input is trusted.
+  Image build();
+
+private:
+  struct LabelFixup {
+    uint64_t Address;  ///< Instruction that needs its Imm patched.
+    LabelId Label;     ///< Branch target.
+    bool Relative;     ///< Displacement (branch) vs absolute (table/lda).
+  };
+
+  struct CallFixup {
+    uint64_t Address;
+    std::string Callee;
+    bool IsAddressLoad; ///< Patch an lda, not a jsr.
+  };
+
+  struct TableFixup {
+    unsigned TableIndex;
+    std::vector<LabelId> Targets;
+  };
+
+  std::vector<uint64_t> Code;
+  std::vector<Symbol> Symbols;
+  std::vector<JumpTable> JumpTables;
+  std::vector<int64_t> Data;
+  std::vector<std::optional<uint64_t>> LabelAddresses;
+  std::vector<LabelFixup> LabelFixups;
+  std::vector<CallFixup> CallFixups;
+  std::vector<TableFixup> TableFixups;
+  std::map<std::string, uint64_t> RoutineAddresses;
+  std::string EntryName;
+};
+
+} // namespace spike
+
+#endif // SPIKE_BINARY_PROGRAMBUILDER_H

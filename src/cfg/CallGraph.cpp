@@ -1,0 +1,118 @@
+//===- cfg/CallGraph.cpp - Whole-program call graph ------------------------===//
+
+#include "cfg/CallGraph.h"
+
+#include <algorithm>
+
+using namespace spike;
+
+CallGraph spike::buildCallGraph(const Program &Prog) {
+  CallGraph Graph;
+  size_t Count = Prog.Routines.size();
+  Graph.Callees.resize(Count);
+  Graph.Callers.resize(Count);
+  Graph.HasIndirectCalls.assign(Count, false);
+  Graph.SccId.assign(Count, 0);
+  Graph.InCycle.assign(Count, false);
+  Graph.Reachable.assign(Count, false);
+  if (Count == 0)
+    return Graph;
+
+  // Adjacency (deduplicated), self-calls noted as cycles immediately.
+  for (uint32_t R = 0; R < Count; ++R) {
+    for (uint32_t Block : Prog.Routines[R].CallBlocks) {
+      const BasicBlock &B = Prog.Routines[R].Blocks[Block];
+      if (B.Term == TerminatorKind::IndirectCall) {
+        Graph.HasIndirectCalls[R] = true;
+        continue;
+      }
+      uint32_t Callee = uint32_t(B.CalleeRoutine);
+      if (Callee == R)
+        Graph.InCycle[R] = true;
+      Graph.Callees[R].push_back(Callee);
+    }
+    std::sort(Graph.Callees[R].begin(), Graph.Callees[R].end());
+    Graph.Callees[R].erase(
+        std::unique(Graph.Callees[R].begin(), Graph.Callees[R].end()),
+        Graph.Callees[R].end());
+    for (uint32_t Callee : Graph.Callees[R])
+      Graph.Callers[Callee].push_back(R);
+  }
+  for (auto &Callers : Graph.Callers) {
+    std::sort(Callers.begin(), Callers.end());
+    Callers.erase(std::unique(Callers.begin(), Callers.end()),
+                  Callers.end());
+  }
+
+  // Iterative Tarjan SCC.
+  std::vector<int32_t> Index(Count, -1), Low(Count, 0);
+  std::vector<bool> OnStack(Count, false);
+  std::vector<uint32_t> Stack;
+  int32_t NextIndex = 0;
+  struct Frame {
+    uint32_t Node;
+    size_t Child;
+  };
+  std::vector<Frame> Dfs;
+
+  for (uint32_t Root = 0; Root < Count; ++Root) {
+    if (Index[Root] >= 0)
+      continue;
+    Dfs.push_back({Root, 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Dfs.empty()) {
+      Frame &Top = Dfs.back();
+      if (Top.Child < Graph.Callees[Top.Node].size()) {
+        uint32_t Next = Graph.Callees[Top.Node][Top.Child++];
+        if (Index[Next] < 0) {
+          Index[Next] = Low[Next] = NextIndex++;
+          Stack.push_back(Next);
+          OnStack[Next] = true;
+          Dfs.push_back({Next, 0});
+        } else if (OnStack[Next]) {
+          Low[Top.Node] = std::min(Low[Top.Node], Index[Next]);
+        }
+        continue;
+      }
+      uint32_t Node = Top.Node;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[Node]);
+      if (Low[Node] != Index[Node])
+        continue;
+      bool Nontrivial = Stack.back() != Node;
+      for (;;) {
+        uint32_t Member = Stack.back();
+        Stack.pop_back();
+        OnStack[Member] = false;
+        Graph.SccId[Member] = Graph.NumSccs;
+        if (Nontrivial)
+          Graph.InCycle[Member] = true;
+        if (Member == Node)
+          break;
+      }
+      ++Graph.NumSccs;
+    }
+  }
+
+  // Reachability from the roots.
+  std::vector<uint32_t> Queue;
+  auto AddRoot = [&](uint32_t R) {
+    if (!Graph.Reachable[R]) {
+      Graph.Reachable[R] = true;
+      Queue.push_back(R);
+    }
+  };
+  if (Prog.EntryRoutine >= 0)
+    AddRoot(uint32_t(Prog.EntryRoutine));
+  for (uint32_t R = 0; R < Count; ++R)
+    if (Prog.Routines[R].AddressTaken)
+      AddRoot(R);
+  for (size_t Cursor = 0; Cursor < Queue.size(); ++Cursor)
+    for (uint32_t Callee : Graph.Callees[Queue[Cursor]])
+      AddRoot(Callee);
+
+  return Graph;
+}

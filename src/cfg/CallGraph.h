@@ -1,0 +1,75 @@
+//===- cfg/CallGraph.h - Whole-program call graph -------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The direct-call graph of a Program, with the derived facts the rest
+/// of the system needs:
+///
+///   - deduplicated callee / caller adjacency,
+///   - strongly connected components (Tarjan) and the routines that lie
+///     on call cycles (recursion blocks the Figure 1(d) reallocation),
+///   - reachability from the roots — the program entry routine and every
+///     address-taken routine — which drives unreachable-routine
+///     elimination and is a prerequisite for any whole-program rewrite.
+///
+/// Indirect calls are represented conservatively: the set of routines
+/// making them is recorded, and address-taken routines count as roots
+/// (any indirect call might reach them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_CFG_CALLGRAPH_H
+#define SPIKE_CFG_CALLGRAPH_H
+
+#include "cfg/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// The call graph and its derived facts.
+struct CallGraph {
+  /// Deduplicated direct callees per routine.
+  std::vector<std::vector<uint32_t>> Callees;
+
+  /// Deduplicated direct callers per routine (inverse of Callees).
+  std::vector<std::vector<uint32_t>> Callers;
+
+  /// True for routines containing at least one indirect call.
+  std::vector<bool> HasIndirectCalls;
+
+  /// SCC id per routine; ids are assigned in reverse topological order
+  /// of the condensation (a routine's SCC id is >= its callees' unless
+  /// they share a component).
+  std::vector<uint32_t> SccId;
+
+  /// Number of SCCs.
+  uint32_t NumSccs = 0;
+
+  /// True for routines on a directed call cycle (a nontrivial SCC or a
+  /// direct self-call).
+  std::vector<bool> InCycle;
+
+  /// True for routines reachable from the entry routine or any
+  /// address-taken routine via direct calls.
+  std::vector<bool> Reachable;
+
+  /// Returns true if \p Caller directly calls \p Callee.
+  bool calls(uint32_t Caller, uint32_t Callee) const {
+    for (uint32_t C : Callees[Caller])
+      if (C == Callee)
+        return true;
+    return false;
+  }
+};
+
+/// Builds the call graph of \p Prog.
+CallGraph buildCallGraph(const Program &Prog);
+
+} // namespace spike
+
+#endif // SPIKE_CFG_CALLGRAPH_H

@@ -1,0 +1,386 @@
+//===- cfg/CfgBuilder.cpp - Image -> Program CFG construction ------------===//
+
+#include "cfg/CfgBuilder.h"
+
+#include "isa/Encoding.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spike;
+
+int32_t spike::findRoutineByAddress(const Program &Prog, uint64_t Address) {
+  // Routines are sorted by Begin and contiguous; binary search the last
+  // routine with Begin <= Address.
+  const auto &Routines = Prog.Routines;
+  auto It = std::upper_bound(
+      Routines.begin(), Routines.end(), Address,
+      [](uint64_t A, const Routine &R) { return A < R.Begin; });
+  if (It == Routines.begin())
+    return -1;
+  --It;
+  if (Address >= It->End)
+    return -1;
+  return int32_t(It - Routines.begin());
+}
+
+namespace {
+
+/// Builds the basic blocks of one routine.
+class RoutineBuilder {
+public:
+  RoutineBuilder(const Program &Prog, Routine &R) : Prog(Prog), R(R) {}
+
+  void run() {
+    findLeaders();
+    makeBlocks();
+    connectBlocks();
+    indexAnchors();
+  }
+
+private:
+  uint64_t localSize() const { return R.End - R.Begin; }
+
+  bool inRoutine(uint64_t Address) const {
+    return Address >= R.Begin && Address < R.End;
+  }
+
+  /// Returns the branch target of the instruction at \p Address, assuming
+  /// it is a relative branch.
+  uint64_t branchTarget(uint64_t Address) const {
+    const Instruction &Inst = Prog.Insts[Address];
+    return uint64_t(int64_t(Address) + 1 + Inst.Imm);
+  }
+
+  void markLeader(uint64_t Address) {
+    if (inRoutine(Address))
+      IsLeader[Address - R.Begin] = true;
+  }
+
+  void findLeaders() {
+    IsLeader.assign(localSize(), false);
+    IsLeader[0] = true;
+    for (uint64_t Entry : R.EntryAddresses)
+      markLeader(Entry);
+    for (uint64_t Address = R.Begin; Address < R.End; ++Address) {
+      const Instruction &Inst = Prog.Insts[Address];
+      const OpcodeInfo &Info = opcodeInfo(Inst.Op);
+      if (!Inst.endsBlock())
+        continue;
+      if (Address + 1 < R.End)
+        IsLeader[Address + 1 - R.Begin] = true;
+      if (Info.IsCondBranch || Info.IsUncondBranch)
+        markLeader(branchTarget(Address));
+      if (Info.IsTableJump) {
+        const JumpTableTargets &Table =
+            Prog.JumpTables[uint32_t(Inst.Imm)];
+        for (uint64_t Target : Table.Targets)
+          markLeader(Target);
+      }
+    }
+  }
+
+  void makeBlocks() {
+    BlockOfAddress.assign(localSize(), ~uint32_t(0));
+    uint64_t Address = R.Begin;
+    while (Address < R.End) {
+      BasicBlock Block;
+      Block.Begin = Address;
+      uint64_t Cursor = Address;
+      for (;;) {
+        BlockOfAddress[Cursor - R.Begin] = uint32_t(R.Blocks.size());
+        if (Prog.Insts[Cursor].endsBlock()) {
+          ++Cursor;
+          break;
+        }
+        ++Cursor;
+        if (Cursor == R.End || IsLeader[Cursor - R.Begin])
+          break;
+      }
+      Block.End = Cursor;
+      R.Blocks.push_back(std::move(Block));
+      Address = Cursor;
+    }
+  }
+
+  uint32_t blockAt(uint64_t Address) const {
+    assert(inRoutine(Address) && "address outside routine");
+    uint32_t Block = BlockOfAddress[Address - R.Begin];
+    assert(Block != ~uint32_t(0) && "address not covered by a block");
+    return Block;
+  }
+
+  void addSucc(BasicBlock &Block, uint32_t Succ) {
+    if (std::find(Block.Succs.begin(), Block.Succs.end(), Succ) ==
+        Block.Succs.end())
+      Block.Succs.push_back(Succ);
+  }
+
+  void connectBlocks() {
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex) {
+      BasicBlock &Block = R.Blocks[BlockIndex];
+      uint64_t Last = Block.End - 1;
+      const Instruction &Term = Prog.Insts[Last];
+      const OpcodeInfo &Info = opcodeInfo(Term.Op);
+      bool HasFallThrough = Block.End < R.End;
+
+      if (!Term.endsBlock()) {
+        Block.Term = TerminatorKind::FallThrough;
+        if (HasFallThrough)
+          addSucc(Block, blockAt(Block.End));
+        continue;
+      }
+
+      if (Info.IsUncondBranch) {
+        uint64_t Target = branchTarget(Last);
+        if (!inRoutine(Target)) {
+          // A branch leaving the routine (e.g. a tail call) has unknown
+          // register behaviour at this level; treat conservatively.
+          Block.Term = TerminatorKind::UnresolvedJump;
+          ++R.NumBranches;
+          continue;
+        }
+        Block.Term = TerminatorKind::Branch;
+        addSucc(Block, blockAt(Target));
+        ++R.NumBranches;
+        continue;
+      }
+
+      if (Info.IsCondBranch) {
+        uint64_t Target = branchTarget(Last);
+        if (!inRoutine(Target)) {
+          Block.Term = TerminatorKind::UnresolvedJump;
+          ++R.NumBranches;
+          continue;
+        }
+        Block.Term = TerminatorKind::CondBranch;
+        addSucc(Block, blockAt(Target));
+        if (HasFallThrough)
+          addSucc(Block, blockAt(Block.End));
+        ++R.NumBranches;
+        continue;
+      }
+
+      if (Info.IsCall) {
+        Block.Term = Info.IsIndirectCall ? TerminatorKind::IndirectCall
+                                         : TerminatorKind::Call;
+        if (HasFallThrough)
+          addSucc(Block, blockAt(Block.End));
+        continue;
+      }
+
+      if (Info.IsReturn) {
+        Block.Term = TerminatorKind::Return;
+        continue;
+      }
+
+      if (Info.IsTableJump) {
+        const JumpTableTargets &Table =
+            Prog.JumpTables[uint32_t(Term.Imm)];
+        bool AllInRoutine = true;
+        for (uint64_t Target : Table.Targets)
+          AllInRoutine &= inRoutine(Target);
+        if (!AllInRoutine) {
+          Block.Term = TerminatorKind::UnresolvedJump;
+          ++R.NumBranches;
+          continue;
+        }
+        Block.Term = TerminatorKind::TableJump;
+        Block.JumpTableIndex = Term.Imm;
+        for (uint64_t Target : Table.Targets)
+          addSucc(Block, blockAt(Target));
+        ++R.NumBranches;
+        continue;
+      }
+
+      if (Info.IsUnresolvedJump) {
+        Block.Term = TerminatorKind::UnresolvedJump;
+        continue;
+      }
+
+      assert(Info.IsHalt && "unhandled terminator kind");
+      Block.Term = TerminatorKind::Halt;
+    }
+
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex)
+      for (uint32_t Succ : R.Blocks[BlockIndex].Succs)
+        R.Blocks[Succ].Preds.push_back(BlockIndex);
+  }
+
+  void indexAnchors() {
+    R.EntryBlocks.clear();
+    for (uint64_t Entry : R.EntryAddresses) {
+      assert(Prog.Insts.size() > Entry && inRoutine(Entry));
+      // Entrances always start a block (they were marked as leaders).
+      assert(R.Blocks[blockAt(Entry)].Begin == Entry &&
+             "entrance does not start a block");
+      R.EntryBlocks.push_back(blockAt(Entry));
+    }
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex) {
+      const BasicBlock &Block = R.Blocks[BlockIndex];
+      if (Block.Term == TerminatorKind::Return)
+        R.ExitBlocks.push_back(BlockIndex);
+      if (Block.endsWithCall())
+        R.CallBlocks.push_back(BlockIndex);
+    }
+  }
+
+  const Program &Prog;
+  Routine &R;
+  std::vector<bool> IsLeader;
+  std::vector<uint32_t> BlockOfAddress;
+};
+
+} // namespace
+
+Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
+                            MemoryTracker *Mem) {
+  assert(!Img.verify() && "image must verify before CFG construction");
+  Program Prog;
+  Prog.Conv = Conv;
+
+  // Decode the code section.
+  Prog.Insts.reserve(Img.Code.size());
+  for (uint64_t Word : Img.Code) {
+    std::optional<Instruction> Inst = decodeInstruction(Word);
+    assert(Inst && "verified image contained an undecodable word");
+    Prog.Insts.push_back(*Inst);
+  }
+  chargeIf(Mem, Prog.Insts.size() * sizeof(Instruction));
+
+  for (const JumpTable &Table : Img.JumpTables) {
+    Prog.JumpTables.push_back({Table.Targets});
+    chargeIf(Mem, Table.Targets.size() * sizeof(uint64_t));
+  }
+
+  // Partition the code into routines at primary symbol addresses.  The
+  // image's symbols are sorted by finalize().
+  std::vector<const Symbol *> Primaries;
+  for (const Symbol &Sym : Img.Symbols)
+    if (!Sym.Secondary)
+      Primaries.push_back(&Sym);
+
+  if (Primaries.empty() && !Img.Code.empty()) {
+    // Defensive: an image with no symbols is one anonymous routine.
+    Routine R;
+    R.Name = "<anon>";
+    R.Begin = 0;
+    R.End = Img.Code.size();
+    R.EntryAddresses.push_back(0);
+    Prog.Routines.push_back(std::move(R));
+  } else {
+    for (size_t I = 0; I < Primaries.size(); ++I) {
+      Routine R;
+      R.Name = Primaries[I]->Name;
+      R.Begin = Primaries[I]->Address;
+      R.End = I + 1 < Primaries.size() ? Primaries[I + 1]->Address
+                                       : Img.Code.size();
+      R.AddressTaken = Primaries[I]->AddressTaken;
+      R.EntryAddresses.push_back(R.Begin);
+      Prog.Routines.push_back(std::move(R));
+    }
+  }
+
+  // Attach secondary entrances to their containing routines.
+  for (const Symbol &Sym : Img.Symbols) {
+    if (!Sym.Secondary)
+      continue;
+    int32_t RoutineIndex = findRoutineByAddress(Prog, Sym.Address);
+    assert(RoutineIndex >= 0 && "secondary entry outside all routines");
+    Routine &R = Prog.Routines[RoutineIndex];
+    if (std::find(R.EntryAddresses.begin(), R.EntryAddresses.end(),
+                  Sym.Address) == R.EntryAddresses.end())
+      R.EntryAddresses.push_back(Sym.Address);
+    if (Sym.AddressTaken)
+      R.AddressTaken = true;
+  }
+
+  // Discover call-targeted entrances the symbol table does not name.
+  for (uint64_t Address = 0; Address < Prog.Insts.size(); ++Address) {
+    const Instruction &Inst = Prog.Insts[Address];
+    if (Inst.Op != Opcode::Jsr)
+      continue;
+    uint64_t Target = uint64_t(uint32_t(Inst.Imm));
+    int32_t RoutineIndex = findRoutineByAddress(Prog, Target);
+    assert(RoutineIndex >= 0 && "call target outside all routines");
+    Routine &R = Prog.Routines[RoutineIndex];
+    if (std::find(R.EntryAddresses.begin(), R.EntryAddresses.end(),
+                  Target) == R.EntryAddresses.end())
+      R.EntryAddresses.push_back(Target);
+  }
+
+  // Build per-routine CFGs.
+  for (Routine &R : Prog.Routines) {
+    std::sort(R.EntryAddresses.begin(), R.EntryAddresses.end());
+    RoutineBuilder Builder(Prog, R);
+    Builder.run();
+  }
+
+  // Resolve direct-call targets to (routine, entrance) pairs.
+  for (Routine &R : Prog.Routines) {
+    for (uint32_t BlockIndex : R.CallBlocks) {
+      BasicBlock &Block = R.Blocks[BlockIndex];
+      if (Block.Term != TerminatorKind::Call)
+        continue;
+      const Instruction &Call = Prog.Insts[Block.End - 1];
+      uint64_t Target = uint64_t(uint32_t(Call.Imm));
+      int32_t CalleeIndex = findRoutineByAddress(Prog, Target);
+      assert(CalleeIndex >= 0 && "unresolved direct call");
+      const Routine &Callee = Prog.Routines[CalleeIndex];
+      auto It = std::find(Callee.EntryAddresses.begin(),
+                          Callee.EntryAddresses.end(), Target);
+      assert(It != Callee.EntryAddresses.end() &&
+             "call target was not registered as an entrance");
+      Block.CalleeRoutine = CalleeIndex;
+      Block.CalleeEntry = int32_t(It - Callee.EntryAddresses.begin());
+    }
+  }
+
+  // Copy the Section 3.5 side tables.
+  for (const IndirectCallAnnotation &Annot : Img.CallAnnotations)
+    Prog.CallAnnotations[Annot.Address] = Annot;
+  for (const IndirectJumpAnnotation &Annot : Img.JumpAnnotations)
+    Prog.JumpLiveAnnotations[Annot.Address] = Annot.LiveAtTarget;
+
+  // Locate the entry routine.
+  Prog.EntryRoutine = Img.Code.empty()
+                          ? -1
+                          : findRoutineByAddress(Prog, Img.EntryAddress);
+
+  if (Mem) {
+    for (const Routine &R : Prog.Routines) {
+      Mem->charge(sizeof(Routine) +
+                  R.EntryAddresses.size() * sizeof(uint64_t) +
+                  (R.EntryBlocks.size() + R.ExitBlocks.size() +
+                   R.CallBlocks.size()) *
+                      sizeof(uint32_t));
+      for (const BasicBlock &Block : R.Blocks)
+        Mem->charge(sizeof(BasicBlock) +
+                    (Block.Succs.size() + Block.Preds.size()) *
+                        sizeof(uint32_t));
+    }
+  }
+
+  return Prog;
+}
+
+void spike::computeDefUbd(Program &Prog) {
+  for (Routine &R : Prog.Routines) {
+    for (BasicBlock &Block : R.Blocks) {
+      RegSet Def, Ubd;
+      for (uint64_t Address = Block.Begin; Address < Block.End; ++Address) {
+        const Instruction &Inst = Prog.Insts[Address];
+        bool IsCallTerminator =
+            Address == Block.End - 1 && opcodeInfo(Inst.Op).IsCall;
+        Ubd |= Inst.uses() - Def;
+        if (!IsCallTerminator)
+          Def |= Inst.defs();
+      }
+      Block.Def = Def;
+      Block.Ubd = Ubd;
+    }
+  }
+}

@@ -1,0 +1,56 @@
+//===- cfg/CfgBuilder.h - Image -> Program CFG construction ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the decoded Program model (routines + basic blocks) from an
+/// executable Image, and computes per-block DEF/UBD sets.
+///
+/// This is the "CFG Build" and "Initialization" part of the analysis whose
+/// time Figure 13 reports.  Construction follows standard leader-based
+/// block discovery, with the paper's convention that call instructions end
+/// basic blocks, plus:
+///   - multiway-branch successors extracted from the image's jump tables
+///     (Section 3.5),
+///   - indirect jumps whose targets cannot be determined marked
+///     UnresolvedJump so the analyses can assume all registers live,
+///   - call targets that are not named entry points added as extra
+///     routine entrances (a post-link optimizer must discover these).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_CFG_CFGBUILDER_H
+#define SPIKE_CFG_CFGBUILDER_H
+
+#include "binary/Image.h"
+#include "cfg/Program.h"
+#include "support/MemoryTracker.h"
+
+namespace spike {
+
+/// Decodes \p Img and builds the routine/basic-block structure.
+///
+/// The image must verify().  DEF/UBD sets are *not* filled in; call
+/// computeDefUbd afterwards (the split matches the paper's stage
+/// breakdown).  \p Mem, when non-null, is charged for the analysis data
+/// structures created here.
+Program buildProgram(const Image &Img, const CallingConv &Conv,
+                     MemoryTracker *Mem = nullptr);
+
+/// Computes the DEF and UBD register sets of every basic block
+/// ("Initialization ... consists mainly of the time spent generating the
+/// DEF and UBD sets for each basic block").
+///
+/// A call terminator's register uses (e.g. jsr_r's target register) are
+/// included in UBD, but its def of ra is excluded: the ra def is modelled
+/// on the call-return edge by the interprocedural analyses.
+void computeDefUbd(Program &Prog);
+
+/// Returns the index of the routine containing \p Address, or -1.
+int32_t findRoutineByAddress(const Program &Prog, uint64_t Address);
+
+} // namespace spike
+
+#endif // SPIKE_CFG_CFGBUILDER_H

@@ -1,0 +1,186 @@
+//===- cfg/Program.h - Decoded program, routines, basic blocks -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded whole-program model the analyses run over.
+///
+/// A Program is built from an Image by the CFG builder: the code section is
+/// decoded, partitioned into routines at primary symbol addresses, and each
+/// routine is split into basic blocks.  Following the paper, a basic block
+/// is ended by a branch *or by a call instruction* ("the following
+/// discussion assumes a basic block is ended by a call instruction"), so a
+/// block contains at most one call, as its terminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_CFG_PROGRAM_H
+#define SPIKE_CFG_PROGRAM_H
+
+#include "binary/Image.h"
+#include "isa/CallingConv.h"
+#include "isa/Instruction.h"
+#include "support/RegSet.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// How a basic block transfers control at its end.
+enum class TerminatorKind : uint8_t {
+  FallThrough,    ///< No terminator instruction; falls into the next block.
+  Branch,         ///< Unconditional intra-routine branch.
+  CondBranch,     ///< Conditional branch: target + fall-through.
+  Call,           ///< Direct call; falls through to the return point.
+  IndirectCall,   ///< Call through a register; falls through.
+  Return,         ///< Routine exit.
+  TableJump,      ///< Multiway branch through an extracted jump table.
+  UnresolvedJump, ///< Indirect jump with unknown targets (Section 3.5).
+  Halt,           ///< Program termination.
+};
+
+/// A basic block: the half-open instruction range [Begin, End).
+struct BasicBlock {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+
+  /// Intra-routine successor / predecessor block indices.  Call blocks
+  /// have their return point (fall-through block) as successor; the
+  /// interprocedural effect of the call is modelled by the analyses, not
+  /// by CFG arcs.
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+
+  TerminatorKind Term = TerminatorKind::FallThrough;
+
+  /// For (direct) Call: target routine index, else -1.
+  int32_t CalleeRoutine = -1;
+
+  /// For Call: index into the callee's EntryAddresses for the targeted
+  /// entrance, else -1.  (Calls may target secondary entrances.)
+  int32_t CalleeEntry = -1;
+
+  /// For TableJump: jump-table index in the image, else -1.
+  int32_t JumpTableIndex = -1;
+
+  /// Registers defined in the block (the call terminator's own def of ra
+  /// is excluded; it is modelled on the call-return edge).
+  RegSet Def;
+
+  /// Registers used before being defined in the block (includes uses by
+  /// the terminator itself, e.g. ret's use of ra or jsr_r's use of its
+  /// target register).
+  RegSet Ubd;
+
+  /// Returns the number of instructions in the block.
+  uint64_t size() const { return End - Begin; }
+
+  /// Returns true if the block ends with a (direct or indirect) call.
+  bool endsWithCall() const {
+    return Term == TerminatorKind::Call ||
+           Term == TerminatorKind::IndirectCall;
+  }
+};
+
+/// A routine: a contiguous instruction range with one or more entrances.
+struct Routine {
+  std::string Name;
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+
+  std::vector<BasicBlock> Blocks;
+
+  /// Entrance addresses: EntryAddresses[0] is the primary entry; the rest
+  /// are secondary entrances (extra symbols or call-targeted addresses).
+  std::vector<uint64_t> EntryAddresses;
+
+  /// Block index of each entrance (parallel to EntryAddresses).
+  std::vector<uint32_t> EntryBlocks;
+
+  /// Blocks ending with Return, in block-index order.
+  std::vector<uint32_t> ExitBlocks;
+
+  /// Blocks ending with a call, in block-index order (the routine's call
+  /// sites).
+  std::vector<uint32_t> CallBlocks;
+
+  /// True if the routine's address escapes: it may be called indirectly
+  /// and may return to unknown callers.
+  bool AddressTaken = false;
+
+  /// Number of conditional + unconditional + multiway branch terminators
+  /// (Table 3's "Branches/Routine" statistic).
+  unsigned NumBranches = 0;
+
+  /// Returns the number of entrances.
+  unsigned numEntries() const { return unsigned(EntryAddresses.size()); }
+};
+
+/// Targets of one jump table (address list), decoded form.
+struct JumpTableTargets {
+  std::vector<uint64_t> Targets;
+};
+
+/// The decoded whole program.
+struct Program {
+  /// Decoded instructions, indexed by address.
+  std::vector<Instruction> Insts;
+
+  /// Jump tables copied from the image.
+  std::vector<JumpTableTargets> JumpTables;
+
+  /// Routines in address order.
+  std::vector<Routine> Routines;
+
+  /// Index of the routine containing the program entry point, or -1.
+  int32_t EntryRoutine = -1;
+
+  /// The calling standard in effect.
+  CallingConv Conv;
+
+  /// Section 3.5 side tables, keyed by instruction address (copied from
+  /// the image by the CFG builder).
+  std::map<uint64_t, IndirectCallAnnotation> CallAnnotations;
+  std::map<uint64_t, RegSet> JumpLiveAnnotations;
+
+  /// Returns the annotation for the indirect call at \p Address, or null.
+  const IndirectCallAnnotation *callAnnotationAt(uint64_t Address) const {
+    auto It = CallAnnotations.find(Address);
+    return It == CallAnnotations.end() ? nullptr : &It->second;
+  }
+
+  /// Returns the registers assumed live at the target of the unresolved
+  /// jump at \p Address: its annotation, or (absent one) all registers.
+  RegSet jumpTargetLive(uint64_t Address) const {
+    auto It = JumpLiveAnnotations.find(Address);
+    return It == JumpLiveAnnotations.end() ? RegSet::allBelow(NumIntRegs)
+                                           : It->second;
+  }
+
+  /// Returns the total number of basic blocks (Table 2 statistic).
+  uint64_t numBlocks() const {
+    uint64_t Count = 0;
+    for (const Routine &R : Routines)
+      Count += R.Blocks.size();
+    return Count;
+  }
+
+  /// Returns the total number of intra-routine CFG arcs, not counting
+  /// call/return arcs.
+  uint64_t numArcs() const {
+    uint64_t Count = 0;
+    for (const Routine &R : Routines)
+      for (const BasicBlock &B : R.Blocks)
+        Count += B.Succs.size();
+    return Count;
+  }
+};
+
+} // namespace spike
+
+#endif // SPIKE_CFG_PROGRAM_H

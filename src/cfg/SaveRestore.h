@@ -1,0 +1,59 @@
+//===- cfg/SaveRestore.h - Callee-saved save/restore detection -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detects which callee-saved registers a routine saves and restores.
+///
+/// Section 3.4: "after computing the MAY-USE, MAY-DEF, and MUST-DEF sets
+/// for an entry node, Spike removes from those sets any callee-saved
+/// registers saved and restored by the corresponding routine, preventing
+/// callee-saved register definitions and uses within a routine from
+/// propagating to the callers."
+///
+/// Detection is deliberately conservative: a register counts as saved and
+/// restored only when every entrance block stores it to a stack slot
+/// before any other def or use, and every exit block reloads it from the
+/// same slot with no later redefinition.  Anything cleverer (shrink
+/// wrapping, moves through other registers) is simply not filtered, which
+/// is safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_CFG_SAVERESTORE_H
+#define SPIKE_CFG_SAVERESTORE_H
+
+#include "cfg/Program.h"
+#include "support/RegSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// Where one callee-saved register is saved and restored.
+struct SavedRegInfo {
+  unsigned Reg = 0;
+  int32_t Slot = 0;                     ///< sp-relative displacement.
+  std::vector<uint64_t> SaveAddrs;      ///< One store per entrance.
+  std::vector<uint64_t> RestoreAddrs;   ///< One load per exit.
+};
+
+/// The callee-saved save/restore summary of one routine.
+struct SaveRestoreInfo {
+  /// Registers proven saved-and-restored (the Section 3.4 filter set).
+  RegSet Saved;
+
+  /// Instruction-level details, for optimizations that delete or retarget
+  /// the save/restore code (Figure 1(d)).
+  std::vector<SavedRegInfo> Details;
+};
+
+/// Analyzes routine \p R of \p Prog.
+SaveRestoreInfo analyzeSaveRestore(const Program &Prog, const Routine &R);
+
+} // namespace spike
+
+#endif // SPIKE_CFG_SAVERESTORE_H

@@ -1,0 +1,61 @@
+//===- dataflow/CallPolicy.h - Indirect call/jump assumptions -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for what the analyses assume at indirect
+/// call sites and unresolved indirect jumps (Section 3.5).
+///
+/// Without extra information, an indirect call is assumed to obey the
+/// calling standard and an unresolved jump to reach code where every
+/// register is live.  When the image carries compiler/linker annotations
+/// (the accuracy improvement the paper proposes), those exact sets are
+/// used instead.  Every consumer — the PSG builder and solvers, the CFG
+/// two-phase reference, the supergraph baseline, and the optimizers —
+/// goes through these helpers so they cannot drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_DATAFLOW_CALLPOLICY_H
+#define SPIKE_DATAFLOW_CALLPOLICY_H
+
+#include "cfg/Program.h"
+#include "dataflow/FlowSets.h"
+
+namespace spike {
+
+/// Returns the call-return summary label for the indirect call that
+/// terminates \p Block (the jsr_r's own def of ra already folded in).
+inline FlowSets indirectCallLabel(const Program &Prog,
+                                  const BasicBlock &Block) {
+  RegSet RaOnly;
+  RaOnly.insert(Prog.Conv.RaReg);
+  FlowSets Label;
+  if (const IndirectCallAnnotation *Annot =
+          Prog.callAnnotationAt(Block.End - 1)) {
+    Label.MayUse = Annot->Used - RaOnly;
+    Label.MustDef = Annot->Defined | RaOnly;
+    Label.MayDef = Annot->Killed | Annot->Defined | RaOnly;
+    return Label;
+  }
+  Label.MayUse = Prog.Conv.indirectCallUsed() - RaOnly;
+  Label.MustDef = Prog.Conv.indirectCallDefined() | RaOnly;
+  Label.MayDef = Prog.Conv.indirectCallKilled() | RaOnly;
+  return Label;
+}
+
+/// Returns the phase-1 boundary value at the unresolved indirect jump
+/// terminating \p Block: the annotated live set when present (unknown
+/// code may still define anything and guarantees nothing), all registers
+/// otherwise.
+inline FlowSets unknownJumpBoundary(const Program &Prog,
+                                    const BasicBlock &Block) {
+  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
+  return FlowSets{Prog.jumpTargetLive(Block.End - 1), AllRegs, RegSet()};
+}
+
+} // namespace spike
+
+#endif // SPIKE_DATAFLOW_CALLPOLICY_H

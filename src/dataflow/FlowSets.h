@@ -1,0 +1,87 @@
+//===- dataflow/FlowSets.h - MAY-USE/MAY-DEF/MUST-DEF triples -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three-set dataflow value used throughout the paper and the
+/// Figure 6 transfer/meet algebra over it.
+///
+/// For a program point p (looking "downward" along paths to some sink):
+///   - MAY-USE: registers that may be used before being defined,
+///   - MAY-DEF: registers that may be defined,
+///   - MUST-DEF: registers that must be defined on every path.
+///
+/// The meet combines paths: union for the MAY sets, intersection for
+/// MUST-DEF.  The transfer through a basic block with DEF/UBD sets is
+/// exactly Figure 6:
+///
+///   MAY-USE_in  = UBD ∪ (MAY-USE_out − DEF)
+///   MAY-DEF_in  = MAY-DEF_out ∪ DEF
+///   MUST-DEF_in = MUST-DEF_out ∪ DEF
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_DATAFLOW_FLOWSETS_H
+#define SPIKE_DATAFLOW_FLOWSETS_H
+
+#include "support/RegSet.h"
+
+namespace spike {
+
+/// A (MAY-USE, MAY-DEF, MUST-DEF) triple.
+struct FlowSets {
+  RegSet MayUse;
+  RegSet MayDef;
+  RegSet MustDef;
+
+  bool operator==(const FlowSets &Other) const = default;
+
+  /// The bottom element for forward accumulation: all sets empty.  Note
+  /// that MUST-DEF's natural bottom under path-meet is "all registers";
+  /// solvers that meet over paths should start sinks at the appropriate
+  /// boundary value and recompute full meets per node.
+  static FlowSets empty() { return FlowSets(); }
+
+  /// The boundary value at a point after which nothing executes on a
+  /// *returning* path (a routine exit): nothing used, nothing defined.
+  static FlowSets atExit() { return FlowSets(); }
+
+  /// The boundary value for a point from which control never returns
+  /// (halt): MUST-DEF is top so non-returning paths do not weaken the
+  /// meet along returning paths.
+  static FlowSets afterHalt(RegSet AllRegs) {
+    return FlowSets{RegSet(), RegSet(), AllRegs};
+  }
+
+  /// The boundary value at an unresolved indirect jump: unknown code may
+  /// use or define anything and guarantees nothing (Section 3.5).
+  static FlowSets unknownCode(RegSet AllRegs) {
+    return FlowSets{AllRegs, AllRegs, RegSet()};
+  }
+
+  /// Path meet: union MAY sets, intersect MUST-DEF.
+  FlowSets meet(const FlowSets &Other) const {
+    return FlowSets{MayUse | Other.MayUse, MayDef | Other.MayDef,
+                    MustDef & Other.MustDef};
+  }
+
+  /// Figure 6 transfer: propagates this value backward through a block
+  /// (or any region) with the given \p Def and \p Ubd sets.
+  FlowSets transferThrough(RegSet Def, RegSet Ubd) const {
+    return FlowSets{Ubd | (MayUse - Def), MayDef | Def, MustDef | Def};
+  }
+
+  /// Sequential composition with a summarized region (a PSG edge label or
+  /// a call-return summary) whose own sets are \p Edge: first the region
+  /// executes, then paths continue with this value (Figures 8 and 10).
+  FlowSets throughSummary(const FlowSets &Edge) const {
+    return FlowSets{Edge.MayUse | (MayUse - Edge.MustDef),
+                    MayDef | Edge.MayDef, MustDef | Edge.MustDef};
+  }
+};
+
+} // namespace spike
+
+#endif // SPIKE_DATAFLOW_FLOWSETS_H

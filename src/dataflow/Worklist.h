@@ -1,0 +1,64 @@
+//===- dataflow/Worklist.h - Deduplicating index worklist -----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO worklist over dense indices with O(1) duplicate suppression,
+/// used by every iterative dataflow solver in the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_DATAFLOW_WORKLIST_H
+#define SPIKE_DATAFLOW_WORKLIST_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace spike {
+
+/// FIFO worklist over indices [0, Size).  push() of an element already in
+/// the list is a no-op.
+class Worklist {
+public:
+  explicit Worklist(size_t Size) : InList(Size, false) {}
+
+  /// Adds \p Index unless already queued.
+  void push(uint32_t Index) {
+    assert(Index < InList.size() && "index out of range");
+    if (InList[Index])
+      return;
+    InList[Index] = true;
+    Queue.push_back(Index);
+  }
+
+  /// Adds every index in [0, size).
+  void pushAll() {
+    for (uint32_t Index = 0; Index < InList.size(); ++Index)
+      push(Index);
+  }
+
+  /// Removes and returns the next index.
+  uint32_t pop() {
+    assert(!empty() && "pop from empty worklist");
+    uint32_t Index = Queue.front();
+    Queue.pop_front();
+    InList[Index] = false;
+    return Index;
+  }
+
+  bool empty() const { return Queue.empty(); }
+
+  size_t size() const { return Queue.size(); }
+
+private:
+  std::vector<bool> InList;
+  std::deque<uint32_t> Queue;
+};
+
+} // namespace spike
+
+#endif // SPIKE_DATAFLOW_WORKLIST_H

@@ -1,0 +1,291 @@
+//===- interproc/CfgTwoPhase.cpp - CFG-level reference analysis ----------===//
+
+#include "interproc/CfgTwoPhase.h"
+
+#include "dataflow/FlowSets.h"
+#include "dataflow/Liveness.h"
+#include "dataflow/CallPolicy.h"
+#include "dataflow/Worklist.h"
+#include "psg/PsgSolver.h"
+
+#include <cassert>
+
+using namespace spike;
+
+namespace {
+
+/// Shared state of the reference analysis.
+class TwoPhaseEngine {
+public:
+  TwoPhaseEngine(const Program &Prog,
+                 const std::vector<RegSet> &SavedPerRoutine)
+      : Prog(Prog), Saved(SavedPerRoutine) {
+    RaOnly.insert(Prog.Conv.RaReg);
+    AllRegs = RegSet::allBelow(NumIntRegs);
+    EntrySets.resize(Prog.Routines.size());
+    LiveAtExit.assign(Prog.Routines.size(), RegSet());
+    LiveAtEntry.resize(Prog.Routines.size());
+    for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+         ++RoutineIndex) {
+      // Entry MUST-DEF starts at top, like every must-problem variable.
+      EntrySets[RoutineIndex].assign(
+          Prog.Routines[RoutineIndex].numEntries(),
+          FlowSets{RegSet(), RegSet(), AllRegs});
+      LiveAtEntry[RoutineIndex].resize(
+          Prog.Routines[RoutineIndex].numEntries());
+    }
+    buildCallers();
+  }
+
+  void run() {
+    runPhase1();
+    runPhase2();
+  }
+
+  InterprocSummaries takeResults() {
+    InterprocSummaries Result;
+    Result.Routines.resize(Prog.Routines.size());
+    for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+         ++RoutineIndex) {
+      const Routine &R = Prog.Routines[RoutineIndex];
+      RoutineResults &Out = Result.Routines[RoutineIndex];
+      for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
+           ++EntryIndex) {
+        FlowSets Filtered = filterCalleeSaved(
+            EntrySets[RoutineIndex][EntryIndex], Saved[RoutineIndex]);
+        // Cap call-defined by call-killed, as extractSummaries does.
+        Out.EntrySummaries.push_back({Filtered.MayUse,
+                                      Filtered.MustDef & Filtered.MayDef,
+                                      Filtered.MayDef});
+        Out.LiveAtEntry.push_back(LiveAtEntry[RoutineIndex][EntryIndex]);
+      }
+      // Any exit can return to any caller, so all exits of a routine
+      // share one live-at-exit value.
+      Out.LiveAtExit.assign(R.ExitBlocks.size(),
+                            LiveAtExit[RoutineIndex]);
+    }
+    return Result;
+  }
+
+private:
+  void buildCallers() {
+    Callers.resize(Prog.Routines.size());
+    for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+         ++RoutineIndex)
+      for (uint32_t Block : Prog.Routines[RoutineIndex].CallBlocks) {
+        const BasicBlock &BlockRef =
+            Prog.Routines[RoutineIndex].Blocks[Block];
+        if (BlockRef.Term == TerminatorKind::Call)
+          Callers[BlockRef.CalleeRoutine].push_back(RoutineIndex);
+      }
+  }
+
+  /// The phase-1 call-return summary of the call ending \p Block, with
+  /// the Section 3.4 filter and the caller-side ra fold applied.
+  FlowSets crLabel(const BasicBlock &Block) const {
+    FlowSets Label;
+    if (Block.Term == TerminatorKind::Call) {
+      FlowSets Filtered = filterCalleeSaved(
+          EntrySets[Block.CalleeRoutine][uint32_t(Block.CalleeEntry)],
+          Saved[Block.CalleeRoutine]);
+      Label.MayUse = Filtered.MayUse - RaOnly;
+      Label.MayDef = Filtered.MayDef | RaOnly;
+      Label.MustDef = Filtered.MustDef | RaOnly;
+    } else {
+      Label = indirectCallLabel(Prog, Block);
+    }
+    return Label;
+  }
+
+  /// Solves the intra-routine three-set problem for routine
+  /// \p RoutineIndex with the current callee summaries; returns the IN
+  /// value of every block.
+  std::vector<FlowSets> solveRoutineSets(uint32_t RoutineIndex) const {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    // MUST-DEF starts at top (must problem, greatest fixpoint); the MAY
+    // sets start at bottom — matching the PSG solvers.
+    std::vector<FlowSets> In(R.Blocks.size(),
+                             FlowSets{RegSet(), RegSet(), AllRegs});
+    Worklist List(static_cast<uint32_t>(R.Blocks.size()));
+    List.pushAll();
+    while (!List.empty()) {
+      uint32_t BlockIndex = List.pop();
+      const BasicBlock &Block = R.Blocks[BlockIndex];
+      FlowSets Out;
+      switch (Block.Term) {
+      case TerminatorKind::Return:
+        Out = FlowSets::atExit();
+        break;
+      case TerminatorKind::UnresolvedJump:
+        Out = unknownJumpBoundary(Prog, Block);
+        break;
+      case TerminatorKind::Halt:
+        Out = FlowSets::afterHalt(AllRegs);
+        break;
+      default: {
+        bool First = true;
+        for (uint32_t Succ : Block.Succs) {
+          Out = First ? In[Succ] : Out.meet(In[Succ]);
+          First = false;
+        }
+        if (First)
+          Out = FlowSets::afterHalt(AllRegs); // Dead end: no paths.
+        break;
+      }
+      }
+      if (Block.endsWithCall())
+        Out = Out.throughSummary(crLabel(Block));
+      FlowSets NewIn = Out.transferThrough(Block.Def, Block.Ubd);
+      if (NewIn == In[BlockIndex])
+        continue;
+      In[BlockIndex] = NewIn;
+      for (uint32_t Pred : Block.Preds)
+        List.push(Pred);
+    }
+    return In;
+  }
+
+  // Like the PSG solver, phase 1 runs in two passes: the MAY-USE
+  // equation subtracts callee MUST-DEF, so iterating everything at once
+  // is non-monotone and can oscillate on recursive call graphs.  Pass A
+  // converges the (monotone, self-contained) MUST-DEF/MAY-DEF summaries;
+  // pass B restarts MAY-USE from bottom with them frozen.
+  void runPhase1() {
+    {
+      Worklist List(static_cast<uint32_t>(Prog.Routines.size()));
+      List.pushAll();
+      while (!List.empty()) {
+        uint32_t RoutineIndex = List.pop();
+        const Routine &R = Prog.Routines[RoutineIndex];
+        std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
+        bool Changed = false;
+        for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
+             ++EntryIndex) {
+          const FlowSets &NewSets = In[R.EntryBlocks[EntryIndex]];
+          FlowSets &Stored = EntrySets[RoutineIndex][EntryIndex];
+          if (NewSets.MustDef != Stored.MustDef ||
+              NewSets.MayDef != Stored.MayDef)
+            Changed = true;
+          Stored = NewSets;
+        }
+        if (Changed)
+          for (uint32_t Caller : Callers[RoutineIndex])
+            List.push(Caller);
+      }
+    }
+
+    for (auto &PerEntry : EntrySets)
+      for (FlowSets &Sets : PerEntry)
+        Sets.MayUse = RegSet();
+
+    {
+      Worklist List(static_cast<uint32_t>(Prog.Routines.size()));
+      List.pushAll();
+      while (!List.empty()) {
+        uint32_t RoutineIndex = List.pop();
+        const Routine &R = Prog.Routines[RoutineIndex];
+        std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
+        bool Changed = false;
+        for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
+             ++EntryIndex) {
+          RegSet NewMayUse = In[R.EntryBlocks[EntryIndex]].MayUse;
+          FlowSets &Stored = EntrySets[RoutineIndex][EntryIndex];
+          if (NewMayUse != Stored.MayUse)
+            Changed = true;
+          Stored.MayUse = NewMayUse;
+        }
+        if (Changed)
+          for (uint32_t Caller : Callers[RoutineIndex])
+            List.push(Caller);
+      }
+    }
+  }
+
+  /// Solves intra-routine liveness for \p RoutineIndex with the current
+  /// exit seeds and call summaries.
+  LivenessResult solveRoutineLiveness(uint32_t RoutineIndex) const {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    RegSet ExitLive = LiveAtExit[RoutineIndex];
+    return solveLiveness(
+        R,
+        [&](uint32_t BlockIndex) {
+          FlowSets Label = crLabel(R.Blocks[BlockIndex]);
+          return CallEffect{Label.MayUse, Label.MustDef};
+        },
+        [&](uint32_t) { return ExitLive; },
+        [&](uint32_t BlockIndex) {
+          return Prog.jumpTargetLive(R.Blocks[BlockIndex].End - 1);
+        });
+  }
+
+  void runPhase2() {
+    RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();
+    for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+         ++RoutineIndex)
+      if (int32_t(RoutineIndex) == Prog.EntryRoutine ||
+          Prog.Routines[RoutineIndex].AddressTaken)
+        LiveAtExit[RoutineIndex] = UnknownCallerLive;
+
+    RegSet IndirectAccum;
+    Worklist List(static_cast<uint32_t>(Prog.Routines.size()));
+    List.pushAll();
+    while (!List.empty()) {
+      uint32_t RoutineIndex = List.pop();
+      const Routine &R = Prog.Routines[RoutineIndex];
+      LivenessResult Live = solveRoutineLiveness(RoutineIndex);
+
+      for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
+           ++EntryIndex)
+        LiveAtEntry[RoutineIndex][EntryIndex] =
+            Live.LiveIn[R.EntryBlocks[EntryIndex]];
+
+      // Propagate return-point liveness to callee exits.
+      for (uint32_t Block : R.CallBlocks) {
+        const BasicBlock &BlockRef = R.Blocks[Block];
+        RegSet AtReturn = Live.LiveOut[Block];
+        if (BlockRef.Term == TerminatorKind::Call) {
+          uint32_t Callee = BlockRef.CalleeRoutine;
+          if (!LiveAtExit[Callee].containsAll(AtReturn)) {
+            LiveAtExit[Callee] |= AtReturn;
+            List.push(Callee);
+          }
+        } else if (!IndirectAccum.containsAll(AtReturn)) {
+          IndirectAccum |= AtReturn;
+          for (uint32_t Other = 0; Other < Prog.Routines.size(); ++Other)
+            if (Prog.Routines[Other].AddressTaken &&
+                !LiveAtExit[Other].containsAll(IndirectAccum)) {
+              LiveAtExit[Other] |= IndirectAccum;
+              List.push(Other);
+            }
+        }
+      }
+    }
+  }
+
+  const Program &Prog;
+  const std::vector<RegSet> &Saved;
+  RegSet RaOnly;
+  RegSet AllRegs;
+
+  /// Unfiltered entry IN sets, per routine per entrance.
+  std::vector<std::vector<FlowSets>> EntrySets;
+
+  /// Per-routine live-at-exit (shared by all exits of a routine).
+  std::vector<RegSet> LiveAtExit;
+
+  /// Per-routine per-entrance live-at-entry.
+  std::vector<std::vector<RegSet>> LiveAtEntry;
+
+  /// Reverse call graph (direct calls only).
+  std::vector<std::vector<uint32_t>> Callers;
+};
+
+} // namespace
+
+InterprocSummaries
+spike::runCfgTwoPhase(const Program &Prog,
+                      const std::vector<RegSet> &SavedPerRoutine) {
+  TwoPhaseEngine Engine(Prog, SavedPerRoutine);
+  Engine.run();
+  return Engine.takeResults();
+}

@@ -1,0 +1,41 @@
+//===- interproc/CfgTwoPhase.h - CFG-level reference analysis -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference implementation of the paper's two-phase interprocedural
+/// analysis computed directly on per-routine CFGs, without the PSG.
+///
+/// It computes exactly the meet-over-all-valid-paths solution the PSG
+/// computes — same call-return summarization (phase 1), same caller-seeded
+/// exit liveness (phase 2), same Section 3.4/3.5 rules — but iterates at
+/// basic-block granularity.  Its only purpose is to be obviously correct
+/// and slow: the property tests assert that the PSG analysis produces
+/// identical summaries and live sets on randomized programs, and the
+/// ablation bench measures the PSG's compaction payoff against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_INTERPROC_CFGTWOPHASE_H
+#define SPIKE_INTERPROC_CFGTWOPHASE_H
+
+#include "cfg/Program.h"
+#include "psg/Summaries.h"
+#include "support/RegSet.h"
+
+#include <vector>
+
+namespace spike {
+
+/// Runs the reference two-phase analysis on \p Prog.
+/// \p SavedPerRoutine is the per-routine Section 3.4 filter set (use the
+/// same sets as the PSG run for apples-to-apples comparison).
+InterprocSummaries
+runCfgTwoPhase(const Program &Prog,
+               const std::vector<RegSet> &SavedPerRoutine);
+
+} // namespace spike
+
+#endif // SPIKE_INTERPROC_CFGTWOPHASE_H

@@ -1,0 +1,82 @@
+//===- interproc/Supergraph.h - Whole-program CFG baseline ----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline the paper's compact representation is measured against:
+/// interprocedural dataflow over the program's entire control-flow graph,
+/// "constructed by connecting the CFG representing each routine with
+/// additional arcs representing calls and returns between the routines"
+/// ([Srivastava93]; Figure 2 of the paper).
+///
+/// The supergraph is context-insensitive: liveness computed over it is
+/// the meet over *all* paths, including invalid call/return pairings, so
+/// its live sets are supersets of the PSG's valid-path solution (the
+/// containment is property-tested).  Indirect calls are wired through a
+/// pair of hub nodes to every address-taken routine, keeping the arc
+/// count linear.
+///
+/// Table 5 uses the supergraph's block and arc counts; the ablation
+/// bench compares its solve time against the PSG pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_INTERPROC_SUPERGRAPH_H
+#define SPIKE_INTERPROC_SUPERGRAPH_H
+
+#include "cfg/Program.h"
+#include "support/RegSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// The flattened whole-program graph.
+struct Supergraph {
+  /// Global node id of routine r's block b is BlockBase[r] + b.  Two
+  /// extra nodes follow the blocks when indirect calls exist: the
+  /// indirect-call hub (HubCall) and the indirect-return hub (HubReturn).
+  std::vector<uint32_t> BlockBase;
+  uint32_t NumNodes = 0;
+  int64_t HubCall = -1;
+  int64_t HubReturn = -1;
+
+  /// CSR successor / predecessor adjacency.
+  std::vector<uint32_t> SuccBegin, SuccIds;
+  std::vector<uint32_t> PredBegin, PredIds;
+
+  /// Arc-count statistics.
+  uint64_t NumIntraArcs = 0;
+  uint64_t NumCallArcs = 0;   ///< Call block -> callee entry block.
+  uint64_t NumReturnArcs = 0; ///< Callee exit block -> return point.
+
+  uint64_t numArcs() const {
+    return NumIntraArcs + NumCallArcs + NumReturnArcs;
+  }
+
+  /// Returns the global node id of (routine, block).
+  uint32_t nodeOf(uint32_t RoutineIndex, uint32_t BlockIndex) const {
+    return BlockBase[RoutineIndex] + BlockIndex;
+  }
+};
+
+/// Builds the supergraph of \p Prog.
+Supergraph buildSupergraph(const Program &Prog);
+
+/// Per-block live-in/live-out over the supergraph.
+struct SupergraphLiveness {
+  std::vector<RegSet> LiveIn;  ///< Indexed by global node id.
+  std::vector<RegSet> LiveOut;
+};
+
+/// Solves whole-program liveness over the supergraph: call arcs enter the
+/// callee, return arcs leave its exits, no summaries anywhere.
+SupergraphLiveness solveSupergraphLiveness(const Program &Prog,
+                                           const Supergraph &Graph);
+
+} // namespace spike
+
+#endif // SPIKE_INTERPROC_SUPERGRAPH_H

@@ -1,0 +1,108 @@
+//===- isa/CallingConv.h - Alpha-NT-style calling standard ----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The calling standard of the synthetic ISA, mirroring the Windows NT
+/// calling standard for Alpha referenced by the paper as [CALLSTD].
+///
+/// Two parts of the analysis depend on it:
+///   - Section 3.4: callee-saved registers saved and restored by a routine
+///     must not appear call-used/call-killed/call-defined to callers.
+///   - Section 3.5: indirect calls to unknown targets are assumed to obey
+///     the calling standard (argument registers call-used, return-value
+///     registers call-defined, temporaries call-killed), and unresolved
+///     indirect jumps make all registers live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_ISA_CALLINGCONV_H
+#define SPIKE_ISA_CALLINGCONV_H
+
+#include "isa/Registers.h"
+#include "support/RegSet.h"
+
+namespace spike {
+
+/// The register-role sets of the calling standard.
+///
+/// All members are value sets; the default-constructed object describes the
+/// standard Alpha-NT-like convention.  Tests construct variants to check
+/// that the analysis honors whatever convention it is given.
+struct CallingConv {
+  /// Registers used to pass arguments (a0..a5).
+  RegSet ArgRegs = {reg::A0, reg::A0 + 1, reg::A0 + 2,
+                    reg::A0 + 3, reg::A0 + 4, reg::A5};
+
+  /// Registers holding return values (v0).
+  RegSet RetRegs = {reg::V0};
+
+  /// Callee-saved registers (s0..s5, fp): a routine must save them before
+  /// use and restore them before returning.
+  RegSet CalleeSaved = {reg::S0, reg::S0 + 1, reg::S0 + 2,
+                        reg::S0 + 3, reg::S0 + 4, reg::S5, reg::FP};
+
+  /// Caller-saved scratch registers (t0..t7, t8..t11, pv, at).
+  RegSet Temporaries = {1,  2,  3,  4,  5,  6,  7,  8,
+                        reg::T8, 23, 24, reg::T11, reg::PV, reg::AT};
+
+  /// The return-address register (ra).
+  unsigned RaReg = reg::RA;
+
+  /// The stack pointer (sp); preserved across calls by convention.
+  unsigned SpReg = reg::SP;
+
+  /// The global pointer (gp); preserved across calls by convention here.
+  unsigned GpReg = reg::GP;
+
+  /// The hardwired zero register.
+  unsigned ZeroReg = reg::Zero;
+
+  /// Registers assumed used by an indirect call to an unknown target
+  /// (arguments plus the procedure value used to reach the callee).
+  RegSet indirectCallUsed() const {
+    RegSet S = ArgRegs;
+    S.insert(reg::PV);
+    S.insert(GpReg);
+    S.insert(SpReg);
+    return S;
+  }
+
+  /// Registers assumed defined by an indirect call to an unknown target.
+  RegSet indirectCallDefined() const { return RetRegs; }
+
+  /// Registers assumed killed by an indirect call to an unknown target:
+  /// everything the standard does not require the callee to preserve.
+  RegSet indirectCallKilled() const {
+    RegSet Killed = Temporaries | RetRegs | ArgRegs;
+    Killed.insert(RaReg);
+    return Killed;
+  }
+
+  /// Registers assumed live at the target of an unresolved indirect jump
+  /// (Section 3.5: "conservatively assumes that all registers are live").
+  RegSet unknownJumpLive() const { return RegSet::allBelow(NumIntRegs); }
+
+  /// Registers preserved across any standard-conforming call (callee-saved
+  /// plus sp/gp/zero).
+  RegSet preservedAcrossCalls() const {
+    RegSet S = CalleeSaved;
+    S.insert(SpReg);
+    S.insert(GpReg);
+    S.insert(ZeroReg);
+    return S;
+  }
+
+  /// Registers assumed live when a routine returns to an unknown caller
+  /// (e.g. the program entry routine or address-taken routines): the
+  /// return values plus everything the routine was required to preserve.
+  RegSet unknownCallerLiveAtExit() const {
+    return RetRegs | preservedAcrossCalls();
+  }
+};
+
+} // namespace spike
+
+#endif // SPIKE_ISA_CALLINGCONV_H

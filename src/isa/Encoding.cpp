@@ -1,0 +1,30 @@
+//===- isa/Encoding.cpp - Instruction word encode/decode -----------------===//
+
+#include "isa/Encoding.h"
+
+using namespace spike;
+
+uint64_t spike::encodeInstruction(const Instruction &Inst) {
+  uint64_t Word = 0;
+  Word |= uint64_t(uint8_t(Inst.Op)) << 56;
+  Word |= uint64_t(Inst.Ra) << 48;
+  Word |= uint64_t(Inst.Rb) << 40;
+  Word |= uint64_t(Inst.Rc) << 32;
+  Word |= uint64_t(uint32_t(Inst.Imm));
+  return Word;
+}
+
+std::optional<Instruction> spike::decodeInstruction(uint64_t Word) {
+  Instruction Inst;
+  unsigned Op = unsigned((Word >> 56) & 0xff);
+  if (Op >= NumOpcodes)
+    return std::nullopt;
+  Inst.Op = Opcode(Op);
+  Inst.Ra = uint8_t((Word >> 48) & 0xff);
+  Inst.Rb = uint8_t((Word >> 40) & 0xff);
+  Inst.Rc = uint8_t((Word >> 32) & 0xff);
+  Inst.Imm = int32_t(uint32_t(Word & 0xffffffff));
+  if (Inst.Ra >= NumIntRegs || Inst.Rb >= NumIntRegs || Inst.Rc >= NumIntRegs)
+    return std::nullopt;
+  return Inst;
+}

@@ -1,0 +1,309 @@
+//===- isa/Instruction.cpp - Synthetic ISA instructions ------------------===//
+
+#include "isa/Instruction.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace spike;
+
+static const OpcodeInfo OpcodeTable[] = {
+    // Name      Format                     CB     UB     Call   ICall  Ret    Tab    UJmp   Ld     St     Halt
+    {"add",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"sub",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"and",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"or",      OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"xor",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"sll",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"srl",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"mul",     OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"cmpeq",   OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"cmplt",   OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"cmple",   OperandFormat::RRR,        false, false, false, false, false, false, false, false, false, false},
+    {"addi",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"subi",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"andi",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"ori",     OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"xori",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"slli",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"srli",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"muli",    OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"cmpeqi",  OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"cmplti",  OperandFormat::RRI,        false, false, false, false, false, false, false, false, false, false},
+    {"lda",     OperandFormat::RI,         false, false, false, false, false, false, false, false, false, false},
+    {"mov",     OperandFormat::RR,         false, false, false, false, false, false, false, false, false, false},
+    {"ldq",     OperandFormat::Load,       false, false, false, false, false, false, false, true,  false, false},
+    {"stq",     OperandFormat::Store,      false, false, false, false, false, false, false, false, true,  false},
+    {"br",      OperandFormat::BranchDisp, false, true,  false, false, false, false, false, false, false, false},
+    {"beq",     OperandFormat::CondBranch, true,  false, false, false, false, false, false, false, false, false},
+    {"bne",     OperandFormat::CondBranch, true,  false, false, false, false, false, false, false, false, false},
+    {"blt",     OperandFormat::CondBranch, true,  false, false, false, false, false, false, false, false, false},
+    {"bge",     OperandFormat::CondBranch, true,  false, false, false, false, false, false, false, false, false},
+    {"jsr",     OperandFormat::CallAbs,    false, false, true,  false, false, false, false, false, false, false},
+    {"jsr_r",   OperandFormat::CallReg,    false, false, true,  true,  false, false, false, false, false, false},
+    {"ret",     OperandFormat::None,       false, false, false, false, true,  false, false, false, false, false},
+    {"jmp_tab", OperandFormat::TableJump,  false, false, false, false, false, true,  false, false, false, false},
+    {"jmp_r",   OperandFormat::RegJump,    false, false, false, false, false, false, true,  false, false, false},
+    {"nop",     OperandFormat::None,       false, false, false, false, false, false, false, false, false, false},
+    {"halt",    OperandFormat::HaltFmt,    false, false, false, false, false, false, false, false, false, true},
+};
+
+static_assert(sizeof(OpcodeTable) / sizeof(OpcodeTable[0]) == NumOpcodes,
+              "opcode table out of sync with Opcode enum");
+
+const OpcodeInfo &spike::opcodeInfo(Opcode Op) {
+  assert(unsigned(Op) < NumOpcodes && "invalid opcode");
+  return OpcodeTable[unsigned(Op)];
+}
+
+RegSet Instruction::defs() const {
+  RegSet Defs;
+  switch (opcodeInfo(Op).Format) {
+  case OperandFormat::RRR:
+  case OperandFormat::RRI:
+  case OperandFormat::RI:
+  case OperandFormat::RR:
+  case OperandFormat::Load:
+    Defs.insert(Rc);
+    break;
+  case OperandFormat::CallAbs:
+  case OperandFormat::CallReg:
+    Defs.insert(reg::RA);
+    break;
+  case OperandFormat::None:
+  case OperandFormat::Store:
+  case OperandFormat::BranchDisp:
+  case OperandFormat::CondBranch:
+  case OperandFormat::TableJump:
+  case OperandFormat::RegJump:
+  case OperandFormat::HaltFmt:
+    break;
+  }
+  Defs.erase(reg::Zero);
+  return Defs;
+}
+
+RegSet Instruction::uses() const {
+  RegSet Uses;
+  switch (opcodeInfo(Op).Format) {
+  case OperandFormat::RRR:
+    Uses.insert(Ra);
+    Uses.insert(Rb);
+    break;
+  case OperandFormat::RRI:
+  case OperandFormat::RR:
+    Uses.insert(Ra);
+    break;
+  case OperandFormat::RI:
+  case OperandFormat::None:
+  case OperandFormat::BranchDisp:
+  case OperandFormat::CallAbs:
+    break;
+  case OperandFormat::Load:
+    Uses.insert(Rb);
+    break;
+  case OperandFormat::Store:
+    Uses.insert(Ra);
+    Uses.insert(Rb);
+    break;
+  case OperandFormat::CondBranch:
+  case OperandFormat::TableJump:
+  case OperandFormat::HaltFmt:
+    Uses.insert(Ra);
+    break;
+  case OperandFormat::CallReg:
+  case OperandFormat::RegJump:
+    Uses.insert(Rb);
+    break;
+  }
+  if (opcodeInfo(Op).IsReturn)
+    Uses.insert(reg::RA);
+  return Uses;
+}
+
+bool Instruction::endsBlock() const {
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  return Info.IsCondBranch || Info.IsUncondBranch || Info.IsCall ||
+         Info.IsReturn || Info.IsTableJump || Info.IsUnresolvedJump ||
+         Info.IsHalt;
+}
+
+std::string Instruction::str(int64_t Address) const {
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  char Buffer[128];
+  auto Target = [&](int32_t Disp) -> int64_t {
+    return Address >= 0 ? Address + 1 + Disp : Disp;
+  };
+  switch (Info.Format) {
+  case OperandFormat::None:
+    std::snprintf(Buffer, sizeof(Buffer), "%s", Info.Name);
+    break;
+  case OperandFormat::RRR:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %s, %s", Info.Name,
+                  regName(Rc), regName(Ra), regName(Rb));
+    break;
+  case OperandFormat::RRI:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %s, %d", Info.Name,
+                  regName(Rc), regName(Ra), Imm);
+    break;
+  case OperandFormat::RI:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %d", Info.Name,
+                  regName(Rc), Imm);
+    break;
+  case OperandFormat::RR:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %s", Info.Name,
+                  regName(Rc), regName(Ra));
+    break;
+  case OperandFormat::Load:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %d(%s)", Info.Name,
+                  regName(Rc), Imm, regName(Rb));
+    break;
+  case OperandFormat::Store:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %d(%s)", Info.Name,
+                  regName(Ra), Imm, regName(Rb));
+    break;
+  case OperandFormat::BranchDisp:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %lld", Info.Name,
+                  (long long)Target(Imm));
+    break;
+  case OperandFormat::CondBranch:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, %lld", Info.Name,
+                  regName(Ra), (long long)Target(Imm));
+    break;
+  case OperandFormat::CallAbs:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %d", Info.Name, Imm);
+    break;
+  case OperandFormat::CallReg:
+  case OperandFormat::RegJump:
+    std::snprintf(Buffer, sizeof(Buffer), "%s (%s)", Info.Name, regName(Rb));
+    break;
+  case OperandFormat::TableJump:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s, table:%d", Info.Name,
+                  regName(Ra), Imm);
+    break;
+  case OperandFormat::HaltFmt:
+    std::snprintf(Buffer, sizeof(Buffer), "%s %s", Info.Name, regName(Ra));
+    break;
+  }
+  return Buffer;
+}
+
+namespace spike {
+namespace inst {
+
+Instruction rrr(Opcode Op, unsigned Rc, unsigned Ra, unsigned Rb) {
+  assert(opcodeInfo(Op).Format == OperandFormat::RRR && "wrong format");
+  Instruction I;
+  I.Op = Op;
+  I.Rc = uint8_t(Rc);
+  I.Ra = uint8_t(Ra);
+  I.Rb = uint8_t(Rb);
+  return I;
+}
+
+Instruction rri(Opcode Op, unsigned Rc, unsigned Ra, int32_t Imm) {
+  assert(opcodeInfo(Op).Format == OperandFormat::RRI && "wrong format");
+  Instruction I;
+  I.Op = Op;
+  I.Rc = uint8_t(Rc);
+  I.Ra = uint8_t(Ra);
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction lda(unsigned Rc, int32_t Imm) {
+  Instruction I;
+  I.Op = Opcode::Lda;
+  I.Rc = uint8_t(Rc);
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction mov(unsigned Rc, unsigned Ra) {
+  Instruction I;
+  I.Op = Opcode::Mov;
+  I.Rc = uint8_t(Rc);
+  I.Ra = uint8_t(Ra);
+  return I;
+}
+
+Instruction ldq(unsigned Rc, int32_t Disp, unsigned Rb) {
+  Instruction I;
+  I.Op = Opcode::Ldq;
+  I.Rc = uint8_t(Rc);
+  I.Rb = uint8_t(Rb);
+  I.Imm = Disp;
+  return I;
+}
+
+Instruction stq(unsigned Ra, int32_t Disp, unsigned Rb) {
+  Instruction I;
+  I.Op = Opcode::Stq;
+  I.Ra = uint8_t(Ra);
+  I.Rb = uint8_t(Rb);
+  I.Imm = Disp;
+  return I;
+}
+
+Instruction br(int32_t Disp) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  I.Imm = Disp;
+  return I;
+}
+
+Instruction condBr(Opcode Op, unsigned Ra, int32_t Disp) {
+  assert(opcodeInfo(Op).IsCondBranch && "not a conditional branch");
+  Instruction I;
+  I.Op = Op;
+  I.Ra = uint8_t(Ra);
+  I.Imm = Disp;
+  return I;
+}
+
+Instruction jsr(int32_t Target) {
+  Instruction I;
+  I.Op = Opcode::Jsr;
+  I.Imm = Target;
+  return I;
+}
+
+Instruction jsrR(unsigned Rb) {
+  Instruction I;
+  I.Op = Opcode::JsrR;
+  I.Rb = uint8_t(Rb);
+  return I;
+}
+
+Instruction ret() {
+  Instruction I;
+  I.Op = Opcode::Ret;
+  return I;
+}
+
+Instruction jmpTab(unsigned Ra, int32_t TableIndex) {
+  Instruction I;
+  I.Op = Opcode::JmpTab;
+  I.Ra = uint8_t(Ra);
+  I.Imm = TableIndex;
+  return I;
+}
+
+Instruction jmpR(unsigned Rb) {
+  Instruction I;
+  I.Op = Opcode::JmpR;
+  I.Rb = uint8_t(Rb);
+  return I;
+}
+
+Instruction nop() { return Instruction(); }
+
+Instruction halt(unsigned Ra) {
+  Instruction I;
+  I.Op = Opcode::Halt;
+  I.Ra = uint8_t(Ra);
+  return I;
+}
+
+} // namespace inst
+} // namespace spike

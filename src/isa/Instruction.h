@@ -1,0 +1,187 @@
+//===- isa/Instruction.h - Synthetic ISA instructions ---------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes, instruction records, and per-instruction register semantics of
+/// the synthetic Alpha-like ISA.
+///
+/// The dataflow analysis consumes only three things per instruction: the
+/// registers it defines, the registers it uses, and how it affects control
+/// flow (branch / call / return / indirect jump).  The ISA is deliberately
+/// small but covers everything the paper's infrastructure needs:
+/// three-operand integer operate instructions, immediate forms, loads and
+/// stores, conditional and unconditional branches, direct and indirect
+/// calls, jump-table multiway branches, unresolved indirect jumps, and
+/// return.
+///
+/// Instructions are encoded as fixed-size 64-bit words (see Encoding.h), so
+/// "number of instructions" equals the code-section word count, matching
+/// the way Table 2 counts machine instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_ISA_INSTRUCTION_H
+#define SPIKE_ISA_INSTRUCTION_H
+
+#include "isa/Registers.h"
+#include "support/RegSet.h"
+
+#include <cstdint>
+#include <string>
+
+namespace spike {
+
+/// The opcode space of the synthetic ISA.
+enum class Opcode : uint8_t {
+  // Integer operate, register form: Rc = Ra <op> Rb.
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Sll,
+  Srl,
+  Mul,
+  CmpEq,
+  CmpLt,
+  CmpLe,
+
+  // Integer operate, immediate form: Rc = Ra <op> Imm.
+  AddI,
+  SubI,
+  AndI,
+  OrI,
+  XorI,
+  SllI,
+  SrlI,
+  MulI,
+  CmpEqI,
+  CmpLtI,
+
+  // Register/immediate moves.
+  Lda, ///< Rc = Imm (load address / load immediate).
+  Mov, ///< Rc = Ra.
+
+  // Memory: displacement addressing off a base register.
+  Ldq, ///< Rc = Mem[Rb + Imm].
+  Stq, ///< Mem[Rb + Imm] = Ra.
+
+  // Control flow.  Branch displacements in Imm are instruction-relative
+  // to the *next* instruction; call targets are absolute addresses.
+  Br,     ///< Unconditional branch to PC+1+Imm.
+  Beq,    ///< Branch to PC+1+Imm if Ra == 0.
+  Bne,    ///< Branch to PC+1+Imm if Ra != 0.
+  Blt,    ///< Branch to PC+1+Imm if Ra < 0.
+  Bge,    ///< Branch to PC+1+Imm if Ra >= 0.
+  Jsr,    ///< Direct call to absolute address Imm; defines ra.
+  JsrR,   ///< Indirect call through Rb; defines ra.
+  Ret,    ///< Return through ra.
+  JmpTab, ///< Multiway branch: jump to entry Ra of jump table Imm.
+  JmpR,   ///< Unresolved indirect jump through Rb.
+
+  // Miscellaneous.
+  Nop,
+  Halt, ///< Stop the simulator; Ra is the observable exit value register.
+};
+
+/// Number of opcodes (used by the encoder for validation).
+inline constexpr unsigned NumOpcodes = unsigned(Opcode::Halt) + 1;
+
+/// Operand shape of an opcode, used by the printer and the encoder.
+enum class OperandFormat : uint8_t {
+  None,       ///< nop, ret
+  RRR,        ///< add rc, ra, rb
+  RRI,        ///< addi rc, ra, imm
+  RI,         ///< lda rc, imm
+  RR,         ///< mov rc, ra
+  Load,       ///< ldq rc, imm(rb)
+  Store,      ///< stq ra, imm(rb)
+  BranchDisp, ///< br imm
+  CondBranch, ///< beq ra, imm
+  CallAbs,    ///< jsr imm
+  CallReg,    ///< jsr_r rb
+  TableJump,  ///< jmp_tab ra, table#imm
+  RegJump,    ///< jmp_r rb
+  HaltFmt,    ///< halt ra
+};
+
+/// Static properties of one opcode.
+struct OpcodeInfo {
+  const char *Name;      ///< Mnemonic.
+  OperandFormat Format;  ///< Operand shape.
+  bool IsCondBranch;     ///< Conditional intra-routine branch.
+  bool IsUncondBranch;   ///< Unconditional intra-routine branch.
+  bool IsCall;           ///< Direct or indirect call.
+  bool IsIndirectCall;   ///< Call through a register.
+  bool IsReturn;         ///< Return through ra.
+  bool IsTableJump;      ///< Multiway branch through a jump table.
+  bool IsUnresolvedJump; ///< Indirect jump with unknown targets.
+  bool IsLoad;
+  bool IsStore;
+  bool IsHalt;
+};
+
+/// Returns the static properties of \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// A decoded instruction.
+///
+/// The field roles depend on the operand format; unused fields must be 0.
+/// \c Imm holds immediates, branch displacements (relative to the next
+/// instruction), absolute call targets, memory displacements, or jump-table
+/// indices.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t Ra = 0;
+  uint8_t Rb = 0;
+  uint8_t Rc = 0;
+  int32_t Imm = 0;
+
+  bool operator==(const Instruction &Other) const = default;
+
+  /// Returns the registers this instruction defines.  Writes to the
+  /// hardwired zero register are discarded and do not count as defs.
+  RegSet defs() const;
+
+  /// Returns the registers this instruction uses.  Uses of the zero
+  /// register still count (the value read is simply always 0); the
+  /// dataflow treats them like any other use, which is conservative.
+  RegSet uses() const;
+
+  /// Returns true if this instruction ends a basic block (any branch,
+  /// call, return, jump, or halt).  Following the paper, basic blocks are
+  /// ended by call instructions as well as branches.
+  bool endsBlock() const;
+
+  /// Renders the instruction in assembly syntax, e.g. "addi t0, t0, 4".
+  /// \p Address, when >= 0, is used to print absolute branch targets.
+  std::string str(int64_t Address = -1) const;
+};
+
+/// Convenience constructors for each operand format.  These keep builder,
+/// generator, and test code terse and make it impossible to mis-assign
+/// operand roles.
+namespace inst {
+Instruction rrr(Opcode Op, unsigned Rc, unsigned Ra, unsigned Rb);
+Instruction rri(Opcode Op, unsigned Rc, unsigned Ra, int32_t Imm);
+Instruction lda(unsigned Rc, int32_t Imm);
+Instruction mov(unsigned Rc, unsigned Ra);
+Instruction ldq(unsigned Rc, int32_t Disp, unsigned Rb);
+Instruction stq(unsigned Ra, int32_t Disp, unsigned Rb);
+Instruction br(int32_t Disp);
+Instruction condBr(Opcode Op, unsigned Ra, int32_t Disp);
+Instruction jsr(int32_t Target);
+Instruction jsrR(unsigned Rb);
+Instruction ret();
+Instruction jmpTab(unsigned Ra, int32_t TableIndex);
+Instruction jmpR(unsigned Rb);
+Instruction nop();
+Instruction halt(unsigned Ra);
+} // namespace inst
+
+} // namespace spike
+
+#endif // SPIKE_ISA_INSTRUCTION_H

@@ -1,0 +1,35 @@
+//===- isa/Registers.cpp - Synthetic Alpha-like register file ------------===//
+
+#include "isa/Registers.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace spike;
+
+static const char *const RegNames[NumIntRegs] = {
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+    "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9",
+    "t10", "t11", "ra", "pv", "at", "gp", "sp", "zero"};
+
+const char *spike::regName(unsigned R) {
+  if (R >= NumIntRegs)
+    return "<bad-reg>";
+  return RegNames[R];
+}
+
+unsigned spike::parseRegName(const char *Name) {
+  if (!Name || !*Name)
+    return NumIntRegs;
+  if (Name[0] == '$' || Name[0] == 'r' || Name[0] == 'R') {
+    char *End = nullptr;
+    unsigned long Value = std::strtoul(Name + 1, &End, 10);
+    if (End != Name + 1 && *End == '\0' && Value < NumIntRegs)
+      return unsigned(Value);
+  }
+  for (unsigned R = 0; R < NumIntRegs; ++R)
+    if (std::strcmp(Name, RegNames[R]) == 0)
+      return R;
+  return NumIntRegs;
+}

@@ -1,0 +1,59 @@
+//===- opt/AnnotationDeriver.cpp - Closed-world §3.5 annotations ----------===//
+
+#include "opt/AnnotationDeriver.h"
+
+#include "psg/Analyzer.h"
+
+using namespace spike;
+
+std::vector<IndirectCallAnnotation>
+spike::deriveIndirectCallAnnotations(const Program &Prog,
+                                     const InterprocSummaries &Summaries) {
+  std::vector<IndirectCallAnnotation> Result;
+
+  // Merge the summaries of every possible indirect target: the primary
+  // entrance of each address-taken routine.
+  bool AnyTarget = false;
+  RegSet Used, Killed;
+  RegSet Defined = RegSet::allBelow(NumIntRegs);
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R) {
+    if (!Prog.Routines[R].AddressTaken)
+      continue;
+    const RoutineResults &RR = Summaries.Routines[R];
+    if (RR.EntrySummaries.empty())
+      continue;
+    const CallSummary &S = RR.EntrySummaries[0];
+    Used |= S.Used;
+    Killed |= S.Killed;
+    Defined &= S.Defined;
+    AnyTarget = true;
+  }
+  if (!AnyTarget)
+    return Result;
+
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+    for (uint32_t Block : Prog.Routines[R].CallBlocks) {
+      const BasicBlock &B = Prog.Routines[R].Blocks[Block];
+      if (B.Term != TerminatorKind::IndirectCall)
+        continue;
+      IndirectCallAnnotation Annot;
+      Annot.Address = B.End - 1;
+      Annot.Used = Used;
+      Annot.Defined = Defined;
+      Annot.Killed = Killed;
+      Result.push_back(Annot);
+    }
+  return Result;
+}
+
+size_t spike::annotateIndirectCalls(Image &Img) {
+  // Analyze *without* any pre-existing call annotations so the derived
+  // sets come from the conservative baseline, then install the result.
+  Image Clean = Img;
+  Clean.CallAnnotations.clear();
+  AnalysisResult Analysis = analyzeImage(Clean);
+  std::vector<IndirectCallAnnotation> Annots =
+      deriveIndirectCallAnnotations(Analysis.Prog, Analysis.Summaries);
+  Img.CallAnnotations = Annots;
+  return Annots.size();
+}

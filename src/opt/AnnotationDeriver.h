@@ -1,0 +1,57 @@
+//===- opt/AnnotationDeriver.h - Closed-world §3.5 annotations -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives Section 3.5 indirect-call annotations from the program itself.
+///
+/// The paper proposes having the compiler or linker supply exact
+/// register information for indirect call sites.  In a fully linked,
+/// closed-world executable the optimizer can derive a sound version on
+/// its own: every indirect call target must be an address-taken routine
+/// entrance, so
+///
+///   used    = ∪ call-used(T)     over all address-taken routines T
+///   defined = ∩ call-defined(T)
+///   killed  = ∪ call-killed(T)
+///
+/// is a safe summary for every indirect call site, and is usually much
+/// sharper than the calling standard's blanket assumption (which must
+/// allow any conforming callee).  Deriving, attaching, and re-analyzing
+/// tightens live sets and unlocks optimizations across indirect calls.
+///
+/// Soundness caveat (documented, also the paper's): this relies on the
+/// program not synthesizing code addresses from arbitrary arithmetic —
+/// the same closed-world assumption the jump-table extraction makes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_OPT_ANNOTATIONDERIVER_H
+#define SPIKE_OPT_ANNOTATIONDERIVER_H
+
+#include "binary/Image.h"
+#include "cfg/Program.h"
+#include "psg/Summaries.h"
+
+#include <vector>
+
+namespace spike {
+
+/// Computes one annotation per indirect call site of \p Prog from the
+/// address-taken routines' summaries.  Returns an empty vector when the
+/// program has no address-taken routines (targets would be unknowable)
+/// or no indirect calls.
+std::vector<IndirectCallAnnotation>
+deriveIndirectCallAnnotations(const Program &Prog,
+                              const InterprocSummaries &Summaries);
+
+/// Convenience: analyzes \p Img, derives annotations, and installs them
+/// on the image (replacing any existing call annotations).  Returns the
+/// number of sites annotated.
+size_t annotateIndirectCalls(Image &Img);
+
+} // namespace spike
+
+#endif // SPIKE_OPT_ANNOTATIONDERIVER_H

@@ -1,0 +1,53 @@
+//===- opt/Pipeline.cpp - Analyze-optimize driver --------------------------===//
+
+#include "opt/Pipeline.h"
+
+#include "psg/Analyzer.h"
+
+using namespace spike;
+
+PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
+                                   unsigned MaxRounds) {
+  PipelineStats Stats;
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    // Every pass mutates the image, so each one runs against a fresh
+    // analysis (the decoded Program must describe the current bytes).
+    uint64_t ChangesThisRound = 0;
+
+    {
+      // Dead routines first: everything after has less code to chew on.
+      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      UnreachableElimStats Unreachable =
+          eliminateUnreachableRoutines(Img, Analysis.Prog);
+      Stats.UnreachableRoutinesRemoved += Unreachable.RoutinesRemoved;
+      Stats.UnreachableInstsRemoved += Unreachable.InstsRemoved;
+      ChangesThisRound += Unreachable.RoutinesRemoved;
+      SaveRestoreElimStats SaveRestores =
+          eliminateSaveRestores(Img, Analysis.Prog, Analysis.Summaries);
+      Stats.SaveRestoreRegsEliminated += SaveRestores.EliminatedRegs;
+      Stats.SaveRestoreInstsDeleted += SaveRestores.DeletedInsts;
+      ChangesThisRound += SaveRestores.EliminatedRegs;
+    }
+
+    {
+      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      SpillRemovalStats Spills =
+          removeCallSpills(Img, Analysis.Prog, Analysis.Summaries);
+      Stats.SpillPairsRemoved += Spills.RemovedPairs;
+      ChangesThisRound += Spills.RemovedPairs;
+    }
+
+    {
+      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      DeadDefStats DeadDefs =
+          eliminateDeadDefs(Img, Analysis.Prog, Analysis.Summaries);
+      Stats.DeadDefsDeleted += DeadDefs.DeletedInsts;
+      ChangesThisRound += DeadDefs.DeletedInsts;
+    }
+
+    ++Stats.Rounds;
+    if (ChangesThisRound == 0)
+      break;
+  }
+  return Stats;
+}

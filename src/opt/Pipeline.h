@@ -1,0 +1,50 @@
+//===- opt/Pipeline.h - Analyze-optimize driver ---------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the full Spike-style optimize loop on an image: interprocedural
+/// analysis, then the three summary-consuming optimizations of Figure 1,
+/// repeated until a fixpoint (deleting one routine's dead code can make
+/// summaries of its callers/callees sharper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_OPT_PIPELINE_H
+#define SPIKE_OPT_PIPELINE_H
+
+#include "binary/Image.h"
+#include "isa/CallingConv.h"
+#include "opt/DeadDefElim.h"
+#include "opt/SaveRestoreElim.h"
+#include "opt/SpillRemoval.h"
+#include "opt/UnreachableElim.h"
+
+namespace spike {
+
+/// Cumulative statistics over all pipeline rounds.
+struct PipelineStats {
+  uint64_t UnreachableRoutinesRemoved = 0;
+  uint64_t UnreachableInstsRemoved = 0;
+  uint64_t DeadDefsDeleted = 0;
+  uint64_t SpillPairsRemoved = 0;
+  uint64_t SaveRestoreRegsEliminated = 0;
+  uint64_t SaveRestoreInstsDeleted = 0;
+  unsigned Rounds = 0;
+
+  uint64_t totalDeleted() const {
+    return DeadDefsDeleted + 2 * SpillPairsRemoved +
+           SaveRestoreInstsDeleted + UnreachableInstsRemoved;
+  }
+};
+
+/// Optimizes \p Img in place.  Runs at most \p MaxRounds
+/// analyze-transform rounds, stopping early once a round changes nothing.
+PipelineStats optimizeImage(Image &Img, const CallingConv &Conv = {},
+                            unsigned MaxRounds = 3);
+
+} // namespace spike
+
+#endif // SPIKE_OPT_PIPELINE_H

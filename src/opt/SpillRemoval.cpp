@@ -1,0 +1,111 @@
+//===- opt/SpillRemoval.cpp - Remove spills around calls ------------------===//
+
+#include "opt/SpillRemoval.h"
+
+#include "isa/Encoding.h"
+
+using namespace spike;
+
+namespace {
+
+/// Returns true if \p Inst reads or writes the stack slot \p Slot, or
+/// redefines the stack pointer (which changes what the slot means).
+bool touchesSlot(const Instruction &Inst, unsigned Sp, int32_t Slot) {
+  if ((Inst.Op == Opcode::Ldq || Inst.Op == Opcode::Stq) && Inst.Rb == Sp &&
+      Inst.Imm == Slot)
+    return true;
+  return Inst.defs().contains(Sp);
+}
+
+} // namespace
+
+SpillRemovalStats
+spike::removeCallSpills(Image &Img, const Program &Prog,
+                        const InterprocSummaries &Summaries) {
+  SpillRemovalStats Stats;
+  unsigned Sp = Prog.Conv.SpReg;
+  uint64_t NopWord = encodeInstruction(inst::nop());
+
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    for (uint32_t CallBlock : R.CallBlocks) {
+      const BasicBlock &Block = R.Blocks[CallBlock];
+      if (Block.Succs.size() != 1)
+        continue;
+      uint32_t ReturnBlock = Block.Succs[0];
+      if (R.Blocks[ReturnBlock].Preds.size() != 1)
+        continue;
+
+      RegSet Killed = Summaries.callKilled(Prog, RoutineIndex, CallBlock);
+
+      // Find the latest spill store "stq Rt, k(sp)" in the call block
+      // with Rt preserved by the call and untouched until the call.
+      int64_t StoreAddr = -1;
+      unsigned SpillReg = 0;
+      int32_t Slot = 0;
+      for (uint64_t Address = Block.Begin; Address + 1 < Block.End;
+           ++Address) {
+        const Instruction &Inst = Prog.Insts[Address];
+        if (Inst.Op == Opcode::Stq && Inst.Rb == Sp && Inst.Ra != Sp &&
+            !Killed.contains(Inst.Ra)) {
+          StoreAddr = int64_t(Address);
+          SpillReg = Inst.Ra;
+          Slot = Inst.Imm;
+        }
+      }
+      if (StoreAddr < 0)
+        continue;
+
+      // Rt and the slot must be untouched between the store and the call.
+      bool Clobbered = false;
+      for (uint64_t Address = uint64_t(StoreAddr) + 1;
+           Address + 1 < Block.End && !Clobbered; ++Address) {
+        const Instruction &Inst = Prog.Insts[Address];
+        Clobbered = Inst.defs().contains(SpillReg) ||
+                    touchesSlot(Inst, Sp, Slot);
+      }
+      if (Clobbered)
+        continue;
+
+      // Find the reload at the return point.
+      const BasicBlock &Return = R.Blocks[ReturnBlock];
+      int64_t LoadAddr = -1;
+      for (uint64_t Address = Return.Begin; Address < Return.End;
+           ++Address) {
+        const Instruction &Inst = Prog.Insts[Address];
+        if (Inst.Op == Opcode::Ldq && Inst.Rb == Sp && Inst.Imm == Slot &&
+            Inst.Rc == SpillReg) {
+          LoadAddr = int64_t(Address);
+          break;
+        }
+        if (Inst.defs().contains(SpillReg) || touchesSlot(Inst, Sp, Slot))
+          break;
+      }
+      if (LoadAddr < 0)
+        continue;
+
+      // The slot must have no other readers anywhere in the routine:
+      // deleting the store must not change what any other load sees.
+      bool SlotSharedElsewhere = false;
+      for (uint64_t Address = R.Begin;
+           Address < R.End && !SlotSharedElsewhere; ++Address) {
+        if (int64_t(Address) == StoreAddr || int64_t(Address) == LoadAddr)
+          continue;
+        const Instruction &Inst = Prog.Insts[Address];
+        SlotSharedElsewhere = (Inst.Op == Opcode::Ldq ||
+                               Inst.Op == Opcode::Stq) &&
+                              Inst.Rb == Sp && Inst.Imm == Slot;
+      }
+      if (SlotSharedElsewhere)
+        continue;
+
+      Img.Code[uint64_t(StoreAddr)] = NopWord;
+      Img.Code[uint64_t(LoadAddr)] = NopWord;
+      ++Stats.RemovedPairs;
+      Stats.DeletedAddrs.push_back(uint64_t(StoreAddr));
+      Stats.DeletedAddrs.push_back(uint64_t(LoadAddr));
+    }
+  }
+  return Stats;
+}

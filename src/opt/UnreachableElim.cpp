@@ -1,0 +1,45 @@
+//===- opt/UnreachableElim.cpp - Dead routine removal ----------------------===//
+
+#include "opt/UnreachableElim.h"
+
+#include "cfg/CallGraph.h"
+#include "isa/Encoding.h"
+
+#include <vector>
+
+using namespace spike;
+
+UnreachableElimStats
+spike::eliminateUnreachableRoutines(Image &Img, const Program &Prog) {
+  UnreachableElimStats Stats;
+  size_t Count = Prog.Routines.size();
+  if (Count == 0)
+    return Stats;
+
+  const std::vector<bool> Reachable = buildCallGraph(Prog).Reachable;
+
+  uint64_t RetWord = encodeInstruction(inst::ret());
+  uint64_t NopWord = encodeInstruction(inst::nop());
+  for (uint32_t R = 0; R < Count; ++R) {
+    if (Reachable[R])
+      continue;
+    const Routine &Dead = Prog.Routines[R];
+    if (Dead.Begin >= Dead.End)
+      continue;
+    // Idempotence: a routine already reduced to ret+nops by an earlier
+    // round is not a new change.
+    bool AlreadyTrivial = Img.Code[Dead.Begin] == RetWord;
+    for (uint64_t Address = Dead.Begin + 1;
+         AlreadyTrivial && Address < Dead.End; ++Address)
+      AlreadyTrivial = Img.Code[Address] == NopWord;
+    if (AlreadyTrivial)
+      continue;
+    Img.Code[Dead.Begin] = RetWord;
+    for (uint64_t Address = Dead.Begin + 1; Address < Dead.End; ++Address)
+      Img.Code[Address] = NopWord;
+    ++Stats.RoutinesRemoved;
+    Stats.InstsRemoved += Dead.End - Dead.Begin;
+    Stats.RemovedNames.push_back(Dead.Name);
+  }
+  return Stats;
+}

@@ -1,0 +1,49 @@
+//===- psg/Analyzer.cpp - End-to-end interprocedural analysis ------------===//
+
+#include "psg/Analyzer.h"
+
+#include "cfg/CfgBuilder.h"
+#include "cfg/SaveRestore.h"
+
+using namespace spike;
+
+AnalysisResult spike::analyzeImage(const Image &Img,
+                                   const CallingConv &Conv,
+                                   const AnalysisOptions &Opts) {
+  AnalysisResult Result;
+
+  {
+    StageTimer::Scope Scope(Result.Stages, AnalysisStage::CfgBuild);
+    Result.Prog = buildProgram(Img, Conv, &Result.Memory);
+  }
+
+  {
+    StageTimer::Scope Scope(Result.Stages, AnalysisStage::Initialization);
+    computeDefUbd(Result.Prog);
+    Result.SavedPerRoutine.reserve(Result.Prog.Routines.size());
+    for (const Routine &R : Result.Prog.Routines)
+      Result.SavedPerRoutine.push_back(
+          analyzeSaveRestore(Result.Prog, R).Saved);
+    Result.Memory.charge(Result.SavedPerRoutine.size() * sizeof(RegSet));
+  }
+
+  {
+    StageTimer::Scope Scope(Result.Stages, AnalysisStage::PsgBuild);
+    Result.Psg = buildPsg(Result.Prog, Opts.Psg, &Result.Memory);
+  }
+
+  {
+    StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase1);
+    Result.Phase1Stats =
+        runPhase1(Result.Prog, Result.Psg, Result.SavedPerRoutine);
+  }
+
+  {
+    StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase2);
+    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg);
+  }
+
+  Result.Summaries = extractSummaries(Result.Prog, Result.Psg,
+                                      Result.SavedPerRoutine);
+  return Result;
+}

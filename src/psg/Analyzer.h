@@ -1,0 +1,64 @@
+//===- psg/Analyzer.h - End-to-end interprocedural analysis ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level driver: Image -> summaries, with the paper's five-stage
+/// pipeline and per-stage timing / memory accounting (Table 2, Figure 13,
+/// Figure 15):
+///
+///   1. CFG Build        decode + routine partition + basic blocks
+///   2. Initialization   DEF/UBD sets, callee-saved save/restore analysis
+///   3. PSG Build        nodes, flow-summary edge discovery + labelling
+///   4. Phase 1          call-used / call-defined / call-killed
+///   5. Phase 2          live-at-entry / live-at-exit
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_PSG_ANALYZER_H
+#define SPIKE_PSG_ANALYZER_H
+
+#include "binary/Image.h"
+#include "psg/PsgBuilder.h"
+#include "psg/PsgSolver.h"
+#include "psg/Summaries.h"
+#include "support/MemoryTracker.h"
+#include "support/Stopwatch.h"
+
+namespace spike {
+
+/// Options for a full analysis run.
+struct AnalysisOptions {
+  PsgBuildOptions Psg;
+};
+
+/// Everything a full analysis run produces.
+struct AnalysisResult {
+  Program Prog;
+  ProgramSummaryGraph Psg;
+
+  /// Per-routine Section 3.4 filter sets.
+  std::vector<RegSet> SavedPerRoutine;
+
+  InterprocSummaries Summaries;
+
+  /// Per-stage wall-clock time (Figure 13) — totalSeconds() is Table 2's
+  /// "Total Dataflow Time".
+  StageTimer Stages;
+
+  /// Analysis memory accounting (Table 2 / Figure 15).
+  MemoryTracker Memory;
+
+  SolverStats Phase1Stats;
+  SolverStats Phase2Stats;
+};
+
+/// Runs the complete analysis on \p Img.
+AnalysisResult analyzeImage(const Image &Img, const CallingConv &Conv = {},
+                            const AnalysisOptions &Opts = {});
+
+} // namespace spike
+
+#endif // SPIKE_PSG_ANALYZER_H

@@ -1,0 +1,131 @@
+//===- psg/DotExport.cpp - Graphviz export of analysis graphs -------------===//
+
+#include "psg/DotExport.h"
+
+#include <sstream>
+
+using namespace spike;
+
+namespace {
+
+/// Escapes a string for a dot label.
+std::string escape(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+const char *terminatorName(TerminatorKind Kind) {
+  switch (Kind) {
+  case TerminatorKind::FallThrough:
+    return "fallthrough";
+  case TerminatorKind::Branch:
+    return "br";
+  case TerminatorKind::CondBranch:
+    return "cond-br";
+  case TerminatorKind::Call:
+    return "call";
+  case TerminatorKind::IndirectCall:
+    return "indirect-call";
+  case TerminatorKind::Return:
+    return "ret";
+  case TerminatorKind::TableJump:
+    return "jmp-tab";
+  case TerminatorKind::UnresolvedJump:
+    return "jmp-r";
+  case TerminatorKind::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string spike::cfgToDot(const Program &Prog, uint32_t RoutineIndex) {
+  const Routine &R = Prog.Routines[RoutineIndex];
+  std::ostringstream OS;
+  OS << "digraph \"cfg_" << escape(R.Name) << "\" {\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+       ++BlockIndex) {
+    const BasicBlock &Block = R.Blocks[BlockIndex];
+    OS << "  b" << BlockIndex << " [label=\"B" << BlockIndex << " ["
+       << Block.Begin << "," << Block.End << ") " << terminatorName(Block.Term)
+       << "\\nDEF " << escape(Block.Def.str()) << "\\nUBD "
+       << escape(Block.Ubd.str()) << "\"];\n";
+    for (uint32_t Succ : Block.Succs)
+      OS << "  b" << BlockIndex << " -> b" << Succ << ";\n";
+  }
+  for (size_t E = 0; E < R.EntryBlocks.size(); ++E)
+    OS << "  entry" << E << " [shape=plaintext, label=\"entry " << E
+       << "\"];\n  entry" << E << " -> b" << R.EntryBlocks[E] << ";\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string spike::psgToDot(const Program &Prog,
+                            const ProgramSummaryGraph &Psg,
+                            uint32_t RoutineIndex) {
+  const Routine &R = Prog.Routines[RoutineIndex];
+  std::ostringstream OS;
+  OS << "digraph \"psg_" << escape(R.Name) << "\" {\n"
+     << "  node [fontname=\"monospace\"];\n";
+  for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId) {
+    const PsgNode &Node = Psg.Nodes[NodeId];
+    if (Node.RoutineIndex != RoutineIndex)
+      continue;
+    const char *Shape = "ellipse";
+    switch (Node.Kind) {
+    case PsgNodeKind::Entry:
+      Shape = "invtriangle";
+      break;
+    case PsgNodeKind::Exit:
+      Shape = "triangle";
+      break;
+    case PsgNodeKind::Branch:
+      Shape = "diamond";
+      break;
+    default:
+      break;
+    }
+    OS << "  n" << NodeId << " [shape=" << Shape << ", label=\""
+       << psgNodeKindName(Node.Kind) << " b" << Node.BlockIndex << "\"];\n";
+  }
+  for (const PsgEdge &Edge : Psg.Edges) {
+    if (Psg.Nodes[Edge.Src].RoutineIndex != RoutineIndex)
+      continue;
+    OS << "  n" << Edge.Src << " -> n" << Edge.Dst << " [";
+    if (Edge.IsCallReturn)
+      OS << "style=dashed, ";
+    OS << "label=\"U " << escape(Edge.Label.MayUse.str()) << "\\nD "
+       << escape(Edge.Label.MayDef.str()) << "\\nM "
+       << escape(Edge.Label.MustDef.str()) << "\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string spike::callGraphToDot(const Program &Prog,
+                                  const CallGraph &Graph) {
+  std::ostringstream OS;
+  OS << "digraph callgraph {\n  node [shape=box];\n";
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R) {
+    OS << "  r" << R << " [label=\"" << escape(Prog.Routines[R].Name)
+       << "\"";
+    if (Graph.InCycle[R])
+      OS << ", color=red";
+    if (!Graph.Reachable[R])
+      OS << ", style=dotted";
+    OS << "];\n";
+    for (uint32_t Callee : Graph.Callees[R])
+      OS << "  r" << R << " -> r" << Callee << ";\n";
+    if (Graph.HasIndirectCalls[R])
+      OS << "  r" << R << " -> indirect [style=dashed];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

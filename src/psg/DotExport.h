@@ -1,0 +1,44 @@
+//===- psg/DotExport.h - Graphviz export of analysis graphs ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (dot) renderings of the structures the paper draws:
+///
+///   - one routine's CFG with its PSG anchors (Figure 4),
+///   - one routine's PSG nodes and labelled edges (Figures 7, 9, 11, 12),
+///   - the whole-program call graph.
+///
+/// Used by `spike-analyze --dot-psg <routine>` and handy when debugging
+/// edge discovery by eye.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_PSG_DOTEXPORT_H
+#define SPIKE_PSG_DOTEXPORT_H
+
+#include "cfg/CallGraph.h"
+#include "psg/PsgGraph.h"
+
+#include <string>
+
+namespace spike {
+
+/// Renders routine \p RoutineIndex's CFG as a dot digraph: one box per
+/// basic block (instruction range + DEF/UBD sets), solid intra arcs.
+std::string cfgToDot(const Program &Prog, uint32_t RoutineIndex);
+
+/// Renders routine \p RoutineIndex's PSG as a dot digraph: entry/exit/
+/// call/return/branch nodes, flow-summary edges labelled with their
+/// MAY-USE/MAY-DEF/MUST-DEF sets, dashed call-return edges.
+std::string psgToDot(const Program &Prog, const ProgramSummaryGraph &Psg,
+                     uint32_t RoutineIndex);
+
+/// Renders the direct-call graph (cyclic SCCs highlighted).
+std::string callGraphToDot(const Program &Prog, const CallGraph &Graph);
+
+} // namespace spike
+
+#endif // SPIKE_PSG_DOTEXPORT_H

@@ -1,0 +1,458 @@
+//===- psg/PsgBuilder.cpp - PSG construction ------------------------------===//
+
+#include "psg/PsgBuilder.h"
+
+#include "dataflow/CallPolicy.h"
+#include "dataflow/Worklist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+using namespace spike;
+
+const char *spike::psgNodeKindName(PsgNodeKind Kind) {
+  switch (Kind) {
+  case PsgNodeKind::Entry:
+    return "entry";
+  case PsgNodeKind::Exit:
+    return "exit";
+  case PsgNodeKind::Call:
+    return "call";
+  case PsgNodeKind::Return:
+    return "return";
+  case PsgNodeKind::Branch:
+    return "branch";
+  case PsgNodeKind::Unknown:
+    return "unknown";
+  case PsgNodeKind::Halt:
+    return "halt";
+  }
+  assert(false && "unknown PSG node kind");
+  return "<bad>";
+}
+
+namespace {
+
+constexpr uint32_t NoNode = ~uint32_t(0);
+
+/// A PSG source anchor within one routine: the node and the blocks at
+/// whose starts its paths begin.
+struct SourceAnchor {
+  uint32_t NodeId;
+  std::vector<uint32_t> StartBlocks;
+};
+
+/// Builds the PSG nodes and flow-summary edges of a single routine.
+///
+/// Terminology: a block whose terminator is a sink anchor (call, return
+/// instruction, multiway branch with branch nodes enabled, unresolved
+/// jump, or halt) "cuts" forward propagation: anchor-free paths end at its
+/// terminator.  Source anchors (entry, return, branch) start at block
+/// starts and do not cut.
+class RoutinePsgBuilder {
+public:
+  RoutinePsgBuilder(const Program &Prog, uint32_t RoutineIndex,
+                    const PsgBuildOptions &Opts, ProgramSummaryGraph &Psg,
+                    std::vector<PsgEdge> &EdgesOut)
+      : Prog(Prog), RoutineIndex(RoutineIndex),
+        R(Prog.Routines[RoutineIndex]), Opts(Opts), Psg(Psg),
+        EdgesOut(EdgesOut) {}
+
+  void run() {
+    createNodes();
+    computeBackwardSets();
+    discoverAndLabelEdges();
+    addCallReturnEdges();
+  }
+
+private:
+  uint32_t newNode(PsgNodeKind Kind, uint32_t BlockIndex,
+                   uint32_t AuxIndex = 0) {
+    PsgNode Node;
+    Node.Kind = Kind;
+    Node.RoutineIndex = RoutineIndex;
+    Node.BlockIndex = BlockIndex;
+    Node.AuxIndex = AuxIndex;
+    Psg.Nodes.push_back(Node);
+    return uint32_t(Psg.Nodes.size() - 1);
+  }
+
+  bool blockIsCut(const BasicBlock &Block) const {
+    switch (Block.Term) {
+    case TerminatorKind::Call:
+    case TerminatorKind::IndirectCall:
+    case TerminatorKind::Return:
+    case TerminatorKind::UnresolvedJump:
+    case TerminatorKind::Halt:
+      return true;
+    case TerminatorKind::TableJump:
+      return Opts.UseBranchNodes;
+    case TerminatorKind::FallThrough:
+    case TerminatorKind::Branch:
+    case TerminatorKind::CondBranch:
+      return false;
+    }
+    assert(false && "unhandled terminator");
+    return false;
+  }
+
+  void createNodes() {
+    RoutinePsg &Info = Psg.RoutineInfo[RoutineIndex];
+    SinkNodeOfBlock.assign(R.Blocks.size(), NoNode);
+
+    for (uint32_t EntryIndex = 0; EntryIndex < R.EntryBlocks.size();
+         ++EntryIndex) {
+      uint32_t NodeId = newNode(PsgNodeKind::Entry,
+                                R.EntryBlocks[EntryIndex], EntryIndex);
+      Info.EntryNodes.push_back(NodeId);
+      Sources.push_back({NodeId, {R.EntryBlocks[EntryIndex]}});
+    }
+
+    for (uint32_t ExitIndex = 0; ExitIndex < R.ExitBlocks.size();
+         ++ExitIndex) {
+      uint32_t Block = R.ExitBlocks[ExitIndex];
+      uint32_t NodeId = newNode(PsgNodeKind::Exit, Block, ExitIndex);
+      Info.ExitNodes.push_back(NodeId);
+      SinkNodeOfBlock[Block] = NodeId;
+    }
+
+    for (uint32_t Block : R.CallBlocks) {
+      uint32_t CallNode = newNode(PsgNodeKind::Call, Block);
+      uint32_t ReturnNode = newNode(PsgNodeKind::Return, Block);
+      Info.CallNodes.push_back(CallNode);
+      Info.ReturnNodes.push_back(ReturnNode);
+      SinkNodeOfBlock[Block] = CallNode;
+      const BasicBlock &BlockRef = R.Blocks[Block];
+      if (!BlockRef.Succs.empty())
+        Sources.push_back({ReturnNode, BlockRef.Succs});
+    }
+
+    for (uint32_t Block = 0; Block < R.Blocks.size(); ++Block) {
+      const BasicBlock &BlockRef = R.Blocks[Block];
+      switch (BlockRef.Term) {
+      case TerminatorKind::TableJump:
+        if (Opts.UseBranchNodes) {
+          uint32_t NodeId = newNode(PsgNodeKind::Branch, Block);
+          Info.BranchNodes.push_back(NodeId);
+          SinkNodeOfBlock[Block] = NodeId;
+          Sources.push_back({NodeId, BlockRef.Succs});
+          ++Psg.NumBranchNodes;
+        }
+        break;
+      case TerminatorKind::UnresolvedJump:
+        SinkNodeOfBlock[Block] = newNode(PsgNodeKind::Unknown, Block);
+        break;
+      case TerminatorKind::Halt:
+        SinkNodeOfBlock[Block] = newNode(PsgNodeKind::Halt, Block);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  /// Computes, for every sink block, the set of blocks from which the
+  /// sink is reachable along anchor-free paths (the "backward" half of
+  /// each edge's CFG subgraph).
+  void computeBackwardSets() {
+    for (uint32_t Block = 0; Block < R.Blocks.size(); ++Block) {
+      if (SinkNodeOfBlock[Block] == NoNode)
+        continue;
+      std::vector<bool> Reaches(R.Blocks.size(), false);
+      std::vector<uint32_t> Stack;
+      Reaches[Block] = true;
+      Stack.push_back(Block);
+      while (!Stack.empty()) {
+        uint32_t Current = Stack.back();
+        Stack.pop_back();
+        for (uint32_t Pred : R.Blocks[Current].Preds) {
+          if (Reaches[Pred] || blockIsCut(R.Blocks[Pred]))
+            continue;
+          Reaches[Pred] = true;
+          Stack.push_back(Pred);
+        }
+      }
+      BwdSets.emplace(Block, std::move(Reaches));
+    }
+  }
+
+  /// Runs the Figure 6 dataflow on the subgraph consisting of the blocks
+  /// in \p SubBlocks (which must include \p SinkBlock) and returns the IN
+  /// sets, indexed like \p SubBlocks.
+  std::vector<FlowSets> solveSubgraph(const std::vector<uint32_t> &SubBlocks,
+                                      uint32_t SinkBlock) {
+    // Map blocks to dense local indices via an epoch-stamped scratch map.
+    ++Epoch;
+    if (LocalIndex.size() < R.Blocks.size()) {
+      LocalIndex.assign(R.Blocks.size(), 0);
+      LocalEpoch.assign(R.Blocks.size(), 0);
+    }
+    for (uint32_t I = 0; I < SubBlocks.size(); ++I) {
+      LocalIndex[SubBlocks[I]] = I;
+      LocalEpoch[SubBlocks[I]] = Epoch;
+    }
+    auto InSubgraph = [&](uint32_t Block) {
+      return LocalEpoch[Block] == Epoch;
+    };
+
+    // MUST-DEF is a must problem: interior values start at top and
+    // shrink to the greatest fixpoint (= meet over the X->Y paths); the
+    // MAY sets start at bottom and grow.
+    std::vector<FlowSets> In(
+        SubBlocks.size(),
+        FlowSets{RegSet(), RegSet(), RegSet::allBelow(NumIntRegs)});
+    Worklist List(static_cast<uint32_t>(SubBlocks.size()));
+    List.pushAll();
+    while (!List.empty()) {
+      uint32_t Local = List.pop();
+      uint32_t Block = SubBlocks[Local];
+      FlowSets Out;
+      if (Block != SinkBlock) {
+        bool First = true;
+        for (uint32_t Succ : R.Blocks[Block].Succs) {
+          if (!InSubgraph(Succ))
+            continue;
+          const FlowSets &SuccIn = In[LocalIndex[Succ]];
+          Out = First ? SuccIn : Out.meet(SuccIn);
+          First = false;
+        }
+        assert(!First && "interior subgraph block with no subgraph succ");
+      }
+      FlowSets NewIn =
+          Out.transferThrough(R.Blocks[Block].Def, R.Blocks[Block].Ubd);
+      if (NewIn == In[Local])
+        continue;
+      In[Local] = NewIn;
+      for (uint32_t Pred : R.Blocks[Block].Preds)
+        if (InSubgraph(Pred) && Pred != SinkBlock)
+          List.push(LocalIndex[Pred]);
+    }
+    return In;
+  }
+
+  void discoverAndLabelEdges() {
+    std::vector<uint32_t> Visited;          // Blocks reached, in BFS order.
+    std::vector<bool> Seen(R.Blocks.size(), false);
+    std::vector<uint32_t> ReachedSinks;     // Sink blocks reached.
+
+    for (const SourceAnchor &Source : Sources) {
+      // Forward reachability from the source, stopping at cuts.
+      Visited.clear();
+      ReachedSinks.clear();
+      std::fill(Seen.begin(), Seen.end(), false);
+      for (uint32_t Start : Source.StartBlocks) {
+        if (Seen[Start])
+          continue;
+        Seen[Start] = true;
+        Visited.push_back(Start);
+      }
+      for (size_t Cursor = 0; Cursor < Visited.size(); ++Cursor) {
+        uint32_t Block = Visited[Cursor];
+        if (SinkNodeOfBlock[Block] != NoNode) {
+          ReachedSinks.push_back(Block);
+          if (blockIsCut(R.Blocks[Block]))
+            continue;
+        }
+        for (uint32_t Succ : R.Blocks[Block].Succs) {
+          if (Seen[Succ])
+            continue;
+          Seen[Succ] = true;
+          Visited.push_back(Succ);
+        }
+      }
+
+      // One flow-summary edge per reached sink, labelled by the Figure 6
+      // dataflow on (forward-reachable ∩ backward-reachable) blocks.
+      for (uint32_t SinkBlock : ReachedSinks) {
+        const std::vector<bool> &Bwd = BwdSets.at(SinkBlock);
+        std::vector<uint32_t> SubBlocks;
+        for (uint32_t Block : Visited)
+          if (Bwd[Block])
+            SubBlocks.push_back(Block);
+        std::vector<FlowSets> In = solveSubgraph(SubBlocks, SinkBlock);
+
+        // The edge label is the path meet over the source's start blocks
+        // that lie in the subgraph (Figure 6's "sets associated with
+        // location X").
+        FlowSets Label;
+        bool First = true;
+        for (uint32_t Start : Source.StartBlocks) {
+          if (LocalEpoch[Start] != Epoch)
+            continue;
+          const FlowSets &StartIn = In[LocalIndex[Start]];
+          Label = First ? StartIn : Label.meet(StartIn);
+          First = false;
+        }
+        assert(!First && "edge discovered with no start block on a path");
+
+        PsgEdge Edge;
+        Edge.Src = Source.NodeId;
+        Edge.Dst = SinkNodeOfBlock[SinkBlock];
+        Edge.Label = Label;
+        EdgesOut.push_back(Edge);
+        ++Psg.NumFlowSummaryEdges;
+      }
+    }
+  }
+
+  void addCallReturnEdges() {
+    const RoutinePsg &Info = Psg.RoutineInfo[RoutineIndex];
+    for (size_t CallIndex = 0; CallIndex < R.CallBlocks.size();
+         ++CallIndex) {
+      const BasicBlock &Block = R.Blocks[R.CallBlocks[CallIndex]];
+      PsgEdge Edge;
+      Edge.Src = Info.CallNodes[CallIndex];
+      Edge.Dst = Info.ReturnNodes[CallIndex];
+      Edge.IsCallReturn = true;
+      // Section 3.5: indirect calls carry a fixed label (annotation or
+      // calling-standard assumption).  Direct calls start with empty
+      // sets ("each call-return edge is initialized with empty MUST-DEF,
+      // MAY-DEF, and MAY-USE sets"); phase 1 copies the callee's entry
+      // sets here.
+      if (Block.Term == TerminatorKind::IndirectCall)
+        Edge.Label = indirectCallLabel(Prog, Block);
+      EdgesOut.push_back(Edge);
+    }
+  }
+
+  const Program &Prog;
+  uint32_t RoutineIndex;
+  const Routine &R;
+  const PsgBuildOptions &Opts;
+  ProgramSummaryGraph &Psg;
+  std::vector<PsgEdge> &EdgesOut;
+
+  std::vector<uint32_t> SinkNodeOfBlock;
+  std::vector<SourceAnchor> Sources;
+  std::map<uint32_t, std::vector<bool>> BwdSets;
+
+  std::vector<uint32_t> LocalIndex;
+  std::vector<uint32_t> LocalEpoch;
+  uint32_t Epoch = 0;
+};
+
+} // namespace
+
+ProgramSummaryGraph spike::buildPsg(const Program &Prog,
+                                    const PsgBuildOptions &Opts,
+                                    MemoryTracker *Mem) {
+  ProgramSummaryGraph Psg;
+  Psg.RoutineInfo.resize(Prog.Routines.size());
+
+  std::vector<PsgEdge> Edges;
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    RoutinePsgBuilder Builder(Prog, RoutineIndex, Opts, Psg, Edges);
+    Builder.run();
+  }
+
+  // CSR-pack the edges by source node.
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const PsgEdge &A, const PsgEdge &B) {
+                     return A.Src < B.Src;
+                   });
+  Psg.Edges = std::move(Edges);
+  for (uint32_t EdgeId = 0; EdgeId < Psg.Edges.size(); ++EdgeId) {
+    PsgNode &Src = Psg.Nodes[Psg.Edges[EdgeId].Src];
+    if (Src.NumOut == 0)
+      Src.FirstOut = EdgeId;
+    ++Src.NumOut;
+  }
+
+  // Reverse CSR: incoming edge ids per node.
+  Psg.InEdgeIds.resize(Psg.Edges.size());
+  {
+    std::vector<uint32_t> Counts(Psg.Nodes.size() + 1, 0);
+    for (const PsgEdge &Edge : Psg.Edges)
+      ++Counts[Edge.Dst + 1];
+    for (size_t I = 1; I < Counts.size(); ++I)
+      Counts[I] += Counts[I - 1];
+    for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId) {
+      Psg.Nodes[NodeId].FirstIn = Counts[NodeId];
+      Psg.Nodes[NodeId].NumIn = Counts[NodeId + 1] - Counts[NodeId];
+    }
+    std::vector<uint32_t> Cursor(Counts.begin(), Counts.end() - 1);
+    for (uint32_t EdgeId = 0; EdgeId < Psg.Edges.size(); ++EdgeId)
+      Psg.InEdgeIds[Cursor[Psg.Edges[EdgeId].Dst]++] = EdgeId;
+  }
+
+  // Phase 1 broadcast lists: entry node -> call-return edges of its
+  // direct call sites.  Phase 2 linkage: exit node <-> return nodes.
+  std::vector<std::pair<uint32_t, uint32_t>> EntryToCr;
+  std::vector<std::pair<uint32_t, uint32_t>> ExitToReturn;
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    const RoutinePsg &Info = Psg.RoutineInfo[RoutineIndex];
+    for (size_t CallIndex = 0; CallIndex < R.CallBlocks.size();
+         ++CallIndex) {
+      const BasicBlock &Block = R.Blocks[R.CallBlocks[CallIndex]];
+      uint32_t CallNode = Info.CallNodes[CallIndex];
+      uint32_t ReturnNode = Info.ReturnNodes[CallIndex];
+      // The call-return edge is the call node's only out-edge.
+      const PsgNode &CallRef = Psg.Nodes[CallNode];
+      assert(CallRef.NumOut == 1 &&
+             Psg.Edges[CallRef.FirstOut].IsCallReturn &&
+             "call node must have exactly its call-return edge");
+      uint32_t CrEdgeId = CallRef.FirstOut;
+
+      if (Block.Term == TerminatorKind::Call) {
+        const RoutinePsg &CalleeInfo = Psg.RoutineInfo[Block.CalleeRoutine];
+        uint32_t EntryNode =
+            CalleeInfo.EntryNodes[uint32_t(Block.CalleeEntry)];
+        EntryToCr.push_back({EntryNode, CrEdgeId});
+        for (uint32_t ExitNode : CalleeInfo.ExitNodes)
+          ExitToReturn.push_back({ExitNode, ReturnNode});
+      } else {
+        Psg.IndirectReturnNodes.push_back(ReturnNode);
+      }
+    }
+    if (R.AddressTaken)
+      for (uint32_t ExitNode : Info.ExitNodes)
+        Psg.AddressTakenExitNodes.push_back(ExitNode);
+  }
+
+  auto PackCsr = [&](std::vector<std::pair<uint32_t, uint32_t>> &Pairs,
+                     std::vector<uint32_t> &Begin,
+                     std::vector<uint32_t> &Ids) {
+    std::sort(Pairs.begin(), Pairs.end());
+    Pairs.erase(std::unique(Pairs.begin(), Pairs.end()), Pairs.end());
+    Begin.assign(Psg.Nodes.size() + 1, 0);
+    for (const auto &[Key, Value] : Pairs)
+      ++Begin[Key + 1];
+    for (size_t I = 1; I < Begin.size(); ++I)
+      Begin[I] += Begin[I - 1];
+    Ids.resize(Pairs.size());
+    for (size_t I = 0; I < Pairs.size(); ++I)
+      Ids[I] = Pairs[I].second;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> ReturnToExit;
+  ReturnToExit.reserve(ExitToReturn.size());
+  for (const auto &[ExitNode, ReturnNode] : ExitToReturn)
+    ReturnToExit.push_back({ReturnNode, ExitNode});
+
+  PackCsr(EntryToCr, Psg.CrEdgeOfEntryBegin, Psg.CrEdgeOfEntryIds);
+  PackCsr(ExitToReturn, Psg.ReturnsOfExitBegin, Psg.ReturnsOfExitIds);
+  PackCsr(ReturnToExit, Psg.ExitsOfReturnBegin, Psg.ExitsOfReturnIds);
+
+  if (Mem) {
+    Mem->charge(Psg.Nodes.size() * sizeof(PsgNode));
+    Mem->charge(Psg.Edges.size() * sizeof(PsgEdge));
+    Mem->charge(Psg.InEdgeIds.size() * sizeof(uint32_t));
+    Mem->charge((Psg.CrEdgeOfEntryBegin.size() +
+                 Psg.CrEdgeOfEntryIds.size() +
+                 Psg.ReturnsOfExitBegin.size() +
+                 Psg.ReturnsOfExitIds.size()) *
+                sizeof(uint32_t));
+    for (const RoutinePsg &Info : Psg.RoutineInfo)
+      Mem->charge(sizeof(RoutinePsg) +
+                  (Info.EntryNodes.size() + Info.ExitNodes.size() +
+                   Info.CallNodes.size() + Info.ReturnNodes.size() +
+                   Info.BranchNodes.size()) *
+                      sizeof(uint32_t));
+  }
+
+  return Psg;
+}

@@ -1,0 +1,183 @@
+//===- psg/PsgGraph.h - Program Summary Graph data structures -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Program Summary Graph (PSG): the paper's compact representation of
+/// a program's intraprocedural and interprocedural control flow.
+///
+/// Section 3.1: each routine contributes an entry node per entrance, an
+/// exit node per exit, and a call node plus a return node per call
+/// instruction; Section 3.6 adds branch nodes at multiway branches.  Two
+/// node kinds are implementation extensions required for soundness on
+/// whole executables:
+///   - Unknown nodes terminate paths at unresolved indirect jumps
+///     (Section 3.5's "assume all registers live" rule),
+///   - Halt nodes terminate paths at program-exit instructions, so uses
+///     on non-returning paths are still observed while MUST-DEF is not
+///     weakened along them.
+///
+/// Flow-summary edges connect nodes with an anchor-free control-flow path
+/// between their program locations and are labelled with the MUST-DEF,
+/// MAY-DEF, and MAY-USE sets of all such paths (Figure 6).  Call-return
+/// edges connect each call node to its return node and carry the callee's
+/// summary (filled during phase 1, or fixed calling-standard sets for
+/// indirect calls).
+///
+/// Storage is CSR-style: nodes own [FirstOut, FirstOut+NumOut) ranges of
+/// the edge array, which is sorted by source node.  A parallel
+/// reverse-CSR (InEdgeIds sorted by destination) supports the backward
+/// worklist propagation of both dataflow phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_PSG_PSGGRAPH_H
+#define SPIKE_PSG_PSGGRAPH_H
+
+#include "cfg/Program.h"
+#include "dataflow/FlowSets.h"
+#include "support/RegSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// Kinds of PSG nodes.
+enum class PsgNodeKind : uint8_t {
+  Entry,   ///< One per routine entrance (paper node type 1).
+  Exit,    ///< One per routine exit (paper node type 2).
+  Call,    ///< One per call instruction (paper node type 3).
+  Return,  ///< One per call instruction (paper node type 4).
+  Branch,  ///< One per multiway branch (Section 3.6).
+  Unknown, ///< Sink at an unresolved indirect jump (extension, see above).
+  Halt,    ///< Sink at a program-exit instruction (extension, see above).
+};
+
+/// Returns a short name for \p Kind ("entry", "call", ...).
+const char *psgNodeKindName(PsgNodeKind Kind);
+
+/// One PSG node.
+struct PsgNode {
+  PsgNodeKind Kind = PsgNodeKind::Entry;
+
+  /// Owning routine index in the Program.
+  uint32_t RoutineIndex = 0;
+
+  /// The anchor block: the entrance block (Entry), the exiting block
+  /// (Exit), the block ended by the call (Call and Return), the multiway
+  /// branch block (Branch), or the terminating block (Unknown, Halt).
+  uint32_t BlockIndex = 0;
+
+  /// For Entry nodes: the entrance index into Routine::EntryAddresses.
+  /// For Exit nodes: the index into Routine::ExitBlocks.  Unused
+  /// otherwise.
+  uint32_t AuxIndex = 0;
+
+  /// Phase 1 dataflow value (Figure 8).  After convergence, an entry
+  /// node's sets are the routine's unfiltered call-used / call-killed /
+  /// call-defined summary.
+  FlowSets Sets;
+
+  /// Phase 2 dataflow value (Figure 10).  After convergence, MAY-USE at
+  /// entry nodes is live-at-entry and at exit nodes is live-at-exit.
+  RegSet Live;
+
+  /// CSR range of outgoing edges in ProgramSummaryGraph::Edges.
+  uint32_t FirstOut = 0;
+  uint32_t NumOut = 0;
+
+  /// CSR range of incoming edge ids in ProgramSummaryGraph::InEdgeIds.
+  uint32_t FirstIn = 0;
+  uint32_t NumIn = 0;
+};
+
+/// One PSG edge.
+struct PsgEdge {
+  uint32_t Src = 0;
+  uint32_t Dst = 0;
+
+  /// MUST-DEF / MAY-DEF / MAY-USE of the control-flow paths the edge
+  /// represents.  Flow-summary labels are fixed at build time; call-return
+  /// labels start empty and are updated during phase 1.
+  FlowSets Label;
+
+  /// True for call-return edges.
+  bool IsCallReturn = false;
+};
+
+/// Per-routine node directory.
+struct RoutinePsg {
+  /// Node id per entrance (parallel to Routine::EntryAddresses).
+  std::vector<uint32_t> EntryNodes;
+
+  /// Node id per exit (parallel to Routine::ExitBlocks).
+  std::vector<uint32_t> ExitNodes;
+
+  /// Call / return node ids per call site (parallel to
+  /// Routine::CallBlocks).
+  std::vector<uint32_t> CallNodes;
+  std::vector<uint32_t> ReturnNodes;
+
+  /// Branch node ids (one per multiway branch, when enabled).
+  std::vector<uint32_t> BranchNodes;
+};
+
+/// The whole-program summary graph.
+struct ProgramSummaryGraph {
+  std::vector<PsgNode> Nodes;
+  std::vector<PsgEdge> Edges;     ///< Sorted by Src (CSR with PsgNode).
+  std::vector<uint32_t> InEdgeIds; ///< Edge ids sorted by Dst (reverse CSR).
+
+  /// Per-routine node directory (parallel to Program::Routines).
+  std::vector<RoutinePsg> RoutineInfo;
+
+  /// For phase 1: (entry node id -> call-return edge ids to refresh when
+  /// the entry's sets change), CSR-packed.
+  std::vector<uint32_t> CrEdgeOfEntryBegin; ///< Size Nodes.size()+1.
+  std::vector<uint32_t> CrEdgeOfEntryIds;
+
+  /// For phase 2: (exit node id -> return node ids whose liveness flows
+  /// into that exit), CSR-packed.  Returns of indirect calls are handled
+  /// via IndirectReturnNodes below instead.
+  std::vector<uint32_t> ReturnsOfExitBegin; ///< Size Nodes.size()+1.
+  std::vector<uint32_t> ReturnsOfExitIds;
+
+  /// The inverse of ReturnsOfExit: (return node id -> exit node ids it
+  /// feeds), CSR-packed; used to requeue exits when a return changes.
+  std::vector<uint32_t> ExitsOfReturnBegin; ///< Size Nodes.size()+1.
+  std::vector<uint32_t> ExitsOfReturnIds;
+
+  /// Return nodes of indirect call sites; their phase 2 MAY-USE flows to
+  /// the exits of every address-taken routine.
+  std::vector<uint32_t> IndirectReturnNodes;
+
+  /// Exit node ids of address-taken routines.
+  std::vector<uint32_t> AddressTakenExitNodes;
+
+  /// Number of flow-summary edges (Edges.size() minus call-return edges).
+  uint64_t NumFlowSummaryEdges = 0;
+
+  /// Number of branch nodes inserted (Table 4's node increase).
+  uint64_t NumBranchNodes = 0;
+
+  /// Returns the out-edge id range of \p NodeId.
+  struct EdgeRange {
+    const PsgEdge *BeginPtr;
+    const PsgEdge *EndPtr;
+    const PsgEdge *begin() const { return BeginPtr; }
+    const PsgEdge *end() const { return EndPtr; }
+  };
+
+  EdgeRange outEdges(uint32_t NodeId) const {
+    const PsgNode &Node = Nodes[NodeId];
+    const PsgEdge *Base = Edges.data() + Node.FirstOut;
+    return {Base, Base + Node.NumOut};
+  }
+};
+
+} // namespace spike
+
+#endif // SPIKE_PSG_PSGGRAPH_H

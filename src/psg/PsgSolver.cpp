@@ -1,0 +1,309 @@
+//===- psg/PsgSolver.cpp - The two PSG dataflow phases --------------------===//
+
+#include "psg/PsgSolver.h"
+
+#include "dataflow/CallPolicy.h"
+#include "dataflow/Worklist.h"
+
+#include <cassert>
+
+using namespace spike;
+
+FlowSets spike::filterCalleeSaved(const FlowSets &Sets, RegSet Saved) {
+  return FlowSets{Sets.MayUse - Saved, Sets.MayDef - Saved,
+                  Sets.MustDef - Saved};
+}
+
+namespace {
+
+/// Returns true if \p Kind has a fixed phase-1 value that the solver must
+/// never recompute.
+bool isFixedPhase1(PsgNodeKind Kind) {
+  return Kind == PsgNodeKind::Exit || Kind == PsgNodeKind::Unknown ||
+         Kind == PsgNodeKind::Halt;
+}
+
+} // namespace
+
+// Phase 1 runs in two worklist passes.  The subtraction in Figure 8's
+// MAY-USE equation (MAY-USE[N_Y] − MUST-DEF[E]) makes MAY-USE *antitone*
+// in the call-return MUST-DEF labels, which move as callee summaries
+// converge; iterating everything together is a non-monotone chaotic
+// iteration that can oscillate forever on mutually recursive call
+// graphs.  Instead:
+//
+//   Pass A solves the MUST-DEF / MAY-DEF subsystem, which depends only
+//   on itself.  MUST-DEF is a *must* problem: it starts at top and
+//   shrinks to the greatest fixpoint (starting at bottom would
+//   under-solve recursion — a self-recursive routine that defines v0 on
+//   every terminating path must report v0 call-defined, which only the
+//   greatest fixpoint captures).  MAY-DEF starts at bottom and grows.
+//   Both components move monotonically in their own direction, so the
+//   pass terminates; the call-return labels are frozen afterwards.
+//
+//   Pass B solves MAY-USE from bottom with those labels frozen; the
+//   MAY-USE system is then monotone (labels' MAY-USE only grow), so it
+//   converges to the least fixpoint — the meet-over-valid-paths value.
+SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
+                             const std::vector<RegSet> &SavedPerRoutine) {
+  SolverStats Stats;
+  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
+  RegSet RaOnly;
+  RaOnly.insert(Prog.Conv.RaReg);
+
+  // Boundary values.  Exit: nothing runs after a returning exit.
+  // Unknown: arbitrary code may run (Section 3.5).  Halt: no code runs
+  // and the path never returns, so MUST-DEF is top.
+  for (PsgNode &Node : Psg.Nodes) {
+    switch (Node.Kind) {
+    case PsgNodeKind::Exit:
+      Node.Sets = FlowSets::atExit();
+      break;
+    case PsgNodeKind::Unknown:
+      // Section 3.5 boundary: annotated live set when present, all
+      // registers otherwise; unknown code may define anything.
+      Node.Sets = unknownJumpBoundary(
+          Prog, Prog.Routines[Node.RoutineIndex].Blocks[Node.BlockIndex]);
+      break;
+    case PsgNodeKind::Halt:
+      Node.Sets = FlowSets::afterHalt(AllRegs);
+      break;
+    default:
+      // Interior nodes: MUST-DEF starts at top (must problem), the MAY
+      // sets at bottom.
+      Node.Sets = FlowSets{RegSet(), RegSet(), AllRegs};
+      break;
+    }
+  }
+
+  // Direct call-return edges must also start with MUST-DEF at top so the
+  // downward iteration is monotone; they are refreshed from the callee's
+  // entry node as it converges.  (Indirect ones carry fixed
+  // calling-standard sets.)
+  for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId)
+    for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
+                  E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
+         I != E; ++I)
+      Psg.Edges[Psg.CrEdgeOfEntryIds[I]].Label.MustDef = AllRegs;
+
+  auto SeedWorklist = [&](Worklist &List) {
+    // Reverse id order so that within a routine the first sweep tends to
+    // run sink-to-source.
+    for (uint32_t NodeId = uint32_t(Psg.Nodes.size()); NodeId-- > 0;)
+      if (!isFixedPhase1(Psg.Nodes[NodeId].Kind))
+        List.push(NodeId);
+  };
+
+  auto PushPreds = [&](Worklist &List, const PsgNode &Node) {
+    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
+         ++I) {
+      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
+      if (!isFixedPhase1(Psg.Nodes[Pred].Kind))
+        List.push(Pred);
+    }
+  };
+
+  // --- Pass A: MUST-DEF and MAY-DEF. -------------------------------------
+  {
+    Worklist List(static_cast<uint32_t>(Psg.Nodes.size()));
+    SeedWorklist(List);
+    std::vector<uint32_t> ChangedCalls;
+    while (!List.empty()) {
+      uint32_t NodeId = List.pop();
+      PsgNode &Node = Psg.Nodes[NodeId];
+      ++Stats.NodeEvaluations;
+
+      RegSet NewMustDef, NewMayDef;
+      bool First = true;
+      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+        const PsgNode &Dst = Psg.Nodes[Edge.Dst];
+        RegSet ThroughMust = Dst.Sets.MustDef | Edge.Label.MustDef;
+        NewMustDef = First ? ThroughMust : (NewMustDef & ThroughMust);
+        NewMayDef |= Dst.Sets.MayDef | Edge.Label.MayDef;
+        First = false;
+      }
+      if (First)
+        NewMustDef = AllRegs; // No path to any sink: meet over nothing.
+
+      if (NewMustDef == Node.Sets.MustDef &&
+          NewMayDef == Node.Sets.MayDef)
+        continue;
+      Node.Sets.MustDef = NewMustDef;
+      Node.Sets.MayDef = NewMayDef;
+      PushPreds(List, Node);
+
+      if (Node.Kind != PsgNodeKind::Entry)
+        continue;
+      // Refresh the def parts of this entry's call-return edges
+      // (Section 3.4 filter + the jsr's own def of ra).
+      RegSet Saved = SavedPerRoutine[Node.RoutineIndex];
+      RegSet LabelMust = (NewMustDef - Saved) | RaOnly;
+      RegSet LabelMay = (NewMayDef - Saved) | RaOnly;
+      ChangedCalls.clear();
+      for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
+                    E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
+           I != E; ++I) {
+        PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
+        assert(Edge.IsCallReturn && "registered edge is not call-return");
+        if (Edge.Label.MustDef == LabelMust &&
+            Edge.Label.MayDef == LabelMay)
+          continue;
+        Edge.Label.MustDef = LabelMust;
+        Edge.Label.MayDef = LabelMay;
+        ChangedCalls.push_back(Edge.Src);
+      }
+      for (uint32_t CallNode : ChangedCalls)
+        List.push(CallNode);
+    }
+  }
+
+  // --- Pass B: MAY-USE, with all MUST-DEF labels frozen. ------------------
+  // Reset the MAY-USE state to bottom; indirect call-return edges keep
+  // their fixed calling-standard MAY-USE, direct ones restart at empty.
+  for (PsgNode &Node : Psg.Nodes)
+    if (Node.Kind != PsgNodeKind::Unknown)
+      Node.Sets.MayUse = RegSet();
+  for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId)
+    for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
+                  E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
+         I != E; ++I)
+      Psg.Edges[Psg.CrEdgeOfEntryIds[I]].Label.MayUse = RegSet();
+
+  {
+    Worklist List(static_cast<uint32_t>(Psg.Nodes.size()));
+    SeedWorklist(List);
+    std::vector<uint32_t> ChangedCalls;
+    while (!List.empty()) {
+      uint32_t NodeId = List.pop();
+      PsgNode &Node = Psg.Nodes[NodeId];
+      ++Stats.NodeEvaluations;
+
+      // Figure 8: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
+      // MUST-DEF[E]), unioned across out-edges.
+      RegSet NewMayUse;
+      for (const PsgEdge &Edge : Psg.outEdges(NodeId))
+        NewMayUse |= Edge.Label.MayUse |
+                     (Psg.Nodes[Edge.Dst].Sets.MayUse - Edge.Label.MustDef);
+
+      if (NewMayUse == Node.Sets.MayUse)
+        continue;
+      Node.Sets.MayUse = NewMayUse;
+      PushPreds(List, Node);
+
+      if (Node.Kind != PsgNodeKind::Entry)
+        continue;
+      RegSet LabelUse =
+          (NewMayUse - SavedPerRoutine[Node.RoutineIndex]) - RaOnly;
+      ChangedCalls.clear();
+      for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
+                    E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
+           I != E; ++I) {
+        PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
+        if (Edge.Label.MayUse == LabelUse)
+          continue;
+        Edge.Label.MayUse = LabelUse;
+        ChangedCalls.push_back(Edge.Src);
+      }
+      for (uint32_t CallNode : ChangedCalls)
+        List.push(CallNode);
+    }
+  }
+
+  return Stats;
+}
+
+SolverStats spike::runPhase2(const Program &Prog,
+                             ProgramSummaryGraph &Psg) {
+  SolverStats Stats;
+  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
+
+  // Exit seeds: routines that can return to unknown code (the program
+  // entry routine and address-taken routines) get the calling standard's
+  // conservative live-at-exit assumption.
+  std::vector<RegSet> ExitSeed(Psg.Nodes.size());
+  std::vector<bool> IsAddressTakenExit(Psg.Nodes.size(), false);
+  RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();
+  for (uint32_t ExitNode : Psg.AddressTakenExitNodes) {
+    ExitSeed[ExitNode] = UnknownCallerLive;
+    IsAddressTakenExit[ExitNode] = true;
+  }
+  if (Prog.EntryRoutine >= 0)
+    for (uint32_t ExitNode :
+         Psg.RoutineInfo[Prog.EntryRoutine].ExitNodes)
+      ExitSeed[ExitNode] = UnknownCallerLive;
+
+  std::vector<bool> IsIndirectReturn(Psg.Nodes.size(), false);
+  for (uint32_t ReturnNode : Psg.IndirectReturnNodes)
+    IsIndirectReturn[ReturnNode] = true;
+
+  // Union of the live sets of all indirect-call return nodes; flows into
+  // every address-taken routine's exits.
+  RegSet IndirectAccum;
+
+  for (PsgNode &Node : Psg.Nodes)
+    Node.Live =
+        Node.Kind == PsgNodeKind::Unknown
+            ? Prog.jumpTargetLive(
+                  Prog.Routines[Node.RoutineIndex]
+                      .Blocks[Node.BlockIndex]
+                      .End -
+                  1)
+            : RegSet();
+
+  Worklist List(static_cast<uint32_t>(Psg.Nodes.size()));
+  for (uint32_t NodeId = uint32_t(Psg.Nodes.size()); NodeId-- > 0;) {
+    PsgNodeKind Kind = Psg.Nodes[NodeId].Kind;
+    if (Kind != PsgNodeKind::Unknown && Kind != PsgNodeKind::Halt)
+      List.push(NodeId);
+  }
+
+  while (!List.empty()) {
+    uint32_t NodeId = List.pop();
+    PsgNode &Node = Psg.Nodes[NodeId];
+    ++Stats.NodeEvaluations;
+
+    RegSet NewLive;
+    if (Node.Kind == PsgNodeKind::Exit) {
+      NewLive = ExitSeed[NodeId];
+      for (uint32_t I = Psg.ReturnsOfExitBegin[NodeId],
+                    E = Psg.ReturnsOfExitBegin[NodeId + 1];
+           I != E; ++I)
+        NewLive |= Psg.Nodes[Psg.ReturnsOfExitIds[I]].Live;
+      if (IsAddressTakenExit[NodeId])
+        NewLive |= IndirectAccum;
+    } else {
+      // Figure 10: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
+      // MUST-DEF[E]), unioned across out-edges.
+      for (const PsgEdge &Edge : Psg.outEdges(NodeId))
+        NewLive |= Edge.Label.MayUse |
+                   (Psg.Nodes[Edge.Dst].Live - Edge.Label.MustDef);
+    }
+
+    if (NewLive == Node.Live)
+      continue;
+    Node.Live = NewLive;
+
+    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
+         ++I) {
+      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
+      PsgNodeKind PredKind = Psg.Nodes[Pred].Kind;
+      if (PredKind != PsgNodeKind::Unknown && PredKind != PsgNodeKind::Halt)
+        List.push(Pred);
+    }
+
+    if (Node.Kind == PsgNodeKind::Return) {
+      for (uint32_t I = Psg.ExitsOfReturnBegin[NodeId],
+                    E = Psg.ExitsOfReturnBegin[NodeId + 1];
+           I != E; ++I)
+        List.push(Psg.ExitsOfReturnIds[I]);
+      if (IsIndirectReturn[NodeId] &&
+          !IndirectAccum.containsAll(Node.Live)) {
+        IndirectAccum |= Node.Live;
+        for (uint32_t ExitNode : Psg.AddressTakenExitNodes)
+          List.push(ExitNode);
+      }
+    }
+  }
+
+  return Stats;
+}

@@ -1,0 +1,56 @@
+//===- psg/PsgSolver.h - The two PSG dataflow phases ----------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two interprocedural dataflow phases run over the PSG.
+///
+/// Phase 1 (Section 3.2, Figure 8) propagates MAY-USE/MAY-DEF/MUST-DEF
+/// backward over PSG edges and copies converged entry-node sets onto the
+/// call-return edges of the entry's call sites, yielding each routine's
+/// call-used / call-killed / call-defined summary.  The Section 3.4
+/// callee-saved filter is applied when copying: registers a callee saves
+/// and restores are removed so they never appear used/killed/defined to
+/// callers.
+///
+/// Phase 2 (Section 3.3, Figure 10) re-propagates MAY-USE with exit nodes
+/// seeded from the return points of the routine's callers, yielding
+/// live-at-entry and live-at-exit.  Using the phase 1 call-return labels
+/// restricts propagation to valid paths (the meet-over-all-valid-paths
+/// solution discussed in Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_PSG_PSGSOLVER_H
+#define SPIKE_PSG_PSGSOLVER_H
+
+#include "psg/PsgGraph.h"
+#include "support/RegSet.h"
+
+#include <vector>
+
+namespace spike {
+
+/// Solver statistics (used by tests and the ablation bench).
+struct SolverStats {
+  uint64_t NodeEvaluations = 0;
+};
+
+/// Runs phase 1 to convergence.  \p SavedPerRoutine holds, per routine,
+/// the callee-saved registers it saves and restores (Section 3.4).
+SolverStats runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
+                      const std::vector<RegSet> &SavedPerRoutine);
+
+/// Runs phase 2 to convergence.  Phase 1 must have run first (the
+/// call-return edge labels it produced are inputs here).
+SolverStats runPhase2(const Program &Prog, ProgramSummaryGraph &Psg);
+
+/// Returns the callee-saved-filtered copy of \p Sets for a routine whose
+/// saved-and-restored register set is \p Saved (the Section 3.4 filter).
+FlowSets filterCalleeSaved(const FlowSets &Sets, RegSet Saved);
+
+} // namespace spike
+
+#endif // SPIKE_PSG_PSGSOLVER_H

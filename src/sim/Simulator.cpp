@@ -1,0 +1,294 @@
+//===- sim/Simulator.cpp - Synthetic ISA interpreter ----------------------===//
+
+#include "sim/Simulator.h"
+
+#include "isa/Encoding.h"
+#include "isa/Registers.h"
+
+#include <array>
+#include <cassert>
+
+using namespace spike;
+
+const char *spike::simExitName(SimExit Exit) {
+  switch (Exit) {
+  case SimExit::Halted:
+    return "halted";
+  case SimExit::MaxSteps:
+    return "max-steps";
+  case SimExit::BadPc:
+    return "bad-pc";
+  case SimExit::BadMemory:
+    return "bad-memory";
+  case SimExit::BadJumpIndex:
+    return "bad-jump-index";
+  case SimExit::BadInstruction:
+    return "bad-instruction";
+  }
+  assert(false && "unknown exit kind");
+  return "<bad>";
+}
+
+namespace {
+
+/// The machine state of one run.
+class Machine {
+public:
+  Machine(const Image &Img, const SimOptions &Opts)
+      : Img(Img), Opts(Opts), Stack(Opts.StackWords, 0),
+        Data(Img.Data) {
+    Regs.fill(0);
+    Regs[reg::SP] = int64_t(SimStackTop);
+  }
+
+  void setArgs(const std::vector<int64_t> &Args) {
+    for (size_t I = 0; I < Args.size() && I < 6; ++I)
+      Regs[reg::A0 + I] = Args[I];
+  }
+
+  SimResult run() {
+    SimResult Result;
+    if (Opts.Profile)
+      Result.ExecCounts.assign(Img.Code.size(), 0);
+    uint64_t Pc = Img.EntryAddress;
+    while (Result.Steps < Opts.MaxSteps) {
+      if (Pc >= Img.Code.size()) {
+        Result.Exit = SimExit::BadPc;
+        break;
+      }
+      std::optional<Instruction> Decoded = decodeInstruction(Img.Code[Pc]);
+      if (!Decoded) {
+        Result.Exit = SimExit::BadInstruction;
+        break;
+      }
+      const Instruction &Inst = *Decoded;
+      ++Result.Steps;
+      if (Opts.Profile)
+        ++Result.ExecCounts[Pc];
+      if (Inst.Op == Opcode::Nop)
+        ++Result.NopSteps;
+
+      uint64_t Next = Pc + 1;
+      bool Fault = false;
+      switch (Inst.Op) {
+      case Opcode::Add:
+        set(Inst.Rc, get(Inst.Ra) + get(Inst.Rb));
+        break;
+      case Opcode::Sub:
+        set(Inst.Rc, get(Inst.Ra) - get(Inst.Rb));
+        break;
+      case Opcode::And:
+        set(Inst.Rc, get(Inst.Ra) & get(Inst.Rb));
+        break;
+      case Opcode::Or:
+        set(Inst.Rc, get(Inst.Ra) | get(Inst.Rb));
+        break;
+      case Opcode::Xor:
+        set(Inst.Rc, get(Inst.Ra) ^ get(Inst.Rb));
+        break;
+      case Opcode::Sll:
+        set(Inst.Rc, shiftLeft(get(Inst.Ra), get(Inst.Rb)));
+        break;
+      case Opcode::Srl:
+        set(Inst.Rc, shiftRight(get(Inst.Ra), get(Inst.Rb)));
+        break;
+      case Opcode::Mul:
+        set(Inst.Rc, int64_t(uint64_t(get(Inst.Ra)) *
+                             uint64_t(get(Inst.Rb))));
+        break;
+      case Opcode::CmpEq:
+        set(Inst.Rc, get(Inst.Ra) == get(Inst.Rb) ? 1 : 0);
+        break;
+      case Opcode::CmpLt:
+        set(Inst.Rc, get(Inst.Ra) < get(Inst.Rb) ? 1 : 0);
+        break;
+      case Opcode::CmpLe:
+        set(Inst.Rc, get(Inst.Ra) <= get(Inst.Rb) ? 1 : 0);
+        break;
+      case Opcode::AddI:
+        set(Inst.Rc, get(Inst.Ra) + Inst.Imm);
+        break;
+      case Opcode::SubI:
+        set(Inst.Rc, get(Inst.Ra) - Inst.Imm);
+        break;
+      case Opcode::AndI:
+        set(Inst.Rc, get(Inst.Ra) & Inst.Imm);
+        break;
+      case Opcode::OrI:
+        set(Inst.Rc, get(Inst.Ra) | Inst.Imm);
+        break;
+      case Opcode::XorI:
+        set(Inst.Rc, get(Inst.Ra) ^ Inst.Imm);
+        break;
+      case Opcode::SllI:
+        set(Inst.Rc, shiftLeft(get(Inst.Ra), Inst.Imm));
+        break;
+      case Opcode::SrlI:
+        set(Inst.Rc, shiftRight(get(Inst.Ra), Inst.Imm));
+        break;
+      case Opcode::MulI:
+        set(Inst.Rc, int64_t(uint64_t(get(Inst.Ra)) *
+                             uint64_t(int64_t(Inst.Imm))));
+        break;
+      case Opcode::CmpEqI:
+        set(Inst.Rc, get(Inst.Ra) == Inst.Imm ? 1 : 0);
+        break;
+      case Opcode::CmpLtI:
+        set(Inst.Rc, get(Inst.Ra) < Inst.Imm ? 1 : 0);
+        break;
+      case Opcode::Lda:
+        set(Inst.Rc, Inst.Imm);
+        break;
+      case Opcode::Mov:
+        set(Inst.Rc, get(Inst.Ra));
+        break;
+      case Opcode::Ldq: {
+        int64_t Value = 0;
+        Fault = !load(uint64_t(get(Inst.Rb) + Inst.Imm), Value);
+        if (!Fault)
+          set(Inst.Rc, Value);
+        break;
+      }
+      case Opcode::Stq:
+        Fault = !store(uint64_t(get(Inst.Rb) + Inst.Imm), get(Inst.Ra));
+        break;
+      case Opcode::Br:
+        Next = uint64_t(int64_t(Pc) + 1 + Inst.Imm);
+        break;
+      case Opcode::Beq:
+        if (get(Inst.Ra) == 0)
+          Next = uint64_t(int64_t(Pc) + 1 + Inst.Imm);
+        break;
+      case Opcode::Bne:
+        if (get(Inst.Ra) != 0)
+          Next = uint64_t(int64_t(Pc) + 1 + Inst.Imm);
+        break;
+      case Opcode::Blt:
+        if (get(Inst.Ra) < 0)
+          Next = uint64_t(int64_t(Pc) + 1 + Inst.Imm);
+        break;
+      case Opcode::Bge:
+        if (get(Inst.Ra) >= 0)
+          Next = uint64_t(int64_t(Pc) + 1 + Inst.Imm);
+        break;
+      case Opcode::Jsr:
+        set(reg::RA, int64_t(Pc) + 1);
+        Next = uint64_t(uint32_t(Inst.Imm));
+        break;
+      case Opcode::JsrR:
+        set(reg::RA, int64_t(Pc) + 1);
+        Next = uint64_t(get(Inst.Rb));
+        break;
+      case Opcode::Ret:
+        Next = uint64_t(get(reg::RA));
+        break;
+      case Opcode::JmpTab: {
+        uint64_t TableIndex = uint64_t(uint32_t(Inst.Imm));
+        assert(TableIndex < Img.JumpTables.size() && "verified image");
+        const JumpTable &Table = Img.JumpTables[TableIndex];
+        uint64_t Index = uint64_t(get(Inst.Ra));
+        if (Index >= Table.Targets.size()) {
+          Result.Exit = SimExit::BadJumpIndex;
+          Result.FinalData = Data;
+          return Result;
+        }
+        Next = Table.Targets[Index];
+        break;
+      }
+      case Opcode::JmpR:
+        Next = uint64_t(get(Inst.Rb));
+        break;
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        Result.Exit = SimExit::Halted;
+        Result.ExitValue = get(Inst.Ra);
+        Result.FinalData = Data;
+        return Result;
+      }
+
+      if (Fault) {
+        Result.Exit = SimExit::BadMemory;
+        break;
+      }
+      Pc = Next;
+    }
+    Result.FinalData = Data;
+    return Result;
+  }
+
+private:
+  int64_t get(unsigned R) const {
+    return R == reg::Zero ? 0 : Regs[R];
+  }
+
+  void set(unsigned R, int64_t Value) {
+    if (R != reg::Zero)
+      Regs[R] = Value;
+  }
+
+  static int64_t shiftLeft(int64_t Value, int64_t Amount) {
+    return int64_t(uint64_t(Value) << (uint64_t(Amount) & 63));
+  }
+
+  static int64_t shiftRight(int64_t Value, int64_t Amount) {
+    return int64_t(uint64_t(Value) >> (uint64_t(Amount) & 63));
+  }
+
+  /// Maps a stack-region address to its index in Stack, or returns false.
+  /// The stack occupies [SimStackTop - StackWords, SimStackTop).
+  bool stackIndex(uint64_t Address, size_t &Index) const {
+    uint64_t Base = SimStackTop - Stack.size();
+    if (Address < Base || Address >= SimStackTop)
+      return false;
+    Index = size_t(Address - Base);
+    return true;
+  }
+
+  bool load(uint64_t Address, int64_t &Value) {
+    if (Address >= SimDataBase && Address - SimDataBase < Data.size()) {
+      Value = Data[Address - SimDataBase];
+      return true;
+    }
+    size_t Index;
+    if (stackIndex(Address, Index)) {
+      Value = Stack[Index];
+      return true;
+    }
+    return false;
+  }
+
+  bool store(uint64_t Address, int64_t Value) {
+    if (Address >= SimDataBase && Address - SimDataBase < Data.size()) {
+      Data[Address - SimDataBase] = Value;
+      return true;
+    }
+    size_t Index;
+    if (stackIndex(Address, Index)) {
+      Stack[Index] = Value;
+      return true;
+    }
+    return false;
+  }
+
+  const Image &Img;
+  const SimOptions &Opts;
+  std::array<int64_t, NumIntRegs> Regs;
+  std::vector<int64_t> Stack;
+  std::vector<int64_t> Data;
+};
+
+} // namespace
+
+SimResult spike::simulate(const Image &Img, const SimOptions &Opts) {
+  Machine M(Img, Opts);
+  return M.run();
+}
+
+SimResult spike::simulateWithArgs(const Image &Img,
+                                  const std::vector<int64_t> &Args,
+                                  const SimOptions &Opts) {
+  Machine M(Img, Opts);
+  M.setArgs(Args);
+  return M.run();
+}

@@ -1,0 +1,111 @@
+//===- sim/Simulator.h - Synthetic ISA interpreter ------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interpreter for the synthetic ISA.
+///
+/// Two jobs:
+///   1. Soundness oracle: every optimization pass must leave a program's
+///      observable behaviour (exit status, exit value, final data-section
+///      contents) unchanged; property tests run images before and after
+///      optimization and compare.
+///   2. Benchmark substrate for the paper's Section 1 claim that the
+///      summary-driven optimizations improve performance: the simulator
+///      counts executed instructions, separating nops (deleted
+///      instructions are overwritten with nops, which a production
+///      rewriter would compact away).
+///
+/// Memory model: a word-addressed 64-bit memory with a private stack
+/// region (sp starts at its top) and an observable data region
+/// initialized from the image's data section.  The stack is deliberately
+/// *not* part of observable behaviour so that spill/save slots can be
+/// legally eliminated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SIM_SIMULATOR_H
+#define SPIKE_SIM_SIMULATOR_H
+
+#include "binary/Image.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// Simulation limits and memory geometry.
+struct SimOptions {
+  /// Maximum instructions to execute before giving up.
+  uint64_t MaxSteps = 50'000'000;
+
+  /// Stack region size in 64-bit words.
+  uint64_t StackWords = 1 << 16;
+
+  /// Record per-address execution counts (SimResult::ExecCounts); the
+  /// profile feeds Spike-style hot-routine reporting.
+  bool Profile = false;
+};
+
+/// Word address of the first data-section word (the ABI constant).
+inline constexpr uint64_t SimDataBase = DataSectionBase;
+
+/// Word address one past the top of the stack (initial sp).
+inline constexpr uint64_t SimStackTop = 0x100000;
+
+/// Why a simulation ended.
+enum class SimExit : uint8_t {
+  Halted,         ///< Executed a halt instruction.
+  MaxSteps,       ///< Step budget exhausted.
+  BadPc,          ///< Control left the code section.
+  BadMemory,      ///< Load/store outside stack and data regions.
+  BadJumpIndex,   ///< Jump-table index out of range.
+  BadInstruction, ///< Undecodable word reached.
+};
+
+/// Returns a printable name for \p Exit.
+const char *simExitName(SimExit Exit);
+
+/// The observable (and some diagnostic) outcome of a run.
+struct SimResult {
+  SimExit Exit = SimExit::MaxSteps;
+
+  /// Value of the register named by the halt instruction.
+  int64_t ExitValue = 0;
+
+  /// Final contents of the data region (observable).
+  std::vector<int64_t> FinalData;
+
+  /// Total instructions executed.
+  uint64_t Steps = 0;
+
+  /// Of those, how many were nops.
+  uint64_t NopSteps = 0;
+
+  /// Executed non-nop instructions (the performance metric).
+  uint64_t usefulSteps() const { return Steps - NopSteps; }
+
+  /// Per-address execution counts (empty unless SimOptions::Profile).
+  std::vector<uint64_t> ExecCounts;
+
+  /// True if two runs are observably equivalent.
+  bool sameObservable(const SimResult &Other) const {
+    return Exit == Other.Exit && ExitValue == Other.ExitValue &&
+           FinalData == Other.FinalData;
+  }
+};
+
+/// Runs \p Img from its entry address with all registers zero except sp.
+SimResult simulate(const Image &Img, const SimOptions &Opts = {});
+
+/// Runs \p Img with the argument registers a0..a5 preloaded from
+/// \p Args (missing entries default to zero), for input-sensitive tests.
+SimResult simulateWithArgs(const Image &Img,
+                           const std::vector<int64_t> &Args,
+                           const SimOptions &Opts = {});
+
+} // namespace spike
+
+#endif // SPIKE_SIM_SIMULATOR_H

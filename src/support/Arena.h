@@ -1,0 +1,112 @@
+//===- support/Arena.h - Bump-pointer allocator ---------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena with optional byte accounting.
+///
+/// The PSG builder allocates many small nodes and edges whose lifetimes all
+/// end together when the analysis finishes, which is the textbook arena use
+/// case.  The arena also reports every allocated byte to a MemoryTracker so
+/// the Table 2 / Figure 15 benchmarks can report analysis memory the same
+/// way the paper does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_ARENA_H
+#define SPIKE_SUPPORT_ARENA_H
+
+#include "support/MemoryTracker.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace spike {
+
+/// Bump-pointer allocator.  Objects allocated from the arena are never
+/// individually freed; non-trivially-destructible objects have their
+/// destructors run when the arena is destroyed.
+class Arena {
+public:
+  explicit Arena(MemoryTracker *Tracker = nullptr) : Tracker(Tracker) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    for (auto It = Destructors.rbegin(); It != Destructors.rend(); ++It)
+      It->Destroy(It->Object);
+  }
+
+  /// Allocates raw storage of \p Bytes with the given \p Alignment.
+  void *allocate(size_t Bytes, size_t Alignment = alignof(std::max_align_t)) {
+    assert((Alignment & (Alignment - 1)) == 0 && "alignment must be pow2");
+    size_t Offset = (CurrentOffset + Alignment - 1) & ~(Alignment - 1);
+    if (!CurrentSlab || Offset + Bytes > CurrentCapacity) {
+      newSlab(Bytes + Alignment);
+      Offset = (CurrentOffset + Alignment - 1) & ~(Alignment - 1);
+    }
+    void *Result = CurrentSlab + Offset;
+    CurrentOffset = Offset + Bytes;
+    if (Tracker)
+      Tracker->charge(Bytes);
+    return Result;
+  }
+
+  /// Constructs a \p T in the arena, forwarding \p Args to the constructor.
+  template <typename T, typename... Args> T *create(Args &&...ArgValues) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Object = new (Mem) T(std::forward<Args>(ArgValues)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Destructors.push_back(
+          {Object, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Object;
+  }
+
+  /// Returns total bytes handed out (not counting slab slack).
+  uint64_t bytesAllocated() const { return TotalAllocated; }
+
+private:
+  struct DestructorRecord {
+    void *Object;
+    void (*Destroy)(void *);
+  };
+
+  static size_t SlabSize(size_t SlabIndex) {
+    // Grow slabs geometrically, starting at 64 KiB.
+    size_t Size = size_t(64) << 10;
+    for (size_t I = 0; I < SlabIndex && Size < (size_t(8) << 20); ++I)
+      Size <<= 1;
+    return Size;
+  }
+
+  void newSlab(size_t MinBytes) {
+    size_t Size = SlabSize(Slabs.size());
+    if (Size < MinBytes)
+      Size = MinBytes;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    CurrentSlab = Slabs.back().get();
+    CurrentCapacity = Size;
+    CurrentOffset = 0;
+    TotalAllocated += Size;
+  }
+
+  MemoryTracker *Tracker;
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  std::vector<DestructorRecord> Destructors;
+  char *CurrentSlab = nullptr;
+  size_t CurrentCapacity = 0;
+  size_t CurrentOffset = 0;
+  uint64_t TotalAllocated = 0;
+};
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_ARENA_H

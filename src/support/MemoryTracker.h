@@ -1,0 +1,76 @@
+//===- support/MemoryTracker.h - Analysis memory accounting ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level accounting for the memory consumed by an analysis run.
+///
+/// Table 2 and Figure 15 of the paper report the memory required to perform
+/// interprocedural dataflow analysis.  Spike's numbers count the analysis
+/// data structures (CFG, DEF/UBD sets, PSG nodes and edges, dataflow sets),
+/// not the program image itself.  We reproduce that by routing all analysis
+/// allocations through a tracked Arena and by letting containers report
+/// their footprint to a MemoryTracker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_MEMORYTRACKER_H
+#define SPIKE_SUPPORT_MEMORYTRACKER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spike {
+
+/// Accumulates bytes charged by analysis data structures.
+///
+/// Trackers are plain value objects passed by pointer; a null tracker is
+/// allowed everywhere and means "do not account".
+class MemoryTracker {
+public:
+  /// Charges \p Bytes to the tracker.
+  void charge(size_t Bytes) {
+    LiveBytes += Bytes;
+    if (LiveBytes > PeakBytes)
+      PeakBytes = LiveBytes;
+  }
+
+  /// Releases \p Bytes previously charged.
+  void release(size_t Bytes) {
+    LiveBytes = Bytes > LiveBytes ? 0 : LiveBytes - Bytes;
+  }
+
+  /// Returns the bytes currently charged.
+  uint64_t liveBytes() const { return LiveBytes; }
+
+  /// Returns the maximum of liveBytes() over the tracker's lifetime.
+  uint64_t peakBytes() const { return PeakBytes; }
+
+  /// Returns peak usage in mebibytes.
+  double peakMBytes() const {
+    return double(PeakBytes) / (1024.0 * 1024.0);
+  }
+
+  /// Resets both counters to zero.
+  void reset() {
+    LiveBytes = 0;
+    PeakBytes = 0;
+  }
+
+private:
+  uint64_t LiveBytes = 0;
+  uint64_t PeakBytes = 0;
+};
+
+/// Charges \p Tracker (if non-null) for \p Bytes; returns \p Bytes.
+inline size_t chargeIf(MemoryTracker *Tracker, size_t Bytes) {
+  if (Tracker)
+    Tracker->charge(Bytes);
+  return Bytes;
+}
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_MEMORYTRACKER_H

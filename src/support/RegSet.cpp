@@ -1,0 +1,21 @@
+//===- support/RegSet.cpp - Fixed-size register bitset -------------------===//
+
+#include "support/RegSet.h"
+
+#include <sstream>
+
+using namespace spike;
+
+std::string RegSet::str() const {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (unsigned R : *this) {
+    if (!First)
+      OS << ", ";
+    OS << 'R' << R;
+    First = false;
+  }
+  OS << '}';
+  return OS.str();
+}

@@ -1,0 +1,103 @@
+//===- support/Rng.h - Deterministic random number generator --*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256**) used by the synthetic
+/// program generators and the property-based tests.
+///
+/// Determinism matters: every benchmark profile is generated from a fixed
+/// seed so Table 2-5 rows are reproducible run over run, and every failing
+/// property test can be replayed from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_RNG_H
+#define SPIKE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace spike {
+
+/// Deterministic 64-bit PRNG with convenience helpers for ranges,
+/// probabilities, and approximately-Poisson counts.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t X = Seed;
+    for (auto &Word : State) {
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    auto Rotl = [](uint64_t V, int K) {
+      return (V << K) | (V >> (64 - K));
+    };
+    uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound).  \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Multiply-shift; bias is negligible for our bounds (<< 2^32).
+    return (__uint128_t(next()) * Bound) >> 64;
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + int64_t(below(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double uniform() {
+    return double(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Returns a non-negative count with the given \p Mean, geometric-ish
+  /// (used to draw per-routine call/branch counts around a profile mean).
+  unsigned countAround(double Mean) {
+    if (Mean <= 0)
+      return 0;
+    // Draw from a geometric distribution with the requested mean; this
+    // gives a realistic long tail of large routines.
+    double U = uniform();
+    double P = 1.0 / (Mean + 1.0);
+    unsigned Count = 0;
+    double Cum = P;
+    while (U > Cum && Count < 10000) {
+      ++Count;
+      P *= (Mean / (Mean + 1.0));
+      Cum += P;
+    }
+    return Count;
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_RNG_H

@@ -1,0 +1,94 @@
+//===- support/TablePrinter.h - Aligned text tables -----------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer used by the benchmark harnesses to
+/// print rows in the same layout as the paper's Tables 2-5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_TABLEPRINTER_H
+#define SPIKE_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// Sets the header row.
+  void header(std::vector<std::string> Cells) {
+    Header = std::move(Cells);
+  }
+
+  /// Appends a data row.
+  void row(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Prints the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const {
+    std::vector<size_t> Widths;
+    auto Grow = [&](const std::vector<std::string> &Cells) {
+      if (Widths.size() < Cells.size())
+        Widths.resize(Cells.size(), 0);
+      for (size_t I = 0; I < Cells.size(); ++I)
+        if (Cells[I].size() > Widths[I])
+          Widths[I] = Cells[I].size();
+    };
+    Grow(Header);
+    for (const auto &Cells : Rows)
+      Grow(Cells);
+
+    auto PrintRow = [&](const std::vector<std::string> &Cells) {
+      for (size_t I = 0; I < Cells.size(); ++I)
+        std::fprintf(Out, "%-*s%s", int(Widths[I]), Cells[I].c_str(),
+                     I + 1 == Cells.size() ? "" : "  ");
+      std::fprintf(Out, "\n");
+    };
+
+    if (!Header.empty()) {
+      PrintRow(Header);
+      size_t Total = 0;
+      for (size_t W : Widths)
+        Total += W + 2;
+      std::string Rule(Total > 2 ? Total - 2 : Total, '-');
+      std::fprintf(Out, "%s\n", Rule.c_str());
+    }
+    for (const auto &Cells : Rows)
+      PrintRow(Cells);
+  }
+
+  /// Formats a double with \p Decimals fractional digits.
+  static std::string num(double Value, int Decimals = 2) {
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+    return Buffer;
+  }
+
+  /// Formats an integer count.
+  static std::string num(uint64_t Value) {
+    return std::to_string(Value);
+  }
+
+  /// Formats \p Value as a percentage string with one decimal ("12.3%").
+  static std::string percent(double Value) {
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f%%", Value * 100.0);
+    return Buffer;
+  }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,386 @@
+//===- synth/CfgGenerator.cpp - Statistics-calibrated programs -----------===//
+
+#include "synth/CfgGenerator.h"
+
+#include "binary/ProgramBuilder.h"
+#include "isa/Registers.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+/// Plan for one routine, decided before any code is emitted so that
+/// frame sizes and forward-referenced entry names are known up front.
+struct RoutinePlan {
+  std::string Name;
+  std::vector<std::string> SecondaryNames;
+  bool AddressTaken = false;
+  unsigned Calls = 0;
+  unsigned Branches = 0;
+  unsigned SwitchLoops = 0;
+  unsigned ExtraExits = 0;
+  unsigned SavedRegs = 0; ///< s0..s(SavedRegs-1) saved in the prologue.
+};
+
+/// Emits the body of one routine according to its plan.
+class RoutineEmitter {
+public:
+  RoutineEmitter(ProgramBuilder &Builder, Rng &Rand,
+                 const BenchmarkProfile &Profile, const RoutinePlan &Plan,
+                 const std::vector<RoutinePlan> &AllPlans,
+                 const std::vector<std::string> &AddressTakenNames)
+      : B(Builder), Rand(Rand), Profile(Profile), Plan(Plan),
+        AllPlans(AllPlans), AddressTakenNames(AddressTakenNames) {
+    // Stack frame: one slot per saved register, then one private spill
+    // slot per call site.
+    FrameSize = int32_t(8 + Plan.SavedRegs + Plan.Calls);
+    for (unsigned I = 0; I < Plan.SavedRegs; ++I)
+      RegPool.push_back(reg::S0 + I);
+    for (unsigned T = reg::T0; T <= reg::T7; ++T)
+      RegPool.push_back(T);
+    RegPool.push_back(reg::V0);
+    RegPool.push_back(reg::A0);
+    RegPool.push_back(reg::A0 + 1);
+  }
+
+  void run() {
+    B.beginRoutine(Plan.Name, Plan.AddressTaken);
+    emitPrologue();
+
+    CallBudget = Plan.Calls;
+    BranchBudget = Plan.Branches;
+    SwitchLoopBudget = Plan.SwitchLoops;
+    ExitBudget = Plan.ExtraExits;
+    for (unsigned I = 0; I < Plan.ExtraExits; ++I)
+      ExitLabels.push_back(B.makeLabel());
+
+    emitFiller();
+    while (CallBudget > 0 || BranchBudget > 0 || SwitchLoopBudget > 0) {
+      emitConstruct();
+      emitFiller();
+      maybeBindSecondaryEntry();
+    }
+
+    emitEpilogue(); // Primary exit.
+    for (ProgramBuilder::LabelId Exit : ExitLabels) {
+      B.bind(Exit);
+      emitEpilogue();
+    }
+    // Bind any secondary-entry names not yet placed (degenerate small
+    // routines): they land on an extra trailing epilogue.
+    if (NextSecondary < Plan.SecondaryNames.size()) {
+      while (NextSecondary < Plan.SecondaryNames.size())
+        B.addSecondaryEntry(Plan.SecondaryNames[NextSecondary++]);
+      emitEpilogue();
+    }
+  }
+
+private:
+  unsigned randomReg() {
+    return RegPool[Rand.below(RegPool.size())];
+  }
+
+  /// A random pure computation.
+  void emitOp() {
+    unsigned Dst = randomReg();
+    unsigned SrcA = randomReg();
+    switch (Rand.below(6)) {
+    case 0:
+      B.emit(inst::rrr(Opcode::Add, Dst, SrcA, randomReg()));
+      break;
+    case 1:
+      B.emit(inst::rrr(Opcode::Xor, Dst, SrcA, randomReg()));
+      break;
+    case 2:
+      B.emit(inst::rri(Opcode::AddI, Dst, SrcA,
+                       int32_t(Rand.range(-64, 64))));
+      break;
+    case 3:
+      B.emit(inst::rri(Opcode::CmpLtI, Dst, SrcA,
+                       int32_t(Rand.range(0, 64))));
+      break;
+    case 4:
+      B.emit(inst::lda(Dst, int32_t(Rand.range(0, 1024))));
+      break;
+    default:
+      B.emit(inst::mov(Dst, SrcA));
+      break;
+    }
+  }
+
+  void emitFiller() {
+    // Mean ≈ BlockLen/2 + 1; together with the fixed prologue/epilogue
+    // and terminator instructions this lands the generated programs near
+    // the paper's instructions-per-block ratios (Table 2).
+    unsigned Count = 1 + unsigned(Rand.below(
+                             std::max<uint64_t>(1, uint64_t(Profile.BlockLen))));
+    for (unsigned I = 0; I < Count; ++I)
+      emitOp();
+  }
+
+  void emitPrologue() {
+    B.emit(inst::rri(Opcode::SubI, reg::SP, reg::SP, FrameSize));
+    for (unsigned I = 0; I < Plan.SavedRegs; ++I)
+      B.emit(inst::stq(reg::S0 + I, int32_t(I), reg::SP));
+    if (Plan.Calls > 0)
+      B.emit(inst::stq(reg::RA, FrameSize - 1, reg::SP));
+  }
+
+  void emitEpilogue() {
+    if (Plan.Calls > 0)
+      B.emit(inst::ldq(reg::RA, FrameSize - 1, reg::SP));
+    for (unsigned I = 0; I < Plan.SavedRegs; ++I)
+      B.emit(inst::ldq(reg::S0 + I, int32_t(I), reg::SP));
+    B.emit(inst::rri(Opcode::AddI, reg::SP, reg::SP, FrameSize));
+    B.emit(inst::ret());
+  }
+
+  std::string pickCallee() {
+    const RoutinePlan &Target = AllPlans[Rand.below(AllPlans.size())];
+    if (!Target.SecondaryNames.empty() && Rand.chance(0.15))
+      return Target
+          .SecondaryNames[Rand.below(Target.SecondaryNames.size())];
+    return Target.Name;
+  }
+
+  void emitCall() {
+    assert(CallBudget > 0);
+    --CallBudget;
+    int32_t SpillSlot = int32_t(Plan.SavedRegs + SpillCursor++);
+    bool Spill = Rand.chance(0.35);
+    unsigned SpillReg = reg::T0 + unsigned(Rand.below(4));
+    if (Spill)
+      B.emit(inst::stq(SpillReg, SpillSlot, reg::SP));
+    if (!AddressTakenNames.empty() &&
+        Rand.chance(Profile.IndirectCallFraction)) {
+      B.emitLoadRoutineAddress(
+          reg::PV,
+          AddressTakenNames[Rand.below(AddressTakenNames.size())]);
+      B.emit(inst::jsrR(reg::PV));
+    } else {
+      B.emitCall(pickCallee());
+    }
+    if (Spill)
+      B.emit(inst::ldq(SpillReg, SpillSlot, reg::SP));
+  }
+
+  void emitIfElse() {
+    assert(BranchBudget >= 2);
+    BranchBudget -= 2;
+    ProgramBuilder::LabelId Else = B.makeLabel();
+    ProgramBuilder::LabelId End = B.makeLabel();
+    B.emitCondBr(Opcode::Beq, randomReg(), Else);
+    emitFiller();
+    if (CallBudget > 0 && Rand.chance(0.3))
+      emitCall();
+    B.emitBr(End);
+    B.bind(Else);
+    emitFiller();
+    B.bind(End);
+  }
+
+  void emitLoop() {
+    assert(BranchBudget >= 1);
+    --BranchBudget;
+    ProgramBuilder::LabelId Head = B.makeLabel();
+    B.bind(Head);
+    emitFiller();
+    if (CallBudget > 0 && Rand.chance(0.25))
+      emitCall();
+    B.emitCondBr(Opcode::Bne, randomReg(), Head);
+  }
+
+  /// A chain of conditional branches all aiming at one join label, the
+  /// way compiled short-circuit conditions look: k branches but only
+  /// ~k+1 blocks, keeping the generated blocks-per-branch ratio near
+  /// real programs' (Table 2 vs Table 3).
+  void emitCascade() {
+    assert(BranchBudget >= 1);
+    unsigned Length = std::min<unsigned>(
+        BranchBudget, 2 + unsigned(Rand.below(4)));
+    BranchBudget -= Length;
+    ProgramBuilder::LabelId Join = B.makeLabel();
+    for (unsigned I = 0; I < Length; ++I) {
+      emitOp();
+      B.emitCondBr(Rand.chance(0.5) ? Opcode::Beq : Opcode::Bne,
+                   randomReg(), Join);
+    }
+    emitOp();
+    B.bind(Join);
+  }
+
+  void emitEarlyExit() {
+    assert(BranchBudget >= 1 && ExitBudget > 0);
+    --BranchBudget;
+    --ExitBudget;
+    B.emitCondBr(Opcode::Beq, randomReg(),
+                 ExitLabels[ExitLabels.size() - ExitBudget - 1]);
+  }
+
+  /// A multiway branch with call-bearing arms; when \p InLoop, the whole
+  /// construct sits in a loop, the Section 3.6 worst case.
+  void emitSwitch(bool InLoop) {
+    unsigned Arms = std::max<unsigned>(
+        2, unsigned(Rand.countAround(Profile.SwitchArms)));
+    ProgramBuilder::LabelId Head = B.makeLabel();
+    ProgramBuilder::LabelId Join = B.makeLabel();
+    if (InLoop)
+      B.bind(Head);
+    emitFiller();
+    std::vector<ProgramBuilder::LabelId> ArmLabels;
+    for (unsigned I = 0; I < Arms; ++I)
+      ArmLabels.push_back(B.makeLabel());
+    B.emitTableJump(randomReg(), ArmLabels);
+    for (unsigned I = 0; I < Arms; ++I) {
+      B.bind(ArmLabels[I]);
+      emitFiller();
+      if (CallBudget > 0 && (InLoop || Rand.chance(0.3))) {
+        emitCall();
+      } else if (ExitBudget > 0 && Rand.chance(0.35)) {
+        // Arms that leave the routine: with call-bearing arms these give
+        // the multiway branch several distinct PSG sinks, the structure
+        // branch nodes exist to compress (Section 3.6).
+        --ExitBudget;
+        B.emitBr(ExitLabels[ExitLabels.size() - ExitBudget - 1]);
+        continue;
+      }
+      B.emitBr(Join);
+    }
+    B.bind(Join);
+    if (InLoop) {
+      if (BranchBudget > 0)
+        --BranchBudget;
+      B.emitCondBr(Opcode::Bne, randomReg(), Head);
+    }
+  }
+
+  void emitConstruct() {
+    if (SwitchLoopBudget > 0 && Rand.chance(0.5)) {
+      --SwitchLoopBudget;
+      emitSwitch(/*InLoop=*/true);
+      return;
+    }
+    if (BranchBudget == 0 && CallBudget > 0) {
+      emitCall();
+      return;
+    }
+    if (BranchBudget == 0 && SwitchLoopBudget > 0) {
+      --SwitchLoopBudget;
+      emitSwitch(/*InLoop=*/true);
+      return;
+    }
+    // BranchBudget > 0 here.
+    if (ExitBudget > 0 && Rand.chance(0.3)) {
+      emitEarlyExit();
+      return;
+    }
+    if (Rand.chance(Profile.PlainSwitchFraction)) {
+      --BranchBudget; // A multiway branch counts as a branch.
+      emitSwitch(/*InLoop=*/false);
+      return;
+    }
+    switch (Rand.below(6)) {
+    case 0:
+      if (BranchBudget >= 2) {
+        emitIfElse();
+        return;
+      }
+      [[fallthrough]];
+    case 1:
+      emitLoop();
+      return;
+    case 2:
+    case 3:
+    case 4:
+      emitCascade();
+      return;
+    default:
+      if (CallBudget > 0)
+        emitCall();
+      else
+        emitLoop();
+      return;
+    }
+  }
+
+  void maybeBindSecondaryEntry() {
+    if (NextSecondary >= Plan.SecondaryNames.size())
+      return;
+    if (!Rand.chance(0.35))
+      return;
+    B.addSecondaryEntry(Plan.SecondaryNames[NextSecondary++]);
+  }
+
+  ProgramBuilder &B;
+  Rng &Rand;
+  const BenchmarkProfile &Profile;
+  const RoutinePlan &Plan;
+  const std::vector<RoutinePlan> &AllPlans;
+  const std::vector<std::string> &AddressTakenNames;
+
+  int32_t FrameSize;
+  std::vector<unsigned> RegPool;
+  std::vector<ProgramBuilder::LabelId> ExitLabels;
+  unsigned CallBudget = 0;
+  unsigned BranchBudget = 0;
+  unsigned SwitchLoopBudget = 0;
+  unsigned ExitBudget = 0;
+  unsigned SpillCursor = 0;
+  size_t NextSecondary = 0;
+};
+
+} // namespace
+
+Image spike::generateCfgProgram(const BenchmarkProfile &Profile) {
+  Rng Rand(Profile.Seed);
+
+  // Plan all routines first so call targets and secondary-entry names can
+  // be forward-referenced.
+  std::vector<RoutinePlan> Plans(Profile.Routines);
+  std::vector<std::string> AddressTakenNames;
+  for (unsigned I = 0; I < Profile.Routines; ++I) {
+    RoutinePlan &Plan = Plans[I];
+    Plan.Name = "r" + std::to_string(I);
+    Plan.Calls = Rand.countAround(Profile.CallsPerRoutine);
+    Plan.Branches = Rand.countAround(Profile.BranchesPerRoutine);
+    Plan.SwitchLoops = Rand.countAround(Profile.SwitchLoopsPerRoutine);
+    Plan.ExtraExits = Rand.countAround(Profile.ExitsPerRoutine - 1.0);
+    Plan.SavedRegs = std::min<unsigned>(
+        6, Rand.countAround(Profile.SavedRegsPerRoutine));
+    Plan.AddressTaken = Rand.chance(Profile.AddressTakenFraction);
+    if (Plan.AddressTaken)
+      AddressTakenNames.push_back(Plan.Name);
+    unsigned Secondaries =
+        Rand.countAround(Profile.EntrancesPerRoutine - 1.0);
+    for (unsigned S = 0; S < Secondaries; ++S)
+      Plan.SecondaryNames.push_back(Plan.Name + ".e" +
+                                    std::to_string(S + 1));
+  }
+  if (AddressTakenNames.empty() && Profile.IndirectCallFraction > 0 &&
+      !Plans.empty()) {
+    Plans.back().AddressTaken = true;
+    AddressTakenNames.push_back(Plans.back().Name);
+  }
+
+  ProgramBuilder Builder;
+
+  // Start stub: call the first routine, then stop the machine.
+  Builder.beginRoutine("__start");
+  Builder.emitCall(Plans.empty() ? "__start" : Plans[0].Name);
+  Builder.emit(inst::halt(reg::V0));
+  Builder.setEntry("__start");
+
+  for (const RoutinePlan &Plan : Plans) {
+    RoutineEmitter Emitter(Builder, Rand, Profile, Plan, Plans,
+                           AddressTakenNames);
+    Emitter.run();
+  }
+
+  return Builder.build();
+}

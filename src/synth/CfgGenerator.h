@@ -1,0 +1,37 @@
+//===- synth/CfgGenerator.h - Statistics-calibrated programs --*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates whole executables whose structural statistics (routines,
+/// block sizes, calls/branches/exits/entrances per routine, multiway
+/// branches, indirect calls) follow a BenchmarkProfile.  These are the
+/// stand-ins for the paper's SPEC95 and PC-application binaries: the
+/// analysis experiments measure graph sizes and times, which depend only
+/// on this structure.
+///
+/// Programs are structured (every block lies on a path to a routine
+/// exit, all branch targets are intra-routine, calls target real
+/// entrances) but are not meant to be executed: call graphs may recurse
+/// arbitrarily and loop bounds are not meaningful.  Use ExecGenerator for
+/// simulator-grade programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SYNTH_CFGGENERATOR_H
+#define SPIKE_SYNTH_CFGGENERATOR_H
+
+#include "binary/Image.h"
+#include "synth/Profiles.h"
+
+namespace spike {
+
+/// Generates an executable image for \p Profile.  Deterministic in
+/// Profile.Seed.
+Image generateCfgProgram(const BenchmarkProfile &Profile);
+
+} // namespace spike
+
+#endif // SPIKE_SYNTH_CFGGENERATOR_H

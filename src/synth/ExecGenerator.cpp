@@ -1,0 +1,295 @@
+//===- synth/ExecGenerator.cpp - Terminating executable programs ---------===//
+
+#include "synth/ExecGenerator.h"
+
+#include "binary/ProgramBuilder.h"
+#include "isa/Registers.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+/// Per-routine shape decided up front (callers consult callee plans).
+struct ExecPlan {
+  std::string Name;
+  bool ReadsA1 = false;      ///< Uses its second argument.
+  bool HasLoop = false;
+  bool LoopCallsInside = false;
+  bool HasSwitch = false;
+  bool HasDeadCode = false;
+  bool ExtraSave = false;    ///< Saves s1 and keeps a value there.
+  bool AddressTaken = false;
+  unsigned Calls = 0;        ///< Direct/indirect calls (to higher ids).
+  unsigned DataIndex = 0;    ///< Observable store slot.
+  unsigned SavedCount = 1;   ///< s0 always; +s1 (extra); +s2 (loop).
+};
+
+/// Emits one executable routine.
+///
+/// Register discipline (what makes the programs well-defined):
+///   - s0 is the accumulator, saved/restored, initialized from a0.
+///   - s1 (when ExtraSave) holds a second value across calls.
+///   - s2 (when a loop contains calls) is the loop counter.
+///   - t0..t3 are scratch within a block and never live across a call
+///     unless explicitly spilled around it.
+///   - t6/t7 are written only by dead code and never read.
+class ExecEmitter {
+public:
+  ExecEmitter(ProgramBuilder &Builder, Rng &Rand,
+              const ExecProfile &Profile, const std::vector<ExecPlan> &Plans,
+              unsigned Index, const std::vector<unsigned> &AddressTaken)
+      : B(Builder), Rand(Rand), Profile(Profile), Plans(Plans),
+        Index(Index), Plan(Plans[Index]), AddressTakenIds(AddressTaken) {
+    FrameSize = int32_t(3 + Plan.Calls + 2);
+  }
+
+  void run() {
+    B.beginRoutine(Plan.Name, Plan.AddressTaken);
+    emitPrologue();
+
+    // acc = a0 (+ a1 when used).
+    B.emit(inst::mov(reg::S0, reg::A0));
+    if (Plan.ReadsA1)
+      B.emit(inst::rrr(Opcode::Add, reg::S0, reg::S0, reg::A0 + 1));
+    if (Plan.ExtraSave) {
+      // Keep a derived value live across everything in s1.
+      B.emit(inst::rri(Opcode::XorI, reg::S0 + 1, reg::A0,
+                       int32_t(Rand.range(1, 127))));
+    }
+
+    emitScratchWork();
+    if (Plan.HasDeadCode)
+      emitDeadCode();
+    if (Plan.HasSwitch)
+      emitSwitch();
+    if (Plan.HasLoop)
+      emitLoop();
+
+    unsigned CallsLeft = Plan.Calls - CallsEmitted;
+    for (unsigned I = 0; I < CallsLeft; ++I)
+      emitCall();
+
+    if (Plan.ExtraSave)
+      B.emit(inst::rrr(Opcode::Add, reg::S0, reg::S0, reg::S0 + 1));
+
+    // Observable store: data[DataIndex] = acc.
+    B.emit(inst::lda(reg::T0,
+                     int32_t(DataSectionBase + Plan.DataIndex)));
+    B.emit(inst::stq(reg::S0, 0, reg::T0));
+
+    B.emit(inst::mov(reg::V0, reg::S0));
+    emitEpilogue();
+  }
+
+private:
+  /// Stack slot holding the caller's return address (jsr clobbers ra, so
+  /// any routine that itself calls must preserve it).
+  int32_t raSlot() const { return FrameSize - 1; }
+
+  void emitPrologue() {
+    B.emit(inst::rri(Opcode::SubI, reg::SP, reg::SP, FrameSize));
+    B.emit(inst::stq(reg::S0, 0, reg::SP));
+    if (Plan.ExtraSave)
+      B.emit(inst::stq(reg::S0 + 1, 1, reg::SP));
+    if (Plan.SavedCount > 2)
+      B.emit(inst::stq(reg::S0 + 2, 2, reg::SP));
+    if (Plan.Calls > 0)
+      B.emit(inst::stq(reg::RA, raSlot(), reg::SP));
+  }
+
+  void emitEpilogue() {
+    if (Plan.Calls > 0)
+      B.emit(inst::ldq(reg::RA, raSlot(), reg::SP));
+    if (Plan.SavedCount > 2)
+      B.emit(inst::ldq(reg::S0 + 2, 2, reg::SP));
+    if (Plan.ExtraSave)
+      B.emit(inst::ldq(reg::S0 + 1, 1, reg::SP));
+    B.emit(inst::ldq(reg::S0, 0, reg::SP));
+    B.emit(inst::rri(Opcode::AddI, reg::SP, reg::SP, FrameSize));
+    B.emit(inst::ret());
+  }
+
+  /// A few arithmetic instructions folding scratch into the accumulator.
+  void emitScratchWork() {
+    B.emit(inst::lda(reg::T0, int32_t(Rand.range(1, 255))));
+    B.emit(inst::rrr(Opcode::Add, reg::T0 + 1, reg::T0, reg::S0));
+    B.emit(inst::rri(Opcode::SllI, reg::T0 + 1, reg::T0 + 1, 1));
+    B.emit(inst::rrr(Opcode::Xor, reg::S0, reg::S0, reg::T0 + 1));
+  }
+
+  /// Writes t6/t7, which nothing ever reads: dead-def targets.
+  void emitDeadCode() {
+    B.emit(inst::lda(reg::T0 + 6, int32_t(Rand.range(0, 9999))));
+    B.emit(inst::rri(Opcode::AddI, reg::T0 + 7, reg::T0 + 6, 17));
+    B.emit(inst::rrr(Opcode::Mul, reg::T0 + 6, reg::T0 + 7, reg::T0 + 7));
+  }
+
+  void emitSwitch() {
+    unsigned Arms = 1u << Rand.range(1, 3); // 2, 4, or 8 arms.
+    B.emit(inst::rri(Opcode::AndI, reg::T0 + 2, reg::S0,
+                     int32_t(Arms - 1)));
+    std::vector<ProgramBuilder::LabelId> ArmLabels;
+    for (unsigned I = 0; I < Arms; ++I)
+      ArmLabels.push_back(B.makeLabel());
+    ProgramBuilder::LabelId Join = B.makeLabel();
+    B.emitTableJump(reg::T0 + 2, ArmLabels);
+    for (unsigned I = 0; I < Arms; ++I) {
+      B.bind(ArmLabels[I]);
+      B.emit(inst::rri(Opcode::AddI, reg::S0, reg::S0,
+                       int32_t(Rand.range(1, 63) * (I + 1))));
+      if (CallsEmitted < Plan.Calls && Rand.chance(0.4))
+        emitCall();
+      B.emitBr(Join);
+    }
+    B.bind(Join);
+  }
+
+  void emitLoop() {
+    unsigned Trips = unsigned(Rand.range(2, 6));
+    unsigned Counter = Plan.LoopCallsInside ? reg::S0 + 2 : reg::T0 + 4;
+    B.emit(inst::lda(Counter, int32_t(Trips)));
+    ProgramBuilder::LabelId Head = B.makeLabel();
+    B.bind(Head);
+    B.emit(inst::rri(Opcode::AddI, reg::S0, reg::S0, 3));
+    if (Plan.LoopCallsInside && CallsEmitted < Plan.Calls)
+      emitCall();
+    B.emit(inst::rri(Opcode::SubI, Counter, Counter, 1));
+    B.emitCondBr(Opcode::Bne, Counter, Head);
+  }
+
+  void emitCall() {
+    assert(CallsEmitted < Plan.Calls);
+    ++CallsEmitted;
+
+    // Choose a callee with a strictly larger id (the call graph is a DAG,
+    // so every program terminates).
+    bool Indirect = false;
+    unsigned Callee = Index; // Overwritten below.
+    if (Rand.chance(Profile.IndirectCallProb)) {
+      for (unsigned Id : AddressTakenIds)
+        if (Id > Index) {
+          Callee = Id;
+          Indirect = true;
+          break;
+        }
+    }
+    if (!Indirect) {
+      if (Index + 1 >= Plans.size())
+        return; // Last routine: nothing to call; skip.
+      Callee = Index + 1 + unsigned(Rand.below(Plans.size() - Index - 1));
+    }
+    const ExecPlan &CalleePlan = Plans[Callee];
+
+    // Arguments.
+    B.emit(inst::mov(reg::A0, reg::S0));
+    if (CalleePlan.ReadsA1)
+      B.emit(inst::lda(reg::A0 + 1, int32_t(Rand.range(1, 99))));
+    else if (Rand.chance(0.5))
+      // A dead argument: the callee provably ignores a1 (Figure 1(b)).
+      B.emit(inst::lda(reg::A0 + 1, int32_t(Rand.range(1, 99))));
+
+    // Sometimes keep a scratch value live across the call by spilling it
+    // (Figure 1(c)): semantically required unless the callee is proven
+    // not to kill t3.
+    bool Spill = Rand.chance(0.5);
+    int32_t Slot = int32_t(3 + SpillCursor++);
+    if (Spill) {
+      B.emit(inst::lda(reg::T0 + 3, int32_t(Rand.range(1, 500))));
+      B.emit(inst::stq(reg::T0 + 3, Slot, reg::SP));
+    }
+
+    if (Indirect) {
+      B.emitLoadRoutineAddress(reg::PV, CalleePlan.Name);
+      B.emit(inst::jsrR(reg::PV));
+    } else {
+      B.emitCall(CalleePlan.Name);
+    }
+
+    if (Spill) {
+      B.emit(inst::ldq(reg::T0 + 3, Slot, reg::SP));
+      B.emit(inst::rrr(Opcode::Add, reg::S0, reg::S0, reg::T0 + 3));
+    }
+    B.emit(inst::rrr(Opcode::Add, reg::S0, reg::S0, reg::V0));
+  }
+
+  ProgramBuilder &B;
+  Rng &Rand;
+  const ExecProfile &Profile;
+  const std::vector<ExecPlan> &Plans;
+  unsigned Index;
+  const ExecPlan &Plan;
+  const std::vector<unsigned> &AddressTakenIds;
+  int32_t FrameSize;
+  unsigned CallsEmitted = 0;
+  unsigned SpillCursor = 0;
+};
+
+} // namespace
+
+Image spike::generateExecProgram(const ExecProfile &Profile) {
+  Rng Rand(Profile.Seed);
+  unsigned Count = std::max(2u, Profile.Routines);
+
+  std::vector<ExecPlan> Plans(Count);
+  std::vector<unsigned> AddressTakenIds;
+  for (unsigned I = 0; I < Count; ++I) {
+    ExecPlan &Plan = Plans[I];
+    Plan.Name = "f" + std::to_string(I);
+    Plan.ReadsA1 = Rand.chance(0.3);
+    Plan.HasLoop = Rand.chance(Profile.LoopProb);
+    Plan.HasSwitch = Rand.chance(Profile.SwitchProb);
+    Plan.HasDeadCode = Rand.chance(Profile.DeadCodeProb);
+    Plan.ExtraSave = Rand.chance(Profile.ExtraSaveProb);
+    Plan.DataIndex = I % Profile.DataWords;
+    if (I + 1 < Count)
+      Plan.Calls = Rand.countAround(Profile.CallsPerRoutine);
+    Plan.LoopCallsInside =
+        Plan.HasLoop && Plan.Calls > 0 && Rand.chance(0.5);
+    Plan.SavedCount = 1 + (Plan.ExtraSave ? 1 : 0) +
+                      (Plan.LoopCallsInside ? 1 : 0);
+    if (Plan.LoopCallsInside)
+      Plan.SavedCount = 3; // s2 is always the loop counter slot.
+    // The back half of the DAG can be address-taken (indirect targets).
+    Plan.AddressTaken = I > Count / 2 && Rand.chance(0.35);
+    if (Plan.AddressTaken)
+      AddressTakenIds.push_back(I);
+  }
+  if (AddressTakenIds.empty() && Profile.IndirectCallProb > 0) {
+    Plans[Count - 1].AddressTaken = true;
+    AddressTakenIds.push_back(Count - 1);
+  }
+
+  ProgramBuilder Builder;
+  for (unsigned I = 0; I < Profile.DataWords; ++I)
+    Builder.addData(0);
+
+  Builder.beginRoutine("main");
+  Builder.setEntry("main");
+  Builder.emit(inst::lda(reg::A0, int32_t(Rand.range(1, 1000))));
+  if (Plans[0].ReadsA1)
+    Builder.emit(inst::lda(reg::A0 + 1, int32_t(Rand.range(1, 100))));
+  Builder.emitCall(Plans[0].Name);
+  // Store the result observably, then run a second root if available.
+  Builder.emit(inst::lda(reg::T0, int32_t(DataSectionBase)));
+  Builder.emit(inst::stq(reg::V0, 0, reg::T0));
+  if (Count > 1) {
+    Builder.emit(inst::rri(Opcode::AddI, reg::A0, reg::V0, 7));
+    if (Plans[1].ReadsA1)
+      Builder.emit(inst::lda(reg::A0 + 1, 13));
+    Builder.emitCall(Plans[1].Name);
+  }
+  Builder.emit(inst::halt(reg::V0));
+
+  for (unsigned I = 0; I < Count; ++I) {
+    ExecEmitter Emitter(Builder, Rand, Profile, Plans, I,
+                        AddressTakenIds);
+    Emitter.run();
+  }
+
+  return Builder.build();
+}

@@ -1,0 +1,71 @@
+//===- synth/ExecGenerator.h - Terminating executable programs -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates *executable* programs: terminating, well-defined (no value
+/// is read before it is written along any executed path, no temp is kept
+/// live across a call unless spilled), and observable (routines store
+/// results into the data section; main halts with a combined value).
+///
+/// These programs exist to exercise the optimizer against the simulator:
+/// they deliberately contain the patterns of Figure 1 —
+///   - dead computations (1a/1b targets for dead-def elimination),
+///   - caller-saved temporaries spilled around calls that do not kill
+///     them (1c targets for spill removal),
+///   - callee-saved registers saved and restored for values a free
+///     temporary could hold (1d targets for reallocation),
+/// while guaranteeing semantics the simulator can check before and after
+/// optimization.  Call graphs are DAGs and loops count down from small
+/// constants, so every program halts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SYNTH_EXECGENERATOR_H
+#define SPIKE_SYNTH_EXECGENERATOR_H
+
+#include "binary/Image.h"
+
+#include <cstdint>
+
+namespace spike {
+
+/// Parameters for executable-program generation.
+struct ExecProfile {
+  unsigned Routines = 12;
+
+  /// Mean calls per routine (to higher-numbered routines only).
+  double CallsPerRoutine = 2.0;
+
+  /// Probability a routine contains a bounded counting loop.
+  double LoopProb = 0.6;
+
+  /// Probability a routine contains a jump-table switch.
+  double SwitchProb = 0.3;
+
+  /// Probability a routine contains dead computations.
+  double DeadCodeProb = 0.7;
+
+  /// Probability a routine saves an extra callee-saved register that a
+  /// free temporary could have held (the Figure 1(d) situation).
+  double ExtraSaveProb = 0.5;
+
+  /// Probability a call is made indirect (through pv) to an
+  /// address-taken routine.
+  double IndirectCallProb = 0.08;
+
+  /// Words in the observable data section.
+  unsigned DataWords = 64;
+
+  uint64_t Seed = 42;
+};
+
+/// Generates a terminating, observable program.  Deterministic in
+/// \p Profile.Seed.
+Image generateExecProgram(const ExecProfile &Profile);
+
+} // namespace spike
+
+#endif // SPIKE_SYNTH_EXECGENERATOR_H

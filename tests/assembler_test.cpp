@@ -1,0 +1,244 @@
+//===- tests/assembler_test.cpp - text assembler tests ---------------------===//
+
+#include "binary/Assembler.h"
+#include "binary/ProgramBuilder.h"
+#include "isa/Encoding.h"
+#include "isa/Registers.h"
+#include "sim/Simulator.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+#include "synth/Profiles.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+TEST(AssemblerTest, AssemblesMinimalProgram) {
+  std::optional<Image> Img = parseAssembly(R"(
+    main:
+      lda v0, 42
+      halt v0
+  )");
+  ASSERT_TRUE(Img.has_value());
+  EXPECT_EQ(Img->Code.size(), 2u);
+  EXPECT_EQ(Img->EntryAddress, 0u);
+  SimResult R = simulate(*Img);
+  EXPECT_EQ(R.Exit, SimExit::Halted);
+  EXPECT_EQ(R.ExitValue, 42);
+}
+
+TEST(AssemblerTest, AllOperandForms) {
+  std::optional<Image> Img = parseAssembly(R"(
+    # every operand format once
+    main:
+      add t0, t1, t2
+      addi t0, t1, -5
+      lda t0, 99
+      mov t0, t1
+      ldq t0, 8(sp)
+      stq t0, -8(sp)
+      nop
+      halt v0
+  )");
+  ASSERT_TRUE(Img.has_value());
+  auto At = [&](size_t I) { return *decodeInstruction(Img->Code[I]); };
+  EXPECT_EQ(At(0), inst::rrr(Opcode::Add, 1, 2, 3));
+  EXPECT_EQ(At(1), inst::rri(Opcode::AddI, 1, 2, -5));
+  EXPECT_EQ(At(2), inst::lda(1, 99));
+  EXPECT_EQ(At(3), inst::mov(1, 2));
+  EXPECT_EQ(At(4), inst::ldq(1, 8, reg::SP));
+  EXPECT_EQ(At(5), inst::stq(1, -8, reg::SP));
+  EXPECT_EQ(At(6), inst::nop());
+  EXPECT_EQ(At(7), inst::halt(reg::V0));
+}
+
+TEST(AssemblerTest, LabelsAndBranches) {
+  std::optional<Image> Img = parseAssembly(R"(
+    main:
+      lda t0, 3
+    .Lloop:
+      subi t0, t0, 1
+      bne t0, .Lloop
+      br .Ldone
+      nop               ; skipped
+    .Ldone:
+      halt t0
+  )");
+  ASSERT_TRUE(Img.has_value());
+  // Local labels create no symbols.
+  EXPECT_EQ(Img->Symbols.size(), 1u);
+  SimResult R = simulate(*Img);
+  EXPECT_EQ(R.Exit, SimExit::Halted);
+  EXPECT_EQ(R.ExitValue, 0);
+  EXPECT_EQ(R.Steps, 1u + 3 * 2 + 1 + 1); // lda, 3x(subi,bne), br, halt.
+}
+
+TEST(AssemblerTest, CallsByNameAndIndirect) {
+  std::optional<Image> Img = parseAssembly(R"(
+    .start main
+    helper (address taken):
+      addi v0, a0, 1
+      ret
+    main:
+      lda a0, 9
+      jsr helper
+      mov a1, v0
+      lda pv, helper
+      jsr_r (pv)
+      add v0, v0, a1
+      halt v0
+  )");
+  ASSERT_TRUE(Img.has_value());
+  EXPECT_TRUE(Img->Symbols[0].AddressTaken);
+  SimResult R = simulate(*Img);
+  ASSERT_EQ(R.Exit, SimExit::Halted);
+  EXPECT_EQ(R.ExitValue, 20); // helper(9)=10 twice: 10 + 10.
+}
+
+TEST(AssemblerTest, JumpTables) {
+  std::optional<Image> Img = parseAssembly(R"(
+    main:
+      lda t0, 1
+      jmp_tab t0, table:0
+    .La:
+      halt zero
+    .Lb:
+      lda v0, 7
+      halt v0
+    .table 0: .La .Lb
+  )");
+  ASSERT_TRUE(Img.has_value());
+  ASSERT_EQ(Img->JumpTables.size(), 1u);
+  EXPECT_EQ(Img->JumpTables[0].Targets.size(), 2u);
+  SimResult R = simulate(*Img);
+  EXPECT_EQ(R.ExitValue, 7);
+}
+
+TEST(AssemblerTest, SecondaryEntries) {
+  std::optional<Image> Img = parseAssembly(R"(
+    main:
+      jsr f.alt
+      halt v0
+    f:
+      lda v0, 1
+    f.alt (secondary entry):
+      addi v0, v0, 5
+      ret
+  )");
+  ASSERT_TRUE(Img.has_value());
+  ASSERT_EQ(Img->Symbols.size(), 3u);
+  SimResult R = simulate(*Img);
+  EXPECT_EQ(R.ExitValue, 5); // Entered at f.alt: v0 was 0.
+}
+
+TEST(AssemblerTest, DataDirective) {
+  std::optional<Image> Img = parseAssembly(R"(
+    .data 10 -20 30
+    main:
+      lda t0, 2097152     ; DataSectionBase
+      ldq v0, 1(t0)
+      halt v0
+  )");
+  ASSERT_TRUE(Img.has_value());
+  ASSERT_EQ(Img->Data.size(), 3u);
+  EXPECT_EQ(simulate(*Img).ExitValue, -20);
+}
+
+TEST(AssemblerTest, NumericTargetsLikeDisassembly) {
+  std::optional<Image> Img = parseAssembly(R"(
+    .start 0
+    main:
+      0: br 2
+      1: halt zero
+      2: lda v0, 5
+      3: halt v0
+  )");
+  ASSERT_TRUE(Img.has_value());
+  EXPECT_EQ(simulate(*Img).ExitValue, 5);
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  std::string Error;
+  EXPECT_FALSE(parseAssembly("main:\n  bogus t0, t1\n", &Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+  EXPECT_NE(Error.find("bogus"), std::string::npos);
+
+  EXPECT_FALSE(parseAssembly("main:\n  br .Lnope\n", &Error));
+  EXPECT_NE(Error.find(".Lnope"), std::string::npos);
+
+  EXPECT_FALSE(parseAssembly("main:\n  add t0, t1\n", &Error));
+  EXPECT_NE(Error.find("expects 3"), std::string::npos);
+
+  EXPECT_FALSE(parseAssembly("main:\n  ldq t0, (nosuch)\n", &Error));
+  EXPECT_NE(Error.find("register"), std::string::npos);
+
+  EXPECT_FALSE(parseAssembly("x:\nx:\n  ret\n", &Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsOutOfRangeJsr) {
+  std::string Error;
+  EXPECT_FALSE(parseAssembly("main:\n  jsr 999\n", &Error));
+  EXPECT_NE(Error.find("verification"), std::string::npos);
+}
+
+namespace {
+
+void expectImagesEquivalent(const Image &A, const Image &B) {
+  ASSERT_EQ(A.Code.size(), B.Code.size());
+  EXPECT_EQ(A.Code, B.Code);
+  EXPECT_EQ(A.EntryAddress, B.EntryAddress);
+  EXPECT_EQ(A.Data, B.Data);
+  ASSERT_EQ(A.JumpTables.size(), B.JumpTables.size());
+  for (size_t I = 0; I < A.JumpTables.size(); ++I)
+    EXPECT_EQ(A.JumpTables[I].Targets, B.JumpTables[I].Targets);
+  ASSERT_EQ(A.Symbols.size(), B.Symbols.size());
+  for (size_t I = 0; I < A.Symbols.size(); ++I) {
+    EXPECT_EQ(A.Symbols[I].Name, B.Symbols[I].Name);
+    EXPECT_EQ(A.Symbols[I].Address, B.Symbols[I].Address);
+    EXPECT_EQ(A.Symbols[I].Secondary, B.Symbols[I].Secondary);
+    EXPECT_EQ(A.Symbols[I].AddressTaken, B.Symbols[I].AddressTaken);
+  }
+}
+
+} // namespace
+
+class AssemblerRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AssemblerRoundTrip, DisassembleParseRoundTripsExecPrograms) {
+  ExecProfile P;
+  P.Routines = 10;
+  P.Seed = GetParam() * 31 + 5;
+  Image Original = generateExecProgram(P);
+  std::string Text;
+  disassemble(Original, Text);
+  std::string Error;
+  std::optional<Image> Back = parseAssembly(Text, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  expectImagesEquivalent(Original, *Back);
+  // And it still runs identically.
+  EXPECT_TRUE(simulate(Original).sameObservable(simulate(*Back)));
+}
+
+TEST_P(AssemblerRoundTrip, DisassembleParseRoundTripsCfgPrograms) {
+  BenchmarkProfile P;
+  P.Name = "asm-prop";
+  P.Routines = 15;
+  P.CallsPerRoutine = 4;
+  P.BranchesPerRoutine = 9;
+  P.SwitchLoopsPerRoutine = 0.5;
+  P.EntrancesPerRoutine = 1.1;
+  P.IndirectCallFraction = 0.1;
+  P.AddressTakenFraction = 0.1;
+  P.Seed = GetParam() * 17 + 3;
+  Image Original = generateCfgProgram(P);
+  std::string Text;
+  disassemble(Original, Text);
+  std::string Error;
+  std::optional<Image> Back = parseAssembly(Text, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  expectImagesEquivalent(Original, *Back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerRoundTrip,
+                         ::testing::Range(uint64_t(1), uint64_t(9)));

@@ -1,0 +1,229 @@
+//===- tests/binary_test.cpp - image + builder unit tests ----------------===//
+
+#include "binary/Image.h"
+#include "binary/ProgramBuilder.h"
+#include "isa/Encoding.h"
+#include "isa/Registers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace spike;
+
+namespace {
+
+/// A tiny two-routine program: main calls helper and halts.
+Image tinyProgram() {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emit(inst::lda(reg::A0, 7));
+  B.emitCall("helper");
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("helper");
+  B.emit(inst::rri(Opcode::AddI, reg::V0, reg::A0, 1));
+  B.emit(inst::ret());
+  B.setEntry("main");
+  return B.build();
+}
+
+} // namespace
+
+TEST(ProgramBuilderTest, ResolvesForwardCall) {
+  Image Img = tinyProgram();
+  ASSERT_EQ(Img.Code.size(), 5u);
+  std::optional<Instruction> Call = decodeInstruction(Img.Code[1]);
+  ASSERT_TRUE(Call.has_value());
+  EXPECT_EQ(Call->Op, Opcode::Jsr);
+  EXPECT_EQ(Call->Imm, 3); // helper starts after main's 3 instructions.
+}
+
+TEST(ProgramBuilderTest, BranchDisplacementsAreRelative) {
+  ProgramBuilder B;
+  B.beginRoutine("r");
+  ProgramBuilder::LabelId Skip = B.makeLabel();
+  B.emitCondBr(Opcode::Beq, 1, Skip); // address 0
+  B.emit(inst::nop());                // address 1
+  B.emit(inst::nop());                // address 2
+  B.bind(Skip);                       // address 3
+  B.emit(inst::ret());
+  Image Img = B.build();
+  std::optional<Instruction> Br = decodeInstruction(Img.Code[0]);
+  EXPECT_EQ(Br->Imm, 2); // 0 + 1 + 2 == 3.
+}
+
+TEST(ProgramBuilderTest, BackwardBranch) {
+  ProgramBuilder B;
+  B.beginRoutine("r");
+  ProgramBuilder::LabelId Head = B.makeLabel();
+  B.bind(Head);
+  B.emit(inst::nop());
+  B.emitCondBr(Opcode::Bne, 1, Head); // address 1 -> target 0.
+  B.emit(inst::ret());
+  Image Img = B.build();
+  EXPECT_EQ(decodeInstruction(Img.Code[1])->Imm, -2);
+}
+
+TEST(ProgramBuilderTest, JumpTableTargets) {
+  ProgramBuilder B;
+  B.beginRoutine("r");
+  ProgramBuilder::LabelId A0 = B.makeLabel(), A1 = B.makeLabel();
+  unsigned Table = B.emitTableJump(1, {A0, A1});
+  B.bind(A0);
+  B.emit(inst::ret());
+  B.bind(A1);
+  B.emit(inst::ret());
+  Image Img = B.build();
+  ASSERT_EQ(Img.JumpTables.size(), 1u);
+  EXPECT_EQ(Table, 0u);
+  EXPECT_EQ(Img.JumpTables[0].Targets, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(ProgramBuilderTest, SecondaryEntrySymbols) {
+  ProgramBuilder B;
+  B.beginRoutine("r");
+  B.emit(inst::nop());
+  B.addSecondaryEntry("r.alt");
+  B.emit(inst::ret());
+  Image Img = B.build();
+  ASSERT_EQ(Img.Symbols.size(), 2u);
+  EXPECT_FALSE(Img.Symbols[0].Secondary);
+  EXPECT_TRUE(Img.Symbols[1].Secondary);
+  EXPECT_EQ(Img.Symbols[1].Address, 1u);
+}
+
+TEST(ProgramBuilderTest, LoadRoutineAddressFixup) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emitLoadRoutineAddress(reg::PV, "target");
+  B.emit(inst::jsrR(reg::PV));
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("target", /*AddressTaken=*/true);
+  B.emit(inst::ret());
+  Image Img = B.build();
+  EXPECT_EQ(decodeInstruction(Img.Code[0])->Imm, 3);
+  EXPECT_TRUE(Img.Symbols[1].AddressTaken);
+}
+
+TEST(ProgramBuilderTest, UnboundLabelFails) {
+  ProgramBuilder B;
+  B.beginRoutine("r");
+  ProgramBuilder::LabelId Nowhere = B.makeLabel();
+  B.emitBr(Nowhere);
+  std::string Error;
+  EXPECT_FALSE(B.buildChecked(&Error).has_value());
+  EXPECT_NE(Error.find("unbound label"), std::string::npos);
+}
+
+TEST(ProgramBuilderTest, UnknownCalleeFails) {
+  ProgramBuilder B;
+  B.beginRoutine("r");
+  B.emitCall("missing");
+  B.emit(inst::ret());
+  std::string Error;
+  EXPECT_FALSE(B.buildChecked(&Error).has_value());
+  EXPECT_NE(Error.find("missing"), std::string::npos);
+}
+
+TEST(ImageTest, VerifyAcceptsWellFormed) {
+  Image Img = tinyProgram();
+  EXPECT_FALSE(Img.verify().has_value());
+}
+
+TEST(ImageTest, VerifyRejectsBadSymbol) {
+  Image Img = tinyProgram();
+  Img.Symbols.push_back({"oops", 999, false, false});
+  ASSERT_TRUE(Img.verify().has_value());
+}
+
+TEST(ImageTest, VerifyRejectsBadJumpTable) {
+  Image Img = tinyProgram();
+  Img.JumpTables.push_back({{9999}});
+  EXPECT_TRUE(Img.verify().has_value());
+  Img.JumpTables.back().Targets.clear();
+  EXPECT_TRUE(Img.verify().has_value());
+}
+
+TEST(ImageTest, VerifyRejectsUndecodableWord) {
+  Image Img = tinyProgram();
+  Img.Code[0] = ~uint64_t(0);
+  ASSERT_TRUE(Img.verify().has_value());
+  EXPECT_NE(Img.verify()->find("undecodable"), std::string::npos);
+}
+
+TEST(ImageTest, VerifyRejectsWildJsr) {
+  Image Img = tinyProgram();
+  Img.Code[1] = encodeInstruction(inst::jsr(500));
+  EXPECT_TRUE(Img.verify().has_value());
+}
+
+TEST(ImageTest, SerializeRoundTrip) {
+  Image Img = tinyProgram();
+  Img.Data = {1, -2, 3};
+  Img.JumpTables.push_back({{0, 1}});
+  std::vector<uint8_t> Bytes = writeImage(Img);
+  std::optional<Image> Back = readImage(Bytes);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Code, Img.Code);
+  EXPECT_EQ(Back->Data, Img.Data);
+  EXPECT_EQ(Back->EntryAddress, Img.EntryAddress);
+  ASSERT_EQ(Back->Symbols.size(), Img.Symbols.size());
+  for (size_t I = 0; I < Img.Symbols.size(); ++I) {
+    EXPECT_EQ(Back->Symbols[I].Name, Img.Symbols[I].Name);
+    EXPECT_EQ(Back->Symbols[I].Address, Img.Symbols[I].Address);
+    EXPECT_EQ(Back->Symbols[I].Secondary, Img.Symbols[I].Secondary);
+  }
+  ASSERT_EQ(Back->JumpTables.size(), 1u);
+  EXPECT_EQ(Back->JumpTables[0].Targets, Img.JumpTables[0].Targets);
+}
+
+TEST(ImageTest, ReadRejectsBadMagic) {
+  std::vector<uint8_t> Bytes(32, 0);
+  std::string Error;
+  EXPECT_FALSE(readImage(Bytes, &Error).has_value());
+  EXPECT_NE(Error.find("magic"), std::string::npos);
+}
+
+TEST(ImageTest, ReadRejectsTruncated) {
+  Image Img = tinyProgram();
+  std::vector<uint8_t> Bytes = writeImage(Img);
+  Bytes.resize(Bytes.size() / 2);
+  EXPECT_FALSE(readImage(Bytes).has_value());
+}
+
+TEST(ImageTest, ReadRejectsTrailingGarbage) {
+  std::vector<uint8_t> Bytes = writeImage(tinyProgram());
+  Bytes.push_back(0);
+  EXPECT_FALSE(readImage(Bytes).has_value());
+}
+
+TEST(ImageTest, FileRoundTrip) {
+  Image Img = tinyProgram();
+  std::string Path = ::testing::TempDir() + "/spike_image_test.spkx";
+  ASSERT_TRUE(writeImageFile(Img, Path));
+  std::optional<Image> Back = readImageFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Code, Img.Code);
+  std::remove(Path.c_str());
+}
+
+TEST(ImageTest, DisassemblyMentionsSymbolsAndInstructions) {
+  Image Img = tinyProgram();
+  std::string Text;
+  disassemble(Img, Text);
+  EXPECT_NE(Text.find("main:"), std::string::npos);
+  EXPECT_NE(Text.find("helper:"), std::string::npos);
+  EXPECT_NE(Text.find("jsr 3"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(ImageTest, FinalizeSortsSymbols) {
+  Image Img;
+  Img.Code = {encodeInstruction(inst::ret()),
+              encodeInstruction(inst::ret())};
+  Img.Symbols.push_back({"b", 1, false, false});
+  Img.Symbols.push_back({"a", 0, false, false});
+  Img.finalize();
+  EXPECT_EQ(Img.Symbols[0].Name, "a");
+  EXPECT_EQ(Img.Symbols[1].Name, "b");
+}

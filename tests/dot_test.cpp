@@ -1,0 +1,69 @@
+//===- tests/dot_test.cpp - Graphviz export tests ---------------------------===//
+
+#include "binary/ProgramBuilder.h"
+#include "cfg/CallGraph.h"
+#include "cfg/CfgBuilder.h"
+#include "isa/Registers.h"
+#include "psg/Analyzer.h"
+#include "psg/DotExport.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+namespace {
+
+AnalysisResult exampleAnalysis() {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emitCall("leaf");
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("leaf");
+  ProgramBuilder::LabelId Out = B.makeLabel();
+  B.emitCondBr(Opcode::Beq, reg::A0, Out);
+  B.emit(inst::lda(reg::V0, 1));
+  B.bind(Out);
+  B.emit(inst::ret());
+  return analyzeImage(B.build());
+}
+
+} // namespace
+
+TEST(DotExportTest, CfgDigraphShape) {
+  AnalysisResult Result = exampleAnalysis();
+  std::string Dot = cfgToDot(Result.Prog, 1);
+  EXPECT_NE(Dot.find("digraph \"cfg_leaf\""), std::string::npos);
+  EXPECT_NE(Dot.find("b0 -> b"), std::string::npos);
+  EXPECT_NE(Dot.find("DEF"), std::string::npos);
+  EXPECT_NE(Dot.find("entry0"), std::string::npos);
+  EXPECT_EQ(Dot.find("digraph"), Dot.rfind("digraph")); // Exactly one.
+}
+
+TEST(DotExportTest, PsgDigraphListsNodesAndLabels) {
+  AnalysisResult Result = exampleAnalysis();
+  std::string Dot = psgToDot(Result.Prog, Result.Psg, 0);
+  EXPECT_NE(Dot.find("digraph \"psg_main\""), std::string::npos);
+  EXPECT_NE(Dot.find("entry b"), std::string::npos);
+  EXPECT_NE(Dot.find("call b"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos); // Call-return.
+  // Only main's nodes appear.
+  EXPECT_EQ(Dot.find("exit b2"), std::string::npos);
+}
+
+TEST(DotExportTest, CallGraphHighlightsCyclesAndDeadCode) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emitCall("rec");
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("rec");
+  B.emitCall("rec");
+  B.emit(inst::ret());
+  B.beginRoutine("dead");
+  B.emit(inst::ret());
+  Program Prog = buildProgram(B.build(), CallingConv());
+  CallGraph Graph = buildCallGraph(Prog);
+  std::string Dot = callGraphToDot(Prog, Graph);
+  EXPECT_NE(Dot.find("color=red"), std::string::npos);     // rec cycle.
+  EXPECT_NE(Dot.find("style=dotted"), std::string::npos);  // dead.
+  EXPECT_NE(Dot.find("\"main\""), std::string::npos);
+}

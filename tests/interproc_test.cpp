@@ -1,0 +1,197 @@
+//===- tests/interproc_test.cpp - reference + baseline properties ---------===//
+//
+// Property tests over randomized programs:
+//   1. The PSG analysis computes exactly the same summaries and live sets
+//      as the CFG-level two-phase reference (same meet-over-valid-paths
+//      solution, computed without the compact representation).
+//   2. The Srivastava-style supergraph liveness (meet over *all* paths,
+//      including invalid call/return pairings) is a superset of the PSG
+//      live sets everywhere comparable.
+//   3. Assorted soundness invariants of the summaries themselves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interproc/CfgTwoPhase.h"
+#include "interproc/Supergraph.h"
+#include "psg/Analyzer.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+#include "synth/Profiles.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+namespace {
+
+BenchmarkProfile smallProfile(uint64_t Seed) {
+  BenchmarkProfile P;
+  P.Name = "prop";
+  P.Routines = 25;
+  P.BlockLen = 4.0;
+  P.CallsPerRoutine = 3.0;
+  P.BranchesPerRoutine = 8.0;
+  P.ExitsPerRoutine = 1.5;
+  P.EntrancesPerRoutine = 1.1;
+  P.SwitchLoopsPerRoutine = 0.4;
+  P.SwitchArms = 4;
+  P.IndirectCallFraction = 0.05;
+  P.AddressTakenFraction = 0.08;
+  P.Seed = Seed;
+  return P;
+}
+
+void expectSummariesEqual(const Program &Prog,
+                          const InterprocSummaries &Psg,
+                          const InterprocSummaries &Ref) {
+  ASSERT_EQ(Psg.Routines.size(), Ref.Routines.size());
+  for (uint32_t R = 0; R < Psg.Routines.size(); ++R) {
+    const RoutineResults &A = Psg.Routines[R];
+    const RoutineResults &B = Ref.Routines[R];
+    ASSERT_EQ(A.EntrySummaries.size(), B.EntrySummaries.size());
+    for (size_t E = 0; E < A.EntrySummaries.size(); ++E) {
+      EXPECT_EQ(A.EntrySummaries[E].Used, B.EntrySummaries[E].Used)
+          << Prog.Routines[R].Name << " entrance " << E << " call-used";
+      EXPECT_EQ(A.EntrySummaries[E].Defined, B.EntrySummaries[E].Defined)
+          << Prog.Routines[R].Name << " entrance " << E
+          << " call-defined";
+      EXPECT_EQ(A.EntrySummaries[E].Killed, B.EntrySummaries[E].Killed)
+          << Prog.Routines[R].Name << " entrance " << E << " call-killed";
+      EXPECT_EQ(A.LiveAtEntry[E], B.LiveAtEntry[E])
+          << Prog.Routines[R].Name << " entrance " << E
+          << " live-at-entry";
+    }
+    ASSERT_EQ(A.LiveAtExit.size(), B.LiveAtExit.size());
+    for (size_t X = 0; X < A.LiveAtExit.size(); ++X)
+      EXPECT_EQ(A.LiveAtExit[X], B.LiveAtExit[X])
+          << Prog.Routines[R].Name << " exit " << X;
+  }
+}
+
+void checkInvariants(const Program &Prog, const AnalysisResult &Result) {
+  const CallingConv &Conv = Prog.Conv;
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R) {
+    const RoutineResults &RR = Result.Summaries.Routines[R];
+    RegSet Saved = Result.SavedPerRoutine[R];
+    for (size_t E = 0; E < RR.EntrySummaries.size(); ++E) {
+      const CallSummary &S = RR.EntrySummaries[E];
+      // call-defined (MUST) is a subset of call-killed (MAY).
+      EXPECT_TRUE(S.Killed.containsAll(S.Defined))
+          << Prog.Routines[R].Name;
+      // Section 3.4: saved-and-restored callee-saved registers never
+      // appear in any summary set.
+      EXPECT_FALSE(S.Used.intersects(Saved));
+      EXPECT_FALSE(S.Killed.intersects(Saved));
+      EXPECT_FALSE(S.Defined.intersects(Saved));
+      // Phase 2 live-at-entry includes phase 1 MAY-USE (every register
+      // used before definition inside is certainly live on entry).
+      EXPECT_TRUE(RR.LiveAtEntry[E].containsAll(S.Used))
+          << Prog.Routines[R].Name;
+    }
+    // Indirect-call conservatism: the calling standard's killed set never
+    // includes callee-saved registers.
+    EXPECT_FALSE(Conv.indirectCallKilled().intersects(Conv.CalleeSaved));
+  }
+}
+
+} // namespace
+
+class InterprocEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterprocEquivalence, PsgMatchesCfgReferenceOnCfgPrograms) {
+  Image Img = generateCfgProgram(smallProfile(GetParam()));
+  AnalysisResult Result = analyzeImage(Img);
+  InterprocSummaries Ref =
+      runCfgTwoPhase(Result.Prog, Result.SavedPerRoutine);
+  expectSummariesEqual(Result.Prog, Result.Summaries, Ref);
+}
+
+TEST_P(InterprocEquivalence, PsgMatchesCfgReferenceOnExecPrograms) {
+  ExecProfile P;
+  P.Routines = 14;
+  P.Seed = GetParam() * 977 + 3;
+  Image Img = generateExecProgram(P);
+  AnalysisResult Result = analyzeImage(Img);
+  InterprocSummaries Ref =
+      runCfgTwoPhase(Result.Prog, Result.SavedPerRoutine);
+  expectSummariesEqual(Result.Prog, Result.Summaries, Ref);
+}
+
+TEST_P(InterprocEquivalence, BranchNodesDoNotChangeResults) {
+  Image Img = generateCfgProgram(smallProfile(GetParam() + 500));
+  AnalysisOptions NoBranch;
+  NoBranch.Psg.UseBranchNodes = false;
+  AnalysisResult With = analyzeImage(Img);
+  AnalysisResult Without = analyzeImage(Img, CallingConv(), NoBranch);
+  expectSummariesEqual(With.Prog, With.Summaries, Without.Summaries);
+}
+
+TEST_P(InterprocEquivalence, SupergraphLivenessIsSuperset) {
+  Image Img = generateCfgProgram(smallProfile(GetParam() + 1000));
+  AnalysisResult Result = analyzeImage(Img);
+  Supergraph Graph = buildSupergraph(Result.Prog);
+  SupergraphLiveness Live =
+      solveSupergraphLiveness(Result.Prog, Graph);
+
+  for (uint32_t R = 0; R < Result.Prog.Routines.size(); ++R) {
+    const Routine &Rt = Result.Prog.Routines[R];
+    const RoutineResults &RR = Result.Summaries.Routines[R];
+    for (size_t E = 0; E < Rt.EntryBlocks.size(); ++E) {
+      RegSet SuperLive =
+          Live.LiveIn[Graph.nodeOf(R, Rt.EntryBlocks[E])];
+      EXPECT_TRUE(SuperLive.containsAll(RR.LiveAtEntry[E]))
+          << Rt.Name << " entrance " << E << ": supergraph "
+          << SuperLive.str() << " vs PSG " << RR.LiveAtEntry[E].str();
+    }
+  }
+}
+
+TEST_P(InterprocEquivalence, SoundnessInvariants) {
+  Image Img = generateCfgProgram(smallProfile(GetParam() + 2000));
+  AnalysisResult Result = analyzeImage(Img);
+  checkInvariants(Result.Prog, Result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterprocEquivalence,
+                         ::testing::Range(uint64_t(1), uint64_t(13)));
+
+TEST(SupergraphTest, StructureOfTinyProgram) {
+  ExecProfile P;
+  P.Routines = 4;
+  P.Seed = 7;
+  Image Img = generateExecProgram(P);
+  AnalysisResult Result = analyzeImage(Img);
+  Supergraph Graph = buildSupergraph(Result.Prog);
+  EXPECT_GE(Graph.NumNodes, Result.Prog.numBlocks());
+  EXPECT_GT(Graph.NumCallArcs, 0u);
+  EXPECT_GT(Graph.NumReturnArcs, 0u);
+  EXPECT_EQ(Graph.SuccIds.size(), Graph.PredIds.size());
+  // CSR is self-consistent.
+  EXPECT_EQ(Graph.SuccBegin.front(), 0u);
+  EXPECT_EQ(Graph.SuccBegin.back(), Graph.SuccIds.size());
+  EXPECT_EQ(Graph.PredBegin.back(), Graph.PredIds.size());
+}
+
+TEST(SupergraphTest, EntryRoutineExitSeeded) {
+  // Whatever main returns must appear live at its return block.
+  ExecProfile P;
+  P.Routines = 3;
+  P.Seed = 11;
+  Image Img = generateExecProgram(P);
+  AnalysisResult Result = analyzeImage(Img);
+  // main halts rather than returning; use a routine with a Return block
+  // by scanning f0 instead: its exit liveness must contain v0 if anyone
+  // uses the result, which the generator guarantees for f0.
+  Supergraph Graph = buildSupergraph(Result.Prog);
+  SupergraphLiveness Live = solveSupergraphLiveness(Result.Prog, Graph);
+  bool FoundExit = false;
+  for (uint32_t R = 0; R < Result.Prog.Routines.size(); ++R)
+    for (uint32_t Block : Result.Prog.Routines[R].ExitBlocks) {
+      FoundExit = true;
+      // ra is always live at a return instruction's block entry unless
+      // redefined inside, and sp must survive everywhere.
+      EXPECT_TRUE(Live.LiveIn[Graph.nodeOf(R, Block)].contains(
+          Result.Prog.Conv.SpReg));
+    }
+  EXPECT_TRUE(FoundExit);
+}

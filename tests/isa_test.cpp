@@ -1,0 +1,208 @@
+//===- tests/isa_test.cpp - ISA unit tests --------------------------------===//
+
+#include "isa/CallingConv.h"
+#include "isa/Encoding.h"
+#include "isa/Instruction.h"
+#include "isa/Registers.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+TEST(RegistersTest, NamesRoundTrip) {
+  EXPECT_STREQ(regName(reg::V0), "v0");
+  EXPECT_STREQ(regName(reg::RA), "ra");
+  EXPECT_STREQ(regName(reg::SP), "sp");
+  EXPECT_STREQ(regName(reg::Zero), "zero");
+  for (unsigned R = 0; R < NumIntRegs; ++R)
+    EXPECT_EQ(parseRegName(regName(R)), R);
+}
+
+TEST(RegistersTest, ParseNumericForms) {
+  EXPECT_EQ(parseRegName("$17"), 17u);
+  EXPECT_EQ(parseRegName("r26"), 26u);
+  EXPECT_EQ(parseRegName("R0"), 0u);
+  EXPECT_EQ(parseRegName("$32"), NumIntRegs);
+  EXPECT_EQ(parseRegName("bogus"), NumIntRegs);
+  EXPECT_EQ(parseRegName(""), NumIntRegs);
+  EXPECT_EQ(parseRegName(nullptr), NumIntRegs);
+}
+
+TEST(InstructionTest, OperateDefsUses) {
+  Instruction I = inst::rrr(Opcode::Add, 3, 1, 2);
+  EXPECT_EQ(I.defs(), RegSet({3}));
+  EXPECT_EQ(I.uses(), RegSet({1, 2}));
+  EXPECT_FALSE(I.endsBlock());
+}
+
+TEST(InstructionTest, ImmediateFormUsesOneSource) {
+  Instruction I = inst::rri(Opcode::AddI, 4, 7, 100);
+  EXPECT_EQ(I.defs(), RegSet({4}));
+  EXPECT_EQ(I.uses(), RegSet({7}));
+}
+
+TEST(InstructionTest, LdaDefinesOnly) {
+  Instruction I = inst::lda(5, 1234);
+  EXPECT_EQ(I.defs(), RegSet({5}));
+  EXPECT_TRUE(I.uses().empty());
+}
+
+TEST(InstructionTest, ZeroRegisterWritesDiscarded) {
+  Instruction I = inst::rrr(Opcode::Add, reg::Zero, 1, 2);
+  EXPECT_TRUE(I.defs().empty());
+  EXPECT_EQ(I.uses(), RegSet({1, 2}));
+}
+
+TEST(InstructionTest, LoadStore) {
+  Instruction Load = inst::ldq(3, 16, reg::SP);
+  EXPECT_EQ(Load.defs(), RegSet({3}));
+  EXPECT_EQ(Load.uses(), RegSet({reg::SP}));
+  Instruction Store = inst::stq(3, 16, reg::SP);
+  EXPECT_TRUE(Store.defs().empty());
+  EXPECT_EQ(Store.uses(), RegSet({3, reg::SP}));
+}
+
+TEST(InstructionTest, CallDefinesRa) {
+  Instruction Call = inst::jsr(100);
+  EXPECT_EQ(Call.defs(), RegSet({reg::RA}));
+  EXPECT_TRUE(Call.uses().empty());
+  EXPECT_TRUE(Call.endsBlock());
+
+  Instruction ICall = inst::jsrR(reg::PV);
+  EXPECT_EQ(ICall.defs(), RegSet({reg::RA}));
+  EXPECT_EQ(ICall.uses(), RegSet({reg::PV}));
+  EXPECT_TRUE(ICall.endsBlock());
+}
+
+TEST(InstructionTest, RetUsesRa) {
+  Instruction Ret = inst::ret();
+  EXPECT_TRUE(Ret.defs().empty());
+  EXPECT_EQ(Ret.uses(), RegSet({reg::RA}));
+  EXPECT_TRUE(Ret.endsBlock());
+}
+
+TEST(InstructionTest, BranchesEndBlocks) {
+  EXPECT_TRUE(inst::br(5).endsBlock());
+  EXPECT_TRUE(inst::condBr(Opcode::Beq, 2, -3).endsBlock());
+  EXPECT_TRUE(inst::jmpTab(1, 0).endsBlock());
+  EXPECT_TRUE(inst::jmpR(4).endsBlock());
+  EXPECT_TRUE(inst::halt(0).endsBlock());
+  EXPECT_FALSE(inst::nop().endsBlock());
+  EXPECT_FALSE(inst::mov(1, 2).endsBlock());
+}
+
+TEST(InstructionTest, CondBranchUsesItsRegister) {
+  Instruction I = inst::condBr(Opcode::Bne, 9, 4);
+  EXPECT_EQ(I.uses(), RegSet({9}));
+  EXPECT_TRUE(I.defs().empty());
+}
+
+TEST(InstructionTest, TableJumpUsesIndexRegister) {
+  Instruction I = inst::jmpTab(6, 2);
+  EXPECT_EQ(I.uses(), RegSet({6}));
+  EXPECT_TRUE(I.defs().empty());
+}
+
+TEST(InstructionTest, HaltObservesItsRegister) {
+  Instruction I = inst::halt(reg::V0);
+  EXPECT_EQ(I.uses(), RegSet({reg::V0}));
+  EXPECT_TRUE(I.defs().empty());
+}
+
+TEST(InstructionTest, PrintsAssemblySyntax) {
+  EXPECT_EQ(inst::rrr(Opcode::Add, 1, 2, 3).str(), "add t0, t1, t2");
+  EXPECT_EQ(inst::ldq(3, 8, reg::SP).str(), "ldq t2, 8(sp)");
+  EXPECT_EQ(inst::stq(3, -8, reg::SP).str(), "stq t2, -8(sp)");
+  EXPECT_EQ(inst::ret().str(), "ret");
+  // With an address, branch targets print absolutely.
+  EXPECT_EQ(inst::br(5).str(10), "br 16");
+  EXPECT_EQ(inst::condBr(Opcode::Beq, 1, -4).str(10), "beq t0, 7");
+}
+
+TEST(OpcodeInfoTest, TableConsistency) {
+  for (unsigned Op = 0; Op < NumOpcodes; ++Op) {
+    const OpcodeInfo &Info = opcodeInfo(Opcode(Op));
+    EXPECT_NE(Info.Name, nullptr);
+    // At most one control-flow category per opcode.
+    int Categories = Info.IsCondBranch + Info.IsUncondBranch + Info.IsCall +
+                     Info.IsReturn + Info.IsTableJump +
+                     Info.IsUnresolvedJump + Info.IsHalt;
+    EXPECT_LE(Categories, 1) << Info.Name;
+  }
+}
+
+/// Encode/decode must round-trip every opcode with representative fields.
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodingRoundTrip, RoundTrips) {
+  Instruction I;
+  I.Op = Opcode(GetParam());
+  I.Ra = 1;
+  I.Rb = 30;
+  I.Rc = 17;
+  I.Imm = -123456;
+  std::optional<Instruction> Decoded = decodeInstruction(encodeInstruction(I));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(*Decoded, I);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
+                         ::testing::Range(0u, NumOpcodes));
+
+TEST(EncodingTest, RejectsBadOpcode) {
+  uint64_t Word = uint64_t(0xff) << 56;
+  EXPECT_FALSE(decodeInstruction(Word).has_value());
+}
+
+TEST(EncodingTest, RejectsBadRegisterFields) {
+  Instruction I = inst::mov(1, 2);
+  uint64_t Word = encodeInstruction(I);
+  // Corrupt the ra field to 40.
+  Word = (Word & ~(uint64_t(0xff) << 48)) | (uint64_t(40) << 48);
+  EXPECT_FALSE(decodeInstruction(Word).has_value());
+}
+
+TEST(EncodingTest, ImmediateExtremes) {
+  Instruction I = inst::lda(1, INT32_MIN);
+  EXPECT_EQ(decodeInstruction(encodeInstruction(I))->Imm, INT32_MIN);
+  I.Imm = INT32_MAX;
+  EXPECT_EQ(decodeInstruction(encodeInstruction(I))->Imm, INT32_MAX);
+}
+
+TEST(CallingConvTest, ClassesAreDisjointAndComplete) {
+  CallingConv Conv;
+  EXPECT_FALSE(Conv.ArgRegs.intersects(Conv.CalleeSaved));
+  EXPECT_FALSE(Conv.ArgRegs.intersects(Conv.RetRegs));
+  EXPECT_FALSE(Conv.CalleeSaved.intersects(Conv.Temporaries));
+  EXPECT_FALSE(Conv.RetRegs.intersects(Conv.CalleeSaved));
+  EXPECT_EQ(Conv.ArgRegs.count(), 6u);
+  EXPECT_EQ(Conv.CalleeSaved.count(), 7u);
+  // Every register is covered by some class or special role.
+  RegSet All = Conv.ArgRegs | Conv.RetRegs | Conv.CalleeSaved |
+               Conv.Temporaries;
+  All.insert(Conv.RaReg);
+  All.insert(Conv.SpReg);
+  All.insert(Conv.GpReg);
+  All.insert(Conv.ZeroReg);
+  EXPECT_EQ(All, RegSet::allBelow(NumIntRegs));
+}
+
+TEST(CallingConvTest, IndirectCallAssumptions) {
+  CallingConv Conv;
+  // Section 3.5: arguments call-used, return values call-defined,
+  // temporaries call-killed.
+  EXPECT_TRUE(Conv.indirectCallUsed().containsAll(Conv.ArgRegs));
+  EXPECT_TRUE(Conv.indirectCallDefined().containsAll(Conv.RetRegs));
+  EXPECT_TRUE(Conv.indirectCallKilled().containsAll(Conv.Temporaries));
+  // Callee-saved registers are never assumed killed.
+  EXPECT_FALSE(Conv.indirectCallKilled().intersects(Conv.CalleeSaved));
+  EXPECT_EQ(Conv.unknownJumpLive(), RegSet::allBelow(NumIntRegs));
+}
+
+TEST(CallingConvTest, PreservedAcrossCalls) {
+  CallingConv Conv;
+  RegSet Preserved = Conv.preservedAcrossCalls();
+  EXPECT_TRUE(Preserved.containsAll(Conv.CalleeSaved));
+  EXPECT_TRUE(Preserved.contains(Conv.SpReg));
+  EXPECT_FALSE(Preserved.intersects(Conv.Temporaries));
+}

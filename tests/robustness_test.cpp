@@ -1,0 +1,187 @@
+//===- tests/robustness_test.cpp - fuzzing + structural invariants ---------===//
+//
+// Deterministic robustness tests:
+//   - image-reader fuzzing: random byte corruptions of a serialized
+//     image must never crash; any image that loads must verify or be
+//     reported as malformed,
+//   - assembler fuzzing: random line corruption must produce errors, not
+//     crashes,
+//   - PSG structural invariants checked across randomized programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Assembler.h"
+#include "psg/Analyzer.h"
+#include "support/Rng.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+TEST(FuzzTest, CorruptedImagesNeverCrashTheReader) {
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 99;
+  std::vector<uint8_t> Bytes = writeImage(generateExecProgram(P));
+
+  Rng Rand(2024);
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    std::vector<uint8_t> Mutated = Bytes;
+    // Flip 1-8 random bytes.
+    unsigned Flips = 1 + unsigned(Rand.below(8));
+    for (unsigned F = 0; F < Flips; ++F)
+      Mutated[Rand.below(Mutated.size())] ^= uint8_t(Rand.below(256));
+    std::string Error;
+    std::optional<Image> Img = readImage(Mutated, &Error);
+    if (!Img) {
+      EXPECT_FALSE(Error.empty());
+      continue;
+    }
+    // The bytes decoded to an image; verification must classify it
+    // without crashing (either outcome is fine).
+    (void)Img->verify();
+  }
+}
+
+TEST(FuzzTest, TruncatedImagesAlwaysFailCleanly) {
+  ExecProfile P;
+  P.Routines = 6;
+  P.Seed = 7;
+  std::vector<uint8_t> Bytes = writeImage(generateExecProgram(P));
+  // Every strict prefix must be rejected or load (annotation sections
+  // are optional) — never crash.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Len);
+    std::string Error;
+    (void)readImage(Prefix, &Error);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, AssemblerSurvivesCorruptedSource) {
+  std::string Source = R"(
+main:
+  lda a0, 5
+  jsr helper
+  halt v0
+helper:
+  addi v0, a0, 1
+  ret
+)";
+  Rng Rand(77);
+  const char Garbage[] = "():,.#;xq$-0123456789 \t";
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    std::string Mutated = Source;
+    unsigned Edits = 1 + unsigned(Rand.below(6));
+    for (unsigned E = 0; E < Edits; ++E)
+      Mutated[Rand.below(Mutated.size())] =
+          Garbage[Rand.below(sizeof(Garbage) - 1)];
+    std::string Error;
+    std::optional<Image> Img = parseAssembly(Mutated, &Error);
+    if (Img)
+      EXPECT_FALSE(Img->verify().has_value());
+    else
+      EXPECT_FALSE(Error.empty());
+  }
+}
+
+namespace {
+
+void checkPsgInvariants(const Program &Prog,
+                        const ProgramSummaryGraph &Psg) {
+  // CSR well-formedness.
+  for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId) {
+    const PsgNode &Node = Psg.Nodes[NodeId];
+    ASSERT_LE(Node.FirstOut + Node.NumOut, Psg.Edges.size());
+    for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+      EXPECT_EQ(Edge.Src, NodeId);
+      EXPECT_LT(Edge.Dst, Psg.Nodes.size());
+    }
+  }
+
+  uint64_t CallReturnEdges = 0;
+  for (const PsgEdge &Edge : Psg.Edges) {
+    const PsgNode &Src = Psg.Nodes[Edge.Src];
+    const PsgNode &Dst = Psg.Nodes[Edge.Dst];
+    if (Edge.IsCallReturn) {
+      ++CallReturnEdges;
+      EXPECT_EQ(Src.Kind, PsgNodeKind::Call);
+      EXPECT_EQ(Dst.Kind, PsgNodeKind::Return);
+      EXPECT_EQ(Src.BlockIndex, Dst.BlockIndex);
+      continue;
+    }
+    // Flow-summary edges: sources are entry/return/branch nodes, sinks
+    // are call/exit/branch/unknown/halt nodes, all within one routine.
+    EXPECT_TRUE(Src.Kind == PsgNodeKind::Entry ||
+                Src.Kind == PsgNodeKind::Return ||
+                Src.Kind == PsgNodeKind::Branch)
+        << psgNodeKindName(Src.Kind);
+    EXPECT_TRUE(Dst.Kind == PsgNodeKind::Call ||
+                Dst.Kind == PsgNodeKind::Exit ||
+                Dst.Kind == PsgNodeKind::Branch ||
+                Dst.Kind == PsgNodeKind::Unknown ||
+                Dst.Kind == PsgNodeKind::Halt)
+        << psgNodeKindName(Dst.Kind);
+    EXPECT_EQ(Src.RoutineIndex, Dst.RoutineIndex);
+    // Labels are internally consistent: must-def within may-def.
+    EXPECT_TRUE(Edge.Label.MayDef.containsAll(Edge.Label.MustDef));
+  }
+  EXPECT_EQ(Psg.Edges.size(),
+            Psg.NumFlowSummaryEdges + CallReturnEdges);
+
+  // Every call node has exactly one out-edge: its call-return edge.
+  // Exit/Unknown/Halt nodes are pure sinks.
+  for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId) {
+    const PsgNode &Node = Psg.Nodes[NodeId];
+    switch (Node.Kind) {
+    case PsgNodeKind::Call:
+      EXPECT_EQ(Node.NumOut, 1u);
+      EXPECT_TRUE(Psg.Edges[Node.FirstOut].IsCallReturn);
+      break;
+    case PsgNodeKind::Exit:
+    case PsgNodeKind::Unknown:
+    case PsgNodeKind::Halt:
+      EXPECT_EQ(Node.NumOut, 0u);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Node counts match the paper's construction: one entry per entrance,
+  // one exit per exit, one call+return pair per call site.
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R) {
+    const RoutinePsg &Info = Psg.RoutineInfo[R];
+    EXPECT_EQ(Info.EntryNodes.size(), Prog.Routines[R].numEntries());
+    EXPECT_EQ(Info.ExitNodes.size(),
+              Prog.Routines[R].ExitBlocks.size());
+    EXPECT_EQ(Info.CallNodes.size(),
+              Prog.Routines[R].CallBlocks.size());
+    EXPECT_EQ(Info.ReturnNodes.size(), Info.CallNodes.size());
+  }
+}
+
+} // namespace
+
+class PsgInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PsgInvariants, HoldOnRandomPrograms) {
+  BenchmarkProfile P;
+  P.Name = "inv";
+  P.Routines = 30;
+  P.CallsPerRoutine = 4;
+  P.BranchesPerRoutine = 10;
+  P.SwitchLoopsPerRoutine = 0.5;
+  P.EntrancesPerRoutine = 1.1;
+  P.ExitsPerRoutine = 1.5;
+  P.IndirectCallFraction = 0.06;
+  P.AddressTakenFraction = 0.06;
+  P.Seed = GetParam() * 131 + 7;
+  AnalysisResult Result = analyzeImage(generateCfgProgram(P));
+  checkPsgInvariants(Result.Prog, Result.Psg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsgInvariants,
+                         ::testing::Range(uint64_t(1), uint64_t(7)));

@@ -1,0 +1,297 @@
+//===- tests/sim_test.cpp - simulator unit tests ---------------------------===//
+
+#include "binary/ProgramBuilder.h"
+#include "isa/Registers.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+namespace {
+
+/// Runs a single "main" routine built by \p Emit.
+template <typename EmitFn> SimResult runMain(EmitFn &&Emit) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  Emit(B);
+  return simulate(B.build());
+}
+
+} // namespace
+
+TEST(SimulatorTest, HaltReturnsRegisterValue) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::lda(reg::V0, 1234));
+    B.emit(inst::halt(reg::V0));
+  });
+  EXPECT_EQ(R.Exit, SimExit::Halted);
+  EXPECT_EQ(R.ExitValue, 1234);
+  EXPECT_EQ(R.Steps, 2u);
+}
+
+TEST(SimulatorTest, ArithmeticSemantics) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::lda(1, 10));
+    B.emit(inst::lda(2, 3));
+    B.emit(inst::rrr(Opcode::Sub, 3, 1, 2));  // 7
+    B.emit(inst::rrr(Opcode::Mul, 3, 3, 2));  // 21
+    B.emit(inst::rri(Opcode::AddI, 3, 3, -1)); // 20
+    B.emit(inst::rri(Opcode::SllI, 3, 3, 2));  // 80
+    B.emit(inst::rri(Opcode::SrlI, 3, 3, 1));  // 40
+    B.emit(inst::rrr(Opcode::Xor, 3, 3, 2));   // 43
+    B.emit(inst::halt(3));
+  });
+  EXPECT_EQ(R.ExitValue, 43);
+}
+
+TEST(SimulatorTest, CompareSemantics) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::lda(1, 5));
+    B.emit(inst::lda(2, 7));
+    B.emit(inst::rrr(Opcode::CmpLt, 3, 1, 2)); // 1
+    B.emit(inst::rrr(Opcode::CmpEq, 4, 1, 2)); // 0
+    B.emit(inst::rrr(Opcode::CmpLe, 5, 2, 2)); // 1
+    B.emit(inst::rri(Opcode::SllI, 3, 3, 2));  // 4
+    B.emit(inst::rrr(Opcode::Add, 3, 3, 4));   // 4
+    B.emit(inst::rrr(Opcode::Add, 3, 3, 5));   // 5
+    B.emit(inst::halt(3));
+  });
+  EXPECT_EQ(R.ExitValue, 5);
+}
+
+TEST(SimulatorTest, ZeroRegisterReadsZeroAndDiscardsWrites) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::lda(reg::Zero, 99));
+    B.emit(inst::rri(Opcode::AddI, 1, reg::Zero, 7));
+    B.emit(inst::halt(1));
+  });
+  EXPECT_EQ(R.ExitValue, 7);
+}
+
+TEST(SimulatorTest, ConditionalBranchesTakenAndNot) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    ProgramBuilder::LabelId L = B.makeLabel(), End = B.makeLabel();
+    B.emit(inst::lda(1, 0));
+    B.emitCondBr(Opcode::Beq, 1, L); // Taken.
+    B.emit(inst::lda(2, 111));               // Skipped.
+    B.bind(L);
+    B.emit(inst::lda(3, 1));
+    B.emitCondBr(Opcode::Beq, 3, End); // Not taken.
+    B.emit(inst::rri(Opcode::AddI, 2, 2, 5));  // Runs: R2 = 0+5.
+    B.bind(End);
+    B.emit(inst::halt(2));
+  });
+  EXPECT_EQ(R.ExitValue, 5);
+}
+
+TEST(SimulatorTest, SignedBranches) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    ProgramBuilder::LabelId Neg = B.makeLabel();
+    B.emit(inst::lda(1, -3));
+    B.emitCondBr(Opcode::Blt, 1, Neg);
+    B.emit(inst::halt(reg::Zero)); // Not reached.
+    B.bind(Neg);
+    B.emit(inst::lda(2, 1));
+    B.emit(inst::halt(2));
+  });
+  EXPECT_EQ(R.ExitValue, 1);
+}
+
+TEST(SimulatorTest, CallAndReturn) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emit(inst::lda(reg::A0, 20));
+  B.emitCall("double");
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("double");
+  B.emit(inst::rrr(Opcode::Add, reg::V0, reg::A0, reg::A0));
+  B.emit(inst::ret());
+  B.setEntry("main");
+  SimResult R = simulate(B.build());
+  EXPECT_EQ(R.Exit, SimExit::Halted);
+  EXPECT_EQ(R.ExitValue, 40);
+}
+
+TEST(SimulatorTest, NestedCallsWithStackFrames) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emit(inst::lda(reg::A0, 3));
+  B.emitCall("outer");
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("outer");
+  B.emit(inst::rri(Opcode::SubI, reg::SP, reg::SP, 4));
+  B.emit(inst::stq(reg::RA, 0, reg::SP));
+  B.emit(inst::stq(reg::A0, 1, reg::SP));
+  B.emitCall("inner");
+  B.emit(inst::ldq(reg::A0, 1, reg::SP));
+  B.emit(inst::rrr(Opcode::Add, reg::V0, reg::V0, reg::A0)); // inner+3
+  B.emit(inst::ldq(reg::RA, 0, reg::SP));
+  B.emit(inst::rri(Opcode::AddI, reg::SP, reg::SP, 4));
+  B.emit(inst::ret());
+  B.beginRoutine("inner");
+  B.emit(inst::lda(reg::V0, 100));
+  B.emit(inst::ret());
+  B.setEntry("main");
+  SimResult R = simulate(B.build());
+  EXPECT_EQ(R.ExitValue, 103);
+}
+
+TEST(SimulatorTest, IndirectCallThroughRegister) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emitLoadRoutineAddress(reg::PV, "target");
+  B.emit(inst::jsrR(reg::PV));
+  B.emit(inst::halt(reg::V0));
+  B.beginRoutine("target", true);
+  B.emit(inst::lda(reg::V0, 55));
+  B.emit(inst::ret());
+  B.setEntry("main");
+  SimResult R = simulate(B.build());
+  EXPECT_EQ(R.ExitValue, 55);
+}
+
+TEST(SimulatorTest, JumpTableDispatch) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  ProgramBuilder::LabelId A0 = B.makeLabel(), A1 = B.makeLabel(),
+                          A2 = B.makeLabel();
+  B.emit(inst::lda(1, 2)); // Select arm 2.
+  B.emitTableJump(1, {A0, A1, A2});
+  B.bind(A0);
+  B.emit(inst::halt(reg::Zero));
+  B.bind(A1);
+  B.emit(inst::halt(reg::Zero));
+  B.bind(A2);
+  B.emit(inst::lda(2, 222));
+  B.emit(inst::halt(2));
+  SimResult R = simulate(B.build());
+  EXPECT_EQ(R.ExitValue, 222);
+}
+
+TEST(SimulatorTest, JumpTableIndexOutOfRangeFaults) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  ProgramBuilder::LabelId A0 = B.makeLabel();
+  B.emit(inst::lda(1, 5));
+  B.emitTableJump(1, {A0});
+  B.bind(A0);
+  B.emit(inst::halt(reg::Zero));
+  SimResult R = simulate(B.build());
+  EXPECT_EQ(R.Exit, SimExit::BadJumpIndex);
+}
+
+TEST(SimulatorTest, DataSectionLoadsStoresAndFinalData) {
+  ProgramBuilder B;
+  B.addData(5);
+  B.addData(0);
+  B.beginRoutine("main");
+  B.emit(inst::lda(1, int32_t(SimDataBase)));
+  B.emit(inst::ldq(2, 0, 1));              // R2 = data[0] = 5.
+  B.emit(inst::rri(Opcode::MulI, 2, 2, 3)); // 15.
+  B.emit(inst::stq(2, 1, 1));              // data[1] = 15.
+  B.emit(inst::halt(2));
+  SimResult R = simulate(B.build());
+  EXPECT_EQ(R.ExitValue, 15);
+  ASSERT_EQ(R.FinalData.size(), 2u);
+  EXPECT_EQ(R.FinalData[0], 5);
+  EXPECT_EQ(R.FinalData[1], 15);
+}
+
+TEST(SimulatorTest, OutOfRangeMemoryFaults) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::lda(1, 12345));
+    B.emit(inst::ldq(2, 0, 1));
+    B.emit(inst::halt(2));
+  });
+  EXPECT_EQ(R.Exit, SimExit::BadMemory);
+}
+
+TEST(SimulatorTest, StackRegionIsPrivateButWorks) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::rri(Opcode::SubI, reg::SP, reg::SP, 2));
+    B.emit(inst::lda(1, 77));
+    B.emit(inst::stq(1, 0, reg::SP));
+    B.emit(inst::lda(1, 0));
+    B.emit(inst::ldq(2, 0, reg::SP));
+    B.emit(inst::halt(2));
+  });
+  EXPECT_EQ(R.ExitValue, 77);
+  EXPECT_TRUE(R.FinalData.empty()); // Stack writes are not observable.
+}
+
+TEST(SimulatorTest, MaxStepsTerminatesInfiniteLoop) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  ProgramBuilder::LabelId Head = B.makeLabel();
+  B.bind(Head);
+  B.emit(inst::nop());
+  B.emitBr(Head);
+  SimOptions Opts;
+  Opts.MaxSteps = 1000;
+  SimResult R = simulate(B.build(), Opts);
+  EXPECT_EQ(R.Exit, SimExit::MaxSteps);
+  EXPECT_EQ(R.Steps, 1000u);
+  EXPECT_EQ(R.NopSteps, 500u);
+}
+
+TEST(SimulatorTest, ReturnOffEndIsBadPc) {
+  // ret with ra = 0... ra starts 0, so control returns to address 0 and
+  // loops; instead test jmp_r to an out-of-range address.
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::lda(1, 100000));
+    B.emit(inst::jmpR(1));
+  });
+  EXPECT_EQ(R.Exit, SimExit::BadPc);
+}
+
+TEST(SimulatorTest, ArgsArePassedToEntry) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emit(inst::rrr(Opcode::Add, reg::V0, reg::A0, reg::A0 + 1));
+  B.emit(inst::halt(reg::V0));
+  SimResult R = simulateWithArgs(B.build(), {30, 12});
+  EXPECT_EQ(R.ExitValue, 42);
+}
+
+TEST(SimulatorTest, NopCountingSeparatesUsefulWork) {
+  SimResult R = runMain([](ProgramBuilder &B) {
+    B.emit(inst::nop());
+    B.emit(inst::nop());
+    B.emit(inst::lda(1, 1));
+    B.emit(inst::halt(1));
+  });
+  EXPECT_EQ(R.Steps, 4u);
+  EXPECT_EQ(R.NopSteps, 2u);
+  EXPECT_EQ(R.usefulSteps(), 2u);
+}
+
+TEST(SimulatorTest, ProfileCountsPerAddress) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  ProgramBuilder::LabelId Head = B.makeLabel();
+  B.emit(inst::lda(1, 3));       // 0: once.
+  B.bind(Head);
+  B.emit(inst::rri(Opcode::SubI, 1, 1, 1)); // 1: three times.
+  B.emitCondBr(Opcode::Bne, 1, Head);       // 2: three times.
+  B.emit(inst::halt(1));                    // 3: once.
+  SimOptions Opts;
+  Opts.Profile = true;
+  SimResult R = simulate(B.build(), Opts);
+  ASSERT_EQ(R.ExecCounts.size(), 4u);
+  EXPECT_EQ(R.ExecCounts[0], 1u);
+  EXPECT_EQ(R.ExecCounts[1], 3u);
+  EXPECT_EQ(R.ExecCounts[2], 3u);
+  EXPECT_EQ(R.ExecCounts[3], 1u);
+  uint64_t Total = 0;
+  for (uint64_t C : R.ExecCounts)
+    Total += C;
+  EXPECT_EQ(Total, R.Steps);
+}
+
+TEST(SimulatorTest, ProfileOffByDefault) {
+  ProgramBuilder B;
+  B.beginRoutine("main");
+  B.emit(inst::halt(reg::Zero));
+  EXPECT_TRUE(simulate(B.build()).ExecCounts.empty());
+}

@@ -1,0 +1,187 @@
+//===- tests/synth_test.cpp - generator tests ------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "sim/Simulator.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+#include "synth/Profiles.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+
+TEST(ProfilesTest, SixteenPaperProfiles) {
+  const auto &Profiles = paperProfiles();
+  ASSERT_EQ(Profiles.size(), 16u);
+  unsigned Spec = 0, Pc = 0;
+  for (const BenchmarkProfile &P : Profiles) {
+    if (P.Suite == "SPECint95")
+      ++Spec;
+    else if (P.Suite == "PC Applications")
+      ++Pc;
+  }
+  EXPECT_EQ(Spec, 8u);
+  EXPECT_EQ(Pc, 8u);
+  // Spot-check Table 2/3 calibration values.
+  const BenchmarkProfile *Gcc = findProfile("gcc");
+  ASSERT_NE(Gcc, nullptr);
+  EXPECT_EQ(Gcc->Routines, 1878u);
+  EXPECT_NEAR(Gcc->CallsPerRoutine, 9.86, 1e-9);
+  const BenchmarkProfile *Acad = findProfile("acad");
+  ASSERT_NE(Acad, nullptr);
+  EXPECT_EQ(Acad->Routines, 31766u);
+  EXPECT_EQ(findProfile("nonesuch"), nullptr);
+}
+
+TEST(ProfilesTest, ScaledProfileAdjustsRoutines) {
+  const BenchmarkProfile *Base = findProfile("compress");
+  ASSERT_NE(Base, nullptr);
+  BenchmarkProfile Half = scaledProfile(*Base, 0.5);
+  EXPECT_EQ(Half.Routines, 61u);
+  BenchmarkProfile Ten = scaledProfile(*Base, 10.0);
+  EXPECT_EQ(Ten.Routines, 1220u);
+}
+
+namespace {
+
+BenchmarkProfile testProfile(uint64_t Seed) {
+  BenchmarkProfile P;
+  P.Name = "test";
+  P.Routines = 60;
+  P.CallsPerRoutine = 5.0;
+  P.BranchesPerRoutine = 10.0;
+  P.ExitsPerRoutine = 1.5;
+  P.EntrancesPerRoutine = 1.05;
+  P.SwitchLoopsPerRoutine = 0.3;
+  P.IndirectCallFraction = 0.05;
+  P.AddressTakenFraction = 0.05;
+  P.Seed = Seed;
+  return P;
+}
+
+} // namespace
+
+TEST(CfgGeneratorTest, ProducesVerifiableImages) {
+  Image Img = generateCfgProgram(testProfile(1));
+  EXPECT_FALSE(Img.verify().has_value());
+  EXPECT_GT(Img.Code.size(), 100u);
+  EXPECT_GT(Img.Symbols.size(), 60u);
+}
+
+TEST(CfgGeneratorTest, DeterministicPerSeed) {
+  Image A = generateCfgProgram(testProfile(9));
+  Image B = generateCfgProgram(testProfile(9));
+  Image C = generateCfgProgram(testProfile(10));
+  EXPECT_EQ(A.Code, B.Code);
+  EXPECT_NE(A.Code, C.Code);
+}
+
+TEST(CfgGeneratorTest, StatisticsTrackProfile) {
+  BenchmarkProfile P = testProfile(3);
+  P.Routines = 300;
+  Image Img = generateCfgProgram(P);
+  Program Prog = buildProgram(Img, CallingConv());
+
+  // The __start stub adds one routine.
+  ASSERT_EQ(Prog.Routines.size(), 301u);
+
+  double Calls = 0, Branches = 0, Exits = 0;
+  for (size_t I = 1; I < Prog.Routines.size(); ++I) {
+    Calls += Prog.Routines[I].CallBlocks.size();
+    Branches += Prog.Routines[I].NumBranches;
+    Exits += Prog.Routines[I].ExitBlocks.size();
+  }
+  double N = double(Prog.Routines.size() - 1);
+  // Geometric draws around the profile means; switch-loop arms add
+  // calls, so allow generous bands.
+  EXPECT_NEAR(Calls / N, P.CallsPerRoutine, 2.5);
+  EXPECT_GT(Branches / N, P.BranchesPerRoutine * 0.5);
+  EXPECT_GE(Exits / N, 1.0);
+  EXPECT_LT(Exits / N, 3.0);
+}
+
+TEST(CfgGeneratorTest, EmitsMultiwayBranchesAndIndirectCalls) {
+  BenchmarkProfile P = testProfile(4);
+  P.Routines = 120;
+  P.SwitchLoopsPerRoutine = 1.0;
+  P.IndirectCallFraction = 0.2;
+  Image Img = generateCfgProgram(P);
+  EXPECT_GT(Img.JumpTables.size(), 10u);
+  Program Prog = buildProgram(Img, CallingConv());
+  unsigned Indirect = 0, Table = 0, Secondary = 0;
+  for (const Routine &R : Prog.Routines) {
+    for (const BasicBlock &Block : R.Blocks) {
+      Indirect += Block.Term == TerminatorKind::IndirectCall;
+      Table += Block.Term == TerminatorKind::TableJump;
+    }
+    Secondary += R.numEntries() - 1;
+  }
+  EXPECT_GT(Indirect, 0u);
+  EXPECT_GT(Table, 10u);
+  EXPECT_GT(Secondary, 0u);
+}
+
+TEST(ExecGeneratorTest, ProducesHaltingPrograms) {
+  for (uint64_t Seed : {1, 2, 3, 4, 5}) {
+    ExecProfile P;
+    P.Routines = 12;
+    P.Seed = Seed;
+    Image Img = generateExecProgram(P);
+    EXPECT_FALSE(Img.verify().has_value());
+    SimResult R = simulate(Img);
+    EXPECT_EQ(R.Exit, SimExit::Halted) << "seed " << Seed << ": "
+                                       << simExitName(R.Exit);
+    EXPECT_GT(R.Steps, 10u);
+  }
+}
+
+TEST(ExecGeneratorTest, Deterministic) {
+  ExecProfile P;
+  P.Seed = 77;
+  Image A = generateExecProgram(P);
+  Image B = generateExecProgram(P);
+  EXPECT_EQ(A.Code, B.Code);
+  EXPECT_EQ(simulate(A).ExitValue, simulate(B).ExitValue);
+}
+
+TEST(ExecGeneratorTest, ObservableStoresLandInData) {
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 3;
+  Image Img = generateExecProgram(P);
+  SimResult R = simulate(Img);
+  ASSERT_EQ(R.Exit, SimExit::Halted);
+  bool AnyNonZero = false;
+  for (int64_t Word : R.FinalData)
+    AnyNonZero |= Word != 0;
+  EXPECT_TRUE(AnyNonZero);
+}
+
+TEST(ExecGeneratorTest, InputSensitive) {
+  // Different arguments at the entry change the result: the programs
+  // compute, they do not just replay constants.
+  ExecProfile P;
+  P.Routines = 10;
+  P.Seed = 21;
+  Image Img = generateExecProgram(P);
+  SimResult A = simulateWithArgs(Img, {1});
+  SimResult B = simulateWithArgs(Img, {1});
+  EXPECT_TRUE(A.sameObservable(B));
+}
+
+/// Every calibrated paper profile must generate a verifiable image whose
+/// structure survives the full analysis (run at a small scale to keep
+/// the suite fast).
+class ProfileGeneration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileGeneration, AllPaperProfilesGenerateAndAnalyze) {
+  const BenchmarkProfile &Base = paperProfiles()[size_t(GetParam())];
+  BenchmarkProfile P = scaledProfile(Base, 0.02);
+  Image Img = generateCfgProgram(P);
+  ASSERT_FALSE(Img.verify().has_value()) << Base.Name;
+  Program Prog = buildProgram(Img, CallingConv());
+  EXPECT_GE(Prog.Routines.size(), P.Routines);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileGeneration,
+                         ::testing::Range(0, 16));

@@ -1,0 +1,157 @@
+//===- tests/tools_test.cpp - CLI tool integration tests -------------------===//
+//
+// Drives the installed command-line tools end to end through a real
+// shell: assemble -> simulate -> analyze -> optimize (verified) ->
+// disassemble -> re-assemble.  SPIKE_TOOLS_DIR and a scratch directory
+// come from the build system.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string toolsDir() { return SPIKE_TOOLS_DIR; }
+
+std::string scratchPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+/// Runs a command, captures stdout, returns exit status via \p Status.
+std::string runCommand(const std::string &Command, int *Status) {
+  std::string Output;
+  std::string Wrapped = Command + " 2>&1";
+  std::FILE *Pipe = ::popen(Wrapped.c_str(), "r");
+  if (!Pipe) {
+    *Status = -1;
+    return Output;
+  }
+  char Buffer[512];
+  while (std::fgets(Buffer, sizeof(Buffer), Pipe))
+    Output += Buffer;
+  *Status = ::pclose(Pipe);
+  return Output;
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  Out << Contents;
+}
+
+const char *DemoSource = R"(
+; recursive factorial demo
+.start main
+main:
+  lda a0, 5
+  jsr fact
+  halt v0
+fact:
+  subi sp, sp, 4
+  stq ra, 0(sp)
+  stq s0, 1(sp)
+  mov s0, a0
+  lda v0, 1
+  beq s0, .Lbase
+  subi a0, s0, 1
+  jsr fact
+  lda t0, 0
+.Lmul:
+  add t0, t0, v0
+  subi s0, s0, 1
+  bne s0, .Lmul
+  mov v0, t0
+  ldq s0, 1(sp)   ; reload for the loop-consumed copy
+.Lbase:
+  ldq s0, 1(sp)
+  ldq ra, 0(sp)
+  addi sp, sp, 4
+  ret
+)";
+
+} // namespace
+
+TEST(ToolsTest, AssembleSimulateAnalyzeOptimizeDisassemble) {
+  std::string Asm = scratchPath("tools_demo.s");
+  std::string Img = scratchPath("tools_demo.spkx");
+  std::string Opt = scratchPath("tools_demo_opt.spkx");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  std::string Out;
+
+  Out = runCommand(toolsDir() + "/spike-as " + Asm + " -o " + Img,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("instructions"), std::string::npos);
+
+  Out = runCommand(toolsDir() + "/spike-sim " + Img, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("value:       120"), std::string::npos) << Out;
+
+  Out = runCommand(toolsDir() + "/spike-analyze " + Img +
+                       " --routine fact",
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("call-used"), std::string::npos);
+  EXPECT_NE(Out.find("live-at-entry"), std::string::npos);
+
+  Out = runCommand(toolsDir() + "/spike-opt " + Img + " -o " + Opt +
+                       " --verify",
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("identical observable behaviour"),
+            std::string::npos)
+      << Out;
+
+  Out = runCommand(toolsDir() + "/spike-objdump " + Opt, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("fact:"), std::string::npos);
+
+  std::remove(Asm.c_str());
+  std::remove(Img.c_str());
+  std::remove(Opt.c_str());
+}
+
+TEST(ToolsTest, ObjdumpOutputReassembles) {
+  std::string Asm = scratchPath("tools_rt.s");
+  std::string Img = scratchPath("tools_rt.spkx");
+  std::string Dump = scratchPath("tools_rt_dump.s");
+  std::string Img2 = scratchPath("tools_rt2.spkx");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  runCommand(toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0);
+  std::string Listing =
+      runCommand(toolsDir() + "/spike-objdump " + Img, &Status);
+  ASSERT_EQ(Status, 0);
+  writeFile(Dump, Listing);
+  std::string Out = runCommand(
+      toolsDir() + "/spike-as " + Dump + " -o " + Img2, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  // Both images behave identically.
+  std::string Run1 = runCommand(toolsDir() + "/spike-sim " + Img, &Status);
+  std::string Run2 =
+      runCommand(toolsDir() + "/spike-sim " + Img2, &Status);
+  EXPECT_EQ(Run1, Run2);
+
+  for (const std::string &Path : {Asm, Img, Dump, Img2})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, UsageErrorsExitNonZero) {
+  int Status = 0;
+  runCommand(toolsDir() + "/spike-as", &Status);
+  EXPECT_NE(Status, 0);
+  runCommand(toolsDir() + "/spike-sim /nonexistent.spkx", &Status);
+  EXPECT_NE(Status, 0);
+  runCommand(toolsDir() + "/spike-objdump --bogus", &Status);
+  EXPECT_NE(Status, 0);
+}

@@ -1,0 +1,142 @@
+//===- tools/spike-analyze.cpp - interprocedural analysis driver -----------===//
+//
+// Runs the Spike-style interprocedural dataflow analysis on an image and
+// prints the per-routine summaries and/or cost statistics.
+//
+//   spike-analyze app.spkx [--summaries] [--stats] [--routine <name>]
+//
+// With no flags, prints stats.  --summaries prints every routine's
+// call-used/call-defined/call-killed and live-at-entry/exit sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CallGraph.h"
+#include "psg/Analyzer.h"
+#include "psg/DotExport.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+
+namespace {
+
+void printRoutineSummaries(const AnalysisResult &Result,
+                           uint32_t RoutineIndex) {
+  const Routine &R = Result.Prog.Routines[RoutineIndex];
+  const RoutineResults &RR = Result.Summaries.Routines[RoutineIndex];
+  std::printf("%s: [%llu, %llu)\n", R.Name.c_str(),
+              (unsigned long long)R.Begin, (unsigned long long)R.End);
+  for (size_t E = 0; E < RR.EntrySummaries.size(); ++E) {
+    const CallSummary &S = RR.EntrySummaries[E];
+    std::printf("  entrance %zu @%llu:\n", E,
+                (unsigned long long)R.EntryAddresses[E]);
+    std::printf("    call-used:     %s\n", S.Used.str().c_str());
+    std::printf("    call-defined:  %s\n", S.Defined.str().c_str());
+    std::printf("    call-killed:   %s\n", S.Killed.str().c_str());
+    std::printf("    live-at-entry: %s\n",
+                RR.LiveAtEntry[E].str().c_str());
+  }
+  for (size_t X = 0; X < RR.LiveAtExit.size(); ++X)
+    std::printf("  exit %zu @block %u: live-at-exit %s\n", X,
+                R.ExitBlocks[X], RR.LiveAtExit[X].str().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path, RoutineName, DotWhat;
+  bool Summaries = false, Stats = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--summaries") == 0)
+      Summaries = true;
+    else if (std::strcmp(Argv[I], "--stats") == 0)
+      Stats = true;
+    else if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
+      RoutineName = Argv[++I];
+    else if (std::strcmp(Argv[I], "--dot") == 0 && I + 1 < Argc)
+      DotWhat = Argv[++I]; // "psg", "cfg", or "callgraph"
+    else if (Argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s <image.spkx> [--summaries] [--stats] "
+                   "[--routine <name>]\n",
+                   Argv[0]);
+      return 2;
+    } else
+      Path = Argv[I];
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: %s <image.spkx> [--summaries] [--stats] "
+                         "[--routine <name>]\n",
+                 Argv[0]);
+    return 2;
+  }
+  if (!Summaries && RoutineName.empty())
+    Stats = true;
+
+  std::string Error;
+  std::optional<Image> Img = readImageFile(Path, &Error);
+  if (!Img) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  AnalysisResult Result = analyzeImage(*Img);
+
+  if (!DotWhat.empty()) {
+    if (DotWhat == "callgraph") {
+      CallGraph Graph = buildCallGraph(Result.Prog);
+      std::fputs(callGraphToDot(Result.Prog, Graph).c_str(), stdout);
+      return 0;
+    }
+    for (uint32_t R = 0; R < Result.Prog.Routines.size(); ++R) {
+      if (Result.Prog.Routines[R].Name != RoutineName)
+        continue;
+      std::fputs(DotWhat == "cfg"
+                     ? cfgToDot(Result.Prog, R).c_str()
+                     : psgToDot(Result.Prog, Result.Psg, R).c_str(),
+                 stdout);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "error: --dot %s needs --routine <name> (or use "
+                 "--dot callgraph)\n",
+                 DotWhat.c_str());
+    return 1;
+  }
+
+  if (!RoutineName.empty()) {
+    for (uint32_t R = 0; R < Result.Prog.Routines.size(); ++R)
+      if (Result.Prog.Routines[R].Name == RoutineName) {
+        printRoutineSummaries(Result, R);
+        return 0;
+      }
+    std::fprintf(stderr, "error: no routine named '%s'\n",
+                 RoutineName.c_str());
+    return 1;
+  }
+
+  if (Summaries)
+    for (uint32_t R = 0; R < Result.Prog.Routines.size(); ++R)
+      printRoutineSummaries(Result, R);
+
+  if (Stats) {
+    std::printf("routines:      %zu\n", Result.Prog.Routines.size());
+    std::printf("basic blocks:  %llu\n",
+                (unsigned long long)Result.Prog.numBlocks());
+    std::printf("instructions:  %zu\n", Result.Prog.Insts.size());
+    std::printf("PSG nodes:     %zu (%llu branch nodes)\n",
+                Result.Psg.Nodes.size(),
+                (unsigned long long)Result.Psg.NumBranchNodes);
+    std::printf("PSG edges:     %zu (%llu flow-summary)\n",
+                Result.Psg.Edges.size(),
+                (unsigned long long)Result.Psg.NumFlowSummaryEdges);
+    std::printf("total time:    %.4f s\n", Result.Stages.totalSeconds());
+    for (unsigned S = 0; S < NumAnalysisStages; ++S)
+      std::printf("  %-15s %.4f s\n", stageName(AnalysisStage(S)),
+                  Result.Stages.seconds(AnalysisStage(S)));
+    std::printf("memory:        %.2f MB\n", Result.Memory.peakMBytes());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- tools/spike-as.cpp - assembler driver -------------------------------===//
+//
+// Assembles synthetic-ISA assembly text into a .spkx executable image.
+//
+//   spike-as input.s -o output.spkx
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Assembler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace spike;
+
+static void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <input.s> -o <output.spkx>\n"
+               "  assembles synthetic-ISA assembly into an executable "
+               "image\n",
+               Prog);
+}
+
+int main(int Argc, char **Argv) {
+  std::string InputPath, OutputPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
+      OutputPath = Argv[++I];
+    else if (Argv[I][0] == '-') {
+      usage(Argv[0]);
+      return 2;
+    } else
+      InputPath = Argv[I];
+  }
+  if (InputPath.empty() || OutputPath.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::ifstream Input(InputPath);
+  if (!Input) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", InputPath.c_str());
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << Input.rdbuf();
+
+  std::string Error;
+  std::optional<Image> Img = parseAssembly(Buffer.str(), &Error);
+  if (!Img) {
+    std::fprintf(stderr, "%s: %s\n", InputPath.c_str(), Error.c_str());
+    return 1;
+  }
+  if (!writeImageFile(*Img, OutputPath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutputPath.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu instructions, %zu symbols, %zu jump tables\n",
+              OutputPath.c_str(), Img->Code.size(), Img->Symbols.size(),
+              Img->JumpTables.size());
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- tools/spike-objdump.cpp - disassembler driver ------------------------===//
+//
+// Prints the disassembly of a .spkx image (re-assemblable with spike-as).
+//
+//   spike-objdump app.spkx [--routine <name>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Image.h"
+#include "cfg/CfgBuilder.h"
+#include "isa/Encoding.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  std::string Path, RoutineName;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
+      RoutineName = Argv[++I];
+    else if (Argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s <image.spkx> [--routine <name>]\n", Argv[0]);
+      return 2;
+    } else
+      Path = Argv[I];
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: %s <image.spkx> [--routine <name>]\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::string Error;
+  std::optional<Image> Img = readImageFile(Path, &Error);
+  if (!Img) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (RoutineName.empty()) {
+    std::string Text;
+    disassemble(*Img, Text);
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+
+  // Single-routine mode: use the CFG partition to find its range.
+  Program Prog = buildProgram(*Img, CallingConv());
+  for (const Routine &R : Prog.Routines) {
+    if (R.Name != RoutineName)
+      continue;
+    std::printf("%s:  ; [%llu, %llu), %zu blocks\n", R.Name.c_str(),
+                (unsigned long long)R.Begin, (unsigned long long)R.End,
+                R.Blocks.size());
+    for (uint64_t Address = R.Begin; Address < R.End; ++Address) {
+      std::optional<Instruction> Inst = decodeInstruction(Img->Code[Address]);
+      std::printf("  %llu:\t%s\n", (unsigned long long)Address,
+                  Inst ? Inst->str(int64_t(Address)).c_str()
+                       : "<bad encoding>");
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "error: no routine named '%s'\n",
+               RoutineName.c_str());
+  return 1;
+}

@@ -1,0 +1,96 @@
+//===- tools/spike-opt.cpp - post-link optimizer driver ---------------------===//
+//
+// Runs the Figure 1 optimizations on an image (the Spike workflow).
+//
+//   spike-opt input.spkx -o output.spkx [--rounds N] [--verify]
+//
+// --verify additionally executes both images in the simulator and fails
+// if observable behaviour changed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/AnnotationDeriver.h"
+#include "opt/Pipeline.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+
+int main(int Argc, char **Argv) {
+  std::string InputPath, OutputPath;
+  unsigned Rounds = 3;
+  bool Verify = false;
+  bool DeriveAnnotations = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
+      OutputPath = Argv[++I];
+    else if (std::strcmp(Argv[I], "--rounds") == 0 && I + 1 < Argc)
+      Rounds = unsigned(std::atoi(Argv[++I]));
+    else if (std::strcmp(Argv[I], "--verify") == 0)
+      Verify = true;
+    else if (std::strcmp(Argv[I], "--derive-annotations") == 0)
+      DeriveAnnotations = true;
+    else if (Argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s <input.spkx> -o <output.spkx> "
+                   "[--rounds N] [--verify] [--derive-annotations]\n",
+                   Argv[0]);
+      return 2;
+    } else
+      InputPath = Argv[I];
+  }
+  if (InputPath.empty() || OutputPath.empty()) {
+    std::fprintf(stderr, "usage: %s <input.spkx> -o <output.spkx> "
+                         "[--rounds N] [--verify] [--derive-annotations]\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::string Error;
+  std::optional<Image> Img = readImageFile(InputPath, &Error);
+  if (!Img) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  Image Original = *Img;
+  if (DeriveAnnotations) {
+    size_t Sites = annotateIndirectCalls(*Img);
+    std::printf("derived annotations for %zu indirect call site(s)\n",
+                Sites);
+  }
+  PipelineStats Stats = optimizeImage(*Img, CallingConv(), Rounds);
+  std::printf("rounds:                        %u\n", Stats.Rounds);
+  std::printf("dead defs deleted:             %llu\n",
+              (unsigned long long)Stats.DeadDefsDeleted);
+  std::printf("spill pairs removed:           %llu\n",
+              (unsigned long long)Stats.SpillPairsRemoved);
+  std::printf("callee-saved regs reallocated: %llu\n",
+              (unsigned long long)Stats.SaveRestoreRegsEliminated);
+
+  if (Verify) {
+    SimResult Before = simulate(Original);
+    SimResult After = simulate(*Img);
+    if (!Before.sameObservable(After)) {
+      std::fprintf(stderr, "VERIFY FAILED: behaviour changed "
+                           "(%s/%lld vs %s/%lld)\n",
+                   simExitName(Before.Exit), (long long)Before.ExitValue,
+                   simExitName(After.Exit), (long long)After.ExitValue);
+      return 1;
+    }
+    std::printf("verify: identical observable behaviour; useful "
+                "instructions %llu -> %llu\n",
+                (unsigned long long)Before.usefulSteps(),
+                (unsigned long long)After.usefulSteps());
+  }
+
+  if (!writeImageFile(*Img, OutputPath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutputPath.c_str());
+    return 1;
+  }
+  return 0;
+}
