@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure13.dir/bench_figure13.cpp.o"
+  "CMakeFiles/bench_figure13.dir/bench_figure13.cpp.o.d"
+  "bench_figure13"
+  "bench_figure13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figure13.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure14.dir/bench_figure14.cpp.o"
+  "CMakeFiles/bench_figure14.dir/bench_figure14.cpp.o.d"
+  "bench_figure14"
+  "bench_figure14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure15.dir/bench_figure15.cpp.o"
+  "CMakeFiles/bench_figure15.dir/bench_figure15.cpp.o.d"
+  "bench_figure15"
+  "bench_figure15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

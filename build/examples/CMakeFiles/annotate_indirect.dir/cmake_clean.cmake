@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_indirect.dir/annotate_indirect.cpp.o"
+  "CMakeFiles/annotate_indirect.dir/annotate_indirect.cpp.o.d"
+  "annotate_indirect"
+  "annotate_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

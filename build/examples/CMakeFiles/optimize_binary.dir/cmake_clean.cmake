@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_binary.dir/optimize_binary.cpp.o"
+  "CMakeFiles/optimize_binary.dir/optimize_binary.cpp.o.d"
+  "optimize_binary"
+  "optimize_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

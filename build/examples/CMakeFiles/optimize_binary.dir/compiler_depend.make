@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for optimize_binary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_program_analysis.dir/whole_program_analysis.cpp.o"
+  "CMakeFiles/whole_program_analysis.dir/whole_program_analysis.cpp.o.d"
+  "whole_program_analysis"
+  "whole_program_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_program_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

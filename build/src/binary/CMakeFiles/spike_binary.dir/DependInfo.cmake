@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binary/Assembler.cpp" "src/binary/CMakeFiles/spike_binary.dir/Assembler.cpp.o" "gcc" "src/binary/CMakeFiles/spike_binary.dir/Assembler.cpp.o.d"
+  "/root/repo/src/binary/Image.cpp" "src/binary/CMakeFiles/spike_binary.dir/Image.cpp.o" "gcc" "src/binary/CMakeFiles/spike_binary.dir/Image.cpp.o.d"
+  "/root/repo/src/binary/ProgramBuilder.cpp" "src/binary/CMakeFiles/spike_binary.dir/ProgramBuilder.cpp.o" "gcc" "src/binary/CMakeFiles/spike_binary.dir/ProgramBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_binary.dir/Assembler.cpp.o"
+  "CMakeFiles/spike_binary.dir/Assembler.cpp.o.d"
+  "CMakeFiles/spike_binary.dir/Image.cpp.o"
+  "CMakeFiles/spike_binary.dir/Image.cpp.o.d"
+  "CMakeFiles/spike_binary.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/spike_binary.dir/ProgramBuilder.cpp.o.d"
+  "libspike_binary.a"
+  "libspike_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_cfg.dir/CallGraph.cpp.o"
+  "CMakeFiles/spike_cfg.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/spike_cfg.dir/CfgBuilder.cpp.o"
+  "CMakeFiles/spike_cfg.dir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/spike_cfg.dir/SaveRestore.cpp.o"
+  "CMakeFiles/spike_cfg.dir/SaveRestore.cpp.o.d"
+  "libspike_cfg.a"
+  "libspike_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

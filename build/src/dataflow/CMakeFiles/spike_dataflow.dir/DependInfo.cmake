@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/Liveness.cpp" "src/dataflow/CMakeFiles/spike_dataflow.dir/Liveness.cpp.o" "gcc" "src/dataflow/CMakeFiles/spike_dataflow.dir/Liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/spike_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/spike_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

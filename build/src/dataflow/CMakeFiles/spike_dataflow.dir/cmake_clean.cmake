@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_dataflow.dir/Liveness.cpp.o"
+  "CMakeFiles/spike_dataflow.dir/Liveness.cpp.o.d"
+  "libspike_dataflow.a"
+  "libspike_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

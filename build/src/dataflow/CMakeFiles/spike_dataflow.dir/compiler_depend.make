@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spike_dataflow.
+# This may be replaced when dependencies are built.

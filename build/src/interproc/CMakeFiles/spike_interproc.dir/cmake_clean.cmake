@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_interproc.dir/CfgTwoPhase.cpp.o"
+  "CMakeFiles/spike_interproc.dir/CfgTwoPhase.cpp.o.d"
+  "CMakeFiles/spike_interproc.dir/Supergraph.cpp.o"
+  "CMakeFiles/spike_interproc.dir/Supergraph.cpp.o.d"
+  "libspike_interproc.a"
+  "libspike_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/Encoding.cpp" "src/isa/CMakeFiles/spike_isa.dir/Encoding.cpp.o" "gcc" "src/isa/CMakeFiles/spike_isa.dir/Encoding.cpp.o.d"
+  "/root/repo/src/isa/Instruction.cpp" "src/isa/CMakeFiles/spike_isa.dir/Instruction.cpp.o" "gcc" "src/isa/CMakeFiles/spike_isa.dir/Instruction.cpp.o.d"
+  "/root/repo/src/isa/Registers.cpp" "src/isa/CMakeFiles/spike_isa.dir/Registers.cpp.o" "gcc" "src/isa/CMakeFiles/spike_isa.dir/Registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

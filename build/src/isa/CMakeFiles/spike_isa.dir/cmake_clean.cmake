@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/spike_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/spike_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/spike_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/spike_isa.dir/Registers.cpp.o"
+  "CMakeFiles/spike_isa.dir/Registers.cpp.o.d"
+  "libspike_isa.a"
+  "libspike_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

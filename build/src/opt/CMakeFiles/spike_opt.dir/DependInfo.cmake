@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/AnnotationDeriver.cpp" "src/opt/CMakeFiles/spike_opt.dir/AnnotationDeriver.cpp.o" "gcc" "src/opt/CMakeFiles/spike_opt.dir/AnnotationDeriver.cpp.o.d"
+  "/root/repo/src/opt/DeadDefElim.cpp" "src/opt/CMakeFiles/spike_opt.dir/DeadDefElim.cpp.o" "gcc" "src/opt/CMakeFiles/spike_opt.dir/DeadDefElim.cpp.o.d"
+  "/root/repo/src/opt/Pipeline.cpp" "src/opt/CMakeFiles/spike_opt.dir/Pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/spike_opt.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/opt/SaveRestoreElim.cpp" "src/opt/CMakeFiles/spike_opt.dir/SaveRestoreElim.cpp.o" "gcc" "src/opt/CMakeFiles/spike_opt.dir/SaveRestoreElim.cpp.o.d"
+  "/root/repo/src/opt/SpillRemoval.cpp" "src/opt/CMakeFiles/spike_opt.dir/SpillRemoval.cpp.o" "gcc" "src/opt/CMakeFiles/spike_opt.dir/SpillRemoval.cpp.o.d"
+  "/root/repo/src/opt/UnreachableElim.cpp" "src/opt/CMakeFiles/spike_opt.dir/UnreachableElim.cpp.o" "gcc" "src/opt/CMakeFiles/spike_opt.dir/UnreachableElim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psg/CMakeFiles/spike_psg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/spike_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/spike_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/spike_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

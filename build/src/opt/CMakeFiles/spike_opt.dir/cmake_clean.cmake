@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_opt.dir/AnnotationDeriver.cpp.o"
+  "CMakeFiles/spike_opt.dir/AnnotationDeriver.cpp.o.d"
+  "CMakeFiles/spike_opt.dir/DeadDefElim.cpp.o"
+  "CMakeFiles/spike_opt.dir/DeadDefElim.cpp.o.d"
+  "CMakeFiles/spike_opt.dir/Pipeline.cpp.o"
+  "CMakeFiles/spike_opt.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/spike_opt.dir/SaveRestoreElim.cpp.o"
+  "CMakeFiles/spike_opt.dir/SaveRestoreElim.cpp.o.d"
+  "CMakeFiles/spike_opt.dir/SpillRemoval.cpp.o"
+  "CMakeFiles/spike_opt.dir/SpillRemoval.cpp.o.d"
+  "CMakeFiles/spike_opt.dir/UnreachableElim.cpp.o"
+  "CMakeFiles/spike_opt.dir/UnreachableElim.cpp.o.d"
+  "libspike_opt.a"
+  "libspike_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psg/Analyzer.cpp" "src/psg/CMakeFiles/spike_psg.dir/Analyzer.cpp.o" "gcc" "src/psg/CMakeFiles/spike_psg.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/psg/DotExport.cpp" "src/psg/CMakeFiles/spike_psg.dir/DotExport.cpp.o" "gcc" "src/psg/CMakeFiles/spike_psg.dir/DotExport.cpp.o.d"
+  "/root/repo/src/psg/PsgBuilder.cpp" "src/psg/CMakeFiles/spike_psg.dir/PsgBuilder.cpp.o" "gcc" "src/psg/CMakeFiles/spike_psg.dir/PsgBuilder.cpp.o.d"
+  "/root/repo/src/psg/PsgSolver.cpp" "src/psg/CMakeFiles/spike_psg.dir/PsgSolver.cpp.o" "gcc" "src/psg/CMakeFiles/spike_psg.dir/PsgSolver.cpp.o.d"
+  "/root/repo/src/psg/Summaries.cpp" "src/psg/CMakeFiles/spike_psg.dir/Summaries.cpp.o" "gcc" "src/psg/CMakeFiles/spike_psg.dir/Summaries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/spike_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/spike_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/spike_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

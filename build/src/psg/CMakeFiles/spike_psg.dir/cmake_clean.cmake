@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_psg.dir/Analyzer.cpp.o"
+  "CMakeFiles/spike_psg.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/spike_psg.dir/DotExport.cpp.o"
+  "CMakeFiles/spike_psg.dir/DotExport.cpp.o.d"
+  "CMakeFiles/spike_psg.dir/PsgBuilder.cpp.o"
+  "CMakeFiles/spike_psg.dir/PsgBuilder.cpp.o.d"
+  "CMakeFiles/spike_psg.dir/PsgSolver.cpp.o"
+  "CMakeFiles/spike_psg.dir/PsgSolver.cpp.o.d"
+  "CMakeFiles/spike_psg.dir/Summaries.cpp.o"
+  "CMakeFiles/spike_psg.dir/Summaries.cpp.o.d"
+  "libspike_psg.a"
+  "libspike_psg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_psg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

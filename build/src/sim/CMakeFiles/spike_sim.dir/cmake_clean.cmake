@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/spike_sim.dir/Simulator.cpp.o.d"
+  "libspike_sim.a"
+  "libspike_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

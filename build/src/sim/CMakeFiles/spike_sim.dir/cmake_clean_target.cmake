@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspike_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_support.dir/RegSet.cpp.o"
+  "CMakeFiles/spike_support.dir/RegSet.cpp.o.d"
+  "libspike_support.a"
+  "libspike_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

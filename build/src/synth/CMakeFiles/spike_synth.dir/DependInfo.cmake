@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/CfgGenerator.cpp" "src/synth/CMakeFiles/spike_synth.dir/CfgGenerator.cpp.o" "gcc" "src/synth/CMakeFiles/spike_synth.dir/CfgGenerator.cpp.o.d"
+  "/root/repo/src/synth/ExecGenerator.cpp" "src/synth/CMakeFiles/spike_synth.dir/ExecGenerator.cpp.o" "gcc" "src/synth/CMakeFiles/spike_synth.dir/ExecGenerator.cpp.o.d"
+  "/root/repo/src/synth/Profiles.cpp" "src/synth/CMakeFiles/spike_synth.dir/Profiles.cpp.o" "gcc" "src/synth/CMakeFiles/spike_synth.dir/Profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binary/CMakeFiles/spike_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

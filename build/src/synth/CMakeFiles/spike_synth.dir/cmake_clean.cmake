@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_synth.dir/CfgGenerator.cpp.o"
+  "CMakeFiles/spike_synth.dir/CfgGenerator.cpp.o.d"
+  "CMakeFiles/spike_synth.dir/ExecGenerator.cpp.o"
+  "CMakeFiles/spike_synth.dir/ExecGenerator.cpp.o.d"
+  "CMakeFiles/spike_synth.dir/Profiles.cpp.o"
+  "CMakeFiles/spike_synth.dir/Profiles.cpp.o.d"
+  "libspike_synth.a"
+  "libspike_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_test.cpp" "tests/CMakeFiles/spike_tests.dir/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/analyzer_test.cpp.o.d"
+  "/root/repo/tests/annotations_test.cpp" "tests/CMakeFiles/spike_tests.dir/annotations_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/annotations_test.cpp.o.d"
+  "/root/repo/tests/assembler_test.cpp" "tests/CMakeFiles/spike_tests.dir/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/binary_test.cpp" "tests/CMakeFiles/spike_tests.dir/binary_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/binary_test.cpp.o.d"
+  "/root/repo/tests/callgraph_test.cpp" "tests/CMakeFiles/spike_tests.dir/callgraph_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/callgraph_test.cpp.o.d"
+  "/root/repo/tests/cfg_test.cpp" "tests/CMakeFiles/spike_tests.dir/cfg_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/dataflow_test.cpp" "tests/CMakeFiles/spike_tests.dir/dataflow_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/dataflow_test.cpp.o.d"
+  "/root/repo/tests/dot_test.cpp" "tests/CMakeFiles/spike_tests.dir/dot_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/dot_test.cpp.o.d"
+  "/root/repo/tests/interproc_test.cpp" "tests/CMakeFiles/spike_tests.dir/interproc_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/interproc_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/spike_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/spike_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/spike_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/psg_paper_test.cpp" "tests/CMakeFiles/spike_tests.dir/psg_paper_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/psg_paper_test.cpp.o.d"
+  "/root/repo/tests/psg_test.cpp" "tests/CMakeFiles/spike_tests.dir/psg_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/psg_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/spike_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/spike_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/spike_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/spike_tests.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/synth_test.cpp.o.d"
+  "/root/repo/tests/tools_test.cpp" "tests/CMakeFiles/spike_tests.dir/tools_test.cpp.o" "gcc" "tests/CMakeFiles/spike_tests.dir/tools_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/spike_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/interproc/CMakeFiles/spike_interproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/psg/CMakeFiles/spike_psg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spike_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/spike_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/spike_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/spike_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/spike_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike-analyze.dir/spike-analyze.cpp.o"
+  "CMakeFiles/spike-analyze.dir/spike-analyze.cpp.o.d"
+  "spike-analyze"
+  "spike-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

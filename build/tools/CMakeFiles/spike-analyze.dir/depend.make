@@ -1,0 +1,2 @@
+# Empty dependencies file for spike-analyze.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike-as.dir/spike-as.cpp.o"
+  "CMakeFiles/spike-as.dir/spike-as.cpp.o.d"
+  "spike-as"
+  "spike-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/spike-gen.cpp" "tools/CMakeFiles/spike-gen.dir/spike-gen.cpp.o" "gcc" "tools/CMakeFiles/spike-gen.dir/spike-gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/spike_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/interproc/CMakeFiles/spike_interproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/psg/CMakeFiles/spike_psg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spike_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/spike_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/spike_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/spike_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/spike_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/spike_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spike_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike-gen.dir/spike-gen.cpp.o"
+  "CMakeFiles/spike-gen.dir/spike-gen.cpp.o.d"
+  "spike-gen"
+  "spike-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

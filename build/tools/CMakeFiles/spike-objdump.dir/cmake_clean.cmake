@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike-objdump.dir/spike-objdump.cpp.o"
+  "CMakeFiles/spike-objdump.dir/spike-objdump.cpp.o.d"
+  "spike-objdump"
+  "spike-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

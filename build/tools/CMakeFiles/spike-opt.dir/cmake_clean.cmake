@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike-opt.dir/spike-opt.cpp.o"
+  "CMakeFiles/spike-opt.dir/spike-opt.cpp.o.d"
+  "spike-opt"
+  "spike-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike-sim.dir/spike-sim.cpp.o"
+  "CMakeFiles/spike-sim.dir/spike-sim.cpp.o.d"
+  "spike-sim"
+  "spike-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
