@@ -141,7 +141,6 @@ spike::solveSupergraphLiveness(const Program &Prog,
   Result.LiveIn.assign(Graph.NumNodes, RegSet());
   Result.LiveOut.assign(Graph.NumNodes, RegSet());
 
-  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
   RegSet RaOnly;
   RaOnly.insert(Prog.Conv.RaReg);
   RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();

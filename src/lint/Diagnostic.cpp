@@ -1,0 +1,93 @@
+//===- lint/Diagnostic.cpp - Structured analysis diagnostics ---------------===//
+
+#include "lint/Diagnostic.h"
+
+#include <cassert>
+
+using namespace spike;
+
+namespace {
+
+struct RuleInfo {
+  const char *Code;
+  const char *Name;
+  Severity Sev;
+};
+
+constexpr RuleInfo Rules[NumLintRules] = {
+    {"SL000", "malformed-image", Severity::Error},
+    {"SL001", "undef-read", Severity::Warning},
+    {"SL002", "cc-clobber", Severity::Warning},
+    {"SL003", "dead-def", Severity::Note},
+    {"SL004", "unreachable-routine", Severity::Note},
+    {"SL005", "unreachable-block", Severity::Warning},
+    {"SL006", "cf-jump-table", Severity::Error},
+    {"SL007", "cf-mid-call", Severity::Error},
+    {"SL008", "cf-fallthrough", Severity::Error},
+    {"SL009", "summary-mismatch", Severity::Error},
+    {"SL010", "opt-regression", Severity::Error},
+};
+
+const RuleInfo &info(RuleId Rule) {
+  assert(unsigned(Rule) < NumLintRules && "rule id out of range");
+  return Rules[unsigned(Rule)];
+}
+
+} // namespace
+
+const char *spike::ruleCode(RuleId Rule) { return info(Rule).Code; }
+
+const char *spike::ruleName(RuleId Rule) { return info(Rule).Name; }
+
+Severity spike::ruleSeverity(RuleId Rule) { return info(Rule).Sev; }
+
+const char *spike::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Line = severityName(Sev);
+  Line += ": ";
+  Line += ruleCode(Rule);
+  Line += " [";
+  Line += ruleName(Rule);
+  Line += "]";
+  if (!RoutineName.empty()) {
+    Line += " ";
+    Line += RoutineName;
+  }
+  if (BlockIndex >= 0) {
+    Line += " block ";
+    Line += std::to_string(BlockIndex);
+  }
+  if (Address >= 0) {
+    Line += " @";
+    Line += std::to_string(Address);
+  }
+  Line += ": ";
+  Line += Message;
+  return Line;
+}
+
+Diagnostic spike::makeDiagnostic(RuleId Rule, int32_t RoutineIndex,
+                                 std::string RoutineName,
+                                 int32_t BlockIndex, int64_t Address,
+                                 std::string Message) {
+  Diagnostic D;
+  D.Rule = Rule;
+  D.Sev = ruleSeverity(Rule);
+  D.RoutineIndex = RoutineIndex;
+  D.RoutineName = std::move(RoutineName);
+  D.BlockIndex = BlockIndex;
+  D.Address = Address;
+  D.Message = std::move(Message);
+  return D;
+}

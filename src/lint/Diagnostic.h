@@ -1,0 +1,106 @@
+//===- lint/Diagnostic.h - Structured analysis diagnostics ----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic model of the spike-lint subsystem.
+///
+/// The interprocedural summaries Spike computes for optimization
+/// (live-at-entry, call-used/defined/killed) answer checking questions
+/// just as well: "does anything read this register before the program
+/// defines it?", "does this routine clobber state its callers rely on?".
+/// Each finding is a Diagnostic: a stable rule id, a severity, a program
+/// location (routine / block / instruction address, each optional), and a
+/// human-readable message.  The JSON writer renders the same records
+/// machine-readably for CI gating.
+///
+/// Severity policy: Error marks structural defects that never occur in a
+/// well-formed binary (broken control flow, analysis mismatches);
+/// Warning marks convention violations and possibly-undefined behaviour
+/// that real binaries can exhibit; Note marks optimization opportunities
+/// and benign facts.  The synthetic benchmark programs must lint with
+/// zero errors, which CI enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_LINT_DIAGNOSTIC_H
+#define SPIKE_LINT_DIAGNOSTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// How serious one diagnostic is.
+enum class Severity : uint8_t {
+  Note,    ///< Benign fact or optimization opportunity.
+  Warning, ///< Convention violation / possibly-undefined behaviour.
+  Error,   ///< Structural defect; clean binaries must have none.
+};
+
+/// The rule catalogue.  Codes are stable; new rules append.
+enum class RuleId : uint8_t {
+  MalformedImage,     ///< SL000: image failed to load or verify.
+  UndefEntryRead,     ///< SL001: register possibly read before any def.
+  CalleeSavedClobber, ///< SL002: callee-saved register not preserved.
+  DeadDef,            ///< SL003: definition no one can observe.
+  UnreachableRoutine, ///< SL004: no call path from any root.
+  UnreachableBlock,   ///< SL005: block unreachable from every entrance.
+  JumpTableEscape,    ///< SL006: jump-table target outside the routine.
+  MidRoutineCall,     ///< SL007: call into an unnamed mid-routine address.
+  FallThroughExit,    ///< SL008: control falls off the routine's end.
+  SummaryMismatch,    ///< SL009: PSG summary != CFG reference (verifier).
+  OptRegression,      ///< SL010: optimization introduced a diagnostic.
+};
+
+/// Number of rules in the catalogue.
+inline constexpr unsigned NumLintRules =
+    unsigned(RuleId::OptRegression) + 1;
+
+/// Returns the stable code of \p Rule, e.g. "SL002".
+const char *ruleCode(RuleId Rule);
+
+/// Returns the short name of \p Rule, e.g. "cc-clobber".
+const char *ruleName(RuleId Rule);
+
+/// Returns the default severity of \p Rule.
+Severity ruleSeverity(RuleId Rule);
+
+/// Returns "note" / "warning" / "error".
+const char *severityName(Severity Sev);
+
+/// One finding.
+struct Diagnostic {
+  RuleId Rule = RuleId::MalformedImage;
+  Severity Sev = Severity::Error;
+
+  /// Routine index in the analyzed Program, or -1 if whole-image.
+  int32_t RoutineIndex = -1;
+
+  /// Routine name ("" if whole-image).
+  std::string RoutineName;
+
+  /// Block index within the routine, or -1.
+  int32_t BlockIndex = -1;
+
+  /// Instruction address, or -1.
+  int64_t Address = -1;
+
+  /// Human-readable description of the finding.
+  std::string Message;
+
+  /// Renders one line: "warning: SL002 [cc-clobber] r3 @17: ...".
+  std::string str() const;
+};
+
+/// Convenience constructor with the rule's default severity.
+Diagnostic makeDiagnostic(RuleId Rule, int32_t RoutineIndex,
+                          std::string RoutineName, int32_t BlockIndex,
+                          int64_t Address, std::string Message);
+
+} // namespace spike
+
+#endif // SPIKE_LINT_DIAGNOSTIC_H

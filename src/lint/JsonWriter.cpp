@@ -1,0 +1,81 @@
+//===- lint/JsonWriter.cpp - JSON rendering of lint results ----------------===//
+
+#include "lint/JsonWriter.h"
+
+#include <cstdio>
+
+using namespace spike;
+
+std::string spike::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string spike::writeDiagnosticsJson(const LintResult &Result) {
+  std::string Out = "{\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : Result.Diags) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\"rule\": \"";
+    Out += ruleCode(D.Rule);
+    Out += "\", \"name\": \"";
+    Out += ruleName(D.Rule);
+    Out += "\", \"severity\": \"";
+    Out += severityName(D.Sev);
+    Out += "\"";
+    if (!D.RoutineName.empty()) {
+      Out += ", \"routine\": \"";
+      Out += jsonEscape(D.RoutineName);
+      Out += "\"";
+    }
+    if (D.BlockIndex >= 0) {
+      Out += ", \"block\": ";
+      Out += std::to_string(D.BlockIndex);
+    }
+    if (D.Address >= 0) {
+      Out += ", \"address\": ";
+      Out += std::to_string(D.Address);
+    }
+    Out += ", \"message\": \"";
+    Out += jsonEscape(D.Message);
+    Out += "\"}";
+  }
+  Out += First ? "],\n" : "\n  ],\n";
+  Out += "  \"counts\": {\"note\": ";
+  Out += std::to_string(Result.count(Severity::Note));
+  Out += ", \"warning\": ";
+  Out += std::to_string(Result.count(Severity::Warning));
+  Out += ", \"error\": ";
+  Out += std::to_string(Result.count(Severity::Error));
+  Out += "}\n}\n";
+  return Out;
+}

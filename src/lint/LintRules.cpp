@@ -1,0 +1,316 @@
+//===- lint/LintRules.cpp - The spike-lint rule catalogue ------------------===//
+
+#include "lint/LintRules.h"
+
+#include "cfg/CallGraph.h"
+#include "cfg/CfgBuilder.h"
+#include "dataflow/Liveness.h"
+#include "isa/Encoding.h"
+#include "lint/Linter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+/// Returns true if any block of \p R ends in an unresolved indirect jump,
+/// in which case intra-routine reachability cannot be decided and the
+/// reachability-based rules stay quiet for the routine.
+bool hasUnresolvedJumps(const Routine &R) {
+  for (const BasicBlock &Block : R.Blocks)
+    if (Block.Term == TerminatorKind::UnresolvedJump)
+      return true;
+  return false;
+}
+
+/// Renders "s3 (r12)" style register references.
+std::string regRef(unsigned Reg) {
+  std::string S = regName(Reg);
+  return S;
+}
+
+} // namespace
+
+std::vector<bool> spike::reachableBlocks(const Routine &R) {
+  std::vector<bool> Seen(R.Blocks.size(), false);
+  std::vector<uint32_t> Stack;
+  for (uint32_t Entry : R.EntryBlocks)
+    if (!Seen[Entry]) {
+      Seen[Entry] = true;
+      Stack.push_back(Entry);
+    }
+  while (!Stack.empty()) {
+    uint32_t BlockIndex = Stack.back();
+    Stack.pop_back();
+    for (uint32_t Succ : R.Blocks[BlockIndex].Succs)
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Stack.push_back(Succ);
+      }
+  }
+  return Seen;
+}
+
+void spike::checkUndefEntryReads(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+  if (Prog.EntryRoutine < 0)
+    return;
+  uint32_t RoutineIndex = uint32_t(Prog.EntryRoutine);
+  const Routine &R = Prog.Routines[RoutineIndex];
+
+  // The entrance execution actually starts at.
+  uint32_t Entry = 0;
+  for (uint32_t E = 0; E < R.EntryAddresses.size(); ++E)
+    if (R.EntryAddresses[E] == Ctx.Img.EntryAddress)
+      Entry = E;
+
+  const CallingConv &Conv = Prog.Conv;
+  RegSet Provided = Ctx.Opts.EntryDefinedRegs;
+  if (Provided.empty()) {
+    Provided.insert(Conv.SpReg);
+    Provided.insert(Conv.GpReg);
+    Provided.insert(Conv.RaReg);
+    Provided.insert(Conv.ZeroReg);
+  }
+
+  // Callee-saved leakage at startup is SL002's concern; here only the
+  // scratch/argument/return registers count, whose startup contents are
+  // garbage on any real loader.
+  RegSet Live =
+      Ctx.Analysis.Summaries.Routines[RoutineIndex].LiveAtEntry[Entry];
+  RegSet Suspicious = Live - Provided - Conv.CalleeSaved;
+  for (unsigned Reg : Suspicious)
+    Ctx.Out.push_back(makeDiagnostic(
+        RuleId::UndefEntryRead, int32_t(RoutineIndex), R.Name,
+        int32_t(R.EntryBlocks[Entry]), int64_t(R.EntryAddresses[Entry]),
+        "register " + regRef(Reg) +
+            " is live at the program entry point: some path reads it "
+            "before anything defines it"));
+}
+
+void spike::checkCalleeSavedClobbers(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+  const CallingConv &Conv = Prog.Conv;
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    // A clobber in an unreachable routine can never reach a caller.
+    if (!Ctx.Graph.Reachable[RoutineIndex])
+      continue;
+    const Routine &R = Prog.Routines[RoutineIndex];
+    RegSet Saved = Ctx.Analysis.SavedPerRoutine[RoutineIndex];
+
+    // Union of the *unfiltered* MAY-DEF over all entrances (the Section
+    // 3.4 filter is exactly what hides legitimate save/restore pairs, so
+    // anything callee-saved left after subtracting Saved escapes to
+    // callers).
+    RegSet MayDef;
+    for (uint32_t E = 0; E < R.numEntries(); ++E)
+      MayDef |= Ctx.Analysis.entrySets(RoutineIndex, E).MayDef;
+
+    RegSet Clobbered = (MayDef & Conv.CalleeSaved) - Saved;
+    for (unsigned Reg : Clobbered)
+      Ctx.Out.push_back(makeDiagnostic(
+          RuleId::CalleeSavedClobber, int32_t(RoutineIndex), R.Name,
+          int32_t(R.EntryBlocks.empty() ? 0 : R.EntryBlocks[0]),
+          int64_t(R.Begin),
+          "callee-saved register " + regRef(Reg) +
+              " may be clobbered (defined here or in a callee, and not "
+              "saved/restored by this routine)"));
+  }
+}
+
+std::vector<uint64_t>
+spike::findDeadDefs(const Program &Prog,
+                    const InterprocSummaries &Summaries) {
+  std::vector<uint64_t> Dead;
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+
+    LivenessResult Live = solveLiveness(
+        R,
+        [&](uint32_t BlockIndex) {
+          return Summaries.callEffect(Prog, RoutineIndex, BlockIndex);
+        },
+        [&](uint32_t BlockIndex) {
+          return Summaries.liveAtExitOfBlock(Prog, RoutineIndex,
+                                             BlockIndex);
+        },
+        [&](uint32_t BlockIndex) {
+          return Prog.jumpTargetLive(R.Blocks[BlockIndex].End - 1);
+        });
+
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex) {
+      const BasicBlock &Block = R.Blocks[BlockIndex];
+      CallEffect Effect;
+      const CallEffect *EffectPtr = nullptr;
+      if (Block.endsWithCall()) {
+        Effect = Summaries.callEffect(Prog, RoutineIndex, BlockIndex);
+        EffectPtr = &Effect;
+      }
+      std::vector<RegSet> LiveBefore = liveBeforeEachInst(
+          Prog, R, BlockIndex, Live.LiveOut[BlockIndex], EffectPtr);
+
+      for (uint64_t Offset = 0; Offset < Block.size(); ++Offset) {
+        uint64_t Address = Block.Begin + Offset;
+        const Instruction &Inst = Prog.Insts[Address];
+        // Only pure register computations qualify: loads may fault,
+        // stores and control flow have side effects.
+        switch (opcodeInfo(Inst.Op).Format) {
+        case OperandFormat::RRR:
+        case OperandFormat::RRI:
+        case OperandFormat::RI:
+        case OperandFormat::RR:
+          break;
+        default:
+          continue;
+        }
+        RegSet Defs = Inst.defs();
+        if (Defs.empty())
+          continue; // Write to the zero register: already a nop.
+        RegSet LiveAfter = Offset + 1 < Block.size()
+                               ? LiveBefore[Offset + 1]
+                               : Live.LiveOut[BlockIndex];
+        if (LiveAfter.intersects(Defs))
+          continue;
+        Dead.push_back(Address);
+      }
+    }
+  }
+  return Dead;
+}
+
+void spike::checkDeadDefs(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+  for (uint64_t Address :
+       findDeadDefs(Prog, Ctx.Analysis.Summaries)) {
+    int32_t RoutineIndex = findRoutineByAddress(Prog, Address);
+    assert(RoutineIndex >= 0 && "dead def outside every routine");
+    const Routine &R = Prog.Routines[uint32_t(RoutineIndex)];
+    const Instruction &Inst = Prog.Insts[Address];
+    unsigned Reg = *Inst.defs().begin();
+    Ctx.Out.push_back(makeDiagnostic(
+        RuleId::DeadDef, RoutineIndex, R.Name, -1, int64_t(Address),
+        "definition of " + regRef(Reg) + " ('" + Inst.str() +
+            "') is never observed, interprocedurally dead"));
+  }
+}
+
+void spike::checkUnreachable(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    if (!Ctx.Graph.Reachable[RoutineIndex]) {
+      if (Ctx.Opts.ruleEnabled(RuleId::UnreachableRoutine))
+        Ctx.Out.push_back(makeDiagnostic(
+            RuleId::UnreachableRoutine, int32_t(RoutineIndex), R.Name,
+            -1, int64_t(R.Begin),
+            "no call path reaches this routine from the program entry "
+            "or any address-taken routine"));
+      continue; // Block-level findings inside dead routines are noise.
+    }
+    if (!Ctx.Opts.ruleEnabled(RuleId::UnreachableBlock))
+      continue;
+    if (hasUnresolvedJumps(R))
+      continue; // Unknown jump targets: reachability undecidable.
+    std::vector<bool> Reach = reachableBlocks(R);
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex)
+      if (!Reach[BlockIndex])
+        Ctx.Out.push_back(makeDiagnostic(
+            RuleId::UnreachableBlock, int32_t(RoutineIndex), R.Name,
+            int32_t(BlockIndex), int64_t(R.Blocks[BlockIndex].Begin),
+            "block is unreachable from every entrance of the routine"));
+  }
+}
+
+void spike::checkControlFlow(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+
+  // Addresses the symbol table names (any call into the middle of a
+  // routine that is not one of these exists only because the call
+  // created the entrance).
+  std::vector<uint64_t> SymbolAddrs;
+  SymbolAddrs.reserve(Ctx.Img.Symbols.size());
+  for (const Symbol &Sym : Ctx.Img.Symbols)
+    SymbolAddrs.push_back(Sym.Address);
+  std::sort(SymbolAddrs.begin(), SymbolAddrs.end());
+  auto IsNamed = [&](uint64_t Address) {
+    return std::binary_search(SymbolAddrs.begin(), SymbolAddrs.end(),
+                              Address);
+  };
+
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    bool ReachKnown = !hasUnresolvedJumps(R);
+    std::vector<bool> Reach =
+        ReachKnown ? reachableBlocks(R) : std::vector<bool>();
+
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex) {
+      const BasicBlock &Block = R.Blocks[BlockIndex];
+      uint64_t Last = Block.End - 1;
+      const Instruction &Term = Prog.Insts[Last];
+
+      // SL006: jump-table targets must stay inside the routine.  The
+      // CFG builder demotes escaping tables to unresolved jumps, which
+      // keeps the analysis sound but silently weakens it; the lint
+      // makes the defect visible.
+      if (Term.Op == Opcode::JmpTab &&
+          Ctx.Opts.ruleEnabled(RuleId::JumpTableEscape)) {
+        const JumpTableTargets &Table =
+            Prog.JumpTables[uint32_t(Term.Imm)];
+        unsigned Escapes = 0;
+        uint64_t FirstEscape = 0;
+        for (uint64_t Target : Table.Targets)
+          if (Target < R.Begin || Target >= R.End) {
+            if (Escapes++ == 0)
+              FirstEscape = Target;
+          }
+        if (Escapes > 0)
+          Ctx.Out.push_back(makeDiagnostic(
+              RuleId::JumpTableEscape, int32_t(RoutineIndex), R.Name,
+              int32_t(BlockIndex), int64_t(Last),
+              "jump table " + std::to_string(Term.Imm) + " has " +
+                  std::to_string(Escapes) +
+                  " target(s) outside the routine (first: @" +
+                  std::to_string(FirstEscape) + ")"));
+      }
+
+      // SL007: direct calls into a mid-routine address nothing names.
+      if (Block.Term == TerminatorKind::Call &&
+          Ctx.Opts.ruleEnabled(RuleId::MidRoutineCall)) {
+        assert(Block.CalleeRoutine >= 0 && Block.CalleeEntry >= 0);
+        const Routine &Callee =
+            Prog.Routines[uint32_t(Block.CalleeRoutine)];
+        uint64_t Target =
+            Callee.EntryAddresses[uint32_t(Block.CalleeEntry)];
+        if (Target != Callee.Begin && !IsNamed(Target))
+          Ctx.Out.push_back(makeDiagnostic(
+              RuleId::MidRoutineCall, int32_t(RoutineIndex), R.Name,
+              int32_t(BlockIndex), int64_t(Last),
+              "call targets @" + std::to_string(Target) +
+                  ", an unnamed address inside routine '" +
+                  Callee.Name + "'"));
+      }
+
+      // SL008: a reachable block with no terminator and no successor
+      // runs off the end of its routine into whatever comes next.
+      if (Block.Term == TerminatorKind::FallThrough &&
+          Block.Succs.empty() && ReachKnown && Reach[BlockIndex] &&
+          Ctx.Opts.ruleEnabled(RuleId::FallThroughExit))
+        Ctx.Out.push_back(makeDiagnostic(
+            RuleId::FallThroughExit, int32_t(RoutineIndex), R.Name,
+            int32_t(BlockIndex), int64_t(Last),
+            "control falls off the end of routine '" + R.Name +
+                "' with no return, jump, or halt"));
+    }
+  }
+}

@@ -1,0 +1,94 @@
+//===- lint/LintRules.h - The spike-lint rule catalogue -------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Individual lint rules.  Every rule consumes the results of the normal
+/// interprocedural analysis (the paper's summaries, the call graph, the
+/// Section 3.4 save/restore sets) — no rule re-derives facts the
+/// optimizer does not already have, which is the point: once the PSG
+/// makes whole-program dataflow cheap, *checking* comes for free.
+///
+/// The catalogue:
+///
+///   SL001 undef-read       A caller-saved register is live at the entry
+///                          of the program entry routine: something may
+///                          read it before anything defines it.  Callee-
+///                          saved registers are excluded (reading those
+///                          at startup is SL002's concern) as are the
+///                          runtime-provided sp/gp/ra/zero.
+///   SL002 cc-clobber       A routine's entry MAY-DEF (pre-filter)
+///                          contains a callee-saved register the routine
+///                          does not save and restore (Section 3.4 set):
+///                          callers lose state the standard guarantees.
+///   SL003 dead-def         A pure register definition whose target is
+///                          dead under the interprocedural summaries —
+///                          DeadDefElim's condition reported instead of
+///                          transformed.
+///   SL004 unreachable-routine   No direct-call path from the program
+///                          entry or any address-taken routine.
+///   SL005 unreachable-block     A block of a *reachable* routine that no
+///                          entrance reaches intra-procedurally.
+///   SL006 cf-jump-table    A jump-table target lies outside the routine
+///                          containing the multiway branch.
+///   SL007 cf-mid-call      A direct call targets a mid-routine address
+///                          no symbol names (an entrance that exists only
+///                          because the call created it).
+///   SL008 cf-fallthrough   A reachable block falls off the end of its
+///                          routine (no terminator, no successor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_LINT_LINTRULES_H
+#define SPIKE_LINT_LINTRULES_H
+
+#include "binary/Image.h"
+#include "cfg/CallGraph.h"
+#include "lint/Diagnostic.h"
+#include "psg/Analyzer.h"
+
+#include <vector>
+
+namespace spike {
+
+struct LintOptions;
+
+/// Everything a rule may consult, plus the sink it appends to.
+struct LintContext {
+  const Image &Img;
+  const AnalysisResult &Analysis;
+  const CallGraph &Graph;
+  const LintOptions &Opts;
+  std::vector<Diagnostic> &Out;
+};
+
+/// SL001: possibly-undefined register reads at program startup.
+void checkUndefEntryReads(LintContext &Ctx);
+
+/// SL002: calling-convention clobbers of callee-saved registers.
+void checkCalleeSavedClobbers(LintContext &Ctx);
+
+/// SL003: dead definitions (unobserved stores into registers).
+void checkDeadDefs(LintContext &Ctx);
+
+/// SL004 + SL005: unreachable routines and blocks.
+void checkUnreachable(LintContext &Ctx);
+
+/// SL006 + SL007 + SL008: suspicious control flow.
+void checkControlFlow(LintContext &Ctx);
+
+/// The address of every pure register definition in \p Prog whose
+/// destination is dead under \p Summaries.  Shared by the SL003 rule and
+/// by opt/DeadDefElim (which rewrites exactly these addresses to nops).
+std::vector<uint64_t> findDeadDefs(const Program &Prog,
+                                   const InterprocSummaries &Summaries);
+
+/// Per-block flags for blocks reachable from any entrance of \p R by
+/// intra-routine CFG arcs.  Used by SL005/SL008 and exposed for tests.
+std::vector<bool> reachableBlocks(const Routine &R);
+
+} // namespace spike
+
+#endif // SPIKE_LINT_LINTRULES_H

@@ -1,0 +1,157 @@
+//===- lint/Linter.cpp - Whole-program binary diagnostics ------------------===//
+
+#include "lint/Linter.h"
+
+#include "cfg/CallGraph.h"
+#include "interproc/CfgTwoPhase.h"
+#include "lint/LintRules.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+using namespace spike;
+
+unsigned LintResult::count(Severity Sev) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Sev)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// Sort key: program order first, then rule, so output is deterministic
+/// and reads like a compiler's.
+bool diagLess(const Diagnostic &A, const Diagnostic &B) {
+  return std::tie(A.RoutineIndex, A.Address, A.BlockIndex, A.Rule,
+                  A.Message) < std::tie(B.RoutineIndex, B.Address,
+                                        B.BlockIndex, B.Rule, B.Message);
+}
+
+std::string setDiff(const char *What, RegSet Psg, RegSet Ref) {
+  std::string S = What;
+  S += ": psg=";
+  S += Psg.str();
+  S += " reference=";
+  S += Ref.str();
+  return S;
+}
+
+} // namespace
+
+LintResult spike::lintAnalysis(const Image &Img,
+                               const AnalysisResult &Analysis,
+                               const LintOptions &Opts) {
+  LintResult Result;
+  CallGraph Graph = buildCallGraph(Analysis.Prog);
+  LintContext Ctx{Img, Analysis, Graph, Opts, Result.Diags};
+
+  if (Opts.ruleEnabled(RuleId::UndefEntryRead))
+    checkUndefEntryReads(Ctx);
+  if (Opts.ruleEnabled(RuleId::CalleeSavedClobber))
+    checkCalleeSavedClobbers(Ctx);
+  if (Opts.ruleEnabled(RuleId::DeadDef))
+    checkDeadDefs(Ctx);
+  if (Opts.ruleEnabled(RuleId::UnreachableRoutine) ||
+      Opts.ruleEnabled(RuleId::UnreachableBlock))
+    checkUnreachable(Ctx);
+  if (Opts.ruleEnabled(RuleId::JumpTableEscape) ||
+      Opts.ruleEnabled(RuleId::MidRoutineCall) ||
+      Opts.ruleEnabled(RuleId::FallThroughExit))
+    checkControlFlow(Ctx);
+
+  if (Opts.Verify && Opts.ruleEnabled(RuleId::SummaryMismatch)) {
+    std::vector<Diagnostic> Mismatches = crossCheckSummaries(Analysis);
+    Result.Diags.insert(Result.Diags.end(),
+                        std::make_move_iterator(Mismatches.begin()),
+                        std::make_move_iterator(Mismatches.end()));
+  }
+
+  if (Opts.MinSeverity != Severity::Note)
+    std::erase_if(Result.Diags, [&](const Diagnostic &D) {
+      return D.Sev < Opts.MinSeverity;
+    });
+  std::sort(Result.Diags.begin(), Result.Diags.end(), diagLess);
+  return Result;
+}
+
+LintResult spike::lintImage(const Image &Img, const CallingConv &Conv,
+                            const LintOptions &Opts) {
+  if (std::optional<std::string> Error = Img.verify()) {
+    LintResult Result;
+    Result.Diags.push_back(makeDiagnostic(RuleId::MalformedImage, -1, "",
+                                          -1, -1, *Error));
+    return Result;
+  }
+  AnalysisResult Analysis = analyzeImage(Img, Conv);
+  return lintAnalysis(Img, Analysis, Opts);
+}
+
+std::vector<Diagnostic>
+spike::crossCheckSummaries(const AnalysisResult &Analysis) {
+  std::vector<Diagnostic> Out;
+  const Program &Prog = Analysis.Prog;
+  InterprocSummaries Ref = runCfgTwoPhase(Prog, Analysis.SavedPerRoutine);
+
+  auto Report = [&](uint32_t RoutineIndex, std::string Detail) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    Out.push_back(makeDiagnostic(
+        RuleId::SummaryMismatch, int32_t(RoutineIndex), R.Name, -1,
+        int64_t(R.Begin),
+        "PSG and CFG two-phase reference disagree, " + std::move(Detail)));
+  };
+
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const RoutineResults &P = Analysis.Summaries.Routines[RoutineIndex];
+    const RoutineResults &C = Ref.Routines[RoutineIndex];
+    for (uint32_t E = 0; E < P.EntrySummaries.size(); ++E) {
+      const CallSummary &PS = P.EntrySummaries[E];
+      const CallSummary &CS = C.EntrySummaries[E];
+      std::string Where = "entrance " + std::to_string(E) + " ";
+      if (PS.Used != CS.Used)
+        Report(RoutineIndex, Where + setDiff("call-used", PS.Used, CS.Used));
+      if (PS.Defined != CS.Defined)
+        Report(RoutineIndex,
+               Where + setDiff("call-defined", PS.Defined, CS.Defined));
+      if (PS.Killed != CS.Killed)
+        Report(RoutineIndex,
+               Where + setDiff("call-killed", PS.Killed, CS.Killed));
+      if (P.LiveAtEntry[E] != C.LiveAtEntry[E])
+        Report(RoutineIndex, Where + setDiff("live-at-entry",
+                                             P.LiveAtEntry[E],
+                                             C.LiveAtEntry[E]));
+    }
+    for (uint32_t X = 0; X < P.LiveAtExit.size(); ++X)
+      if (P.LiveAtExit[X] != C.LiveAtExit[X])
+        Report(RoutineIndex,
+               "exit " + std::to_string(X) +
+                   " " + setDiff("live-at-exit", P.LiveAtExit[X],
+                                 C.LiveAtExit[X]));
+  }
+  return Out;
+}
+
+std::vector<Diagnostic> spike::newDiagnostics(const LintResult &Before,
+                                              const LintResult &After,
+                                              Severity MinSev) {
+  // Keys ignore block indices and addresses: transforms legitimately move
+  // code, what must not happen is a *new kind* of finding in a routine.
+  using Key = std::pair<unsigned, std::string>;
+  std::set<Key> Baseline;
+  for (const Diagnostic &D : Before.Diags)
+    Baseline.insert({unsigned(D.Rule), D.RoutineName});
+
+  std::vector<Diagnostic> Fresh;
+  for (const Diagnostic &D : After.Diags) {
+    if (D.Sev < MinSev)
+      continue;
+    if (!Baseline.count({unsigned(D.Rule), D.RoutineName}))
+      Fresh.push_back(D);
+  }
+  return Fresh;
+}

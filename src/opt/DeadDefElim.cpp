@@ -2,87 +2,22 @@
 
 #include "opt/DeadDefElim.h"
 
-#include "dataflow/Liveness.h"
 #include "isa/Encoding.h"
-
-#include <cassert>
+#include "lint/LintRules.h"
 
 using namespace spike;
 
-namespace {
-
-/// Returns true if \p Inst is a pure register computation whose only
-/// effect is writing its destination: removable when the destination is
-/// dead.  Loads are excluded out of caution (a production optimizer would
-/// prove the access safe first); stores, control flow, and halt have
-/// side effects.
-bool isPureDef(const Instruction &Inst) {
-  switch (opcodeInfo(Inst.Op).Format) {
-  case OperandFormat::RRR:
-  case OperandFormat::RRI:
-  case OperandFormat::RI:
-  case OperandFormat::RR:
-    return true;
-  default:
-    return false;
-  }
-}
-
-} // namespace
-
 DeadDefStats spike::eliminateDeadDefs(Image &Img, const Program &Prog,
                                       const InterprocSummaries &Summaries) {
+  // The lint subsystem owns the dead-def criterion (rule SL003 reports
+  // exactly what this pass deletes); sharing findDeadDefs guarantees the
+  // diagnostic and the transformation can never drift apart.
   DeadDefStats Stats;
-  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
   uint64_t NopWord = encodeInstruction(inst::nop());
-
-  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
-       ++RoutineIndex) {
-    const Routine &R = Prog.Routines[RoutineIndex];
-
-    LivenessResult Live = solveLiveness(
-        R,
-        [&](uint32_t BlockIndex) {
-          return Summaries.callEffect(Prog, RoutineIndex, BlockIndex);
-        },
-        [&](uint32_t BlockIndex) {
-          return Summaries.liveAtExitOfBlock(Prog, RoutineIndex,
-                                             BlockIndex);
-        },
-        [&](uint32_t BlockIndex) {
-          return Prog.jumpTargetLive(R.Blocks[BlockIndex].End - 1);
-        });
-
-    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
-         ++BlockIndex) {
-      const BasicBlock &Block = R.Blocks[BlockIndex];
-      CallEffect Effect;
-      const CallEffect *EffectPtr = nullptr;
-      if (Block.endsWithCall()) {
-        Effect = Summaries.callEffect(Prog, RoutineIndex, BlockIndex);
-        EffectPtr = &Effect;
-      }
-      std::vector<RegSet> LiveBefore = liveBeforeEachInst(
-          Prog, R, BlockIndex, Live.LiveOut[BlockIndex], EffectPtr);
-
-      for (uint64_t Offset = 0; Offset < Block.size(); ++Offset) {
-        uint64_t Address = Block.Begin + Offset;
-        const Instruction &Inst = Prog.Insts[Address];
-        if (!isPureDef(Inst))
-          continue;
-        RegSet Defs = Inst.defs();
-        if (Defs.empty())
-          continue; // Write to the zero register: already a nop.
-        RegSet LiveAfter = Offset + 1 < Block.size()
-                               ? LiveBefore[Offset + 1]
-                               : Live.LiveOut[BlockIndex];
-        if (LiveAfter.intersects(Defs))
-          continue;
-        Img.Code[Address] = NopWord;
-        ++Stats.DeletedInsts;
-        Stats.DeletedAddrs.push_back(Address);
-      }
-    }
+  for (uint64_t Address : findDeadDefs(Prog, Summaries)) {
+    Img.Code[Address] = NopWord;
+    ++Stats.DeletedInsts;
+    Stats.DeletedAddrs.push_back(Address);
   }
   return Stats;
 }

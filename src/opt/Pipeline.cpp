@@ -2,14 +2,35 @@
 
 #include "opt/Pipeline.h"
 
+#include "lint/Linter.h"
 #include "psg/Analyzer.h"
 
 using namespace spike;
 
+namespace {
+
+/// Lint configuration for the self-check: reachability rules are skipped
+/// because the optimizer legitimately rewrites unreachable routines to
+/// ret + nops (their trailing blocks change shape), and the baseline-vs-
+/// after diff at Warning severity handles the rest.
+LintOptions selfCheckOptions() {
+  LintOptions Opts;
+  Opts.disableRule(RuleId::UnreachableRoutine);
+  Opts.disableRule(RuleId::UnreachableBlock);
+  return Opts;
+}
+
+} // namespace
+
 PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
-                                   unsigned MaxRounds) {
+                                   const PipelineOptions &Opts) {
   PipelineStats Stats;
-  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+
+  LintResult Baseline;
+  if (Opts.LintSelfCheck)
+    Baseline = lintImage(Img, Conv, selfCheckOptions());
+
+  for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     // Every pass mutates the image, so each one runs against a fresh
     // analysis (the decoded Program must describe the current bytes).
     uint64_t ChangesThisRound = 0;
@@ -46,8 +67,37 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     }
 
     ++Stats.Rounds;
+
+    if (Opts.LintSelfCheck || Opts.CrossCheck) {
+      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      if (Opts.LintSelfCheck) {
+        LintResult After =
+            lintAnalysis(Img, Analysis, selfCheckOptions());
+        for (const Diagnostic &D :
+             newDiagnostics(Baseline, After, Severity::Warning)) {
+          ++Stats.LintRegressions;
+          Stats.LintReports.push_back(
+              "round " + std::to_string(Round + 1) + ": " + D.str());
+        }
+      }
+      if (Opts.CrossCheck) {
+        for (const Diagnostic &D : crossCheckSummaries(Analysis)) {
+          ++Stats.CrossCheckMismatches;
+          Stats.LintReports.push_back(
+              "round " + std::to_string(Round + 1) + ": " + D.str());
+        }
+      }
+    }
+
     if (ChangesThisRound == 0)
       break;
   }
   return Stats;
+}
+
+PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
+                                   unsigned MaxRounds) {
+  PipelineOptions Opts;
+  Opts.MaxRounds = MaxRounds;
+  return optimizeImage(Img, Conv, Opts);
 }

@@ -10,6 +10,14 @@
 /// repeated until a fixpoint (deleting one routine's dead code can make
 /// summaries of its callers/callees sharper).
 ///
+/// The loop can audit itself (PipelineOptions): before the first round it
+/// lints the image, and after every round it lints again and records any
+/// finding the round introduced — a transformation that creates a new
+/// warning or error in a routine is a transformation that broke something.
+/// It can also cross-check each round's PSG summaries against the CFG
+/// two-phase reference.  Both checks cost extra analysis passes and are
+/// off by default.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIKE_OPT_PIPELINE_H
@@ -22,7 +30,27 @@
 #include "opt/SpillRemoval.h"
 #include "opt/UnreachableElim.h"
 
+#include <string>
+#include <vector>
+
 namespace spike {
+
+/// Knobs for one optimizeImage run.
+struct PipelineOptions {
+  /// Maximum analyze-transform rounds; the loop stops early once a round
+  /// changes nothing.
+  unsigned MaxRounds = 3;
+
+  /// Lint the image before the first round and after every round, and
+  /// count findings (Warning or stronger, keyed by rule + routine) that a
+  /// round introduced.  Their renderings land in PipelineStats::LintReports.
+  bool LintSelfCheck = false;
+
+  /// After each round, cross-check the round's PSG summaries against the
+  /// CFG two-phase reference; mismatches are counted and reported.  Slow —
+  /// meant for tests and fixtures, not production-size images.
+  bool CrossCheck = false;
+};
 
 /// Cumulative statistics over all pipeline rounds.
 struct PipelineStats {
@@ -34,14 +62,34 @@ struct PipelineStats {
   uint64_t SaveRestoreInstsDeleted = 0;
   unsigned Rounds = 0;
 
+  /// Findings the optimizer introduced (LintSelfCheck) — zero on a
+  /// healthy run.
+  uint64_t LintRegressions = 0;
+
+  /// Summary mismatches against the reference analysis (CrossCheck) —
+  /// zero on a healthy run.
+  uint64_t CrossCheckMismatches = 0;
+
+  /// Rendered diagnostics for every regression / mismatch, in the order
+  /// they were detected.
+  std::vector<std::string> LintReports;
+
   uint64_t totalDeleted() const {
     return DeadDefsDeleted + 2 * SpillPairsRemoved +
            SaveRestoreInstsDeleted + UnreachableInstsRemoved;
   }
+
+  /// True if every enabled self-check passed.
+  bool clean() const {
+    return LintRegressions == 0 && CrossCheckMismatches == 0;
+  }
 };
 
-/// Optimizes \p Img in place.  Runs at most \p MaxRounds
-/// analyze-transform rounds, stopping early once a round changes nothing.
+/// Optimizes \p Img in place.
+PipelineStats optimizeImage(Image &Img, const CallingConv &Conv,
+                            const PipelineOptions &Opts);
+
+/// Convenience overload with default options.
 PipelineStats optimizeImage(Image &Img, const CallingConv &Conv = {},
                             unsigned MaxRounds = 3);
 

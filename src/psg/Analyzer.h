@@ -53,6 +53,14 @@ struct AnalysisResult {
 
   SolverStats Phase1Stats;
   SolverStats Phase2Stats;
+
+  /// Returns the converged *unfiltered* flow sets of entrance \p Entry of
+  /// routine \p RoutineIndex (the Section 3.4 callee-saved filter is only
+  /// applied when extracting Summaries; diagnostics that reason about
+  /// save/restore behaviour need the raw sets).
+  const FlowSets &entrySets(uint32_t RoutineIndex, uint32_t Entry) const {
+    return Psg.Nodes[Psg.RoutineInfo[RoutineIndex].EntryNodes[Entry]].Sets;
+  }
 };
 
 /// Runs the complete analysis on \p Img.

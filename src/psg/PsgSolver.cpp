@@ -215,7 +215,6 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
 SolverStats spike::runPhase2(const Program &Prog,
                              ProgramSummaryGraph &Psg) {
   SolverStats Stats;
-  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
 
   // Exit seeds: routines that can return to unknown code (the program
   // entry routine and address-taken routines) get the calling standard's

@@ -72,10 +72,12 @@ public:
       bool Fault = false;
       switch (Inst.Op) {
       case Opcode::Add:
-        set(Inst.Rc, get(Inst.Ra) + get(Inst.Rb));
+        set(Inst.Rc, int64_t(uint64_t(get(Inst.Ra)) +
+                             uint64_t(get(Inst.Rb))));
         break;
       case Opcode::Sub:
-        set(Inst.Rc, get(Inst.Ra) - get(Inst.Rb));
+        set(Inst.Rc, int64_t(uint64_t(get(Inst.Ra)) -
+                             uint64_t(get(Inst.Rb))));
         break;
       case Opcode::And:
         set(Inst.Rc, get(Inst.Ra) & get(Inst.Rb));
@@ -106,10 +108,12 @@ public:
         set(Inst.Rc, get(Inst.Ra) <= get(Inst.Rb) ? 1 : 0);
         break;
       case Opcode::AddI:
-        set(Inst.Rc, get(Inst.Ra) + Inst.Imm);
+        set(Inst.Rc, int64_t(uint64_t(get(Inst.Ra)) +
+                             uint64_t(int64_t(Inst.Imm))));
         break;
       case Opcode::SubI:
-        set(Inst.Rc, get(Inst.Ra) - Inst.Imm);
+        set(Inst.Rc, int64_t(uint64_t(get(Inst.Ra)) -
+                             uint64_t(int64_t(Inst.Imm))));
         break;
       case Opcode::AndI:
         set(Inst.Rc, get(Inst.Ra) & Inst.Imm);
@@ -144,13 +148,15 @@ public:
         break;
       case Opcode::Ldq: {
         int64_t Value = 0;
-        Fault = !load(uint64_t(get(Inst.Rb) + Inst.Imm), Value);
+        Fault = !load(uint64_t(get(Inst.Rb)) + uint64_t(int64_t(Inst.Imm)),
+                      Value);
         if (!Fault)
           set(Inst.Rc, Value);
         break;
       }
       case Opcode::Stq:
-        Fault = !store(uint64_t(get(Inst.Rb) + Inst.Imm), get(Inst.Ra));
+        Fault = !store(uint64_t(get(Inst.Rb)) + uint64_t(int64_t(Inst.Imm)),
+                       get(Inst.Ra));
         break;
       case Opcode::Br:
         Next = uint64_t(int64_t(Pc) + 1 + Inst.Imm);

@@ -130,8 +130,9 @@ TEST(CallGraphTest, SccIdsReverseTopological) {
     CallGraph Graph = buildCallGraph(Prog);
     for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
       for (uint32_t Callee : Graph.Callees[R])
-        if (Graph.SccId[R] != Graph.SccId[Callee])
+        if (Graph.SccId[R] != Graph.SccId[Callee]) {
           EXPECT_GT(Graph.SccId[R], Graph.SccId[Callee]);
+        }
   }
 }
 

@@ -11,12 +11,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "binary/Assembler.h"
+#include "lint/Linter.h"
 #include "psg/Analyzer.h"
 #include "support/Rng.h"
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
 
 using namespace spike;
 
@@ -58,6 +62,59 @@ TEST(FuzzTest, TruncatedImagesAlwaysFailCleanly) {
     (void)readImage(Prefix, &Error);
   }
   SUCCEED();
+}
+
+TEST(FuzzTest, LinterSurvivesCorruptedImages) {
+  // Whatever the reader accepts, the linter must classify without
+  // crashing: a structurally invalid image becomes one SL000 error, a
+  // valid one gets the full rule evaluation.
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 99;
+  std::vector<uint8_t> Bytes = writeImage(generateExecProgram(P));
+
+  Rng Rand(4711);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::vector<uint8_t> Mutated = Bytes;
+    unsigned Flips = 1 + unsigned(Rand.below(8));
+    for (unsigned F = 0; F < Flips; ++F)
+      Mutated[Rand.below(Mutated.size())] ^= uint8_t(Rand.below(256));
+    std::optional<Image> Img = readImage(Mutated);
+    if (!Img)
+      continue;
+    LintResult Result = lintImage(*Img);
+    if (Img->verify().has_value()) {
+      ASSERT_EQ(Result.Diags.size(), 1u);
+      EXPECT_EQ(Result.Diags[0].Rule, RuleId::MalformedImage);
+    }
+  }
+}
+
+TEST(FuzzTest, LintCliRejectsTruncatedFilesCleanly) {
+  // The CLI must turn a truncated file into a structured SL000 error and
+  // a nonzero exit, never a crash.
+  ExecProfile P;
+  P.Routines = 6;
+  P.Seed = 7;
+  std::vector<uint8_t> Bytes = writeImage(generateExecProgram(P));
+  std::string Path = ::testing::TempDir() + "/lint_trunc.spkx";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              std::streamsize(Bytes.size() / 3));
+  }
+  std::string Command =
+      std::string(SPIKE_TOOLS_DIR) + "/spike-lint " + Path + " 2>&1";
+  std::FILE *Pipe = ::popen(Command.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string Output;
+  char Buffer[256];
+  while (std::fgets(Buffer, sizeof(Buffer), Pipe))
+    Output += Buffer;
+  int Status = ::pclose(Pipe);
+  EXPECT_NE(Output.find("SL000"), std::string::npos) << Output;
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 1);
 }
 
 TEST(FuzzTest, AssemblerSurvivesCorruptedSource) {

@@ -81,8 +81,9 @@ TEST(RegSetTest, IterationAscending) {
   unsigned Prev = 0;
   bool First = true;
   for (unsigned R : S) {
-    if (!First)
+    if (!First) {
       EXPECT_GT(R, Prev);
+    }
     Prev = R;
     First = false;
     Seen.insert(R);
@@ -209,9 +210,9 @@ TEST(StageTimerTest, ScopeChargesElapsedTime) {
   StageTimer T;
   {
     StageTimer::Scope Scope(T, AnalysisStage::PsgBuild);
-    volatile int Sink = 0;
-    for (int I = 0; I < 100000; ++I)
-      Sink += I;
+    volatile uint64_t Sink = 0;
+    for (uint64_t I = 0; I < 100000; ++I)
+      Sink = Sink + I;
   }
   EXPECT_GT(T.seconds(AnalysisStage::PsgBuild), 0.0);
   EXPECT_EQ(T.seconds(AnalysisStage::Phase2), 0.0);

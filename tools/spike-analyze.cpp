@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cfg/CallGraph.h"
+#include "lint/Linter.h"
 #include "psg/Analyzer.h"
 #include "psg/DotExport.h"
 
@@ -47,12 +48,14 @@ void printRoutineSummaries(const AnalysisResult &Result,
 
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName, DotWhat;
-  bool Summaries = false, Stats = false;
+  bool Summaries = false, Stats = false, Verify = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--summaries") == 0)
       Summaries = true;
     else if (std::strcmp(Argv[I], "--stats") == 0)
       Stats = true;
+    else if (std::strcmp(Argv[I], "--verify") == 0)
+      Verify = true;
     else if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
       RoutineName = Argv[++I];
     else if (std::strcmp(Argv[I], "--dot") == 0 && I + 1 < Argc)
@@ -60,7 +63,7 @@ int main(int Argc, char **Argv) {
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--summaries] [--stats] "
-                   "[--routine <name>]\n",
+                   "[--verify] [--routine <name>]\n",
                    Argv[0]);
       return 2;
     } else
@@ -68,11 +71,11 @@ int main(int Argc, char **Argv) {
   }
   if (Path.empty()) {
     std::fprintf(stderr, "usage: %s <image.spkx> [--summaries] [--stats] "
-                         "[--routine <name>]\n",
+                         "[--verify] [--routine <name>]\n",
                  Argv[0]);
     return 2;
   }
-  if (!Summaries && RoutineName.empty())
+  if (!Summaries && !Verify && RoutineName.empty())
     Stats = true;
 
   std::string Error;
@@ -83,6 +86,19 @@ int main(int Argc, char **Argv) {
   }
 
   AnalysisResult Result = analyzeImage(*Img);
+
+  if (Verify) {
+    // Cross-check the PSG summaries against the CFG-level two-phase
+    // reference analysis; any disagreement is a bug in one of the two.
+    std::vector<Diagnostic> Mismatches = crossCheckSummaries(Result);
+    for (const Diagnostic &D : Mismatches)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+    std::printf("verify: %zu mismatch(es) between PSG and CFG two-phase "
+                "reference\n",
+                Mismatches.size());
+    if (!Mismatches.empty())
+      return 1;
+  }
 
   if (!DotWhat.empty()) {
     if (DotWhat == "callgraph") {

@@ -1,0 +1,136 @@
+//===- tools/spike-lint.cpp - whole-program static analysis driver ---------===//
+//
+// Lints a fully linked image with the interprocedural analysis:
+//
+//   spike-lint app.spkx [--json] [--verify] [--min-severity <sev>]
+//                       [--disable <SLnnn>] [--rounds <n>]
+//
+// With no flags, prints every diagnostic in text form, one per line, then
+// a summary count.  --json emits a machine-readable document instead.
+//
+// --verify additionally (1) cross-checks the PSG summaries against the
+// CFG-level two-phase reference analysis and (2) audits the optimizer:
+// it runs the full optimize pipeline on a copy of the image with the
+// per-round lint self-check and summary cross-check enabled, and reports
+// any finding the optimizer introduced.
+//
+// Exit status: 0 clean (no errors, verification passed), 1 errors or
+// verification failure (a malformed image is a SL000 error), 2 usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/JsonWriter.h"
+#include "lint/Linter.h"
+#include "opt/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <image.spkx> [--json] [--verify] "
+               "[--min-severity note|warning|error] [--disable <SLnnn>] "
+               "[--rounds <n>]\n",
+               Prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  bool Json = false, Verify = false;
+  unsigned Rounds = 3;
+  LintOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(Argv[I], "--verify") == 0)
+      Verify = true;
+    else if (std::strcmp(Argv[I], "--min-severity") == 0 && I + 1 < Argc) {
+      std::string Sev = Argv[++I];
+      if (Sev == "note")
+        Opts.MinSeverity = Severity::Note;
+      else if (Sev == "warning")
+        Opts.MinSeverity = Severity::Warning;
+      else if (Sev == "error")
+        Opts.MinSeverity = Severity::Error;
+      else
+        return usage(Argv[0]);
+    } else if (std::strcmp(Argv[I], "--disable") == 0 && I + 1 < Argc) {
+      std::string Code = Argv[++I];
+      bool Found = false;
+      for (unsigned Rule = 0; Rule < NumLintRules; ++Rule)
+        if (Code == ruleCode(RuleId(Rule)) ||
+            Code == ruleName(RuleId(Rule))) {
+          Opts.disableRule(RuleId(Rule));
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "error: unknown rule '%s'\n", Code.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(Argv[I], "--rounds") == 0 && I + 1 < Argc)
+      Rounds = unsigned(std::atoi(Argv[++I]));
+    else if (Argv[I][0] == '-')
+      return usage(Argv[0]);
+    else
+      Path = Argv[I];
+  }
+  if (Path.empty())
+    return usage(Argv[0]);
+
+  std::string Error;
+  std::optional<Image> Img = readImageFile(Path, &Error);
+  if (!Img) {
+    // A file we cannot even parse gets the same structured treatment as
+    // one that parses but fails verification.
+    LintResult Result;
+    Result.Diags.push_back(
+        makeDiagnostic(RuleId::MalformedImage, -1, "", -1, -1, Error));
+    std::fputs(Json ? writeDiagnosticsJson(Result).c_str()
+                    : (Result.Diags[0].str() + "\n").c_str(),
+               stdout);
+    return 1;
+  }
+
+  Opts.Verify = Verify;
+  LintResult Result = lintImage(*Img, CallingConv(), Opts);
+
+  bool VerifyFailed = false;
+  if (Verify && !Result.hasErrors()) {
+    // Optimizer audit: optimize a copy with the self-checks on; findings
+    // the pipeline introduces surface as SL010 regressions.
+    Image Copy = *Img;
+    PipelineOptions PipeOpts;
+    PipeOpts.MaxRounds = Rounds;
+    PipeOpts.LintSelfCheck = true;
+    PipeOpts.CrossCheck = true;
+    PipelineStats Stats = optimizeImage(Copy, CallingConv(), PipeOpts);
+    for (const std::string &Report : Stats.LintReports)
+      Result.Diags.push_back(makeDiagnostic(
+          RuleId::OptRegression, -1, "", -1, -1,
+          "optimizer introduced a finding: " + Report));
+    VerifyFailed = !Stats.clean();
+  }
+
+  if (Json)
+    std::fputs(writeDiagnosticsJson(Result).c_str(), stdout);
+  else {
+    for (const Diagnostic &D : Result.Diags)
+      std::printf("%s\n", D.str().c_str());
+    std::printf("%u error(s), %u warning(s), %u note(s)\n",
+                Result.count(Severity::Error),
+                Result.count(Severity::Warning),
+                Result.count(Severity::Note));
+    if (Verify)
+      std::printf("verification: %s\n",
+                  Result.hasErrors() || VerifyFailed ? "FAILED" : "passed");
+  }
+  return Result.hasErrors() || VerifyFailed ? 1 : 0;
+}

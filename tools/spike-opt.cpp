@@ -24,6 +24,7 @@ int main(int Argc, char **Argv) {
   std::string InputPath, OutputPath;
   unsigned Rounds = 3;
   bool Verify = false;
+  bool SelfCheck = false;
   bool DeriveAnnotations = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
@@ -32,12 +33,15 @@ int main(int Argc, char **Argv) {
       Rounds = unsigned(std::atoi(Argv[++I]));
     else if (std::strcmp(Argv[I], "--verify") == 0)
       Verify = true;
+    else if (std::strcmp(Argv[I], "--self-check") == 0)
+      SelfCheck = true;
     else if (std::strcmp(Argv[I], "--derive-annotations") == 0)
       DeriveAnnotations = true;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <input.spkx> -o <output.spkx> "
-                   "[--rounds N] [--verify] [--derive-annotations]\n",
+                   "[--rounds N] [--verify] [--self-check] "
+                   "[--derive-annotations]\n",
                    Argv[0]);
       return 2;
     } else
@@ -45,7 +49,8 @@ int main(int Argc, char **Argv) {
   }
   if (InputPath.empty() || OutputPath.empty()) {
     std::fprintf(stderr, "usage: %s <input.spkx> -o <output.spkx> "
-                         "[--rounds N] [--verify] [--derive-annotations]\n",
+                         "[--rounds N] [--verify] [--self-check] "
+                         "[--derive-annotations]\n",
                  Argv[0]);
     return 2;
   }
@@ -63,7 +68,10 @@ int main(int Argc, char **Argv) {
     std::printf("derived annotations for %zu indirect call site(s)\n",
                 Sites);
   }
-  PipelineStats Stats = optimizeImage(*Img, CallingConv(), Rounds);
+  PipelineOptions Opts;
+  Opts.MaxRounds = Rounds;
+  Opts.LintSelfCheck = SelfCheck;
+  PipelineStats Stats = optimizeImage(*Img, CallingConv(), Opts);
   std::printf("rounds:                        %u\n", Stats.Rounds);
   std::printf("dead defs deleted:             %llu\n",
               (unsigned long long)Stats.DeadDefsDeleted);
@@ -71,6 +79,19 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Stats.SpillPairsRemoved);
   std::printf("callee-saved regs reallocated: %llu\n",
               (unsigned long long)Stats.SaveRestoreRegsEliminated);
+
+  if (SelfCheck) {
+    for (const std::string &Report : Stats.LintReports)
+      std::fprintf(stderr, "self-check: %s\n", Report.c_str());
+    if (!Stats.clean()) {
+      std::fprintf(stderr,
+                   "SELF-CHECK FAILED: %llu lint regression(s)\n",
+                   (unsigned long long)Stats.LintRegressions);
+      return 1;
+    }
+    std::printf("self-check: no lint regressions across %u round(s)\n",
+                Stats.Rounds);
+  }
 
   if (Verify) {
     SimResult Before = simulate(Original);
