@@ -2,6 +2,7 @@
 
 #include "binary/Image.h"
 
+#include "binary/Validator.h"
 #include "isa/Encoding.h"
 
 #include <algorithm>
@@ -21,37 +22,9 @@ void Image::finalize() {
 }
 
 std::optional<std::string> Image::verify() const {
-  auto Fail = [](const std::string &Message) {
-    return std::optional<std::string>(Message);
-  };
-  for (const Symbol &Sym : Symbols)
-    if (Sym.Address >= Code.size())
-      return Fail("symbol '" + Sym.Name + "' address out of range");
-  if (!Symbols.empty() && EntryAddress >= Code.size())
-    return Fail("entry address out of range");
-  for (size_t TableIndex = 0; TableIndex < JumpTables.size(); ++TableIndex) {
-    const JumpTable &Table = JumpTables[TableIndex];
-    if (Table.Targets.empty())
-      return Fail("jump table " + std::to_string(TableIndex) + " is empty");
-    for (uint64_t Target : Table.Targets)
-      if (Target >= Code.size())
-        return Fail("jump table " + std::to_string(TableIndex) +
-                    " target out of range");
-  }
-  for (uint64_t Address = 0; Address < Code.size(); ++Address) {
-    std::optional<Instruction> Inst = decodeInstruction(Code[Address]);
-    if (!Inst)
-      return Fail("undecodable instruction at address " +
-                  std::to_string(Address));
-    if (Inst->Op == Opcode::JmpTab &&
-        uint64_t(uint32_t(Inst->Imm)) >= JumpTables.size())
-      return Fail("jmp_tab at address " + std::to_string(Address) +
-                  " names a missing jump table");
-    if (Inst->Op == Opcode::Jsr &&
-        (Inst->Imm < 0 || uint64_t(Inst->Imm) >= Code.size()))
-      return Fail("jsr at address " + std::to_string(Address) +
-                  " targets outside the code section");
-  }
+  ValidationReport Report = validateImage(*this);
+  if (const ValidationFinding *F = Report.firstStrict())
+    return F->Message;
   return std::nullopt;
 }
 
@@ -93,7 +66,10 @@ public:
 
   bool str(std::string &Value) {
     uint64_t Size = 0;
-    if (!u64(Size) || Offset + Size > Bytes.size())
+    // Compare against remaining() rather than Offset + Size: a huge
+    // corrupted length would overflow the addition and slip past the
+    // bounds check into a giant allocation.
+    if (!u64(Size) || Size > remaining())
       return false;
     Value.assign(Bytes.begin() + Offset, Bytes.begin() + Offset + Size);
     Offset += Size;
@@ -106,6 +82,9 @@ public:
   /// resizing containers (a corrupted count must not trigger a huge
   /// allocation).
   size_t remaining() const { return Bytes.size() - Offset; }
+
+  /// Current byte offset, for error reporting.
+  size_t offset() const { return Offset; }
 
 private:
   const std::vector<uint8_t> &Bytes;
@@ -154,17 +133,14 @@ std::vector<uint8_t> spike::writeImage(const Image &Img) {
   return Bytes;
 }
 
-std::optional<Image> spike::readImage(const std::vector<uint8_t> &Bytes,
-                                      std::string *ErrorOut) {
-  auto Fail = [&](const char *Message) -> std::optional<Image> {
-    if (ErrorOut)
-      *ErrorOut = Message;
-    return std::nullopt;
-  };
+Expected<Image> spike::loadImage(const std::vector<uint8_t> &Bytes) {
   ByteReader Reader(Bytes);
+  auto Fail = [&](ErrCode Code, const char *Message) -> Expected<Image> {
+    return Status::error(Code, Message).atOffset(int64_t(Reader.offset()));
+  };
   uint64_t Magic = 0;
   if (!Reader.u64(Magic) || Magic != ImageMagic)
-    return Fail("bad magic; not a SPKX image");
+    return Fail(ErrCode::BadMagic, "bad magic; not a SPKX image");
   Image Img;
   uint64_t Count = 0;
   // Each serialized element occupies at least MinElementBytes, so any
@@ -175,69 +151,86 @@ std::optional<Image> spike::readImage(const std::vector<uint8_t> &Bytes,
   };
   if (!Reader.u64(Img.EntryAddress) || !Reader.u64(Count) ||
       !CountOk(Count, 8))
-    return Fail("truncated header");
+    return Fail(ErrCode::TruncatedHeader, "truncated header");
   Img.Code.resize(Count);
   for (uint64_t &Word : Img.Code)
     if (!Reader.u64(Word))
-      return Fail("truncated code section");
+      return Fail(ErrCode::TruncatedCode, "truncated code section");
   if (!Reader.u64(Count) || !CountOk(Count, 24))
-    return Fail("truncated symbol table");
+    return Fail(ErrCode::TruncatedSymbols, "truncated symbol table");
   Img.Symbols.resize(Count);
   for (Symbol &Sym : Img.Symbols) {
     uint64_t Flags = 0;
     if (!Reader.str(Sym.Name) || !Reader.u64(Sym.Address) ||
         !Reader.u64(Flags))
-      return Fail("truncated symbol record");
+      return Fail(ErrCode::TruncatedSymbols, "truncated symbol record");
     Sym.Secondary = (Flags & 1) != 0;
     Sym.AddressTaken = (Flags & 2) != 0;
   }
   if (!Reader.u64(Count) || !CountOk(Count, 8))
-    return Fail("truncated jump-table section");
+    return Fail(ErrCode::TruncatedJumpTables,
+                "truncated jump-table section");
   Img.JumpTables.resize(Count);
   for (JumpTable &Table : Img.JumpTables) {
     if (!Reader.u64(Count) || !CountOk(Count, 8))
-      return Fail("truncated jump table");
+      return Fail(ErrCode::TruncatedJumpTables, "truncated jump table");
     Table.Targets.resize(Count);
     for (uint64_t &Target : Table.Targets)
       if (!Reader.u64(Target))
-        return Fail("truncated jump-table entry");
+        return Fail(ErrCode::TruncatedJumpTables,
+                    "truncated jump-table entry");
   }
   if (!Reader.u64(Count) || !CountOk(Count, 8))
-    return Fail("truncated data section");
+    return Fail(ErrCode::TruncatedData, "truncated data section");
   Img.Data.resize(Count);
   for (int64_t &Word : Img.Data) {
     uint64_t Raw = 0;
     if (!Reader.u64(Raw))
-      return Fail("truncated data word");
+      return Fail(ErrCode::TruncatedData, "truncated data word");
     Word = int64_t(Raw);
   }
   // Section 3.5 annotation tables (absent in older images).
   if (!Reader.atEnd()) {
     if (!Reader.u64(Count) || !CountOk(Count, 32))
-      return Fail("truncated call-annotation section");
+      return Fail(ErrCode::TruncatedAnnotations,
+                  "truncated call-annotation section");
     Img.CallAnnotations.resize(Count);
     for (IndirectCallAnnotation &Annot : Img.CallAnnotations) {
       uint64_t Used = 0, Defined = 0, Killed = 0;
       if (!Reader.u64(Annot.Address) || !Reader.u64(Used) ||
           !Reader.u64(Defined) || !Reader.u64(Killed))
-        return Fail("truncated call annotation");
+        return Fail(ErrCode::TruncatedAnnotations,
+                    "truncated call annotation");
       Annot.Used = RegSet::fromMask(Used);
       Annot.Defined = RegSet::fromMask(Defined);
       Annot.Killed = RegSet::fromMask(Killed);
     }
     if (!Reader.u64(Count) || !CountOk(Count, 16))
-      return Fail("truncated jump-annotation section");
+      return Fail(ErrCode::TruncatedAnnotations,
+                  "truncated jump-annotation section");
     Img.JumpAnnotations.resize(Count);
     for (IndirectJumpAnnotation &Annot : Img.JumpAnnotations) {
       uint64_t Live = 0;
       if (!Reader.u64(Annot.Address) || !Reader.u64(Live))
-        return Fail("truncated jump annotation");
+        return Fail(ErrCode::TruncatedAnnotations,
+                    "truncated jump annotation");
       Annot.LiveAtTarget = RegSet::fromMask(Live);
     }
   }
   if (!Reader.atEnd())
-    return Fail("trailing bytes after image");
+    return Fail(ErrCode::TrailingBytes, "trailing bytes after image");
   return Img;
+}
+
+std::optional<Image> spike::readImage(const std::vector<uint8_t> &Bytes,
+                                      std::string *ErrorOut) {
+  Expected<Image> Result = loadImage(Bytes);
+  if (!Result) {
+    if (ErrorOut)
+      *ErrorOut = Result.error().Message;
+    return std::nullopt;
+  }
+  return Result.take();
 }
 
 bool spike::writeImageFile(const Image &Img, const std::string &Path) {
@@ -250,21 +243,43 @@ bool spike::writeImageFile(const Image &Img, const std::string &Path) {
   return Written == Bytes.size();
 }
 
-std::optional<Image> spike::readImageFile(const std::string &Path,
-                                          std::string *ErrorOut) {
+Expected<Image> spike::loadImageFile(const std::string &Path) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File) {
-    if (ErrorOut)
-      *ErrorOut = "cannot open '" + Path + "'";
-    return std::nullopt;
-  }
+  if (!File)
+    return Status::error(ErrCode::IoOpen, "cannot open '" + Path + "'");
   std::vector<uint8_t> Bytes;
   uint8_t Buffer[4096];
   size_t Read = 0;
   while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
     Bytes.insert(Bytes.end(), Buffer, Buffer + Read);
+  // A short read must be reported as an I/O failure, not misdiagnosed
+  // as a malformed image by the parser below.
+  bool ReadError = std::ferror(File) != 0;
   std::fclose(File);
-  return readImage(Bytes, ErrorOut);
+  if (ReadError)
+    return Status::error(ErrCode::IoRead,
+                         "read error while reading '" + Path + "'")
+        .atOffset(int64_t(Bytes.size()));
+  if (Bytes.empty())
+    return Status::error(ErrCode::EmptyFile, "'" + Path + "' is empty");
+  Expected<Image> Result = loadImage(Bytes);
+  if (!Result) {
+    Status Err = Result.error();
+    Err.Message = "'" + Path + "': " + Err.Message;
+    return Err;
+  }
+  return Result;
+}
+
+std::optional<Image> spike::readImageFile(const std::string &Path,
+                                          std::string *ErrorOut) {
+  Expected<Image> Result = loadImageFile(Path);
+  if (!Result) {
+    if (ErrorOut)
+      *ErrorOut = Result.error().Message;
+    return std::nullopt;
+  }
+  return Result.take();
 }
 
 void spike::disassemble(const Image &Img, std::string &Out) {

@@ -28,6 +28,7 @@
 #define SPIKE_BINARY_IMAGE_H
 
 #include "isa/Instruction.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <optional>
@@ -56,11 +57,15 @@ struct Symbol {
   /// making the routine a potential target of indirect calls and its
   /// callers unknowable.
   bool AddressTaken = false;
+
+  bool operator==(const Symbol &) const = default;
 };
 
 /// All possible targets of one multiway (jump-table) branch.
 struct JumpTable {
   std::vector<uint64_t> Targets;
+
+  bool operator==(const JumpTable &) const = default;
 };
 
 /// Compiler/linker-provided summary for one *indirect call* site — the
@@ -75,6 +80,8 @@ struct IndirectCallAnnotation {
   RegSet Used;          ///< call-used by any possible target.
   RegSet Defined;       ///< call-defined by every possible target.
   RegSet Killed;        ///< call-killed by any possible target.
+
+  bool operator==(const IndirectCallAnnotation &) const = default;
 };
 
 /// Compiler/linker-provided live set for one *unresolved indirect jump*:
@@ -83,6 +90,8 @@ struct IndirectCallAnnotation {
 struct IndirectJumpAnnotation {
   uint64_t Address = 0; ///< Address of the jmp_r instruction.
   RegSet LiveAtTarget;
+
+  bool operator==(const IndirectJumpAnnotation &) const = default;
 };
 
 /// A fully linked synthetic executable.
@@ -114,25 +123,47 @@ struct Image {
   /// same address).  Must be called before analysis.
   void finalize();
 
-  /// Structural validation: symbol addresses and jump-table targets must
+  /// Semantic validation: symbol addresses and jump-table targets must
   /// be inside the code section, JmpTab indices must name existing tables,
-  /// and every code word must decode.  Returns an error description, or
-  /// std::nullopt if the image is well formed.
+  /// jsr targets must land inside some routine, and every code word must
+  /// decode.  Returns the first *strict* finding of validateImage() (see
+  /// binary/Validator.h), or std::nullopt if the image is well formed.
   std::optional<std::string> verify() const;
+
+  /// Bytewise structural equality (used by the transactional optimizer to
+  /// check that a round's output still round-trips through the container
+  /// format unchanged).
+  bool operator==(const Image &) const = default;
 };
 
 /// Serializes \p Img into a byte vector (the "SPKX" container format).
 std::vector<uint8_t> writeImage(const Image &Img);
 
+/// Parses a byte vector produced by writeImage, reporting structured
+/// errors: a container defect yields a Status with a stable ErrCode and
+/// the byte offset at which parsing stopped.  Semantic validation is a
+/// separate concern (validateImage in binary/Validator.h): a container-
+/// well-formed image always loads, even if its contents are garbage, so
+/// the CFG builder can quarantine the bad parts instead of rejecting the
+/// whole image.
+Expected<Image> loadImage(const std::vector<uint8_t> &Bytes);
+
+/// Reads and parses the image at \p Path.  Adds I/O-level error codes
+/// (IoOpen, IoRead, EmptyFile) and prefixes every error message with the
+/// path.
+Expected<Image> loadImageFile(const std::string &Path);
+
 /// Parses a byte vector produced by writeImage.  Returns std::nullopt and
-/// sets \p ErrorOut (if non-null) on malformed input.
+/// sets \p ErrorOut (if non-null) on malformed input.  Convenience
+/// wrapper around loadImage.
 std::optional<Image> readImage(const std::vector<uint8_t> &Bytes,
                                std::string *ErrorOut = nullptr);
 
 /// Writes \p Img to \p Path.  Returns false on I/O failure.
 bool writeImageFile(const Image &Img, const std::string &Path);
 
-/// Reads an image from \p Path.
+/// Reads an image from \p Path.  Convenience wrapper around
+/// loadImageFile.
 std::optional<Image> readImageFile(const std::string &Path,
                                    std::string *ErrorOut = nullptr);
 

@@ -1,0 +1,294 @@
+//===- binary/Validator.cpp - Semantic image validation -------------------===//
+
+#include "binary/Validator.h"
+
+#include "isa/Encoding.h"
+
+#include <algorithm>
+
+using namespace spike;
+
+bool ValidationReport::clean() const {
+  return firstStrict() == nullptr;
+}
+
+const ValidationFinding *ValidationReport::firstStrict() const {
+  for (const ValidationFinding &F : Findings)
+    if (F.Strict)
+      return &F;
+  return nullptr;
+}
+
+size_t ValidationReport::numStrict() const {
+  size_t N = 0;
+  for (const ValidationFinding &F : Findings)
+    N += F.Strict;
+  return N;
+}
+
+size_t ValidationReport::numQuarantining() const {
+  size_t N = 0;
+  for (const ValidationFinding &F : Findings)
+    N += F.Quarantines;
+  return N;
+}
+
+bool ValidationReport::quarantines(const std::string &RoutineName) const {
+  for (const ValidationFinding &F : Findings)
+    if (F.Quarantines && F.RoutineName == RoutineName)
+      return true;
+  return false;
+}
+
+namespace {
+
+/// The routine partition the CFG builder will use, reproduced here so
+/// findings can be attributed: in-range primary symbols, sorted by
+/// address, first-at-address wins.  Falls back to one anonymous routine
+/// when no primary is usable (matching buildProgram).
+struct Partition {
+  struct Entry {
+    uint64_t Begin = 0;
+    uint64_t End = 0;
+    std::string Name;
+  };
+  std::vector<Entry> Routines;
+
+  /// Index of the routine containing \p Address, or -1 (gap / no code).
+  int32_t ownerOf(uint64_t Address) const {
+    auto It = std::upper_bound(
+        Routines.begin(), Routines.end(), Address,
+        [](uint64_t A, const Entry &E) { return A < E.Begin; });
+    if (It == Routines.begin())
+      return -1;
+    --It;
+    if (Address >= It->End)
+      return -1;
+    return int32_t(It - Routines.begin());
+  }
+};
+
+Partition makePartition(const Image &Img) {
+  Partition Part;
+  std::vector<const Symbol *> Primaries;
+  for (const Symbol &Sym : Img.Symbols)
+    if (!Sym.Secondary && Sym.Address < Img.Code.size())
+      Primaries.push_back(&Sym);
+  std::stable_sort(Primaries.begin(), Primaries.end(),
+                   [](const Symbol *A, const Symbol *B) {
+                     return A->Address < B->Address;
+                   });
+  Primaries.erase(std::unique(Primaries.begin(), Primaries.end(),
+                              [](const Symbol *A, const Symbol *B) {
+                                return A->Address == B->Address;
+                              }),
+                  Primaries.end());
+  if (Primaries.empty()) {
+    if (!Img.Code.empty())
+      Part.Routines.push_back({0, Img.Code.size(), "<anon>"});
+    return Part;
+  }
+  for (size_t I = 0; I < Primaries.size(); ++I)
+    Part.Routines.push_back(
+        {Primaries[I]->Address,
+         I + 1 < Primaries.size() ? Primaries[I + 1]->Address
+                                  : Img.Code.size(),
+         Primaries[I]->Name});
+  return Part;
+}
+
+class ImageValidator {
+public:
+  explicit ImageValidator(const Image &Img)
+      : Img(Img), Part(makePartition(Img)) {}
+
+  ValidationReport run() {
+    checkSymbols();
+    checkEntry();
+    checkJumpTables();
+    checkCode();
+    checkGap();
+    checkAnnotations();
+    return std::move(Report);
+  }
+
+private:
+  void add(ErrCode Code, int64_t Address, bool Strict, bool Quarantines,
+           std::string Message) {
+    ValidationFinding F;
+    F.Code = Code;
+    F.Address = Address;
+    F.Strict = Strict;
+    F.Message = std::move(Message);
+    if (Quarantines && Address >= 0) {
+      int32_t Owner = Part.ownerOf(uint64_t(Address));
+      if (Owner >= 0) {
+        F.RoutineName = Part.Routines[Owner].Name;
+        F.Quarantines = true;
+      }
+    }
+    Report.Findings.push_back(std::move(F));
+  }
+
+  void checkSymbols() {
+    for (const Symbol &Sym : Img.Symbols)
+      if (Sym.Address >= Img.Code.size())
+        add(ErrCode::SymbolOutOfRange, int64_t(Sym.Address),
+            /*Strict=*/true, /*Quarantines=*/false,
+            "symbol '" + Sym.Name + "' address out of range");
+
+    // Primary ordering and uniqueness: the partition sorts and dedups
+    // defensively, but an unsorted or duplicated table means the producer
+    // violated the format contract, which verify() must report.
+    uint64_t Prev = 0;
+    bool First = true;
+    for (const Symbol &Sym : Img.Symbols) {
+      if (Sym.Secondary || Sym.Address >= Img.Code.size())
+        continue;
+      if (!First && Sym.Address < Prev)
+        add(ErrCode::SymbolOrder, int64_t(Sym.Address), /*Strict=*/true,
+            /*Quarantines=*/false,
+            "primary symbol '" + Sym.Name +
+                "' out of address order in the symbol table");
+      if (!First && Sym.Address == Prev)
+        add(ErrCode::DuplicateSymbol, int64_t(Sym.Address),
+            /*Strict=*/true, /*Quarantines=*/false,
+            "primary symbol '" + Sym.Name +
+                "' duplicates an earlier routine address");
+      Prev = Sym.Address;
+      First = false;
+    }
+  }
+
+  void checkEntry() {
+    if (Img.Symbols.empty())
+      return;
+    if (Img.EntryAddress >= Img.Code.size())
+      add(ErrCode::EntryOutOfRange, int64_t(Img.EntryAddress),
+          /*Strict=*/true, /*Quarantines=*/false,
+          "entry address out of range");
+    else if (Part.ownerOf(Img.EntryAddress) < 0)
+      add(ErrCode::EntryOutOfRange, int64_t(Img.EntryAddress),
+          /*Strict=*/false, /*Quarantines=*/false,
+          "entry address falls outside every routine");
+  }
+
+  void checkJumpTables() {
+    for (size_t TableIndex = 0; TableIndex < Img.JumpTables.size();
+         ++TableIndex) {
+      const JumpTable &Table = Img.JumpTables[TableIndex];
+      if (Table.Targets.empty())
+        add(ErrCode::EmptyJumpTable, /*Address=*/-1, /*Strict=*/true,
+            /*Quarantines=*/false,
+            "jump table " + std::to_string(TableIndex) + " is empty");
+      for (uint64_t Target : Table.Targets)
+        if (Target >= Img.Code.size()) {
+          add(ErrCode::JumpTableTargetOutOfRange, /*Address=*/-1,
+              /*Strict=*/true, /*Quarantines=*/false,
+              "jump table " + std::to_string(TableIndex) +
+                  " target out of range");
+          break;
+        }
+    }
+  }
+
+  /// True if the table exists but is unusable (empty or with targets
+  /// outside the code section).
+  bool tableBad(uint64_t TableIndex) const {
+    const JumpTable &Table = Img.JumpTables[TableIndex];
+    if (Table.Targets.empty())
+      return true;
+    for (uint64_t Target : Table.Targets)
+      if (Target >= Img.Code.size())
+        return true;
+    return false;
+  }
+
+  void checkCode() {
+    for (uint64_t Address = 0; Address < Img.Code.size(); ++Address) {
+      std::optional<Instruction> Inst = decodeInstruction(Img.Code[Address]);
+      if (!Inst) {
+        add(ErrCode::UndecodableOpcode, int64_t(Address), /*Strict=*/true,
+            /*Quarantines=*/true,
+            "undecodable instruction at address " + std::to_string(Address));
+        continue;
+      }
+      if (Inst->Op == Opcode::JmpTab) {
+        uint64_t TableIndex = uint64_t(uint32_t(Inst->Imm));
+        if (TableIndex >= Img.JumpTables.size())
+          add(ErrCode::DanglingJumpTableIndex, int64_t(Address),
+              /*Strict=*/true, /*Quarantines=*/true,
+              "jmp_tab at address " + std::to_string(Address) +
+                  " names a missing jump table");
+        else if (tableBad(TableIndex))
+          add(Img.JumpTables[TableIndex].Targets.empty()
+                  ? ErrCode::EmptyJumpTable
+                  : ErrCode::JumpTableTargetOutOfRange,
+              int64_t(Address), /*Strict=*/true, /*Quarantines=*/true,
+              "jmp_tab at address " + std::to_string(Address) +
+                  " references unusable jump table " +
+                  std::to_string(TableIndex));
+      }
+      if (Inst->Op == Opcode::Jsr) {
+        if (Inst->Imm < 0 || uint64_t(Inst->Imm) >= Img.Code.size())
+          add(ErrCode::CallTargetOutOfRange, int64_t(Address),
+              /*Strict=*/true, /*Quarantines=*/true,
+              "jsr at address " + std::to_string(Address) +
+                  " targets outside the code section");
+        else if (Part.ownerOf(uint64_t(Inst->Imm)) < 0)
+          add(ErrCode::CallTargetOutOfRange, int64_t(Address),
+              /*Strict=*/true, /*Quarantines=*/true,
+              "jsr at address " + std::to_string(Address) +
+                  " targets code outside every routine");
+      }
+    }
+  }
+
+  void checkGap() {
+    if (Img.Code.empty() || Part.Routines.empty())
+      return;
+    if (Part.Routines.front().Begin > 0)
+      add(ErrCode::CodeOutsideRoutines, /*Address=*/0, /*Strict=*/false,
+          /*Quarantines=*/false,
+          std::to_string(Part.Routines.front().Begin) +
+              " code words precede the first routine");
+  }
+
+  /// True if the word at \p Address decodes to an instruction matching
+  /// \p Pred.
+  template <typename PredT> bool decodesTo(uint64_t Address, PredT Pred) {
+    if (Address >= Img.Code.size())
+      return false;
+    std::optional<Instruction> Inst = decodeInstruction(Img.Code[Address]);
+    return Inst && Pred(*Inst);
+  }
+
+  void checkAnnotations() {
+    for (const IndirectCallAnnotation &Annot : Img.CallAnnotations)
+      if (!decodesTo(Annot.Address, [](const Instruction &Inst) {
+            return opcodeInfo(Inst.Op).IsIndirectCall;
+          }))
+        add(ErrCode::AnnotationUnresolved, int64_t(Annot.Address),
+            /*Strict=*/false, /*Quarantines=*/false,
+            "call annotation at address " + std::to_string(Annot.Address) +
+                " does not resolve to an indirect call");
+    for (const IndirectJumpAnnotation &Annot : Img.JumpAnnotations)
+      if (!decodesTo(Annot.Address, [](const Instruction &Inst) {
+            return opcodeInfo(Inst.Op).IsUnresolvedJump;
+          }))
+        add(ErrCode::AnnotationUnresolved, int64_t(Annot.Address),
+            /*Strict=*/false, /*Quarantines=*/false,
+            "jump annotation at address " + std::to_string(Annot.Address) +
+                " does not resolve to an indirect jump");
+  }
+
+  const Image &Img;
+  Partition Part;
+  ValidationReport Report;
+};
+
+} // namespace
+
+ValidationReport spike::validateImage(const Image &Img) {
+  return ImageValidator(Img).run();
+}

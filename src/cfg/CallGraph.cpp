@@ -108,7 +108,8 @@ CallGraph spike::buildCallGraph(const Program &Prog) {
   if (Prog.EntryRoutine >= 0)
     AddRoot(uint32_t(Prog.EntryRoutine));
   for (uint32_t R = 0; R < Count; ++R)
-    if (Prog.Routines[R].AddressTaken)
+    if (Prog.Routines[R].AddressTaken || Prog.Routines[R].Quarantined ||
+        Prog.Routines[R].CalledFromQuarantine)
       AddRoot(R);
   for (size_t Cursor = 0; Cursor < Queue.size(); ++Cursor)
     for (uint32_t Callee : Graph.Callees[Queue[Cursor]])

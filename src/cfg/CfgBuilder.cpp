@@ -72,8 +72,13 @@ private:
       if (Info.IsCondBranch || Info.IsUncondBranch)
         markLeader(branchTarget(Address));
       if (Info.IsTableJump) {
-        const JumpTableTargets &Table =
-            Prog.JumpTables[uint32_t(Inst.Imm)];
+        // The validator quarantines routines with dangling table
+        // indices, so a healthy routine's index is in range; the bounds
+        // check is defense in depth, not a reachable path.
+        uint64_t TableIndex = uint64_t(uint32_t(Inst.Imm));
+        if (TableIndex >= Prog.JumpTables.size())
+          continue;
+        const JumpTableTargets &Table = Prog.JumpTables[TableIndex];
         for (uint64_t Target : Table.Targets)
           markLeader(Target);
       }
@@ -176,8 +181,16 @@ private:
       }
 
       if (Info.IsTableJump) {
-        const JumpTableTargets &Table =
-            Prog.JumpTables[uint32_t(Term.Imm)];
+        uint64_t TableIndex = uint64_t(uint32_t(Term.Imm));
+        if (TableIndex >= Prog.JumpTables.size()) {
+          // Dangling index: same defense in depth as in findLeaders —
+          // degrade to an unresolved jump instead of indexing out of
+          // bounds.
+          Block.Term = TerminatorKind::UnresolvedJump;
+          ++R.NumBranches;
+          continue;
+        }
+        const JumpTableTargets &Table = Prog.JumpTables[TableIndex];
         bool AllInRoutine = true;
         for (uint64_t Target : Table.Targets)
           AllInRoutine &= inRoutine(Target);
@@ -237,16 +250,28 @@ private:
 } // namespace
 
 Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
-                            MemoryTracker *Mem) {
-  assert(!Img.verify() && "image must verify before CFG construction");
+                            MemoryTracker *Mem,
+                            const CfgBuildOptions &Options) {
   Program Prog;
   Prog.Conv = Conv;
+  Prog.Validation = validateImage(Img);
 
-  // Decode the code section.
+  // Decode the code section.  Undecodable words get a halt placeholder:
+  // the validator quarantines their owning routine (or, for unowned
+  // garbage, the opaque-region scan below makes every routine
+  // CalledFromQuarantine), so the placeholder is never analyzed as if it
+  // were real code.
+  std::vector<bool> Undecodable(Img.Code.size(), false);
   Prog.Insts.reserve(Img.Code.size());
-  for (uint64_t Word : Img.Code) {
-    std::optional<Instruction> Inst = decodeInstruction(Word);
-    assert(Inst && "verified image contained an undecodable word");
+  for (uint64_t Address = 0; Address < Img.Code.size(); ++Address) {
+    std::optional<Instruction> Inst = decodeInstruction(Img.Code[Address]);
+    if (!Inst) {
+      Undecodable[Address] = true;
+      Instruction Placeholder;
+      Placeholder.Op = Opcode::Halt;
+      Prog.Insts.push_back(Placeholder);
+      continue;
+    }
     Prog.Insts.push_back(*Inst);
   }
   chargeIf(Mem, Prog.Insts.size() * sizeof(Instruction));
@@ -256,12 +281,25 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
     chargeIf(Mem, Table.Targets.size() * sizeof(uint64_t));
   }
 
-  // Partition the code into routines at primary symbol addresses.  The
-  // image's symbols are sorted by finalize().
+  // Partition the code into routines at primary symbol addresses.
+  // Defensively sort and dedup rather than trusting finalize() was run:
+  // out-of-range, unsorted, or duplicate primaries are validator
+  // findings, and the partition here must match the one the validator
+  // used for attribution (in-range primaries, sorted, first-at-address
+  // wins).
   std::vector<const Symbol *> Primaries;
   for (const Symbol &Sym : Img.Symbols)
-    if (!Sym.Secondary)
+    if (!Sym.Secondary && Sym.Address < Img.Code.size())
       Primaries.push_back(&Sym);
+  std::stable_sort(Primaries.begin(), Primaries.end(),
+                   [](const Symbol *A, const Symbol *B) {
+                     return A->Address < B->Address;
+                   });
+  Primaries.erase(std::unique(Primaries.begin(), Primaries.end(),
+                              [](const Symbol *A, const Symbol *B) {
+                                return A->Address == B->Address;
+                              }),
+                  Primaries.end());
 
   if (Primaries.empty() && !Img.Code.empty()) {
     // Defensive: an image with no symbols is one anonymous routine.
@@ -284,12 +322,36 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
     }
   }
 
-  // Attach secondary entrances to their containing routines.
+  // Quarantine routines the validator attributed defects to, plus any
+  // the caller forces (the fuzzer's soundness oracle).
+  for (const ValidationFinding &F : Prog.Validation.Findings) {
+    if (!F.Quarantines || F.Address < 0)
+      continue;
+    int32_t RoutineIndex = findRoutineByAddress(Prog, uint64_t(F.Address));
+    if (RoutineIndex < 0)
+      continue;
+    Routine &R = Prog.Routines[RoutineIndex];
+    if (!R.Quarantined) {
+      R.Quarantined = true;
+      R.QuarantineReason = F.Message;
+    }
+  }
+  for (const std::string &Name : Options.ForceQuarantine)
+    for (Routine &R : Prog.Routines)
+      if (R.Name == Name && !R.Quarantined) {
+        R.Quarantined = true;
+        R.QuarantineReason = "quarantine forced by build options";
+      }
+
+  // Attach secondary entrances to their containing routines; orphaned
+  // secondaries (out of range or in a symbol gap) are dropped — the
+  // validator reported them.
   for (const Symbol &Sym : Img.Symbols) {
     if (!Sym.Secondary)
       continue;
     int32_t RoutineIndex = findRoutineByAddress(Prog, Sym.Address);
-    assert(RoutineIndex >= 0 && "secondary entry outside all routines");
+    if (RoutineIndex < 0)
+      continue;
     Routine &R = Prog.Routines[RoutineIndex];
     if (std::find(R.EntryAddresses.begin(), R.EntryAddresses.end(),
                   Sym.Address) == R.EntryAddresses.end())
@@ -298,28 +360,69 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
       R.AddressTaken = true;
   }
 
-  // Discover call-targeted entrances the symbol table does not name.
+  // Discover call-targeted entrances the symbol table does not name, and
+  // work out what quarantined (or unowned) code can reach.  A direct jsr
+  // from such a region names its target, which must then assume a caller
+  // that ignores the calling standard; indirect calls or undecodable
+  // words there can reach *anything*.
+  bool OpaqueQuarantine = false;
   for (uint64_t Address = 0; Address < Prog.Insts.size(); ++Address) {
+    int32_t Owner = findRoutineByAddress(Prog, Address);
+    bool InBadRegion =
+        Owner < 0 || Prog.Routines[uint32_t(Owner)].Quarantined;
+    if (Undecodable[Address]) {
+      OpaqueQuarantine = true;
+      continue;
+    }
     const Instruction &Inst = Prog.Insts[Address];
+    if (Inst.Op == Opcode::JsrR && InBadRegion)
+      OpaqueQuarantine = true;
     if (Inst.Op != Opcode::Jsr)
       continue;
-    uint64_t Target = uint64_t(uint32_t(Inst.Imm));
-    int32_t RoutineIndex = findRoutineByAddress(Prog, Target);
-    assert(RoutineIndex >= 0 && "call target outside all routines");
-    Routine &R = Prog.Routines[RoutineIndex];
+    int32_t TargetRoutine = -1;
+    if (Inst.Imm >= 0 && uint64_t(Inst.Imm) < Prog.Insts.size())
+      TargetRoutine = findRoutineByAddress(Prog, uint64_t(Inst.Imm));
+    if (TargetRoutine < 0) {
+      // Wild call: the validator quarantined its owner (or it sits in
+      // unowned code).  Either way there is no entrance to register.
+      continue;
+    }
+    Routine &R = Prog.Routines[uint32_t(TargetRoutine)];
+    uint64_t Target = uint64_t(Inst.Imm);
     if (std::find(R.EntryAddresses.begin(), R.EntryAddresses.end(),
                   Target) == R.EntryAddresses.end())
       R.EntryAddresses.push_back(Target);
+    if (InBadRegion)
+      R.CalledFromQuarantine = true;
   }
+  if (OpaqueQuarantine)
+    for (Routine &R : Prog.Routines)
+      R.CalledFromQuarantine = true;
 
-  // Build per-routine CFGs.
+  // Build per-routine CFGs.  A quarantined routine is modelled exactly
+  // like the paper's unknowable code (Section 3.5): one block spanning
+  // the whole routine, terminated by an unresolved jump, using and
+  // defining nothing we can rely on — worst-case UBD, empty DEF — with
+  // no exits and no call sites.  Every entrance maps to that block.
   for (Routine &R : Prog.Routines) {
     std::sort(R.EntryAddresses.begin(), R.EntryAddresses.end());
+    if (R.Quarantined) {
+      BasicBlock Block;
+      Block.Begin = R.Begin;
+      Block.End = R.End;
+      Block.Term = TerminatorKind::UnresolvedJump;
+      Block.Ubd = RegSet::allBelow(NumIntRegs);
+      R.Blocks.push_back(std::move(Block));
+      R.EntryBlocks.assign(R.EntryAddresses.size(), 0);
+      continue;
+    }
     RoutineBuilder Builder(Prog, R);
     Builder.run();
   }
 
   // Resolve direct-call targets to (routine, entrance) pairs.
+  // Quarantined routines have no call blocks; healthy routines' call
+  // targets are guaranteed resolvable by the validator.
   for (Routine &R : Prog.Routines) {
     for (uint32_t BlockIndex : R.CallBlocks) {
       BasicBlock &Block = R.Blocks[BlockIndex];
@@ -339,16 +442,30 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
     }
   }
 
-  // Copy the Section 3.5 side tables.
+  // Copy the Section 3.5 side tables, dropping annotations that do not
+  // resolve to the matching instruction inside a healthy routine:
+  // quarantined code is modelled worst-case, and trusting an annotation
+  // planted in garbage would un-do that conservatism.
+  auto AnnotationUsable = [&](uint64_t Address, Opcode Expected) {
+    if (Address >= Prog.Insts.size() || Undecodable[Address])
+      return false;
+    if (Prog.Insts[Address].Op != Expected)
+      return false;
+    int32_t Owner = findRoutineByAddress(Prog, Address);
+    return Owner >= 0 && !Prog.Routines[uint32_t(Owner)].Quarantined;
+  };
   for (const IndirectCallAnnotation &Annot : Img.CallAnnotations)
-    Prog.CallAnnotations[Annot.Address] = Annot;
+    if (AnnotationUsable(Annot.Address, Opcode::JsrR))
+      Prog.CallAnnotations[Annot.Address] = Annot;
   for (const IndirectJumpAnnotation &Annot : Img.JumpAnnotations)
-    Prog.JumpLiveAnnotations[Annot.Address] = Annot.LiveAtTarget;
+    if (AnnotationUsable(Annot.Address, Opcode::JmpR))
+      Prog.JumpLiveAnnotations[Annot.Address] = Annot.LiveAtTarget;
 
-  // Locate the entry routine.
-  Prog.EntryRoutine = Img.Code.empty()
-                          ? -1
-                          : findRoutineByAddress(Prog, Img.EntryAddress);
+  // Locate the entry routine (-1 when the entry address is out of range
+  // or falls outside every routine; both are validator findings).
+  Prog.EntryRoutine = Img.EntryAddress < Img.Code.size()
+                          ? findRoutineByAddress(Prog, Img.EntryAddress)
+                          : -1;
 
   if (Mem) {
     for (const Routine &R : Prog.Routines) {
@@ -369,6 +486,11 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
 
 void spike::computeDefUbd(Program &Prog) {
   for (Routine &R : Prog.Routines) {
+    // Quarantined routines keep their hand-set worst-case sets (empty
+    // DEF, all-registers UBD); recomputing from the placeholder-decoded
+    // garbage would be unsound.
+    if (R.Quarantined)
+      continue;
     for (BasicBlock &Block : R.Blocks) {
       RegSet Def, Ubd;
       for (uint64_t Address = Block.Begin; Address < Block.End; ++Address) {

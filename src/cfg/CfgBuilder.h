@@ -17,7 +17,11 @@
 ///   - indirect jumps whose targets cannot be determined marked
 ///     UnresolvedJump so the analyses can assume all registers live,
 ///   - call targets that are not named entry points added as extra
-///     routine entrances (a post-link optimizer must discover these).
+///     routine entrances (a post-link optimizer must discover these),
+///   - routines whose code fails semantic validation *quarantined*:
+///     modelled as a single UnresolvedJump block with worst-case DEF/UBD
+///     (exactly how Section 3.5 treats unknowable code) instead of
+///     rejecting the whole image.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,14 +34,25 @@
 
 namespace spike {
 
+/// Options for CFG construction.
+struct CfgBuildOptions {
+  /// Routine names to quarantine even if their code validates.  Used by
+  /// the fuzzer's soundness oracle (and tests) to check that degraded
+  /// summaries stay conservative relative to exact ones.
+  std::vector<std::string> ForceQuarantine;
+};
+
 /// Decodes \p Img and builds the routine/basic-block structure.
 ///
-/// The image must verify().  DEF/UBD sets are *not* filled in; call
+/// The image need *not* verify(): semantic defects are absorbed by
+/// quarantining the offending routines (their findings are recorded in
+/// Program::Validation).  DEF/UBD sets are *not* filled in; call
 /// computeDefUbd afterwards (the split matches the paper's stage
 /// breakdown).  \p Mem, when non-null, is charged for the analysis data
 /// structures created here.
 Program buildProgram(const Image &Img, const CallingConv &Conv,
-                     MemoryTracker *Mem = nullptr);
+                     MemoryTracker *Mem = nullptr,
+                     const CfgBuildOptions &Options = {});
 
 /// Computes the DEF and UBD register sets of every basic block
 /// ("Initialization ... consists mainly of the time spent generating the

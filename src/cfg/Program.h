@@ -20,6 +20,7 @@
 #define SPIKE_CFG_PROGRAM_H
 
 #include "binary/Image.h"
+#include "binary/Validator.h"
 #include "isa/CallingConv.h"
 #include "isa/Instruction.h"
 #include "support/RegSet.h"
@@ -113,6 +114,23 @@ struct Routine {
   /// and may return to unknown callers.
   bool AddressTaken = false;
 
+  /// True if semantic validation found the routine's code unanalyzable
+  /// (undecodable words, dangling jump-table indices, wild calls).  The
+  /// routine is modelled like the paper's unknowable code: a single
+  /// UnresolvedJump block with worst-case DEF/UBD, no exits, no call
+  /// sites.  The optimizer must not transform it.
+  bool Quarantined = false;
+
+  /// Human-readable root cause for the quarantine (first finding).
+  std::string QuarantineReason;
+
+  /// True if a quarantined (or unowned) code region may call into this
+  /// routine: a direct jsr from quarantined code names it, or quarantined
+  /// code contains indirect calls / undecodable words, which may reach
+  /// anything.  The analyses then assume *all* registers live at its
+  /// exits — garbage code need not respect the calling standard.
+  bool CalledFromQuarantine = false;
+
   /// Number of conditional + unconditional + multiway branch terminators
   /// (Table 3's "Branches/Routine" statistic).
   unsigned NumBranches = 0;
@@ -144,9 +162,22 @@ struct Program {
   CallingConv Conv;
 
   /// Section 3.5 side tables, keyed by instruction address (copied from
-  /// the image by the CFG builder).
+  /// the image by the CFG builder; annotations inside quarantined
+  /// routines are dropped so degraded code is modelled worst-case).
   std::map<uint64_t, IndirectCallAnnotation> CallAnnotations;
   std::map<uint64_t, RegSet> JumpLiveAnnotations;
+
+  /// The semantic-validation findings the builder acted on (quarantines,
+  /// dropped symbols/annotations); kept for diagnostics (lint rule SL011).
+  ValidationReport Validation;
+
+  /// Returns the number of quarantined routines.
+  uint64_t numQuarantined() const {
+    uint64_t Count = 0;
+    for (const Routine &R : Routines)
+      Count += R.Quarantined;
+    return Count;
+  }
 
   /// Returns the annotation for the indirect call at \p Address, or null.
   const IndirectCallAnnotation *callAnnotationAt(uint64_t Address) const {

@@ -221,10 +221,16 @@ private:
   void runPhase2() {
     RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();
     for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
-         ++RoutineIndex)
+         ++RoutineIndex) {
       if (int32_t(RoutineIndex) == Prog.EntryRoutine ||
           Prog.Routines[RoutineIndex].AddressTaken)
         LiveAtExit[RoutineIndex] = UnknownCallerLive;
+      // Mirrors the PSG solver: returning into quarantined (or unowned)
+      // code must assume everything live, not just the calling
+      // standard's unknown-caller set.
+      if (Prog.Routines[RoutineIndex].CalledFromQuarantine)
+        LiveAtExit[RoutineIndex] |= RegSet::allBelow(NumIntRegs);
+    }
 
     RegSet IndirectAccum;
     Worklist List(static_cast<uint32_t>(Prog.Routines.size()));

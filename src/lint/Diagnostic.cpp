@@ -26,6 +26,7 @@ constexpr RuleInfo Rules[NumLintRules] = {
     {"SL008", "cf-fallthrough", Severity::Error},
     {"SL009", "summary-mismatch", Severity::Error},
     {"SL010", "opt-regression", Severity::Error},
+    {"SL011", "quarantine", Severity::Warning},
 };
 
 const RuleInfo &info(RuleId Rule) {

@@ -54,11 +54,12 @@ enum class RuleId : uint8_t {
   FallThroughExit,    ///< SL008: control falls off the routine's end.
   SummaryMismatch,    ///< SL009: PSG summary != CFG reference (verifier).
   OptRegression,      ///< SL010: optimization introduced a diagnostic.
+  QuarantinedRoutine, ///< SL011: routine quarantined by validation.
 };
 
 /// Number of rules in the catalogue.
 inline constexpr unsigned NumLintRules =
-    unsigned(RuleId::OptRegression) + 1;
+    unsigned(RuleId::QuarantinedRoutine) + 1;
 
 /// Returns the stable code of \p Rule, e.g. "SL002".
 const char *ruleCode(RuleId Rule);

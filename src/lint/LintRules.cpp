@@ -61,6 +61,11 @@ void spike::checkUndefEntryReads(LintContext &Ctx) {
     return;
   uint32_t RoutineIndex = uint32_t(Prog.EntryRoutine);
   const Routine &R = Prog.Routines[RoutineIndex];
+  // A quarantined entry routine has worst-case live-at-entry (all
+  // registers); reporting every register as possibly-undefined would
+  // drown the real finding, which SL011 already carries.
+  if (R.Quarantined)
+    return;
 
   // The entrance execution actually starts at.
   uint32_t Entry = 0;
@@ -101,6 +106,10 @@ void spike::checkCalleeSavedClobbers(LintContext &Ctx) {
     if (!Ctx.Graph.Reachable[RoutineIndex])
       continue;
     const Routine &R = Prog.Routines[RoutineIndex];
+    // Quarantined routines have worst-case MAY-DEF by construction;
+    // SL011 reports the root cause instead.
+    if (R.Quarantined)
+      continue;
     RegSet Saved = Ctx.Analysis.SavedPerRoutine[RoutineIndex];
 
     // Union of the *unfiltered* MAY-DEF over all entrances (the Section
@@ -130,6 +139,10 @@ spike::findDeadDefs(const Program &Prog,
   for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
        ++RoutineIndex) {
     const Routine &R = Prog.Routines[RoutineIndex];
+    // Quarantined code is never transformed (or reported on): its
+    // decoded form is a placeholder, not the real instructions.
+    if (R.Quarantined)
+      continue;
 
     LivenessResult Live = solveLiveness(
         R,
@@ -249,6 +262,11 @@ void spike::checkControlFlow(LintContext &Ctx) {
   for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
        ++RoutineIndex) {
     const Routine &R = Prog.Routines[RoutineIndex];
+    // A quarantined routine's single synthetic block does not describe
+    // real control flow (its last word may not even decode), so the
+    // control-flow rules have nothing sound to say about it.
+    if (R.Quarantined)
+      continue;
     bool ReachKnown = !hasUnresolvedJumps(R);
     std::vector<bool> Reach =
         ReachKnown ? reachableBlocks(R) : std::vector<bool>();
@@ -312,5 +330,35 @@ void spike::checkControlFlow(LintContext &Ctx) {
             "control falls off the end of routine '" + R.Name +
                 "' with no return, jump, or halt"));
     }
+  }
+}
+
+void spike::checkQuarantine(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+
+  // One diagnostic per quarantined routine, carrying its root cause.
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    if (!R.Quarantined)
+      continue;
+    Ctx.Out.push_back(makeDiagnostic(
+        RuleId::QuarantinedRoutine, int32_t(RoutineIndex), R.Name, -1,
+        int64_t(R.Begin),
+        "routine quarantined (analyzed as unknowable code, excluded "
+        "from optimization): " +
+            R.QuarantineReason));
+  }
+
+  // Image-level degradations the builder applied without quarantining a
+  // routine (dropped symbols or annotations, out-of-range entry, unowned
+  // code) are reported too — the analysis ran, but on a repaired view.
+  for (const ValidationFinding &F : Prog.Validation.Findings) {
+    if (F.Quarantines)
+      continue; // Covered by the per-routine diagnostic above.
+    Ctx.Out.push_back(makeDiagnostic(RuleId::QuarantinedRoutine, -1,
+                                     F.RoutineName, -1, F.Address,
+                                     std::string("image degraded: ") +
+                                         F.Message));
   }
 }

@@ -79,6 +79,10 @@ void checkUnreachable(LintContext &Ctx);
 /// SL006 + SL007 + SL008: suspicious control flow.
 void checkControlFlow(LintContext &Ctx);
 
+/// SL011: routines quarantined by semantic validation (with the root
+/// cause) and image-level degradations the CFG builder applied.
+void checkQuarantine(LintContext &Ctx);
+
 /// The address of every pure register definition in \p Prog whose
 /// destination is dead under \p Summaries.  Shared by the SL003 rule and
 /// by opt/DeadDefElim (which rewrites exactly these addresses to nops).

@@ -63,6 +63,8 @@ LintResult spike::lintAnalysis(const Image &Img,
       Opts.ruleEnabled(RuleId::MidRoutineCall) ||
       Opts.ruleEnabled(RuleId::FallThroughExit))
     checkControlFlow(Ctx);
+  if (Opts.ruleEnabled(RuleId::QuarantinedRoutine))
+    checkQuarantine(Ctx);
 
   if (Opts.Verify && Opts.ruleEnabled(RuleId::SummaryMismatch)) {
     std::vector<Diagnostic> Mismatches = crossCheckSummaries(Analysis);
@@ -81,12 +83,10 @@ LintResult spike::lintAnalysis(const Image &Img,
 
 LintResult spike::lintImage(const Image &Img, const CallingConv &Conv,
                             const LintOptions &Opts) {
-  if (std::optional<std::string> Error = Img.verify()) {
-    LintResult Result;
-    Result.Diags.push_back(makeDiagnostic(RuleId::MalformedImage, -1, "",
-                                          -1, -1, *Error));
-    return Result;
-  }
+  // Defective images are analyzed anyway: the CFG builder quarantines
+  // every routine validation implicates and models it as unknowable code
+  // (Section 3.5), so the rest of the program still gets real summaries.
+  // SL011 reports each quarantine with its root cause.
   AnalysisResult Analysis = analyzeImage(Img, Conv);
   return lintAnalysis(Img, Analysis, Opts);
 }

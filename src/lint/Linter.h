@@ -76,9 +76,12 @@ struct LintResult {
   bool hasErrors() const { return count(Severity::Error) != 0; }
 };
 
-/// Lints \p Img end to end: verifies the image, runs the interprocedural
-/// analysis, evaluates every enabled rule.  A malformed image yields a
-/// single SL000 error rather than a crash.
+/// Lints \p Img end to end: runs the interprocedural analysis, evaluates
+/// every enabled rule.  A malformed image is analyzed anyway — the CFG
+/// builder quarantines defective routines and models them as unknowable
+/// code — and each quarantine is reported as an SL011 warning with its
+/// root cause.  (SL000 remains the spike-lint CLI's code for files that
+/// cannot be loaded at all.)
 LintResult lintImage(const Image &Img, const CallingConv &Conv = {},
                      const LintOptions &Opts = {});
 

@@ -2,8 +2,12 @@
 
 #include "opt/Pipeline.h"
 
+#include "binary/Validator.h"
 #include "lint/Linter.h"
 #include "psg/Analyzer.h"
+
+#include <set>
+#include <utility>
 
 using namespace spike;
 
@@ -20,6 +24,42 @@ LintOptions selfCheckOptions() {
   return Opts;
 }
 
+/// The (code, routine) keys of \p Report's strict findings.  Rollback
+/// compares keys rather than whole reports: transforms legitimately move
+/// findings around (addresses change), and the input image's pre-existing
+/// defects must not be blamed on the optimizer.  Advisory findings are
+/// excluded — they do not fail verification.
+std::set<std::pair<unsigned, std::string>>
+strictKeys(const ValidationReport &Report) {
+  std::set<std::pair<unsigned, std::string>> Keys;
+  for (const ValidationFinding &F : Report.Findings)
+    if (F.Strict)
+      Keys.insert({unsigned(F.Code), F.RoutineName});
+  return Keys;
+}
+
+/// Returns the reason the round's output image is unacceptable, or "" if
+/// it is fine: no strict validation finding beyond \p BaselineDefects,
+/// and the image survives a serialize / re-parse round trip bit-for-bit.
+std::string
+roundFailure(const Image &Img,
+             const std::set<std::pair<unsigned, std::string>>
+                 &BaselineDefects) {
+  for (const ValidationFinding &F : validateImage(Img).Findings) {
+    if (!F.Strict)
+      continue;
+    if (!BaselineDefects.count({unsigned(F.Code), F.RoutineName}))
+      return "output image fails validation: " + F.Message;
+  }
+  Expected<Image> Reloaded = loadImage(writeImage(Img));
+  if (!Reloaded)
+    return "output image fails re-parse: " + Reloaded.error().Message;
+  if (!(*Reloaded == Img))
+    return "output image does not survive a serialize/re-parse round "
+           "trip";
+  return "";
+}
+
 } // namespace
 
 PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
@@ -30,10 +70,17 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
   if (Opts.LintSelfCheck)
     Baseline = lintImage(Img, Conv, selfCheckOptions());
 
+  // Defects the *input* already had are not the optimizer's fault; only
+  // strict findings beyond this set roll a round back.
+  const std::set<std::pair<unsigned, std::string>> BaselineDefects =
+      strictKeys(validateImage(Img));
+
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     // Every pass mutates the image, so each one runs against a fresh
     // analysis (the decoded Program must describe the current bytes).
     uint64_t ChangesThisRound = 0;
+    Image Snapshot = Img;
+    PipelineStats Entering = Stats;
 
     {
       // Dead routines first: everything after has less code to chew on.
@@ -67,6 +114,28 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     }
 
     ++Stats.Rounds;
+
+    bool Mutated = false;
+    if (Opts.PostRoundMutator) {
+      Opts.PostRoundMutator(Img, Round);
+      Mutated = true;
+    }
+
+    // Transactional commit: a round whose output is no longer a valid,
+    // round-trippable image never reaches the caller.
+    if (ChangesThisRound != 0 || Mutated) {
+      std::string Failure = roundFailure(Img, BaselineDefects);
+      if (!Failure.empty()) {
+        Img = std::move(Snapshot);
+        Stats = std::move(Entering);
+        ++Stats.RoundsRolledBack;
+        Stats.LintReports.push_back("round " + std::to_string(Round + 1) +
+                                    " rolled back: " + Failure);
+        // Re-running the same transforms on the restored image would
+        // fail the same way; stop here.
+        break;
+      }
+    }
 
     if (Opts.LintSelfCheck || Opts.CrossCheck) {
       AnalysisResult Analysis = analyzeImage(Img, Conv);

@@ -18,6 +18,14 @@
 /// two-phase reference.  Both checks cost extra analysis passes and are
 /// off by default.
 ///
+/// Rounds are transactional: the driver snapshots the image before each
+/// round, and if the round's output introduces a strict validation
+/// finding the input did not have, or no longer survives a serialize /
+/// re-parse round trip, the whole round is rolled back and the loop
+/// stops.  A rolled-back round is recorded in PipelineStats (the stats it
+/// accumulated are discarded with it), so a transformation bug degrades
+/// into a refused optimization, never a corrupted output image.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIKE_OPT_PIPELINE_H
@@ -30,6 +38,7 @@
 #include "opt/SpillRemoval.h"
 #include "opt/UnreachableElim.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +59,12 @@ struct PipelineOptions {
   /// CFG two-phase reference; mismatches are counted and reported.  Slow —
   /// meant for tests and fixtures, not production-size images.
   bool CrossCheck = false;
+
+  /// Fault-injection seam: if set, runs on the round's output image after
+  /// the passes and before the transactional commit check (which then
+  /// always runs).  Tests and the fuzzer use it to prove that a round
+  /// producing a corrupt image rolls back instead of escaping.
+  std::function<void(Image &, unsigned Round)> PostRoundMutator;
 };
 
 /// Cumulative statistics over all pipeline rounds.
@@ -61,6 +76,11 @@ struct PipelineStats {
   uint64_t SaveRestoreRegsEliminated = 0;
   uint64_t SaveRestoreInstsDeleted = 0;
   unsigned Rounds = 0;
+
+  /// Rounds whose output failed post-round validation or the serialize /
+  /// re-parse round trip and were rolled back to the round's input image —
+  /// zero on a healthy run.  The reason lands in LintReports.
+  unsigned RoundsRolledBack = 0;
 
   /// Findings the optimizer introduced (LintSelfCheck) — zero on a
   /// healthy run.
@@ -79,9 +99,11 @@ struct PipelineStats {
            SaveRestoreInstsDeleted + UnreachableInstsRemoved;
   }
 
-  /// True if every enabled self-check passed.
+  /// True if every enabled self-check passed and no round was rolled
+  /// back.
   bool clean() const {
-    return LintRegressions == 0 && CrossCheckMismatches == 0;
+    return RoundsRolledBack == 0 && LintRegressions == 0 &&
+           CrossCheckMismatches == 0;
   }
 };
 

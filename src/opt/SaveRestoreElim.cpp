@@ -106,6 +106,11 @@ spike::eliminateSaveRestores(Image &Img, const Program &Prog,
   for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
        ++RoutineIndex) {
     const Routine &R = Prog.Routines[RoutineIndex];
+    // Never rewrite quarantined bytes (the decoded view is a placeholder,
+    // not the real instructions).  The UnresolvedJump terminator of the
+    // synthetic block would skip them below anyway; be explicit.
+    if (R.Quarantined)
+      continue;
     // Reallocating inside a recursive routine is unsafe: the value would
     // live across a call that re-enters the routine, and the rewrite
     // itself adds the clobber that breaks its own safety premise.

@@ -29,6 +29,10 @@ spike::removeCallSpills(Image &Img, const Program &Prog,
   for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
        ++RoutineIndex) {
     const Routine &R = Prog.Routines[RoutineIndex];
+    // Quarantined routines have no call blocks by construction; keep the
+    // no-touching-quarantined-bytes invariant explicit regardless.
+    if (R.Quarantined)
+      continue;
     for (uint32_t CallBlock : R.CallBlocks) {
       const BasicBlock &Block = R.Blocks[CallBlock];
       if (Block.Succs.size() != 1)

@@ -5,6 +5,7 @@
 #include "cfg/CallGraph.h"
 #include "isa/Encoding.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace spike;
@@ -24,6 +25,11 @@ spike::eliminateUnreachableRoutines(Image &Img, const Program &Prog) {
     if (Reachable[R])
       continue;
     const Routine &Dead = Prog.Routines[R];
+    // Quarantined routines are call-graph roots and thus reachable, but
+    // guard explicitly: the optimizer must never touch bytes it cannot
+    // decode.
+    if (Dead.Quarantined)
+      continue;
     if (Dead.Begin >= Dead.End)
       continue;
     // Idempotence: a routine already reduced to ret+nops by an earlier
@@ -37,6 +43,14 @@ spike::eliminateUnreachableRoutines(Image &Img, const Program &Prog) {
     Img.Code[Dead.Begin] = RetWord;
     for (uint64_t Address = Dead.Begin + 1; Address < Dead.End; ++Address)
       Img.Code[Address] = NopWord;
+    // The jsr_r / jmp_tab instructions any annotation described are gone;
+    // a stale annotation on a nop would dangle.
+    std::erase_if(Img.CallAnnotations, [&](const auto &A) {
+      return A.Address >= Dead.Begin && A.Address < Dead.End;
+    });
+    std::erase_if(Img.JumpAnnotations, [&](const auto &A) {
+      return A.Address >= Dead.Begin && A.Address < Dead.End;
+    });
     ++Stats.RoutinesRemoved;
     Stats.InstsRemoved += Dead.End - Dead.Begin;
     Stats.RemovedNames.push_back(Dead.Name);

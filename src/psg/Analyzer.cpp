@@ -14,7 +14,7 @@ AnalysisResult spike::analyzeImage(const Image &Img,
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::CfgBuild);
-    Result.Prog = buildProgram(Img, Conv, &Result.Memory);
+    Result.Prog = buildProgram(Img, Conv, &Result.Memory, Opts.Cfg);
   }
 
   {

@@ -21,6 +21,7 @@
 #define SPIKE_PSG_ANALYZER_H
 
 #include "binary/Image.h"
+#include "cfg/CfgBuilder.h"
 #include "psg/PsgBuilder.h"
 #include "psg/PsgSolver.h"
 #include "psg/Summaries.h"
@@ -32,6 +33,7 @@ namespace spike {
 /// Options for a full analysis run.
 struct AnalysisOptions {
   PsgBuildOptions Psg;
+  CfgBuildOptions Cfg;
 };
 
 /// Everything a full analysis run produces.

@@ -231,6 +231,16 @@ SolverStats spike::runPhase2(const Program &Prog,
          Psg.RoutineInfo[Prog.EntryRoutine].ExitNodes)
       ExitSeed[ExitNode] = UnknownCallerLive;
 
+  // Routines reachable from quarantined (or unowned) code must assume
+  // *everything* is live at their exits: garbage code need not respect
+  // the calling standard, so even the unknown-caller convention is too
+  // optimistic there.
+  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+    if (Prog.Routines[R].CalledFromQuarantine)
+      for (uint32_t ExitNode : Psg.RoutineInfo[R].ExitNodes)
+        ExitSeed[ExitNode] |= AllRegs;
+
   std::vector<bool> IsIndirectReturn(Psg.Nodes.size(), false);
   for (uint32_t ReturnNode : Psg.IndirectReturnNodes)
     IsIndirectReturn[ReturnNode] = true;

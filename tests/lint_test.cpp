@@ -302,13 +302,18 @@ TEST(LintRules, DisabledRulesStayQuiet) {
             0u);
 }
 
-TEST(LintRules, MalformedImageIsOneError) {
+TEST(LintRules, MalformedImageQuarantinesAndReports) {
   Image Img;
   Img.Code.push_back(~uint64_t(0)); // does not decode
+  ASSERT_TRUE(Img.verify().has_value());
+  // The defect is absorbed: the one (anonymous) routine is quarantined
+  // and reported as SL011; no other rule fires on placeholder code.
   LintResult Result = lintImage(Img);
   ASSERT_EQ(Result.Diags.size(), 1u);
-  EXPECT_EQ(Result.Diags[0].Rule, RuleId::MalformedImage);
-  EXPECT_TRUE(Result.hasErrors());
+  EXPECT_EQ(Result.Diags[0].Rule, RuleId::QuarantinedRoutine);
+  EXPECT_NE(Result.Diags[0].Message.find("undecodable"),
+            std::string::npos);
+  EXPECT_FALSE(Result.hasErrors());
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,478 @@
+//===- tools/spike-fuzz.cpp - fault-injection fuzzer for image ingestion ---===//
+//
+// Deterministic, seeded mutation fuzzing of the whole ingestion and
+// optimization stack:
+//
+//   spike-fuzz [--seed <n>] [--iterations <n>] [--artifact-dir <dir>]
+//              [--skip-oracle] [--verbose]
+//
+// Two services:
+//
+//   1. Soundness oracle (startup).  For every synthetic profile, the
+//      exact interprocedural analysis is compared against re-analyses
+//      with individual routines force-quarantined: degrading a routine
+//      to the unknowable-code model may only widen may-sets and narrow
+//      must-sets of every other routine.  A violation means quarantine
+//      degradation is not conservative — the one property the whole
+//      hardening scheme rests on.
+//
+//   2. Mutation loop.  Each iteration derives a mutant from a corpus of
+//      valid images (byte flips, truncation, extension, word overwrites,
+//      structured symbol / jump-table / annotation / entry corruption,
+//      two-image crossover) and drives it through
+//      load -> validate -> analyze -> lint -> optimize, asserting the
+//      ingestion trichotomy: every mutant ends as a *clean error* (load
+//      rejected with a structured code), a *quarantined-but-sound*
+//      result (strict validation findings, offenders quarantined with
+//      worst-case summaries, SL011 reported, optimizer leaves their
+//      bytes alone), or a *full result* (no strict finding, normal
+//      pipeline).  Nothing may crash, hang, or silently mis-optimize.
+//
+// Exit status: 0 all iterations clean, 1 any property violated (the
+// offending mutant is written to --artifact-dir if given), 2 usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Validator.h"
+#include "isa/Encoding.h"
+#include "lint/Linter.h"
+#include "opt/Pipeline.h"
+#include "psg/Analyzer.h"
+#include "support/Rng.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+#include "synth/Profiles.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--seed <n>] [--iterations <n>] "
+               "[--artifact-dir <dir>] [--skip-oracle] [--verbose]\n",
+               Prog);
+  return 2;
+}
+
+struct FuzzConfig {
+  uint64_t Seed = 1;
+  uint64_t Iterations = 10000;
+  std::string ArtifactDir;
+  bool SkipOracle = false;
+  bool Verbose = false;
+};
+
+/// Global failure sink: remembers the first violation and counts all.
+struct Verdicts {
+  uint64_t Failures = 0;
+  std::string FirstReport;
+
+  void fail(const std::string &Report) {
+    ++Failures;
+    if (FirstReport.empty())
+      FirstReport = Report;
+    std::fprintf(stderr, "FAIL: %s\n", Report.c_str());
+  }
+};
+
+#define FUZZ_CHECK(Cond, V, Context)                                     \
+  do {                                                                   \
+    if (!(Cond))                                                         \
+      (V).fail(std::string(Context) + ": " #Cond);                       \
+  } while (0)
+
+//===----------------------------------------------------------------------===//
+// Soundness oracle
+//===----------------------------------------------------------------------===//
+
+/// Compares the analysis of \p Img with \p Victim force-quarantined
+/// against the exact analysis \p Exact.  Sound degradation may only
+/// widen call-used / call-killed / live sets and narrow raw MUST-DEF of
+/// every routine that is not itself quarantined.
+void checkDegradationSound(const Image &Img, const AnalysisResult &Exact,
+                           const std::string &Victim, Verdicts &V,
+                           const std::string &Context) {
+  AnalysisOptions Opts;
+  Opts.Cfg.ForceQuarantine.push_back(Victim);
+  AnalysisResult Degraded = analyzeImage(Img, CallingConv(), Opts);
+
+  const std::string Where = Context + " victim=" + Victim;
+  FUZZ_CHECK(Degraded.Prog.Routines.size() == Exact.Prog.Routines.size(),
+             V, Where);
+  if (Degraded.Prog.Routines.size() != Exact.Prog.Routines.size())
+    return;
+
+  for (uint32_t R = 0; R < Exact.Prog.Routines.size(); ++R) {
+    if (Degraded.Prog.Routines[R].Quarantined)
+      continue; // Its own summary is worst-case by construction.
+    const RoutineResults &E = Exact.Summaries.Routines[R];
+    const RoutineResults &D = Degraded.Summaries.Routines[R];
+    for (uint32_t Entry = 0; Entry < E.EntrySummaries.size(); ++Entry) {
+      const std::string At =
+          Where + " routine=" + Exact.Prog.Routines[R].Name +
+          " entrance=" + std::to_string(Entry);
+      FUZZ_CHECK(D.EntrySummaries[Entry].Used.containsAll(
+                     E.EntrySummaries[Entry].Used),
+                 V, At + " call-used shrank");
+      FUZZ_CHECK(D.EntrySummaries[Entry].Killed.containsAll(
+                     E.EntrySummaries[Entry].Killed),
+                 V, At + " call-killed shrank");
+      FUZZ_CHECK(D.LiveAtEntry[Entry].containsAll(E.LiveAtEntry[Entry]),
+                 V, At + " live-at-entry shrank");
+      // The extracted Defined summary is capped by MAY-DEF and is not
+      // monotone on halt-only paths; the unfiltered MUST-DEF is.
+      FUZZ_CHECK(Exact.entrySets(R, Entry).MustDef.containsAll(
+                     Degraded.entrySets(R, Entry).MustDef),
+                 V, At + " must-def grew");
+    }
+    for (uint32_t Exit = 0; Exit < E.LiveAtExit.size(); ++Exit)
+      FUZZ_CHECK(D.LiveAtExit[Exit].containsAll(E.LiveAtExit[Exit]), V,
+                 Where + " routine=" + Exact.Prog.Routines[R].Name +
+                     " exit=" + std::to_string(Exit) +
+                     " live-at-exit shrank");
+  }
+}
+
+/// Runs the oracle over every synthetic profile: each routine of each
+/// image is force-quarantined in turn (bounded per image to keep the
+/// startup cost sane for large profiles).
+void runOracle(const std::vector<Image> &Corpus, Verdicts &V,
+               bool Verbose) {
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    const Image &Img = Corpus[I];
+    AnalysisResult Exact = analyzeImage(Img);
+    uint32_t Count = uint32_t(Exact.Prog.Routines.size());
+    // All routines for small images, an even stride for big ones.
+    uint32_t Step = Count <= 16 ? 1 : Count / 16;
+    const std::string Context = "oracle corpus[" + std::to_string(I) + "]";
+    for (uint32_t R = 0; R < Count; R += Step)
+      checkDegradationSound(Img, Exact, Exact.Prog.Routines[R].Name, V,
+                            Context);
+    if (Verbose)
+      std::fprintf(stderr, "%s: %u routines checked\n", Context.c_str(),
+                   (Count + Step - 1) / Step);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mutators
+//===----------------------------------------------------------------------===//
+
+/// Byte-level corruption of a serialized image.
+std::vector<uint8_t> mutateBytes(std::vector<uint8_t> Bytes, Rng &Rand) {
+  if (Bytes.empty())
+    return Bytes;
+  switch (Rand.below(4)) {
+  case 0: { // flip 1-16 bytes
+    unsigned Flips = 1 + unsigned(Rand.below(16));
+    for (unsigned F = 0; F < Flips; ++F)
+      Bytes[Rand.below(Bytes.size())] ^= uint8_t(1 + Rand.below(255));
+    break;
+  }
+  case 1: // truncate
+    Bytes.resize(Rand.below(Bytes.size()));
+    break;
+  case 2: { // extend with garbage
+    unsigned Extra = 1 + unsigned(Rand.below(64));
+    for (unsigned E = 0; E < Extra; ++E)
+      Bytes.push_back(uint8_t(Rand.below(256)));
+    break;
+  }
+  default: { // overwrite an aligned word (section-count lies, wild
+             // addresses, undecodable opcodes — depending on position)
+    static const uint64_t Interesting[] = {
+        0,
+        1,
+        0x7f,
+        0xff,
+        0xffffffffull,
+        0x7fffffffffffffffull,
+        ~uint64_t(0),
+    };
+    uint64_t Word = Rand.chance(0.5)
+                        ? Interesting[Rand.below(7)]
+                        : Rand.below(~uint64_t(0));
+    size_t Slots = Bytes.size() / 8;
+    if (Slots == 0)
+      break;
+    size_t Offset = Rand.below(Slots) * 8;
+    for (unsigned B = 0; B < 8; ++B)
+      Bytes[Offset + B] = uint8_t(Word >> (8 * B));
+    break;
+  }
+  }
+  return Bytes;
+}
+
+/// Structured corruption: parse-level lies a byte flip rarely produces.
+std::vector<uint8_t> mutateStructured(Image Img, Rng &Rand) {
+  uint64_t CodeSize = Img.Code.size();
+  auto WildAddress = [&]() -> uint64_t {
+    switch (Rand.below(3)) {
+    case 0:
+      return CodeSize + Rand.below(1000);          // escaping
+    case 1:
+      return Rand.below(CodeSize ? CodeSize : 1);  // misaligned semantics
+    default:
+      return ~uint64_t(0) - Rand.below(16);        // wrap-around bait
+    }
+  };
+  switch (Rand.below(6)) {
+  case 0: // symbol corruption: wild address, duplicate, or shuffle
+    if (!Img.Symbols.empty()) {
+      Symbol &Sym = Img.Symbols[Rand.below(Img.Symbols.size())];
+      if (Rand.chance(0.5))
+        Sym.Address = WildAddress();
+      else
+        Img.Symbols.push_back(Sym); // duplicate (unsorted too)
+    }
+    break;
+  case 1: // jump-table corruption: wild target or emptied table
+    if (!Img.JumpTables.empty()) {
+      JumpTable &Table = Img.JumpTables[Rand.below(Img.JumpTables.size())];
+      if (Table.Targets.empty() || Rand.chance(0.3))
+        Table.Targets.clear();
+      else
+        Table.Targets[Rand.below(Table.Targets.size())] = WildAddress();
+    }
+    break;
+  case 2: // dangling table index / wild call target in code
+    if (CodeSize != 0) {
+      uint64_t Address = Rand.below(CodeSize);
+      Instruction Inst = Rand.chance(0.5)
+                             ? inst::jmpTab(1, int32_t(Rand.below(1000)))
+                             : inst::jsr(int32_t(Rand.below(100000)));
+      Img.Code[Address] = encodeInstruction(Inst);
+    }
+    break;
+  case 3: { // bogus annotation
+    IndirectCallAnnotation Annot;
+    Annot.Address = WildAddress();
+    Img.CallAnnotations.push_back(Annot);
+    break;
+  }
+  case 4: // wild entry point
+    Img.EntryAddress = WildAddress();
+    break;
+  default: // undecodable word
+    if (CodeSize != 0)
+      Img.Code[Rand.below(CodeSize)] =
+          ~uint64_t(0) - Rand.below(1u << 20);
+    break;
+  }
+  return writeImage(Img);
+}
+
+/// Splices the head of one serialized image onto the tail of another.
+std::vector<uint8_t> crossover(const std::vector<uint8_t> &A,
+                               const std::vector<uint8_t> &B, Rng &Rand) {
+  std::vector<uint8_t> Out(A.begin(),
+                           A.begin() + int64_t(Rand.below(A.size() + 1)));
+  Out.insert(Out.end(), B.begin() + int64_t(Rand.below(B.size() + 1)),
+             B.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-mutant trichotomy
+//===----------------------------------------------------------------------===//
+
+/// Drives one mutant through the full stack and asserts the trichotomy.
+void runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
+               const std::string &Context) {
+  // Outcome 1: clean error.  Structured code, non-empty message, done.
+  Expected<Image> Loaded = loadImage(Bytes);
+  if (!Loaded) {
+    FUZZ_CHECK(Loaded.error().Code != ErrCode::None, V, Context);
+    FUZZ_CHECK(!Loaded.error().Message.empty(), V, Context);
+    return;
+  }
+  Image Img = *Loaded;
+
+  ValidationReport Report = validateImage(Img);
+  AnalysisResult Analysis = analyzeImage(Img);
+  const Program &Prog = Analysis.Prog;
+  RegSet AllRegs = RegSet::allBelow(NumIntRegs);
+
+  if (Report.clean()) {
+    // Outcome 3: full result.  verify() agrees, nothing is quarantined.
+    FUZZ_CHECK(!Img.verify().has_value(), V, Context);
+    FUZZ_CHECK(Prog.numQuarantined() == 0, V, Context);
+  } else {
+    // Outcome 2: quarantined but sound.  verify() reports the defect,
+    // every routine the validator implicates is quarantined and carries
+    // a worst-case summary, and SL011 surfaces the degradation.
+    FUZZ_CHECK(Img.verify().has_value(), V, Context);
+    for (const ValidationFinding &F : Report.Findings) {
+      if (!F.Quarantines)
+        continue;
+      bool Found = false;
+      for (uint32_t R = 0; R < Prog.Routines.size(); ++R) {
+        if (Prog.Routines[R].Name != F.RoutineName)
+          continue;
+        Found = true;
+        FUZZ_CHECK(Prog.Routines[R].Quarantined, V,
+                   Context + " " + F.RoutineName + " not quarantined");
+        for (uint32_t Entry = 0;
+             Entry < Prog.Routines[R].EntryAddresses.size(); ++Entry) {
+          FUZZ_CHECK(Analysis.entrySets(R, Entry).MayUse == AllRegs, V,
+                     Context + " quarantined may-use not worst-case");
+          FUZZ_CHECK(Analysis.entrySets(R, Entry).MustDef.empty(), V,
+                     Context + " quarantined must-def not empty");
+        }
+        break;
+      }
+      FUZZ_CHECK(Found, V,
+                 Context + " quarantined routine '" + F.RoutineName +
+                     "' missing from program");
+    }
+  }
+
+  // Lint must classify without crashing; a degraded image must say so.
+  LintResult Lint = lintAnalysis(Img, Analysis, LintOptions());
+  if (!Report.ok()) {
+    unsigned Quarantines = 0;
+    for (const Diagnostic &D : Lint.Diags)
+      Quarantines += D.Rule == RuleId::QuarantinedRoutine;
+    FUZZ_CHECK(Quarantines >= 1, V, Context + " no SL011 for degraded image");
+  }
+
+  // The optimizer must refuse quarantined bytes and produce output that
+  // still validates (no new strict findings) and round-trips; a round
+  // that fails either check must roll back — and with sound passes none
+  // should.
+  std::vector<std::pair<uint64_t, uint64_t>> Frozen;
+  for (const Routine &R : Prog.Routines)
+    if (R.Quarantined)
+      Frozen.push_back({R.Begin, R.End});
+  Image Before = Img;
+
+  PipelineOptions OptOpts;
+  OptOpts.MaxRounds = 2;
+  PipelineStats Stats = optimizeImage(Img, CallingConv(), OptOpts);
+  FUZZ_CHECK(Stats.RoundsRolledBack == 0, V,
+             Context + " optimizer round rolled back (pass bug?)");
+  for (const auto &[Begin, End] : Frozen)
+    for (uint64_t Address = Begin; Address < End; ++Address)
+      FUZZ_CHECK(Img.Code[Address] == Before.Code[Address], V,
+                 Context + " optimizer touched quarantined bytes");
+  Expected<Image> Reloaded = loadImage(writeImage(Img));
+  FUZZ_CHECK(bool(Reloaded), V, Context + " optimized image lost");
+  if (Reloaded)
+    FUZZ_CHECK(*Reloaded == Img, V, Context + " round-trip mismatch");
+}
+
+std::vector<Image> buildCorpus() {
+  std::vector<Image> Corpus;
+  for (uint64_t Seed : {3u, 11u, 29u}) {
+    ExecProfile P;
+    P.Routines = 6;
+    P.Seed = Seed;
+    Corpus.push_back(generateExecProgram(P));
+  }
+  {
+    ExecProfile P; // one with more indirection
+    P.Routines = 10;
+    P.IndirectCallProb = 0.25;
+    P.Seed = 5;
+    Corpus.push_back(generateExecProgram(P));
+  }
+  for (const BenchmarkProfile &Profile : paperProfiles())
+    Corpus.push_back(generateCfgProgram(scaledProfile(Profile, 0.03)));
+  return Corpus;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzConfig Config;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc)
+      Config.Seed = std::strtoull(Argv[++I], nullptr, 0);
+    else if (std::strcmp(Argv[I], "--iterations") == 0 && I + 1 < Argc)
+      Config.Iterations = std::strtoull(Argv[++I], nullptr, 0);
+    else if (std::strcmp(Argv[I], "--artifact-dir") == 0 && I + 1 < Argc)
+      Config.ArtifactDir = Argv[++I];
+    else if (std::strcmp(Argv[I], "--skip-oracle") == 0)
+      Config.SkipOracle = true;
+    else if (std::strcmp(Argv[I], "--verbose") == 0)
+      Config.Verbose = true;
+    else
+      return usage(Argv[0]);
+  }
+
+  Verdicts V;
+  std::vector<Image> Corpus = buildCorpus();
+  std::vector<std::vector<uint8_t>> Serialized;
+  for (const Image &Img : Corpus)
+    Serialized.push_back(writeImage(Img));
+
+  if (!Config.SkipOracle) {
+    runOracle(Corpus, V, Config.Verbose);
+    if (V.Failures != 0) {
+      std::fprintf(stderr,
+                   "spike-fuzz: soundness oracle FAILED (%llu violations)\n",
+                   (unsigned long long)V.Failures);
+      return 1;
+    }
+    std::printf("spike-fuzz: soundness oracle passed on %zu profiles\n",
+                Corpus.size());
+  }
+
+  Rng Rand(Config.Seed);
+  for (uint64_t Iter = 0; Iter < Config.Iterations; ++Iter) {
+    const std::string Context =
+        "seed=" + std::to_string(Config.Seed) +
+        " iter=" + std::to_string(Iter);
+    size_t Pick = Rand.below(Serialized.size());
+    std::vector<uint8_t> Mutant;
+    switch (Rand.below(4)) {
+    case 0:
+      Mutant = mutateStructured(Corpus[Pick], Rand);
+      break;
+    case 1:
+      Mutant = crossover(Serialized[Pick],
+                         Serialized[Rand.below(Serialized.size())], Rand);
+      break;
+    default:
+      Mutant = mutateBytes(Serialized[Pick], Rand);
+      break;
+    }
+    // Half the time, stack byte-level noise on top.
+    if (Rand.chance(0.25))
+      Mutant = mutateBytes(std::move(Mutant), Rand);
+
+    uint64_t FailuresBefore = V.Failures;
+    runMutant(Mutant, V, Context);
+    if (V.Failures != FailuresBefore && !Config.ArtifactDir.empty()) {
+      std::string Path = Config.ArtifactDir + "/crash-" +
+                         std::to_string(Config.Seed) + "-" +
+                         std::to_string(Iter) + ".spkx";
+      std::ofstream Out(Path, std::ios::binary);
+      Out.write(reinterpret_cast<const char *>(Mutant.data()),
+                std::streamsize(Mutant.size()));
+      std::fprintf(stderr, "spike-fuzz: mutant written to %s\n",
+                   Path.c_str());
+    }
+    if (Config.Verbose && (Iter + 1) % 1000 == 0)
+      std::fprintf(stderr, "spike-fuzz: %llu iterations\n",
+                   (unsigned long long)(Iter + 1));
+  }
+
+  if (V.Failures != 0) {
+    std::fprintf(stderr, "spike-fuzz: %llu violations; first: %s\n",
+                 (unsigned long long)V.Failures, V.FirstReport.c_str());
+    return 1;
+  }
+  std::printf("spike-fuzz: %llu mutants, all within the trichotomy "
+              "(clean error | quarantined-but-sound | full result)\n",
+              (unsigned long long)Config.Iterations);
+  return 0;
+}

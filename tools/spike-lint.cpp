@@ -15,7 +15,9 @@
 // any finding the optimizer introduced.
 //
 // Exit status: 0 clean (no errors, verification passed), 1 errors or
-// verification failure (a malformed image is a SL000 error), 2 usage.
+// verification failure (an unreadable file is a SL000 error; a readable
+// but defective image is analyzed anyway, with each quarantined routine
+// reported as a SL011 warning), 2 usage.
 //
 //===----------------------------------------------------------------------===//
 
