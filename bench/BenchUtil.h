@@ -8,12 +8,20 @@
 /// Helpers shared by the table/figure reproduction harnesses.
 ///
 /// Every harness accepts:
-///   --scale <f>   scale every profile's routine count by f (default 1.0,
-///                 i.e. the paper's full benchmark sizes; use e.g. 0.1
-///                 for a quick pass),
-///   --only <name> run a single benchmark,
+///   --scale <f>      scale every profile's routine count by f (default
+///                    1.0, i.e. the paper's full benchmark sizes; use
+///                    e.g. 0.1 for a quick pass),
+///   --only <name>    run a single benchmark,
+///   --metrics <file> write a spike-run-report JSON document,
+///   --trace <file>   write a Chrome trace-event JSON trace,
 /// and honors the SPIKE_BENCH_SCALE environment variable as a default
 /// for --scale.
+///
+/// Harness owns the run's telemetry::Session and keeps it installed for
+/// the harness's whole lifetime, so every measurement — timing included —
+/// goes through the telemetry span API and the library counter registry
+/// rather than ad-hoc stopwatches, and the numbers a table prints are
+/// exactly the numbers the RunReport carries.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,11 +29,14 @@
 #define SPIKE_BENCH_BENCHUTIL_H
 
 #include "synth/Profiles.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace spike {
@@ -35,6 +46,8 @@ namespace benchutil {
 struct Options {
   double Scale = 1.0;
   std::string Only;
+  std::string MetricsPath;
+  std::string TracePath;
 };
 
 inline Options parseOptions(int Argc, char **Argv) {
@@ -46,9 +59,14 @@ inline Options parseOptions(int Argc, char **Argv) {
       Opts.Scale = std::atof(Argv[++I]);
     else if (std::strcmp(Argv[I], "--only") == 0 && I + 1 < Argc)
       Opts.Only = Argv[++I];
+    else if (std::strcmp(Argv[I], "--metrics") == 0 && I + 1 < Argc)
+      Opts.MetricsPath = Argv[++I];
+    else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc)
+      Opts.TracePath = Argv[++I];
     else {
       std::fprintf(stderr,
-                   "usage: %s [--scale <f>] [--only <benchmark>]\n",
+                   "usage: %s [--scale <f>] [--only <benchmark>] "
+                   "[--metrics <file>] [--trace <file>]\n",
                    Argv[0]);
       std::exit(2);
     }
@@ -76,6 +94,48 @@ inline std::vector<BenchmarkProfile> selectedProfiles(const Options &Opts) {
 inline void banner(const char *What, const Options &Opts) {
   std::printf("== %s (scale %.3g) ==\n", What, Opts.Scale);
 }
+
+/// The harness's telemetry session: always active (the tables read the
+/// counter registry), written out as a RunReport / trace on destruction
+/// when the flags asked for one.
+class Harness {
+public:
+  Harness(const char *Name, Options Opts)
+      : S(Name), HarnessOpts(std::move(Opts)), Scope(S) {}
+
+  ~Harness() {
+    auto Write = [](const std::string &Path, const std::string &Text) {
+      if (!Path.empty() && !telemetry::writeTextFile(Path, Text))
+        std::fprintf(stderr, "warning: cannot write telemetry file '%s'\n",
+                     Path.c_str());
+    };
+    Write(HarnessOpts.TracePath, telemetry::traceJson(S));
+    Write(HarnessOpts.MetricsPath, telemetry::runReportJson(S));
+  }
+
+  Harness(const Harness &) = delete;
+  Harness &operator=(const Harness &) = delete;
+
+  telemetry::Session &session() { return S; }
+
+  /// Runs \p Body inside a span named \p Name and returns its seconds —
+  /// the harness's replacement for a raw stopwatch: the interval also
+  /// lands in the trace and the RunReport's phase table.
+  template <typename Fn> double timed(std::string_view Name, Fn &&Body) {
+    uint32_t Id = S.beginSpan(Name);
+    std::forward<Fn>(Body)();
+    S.endSpan(Id);
+    return S.spanSeconds(Id);
+  }
+
+  /// Current value of registry counter \p Name.
+  uint64_t counter(std::string_view Name) const { return S.counter(Name); }
+
+private:
+  telemetry::Session S;
+  Options HarnessOpts;
+  telemetry::SessionScope Scope;
+};
 
 } // namespace benchutil
 } // namespace spike

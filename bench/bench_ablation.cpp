@@ -13,7 +13,6 @@
 #include "interproc/CfgTwoPhase.h"
 #include "interproc/Supergraph.h"
 #include "psg/Analyzer.h"
-#include "support/Stopwatch.h"
 #include "support/TablePrinter.h"
 #include "synth/CfgGenerator.h"
 
@@ -21,6 +20,7 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_ablation", Opts);
   benchutil::banner("Ablation: PSG vs CFG-level analyses; branch nodes",
                     Opts);
 
@@ -37,18 +37,18 @@ int main(int Argc, char **Argv) {
     AnalysisResult Result = analyzeImage(Img);
     double PsgSeconds = Result.Stages.totalSeconds();
 
-    Stopwatch Watch;
-    Watch.start();
-    InterprocSummaries Ref =
-        runCfgTwoPhase(Result.Prog, Result.SavedPerRoutine);
-    double RefSeconds = Watch.seconds();
-    (void)Ref;
+    double RefSeconds = Bench.timed("ablation.cfg_two_phase", [&] {
+      InterprocSummaries Ref =
+          runCfgTwoPhase(Result.Prog, Result.SavedPerRoutine);
+      (void)Ref;
+    });
 
-    Watch.start();
-    Supergraph Graph = buildSupergraph(Result.Prog);
-    SupergraphLiveness Live = solveSupergraphLiveness(Result.Prog, Graph);
-    double SuperSeconds = Watch.seconds();
-    (void)Live;
+    double SuperSeconds = Bench.timed("ablation.supergraph", [&] {
+      Supergraph Graph = buildSupergraph(Result.Prog);
+      SupergraphLiveness Live =
+          solveSupergraphLiveness(Result.Prog, Graph);
+      (void)Live;
+    });
 
     Compact.row({TablePrinter::num(uint64_t(Result.Prog.Routines.size())),
                  TablePrinter::num(Result.Prog.numBlocks()),

@@ -19,6 +19,7 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_figure13", Opts);
   benchutil::banner("Figure 13: fraction of time per analysis stage",
                     Opts);
 

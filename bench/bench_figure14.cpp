@@ -33,6 +33,7 @@ void printPoint(TablePrinter &Table, const std::string &Name,
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_figure14", Opts);
   benchutil::banner(
       "Figure 14: analysis time vs routines / blocks / instructions",
       Opts);

@@ -28,6 +28,7 @@ void printPoint(TablePrinter &Table, const std::string &Name,
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_figure15", Opts);
   benchutil::banner(
       "Figure 15: analysis memory vs routines / blocks / instructions",
       Opts);

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "opt/Pipeline.h"
 #include "sim/Simulator.h"
 #include "support/TablePrinter.h"
@@ -20,7 +21,9 @@
 
 using namespace spike;
 
-int main() {
+int main(int Argc, char **Argv) {
+  benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_opt", Opts);
   std::printf("== Optimization benefit (Section 1 claim: 5-10%%, up to "
               "20%%) ==\n");
 

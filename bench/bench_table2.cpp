@@ -17,6 +17,7 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_table2", Opts);
   benchutil::banner("Table 2: benchmark size, dataflow time, memory",
                     Opts);
 

@@ -14,6 +14,7 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_table3", Opts);
   benchutil::banner("Table 3: per-routine characteristics", Opts);
 
   TablePrinter Table;

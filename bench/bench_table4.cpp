@@ -15,6 +15,7 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_table4", Opts);
   benchutil::banner("Table 4: branch-node edge reduction", Opts);
 
   TablePrinter Table;
@@ -23,15 +24,24 @@ int main(int Argc, char **Argv) {
   for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
     Image Img = generateCfgProgram(Profile);
 
+    // Both variants publish their PSG sizes into the registry; the
+    // table rows are counter deltas, so the printed numbers are exactly
+    // what a --metrics RunReport carries.
+    uint64_t Edges0 = Bench.counter("psg.edges");
+    uint64_t Nodes0 = Bench.counter("psg.nodes");
     AnalysisResult With = analyzeImage(Img);
+    uint64_t Edges1 = Bench.counter("psg.edges");
+    uint64_t Nodes1 = Bench.counter("psg.nodes");
     AnalysisOptions NoBranchOpts;
     NoBranchOpts.Psg.UseBranchNodes = false;
     AnalysisResult Without = analyzeImage(Img, CallingConv(), NoBranchOpts);
+    (void)With;
+    (void)Without;
 
-    double EdgesWith = double(With.Psg.Edges.size());
-    double EdgesWithout = double(Without.Psg.Edges.size());
-    double NodesWith = double(With.Psg.Nodes.size());
-    double NodesWithout = double(Without.Psg.Nodes.size());
+    double EdgesWith = double(Edges1 - Edges0);
+    double EdgesWithout = double(Bench.counter("psg.edges") - Edges1);
+    double NodesWith = double(Nodes1 - Nodes0);
+    double NodesWithout = double(Bench.counter("psg.nodes") - Nodes1);
 
     double Reduction =
         EdgesWithout > 0 ? (EdgesWithout - EdgesWith) / EdgesWithout : 0;

@@ -16,6 +16,7 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
+  benchutil::Harness Bench("bench_table5", Opts);
   benchutil::banner("Table 5: PSG size vs whole-program CFG size", Opts);
 
   TablePrinter Table;
@@ -27,13 +28,21 @@ int main(int Argc, char **Argv) {
   unsigned Count = 0;
   for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
     Image Img = generateCfgProgram(Profile);
+
+    // Row values come from the telemetry counter registry (deltas around
+    // each build), not from ad-hoc struct peeking.
+    uint64_t Nodes0 = Bench.counter("psg.nodes");
+    uint64_t Edges0 = Bench.counter("psg.edges");
+    uint64_t Blocks0 = Bench.counter("cfg.blocks");
+    uint64_t Arcs0 = Bench.counter("interproc.supergraph.arcs");
     AnalysisResult Result = analyzeImage(Img);
     Supergraph Graph = buildSupergraph(Result.Prog);
+    (void)Graph;
 
-    double Nodes = double(Result.Psg.Nodes.size());
-    double Edges = double(Result.Psg.Edges.size());
-    double Blocks = double(Result.Prog.numBlocks());
-    double Arcs = double(Graph.numArcs());
+    double Nodes = double(Bench.counter("psg.nodes") - Nodes0);
+    double Edges = double(Bench.counter("psg.edges") - Edges0);
+    double Blocks = double(Bench.counter("cfg.blocks") - Blocks0);
+    double Arcs = double(Bench.counter("interproc.supergraph.arcs") - Arcs0);
 
     SumNodeRatio += Nodes / Blocks;
     SumEdgeRatio += Edges / Arcs;

@@ -2,6 +2,8 @@
 
 #include "binary/Image.h"
 
+#include "telemetry/Telemetry.h"
+
 #include "binary/Validator.h"
 #include "isa/Encoding.h"
 
@@ -134,8 +136,11 @@ std::vector<uint8_t> spike::writeImage(const Image &Img) {
 }
 
 Expected<Image> spike::loadImage(const std::vector<uint8_t> &Bytes) {
+  telemetry::Span LoadSpan("binary.load");
+  telemetry::count("binary.load.bytes", Bytes.size());
   ByteReader Reader(Bytes);
   auto Fail = [&](ErrCode Code, const char *Message) -> Expected<Image> {
+    telemetry::count("binary.load.errors");
     return Status::error(Code, Message).atOffset(int64_t(Reader.offset()));
   };
   uint64_t Magic = 0;
@@ -219,6 +224,12 @@ Expected<Image> spike::loadImage(const std::vector<uint8_t> &Bytes) {
   }
   if (!Reader.atEnd())
     return Fail(ErrCode::TrailingBytes, "trailing bytes after image");
+  if (telemetry::active()) {
+    telemetry::count("binary.load.images");
+    telemetry::count("binary.load.code_words", Img.Code.size());
+    telemetry::count("binary.load.symbols", Img.Symbols.size());
+    telemetry::count("binary.load.jump_tables", Img.JumpTables.size());
+  }
   return Img;
 }
 

@@ -2,6 +2,8 @@
 
 #include "binary/Validator.h"
 
+#include "telemetry/Telemetry.h"
+
 #include "isa/Encoding.h"
 
 #include <algorithm>
@@ -290,5 +292,17 @@ private:
 } // namespace
 
 ValidationReport spike::validateImage(const Image &Img) {
-  return ImageValidator(Img).run();
+  telemetry::Span ValidateSpan("binary.validate");
+  ValidationReport Report = ImageValidator(Img).run();
+  if (telemetry::active()) {
+    uint64_t Strict = 0, Quarantines = 0;
+    for (const ValidationFinding &F : Report.Findings) {
+      Strict += F.Strict;
+      Quarantines += F.Quarantines;
+    }
+    telemetry::count("validate.findings", Report.Findings.size());
+    telemetry::count("validate.strict_findings", Strict);
+    telemetry::count("validate.quarantining_findings", Quarantines);
+  }
+  return Report;
 }

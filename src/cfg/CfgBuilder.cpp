@@ -3,6 +3,7 @@
 #include "cfg/CfgBuilder.h"
 
 #include "isa/Encoding.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -252,6 +253,7 @@ private:
 Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
                             MemoryTracker *Mem,
                             const CfgBuildOptions &Options) {
+  telemetry::Span BuildSpan("cfg.build");
   Program Prog;
   Prog.Conv = Conv;
   Prog.Validation = validateImage(Img);
@@ -479,6 +481,13 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
                     (Block.Succs.size() + Block.Preds.size()) *
                         sizeof(uint32_t));
     }
+  }
+
+  if (telemetry::active()) {
+    telemetry::count("cfg.routines", Prog.Routines.size());
+    telemetry::count("cfg.blocks", Prog.numBlocks());
+    telemetry::count("cfg.insts", Prog.Insts.size());
+    telemetry::count("cfg.quarantined_routines", Prog.numQuarantined());
   }
 
   return Prog;

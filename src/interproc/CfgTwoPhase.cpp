@@ -2,6 +2,8 @@
 
 #include "interproc/CfgTwoPhase.h"
 
+#include "telemetry/Telemetry.h"
+
 #include "dataflow/FlowSets.h"
 #include "dataflow/Liveness.h"
 #include "dataflow/CallPolicy.h"
@@ -291,6 +293,8 @@ private:
 InterprocSummaries
 spike::runCfgTwoPhase(const Program &Prog,
                       const std::vector<RegSet> &SavedPerRoutine) {
+  telemetry::Span RefSpan("interproc.cfg_two_phase");
+  telemetry::count("interproc.cfg_two_phase.runs");
   TwoPhaseEngine Engine(Prog, SavedPerRoutine);
   Engine.run();
   return Engine.takeResults();

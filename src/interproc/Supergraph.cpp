@@ -2,6 +2,8 @@
 
 #include "interproc/Supergraph.h"
 
+#include "telemetry/Telemetry.h"
+
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
 
@@ -12,6 +14,7 @@
 using namespace spike;
 
 Supergraph spike::buildSupergraph(const Program &Prog) {
+  telemetry::Span BuildSpan("interproc.supergraph");
   Supergraph Graph;
   Graph.BlockBase.resize(Prog.Routines.size());
   uint32_t Next = 0;
@@ -131,6 +134,10 @@ Supergraph spike::buildSupergraph(const Program &Prog) {
       Graph.PredIds[Cursor[To]++] = From;
   }
 
+  if (telemetry::active()) {
+    telemetry::count("interproc.supergraph.nodes", Graph.NumNodes);
+    telemetry::count("interproc.supergraph.arcs", Graph.numArcs());
+  }
   return Graph;
 }
 

@@ -5,6 +5,7 @@
 #include "cfg/CallGraph.h"
 #include "interproc/CfgTwoPhase.h"
 #include "lint/LintRules.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <set>
@@ -46,6 +47,7 @@ std::string setDiff(const char *What, RegSet Psg, RegSet Ref) {
 LintResult spike::lintAnalysis(const Image &Img,
                                const AnalysisResult &Analysis,
                                const LintOptions &Opts) {
+  telemetry::Span LintSpan("lint");
   LintResult Result;
   CallGraph Graph = buildCallGraph(Analysis.Prog);
   LintContext Ctx{Img, Analysis, Graph, Opts, Result.Diags};
@@ -78,6 +80,12 @@ LintResult spike::lintAnalysis(const Image &Img,
       return D.Sev < Opts.MinSeverity;
     });
   std::sort(Result.Diags.begin(), Result.Diags.end(), diagLess);
+  if (telemetry::active()) {
+    telemetry::count("lint.diagnostics", Result.Diags.size());
+    telemetry::count("lint.errors", Result.count(Severity::Error));
+    telemetry::count("lint.warnings", Result.count(Severity::Warning));
+    telemetry::count("lint.notes", Result.count(Severity::Note));
+  }
   return Result;
 }
 

@@ -5,6 +5,10 @@
 #include "binary/Validator.h"
 #include "lint/Linter.h"
 #include "psg/Analyzer.h"
+#include "support/Stopwatch.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
 
 #include <set>
 #include <utility>
@@ -64,6 +68,7 @@ roundFailure(const Image &Img,
 
 PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
                                    const PipelineOptions &Opts) {
+  telemetry::Span PipelineSpan("opt.pipeline");
   PipelineStats Stats;
 
   LintResult Baseline;
@@ -81,24 +86,39 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     uint64_t ChangesThisRound = 0;
     Image Snapshot = Img;
     PipelineStats Entering = Stats;
+    telemetry::Span RoundSpan("opt.round");
+    Stopwatch RoundTimer;
+    RoundTimer.start();
+    uint64_t RoundPeakBytes = 0;
+    uint64_t RoundQuarantined = 0;
 
     {
       // Dead routines first: everything after has less code to chew on.
       AnalysisResult Analysis = analyzeImage(Img, Conv);
-      UnreachableElimStats Unreachable =
-          eliminateUnreachableRoutines(Img, Analysis.Prog);
-      Stats.UnreachableRoutinesRemoved += Unreachable.RoutinesRemoved;
-      Stats.UnreachableInstsRemoved += Unreachable.InstsRemoved;
-      ChangesThisRound += Unreachable.RoutinesRemoved;
-      SaveRestoreElimStats SaveRestores =
-          eliminateSaveRestores(Img, Analysis.Prog, Analysis.Summaries);
-      Stats.SaveRestoreRegsEliminated += SaveRestores.EliminatedRegs;
-      Stats.SaveRestoreInstsDeleted += SaveRestores.DeletedInsts;
-      ChangesThisRound += SaveRestores.EliminatedRegs;
+      RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
+      RoundQuarantined = Analysis.Prog.numQuarantined();
+      {
+        telemetry::Span PassSpan("pass.unreachable");
+        UnreachableElimStats Unreachable =
+            eliminateUnreachableRoutines(Img, Analysis.Prog);
+        Stats.UnreachableRoutinesRemoved += Unreachable.RoutinesRemoved;
+        Stats.UnreachableInstsRemoved += Unreachable.InstsRemoved;
+        ChangesThisRound += Unreachable.RoutinesRemoved;
+      }
+      {
+        telemetry::Span PassSpan("pass.save_restore");
+        SaveRestoreElimStats SaveRestores =
+            eliminateSaveRestores(Img, Analysis.Prog, Analysis.Summaries);
+        Stats.SaveRestoreRegsEliminated += SaveRestores.EliminatedRegs;
+        Stats.SaveRestoreInstsDeleted += SaveRestores.DeletedInsts;
+        ChangesThisRound += SaveRestores.EliminatedRegs;
+      }
     }
 
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv);
+      RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
+      telemetry::Span PassSpan("pass.spill_removal");
       SpillRemovalStats Spills =
           removeCallSpills(Img, Analysis.Prog, Analysis.Summaries);
       Stats.SpillPairsRemoved += Spills.RemovedPairs;
@@ -107,6 +127,8 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
 
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv);
+      RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
+      telemetry::Span PassSpan("pass.dead_def");
       DeadDefStats DeadDefs =
           eliminateDeadDefs(Img, Analysis.Prog, Analysis.Summaries);
       Stats.DeadDefsDeleted += DeadDefs.DeletedInsts;
@@ -114,6 +136,10 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     }
 
     ++Stats.Rounds;
+
+    PipelineStats::RoundRecord Record;
+    Record.Changes = ChangesThisRound;
+    Record.AnalysisPeakBytes = RoundPeakBytes;
 
     bool Mutated = false;
     if (Opts.PostRoundMutator) {
@@ -124,6 +150,7 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     // Transactional commit: a round whose output is no longer a valid,
     // round-trippable image never reaches the caller.
     if (ChangesThisRound != 0 || Mutated) {
+      telemetry::Span CommitSpan("commit_check");
       std::string Failure = roundFailure(Img, BaselineDefects);
       if (!Failure.empty()) {
         Img = std::move(Snapshot);
@@ -131,6 +158,10 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
         ++Stats.RoundsRolledBack;
         Stats.LintReports.push_back("round " + std::to_string(Round + 1) +
                                     " rolled back: " + Failure);
+        Record.RolledBack = true;
+        Record.Seconds = RoundTimer.seconds();
+        Stats.PerRound.push_back(Record);
+        Stats.QuarantinedRoutines = RoundQuarantined;
         // Re-running the same transforms on the restored image would
         // fail the same way; stop here.
         break;
@@ -158,8 +189,31 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
       }
     }
 
+    Record.Seconds = RoundTimer.seconds();
+    Stats.PerRound.push_back(Record);
+    Stats.QuarantinedRoutines = RoundQuarantined;
+
     if (ChangesThisRound == 0)
       break;
+  }
+
+  if (telemetry::active()) {
+    telemetry::count("opt.rounds", Stats.Rounds);
+    telemetry::count("opt.rounds_rolled_back", Stats.RoundsRolledBack);
+    telemetry::count("opt.dead_defs_deleted", Stats.DeadDefsDeleted);
+    telemetry::count("opt.spill_pairs_removed", Stats.SpillPairsRemoved);
+    telemetry::count("opt.save_restore_regs_eliminated",
+                     Stats.SaveRestoreRegsEliminated);
+    telemetry::count("opt.unreachable_routines_removed",
+                     Stats.UnreachableRoutinesRemoved);
+    telemetry::count("opt.unreachable_insts_removed",
+                     Stats.UnreachableInstsRemoved);
+    telemetry::count("opt.lint_regressions", Stats.LintRegressions);
+    telemetry::count("opt.cross_check_mismatches",
+                     Stats.CrossCheckMismatches);
+    telemetry::count("opt.quarantined_routines", Stats.QuarantinedRoutines);
+    for (const PipelineStats::RoundRecord &R : Stats.PerRound)
+      telemetry::gaugeHigh("opt.memory.peak_bytes", R.AnalysisPeakBytes);
   }
   return Stats;
 }

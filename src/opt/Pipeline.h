@@ -94,6 +94,29 @@ struct PipelineStats {
   /// they were detected.
   std::vector<std::string> LintReports;
 
+  /// Cost and outcome of one analyze-transform round.
+  struct RoundRecord {
+    /// Wall-clock seconds the whole round took, including its analyses
+    /// and the transactional commit check.
+    double Seconds = 0;
+
+    /// Largest MemoryTracker peak across the round's analysis runs.
+    uint64_t AnalysisPeakBytes = 0;
+
+    /// Deletions/eliminations the round performed (before any rollback).
+    uint64_t Changes = 0;
+
+    /// True if the round's output failed verification and was discarded.
+    bool RolledBack = false;
+  };
+
+  /// One record per round actually executed, including rolled-back ones.
+  std::vector<RoundRecord> PerRound;
+
+  /// Routines the CFG builder quarantined in the last completed round's
+  /// analysis — code the optimizer refuses to touch (Section 3.5).
+  uint64_t QuarantinedRoutines = 0;
+
   uint64_t totalDeleted() const {
     return DeadDefsDeleted + 2 * SpillPairsRemoved +
            SaveRestoreInstsDeleted + UnreachableInstsRemoved;

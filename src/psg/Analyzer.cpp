@@ -4,6 +4,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "cfg/SaveRestore.h"
+#include "telemetry/Telemetry.h"
 
 using namespace spike;
 
@@ -11,6 +12,8 @@ AnalysisResult spike::analyzeImage(const Image &Img,
                                    const CallingConv &Conv,
                                    const AnalysisOptions &Opts) {
   AnalysisResult Result;
+  telemetry::Span AnalyzeSpan("analyze");
+  telemetry::count("analyze.runs");
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::CfgBuild);
@@ -19,6 +22,7 @@ AnalysisResult spike::analyzeImage(const Image &Img,
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Initialization);
+    telemetry::Span InitSpan("init");
     computeDefUbd(Result.Prog);
     Result.SavedPerRoutine.reserve(Result.Prog.Routines.size());
     for (const Routine &R : Result.Prog.Routines)
@@ -45,5 +49,7 @@ AnalysisResult spike::analyzeImage(const Image &Img,
 
   Result.Summaries = extractSummaries(Result.Prog, Result.Psg,
                                       Result.SavedPerRoutine);
+  telemetry::gaugeHigh("analyze.memory.peak_bytes",
+                       Result.Memory.peakBytes());
   return Result;
 }

@@ -4,6 +4,7 @@
 
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -338,6 +339,7 @@ private:
 ProgramSummaryGraph spike::buildPsg(const Program &Prog,
                                     const PsgBuildOptions &Opts,
                                     MemoryTracker *Mem) {
+  telemetry::Span BuildSpan("psg.build");
   ProgramSummaryGraph Psg;
   Psg.RoutineInfo.resize(Prog.Routines.size());
 
@@ -452,6 +454,22 @@ ProgramSummaryGraph spike::buildPsg(const Program &Prog,
                    Info.CallNodes.size() + Info.ReturnNodes.size() +
                    Info.BranchNodes.size()) *
                       sizeof(uint32_t));
+  }
+
+  if (telemetry::active()) {
+    telemetry::count("psg.nodes", Psg.Nodes.size());
+    telemetry::count("psg.edges", Psg.Edges.size());
+    telemetry::count("psg.flow_summary_edges", Psg.NumFlowSummaryEdges);
+    telemetry::count("psg.call_return_edges",
+                     Psg.Edges.size() - Psg.NumFlowSummaryEdges);
+    telemetry::count("psg.branch_nodes", Psg.NumBranchNodes);
+    uint64_t ByKind[7] = {};
+    for (const PsgNode &Node : Psg.Nodes)
+      ++ByKind[unsigned(Node.Kind)];
+    for (unsigned K = 0; K < 7; ++K)
+      telemetry::count(std::string("psg.nodes.") +
+                           psgNodeKindName(PsgNodeKind(K)),
+                       ByKind[K]);
   }
 
   return Psg;

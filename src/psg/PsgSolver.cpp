@@ -4,6 +4,7 @@
 
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 
@@ -46,6 +47,7 @@ bool isFixedPhase1(PsgNodeKind Kind) {
 //   converges to the least fixpoint — the meet-over-valid-paths value.
 SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                              const std::vector<RegSet> &SavedPerRoutine) {
+  telemetry::Span PhaseSpan("psg.phase1");
   SolverStats Stats;
   RegSet AllRegs = RegSet::allBelow(NumIntRegs);
   RegSet RaOnly;
@@ -116,6 +118,7 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
       RegSet NewMustDef, NewMayDef;
       bool First = true;
       for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+        ++Stats.EdgeVisits;
         const PsgNode &Dst = Psg.Nodes[Edge.Dst];
         RegSet ThroughMust = Dst.Sets.MustDef | Edge.Label.MustDef;
         NewMustDef = First ? ThroughMust : (NewMustDef & ThroughMust);
@@ -181,9 +184,11 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
       // Figure 8: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
       // MUST-DEF[E]), unioned across out-edges.
       RegSet NewMayUse;
-      for (const PsgEdge &Edge : Psg.outEdges(NodeId))
+      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+        ++Stats.EdgeVisits;
         NewMayUse |= Edge.Label.MayUse |
                      (Psg.Nodes[Edge.Dst].Sets.MayUse - Edge.Label.MustDef);
+      }
 
       if (NewMayUse == Node.Sets.MayUse)
         continue;
@@ -209,11 +214,14 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
     }
   }
 
+  telemetry::count("psg.phase1.worklist_pops", Stats.NodeEvaluations);
+  telemetry::count("psg.phase1.edge_visits", Stats.EdgeVisits);
   return Stats;
 }
 
 SolverStats spike::runPhase2(const Program &Prog,
                              ProgramSummaryGraph &Psg) {
+  telemetry::Span PhaseSpan("psg.phase2");
   SolverStats Stats;
 
   // Exit seeds: routines that can return to unknown code (the program
@@ -283,9 +291,11 @@ SolverStats spike::runPhase2(const Program &Prog,
     } else {
       // Figure 10: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
       // MUST-DEF[E]), unioned across out-edges.
-      for (const PsgEdge &Edge : Psg.outEdges(NodeId))
+      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+        ++Stats.EdgeVisits;
         NewLive |= Edge.Label.MayUse |
                    (Psg.Nodes[Edge.Dst].Live - Edge.Label.MustDef);
+      }
     }
 
     if (NewLive == Node.Live)
@@ -314,5 +324,7 @@ SolverStats spike::runPhase2(const Program &Prog,
     }
   }
 
+  telemetry::count("psg.phase2.worklist_pops", Stats.NodeEvaluations);
+  telemetry::count("psg.phase2.edge_visits", Stats.EdgeVisits);
   return Stats;
 }

@@ -33,9 +33,16 @@
 
 namespace spike {
 
-/// Solver statistics (used by tests and the ablation bench).
+/// Solver statistics (used by tests, the ablation bench, and the
+/// telemetry counters).
 struct SolverStats {
+  /// Worklist pops: each pop evaluates one node's dataflow equation.
   uint64_t NodeEvaluations = 0;
+
+  /// Out-edges visited across all evaluations; each visit is a constant
+  /// number of RegSet operations, so this tracks the solver's set-op
+  /// cost.
+  uint64_t EdgeVisits = 0;
 };
 
 /// Runs phase 1 to convergence.  \p SavedPerRoutine holds, per routine,

@@ -2,6 +2,8 @@
 
 #include "synth/CfgGenerator.h"
 
+#include "telemetry/Telemetry.h"
+
 #include "binary/ProgramBuilder.h"
 #include "isa/Registers.h"
 #include "support/Rng.h"
@@ -338,6 +340,8 @@ private:
 } // namespace
 
 Image spike::generateCfgProgram(const BenchmarkProfile &Profile) {
+  telemetry::Span GenSpan("synth.generate_cfg");
+  telemetry::count("synth.cfg_programs");
   Rng Rand(Profile.Seed);
 
   // Plan all routines first so call targets and secondary-entry names can

@@ -2,6 +2,8 @@
 
 #include "synth/ExecGenerator.h"
 
+#include "telemetry/Telemetry.h"
+
 #include "binary/ProgramBuilder.h"
 #include "isa/Registers.h"
 #include "support/Rng.h"
@@ -232,6 +234,8 @@ private:
 } // namespace
 
 Image spike::generateExecProgram(const ExecProfile &Profile) {
+  telemetry::Span GenSpan("synth.generate_exec");
+  telemetry::count("synth.exec_programs");
   Rng Rand(Profile.Seed);
   unsigned Count = std::max(2u, Profile.Routines);
 

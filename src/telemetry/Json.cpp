@@ -1,0 +1,276 @@
+//===- telemetry/Json.cpp - Minimal JSON document reader -------------------===//
+
+#include "telemetry/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> run() {
+    std::optional<JsonValue> Value = parseValue(/*Depth=*/0);
+    if (!Value)
+      return std::nullopt;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return Value;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  std::optional<JsonValue> fail(const char *Message) {
+    if (Error && Error->empty())
+      *Error = std::string(Message) + " at offset " + std::to_string(Pos);
+    return std::nullopt;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parseValue(unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of document");
+    char C = Text[Pos];
+    JsonValue Value;
+    switch (C) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"': {
+      std::optional<std::string> Str = parseString();
+      if (!Str)
+        return std::nullopt;
+      Value.K = JsonValue::Kind::String;
+      Value.Str = std::move(*Str);
+      return Value;
+    }
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Value.K = JsonValue::Kind::Bool;
+      Value.B = true;
+      return Value;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Value.K = JsonValue::Kind::Bool;
+      Value.B = false;
+      return Value;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      return Value;
+    default:
+      return parseNumber();
+    }
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Begin = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Begin)
+      return fail("expected a value");
+    std::string Digits(Text.substr(Begin, Pos - Begin));
+    char *End = nullptr;
+    double Num = std::strtod(Digits.c_str(), &End);
+    if (End != Digits.c_str() + Digits.size())
+      return fail("malformed number");
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Number;
+    Value.Num = Num;
+    return Value;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected a string");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char Esc = Text[Pos++];
+      switch (Esc) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += Esc;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (unsigned I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code += unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code += unsigned(H - 'A' + 10);
+          else {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+        }
+        // ASCII range only; everything the project writes stays there.
+        Out += Code < 0x80 ? char(Code) : '?';
+        break;
+      }
+      default:
+        fail("unknown escape");
+        return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parseArray(unsigned Depth) {
+    consume('[');
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Array;
+    skipWhitespace();
+    if (consume(']'))
+      return Value;
+    while (true) {
+      std::optional<JsonValue> Item = parseValue(Depth + 1);
+      if (!Item)
+        return std::nullopt;
+      Value.Items.push_back(std::move(*Item));
+      if (consume(']'))
+        return Value;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<JsonValue> parseObject(unsigned Depth) {
+    consume('{');
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Object;
+    skipWhitespace();
+    if (consume('}'))
+      return Value;
+    while (true) {
+      skipWhitespace();
+      std::optional<std::string> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      if (!consume(':'))
+        return fail("expected ':' after member name");
+      std::optional<JsonValue> Member = parseValue(Depth + 1);
+      if (!Member)
+        return std::nullopt;
+      Value.Members.emplace_back(std::move(*Key), std::move(*Member));
+      if (consume('}'))
+        return Value;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> spike::telemetry::parseJson(std::string_view Text,
+                                                     std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}
+
+std::optional<JsonValue>
+spike::telemetry::parseJsonFile(const std::string &Path,
+                                std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::string Contents;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Contents.append(Buffer, Read);
+  bool Bad = std::ferror(File) != 0;
+  std::fclose(File);
+  if (Bad) {
+    if (Error)
+      *Error = "read error on '" + Path + "'";
+    return std::nullopt;
+  }
+  return parseJson(Contents, Error);
+}

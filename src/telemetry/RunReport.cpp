@@ -1,0 +1,172 @@
+//===- telemetry/RunReport.cpp - Machine-readable run reports --------------===//
+
+#include "telemetry/RunReport.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+namespace {
+
+std::optional<RunReport> failParse(std::string *Error, const char *Message) {
+  if (Error && Error->empty())
+    *Error = Message;
+  return std::nullopt;
+}
+
+std::optional<RunReport> fromJson(const JsonValue &Doc, std::string *Error) {
+  if (!Doc.isObject())
+    return failParse(Error, "run report is not a JSON object");
+  if (Doc.stringOr("schema", "") != "spike-run-report")
+    return failParse(Error, "not a spike-run-report document");
+  if (Doc.numberOr("version", 0) != 1)
+    return failParse(Error, "unsupported spike-run-report version");
+
+  RunReport Report;
+  Report.Tool = Doc.stringOr("tool", "<unknown>");
+  Report.TotalSeconds = Doc.numberOr("total_seconds", 0);
+
+  if (const JsonValue *Phases = Doc.findArray("phases")) {
+    for (const JsonValue &Item : Phases->Items) {
+      if (!Item.isObject())
+        return failParse(Error, "phase entry is not an object");
+      RunReport::Phase Phase;
+      Phase.Path = Item.stringOr("path", "");
+      if (Phase.Path.empty())
+        return failParse(Error, "phase entry without a path");
+      Phase.Seconds = Item.numberOr("seconds", 0);
+      Phase.Count = uint64_t(Item.numberOr("count", 0));
+      Report.Phases.push_back(std::move(Phase));
+    }
+  }
+
+  auto ReadRegistry = [&](const char *Name,
+                          std::map<std::string, uint64_t> &Into) {
+    if (const JsonValue *Registry = Doc.findObject(Name))
+      for (const auto &[Key, Value] : Registry->Members)
+        if (Value.isNumber())
+          Into[Key] = uint64_t(Value.Num);
+  };
+  ReadRegistry("counters", Report.Counters);
+  ReadRegistry("gauges", Report.Gauges);
+  return Report;
+}
+
+const char *kindName(DiffRow::Kind K) {
+  switch (K) {
+  case DiffRow::Kind::Counter:
+    return "counter";
+  case DiffRow::Kind::Gauge:
+    return "gauge";
+  case DiffRow::Kind::Phase:
+    return "phase";
+  }
+  return "<unknown>";
+}
+
+/// Diffs one name->value registry into \p Diff.
+void diffRegistry(const std::map<std::string, uint64_t> &Baseline,
+                  const std::map<std::string, uint64_t> &Current,
+                  DiffRow::Kind K, const DiffOptions &Opts,
+                  ReportDiff &Diff) {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> Merged;
+  for (const auto &[Name, Value] : Baseline)
+    Merged[Name].first = Value;
+  for (const auto &[Name, Value] : Current)
+    Merged[Name].second = Value;
+
+  for (const auto &[Name, Values] : Merged) {
+    const auto [Base, Cur] = Values;
+    DiffRow Row;
+    Row.K = K;
+    Row.Name = Name;
+    Row.Baseline = double(Base);
+    Row.Current = double(Cur);
+    Row.Ratio = Base == 0 ? (Cur == 0 ? 1.0 : double(Cur)) // growth over 0
+                          : double(Cur) / double(Base);
+    Row.Regression =
+        Base != 0 && double(Cur) > double(Base) * (1 + Opts.MaxCounterGrowth);
+    Diff.Regressions += Row.Regression;
+    Diff.Rows.push_back(std::move(Row));
+  }
+}
+
+} // namespace
+
+std::optional<RunReport>
+spike::telemetry::parseRunReport(std::string_view Json, std::string *Error) {
+  std::optional<JsonValue> Doc = parseJson(Json, Error);
+  if (!Doc)
+    return std::nullopt;
+  return fromJson(*Doc, Error);
+}
+
+std::optional<RunReport>
+spike::telemetry::readRunReportFile(const std::string &Path,
+                                    std::string *Error) {
+  std::optional<JsonValue> Doc = parseJsonFile(Path, Error);
+  if (!Doc)
+    return std::nullopt;
+  return fromJson(*Doc, Error);
+}
+
+ReportDiff spike::telemetry::diffReports(const RunReport &Baseline,
+                                         const RunReport &Current,
+                                         const DiffOptions &Opts) {
+  ReportDiff Diff;
+  diffRegistry(Baseline.Counters, Current.Counters, DiffRow::Kind::Counter,
+               Opts, Diff);
+  diffRegistry(Baseline.Gauges, Current.Gauges, DiffRow::Kind::Gauge, Opts,
+               Diff);
+
+  std::map<std::string, std::pair<double, double>> Phases;
+  for (const RunReport::Phase &P : Baseline.Phases)
+    Phases[P.Path].first += P.Seconds;
+  for (const RunReport::Phase &P : Current.Phases)
+    Phases[P.Path].second += P.Seconds;
+  for (const auto &[Path, Times] : Phases) {
+    const auto [Base, Cur] = Times;
+    DiffRow Row;
+    Row.K = DiffRow::Kind::Phase;
+    Row.Name = Path;
+    Row.Baseline = Base;
+    Row.Current = Cur;
+    Row.Ratio = Base > 0 ? Cur / Base : (Cur > 0 ? Cur / 1e-9 : 1.0);
+    Row.Regression = Base > Opts.TimeFloorSeconds &&
+                     Cur > Opts.TimeFloorSeconds &&
+                     Cur > Base * (1 + Opts.MaxTimeGrowth);
+    Diff.Regressions += Row.Regression;
+    Diff.Rows.push_back(std::move(Row));
+  }
+  return Diff;
+}
+
+std::string ReportDiff::str() const {
+  std::string Out;
+  char Line[256];
+  for (const DiffRow &Row : Rows) {
+    if (Row.Baseline == Row.Current && !Row.Regression)
+      continue; // Unchanged quantities would drown the signal.
+    if (Row.K == DiffRow::Kind::Phase)
+      std::snprintf(Line, sizeof(Line),
+                    "%s %-42s %12.6f -> %12.6f s  (x%.2f)%s\n",
+                    kindName(Row.K), Row.Name.c_str(), Row.Baseline,
+                    Row.Current, Row.Ratio,
+                    Row.Regression ? "  REGRESSION" : "");
+    else
+      std::snprintf(Line, sizeof(Line),
+                    "%s %-42s %12.0f -> %12.0f    (x%.2f)%s\n",
+                    kindName(Row.K), Row.Name.c_str(), Row.Baseline,
+                    Row.Current, Row.Ratio,
+                    Row.Regression ? "  REGRESSION" : "");
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line), "%u regression(s)\n", Regressions);
+  Out += Line;
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- telemetry/RunReport.h - Machine-readable run reports ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RunReport document: one JSON file per tool run holding the
+/// session's phase breakdown (span aggregation), counters, and gauges —
+/// the machine-readable form of the paper's Table 4/5-style stage
+/// statistics.  Written by telemetry::runReportJson(), read back here,
+/// and diffed by spike-stats (and CI) for threshold-based regression
+/// verdicts.
+///
+/// Schema (version 1):
+///
+/// \code
+///   {
+///     "schema": "spike-run-report",
+///     "version": 1,
+///     "tool": "spike-analyze",
+///     "total_seconds": 1.234567,
+///     "phases": [
+///       {"path": "analyze/cfg.build", "seconds": 0.123, "count": 1},
+///       ...
+///     ],
+///     "counters": {"psg.nodes": 4242, ...},
+///     "gauges": {"analyze.memory.peak_bytes": 123456, ...}
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TELEMETRY_RUNREPORT_H
+#define SPIKE_TELEMETRY_RUNREPORT_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spike {
+namespace telemetry {
+
+/// A parsed RunReport document.
+struct RunReport {
+  std::string Tool;
+  double TotalSeconds = 0;
+
+  struct Phase {
+    std::string Path;
+    double Seconds = 0;
+    uint64_t Count = 0;
+  };
+  std::vector<Phase> Phases;
+
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, uint64_t> Gauges;
+
+  /// Seconds of phase \p Path, or 0 if absent.
+  double phaseSeconds(const std::string &Path) const {
+    for (const Phase &P : Phases)
+      if (P.Path == Path)
+        return P.Seconds;
+    return 0;
+  }
+};
+
+/// Parses a RunReport from JSON text; rejects documents whose "schema"
+/// is not "spike-run-report" or whose "version" is unknown.
+std::optional<RunReport> parseRunReport(std::string_view Json,
+                                        std::string *Error = nullptr);
+
+/// Reads and parses \p Path.
+std::optional<RunReport> readRunReportFile(const std::string &Path,
+                                           std::string *Error = nullptr);
+
+/// Thresholds for the regression verdict.
+struct DiffOptions {
+  /// A counter or gauge regresses when it grows by more than this
+  /// fraction over a nonzero baseline.
+  double MaxCounterGrowth = 0.10;
+
+  /// A phase regresses when its time grows by more than this fraction...
+  double MaxTimeGrowth = 0.25;
+
+  /// ...and both sides are above this floor (sub-floor phases are noise).
+  double TimeFloorSeconds = 0.01;
+};
+
+/// One compared quantity.
+struct DiffRow {
+  enum class Kind { Counter, Gauge, Phase };
+  Kind K = Kind::Counter;
+  std::string Name;
+  double Baseline = 0;
+  double Current = 0;
+
+  /// Current / Baseline; 1.0 when both are zero, +inf-ish growth is
+  /// capped by the caller's rendering.
+  double Ratio = 1.0;
+
+  bool Regression = false;
+};
+
+/// The diff of two RunReports.
+struct ReportDiff {
+  std::vector<DiffRow> Rows;
+  unsigned Regressions = 0;
+
+  /// Human-readable rendering: one line per changed quantity, regressions
+  /// flagged, then the verdict.
+  std::string str() const;
+};
+
+/// Compares \p Current against \p Baseline.  Quantities missing from
+/// either side are treated as zero on that side; growth over a zero
+/// baseline never regresses (new counters appear whenever new code is
+/// instrumented).
+ReportDiff diffReports(const RunReport &Baseline, const RunReport &Current,
+                       const DiffOptions &Opts = {});
+
+} // namespace telemetry
+} // namespace spike
+
+#endif // SPIKE_TELEMETRY_RUNREPORT_H

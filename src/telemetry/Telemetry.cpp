@@ -1,0 +1,205 @@
+//===- telemetry/Telemetry.cpp - Pipeline instrumentation ------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+uint32_t Session::beginSpan(std::string_view Name) {
+  SpanEvent Event;
+  Event.Name = std::string(Name);
+  Event.Parent = OpenStack.empty() ? -1 : int32_t(OpenStack.back());
+  Event.StartNs = nowNs();
+  uint32_t Id = uint32_t(Spans.size());
+  Spans.push_back(std::move(Event));
+  OpenStack.push_back(Id);
+  return Id;
+}
+
+void Session::endSpan(uint32_t Id) {
+  assert(Id < Spans.size() && "ending unknown span");
+  uint64_t Now = nowNs();
+  // Close any span opened after Id that was leaked open (an early return
+  // that skipped a nested endSpan); RAII Spans never trigger this.
+  while (!OpenStack.empty()) {
+    uint32_t Top = OpenStack.back();
+    OpenStack.pop_back();
+    SpanEvent &Event = Spans[Top];
+    if (Event.Open) {
+      Event.DurNs = Now - Event.StartNs;
+      Event.Open = false;
+    }
+    if (Top == Id)
+      return;
+  }
+}
+
+std::string Session::spanPath(uint32_t Id) const {
+  const SpanEvent &Event = Spans[Id];
+  if (Event.Parent < 0)
+    return Event.Name;
+  return spanPath(uint32_t(Event.Parent)) + "/" + Event.Name;
+}
+
+std::vector<PhaseRow> Session::phaseRows() const {
+  std::map<std::string, PhaseRow> ByPath;
+  for (uint32_t Id = 0; Id < Spans.size(); ++Id) {
+    const SpanEvent &Event = Spans[Id];
+    if (Event.Open)
+      continue;
+    std::string Path = spanPath(Id);
+    PhaseRow &Row = ByPath[Path];
+    Row.Path = Path;
+    Row.Seconds += double(Event.DurNs) * 1e-9;
+    Row.Count += 1;
+  }
+  std::vector<PhaseRow> Rows;
+  Rows.reserve(ByPath.size());
+  for (auto &[Path, Row] : ByPath)
+    Rows.push_back(std::move(Row));
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Active-session plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+Session *ActiveSession = nullptr;
+} // namespace
+
+Session *spike::telemetry::active() { return ActiveSession; }
+
+SessionScope::SessionScope(Session &S) : Previous(ActiveSession) {
+  ActiveSession = &S;
+}
+
+SessionScope::~SessionScope() { ActiveSession = Previous; }
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Escapes \p S for a JSON string literal.
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string formatDouble(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6f", Value);
+  return Buffer;
+}
+
+} // namespace
+
+std::string spike::telemetry::traceJson(const Session &S) {
+  std::string Out;
+  Out += "{\"displayTimeUnit\": \"ms\",\n";
+  Out += " \"otherData\": {\"tool\": \"" + escape(S.tool()) + "\"},\n";
+  Out += " \"traceEvents\": [";
+  bool First = true;
+  for (uint32_t Id = 0; Id < S.spans().size(); ++Id) {
+    const SpanEvent &Event = S.spans()[Id];
+    if (Event.Open)
+      continue;
+    if (!First)
+      Out += ",";
+    First = false;
+    // Complete ("X") events with microsecond timestamps, one synthetic
+    // pid/tid: chrome://tracing and Perfetto reconstruct nesting from
+    // ts/dur overlap.
+    Out += "\n  {\"name\": \"" + escape(Event.Name) +
+           "\", \"cat\": \"spike\", \"ph\": \"X\", \"pid\": 1, "
+           "\"tid\": 1, \"ts\": " +
+           formatDouble(double(Event.StartNs) * 1e-3) +
+           ", \"dur\": " + formatDouble(double(Event.DurNs) * 1e-3) + "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string spike::telemetry::runReportJson(const Session &S) {
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"schema\": \"spike-run-report\",\n";
+  Out += "  \"version\": 1,\n";
+  Out += "  \"tool\": \"" + escape(S.tool()) + "\",\n";
+  Out += "  \"total_seconds\": " + formatDouble(S.elapsedSeconds()) + ",\n";
+
+  Out += "  \"phases\": [";
+  std::vector<PhaseRow> Rows = S.phaseRows();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "    {\"path\": \"" + escape(Rows[I].Path) +
+           "\", \"seconds\": " + formatDouble(Rows[I].Seconds) +
+           ", \"count\": " + std::to_string(Rows[I].Count) + "}";
+  }
+  Out += Rows.empty() ? "],\n" : "\n  ],\n";
+
+  auto RenderRegistry = [&](const Session::Registry &Registry) {
+    bool First = true;
+    for (const auto &[Name, Value] : Registry) {
+      Out += First ? "\n" : ",\n";
+      First = false;
+      Out += "    \"" + escape(Name) + "\": " + std::to_string(Value);
+    }
+    Out += First ? "}" : "\n  }";
+  };
+  Out += "  \"counters\": {";
+  RenderRegistry(S.counters());
+  Out += ",\n  \"gauges\": {";
+  RenderRegistry(S.gauges());
+  Out += "\n}\n";
+  return Out;
+}
+
+bool spike::telemetry::writeTextFile(const std::string &Path,
+                                     const std::string &Contents) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), File);
+  bool Ok = Written == Contents.size();
+  Ok = std::fclose(File) == 0 && Ok;
+  return Ok;
+}

@@ -1,0 +1,246 @@
+//===- telemetry/Telemetry.h - Pipeline instrumentation -------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zero-cost-when-disabled instrumentation for the whole pipeline.
+///
+/// Three cooperating pieces:
+///
+///   - **Spans**: hierarchical RAII scope timers.  Every instrumented
+///     layer opens a Span around its unit of work ("cfg.build",
+///     "psg.phase1", "opt.round", ...); nesting is tracked so a span's
+///     slash-joined ancestor path ("opt.pipeline/opt.round/analyze")
+///     names one row of the paper's stage breakdowns.  The raw events
+///     render as Chrome trace-event / Perfetto JSON (traceJson), the
+///     per-path aggregation as the "phases" array of a RunReport.
+///
+///   - **Counters and gauges**: a typed registry of named uint64
+///     measurements.  Counters accumulate monotonically (worklist pops,
+///     node evaluations, PSG nodes built, instructions deleted) and are
+///     deterministic across identical runs; gauges record last-value or
+///     high-watermark readings (peak analysis bytes) and may be
+///     time-derived.
+///
+///   - **Session**: owns the above for one tool run.  A Session becomes
+///     observable by installing it as the process-wide *active* session
+///     (SessionScope); all instrumentation helpers are no-ops — no
+///     allocation, no clock read, no output — while no session is
+///     active, so production code pays one pointer test per site.
+///
+/// Like the rest of the repo, sessions are single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TELEMETRY_TELEMETRY_H
+#define SPIKE_TELEMETRY_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spike {
+namespace telemetry {
+
+/// One recorded span: a named interval with a parent link.
+struct SpanEvent {
+  std::string Name;
+
+  /// Index of the enclosing span in Session::spans(), or -1 for a root.
+  int32_t Parent = -1;
+
+  /// Nanoseconds since the session epoch.
+  uint64_t StartNs = 0;
+
+  /// Duration; meaningful once Open is false.
+  uint64_t DurNs = 0;
+
+  bool Open = true;
+};
+
+/// One row of the per-path phase aggregation: total seconds and entry
+/// count of every span whose slash-joined ancestor path is \p Path.
+struct PhaseRow {
+  std::string Path;
+  double Seconds = 0;
+  uint64_t Count = 0;
+};
+
+/// All telemetry of one tool run.
+class Session {
+public:
+  explicit Session(std::string Tool) : Tool(std::move(Tool)) {
+    Epoch = Clock::now();
+  }
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  const std::string &tool() const { return Tool; }
+
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(std::string_view Name, uint64_t Delta) {
+    auto It = Counters.find(Name);
+    if (It == Counters.end())
+      Counters.emplace(std::string(Name), Delta);
+    else
+      It->second += Delta;
+  }
+
+  /// Returns counter \p Name, or 0 if never touched.
+  uint64_t counter(std::string_view Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Overwrites gauge \p Name.
+  void set(std::string_view Name, uint64_t Value) {
+    auto It = Gauges.find(Name);
+    if (It == Gauges.end())
+      Gauges.emplace(std::string(Name), Value);
+    else
+      It->second = Value;
+  }
+
+  /// Raises gauge \p Name to \p Value if below it (high-watermark).
+  void high(std::string_view Name, uint64_t Value) {
+    auto It = Gauges.find(Name);
+    if (It == Gauges.end())
+      Gauges.emplace(std::string(Name), Value);
+    else if (It->second < Value)
+      It->second = Value;
+  }
+
+  /// Returns gauge \p Name, or 0 if never set.
+  uint64_t gauge(std::string_view Name) const {
+    auto It = Gauges.find(Name);
+    return It == Gauges.end() ? 0 : It->second;
+  }
+
+  using Registry = std::map<std::string, uint64_t, std::less<>>;
+  const Registry &counters() const { return Counters; }
+  const Registry &gauges() const { return Gauges; }
+
+  /// Opens a span named \p Name nested under the innermost open span.
+  /// Returns its id for endSpan().
+  uint32_t beginSpan(std::string_view Name);
+
+  /// Closes span \p Id (and, defensively, any span opened after it that
+  /// was leaked open).
+  void endSpan(uint32_t Id);
+
+  const std::vector<SpanEvent> &spans() const { return Spans; }
+
+  /// Seconds recorded for closed span \p Id.
+  double spanSeconds(uint32_t Id) const {
+    return double(Spans[Id].DurNs) * 1e-9;
+  }
+
+  /// Wall-clock seconds since the session was created.
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Epoch).count();
+  }
+
+  /// Aggregates closed spans by slash-joined ancestor path, sorted by
+  /// path.
+  std::vector<PhaseRow> phaseRows() const;
+
+  /// The slash-joined ancestor path of span \p Id ("a/b/c").
+  std::string spanPath(uint32_t Id) const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  uint64_t nowNs() const {
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - Epoch)
+                        .count());
+  }
+
+  std::string Tool;
+  Clock::time_point Epoch;
+  Registry Counters;
+  Registry Gauges;
+  std::vector<SpanEvent> Spans;
+  std::vector<uint32_t> OpenStack;
+};
+
+/// Returns the active session, or null when telemetry is disabled.
+Session *active();
+
+/// Installs a session as active for a scope; nests (the previous active
+/// session, if any, is restored on destruction).
+class SessionScope {
+public:
+  explicit SessionScope(Session &S);
+  ~SessionScope();
+
+  SessionScope(const SessionScope &) = delete;
+  SessionScope &operator=(const SessionScope &) = delete;
+
+private:
+  Session *Previous;
+};
+
+/// RAII span charged to the active session; free when none is active.
+class Span {
+public:
+  explicit Span(std::string_view Name) {
+    if (Session *S = active()) {
+      Owner = S;
+      Id = S->beginSpan(Name);
+    }
+  }
+
+  ~Span() {
+    if (Owner)
+      Owner->endSpan(Id);
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  Session *Owner = nullptr;
+  uint32_t Id = 0;
+};
+
+/// Adds \p Delta to counter \p Name of the active session, if any.
+inline void count(std::string_view Name, uint64_t Delta = 1) {
+  if (Session *S = active())
+    S->add(Name, Delta);
+}
+
+/// Overwrites gauge \p Name of the active session, if any.
+inline void gaugeSet(std::string_view Name, uint64_t Value) {
+  if (Session *S = active())
+    S->set(Name, Value);
+}
+
+/// Raises gauge \p Name of the active session, if any.
+inline void gaugeHigh(std::string_view Name, uint64_t Value) {
+  if (Session *S = active())
+    S->high(Name, Value);
+}
+
+/// Renders the session's spans as a Chrome trace-event / Perfetto JSON
+/// document ("traceEvents" complete events, microsecond timestamps).
+std::string traceJson(const Session &S);
+
+/// Renders the session as a RunReport JSON document (schema
+/// "spike-run-report" version 1: tool, total_seconds, phases, counters,
+/// gauges).  See telemetry/RunReport.h for the reader and differ.
+std::string runReportJson(const Session &S);
+
+/// Writes \p Contents to \p Path; false (with errno intact) on failure.
+bool writeTextFile(const std::string &Path, const std::string &Contents);
+
+} // namespace telemetry
+} // namespace spike
+
+#endif // SPIKE_TELEMETRY_TELEMETRY_H

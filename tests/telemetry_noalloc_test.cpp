@@ -1,0 +1,80 @@
+//===- tests/telemetry_noalloc_test.cpp - Disabled-mode overhead -----------===//
+//
+// Proves the "zero-cost when disabled" claim at the allocator level: with
+// no active session, Span construction, count(), gaugeSet(), and
+// gaugeHigh() perform no heap allocation at all.
+//
+// This lives in its own binary (not spike_tests) because it replaces the
+// global operator new/delete with counting versions — a program-wide
+// change no other test should be subjected to.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> LiveAllocations{0};
+
+} // namespace
+
+void *operator new(std::size_t Size) {
+  LiveAllocations.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+
+void *operator new[](std::size_t Size) { return operator new(Size); }
+void operator delete[](void *P) noexcept { operator delete(P); }
+void operator delete[](void *P, std::size_t) noexcept { operator delete(P); }
+
+namespace {
+
+using namespace spike;
+
+TEST(TelemetryNoAlloc, AllocationCounterWorks) {
+  uint64_t Before = LiveAllocations.load();
+  // Direct operator-new call: unlike a new-expression, it cannot be
+  // elided by the optimizer.
+  void *P = ::operator new(32);
+  ::operator delete(P);
+  EXPECT_GT(LiveAllocations.load(), Before);
+}
+
+TEST(TelemetryNoAlloc, DisabledModePerformsNoAllocations) {
+  ASSERT_EQ(telemetry::active(), nullptr);
+
+  uint64_t Before = LiveAllocations.load();
+  for (int I = 0; I < 1000; ++I) {
+    telemetry::Span S("span.that.would.allocate.if.recorded");
+    telemetry::count("counter.name", 3);
+    telemetry::gaugeSet("gauge.name", 5);
+    telemetry::gaugeHigh("gauge.name", 9);
+  }
+  EXPECT_EQ(LiveAllocations.load(), Before);
+}
+
+TEST(TelemetryNoAlloc, EnabledModeRecords) {
+  // Sanity: the same calls do observe once a session is active, so the
+  // disabled-mode result above is not vacuous.
+  telemetry::Session S("noalloc");
+  {
+    telemetry::SessionScope Scope(S);
+    telemetry::Span Span("sp");
+    telemetry::count("c", 2);
+  }
+  EXPECT_EQ(S.counter("c"), 2u);
+  EXPECT_EQ(S.spans().size(), 1u);
+}
+
+} // namespace

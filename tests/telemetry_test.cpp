@@ -1,0 +1,349 @@
+//===- tests/telemetry_test.cpp - Telemetry layer tests --------------------===//
+//
+// Covers the instrumentation layer end to end: span hierarchy and phase
+// aggregation, the Chrome trace-event and RunReport JSON documents
+// (schema-checked through the in-tree JSON parser), counter determinism
+// across identical runs, disabled-mode behavior, and the RunReport
+// differ's thresholds.  (The disabled-mode allocation guarantee has its
+// own binary: telemetry_noalloc_test.cpp.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "psg/Analyzer.h"
+#include "synth/CfgGenerator.h"
+#include "synth/Profiles.h"
+#include "telemetry/Json.h"
+#include "telemetry/RunReport.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Session, spans, registry
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetrySession, CountersAndGauges) {
+  Session S("test");
+  S.add("a", 2);
+  S.add("a", 3);
+  S.set("g", 7);
+  S.set("g", 4);
+  S.high("h", 10);
+  S.high("h", 3);
+  EXPECT_EQ(S.counter("a"), 5u);
+  EXPECT_EQ(S.counter("missing"), 0u);
+  EXPECT_EQ(S.gauge("g"), 4u);
+  EXPECT_EQ(S.gauge("h"), 10u);
+}
+
+TEST(TelemetrySession, SpanHierarchyAndPhaseRows) {
+  Session S("test");
+  uint32_t Outer = S.beginSpan("outer");
+  uint32_t Inner1 = S.beginSpan("inner");
+  S.endSpan(Inner1);
+  uint32_t Inner2 = S.beginSpan("inner");
+  S.endSpan(Inner2);
+  S.endSpan(Outer);
+
+  ASSERT_EQ(S.spans().size(), 3u);
+  EXPECT_EQ(S.spans()[0].Parent, -1);
+  EXPECT_EQ(S.spans()[1].Parent, 0);
+  EXPECT_EQ(S.spans()[2].Parent, 0);
+  EXPECT_EQ(S.spanPath(Inner2), "outer/inner");
+
+  std::vector<PhaseRow> Rows = S.phaseRows();
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].Path, "outer");
+  EXPECT_EQ(Rows[0].Count, 1u);
+  EXPECT_EQ(Rows[1].Path, "outer/inner");
+  EXPECT_EQ(Rows[1].Count, 2u);
+  EXPECT_GE(Rows[0].Seconds, Rows[1].Seconds);
+}
+
+TEST(TelemetrySession, EndSpanClosesLeakedChildren) {
+  Session S("test");
+  uint32_t Outer = S.beginSpan("outer");
+  S.beginSpan("leaked");
+  S.endSpan(Outer); // Must close "leaked" too, not corrupt the stack.
+  for (const SpanEvent &E : S.spans())
+    EXPECT_FALSE(E.Open);
+  uint32_t Next = S.beginSpan("next");
+  S.endSpan(Next);
+  EXPECT_EQ(S.spans().back().Parent, -1);
+}
+
+TEST(TelemetrySession, ScopeInstallsAndNests) {
+  EXPECT_EQ(active(), nullptr);
+  Session A("a");
+  {
+    SessionScope ScopeA(A);
+    EXPECT_EQ(active(), &A);
+    Session B("b");
+    {
+      SessionScope ScopeB(B);
+      EXPECT_EQ(active(), &B);
+      count("x");
+    }
+    EXPECT_EQ(active(), &A);
+    count("x");
+    EXPECT_EQ(B.counter("x"), 1u);
+  }
+  EXPECT_EQ(active(), nullptr);
+  EXPECT_EQ(A.counter("x"), 1u);
+}
+
+TEST(TelemetryHelpers, NoOpWhenDisabled) {
+  ASSERT_EQ(active(), nullptr);
+  // None of these may crash or observably do anything.
+  count("nope", 5);
+  gaugeSet("nope", 5);
+  gaugeHigh("nope", 5);
+  Span S("nope");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON documents
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryJson, TraceDocumentSchema) {
+  Session S("tracer");
+  {
+    SessionScope Scope(S);
+    Span Outer("outer");
+    Span Inner("inner");
+    count("c", 1);
+  }
+
+  std::string Error;
+  std::optional<JsonValue> Doc = parseJson(traceJson(S), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  ASSERT_TRUE(Doc->isObject());
+  EXPECT_EQ(Doc->stringOr("displayTimeUnit", ""), "ms");
+
+  const JsonValue *Events = Doc->findArray("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->Items.size(), 2u);
+  for (const JsonValue &Event : Events->Items) {
+    ASSERT_TRUE(Event.isObject());
+    EXPECT_EQ(Event.stringOr("ph", ""), "X");
+    EXPECT_EQ(Event.numberOr("pid", -1), 1);
+    EXPECT_EQ(Event.numberOr("tid", -1), 1);
+    EXPECT_FALSE(Event.stringOr("name", "").empty());
+    EXPECT_GE(Event.numberOr("ts", -1), 0);
+    EXPECT_GE(Event.numberOr("dur", -1), 0);
+  }
+
+  const JsonValue *Other = Doc->findObject("otherData");
+  ASSERT_NE(Other, nullptr);
+  EXPECT_EQ(Other->stringOr("tool", ""), "tracer");
+}
+
+TEST(TelemetryJson, RunReportRoundTrip) {
+  Session S("rtt");
+  {
+    SessionScope Scope(S);
+    Span Outer("outer");
+    Span Inner("inner");
+    count("counter.one", 41);
+    count("counter.one");
+    gaugeHigh("gauge.peak", 1 << 20);
+  }
+
+  std::string Error;
+  std::optional<RunReport> Report =
+      parseRunReport(runReportJson(S), &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_EQ(Report->Tool, "rtt");
+  EXPECT_GT(Report->TotalSeconds, 0.0);
+  EXPECT_EQ(Report->Counters.at("counter.one"), 42u);
+  EXPECT_EQ(Report->Gauges.at("gauge.peak"), uint64_t(1) << 20);
+  ASSERT_EQ(Report->Phases.size(), 2u);
+  EXPECT_EQ(Report->Phases[0].Path, "outer");
+  EXPECT_EQ(Report->Phases[1].Path, "outer/inner");
+  EXPECT_EQ(Report->phaseSeconds("outer/inner"),
+            Report->Phases[1].Seconds);
+}
+
+TEST(TelemetryJson, StringEscaping) {
+  Session S("quote\"back\\slash\ttab");
+  S.add("key\nwith\nnewlines", 1);
+  std::string Error;
+  std::optional<RunReport> Report =
+      parseRunReport(runReportJson(S), &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_EQ(Report->Tool, "quote\"back\\slash\ttab");
+  EXPECT_EQ(Report->Counters.count("key\nwith\nnewlines"), 1u);
+}
+
+TEST(TelemetryJson, ParserRejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseJson("", &Error).has_value());
+  EXPECT_FALSE(parseJson("{", &Error).has_value());
+  EXPECT_FALSE(parseJson("{\"a\":}", &Error).has_value());
+  EXPECT_FALSE(parseJson("[1,2,]", &Error).has_value());
+  EXPECT_FALSE(parseJson("{} trailing", &Error).has_value());
+  EXPECT_FALSE(parseJson("\"unterminated", &Error).has_value());
+  // Depth bomb: beyond MaxDepth must fail cleanly, not overflow.
+  std::string Deep(500, '[');
+  Deep += std::string(500, ']');
+  EXPECT_FALSE(parseJson(Deep, &Error).has_value());
+}
+
+TEST(TelemetryJson, ParserAcceptsBasics) {
+  std::string Error;
+  std::optional<JsonValue> Doc = parseJson(
+      R"({"s":"aA\n","n":-1.5e2,"b":true,"z":null,"a":[1,2]})",
+      &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  EXPECT_EQ(Doc->stringOr("s", ""), "aA\n");
+  EXPECT_EQ(Doc->numberOr("n", 0), -150.0);
+  const JsonValue *B = Doc->find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B->isBool() && B->B);
+  const JsonValue *A = Doc->findArray("a");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Items.size(), 2u);
+}
+
+TEST(TelemetryJson, RunReportParserRejectsWrongSchema) {
+  std::string Error;
+  EXPECT_FALSE(parseRunReport("{}", &Error).has_value());
+  EXPECT_FALSE(
+      parseRunReport(R"({"schema":"other","version":1})", &Error)
+          .has_value());
+  EXPECT_FALSE(
+      parseRunReport(R"({"schema":"spike-run-report","version":2})",
+                     &Error)
+          .has_value());
+  EXPECT_TRUE(
+      parseRunReport(R"({"schema":"spike-run-report","version":1})",
+                     &Error)
+          .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+/// Runs the full analysis under a fresh session and returns its counters.
+Session::Registry analyzeCounters(const Image &Img) {
+  Session S("determinism");
+  {
+    SessionScope Scope(S);
+    AnalysisResult Result = analyzeImage(Img);
+    (void)Result;
+  }
+  return S.counters();
+}
+
+TEST(TelemetryDeterminism, IdenticalRunsProduceIdenticalCounters) {
+  BenchmarkProfile Profile = scaledProfile(*findProfile("go"), 0.05);
+  Image Img = generateCfgProgram(Profile);
+
+  Session::Registry First = analyzeCounters(Img);
+  Session::Registry Second = analyzeCounters(Img);
+  EXPECT_FALSE(First.empty());
+  EXPECT_EQ(First, Second);
+
+  // The structural counters the paper's tables are built from must be
+  // present and nonzero.
+  for (const char *Name :
+       {"cfg.routines", "cfg.blocks", "cfg.insts", "psg.nodes",
+        "psg.edges", "psg.phase1.worklist_pops", "psg.phase1.edge_visits",
+        "psg.phase2.worklist_pops"})
+    EXPECT_GT(First[Name], 0u) << Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Diffing
+//===----------------------------------------------------------------------===//
+
+RunReport reportWith(std::map<std::string, uint64_t> Counters,
+                     std::vector<RunReport::Phase> Phases = {}) {
+  RunReport R;
+  R.Tool = "test";
+  R.Counters = std::move(Counters);
+  R.Phases = std::move(Phases);
+  return R;
+}
+
+TEST(TelemetryDiff, IdenticalReportsHaveNoRegressions) {
+  RunReport R = reportWith({{"a", 10}, {"b", 0}},
+                           {{"p", 1.0, 1}, {"q", 0.5, 2}});
+  ReportDiff Diff = diffReports(R, R, DiffOptions());
+  EXPECT_EQ(Diff.Regressions, 0u);
+  EXPECT_NE(Diff.str().find("0 regression(s)"), std::string::npos);
+}
+
+TEST(TelemetryDiff, CounterGrowthBeyondThresholdRegresses) {
+  DiffOptions Opts;
+  Opts.MaxCounterGrowth = 0.10;
+  RunReport Base = reportWith({{"a", 100}});
+
+  ReportDiff Ok = diffReports(Base, reportWith({{"a", 110}}), Opts);
+  EXPECT_EQ(Ok.Regressions, 0u);
+
+  ReportDiff Bad = diffReports(Base, reportWith({{"a", 111}}), Opts);
+  EXPECT_EQ(Bad.Regressions, 1u);
+  EXPECT_NE(Bad.str().find("REGRESSION"), std::string::npos);
+
+  // Shrinking is never a regression; growth over zero is never one
+  // either (new instrumentation appears in new revisions).
+  EXPECT_EQ(diffReports(Base, reportWith({{"a", 1}}), Opts).Regressions,
+            0u);
+  EXPECT_EQ(diffReports(reportWith({{"a", 0}}),
+                        reportWith({{"a", 50}}), Opts)
+                .Regressions,
+            0u);
+  EXPECT_EQ(diffReports(reportWith({}), reportWith({{"new", 5}}), Opts)
+                .Regressions,
+            0u);
+}
+
+TEST(TelemetryDiff, PhaseTimeUsesFloorAndThreshold) {
+  DiffOptions Opts;
+  Opts.MaxTimeGrowth = 0.25;
+  Opts.TimeFloorSeconds = 0.01;
+
+  auto PhaseReport = [](double Seconds) {
+    RunReport R;
+    R.Tool = "test";
+    R.Phases.push_back({"solve", Seconds, 1});
+    return R;
+  };
+
+  // Both sides under the floor: noise, never a regression.
+  EXPECT_EQ(diffReports(PhaseReport(0.001), PhaseReport(0.009),
+                        Opts)
+                .Regressions,
+            0u);
+  // Above floor but within threshold.
+  EXPECT_EQ(diffReports(PhaseReport(0.1), PhaseReport(0.12), Opts)
+                .Regressions,
+            0u);
+  // Above floor and beyond threshold.
+  EXPECT_EQ(diffReports(PhaseReport(0.1), PhaseReport(0.2), Opts)
+                .Regressions,
+            1u);
+}
+
+TEST(TelemetryDiff, RenderingSkipsUnchangedRows) {
+  DiffOptions Opts;
+  RunReport Base = reportWith({{"same", 3}, {"grew", 100}});
+  RunReport Cur = reportWith({{"same", 3}, {"grew", 200}});
+  ReportDiff Diff = diffReports(Base, Cur, Opts);
+  ASSERT_EQ(Diff.Regressions, 1u);
+  std::string Text = Diff.str();
+  EXPECT_EQ(Text.find("same"), std::string::npos);
+  EXPECT_NE(Text.find("counter grew"), std::string::npos);
+  EXPECT_NE(Text.find("(x2.00)"), std::string::npos);
+  EXPECT_NE(Text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(Text.find("1 regression(s)\n"), std::string::npos);
+}
+
+} // namespace

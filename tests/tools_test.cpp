@@ -7,6 +7,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "telemetry/Json.h"
+#include "telemetry/RunReport.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -154,4 +157,162 @@ TEST(ToolsTest, UsageErrorsExitNonZero) {
   EXPECT_NE(Status, 0);
   runCommand(toolsDir() + "/spike-objdump --bogus", &Status);
   EXPECT_NE(Status, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry flags and spike-stats
+//===----------------------------------------------------------------------===//
+
+TEST(ToolsTest, AnalyzeWritesMetricsAndTrace) {
+  std::string Asm = scratchPath("telemetry_demo.s");
+  std::string Img = scratchPath("telemetry_demo.spkx");
+  std::string Metrics = scratchPath("telemetry_demo.metrics.json");
+  std::string Trace = scratchPath("telemetry_demo.trace.json");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  Out = runCommand(toolsDir() + "/spike-analyze " + Img + " --metrics=" +
+                       Metrics + " --trace=" + Trace,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  std::string Error;
+  std::optional<spike::telemetry::RunReport> Report =
+      spike::telemetry::readRunReportFile(Metrics, &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_EQ(Report->Tool, "spike-analyze");
+  EXPECT_GT(Report->TotalSeconds, 0.0);
+  EXPECT_GT(Report->Counters.at("psg.nodes"), 0u);
+  EXPECT_GT(Report->Counters.at("cfg.routines"), 0u);
+  EXPECT_GT(Report->Counters.at("psg.phase1.worklist_pops"), 0u);
+  EXPECT_GT(Report->phaseSeconds("analyze/psg.phase1"), 0.0);
+  EXPECT_GT(Report->Gauges.at("analyze.memory.peak_bytes"), 0u);
+
+  std::optional<spike::telemetry::JsonValue> Doc =
+      spike::telemetry::parseJsonFile(Trace, &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const spike::telemetry::JsonValue *Events = Doc->findArray("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_FALSE(Events->Items.empty());
+
+  for (const std::string &Path : {Asm, Img, Metrics, Trace})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, OptMetricsAndRoundSummary) {
+  std::string Asm = scratchPath("telemetry_opt.s");
+  std::string Img = scratchPath("telemetry_opt.spkx");
+  std::string Opt = scratchPath("telemetry_opt_out.spkx");
+  std::string Metrics = scratchPath("telemetry_opt.metrics.json");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  Out = runCommand(toolsDir() + "/spike-opt " + Img + " -o " + Opt +
+                       " --metrics=" + Metrics,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  // The human summary surfaces the transactional/quarantine state and a
+  // per-round cost line.
+  EXPECT_NE(Out.find("rounds rolled back:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("quarantined routines:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("round 1:"), std::string::npos) << Out;
+
+  std::string Error;
+  std::optional<spike::telemetry::RunReport> Report =
+      spike::telemetry::readRunReportFile(Metrics, &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_EQ(Report->Tool, "spike-opt");
+  EXPECT_GT(Report->Counters.at("opt.rounds"), 0u);
+  EXPECT_EQ(Report->Counters.at("opt.rounds_rolled_back"), 0u);
+  EXPECT_GT(Report->phaseSeconds("opt.pipeline"), 0.0);
+
+  for (const std::string &Path : {Asm, Img, Opt, Metrics})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, StatsSelfDiffIsCleanAndExitsZero) {
+  std::string Asm = scratchPath("stats_self.s");
+  std::string Img = scratchPath("stats_self.spkx");
+  std::string Metrics = scratchPath("stats_self.metrics.json");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  runCommand(toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0);
+  runCommand(toolsDir() + "/spike-analyze " + Img +
+                 " --metrics=" + Metrics,
+             &Status);
+  ASSERT_EQ(Status, 0);
+
+  std::string Out = runCommand(toolsDir() + "/spike-stats " + Metrics +
+                                   " " + Metrics,
+                               &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("0 regression(s)"), std::string::npos) << Out;
+
+  for (const std::string &Path : {Asm, Img, Metrics})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, StatsGoldenDiffFlagsRegression) {
+  std::string Baseline = scratchPath("stats_base.json");
+  std::string Current = scratchPath("stats_cur.json");
+  writeFile(Baseline, R"({"schema":"spike-run-report","version":1,
+    "tool":"t","total_seconds":1.0,
+    "phases":[{"path":"solve","seconds":0.10,"count":1}],
+    "counters":{"worklist.pops":100,"stable":7},"gauges":{}})");
+  writeFile(Current, R"({"schema":"spike-run-report","version":1,
+    "tool":"t","total_seconds":1.2,
+    "phases":[{"path":"solve","seconds":0.20,"count":1}],
+    "counters":{"worklist.pops":150,"stable":7},"gauges":{}})");
+
+  int Status = 0;
+  std::string Out = runCommand(toolsDir() + "/spike-stats " + Baseline +
+                                   " " + Current,
+                               &Status);
+  EXPECT_NE(Status, 0) << Out;
+  EXPECT_NE(Out.find("counter worklist.pops"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("phase solve"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("2 regression(s)"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("stable"), std::string::npos) << Out;
+
+  // --warn-only reports but does not fail.
+  Out = runCommand(toolsDir() + "/spike-stats " + Baseline + " " +
+                       Current + " --warn-only",
+                   &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("2 regression(s)"), std::string::npos) << Out;
+
+  // Loosened thresholds accept the same pair.
+  Out = runCommand(toolsDir() + "/spike-stats " + Baseline + " " +
+                       Current +
+                       " --max-counter-growth 1.0 --max-time-growth 2.0",
+                   &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("0 regression(s)"), std::string::npos) << Out;
+
+  for (const std::string &Path : {Baseline, Current})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, StatsRejectsBadInput) {
+  std::string Garbage = scratchPath("stats_garbage.json");
+  writeFile(Garbage, "not json at all");
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-stats " + Garbage + " " + Garbage, &Status);
+  EXPECT_NE(Status, 0);
+
+  runCommand(toolsDir() + "/spike-stats", &Status);
+  EXPECT_NE(Status, 0);
+
+  std::remove(Garbage.c_str());
 }

@@ -1,0 +1,115 @@
+//===- tools/ToolTelemetry.h - Shared --trace/--metrics plumbing -*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every spike tool accepts the same two observability flags:
+///
+///   --trace=<file>     write a Chrome trace-event / Perfetto JSON trace
+///   --metrics=<file>   write a spike-run-report JSON document
+///
+/// (the two-token forms `--trace <file>` / `--metrics <file>` work too).
+/// ToolTelemetry ties them to a telemetry::Session: when either flag is
+/// given, the Emitter installs a session as the process-wide active one
+/// for the tool's whole run and writes the requested files when the tool
+/// exits (including early error returns — the Emitter is RAII).  When
+/// neither flag is given no session exists and every instrumentation
+/// site in the libraries stays a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TOOLS_TOOLTELEMETRY_H
+#define SPIKE_TOOLS_TOOLTELEMETRY_H
+
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace spike {
+namespace tooltel {
+
+/// Where to write the trace and run report; empty means "not requested".
+struct Options {
+  std::string TracePath;
+  std::string MetricsPath;
+
+  bool enabled() const { return !TracePath.empty() || !MetricsPath.empty(); }
+};
+
+/// Consumes `--trace=<f>` / `--metrics=<f>` (and their two-token forms)
+/// at position \p I of the argument list.  Returns true if Argv[I] was a
+/// telemetry flag; \p I is advanced past any consumed value token.
+inline bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
+  auto Match = [&](const char *Name, std::string &Into) {
+    size_t Len = std::strlen(Name);
+    if (std::strncmp(Argv[I], Name, Len) != 0)
+      return false;
+    if (Argv[I][Len] == '=') {
+      Into = Argv[I] + Len + 1;
+      return true;
+    }
+    if (Argv[I][Len] == '\0' && I + 1 < Argc) {
+      Into = Argv[++I];
+      return true;
+    }
+    return false;
+  };
+  return Match("--trace", Opts.TracePath) ||
+         Match("--metrics", Opts.MetricsPath);
+}
+
+/// The usage-line suffix documenting the shared flags.
+inline const char *usage() { return "[--trace=<file>] [--metrics=<file>]"; }
+
+/// Owns the tool run's Session and writes the output files on
+/// destruction (or on an explicit finish()).
+class Emitter {
+public:
+  Emitter(const char *Tool, Options Opts) : Opts(std::move(Opts)) {
+    if (this->Opts.enabled()) {
+      S.emplace(Tool);
+      Scope.emplace(*S);
+    }
+  }
+
+  ~Emitter() { finish(); }
+
+  Emitter(const Emitter &) = delete;
+  Emitter &operator=(const Emitter &) = delete;
+
+  /// The session, or null when neither flag was given.
+  telemetry::Session *session() { return S ? &*S : nullptr; }
+
+  /// Writes the requested files (idempotent).  A write failure warns on
+  /// stderr but never changes the tool's exit status: losing telemetry
+  /// must not turn a successful run into a failed one.
+  void finish() {
+    if (Done || !S)
+      return;
+    Done = true;
+    Scope.reset(); // Stop observing before serializing.
+    auto Write = [&](const std::string &Path, const std::string &Text) {
+      if (!Path.empty() && !telemetry::writeTextFile(Path, Text))
+        std::fprintf(stderr, "warning: cannot write telemetry file '%s'\n",
+                     Path.c_str());
+    };
+    Write(Opts.TracePath, telemetry::traceJson(*S));
+    Write(Opts.MetricsPath, telemetry::runReportJson(*S));
+  }
+
+private:
+  Options Opts;
+  std::optional<telemetry::Session> S;
+  std::optional<telemetry::SessionScope> Scope;
+  bool Done = false;
+};
+
+} // namespace tooltel
+} // namespace spike
+
+#endif // SPIKE_TOOLS_TOOLTELEMETRY_H

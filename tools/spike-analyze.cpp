@@ -14,6 +14,7 @@
 #include "lint/Linter.h"
 #include "psg/Analyzer.h"
 #include "psg/DotExport.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -49,6 +50,7 @@ void printRoutineSummaries(const AnalysisResult &Result,
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName, DotWhat;
   bool Summaries = false, Stats = false, Verify = false;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--summaries") == 0)
       Summaries = true;
@@ -60,23 +62,27 @@ int main(int Argc, char **Argv) {
       RoutineName = Argv[++I];
     else if (std::strcmp(Argv[I], "--dot") == 0 && I + 1 < Argc)
       DotWhat = Argv[++I]; // "psg", "cfg", or "callgraph"
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--summaries] [--stats] "
-                   "[--verify] [--routine <name>]\n",
-                   Argv[0]);
+                   "[--verify] [--routine <name>] %s\n",
+                   Argv[0], tooltel::usage());
       return 2;
     } else
       Path = Argv[I];
   }
   if (Path.empty()) {
     std::fprintf(stderr, "usage: %s <image.spkx> [--summaries] [--stats] "
-                         "[--verify] [--routine <name>]\n",
-                 Argv[0]);
+                         "[--verify] [--routine <name>] %s\n",
+                 Argv[0], tooltel::usage());
     return 2;
   }
   if (!Summaries && !Verify && RoutineName.empty())
     Stats = true;
+
+  tooltel::Emitter Telemetry("spike-analyze", TelemetryOpts);
 
   std::string Error;
   std::optional<Image> Img = readImageFile(Path, &Error);

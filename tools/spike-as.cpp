@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "binary/Assembler.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -26,9 +27,12 @@ static void usage(const char *Prog) {
 
 int main(int Argc, char **Argv) {
   std::string InputPath, OutputPath;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
       OutputPath = Argv[++I];
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else if (Argv[I][0] == '-') {
       usage(Argv[0]);
       return 2;
@@ -39,6 +43,8 @@ int main(int Argc, char **Argv) {
     usage(Argv[0]);
     return 2;
   }
+
+  tooltel::Emitter Telemetry("spike-as", TelemetryOpts);
 
   std::ifstream Input(InputPath);
   if (!Input) {

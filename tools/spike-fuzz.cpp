@@ -39,9 +39,11 @@
 #include "opt/Pipeline.h"
 #include "psg/Analyzer.h"
 #include "support/Rng.h"
+#include "support/Stopwatch.h"
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -56,8 +58,8 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seed <n>] [--iterations <n>] "
-               "[--artifact-dir <dir>] [--skip-oracle] [--verbose]\n",
-               Prog);
+               "[--artifact-dir <dir>] [--skip-oracle] [--verbose] %s\n",
+               Prog, tooltel::usage());
   return 2;
 }
 
@@ -284,15 +286,18 @@ std::vector<uint8_t> crossover(const std::vector<uint8_t> &A,
 // Per-mutant trichotomy
 //===----------------------------------------------------------------------===//
 
+/// Which arm of the ingestion trichotomy a mutant landed in.
+enum class MutantOutcome { CleanError, Degraded, Full };
+
 /// Drives one mutant through the full stack and asserts the trichotomy.
-void runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
-               const std::string &Context) {
+MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
+                        const std::string &Context) {
   // Outcome 1: clean error.  Structured code, non-empty message, done.
   Expected<Image> Loaded = loadImage(Bytes);
   if (!Loaded) {
     FUZZ_CHECK(Loaded.error().Code != ErrCode::None, V, Context);
     FUZZ_CHECK(!Loaded.error().Message.empty(), V, Context);
-    return;
+    return MutantOutcome::CleanError;
   }
   Image Img = *Loaded;
 
@@ -367,6 +372,7 @@ void runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
   FUZZ_CHECK(bool(Reloaded), V, Context + " optimized image lost");
   if (Reloaded)
     FUZZ_CHECK(*Reloaded == Img, V, Context + " round-trip mismatch");
+  return Report.clean() ? MutantOutcome::Full : MutantOutcome::Degraded;
 }
 
 std::vector<Image> buildCorpus() {
@@ -393,6 +399,7 @@ std::vector<Image> buildCorpus() {
 
 int main(int Argc, char **Argv) {
   FuzzConfig Config;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc)
       Config.Seed = std::strtoull(Argv[++I], nullptr, 0);
@@ -404,9 +411,13 @@ int main(int Argc, char **Argv) {
       Config.SkipOracle = true;
     else if (std::strcmp(Argv[I], "--verbose") == 0)
       Config.Verbose = true;
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else
       return usage(Argv[0]);
   }
+
+  tooltel::Emitter Telemetry("spike-fuzz", TelemetryOpts);
 
   Verdicts V;
   std::vector<Image> Corpus = buildCorpus();
@@ -427,6 +438,9 @@ int main(int Argc, char **Argv) {
   }
 
   Rng Rand(Config.Seed);
+  Stopwatch LoopTimer;
+  LoopTimer.start();
+  telemetry::Span LoopSpan("fuzz.mutation_loop");
   for (uint64_t Iter = 0; Iter < Config.Iterations; ++Iter) {
     const std::string Context =
         "seed=" + std::to_string(Config.Seed) +
@@ -450,7 +464,13 @@ int main(int Argc, char **Argv) {
       Mutant = mutateBytes(std::move(Mutant), Rand);
 
     uint64_t FailuresBefore = V.Failures;
-    runMutant(Mutant, V, Context);
+    MutantOutcome Outcome = runMutant(Mutant, V, Context);
+    telemetry::count("fuzz.mutants");
+    telemetry::count(Outcome == MutantOutcome::CleanError
+                         ? "fuzz.outcome.error"
+                         : Outcome == MutantOutcome::Degraded
+                               ? "fuzz.outcome.degraded"
+                               : "fuzz.outcome.full");
     if (V.Failures != FailuresBefore && !Config.ArtifactDir.empty()) {
       std::string Path = Config.ArtifactDir + "/crash-" +
                          std::to_string(Config.Seed) + "-" +
@@ -466,6 +486,12 @@ int main(int Argc, char **Argv) {
                    (unsigned long long)(Iter + 1));
   }
 
+  double LoopSeconds = LoopTimer.seconds();
+  telemetry::count("fuzz.failures", V.Failures);
+  if (LoopSeconds > 0)
+    telemetry::gaugeSet("fuzz.mutants_per_second",
+                        uint64_t(double(Config.Iterations) / LoopSeconds));
+
   if (V.Failures != 0) {
     std::fprintf(stderr, "spike-fuzz: %llu violations; first: %s\n",
                  (unsigned long long)V.Failures, V.FirstReport.c_str());
@@ -474,5 +500,8 @@ int main(int Argc, char **Argv) {
   std::printf("spike-fuzz: %llu mutants, all within the trichotomy "
               "(clean error | quarantined-but-sound | full result)\n",
               (unsigned long long)Config.Iterations);
+  if (LoopSeconds > 0 && Config.Iterations != 0)
+    std::printf("spike-fuzz: %.0f mutants/s over %.2f s\n",
+                double(Config.Iterations) / LoopSeconds, LoopSeconds);
   return 0;
 }

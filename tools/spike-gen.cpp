@@ -11,6 +11,7 @@
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@ int main(int Argc, char **Argv) {
   double Scale = 1.0;
   unsigned Routines = 16;
   uint64_t Seed = 42;
+  tooltel::Options TelemetryOpts;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--benchmark") == 0 && I + 1 < Argc)
@@ -49,6 +51,8 @@ int main(int Argc, char **Argv) {
       Seed = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
       OutputPath = Argv[++I];
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else {
       usage(Argv[0]);
       return 2;
@@ -68,6 +72,8 @@ int main(int Argc, char **Argv) {
     usage(Argv[0]);
     return 2;
   }
+
+  tooltel::Emitter Telemetry("spike-gen", TelemetryOpts);
 
   Image Img;
   if (Exec) {

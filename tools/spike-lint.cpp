@@ -24,6 +24,7 @@
 #include "lint/JsonWriter.h"
 #include "lint/Linter.h"
 #include "opt/Pipeline.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -37,8 +38,8 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.spkx> [--json] [--verify] "
                "[--min-severity note|warning|error] [--disable <SLnnn>] "
-               "[--rounds <n>]\n",
-               Prog);
+               "[--rounds <n>] %s\n",
+               Prog, tooltel::usage());
   return 2;
 }
 
@@ -49,6 +50,7 @@ int main(int Argc, char **Argv) {
   bool Json = false, Verify = false;
   unsigned Rounds = 3;
   LintOptions Opts;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
       Json = true;
@@ -79,6 +81,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strcmp(Argv[I], "--rounds") == 0 && I + 1 < Argc)
       Rounds = unsigned(std::atoi(Argv[++I]));
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else if (Argv[I][0] == '-')
       return usage(Argv[0]);
     else
@@ -86,6 +90,8 @@ int main(int Argc, char **Argv) {
   }
   if (Path.empty())
     return usage(Argv[0]);
+
+  tooltel::Emitter Telemetry("spike-lint", TelemetryOpts);
 
   std::string Error;
   std::optional<Image> Img = readImageFile(Path, &Error);

@@ -9,6 +9,7 @@
 #include "binary/Image.h"
 #include "cfg/CfgBuilder.h"
 #include "isa/Encoding.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -18,9 +19,12 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
       RoutineName = Argv[++I];
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--routine <name>]\n", Argv[0]);
@@ -33,6 +37,8 @@ int main(int Argc, char **Argv) {
                  Argv[0]);
     return 2;
   }
+
+  tooltel::Emitter Telemetry("spike-objdump", TelemetryOpts);
 
   std::string Error;
   std::optional<Image> Img = readImageFile(Path, &Error);

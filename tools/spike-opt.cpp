@@ -12,6 +12,7 @@
 #include "opt/AnnotationDeriver.h"
 #include "opt/Pipeline.h"
 #include "sim/Simulator.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@ int main(int Argc, char **Argv) {
   bool Verify = false;
   bool SelfCheck = false;
   bool DeriveAnnotations = false;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
       OutputPath = Argv[++I];
@@ -37,12 +39,14 @@ int main(int Argc, char **Argv) {
       SelfCheck = true;
     else if (std::strcmp(Argv[I], "--derive-annotations") == 0)
       DeriveAnnotations = true;
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <input.spkx> -o <output.spkx> "
                    "[--rounds N] [--verify] [--self-check] "
-                   "[--derive-annotations]\n",
-                   Argv[0]);
+                   "[--derive-annotations] %s\n",
+                   Argv[0], tooltel::usage());
       return 2;
     } else
       InputPath = Argv[I];
@@ -50,10 +54,12 @@ int main(int Argc, char **Argv) {
   if (InputPath.empty() || OutputPath.empty()) {
     std::fprintf(stderr, "usage: %s <input.spkx> -o <output.spkx> "
                          "[--rounds N] [--verify] [--self-check] "
-                         "[--derive-annotations]\n",
-                 Argv[0]);
+                         "[--derive-annotations] %s\n",
+                 Argv[0], tooltel::usage());
     return 2;
   }
+
+  tooltel::Emitter Telemetry("spike-opt", TelemetryOpts);
 
   std::string Error;
   std::optional<Image> Img = readImageFile(InputPath, &Error);
@@ -79,6 +85,19 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Stats.SpillPairsRemoved);
   std::printf("callee-saved regs reallocated: %llu\n",
               (unsigned long long)Stats.SaveRestoreRegsEliminated);
+  std::printf("rounds rolled back:            %u\n",
+              Stats.RoundsRolledBack);
+  std::printf("quarantined routines:          %llu\n",
+              (unsigned long long)Stats.QuarantinedRoutines);
+  for (size_t R = 0; R < Stats.PerRound.size(); ++R) {
+    const PipelineStats::RoundRecord &Rec = Stats.PerRound[R];
+    std::printf("  round %zu: %.4f s, %.2f MB analysis peak, "
+                "%llu change(s)%s\n",
+                R + 1, Rec.Seconds,
+                double(Rec.AnalysisPeakBytes) / (1024.0 * 1024.0),
+                (unsigned long long)Rec.Changes,
+                Rec.RolledBack ? ", ROLLED BACK" : "");
+  }
 
   if (SelfCheck) {
     for (const std::string &Report : Stats.LintReports)

@@ -10,6 +10,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "sim/Simulator.h"
+#include "ToolTelemetry.h"
 
 #include <algorithm>
 
@@ -27,6 +28,7 @@ int main(int Argc, char **Argv) {
   SimOptions Opts;
   bool DumpData = false;
   bool Profile = false;
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--args") == 0) {
       while (I + 1 < Argc && Argv[I + 1][0] != '-')
@@ -37,6 +39,7 @@ int main(int Argc, char **Argv) {
       DumpData = true;
     } else if (std::strcmp(Argv[I], "--profile") == 0) {
       Profile = Opts.Profile = true;
+    } else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts)) {
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--args n...] "
@@ -52,6 +55,8 @@ int main(int Argc, char **Argv) {
                  Argv[0]);
     return 2;
   }
+
+  tooltel::Emitter Telemetry("spike-sim", TelemetryOpts);
 
   std::string Error;
   std::optional<Image> Img = readImageFile(Path, &Error);

@@ -1,0 +1,99 @@
+//===- tools/spike-stats.cpp - RunReport differ ------------------------------===//
+//
+// Compares two spike-run-report JSON documents (written by any tool's
+// --metrics flag) and reports counter deltas, per-phase time ratios, and
+// a threshold-based regression verdict.
+//
+//   spike-stats baseline.json current.json
+//               [--max-counter-growth <fraction>] (default 0.10)
+//               [--max-time-growth <fraction>]    (default 0.25)
+//               [--time-floor <seconds>]          (default 0.01)
+//               [--warn-only]
+//
+// A counter regresses when it grows more than --max-counter-growth over
+// a nonzero baseline; a phase regresses when both runs spend more than
+// --time-floor seconds in it and the current run is more than
+// --max-time-growth slower.  Growth over a zero baseline never
+// regresses (new counters appear whenever new instrumentation lands).
+//
+// Exit status: 0 no regressions (or --warn-only), 1 regressions,
+// 2 usage or unparseable input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/RunReport.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--max-counter-growth <fraction>] "
+               "[--max-time-growth <fraction>] [--time-floor <seconds>] "
+               "[--warn-only]\n",
+               Prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string BaselinePath, CurrentPath;
+  DiffOptions Opts;
+  bool WarnOnly = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--max-counter-growth") == 0 && I + 1 < Argc)
+      Opts.MaxCounterGrowth = std::atof(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--max-time-growth") == 0 && I + 1 < Argc)
+      Opts.MaxTimeGrowth = std::atof(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--time-floor") == 0 && I + 1 < Argc)
+      Opts.TimeFloorSeconds = std::atof(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--warn-only") == 0)
+      WarnOnly = true;
+    else if (Argv[I][0] == '-')
+      return usage(Argv[0]);
+    else if (BaselinePath.empty())
+      BaselinePath = Argv[I];
+    else if (CurrentPath.empty())
+      CurrentPath = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (BaselinePath.empty() || CurrentPath.empty())
+    return usage(Argv[0]);
+
+  std::string Error;
+  std::optional<RunReport> Baseline = readRunReportFile(BaselinePath, &Error);
+  if (!Baseline) {
+    std::fprintf(stderr, "error: %s: %s\n", BaselinePath.c_str(),
+                 Error.c_str());
+    return 2;
+  }
+  Error.clear();
+  std::optional<RunReport> Current = readRunReportFile(CurrentPath, &Error);
+  if (!Current) {
+    std::fprintf(stderr, "error: %s: %s\n", CurrentPath.c_str(),
+                 Error.c_str());
+    return 2;
+  }
+
+  std::printf("baseline: %s (%s, %.4f s)\n", BaselinePath.c_str(),
+              Baseline->Tool.c_str(), Baseline->TotalSeconds);
+  std::printf("current:  %s (%s, %.4f s)\n", CurrentPath.c_str(),
+              Current->Tool.c_str(), Current->TotalSeconds);
+
+  ReportDiff Diff = diffReports(*Baseline, *Current, Opts);
+  std::fputs(Diff.str().c_str(), stdout);
+
+  if (Diff.Regressions != 0 && WarnOnly)
+    std::printf("warn-only: exit status suppressed\n");
+  return Diff.Regressions != 0 && !WarnOnly ? 1 : 0;
+}
