@@ -12,6 +12,9 @@
 ///                    1.0, i.e. the paper's full benchmark sizes; use
 ///                    e.g. 0.1 for a quick pass),
 ///   --only <name>    run a single benchmark,
+///   --jobs <n>       worker lanes for the parallel analysis engine
+///                    (default 1; harnesses with a jobs sweep time the
+///                    serial engine against this lane count),
 ///   --metrics <file> write a spike-run-report JSON document,
 ///   --trace <file>   write a Chrome trace-event JSON trace,
 /// and honors the SPIKE_BENCH_SCALE environment variable as a default
@@ -28,6 +31,7 @@
 #ifndef SPIKE_BENCH_BENCHUTIL_H
 #define SPIKE_BENCH_BENCHUTIL_H
 
+#include "psg/Summaries.h"
 #include "synth/Profiles.h"
 #include "telemetry/Telemetry.h"
 
@@ -48,6 +52,10 @@ struct Options {
   std::string Only;
   std::string MetricsPath;
   std::string TracePath;
+
+  /// Lane count for harnesses that exercise the parallel engine; the
+  /// jobs sweeps compare --jobs=1 against this value.
+  unsigned Jobs = 1;
 };
 
 inline Options parseOptions(int Argc, char **Argv) {
@@ -59,6 +67,10 @@ inline Options parseOptions(int Argc, char **Argv) {
       Opts.Scale = std::atof(Argv[++I]);
     else if (std::strcmp(Argv[I], "--only") == 0 && I + 1 < Argc)
       Opts.Only = Argv[++I];
+    else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Opts.Jobs = unsigned(std::atoi(Argv[++I]));
+    else if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      Opts.Jobs = unsigned(std::atoi(Argv[I] + 7));
     else if (std::strcmp(Argv[I], "--metrics") == 0 && I + 1 < Argc)
       Opts.MetricsPath = Argv[++I];
     else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc)
@@ -66,13 +78,15 @@ inline Options parseOptions(int Argc, char **Argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s [--scale <f>] [--only <benchmark>] "
-                   "[--metrics <file>] [--trace <file>]\n",
+                   "[--jobs <n>] [--metrics <file>] [--trace <file>]\n",
                    Argv[0]);
       std::exit(2);
     }
   }
   if (Opts.Scale <= 0)
     Opts.Scale = 1.0;
+  if (Opts.Jobs == 0)
+    Opts.Jobs = 1;
   return Opts;
 }
 
@@ -88,6 +102,34 @@ inline std::vector<BenchmarkProfile> selectedProfiles(const Options &Opts) {
     Result.push_back(Scaled);
   }
   return Result;
+}
+
+/// Exact equality of two whole-program summary sets — the jobs sweeps
+/// assert the parallel engine reproduced the serial result bit for bit.
+inline bool summariesEqual(const InterprocSummaries &A,
+                           const InterprocSummaries &B) {
+  if (A.Routines.size() != B.Routines.size())
+    return false;
+  for (size_t R = 0; R < A.Routines.size(); ++R) {
+    const RoutineResults &X = A.Routines[R];
+    const RoutineResults &Y = B.Routines[R];
+    if (X.EntrySummaries.size() != Y.EntrySummaries.size() ||
+        X.LiveAtEntry.size() != Y.LiveAtEntry.size() ||
+        X.LiveAtExit.size() != Y.LiveAtExit.size())
+      return false;
+    for (size_t E = 0; E < X.EntrySummaries.size(); ++E)
+      if (!(X.EntrySummaries[E].Used == Y.EntrySummaries[E].Used) ||
+          !(X.EntrySummaries[E].Defined == Y.EntrySummaries[E].Defined) ||
+          !(X.EntrySummaries[E].Killed == Y.EntrySummaries[E].Killed))
+        return false;
+    for (size_t E = 0; E < X.LiveAtEntry.size(); ++E)
+      if (!(X.LiveAtEntry[E] == Y.LiveAtEntry[E]))
+        return false;
+    for (size_t E = 0; E < X.LiveAtExit.size(); ++E)
+      if (!(X.LiveAtExit[E] == Y.LiveAtExit[E]))
+        return false;
+  }
+  return true;
 }
 
 /// Prints the standard harness banner.

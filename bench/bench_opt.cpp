@@ -17,9 +17,58 @@
 #include "support/TablePrinter.h"
 #include "synth/ExecGenerator.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace spike;
+
+namespace {
+
+/// Jobs sweep: runs the full optimize loop on one large executable
+/// program at --jobs=1 and --jobs=N, asserts the optimized images are
+/// byte-identical, and reports the speedup of the analysis-dominated
+/// pipeline.
+void runJobsSweep(benchutil::Harness &Bench, unsigned Jobs) {
+  ExecProfile P;
+  P.Routines = 96;
+  P.CallsPerRoutine = 2.2;
+  P.DeadCodeProb = 0.25;
+  P.ExtraSaveProb = 0.15;
+  P.Seed = 20197;
+  Image Img = generateExecProgram(P);
+
+  auto TimeAt = [&](unsigned Lanes, const char *Span) {
+    Image Out;
+    double Best = 1e9;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      Out = Img;
+      PipelineOptions OptOpts;
+      OptOpts.Jobs = Lanes;
+      Best = std::min(Best, Bench.timed(Span, [&] {
+        optimizeImage(Out, CallingConv(), OptOpts);
+      }));
+    }
+    return std::make_pair(Best, std::move(Out));
+  };
+
+  auto [SerialSeconds, SerialImg] = TimeAt(1, "jobs_sweep.serial");
+  auto [ParallelSeconds, ParallelImg] = TimeAt(Jobs, "jobs_sweep.parallel");
+
+  bool Identical = SerialImg == ParallelImg;
+  double Speedup =
+      ParallelSeconds > 0 ? SerialSeconds / ParallelSeconds : 0;
+  std::printf("\njobs sweep (exec %u routines): jobs=1 %.4f s, jobs=%u "
+              "%.4f s, speedup %.2fx, optimized images %s\n",
+              P.Routines, SerialSeconds, Jobs, ParallelSeconds, Speedup,
+              Identical ? "identical" : "DIFFER (BUG)");
+  telemetry::gaugeSet("opt.jobs", Jobs);
+  telemetry::gaugeSet("opt.jobs_serial_us", uint64_t(SerialSeconds * 1e6));
+  telemetry::gaugeSet("opt.jobs_parallel_us",
+                      uint64_t(ParallelSeconds * 1e6));
+  telemetry::gaugeSet("opt.jobs_speedup_pct", uint64_t(Speedup * 100));
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
@@ -74,5 +123,8 @@ int main(int Argc, char **Argv) {
     std::printf("\nmean improvement %.1f%% (min %.1f%%, max %.1f%%)\n",
                 100.0 * SumImprovement / Count, 100.0 * MinImprovement,
                 100.0 * MaxImprovement);
+
+  if (Opts.Jobs > 1)
+    runJobsSweep(Bench, Opts.Jobs);
   return 0;
 }

@@ -11,7 +11,65 @@
 #include "support/TablePrinter.h"
 #include "synth/CfgGenerator.h"
 
+#include <algorithm>
+
 using namespace spike;
+
+namespace {
+
+/// Jobs sweep: times the full analysis of the largest selected profile
+/// at --jobs=1 and --jobs=N and reports the speedup.  The sweep also
+/// asserts the two runs produced identical summaries — a parallel engine
+/// that is fast but wrong would poison every table in this directory.
+void runJobsSweep(benchutil::Harness &Bench,
+                  const std::vector<BenchmarkProfile> &Profiles,
+                  unsigned Jobs) {
+  auto Largest = std::max_element(
+      Profiles.begin(), Profiles.end(),
+      [](const BenchmarkProfile &A, const BenchmarkProfile &B) {
+        return A.Routines < B.Routines;
+      });
+  if (Largest == Profiles.end())
+    return;
+  Image Img = generateCfgProgram(*Largest);
+
+  auto TimeAt = [&](unsigned Lanes, const char *Span) {
+    AnalysisResult Result;
+    // Best of three: the sweep measures the engine, not the allocator's
+    // warmup or a scheduler hiccup.
+    double Best = 1e9;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      AnalysisOptions AOpts;
+      AOpts.Jobs = Lanes;
+      Best = std::min(Best, Bench.timed(Span, [&] {
+        Result = analyzeImage(Img, CallingConv(), AOpts);
+      }));
+    }
+    return std::make_pair(Best, std::move(Result.Summaries));
+  };
+
+  auto [SerialSeconds, SerialSummaries] = TimeAt(1, "jobs_sweep.serial");
+  auto [ParallelSeconds, ParallelSummaries] =
+      TimeAt(Jobs, "jobs_sweep.parallel");
+
+  bool Identical =
+      benchutil::summariesEqual(SerialSummaries, ParallelSummaries);
+  double Speedup =
+      ParallelSeconds > 0 ? SerialSeconds / ParallelSeconds : 0;
+  std::printf("\njobs sweep (%s): jobs=1 %.4f s, jobs=%u %.4f s, "
+              "speedup %.2fx, summaries %s\n",
+              Largest->Name.c_str(), SerialSeconds, Jobs, ParallelSeconds,
+              Speedup, Identical ? "identical" : "DIFFER (BUG)");
+  telemetry::gaugeSet("table4.jobs", Jobs);
+  telemetry::gaugeSet("table4.jobs_serial_us",
+                      uint64_t(SerialSeconds * 1e6));
+  telemetry::gaugeSet("table4.jobs_parallel_us",
+                      uint64_t(ParallelSeconds * 1e6));
+  telemetry::gaugeSet("table4.jobs_speedup_pct",
+                      uint64_t(Speedup * 100));
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   benchutil::Options Opts = benchutil::parseOptions(Argc, Argv);
@@ -21,7 +79,8 @@ int main(int Argc, char **Argv) {
   TablePrinter Table;
   Table.header({"Benchmark", "PSG Edge Reduction", "PSG Node Increase"});
 
-  for (const BenchmarkProfile &Profile : benchutil::selectedProfiles(Opts)) {
+  std::vector<BenchmarkProfile> Profiles = benchutil::selectedProfiles(Opts);
+  for (const BenchmarkProfile &Profile : Profiles) {
     Image Img = generateCfgProgram(Profile);
 
     // Both variants publish their PSG sizes into the registry; the
@@ -52,5 +111,8 @@ int main(int Argc, char **Argv) {
                TablePrinter::percent(Increase)});
   }
   Table.print();
+
+  if (Opts.Jobs > 1)
+    runJobsSweep(Bench, Profiles, Opts.Jobs);
   return 0;
 }

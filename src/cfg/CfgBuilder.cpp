@@ -3,6 +3,7 @@
 #include "cfg/CfgBuilder.h"
 
 #include "isa/Encoding.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -252,7 +253,8 @@ private:
 
 Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
                             MemoryTracker *Mem,
-                            const CfgBuildOptions &Options) {
+                            const CfgBuildOptions &Options,
+                            ThreadPool *Pool) {
   telemetry::Span BuildSpan("cfg.build");
   Program Prog;
   Prog.Conv = Conv;
@@ -401,12 +403,15 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
     for (Routine &R : Prog.Routines)
       R.CalledFromQuarantine = true;
 
-  // Build per-routine CFGs.  A quarantined routine is modelled exactly
-  // like the paper's unknowable code (Section 3.5): one block spanning
-  // the whole routine, terminated by an unresolved jump, using and
-  // defining nothing we can rely on — worst-case UBD, empty DEF — with
-  // no exits and no call sites.  Every entrance maps to that block.
-  for (Routine &R : Prog.Routines) {
+  // Build per-routine CFGs, one task per routine: each builder reads
+  // only the shared instruction stream and writes only its own routine.
+  // A quarantined routine is modelled exactly like the paper's unknowable
+  // code (Section 3.5): one block spanning the whole routine, terminated
+  // by an unresolved jump, using and defining nothing we can rely on —
+  // worst-case UBD, empty DEF — with no exits and no call sites.  Every
+  // entrance maps to that block.
+  forEachTask(Pool, Prog.Routines.size(), [&](size_t RoutineIndex, unsigned) {
+    Routine &R = Prog.Routines[RoutineIndex];
     std::sort(R.EntryAddresses.begin(), R.EntryAddresses.end());
     if (R.Quarantined) {
       BasicBlock Block;
@@ -416,11 +421,11 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
       Block.Ubd = RegSet::allBelow(NumIntRegs);
       R.Blocks.push_back(std::move(Block));
       R.EntryBlocks.assign(R.EntryAddresses.size(), 0);
-      continue;
+      return;
     }
     RoutineBuilder Builder(Prog, R);
     Builder.run();
-  }
+  });
 
   // Resolve direct-call targets to (routine, entrance) pairs.
   // Quarantined routines have no call blocks; healthy routines' call
@@ -493,13 +498,14 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
   return Prog;
 }
 
-void spike::computeDefUbd(Program &Prog) {
-  for (Routine &R : Prog.Routines) {
+void spike::computeDefUbd(Program &Prog, ThreadPool *Pool) {
+  forEachTask(Pool, Prog.Routines.size(), [&](size_t RoutineIndex, unsigned) {
+    Routine &R = Prog.Routines[RoutineIndex];
     // Quarantined routines keep their hand-set worst-case sets (empty
     // DEF, all-registers UBD); recomputing from the placeholder-decoded
     // garbage would be unsound.
     if (R.Quarantined)
-      continue;
+      return;
     for (BasicBlock &Block : R.Blocks) {
       RegSet Def, Ubd;
       for (uint64_t Address = Block.Begin; Address < Block.End; ++Address) {
@@ -513,5 +519,5 @@ void spike::computeDefUbd(Program &Prog) {
       Block.Def = Def;
       Block.Ubd = Ubd;
     }
-  }
+  });
 }

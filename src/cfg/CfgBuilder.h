@@ -34,6 +34,8 @@
 
 namespace spike {
 
+class ThreadPool;
+
 /// Options for CFG construction.
 struct CfgBuildOptions {
   /// Routine names to quarantine even if their code validates.  Used by
@@ -49,10 +51,13 @@ struct CfgBuildOptions {
 /// Program::Validation).  DEF/UBD sets are *not* filled in; call
 /// computeDefUbd afterwards (the split matches the paper's stage
 /// breakdown).  \p Mem, when non-null, is charged for the analysis data
-/// structures created here.
+/// structures created here.  When \p Pool is non-null, per-routine block
+/// discovery runs one task per routine (each task writes only its own
+/// routine); the result is identical to the serial build.
 Program buildProgram(const Image &Img, const CallingConv &Conv,
                      MemoryTracker *Mem = nullptr,
-                     const CfgBuildOptions &Options = {});
+                     const CfgBuildOptions &Options = {},
+                     ThreadPool *Pool = nullptr);
 
 /// Computes the DEF and UBD register sets of every basic block
 /// ("Initialization ... consists mainly of the time spent generating the
@@ -60,8 +65,9 @@ Program buildProgram(const Image &Img, const CallingConv &Conv,
 ///
 /// A call terminator's register uses (e.g. jsr_r's target register) are
 /// included in UBD, but its def of ra is excluded: the ra def is modelled
-/// on the call-return edge by the interprocedural analyses.
-void computeDefUbd(Program &Prog);
+/// on the call-return edge by the interprocedural analyses.  Routines are
+/// independent, so \p Pool (when non-null) runs one task per routine.
+void computeDefUbd(Program &Prog, ThreadPool *Pool = nullptr);
 
 /// Returns the index of the routine containing \p Address, or -1.
 int32_t findRoutineByAddress(const Program &Prog, uint64_t Address);

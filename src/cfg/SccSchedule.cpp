@@ -1,0 +1,151 @@
+//===- cfg/SccSchedule.cpp - SCC-condensation task schedules --------------===//
+
+#include "cfg/SccSchedule.h"
+
+#include <algorithm>
+
+using namespace spike;
+
+SccSchedule
+spike::buildSccSchedule(size_t NumNodes,
+                        const std::vector<std::vector<uint32_t>> &Deps) {
+  SccSchedule Sched;
+  Sched.GroupOfRoutine.assign(NumNodes, 0);
+  if (NumNodes == 0)
+    return Sched;
+
+  // Iterative Tarjan over the dependency graph.  Components complete in
+  // reverse topological order: an edge U -> V (U before V) means V's
+  // component finishes first and gets the smaller id, so iterating group
+  // ids in *descending* order walks dependencies before dependents.
+  std::vector<int32_t> Index(NumNodes, -1), Low(NumNodes, 0);
+  std::vector<bool> OnStack(NumNodes, false);
+  std::vector<uint32_t> Stack;
+  int32_t NextIndex = 0;
+  struct Frame {
+    uint32_t Node;
+    size_t Child;
+  };
+  std::vector<Frame> Dfs;
+
+  for (uint32_t Root = 0; Root < NumNodes; ++Root) {
+    if (Index[Root] >= 0)
+      continue;
+    Dfs.push_back({Root, 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Dfs.empty()) {
+      Frame &Top = Dfs.back();
+      if (Top.Child < Deps[Top.Node].size()) {
+        uint32_t Next = Deps[Top.Node][Top.Child++];
+        if (Index[Next] < 0) {
+          Index[Next] = Low[Next] = NextIndex++;
+          Stack.push_back(Next);
+          OnStack[Next] = true;
+          Dfs.push_back({Next, 0});
+        } else if (OnStack[Next]) {
+          Low[Top.Node] = std::min(Low[Top.Node], Index[Next]);
+        }
+        continue;
+      }
+      uint32_t Node = Top.Node;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[Node]);
+      if (Low[Node] != Index[Node])
+        continue;
+      for (;;) {
+        uint32_t Member = Stack.back();
+        Stack.pop_back();
+        OnStack[Member] = false;
+        Sched.GroupOfRoutine[Member] = Sched.NumGroups;
+        if (Member == Node)
+          break;
+      }
+      ++Sched.NumGroups;
+    }
+  }
+
+  Sched.Members.resize(Sched.NumGroups);
+  for (uint32_t Node = 0; Node < NumNodes; ++Node)
+    Sched.Members[Sched.GroupOfRoutine[Node]].push_back(Node);
+
+  // Levels: longest dependency distance.  Descending group-id order
+  // visits every predecessor group before its successors, so one sweep
+  // over the cross-group edges suffices.
+  std::vector<uint32_t> LevelOfGroup(Sched.NumGroups, 0);
+  uint32_t MaxLevel = 0;
+  for (uint32_t Group = Sched.NumGroups; Group-- > 0;) {
+    for (uint32_t Node : Sched.Members[Group])
+      for (uint32_t Succ : Deps[Node]) {
+        uint32_t SuccGroup = Sched.GroupOfRoutine[Succ];
+        if (SuccGroup != Group)
+          LevelOfGroup[SuccGroup] = std::max(LevelOfGroup[SuccGroup],
+                                             LevelOfGroup[Group] + 1);
+      }
+    MaxLevel = std::max(MaxLevel, LevelOfGroup[Group]);
+  }
+  Sched.Levels.resize(size_t(MaxLevel) + 1);
+  for (uint32_t Group = 0; Group < Sched.NumGroups; ++Group)
+    Sched.Levels[LevelOfGroup[Group]].push_back(Group);
+
+  return Sched;
+}
+
+SccSchedule spike::buildCalleeFirstSchedule(const Program &Prog,
+                                            const CallGraph &Graph) {
+  // Dependency edge callee -> caller: a caller's call-return labels read
+  // its callees' converged entry summaries.
+  size_t Count = Prog.Routines.size();
+  std::vector<std::vector<uint32_t>> Deps(Count);
+  for (uint32_t Caller = 0; Caller < Count; ++Caller)
+    for (uint32_t Callee : Graph.Callees[Caller])
+      if (Callee != Caller)
+        Deps[Callee].push_back(Caller);
+  return buildSccSchedule(Count, Deps);
+}
+
+SccSchedule spike::buildCallerFirstSchedule(const Program &Prog,
+                                            const CallGraph &Graph) {
+  // Dependency edge caller -> callee: a callee's exit liveness reads its
+  // callers' converged return-site liveness.  The indirect coupling is
+  // compressed through one synthetic hub node (indirect caller -> hub ->
+  // every address-taken routine) instead of a quadratic edge set; a
+  // cycle through the hub merges exactly the routines that genuinely
+  // feed back into each other.
+  size_t Count = Prog.Routines.size();
+  bool AnyIndirect = false, AnyTaken = false;
+  for (uint32_t R = 0; R < Count; ++R) {
+    AnyIndirect |= bool(Graph.HasIndirectCalls[R]);
+    AnyTaken |= Prog.Routines[R].AddressTaken;
+  }
+  bool UseHub = AnyIndirect && AnyTaken;
+  size_t NumNodes = Count + (UseHub ? 1 : 0);
+  uint32_t Hub = uint32_t(Count);
+
+  std::vector<std::vector<uint32_t>> Deps(NumNodes);
+  for (uint32_t Caller = 0; Caller < Count; ++Caller)
+    for (uint32_t Callee : Graph.Callees[Caller])
+      if (Callee != Caller)
+        Deps[Caller].push_back(Callee);
+  if (UseHub)
+    for (uint32_t R = 0; R < Count; ++R) {
+      if (Graph.HasIndirectCalls[R])
+        Deps[R].push_back(Hub);
+      if (Prog.Routines[R].AddressTaken)
+        Deps[Hub].push_back(R);
+    }
+
+  SccSchedule Sched = buildSccSchedule(NumNodes, Deps);
+  if (UseHub) {
+    // Drop the hub from its group's member list (its group stays in the
+    // level structure; an empty group simply schedules nothing).
+    std::vector<uint32_t> &HubMembers =
+        Sched.Members[Sched.GroupOfRoutine[Hub]];
+    HubMembers.erase(std::remove(HubMembers.begin(), HubMembers.end(), Hub),
+                     HubMembers.end());
+    Sched.GroupOfRoutine.resize(Count);
+  }
+  return Sched;
+}

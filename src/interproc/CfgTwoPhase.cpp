@@ -4,29 +4,41 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "cfg/SccSchedule.h"
+#include "dataflow/CallPolicy.h"
 #include "dataflow/FlowSets.h"
 #include "dataflow/Liveness.h"
-#include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
 #include "psg/PsgSolver.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 using namespace spike;
 
 namespace {
 
 /// Shared state of the reference analysis.
+///
+/// Like the PSG solvers, both phases are scheduled over the call graph's
+/// SCC condensation: each component runs the serial routine-level
+/// worklist, components of one condensation level run concurrently on
+/// the optional pool, and a component only ever reads values its
+/// predecessor components already converged — so the fixpoint is
+/// identical for every job count.
 class TwoPhaseEngine {
 public:
   TwoPhaseEngine(const Program &Prog,
-                 const std::vector<RegSet> &SavedPerRoutine)
-      : Prog(Prog), Saved(SavedPerRoutine) {
+                 const std::vector<RegSet> &SavedPerRoutine, ThreadPool *Pool)
+      : Prog(Prog), Saved(SavedPerRoutine), Pool(Pool) {
     RaOnly.insert(Prog.Conv.RaReg);
     AllRegs = RegSet::allBelow(NumIntRegs);
     EntrySets.resize(Prog.Routines.size());
     LiveAtExit.assign(Prog.Routines.size(), RegSet());
     LiveAtEntry.resize(Prog.Routines.size());
+    ReturnLive.resize(Prog.Routines.size());
     for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
          ++RoutineIndex) {
       // Entry MUST-DEF starts at top, like every must-problem variable.
@@ -35,8 +47,11 @@ public:
           FlowSets{RegSet(), RegSet(), AllRegs});
       LiveAtEntry[RoutineIndex].resize(
           Prog.Routines[RoutineIndex].numEntries());
+      ReturnLive[RoutineIndex].assign(
+          Prog.Routines[RoutineIndex].CallBlocks.size(), RegSet());
     }
     buildCallers();
+    Graph = buildCallGraph(Prog);
   }
 
   void run() {
@@ -72,14 +87,20 @@ public:
 private:
   void buildCallers() {
     Callers.resize(Prog.Routines.size());
+    CallerSites.resize(Prog.Routines.size());
     for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
-         ++RoutineIndex)
-      for (uint32_t Block : Prog.Routines[RoutineIndex].CallBlocks) {
-        const BasicBlock &BlockRef =
-            Prog.Routines[RoutineIndex].Blocks[Block];
-        if (BlockRef.Term == TerminatorKind::Call)
+         ++RoutineIndex) {
+      const Routine &R = Prog.Routines[RoutineIndex];
+      for (uint32_t CallIndex = 0; CallIndex < R.CallBlocks.size();
+           ++CallIndex) {
+        const BasicBlock &BlockRef = R.Blocks[R.CallBlocks[CallIndex]];
+        if (BlockRef.Term == TerminatorKind::Call) {
           Callers[BlockRef.CalleeRoutine].push_back(RoutineIndex);
+          CallerSites[BlockRef.CalleeRoutine].push_back(
+              {RoutineIndex, CallIndex});
+        }
       }
+    }
   }
 
   /// The phase-1 call-return summary of the call ending \p Block, with
@@ -147,60 +168,71 @@ private:
     return In;
   }
 
+  /// Returns the local worklist index of \p RoutineIndex within the
+  /// ascending member list, or -1 when it belongs to another component.
+  static int32_t localOf(const std::vector<uint32_t> &Members,
+                         uint32_t RoutineIndex) {
+    auto It = std::lower_bound(Members.begin(), Members.end(), RoutineIndex);
+    if (It == Members.end() || *It != RoutineIndex)
+      return -1;
+    return int32_t(It - Members.begin());
+  }
+
+  /// Solves one component's phase-1 pass: callee summaries outside the
+  /// component have converged in earlier levels, so only in-component
+  /// callers requeue.
+  void solveGroupPhase1(const std::vector<uint32_t> &Members,
+                        bool MayUsePass) {
+    Worklist List(Members.size());
+    List.pushAll();
+    while (!List.empty()) {
+      uint32_t RoutineIndex = Members[List.pop()];
+      const Routine &R = Prog.Routines[RoutineIndex];
+      std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
+      bool Changed = false;
+      for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
+           ++EntryIndex) {
+        const FlowSets &NewSets = In[R.EntryBlocks[EntryIndex]];
+        FlowSets &Stored = EntrySets[RoutineIndex][EntryIndex];
+        if (MayUsePass) {
+          if (NewSets.MayUse != Stored.MayUse)
+            Changed = true;
+          Stored.MayUse = NewSets.MayUse;
+        } else {
+          if (NewSets.MustDef != Stored.MustDef ||
+              NewSets.MayDef != Stored.MayDef)
+            Changed = true;
+          Stored = NewSets;
+        }
+      }
+      if (Changed)
+        for (uint32_t Caller : Callers[RoutineIndex]) {
+          int32_t Local = localOf(Members, Caller);
+          if (Local >= 0)
+            List.push(uint32_t(Local));
+        }
+    }
+  }
+
   // Like the PSG solver, phase 1 runs in two passes: the MAY-USE
   // equation subtracts callee MUST-DEF, so iterating everything at once
   // is non-monotone and can oscillate on recursive call graphs.  Pass A
   // converges the (monotone, self-contained) MUST-DEF/MAY-DEF summaries;
   // pass B restarts MAY-USE from bottom with them frozen.
   void runPhase1() {
-    {
-      Worklist List(static_cast<uint32_t>(Prog.Routines.size()));
-      List.pushAll();
-      while (!List.empty()) {
-        uint32_t RoutineIndex = List.pop();
-        const Routine &R = Prog.Routines[RoutineIndex];
-        std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
-        bool Changed = false;
-        for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
-             ++EntryIndex) {
-          const FlowSets &NewSets = In[R.EntryBlocks[EntryIndex]];
-          FlowSets &Stored = EntrySets[RoutineIndex][EntryIndex];
-          if (NewSets.MustDef != Stored.MustDef ||
-              NewSets.MayDef != Stored.MayDef)
-            Changed = true;
-          Stored = NewSets;
-        }
-        if (Changed)
-          for (uint32_t Caller : Callers[RoutineIndex])
-            List.push(Caller);
-      }
-    }
+    SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
+    auto RunPass = [&](bool MayUsePass) {
+      for (const std::vector<uint32_t> &Level : Sched.Levels)
+        forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
+          solveGroupPhase1(Sched.Members[Level[I]], MayUsePass);
+        });
+    };
 
+    RunPass(false);
     for (auto &PerEntry : EntrySets)
       for (FlowSets &Sets : PerEntry)
         Sets.MayUse = RegSet();
-
-    {
-      Worklist List(static_cast<uint32_t>(Prog.Routines.size()));
-      List.pushAll();
-      while (!List.empty()) {
-        uint32_t RoutineIndex = List.pop();
-        const Routine &R = Prog.Routines[RoutineIndex];
-        std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
-        bool Changed = false;
-        for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
-             ++EntryIndex) {
-          RegSet NewMayUse = In[R.EntryBlocks[EntryIndex]].MayUse;
-          FlowSets &Stored = EntrySets[RoutineIndex][EntryIndex];
-          if (NewMayUse != Stored.MayUse)
-            Changed = true;
-          Stored.MayUse = NewMayUse;
-        }
-        if (Changed)
-          for (uint32_t Caller : Callers[RoutineIndex])
-            List.push(Caller);
-      }
-    }
+    RunPass(true);
   }
 
   /// Solves intra-routine liveness for \p RoutineIndex with the current
@@ -220,60 +252,94 @@ private:
         });
   }
 
-  void runPhase2() {
-    RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();
-    for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
-         ++RoutineIndex) {
-      if (int32_t(RoutineIndex) == Prog.EntryRoutine ||
-          Prog.Routines[RoutineIndex].AddressTaken)
-        LiveAtExit[RoutineIndex] = UnknownCallerLive;
-      // Mirrors the PSG solver: returning into quarantined (or unowned)
-      // code must assume everything live, not just the calling
-      // standard's unknown-caller set.
-      if (Prog.Routines[RoutineIndex].CalledFromQuarantine)
-        LiveAtExit[RoutineIndex] |= RegSet::allBelow(NumIntRegs);
-    }
-
-    RegSet IndirectAccum;
-    Worklist List(static_cast<uint32_t>(Prog.Routines.size()));
+  /// Solves one component's phase-2 liveness.  Exit liveness is *pulled*:
+  /// a routine's live-at-exit is its seed, joined with the return-point
+  /// liveness of all its call sites (in-component sites iterate here;
+  /// others converged in earlier levels) and, for address-taken routines,
+  /// the indirect accumulator.  \p AccumIn is the accumulator merged from
+  /// earlier levels; the (possibly grown) value is returned for the level
+  /// join, exactly like the PSG solver.
+  RegSet solveGroupPhase2(const std::vector<uint32_t> &Members,
+                          RegSet AccumIn) {
+    RegSet LocalAccum = AccumIn;
+    Worklist List(Members.size());
     List.pushAll();
     while (!List.empty()) {
-      uint32_t RoutineIndex = List.pop();
+      uint32_t RoutineIndex = Members[List.pop()];
       const Routine &R = Prog.Routines[RoutineIndex];
-      LivenessResult Live = solveRoutineLiveness(RoutineIndex);
 
+      RegSet ExitLive = ExitSeedOfRoutine[RoutineIndex];
+      for (const auto &[Caller, CallIndex] : CallerSites[RoutineIndex])
+        ExitLive |= ReturnLive[Caller][CallIndex];
+      if (R.AddressTaken)
+        ExitLive |= LocalAccum;
+      LiveAtExit[RoutineIndex] = ExitLive;
+
+      LivenessResult Live = solveRoutineLiveness(RoutineIndex);
       for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
            ++EntryIndex)
         LiveAtEntry[RoutineIndex][EntryIndex] =
             Live.LiveIn[R.EntryBlocks[EntryIndex]];
 
-      // Propagate return-point liveness to callee exits.
-      for (uint32_t Block : R.CallBlocks) {
-        const BasicBlock &BlockRef = R.Blocks[Block];
-        RegSet AtReturn = Live.LiveOut[Block];
+      for (uint32_t CallIndex = 0; CallIndex < R.CallBlocks.size();
+           ++CallIndex) {
+        const BasicBlock &BlockRef = R.Blocks[R.CallBlocks[CallIndex]];
+        RegSet AtReturn = Live.LiveOut[R.CallBlocks[CallIndex]];
+        if (ReturnLive[RoutineIndex][CallIndex] == AtReturn)
+          continue;
+        ReturnLive[RoutineIndex][CallIndex] = AtReturn;
         if (BlockRef.Term == TerminatorKind::Call) {
-          uint32_t Callee = BlockRef.CalleeRoutine;
-          if (!LiveAtExit[Callee].containsAll(AtReturn)) {
-            LiveAtExit[Callee] |= AtReturn;
-            List.push(Callee);
-          }
-        } else if (!IndirectAccum.containsAll(AtReturn)) {
-          IndirectAccum |= AtReturn;
-          for (uint32_t Other = 0; Other < Prog.Routines.size(); ++Other)
-            if (Prog.Routines[Other].AddressTaken &&
-                !LiveAtExit[Other].containsAll(IndirectAccum)) {
-              LiveAtExit[Other] |= IndirectAccum;
-              List.push(Other);
-            }
+          int32_t Local = localOf(Members, BlockRef.CalleeRoutine);
+          if (Local >= 0)
+            List.push(uint32_t(Local));
+        } else if (!LocalAccum.containsAll(AtReturn)) {
+          LocalAccum |= AtReturn;
+          for (uint32_t Local = 0; Local < Members.size(); ++Local)
+            if (Prog.Routines[Members[Local]].AddressTaken)
+              List.push(Local);
         }
       }
+    }
+    return LocalAccum;
+  }
+
+  void runPhase2() {
+    RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();
+    ExitSeedOfRoutine.assign(Prog.Routines.size(), RegSet());
+    for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+         ++RoutineIndex) {
+      if (int32_t(RoutineIndex) == Prog.EntryRoutine ||
+          Prog.Routines[RoutineIndex].AddressTaken)
+        ExitSeedOfRoutine[RoutineIndex] = UnknownCallerLive;
+      // Mirrors the PSG solver: returning into quarantined (or unowned)
+      // code must assume everything live, not just the calling
+      // standard's unknown-caller set.
+      if (Prog.Routines[RoutineIndex].CalledFromQuarantine)
+        ExitSeedOfRoutine[RoutineIndex] |= AllRegs;
+    }
+
+    SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
+    RegSet IndirectAccum;
+    std::vector<RegSet> GroupAccum(Sched.NumGroups);
+    for (const std::vector<uint32_t> &Level : Sched.Levels) {
+      forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
+        uint32_t Group = Level[I];
+        if (Sched.Members[Group].empty())
+          return;
+        GroupAccum[Group] =
+            solveGroupPhase2(Sched.Members[Group], IndirectAccum);
+      });
+      for (uint32_t Group : Level)
+        IndirectAccum |= GroupAccum[Group];
     }
   }
 
   const Program &Prog;
   const std::vector<RegSet> &Saved;
+  ThreadPool *Pool;
   RegSet RaOnly;
   RegSet AllRegs;
+  CallGraph Graph;
 
   /// Unfiltered entry IN sets, per routine per entrance.
   std::vector<std::vector<FlowSets>> EntrySets;
@@ -284,18 +350,29 @@ private:
   /// Per-routine per-entrance live-at-entry.
   std::vector<std::vector<RegSet>> LiveAtEntry;
 
+  /// Phase-2 live-at-return per call site (parallel to CallBlocks); the
+  /// values callee exits pull from.
+  std::vector<std::vector<RegSet>> ReturnLive;
+
+  /// Per-routine phase-2 exit seed (unknown-caller / quarantine rules).
+  std::vector<RegSet> ExitSeedOfRoutine;
+
   /// Reverse call graph (direct calls only).
   std::vector<std::vector<uint32_t>> Callers;
+
+  /// Direct call sites per callee: (caller routine, call index).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> CallerSites;
 };
 
 } // namespace
 
 InterprocSummaries
 spike::runCfgTwoPhase(const Program &Prog,
-                      const std::vector<RegSet> &SavedPerRoutine) {
+                      const std::vector<RegSet> &SavedPerRoutine,
+                      ThreadPool *Pool) {
   telemetry::Span RefSpan("interproc.cfg_two_phase");
   telemetry::count("interproc.cfg_two_phase.runs");
-  TwoPhaseEngine Engine(Prog, SavedPerRoutine);
+  TwoPhaseEngine Engine(Prog, SavedPerRoutine, Pool);
   Engine.run();
   return Engine.takeResults();
 }

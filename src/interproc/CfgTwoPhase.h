@@ -29,12 +29,17 @@
 
 namespace spike {
 
+class ThreadPool;
+
 /// Runs the reference two-phase analysis on \p Prog.
 /// \p SavedPerRoutine is the per-routine Section 3.4 filter set (use the
-/// same sets as the PSG run for apples-to-apples comparison).
+/// same sets as the PSG run for apples-to-apples comparison).  When
+/// \p Pool is non-null, call-graph components without mutual dependencies
+/// solve concurrently; the results are identical either way.
 InterprocSummaries
 runCfgTwoPhase(const Program &Prog,
-               const std::vector<RegSet> &SavedPerRoutine);
+               const std::vector<RegSet> &SavedPerRoutine,
+               ThreadPool *Pool = nullptr);
 
 } // namespace spike
 

@@ -95,7 +95,9 @@ LintResult spike::lintImage(const Image &Img, const CallingConv &Conv,
   // every routine validation implicates and models it as unknowable code
   // (Section 3.5), so the rest of the program still gets real summaries.
   // SL011 reports each quarantine with its root cause.
-  AnalysisResult Analysis = analyzeImage(Img, Conv);
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Opts.Jobs;
+  AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
   return lintAnalysis(Img, Analysis, Opts);
 }
 

@@ -56,6 +56,10 @@ struct LintOptions {
   /// lint time; a non-empty set here overrides that.
   RegSet EntryDefinedRegs;
 
+  /// Worker lanes for the analysis lintImage runs (the --jobs flag);
+  /// diagnostics are identical for every value.
+  unsigned Jobs = 1;
+
   /// Returns true if \p Rule is enabled.
   bool ruleEnabled(RuleId Rule) const {
     return !(DisabledRules >> unsigned(Rule) & 1);

@@ -70,10 +70,15 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
                                    const PipelineOptions &Opts) {
   telemetry::Span PipelineSpan("opt.pipeline");
   PipelineStats Stats;
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Opts.Jobs;
 
   LintResult Baseline;
-  if (Opts.LintSelfCheck)
-    Baseline = lintImage(Img, Conv, selfCheckOptions());
+  if (Opts.LintSelfCheck) {
+    LintOptions BaselineOpts = selfCheckOptions();
+    BaselineOpts.Jobs = Opts.Jobs;
+    Baseline = lintImage(Img, Conv, BaselineOpts);
+  }
 
   // Defects the *input* already had are not the optimizer's fault; only
   // strict findings beyond this set roll a round back.
@@ -94,7 +99,7 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
 
     {
       // Dead routines first: everything after has less code to chew on.
-      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
       RoundQuarantined = Analysis.Prog.numQuarantined();
       {
@@ -116,7 +121,7 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     }
 
     {
-      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
       telemetry::Span PassSpan("pass.spill_removal");
       SpillRemovalStats Spills =
@@ -126,7 +131,7 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     }
 
     {
-      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
       telemetry::Span PassSpan("pass.dead_def");
       DeadDefStats DeadDefs =
@@ -169,7 +174,7 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     }
 
     if (Opts.LintSelfCheck || Opts.CrossCheck) {
-      AnalysisResult Analysis = analyzeImage(Img, Conv);
+      AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       if (Opts.LintSelfCheck) {
         LintResult After =
             lintAnalysis(Img, Analysis, selfCheckOptions());

@@ -65,6 +65,11 @@ struct PipelineOptions {
   /// always runs).  Tests and the fuzzer use it to prove that a round
   /// producing a corrupt image rolls back instead of escaping.
   std::function<void(Image &, unsigned Round)> PostRoundMutator;
+
+  /// Worker lanes for every analysis the pipeline runs (the --jobs
+  /// flag).  The optimized image, stats, and telemetry counters are
+  /// identical for every value.
+  unsigned Jobs = 1;
 };
 
 /// Cumulative statistics over all pipeline rounds.

@@ -4,6 +4,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "cfg/SaveRestore.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 using namespace spike;
@@ -15,41 +16,54 @@ AnalysisResult spike::analyzeImage(const Image &Img,
   telemetry::Span AnalyzeSpan("analyze");
   telemetry::count("analyze.runs");
 
+  // The pool exists for every job count: at Jobs == 1 it spawns no
+  // threads and runs tasks inline, so pool.tasks is identical across job
+  // counts.  Tasks never touch the telemetry layer (sessions are
+  // single-threaded); all accounting happens after the joins, here.
+  ThreadPool Pool(Opts.Jobs);
+
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::CfgBuild);
-    Result.Prog = buildProgram(Img, Conv, &Result.Memory, Opts.Cfg);
+    Result.Prog = buildProgram(Img, Conv, &Result.Memory, Opts.Cfg, &Pool);
   }
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Initialization);
     telemetry::Span InitSpan("init");
-    computeDefUbd(Result.Prog);
-    Result.SavedPerRoutine.reserve(Result.Prog.Routines.size());
-    for (const Routine &R : Result.Prog.Routines)
-      Result.SavedPerRoutine.push_back(
-          analyzeSaveRestore(Result.Prog, R).Saved);
+    computeDefUbd(Result.Prog, &Pool);
+    Result.SavedPerRoutine.resize(Result.Prog.Routines.size());
+    forEachTask(&Pool, Result.Prog.Routines.size(),
+                [&](size_t RoutineIndex, unsigned) {
+                  Result.SavedPerRoutine[RoutineIndex] =
+                      analyzeSaveRestore(Result.Prog,
+                                         Result.Prog.Routines[RoutineIndex])
+                          .Saved;
+                });
     Result.Memory.charge(Result.SavedPerRoutine.size() * sizeof(RegSet));
   }
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::PsgBuild);
-    Result.Psg = buildPsg(Result.Prog, Opts.Psg, &Result.Memory);
+    Result.Psg = buildPsg(Result.Prog, Opts.Psg, &Result.Memory, &Pool);
   }
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase1);
     Result.Phase1Stats =
-        runPhase1(Result.Prog, Result.Psg, Result.SavedPerRoutine);
+        runPhase1(Result.Prog, Result.Psg, Result.SavedPerRoutine, &Pool);
   }
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase2);
-    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg);
+    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg, &Pool);
   }
 
   Result.Summaries = extractSummaries(Result.Prog, Result.Psg,
                                       Result.SavedPerRoutine);
   telemetry::gaugeHigh("analyze.memory.peak_bytes",
                        Result.Memory.peakBytes());
+  telemetry::gaugeSet("analysis.jobs", Pool.jobs());
+  telemetry::count("pool.tasks", Pool.tasksRun());
+  telemetry::count("pool.steals", Pool.steals());
   return Result;
 }

@@ -34,6 +34,12 @@ namespace spike {
 struct AnalysisOptions {
   PsgBuildOptions Psg;
   CfgBuildOptions Cfg;
+
+  /// Worker lanes for the parallel engine (the --jobs flag).  1 runs
+  /// everything inline on the calling thread; any value produces
+  /// bit-identical summaries, live sets, and telemetry counters (only
+  /// pool.steals and the analysis.jobs gauge reflect the setting).
+  unsigned Jobs = 1;
 };
 
 /// Everything a full analysis run produces.

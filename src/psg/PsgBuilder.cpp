@@ -4,6 +4,7 @@
 
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -45,6 +46,18 @@ struct SourceAnchor {
   std::vector<uint32_t> StartBlocks;
 };
 
+/// One routine's build output, in routine-local node ids.  Routines build
+/// independently (possibly concurrently); the rebase in buildPsg shifts
+/// the ids by each routine's node offset, reproducing exactly the ids a
+/// serial single-pass build would assign.
+struct RoutineBuildResult {
+  std::vector<PsgNode> Nodes;
+  std::vector<PsgEdge> Edges; ///< Src/Dst are routine-local.
+  RoutinePsg Info;            ///< Node ids are routine-local.
+  uint64_t NumFlowSummaryEdges = 0;
+  uint64_t NumBranchNodes = 0;
+};
+
 /// Builds the PSG nodes and flow-summary edges of a single routine.
 ///
 /// Terminology: a block whose terminator is a sink anchor (call, return
@@ -55,11 +68,9 @@ struct SourceAnchor {
 class RoutinePsgBuilder {
 public:
   RoutinePsgBuilder(const Program &Prog, uint32_t RoutineIndex,
-                    const PsgBuildOptions &Opts, ProgramSummaryGraph &Psg,
-                    std::vector<PsgEdge> &EdgesOut)
+                    const PsgBuildOptions &Opts, RoutineBuildResult &Out)
       : Prog(Prog), RoutineIndex(RoutineIndex),
-        R(Prog.Routines[RoutineIndex]), Opts(Opts), Psg(Psg),
-        EdgesOut(EdgesOut) {}
+        R(Prog.Routines[RoutineIndex]), Opts(Opts), Out(Out) {}
 
   void run() {
     createNodes();
@@ -76,8 +87,8 @@ private:
     Node.RoutineIndex = RoutineIndex;
     Node.BlockIndex = BlockIndex;
     Node.AuxIndex = AuxIndex;
-    Psg.Nodes.push_back(Node);
-    return uint32_t(Psg.Nodes.size() - 1);
+    Out.Nodes.push_back(Node);
+    return uint32_t(Out.Nodes.size() - 1);
   }
 
   bool blockIsCut(const BasicBlock &Block) const {
@@ -100,7 +111,7 @@ private:
   }
 
   void createNodes() {
-    RoutinePsg &Info = Psg.RoutineInfo[RoutineIndex];
+    RoutinePsg &Info = Out.Info;
     SinkNodeOfBlock.assign(R.Blocks.size(), NoNode);
 
     for (uint32_t EntryIndex = 0; EntryIndex < R.EntryBlocks.size();
@@ -139,7 +150,7 @@ private:
           Info.BranchNodes.push_back(NodeId);
           SinkNodeOfBlock[Block] = NodeId;
           Sources.push_back({NodeId, BlockRef.Succs});
-          ++Psg.NumBranchNodes;
+          ++Out.NumBranchNodes;
         }
         break;
       case TerminatorKind::UnresolvedJump:
@@ -292,14 +303,14 @@ private:
         Edge.Src = Source.NodeId;
         Edge.Dst = SinkNodeOfBlock[SinkBlock];
         Edge.Label = Label;
-        EdgesOut.push_back(Edge);
-        ++Psg.NumFlowSummaryEdges;
+        Out.Edges.push_back(Edge);
+        ++Out.NumFlowSummaryEdges;
       }
     }
   }
 
   void addCallReturnEdges() {
-    const RoutinePsg &Info = Psg.RoutineInfo[RoutineIndex];
+    const RoutinePsg &Info = Out.Info;
     for (size_t CallIndex = 0; CallIndex < R.CallBlocks.size();
          ++CallIndex) {
       const BasicBlock &Block = R.Blocks[R.CallBlocks[CallIndex]];
@@ -314,7 +325,7 @@ private:
       // sets here.
       if (Block.Term == TerminatorKind::IndirectCall)
         Edge.Label = indirectCallLabel(Prog, Block);
-      EdgesOut.push_back(Edge);
+      Out.Edges.push_back(Edge);
     }
   }
 
@@ -322,8 +333,7 @@ private:
   uint32_t RoutineIndex;
   const Routine &R;
   const PsgBuildOptions &Opts;
-  ProgramSummaryGraph &Psg;
-  std::vector<PsgEdge> &EdgesOut;
+  RoutineBuildResult &Out;
 
   std::vector<uint32_t> SinkNodeOfBlock;
   std::vector<SourceAnchor> Sources;
@@ -338,17 +348,56 @@ private:
 
 ProgramSummaryGraph spike::buildPsg(const Program &Prog,
                                     const PsgBuildOptions &Opts,
-                                    MemoryTracker *Mem) {
+                                    MemoryTracker *Mem, ThreadPool *Pool) {
   telemetry::Span BuildSpan("psg.build");
   ProgramSummaryGraph Psg;
-  Psg.RoutineInfo.resize(Prog.Routines.size());
+  size_t Count = Prog.Routines.size();
+  Psg.RoutineInfo.resize(Count);
 
-  std::vector<PsgEdge> Edges;
-  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
-       ++RoutineIndex) {
-    RoutinePsgBuilder Builder(Prog, RoutineIndex, Opts, Psg, Edges);
+  // Each routine's nodes and edges depend only on its own CFG, so the
+  // expensive part — edge discovery and the Figure 6 subgraph dataflow —
+  // runs one task per routine.
+  std::vector<RoutineBuildResult> Built(Count);
+  forEachTask(Pool, Count, [&](size_t RoutineIndex, unsigned) {
+    RoutinePsgBuilder Builder(Prog, uint32_t(RoutineIndex), Opts,
+                              Built[RoutineIndex]);
     Builder.run();
+  });
+
+  // Rebase routine-local ids by prefix-summed node offsets.  Nodes land
+  // in routine order and edges concatenate in routine order, which is
+  // exactly the sequence a serial single-pass build produces.
+  Psg.RoutineNodeBegin.assign(Count + 1, 0);
+  size_t TotalEdges = 0;
+  for (size_t RoutineIndex = 0; RoutineIndex < Count; ++RoutineIndex) {
+    Psg.RoutineNodeBegin[RoutineIndex + 1] =
+        Psg.RoutineNodeBegin[RoutineIndex] +
+        uint32_t(Built[RoutineIndex].Nodes.size());
+    TotalEdges += Built[RoutineIndex].Edges.size();
   }
+  Psg.Nodes.reserve(Psg.RoutineNodeBegin[Count]);
+  std::vector<PsgEdge> Edges;
+  Edges.reserve(TotalEdges);
+  for (size_t RoutineIndex = 0; RoutineIndex < Count; ++RoutineIndex) {
+    RoutineBuildResult &B = Built[RoutineIndex];
+    uint32_t Off = Psg.RoutineNodeBegin[RoutineIndex];
+    Psg.Nodes.insert(Psg.Nodes.end(), B.Nodes.begin(), B.Nodes.end());
+    for (PsgEdge Edge : B.Edges) {
+      Edge.Src += Off;
+      Edge.Dst += Off;
+      Edges.push_back(Edge);
+    }
+    RoutinePsg &Info = Psg.RoutineInfo[RoutineIndex];
+    Info = std::move(B.Info);
+    for (std::vector<uint32_t> *Ids :
+         {&Info.EntryNodes, &Info.ExitNodes, &Info.CallNodes,
+          &Info.ReturnNodes, &Info.BranchNodes})
+      for (uint32_t &NodeId : *Ids)
+        NodeId += Off;
+    Psg.NumFlowSummaryEdges += B.NumFlowSummaryEdges;
+    Psg.NumBranchNodes += B.NumBranchNodes;
+  }
+  Built.clear();
 
   // CSR-pack the edges by source node.
   std::stable_sort(Edges.begin(), Edges.end(),

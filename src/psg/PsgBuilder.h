@@ -23,6 +23,8 @@
 
 namespace spike {
 
+class ThreadPool;
+
 /// PSG construction options.
 struct PsgBuildOptions {
   /// Insert branch nodes at multiway branches (Section 3.6).  Disabled
@@ -32,10 +34,14 @@ struct PsgBuildOptions {
 };
 
 /// Builds the PSG for \p Prog.  \p Mem, when non-null, is charged for the
-/// graph's memory.
+/// graph's memory.  When \p Pool is non-null, routines build their node
+/// and edge sets concurrently (each routine's subgraph is independent);
+/// a serial rebase then assigns ids, so the resulting graph is identical
+/// to the serial build bit for bit.
 ProgramSummaryGraph buildPsg(const Program &Prog,
                              const PsgBuildOptions &Opts = {},
-                             MemoryTracker *Mem = nullptr);
+                             MemoryTracker *Mem = nullptr,
+                             ThreadPool *Pool = nullptr);
 
 } // namespace spike
 

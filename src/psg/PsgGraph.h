@@ -134,6 +134,12 @@ struct ProgramSummaryGraph {
   /// Per-routine node directory (parallel to Program::Routines).
   std::vector<RoutinePsg> RoutineInfo;
 
+  /// First node id per routine, CSR-style (size Routines.size()+1):
+  /// nodes are created routine by routine, so routine r owns exactly the
+  /// contiguous id range [RoutineNodeBegin[r], RoutineNodeBegin[r+1]).
+  /// The parallel solvers use this to carve per-component worklists.
+  std::vector<uint32_t> RoutineNodeBegin;
+
   /// For phase 1: (entry node id -> call-return edge ids to refresh when
   /// the entry's sets change), CSR-packed.
   std::vector<uint32_t> CrEdgeOfEntryBegin; ///< Size Nodes.size()+1.

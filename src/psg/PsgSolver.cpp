@@ -2,8 +2,10 @@
 
 #include "psg/PsgSolver.h"
 
+#include "cfg/SccSchedule.h"
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <cassert>
@@ -22,6 +24,291 @@ namespace {
 bool isFixedPhase1(PsgNodeKind Kind) {
   return Kind == PsgNodeKind::Exit || Kind == PsgNodeKind::Unknown ||
          Kind == PsgNodeKind::Halt;
+}
+
+unsigned laneCount(ThreadPool *Pool) { return Pool ? Pool->jobs() : 1; }
+
+/// Per-lane scratch for mapping one component's nodes to dense local
+/// worklist indices without clearing O(|Nodes|) state per component: the
+/// Stamp epoch marks which entries of LocalOf are current.
+struct LaneScratch {
+  std::vector<uint32_t> LocalOf; ///< Global node id -> local index.
+  std::vector<uint32_t> Stamp;   ///< Epoch of the LocalOf entry.
+  std::vector<uint32_t> NodeIds; ///< Local index -> global node id.
+  uint32_t Epoch = 0;
+
+  void sizeFor(size_t NumNodes) {
+    if (Stamp.size() != NumNodes) {
+      Stamp.assign(NumNodes, 0);
+      LocalOf.assign(NumNodes, 0);
+      Epoch = 0;
+    }
+  }
+
+  bool inGroup(uint32_t NodeId) const { return Stamp[NodeId] == Epoch; }
+};
+
+/// Gives the nodes of the component's member routines dense local ids,
+/// in ascending global order (members are ascending and each routine's
+/// nodes are a contiguous ascending range).
+void mapGroup(const std::vector<uint32_t> &Members,
+              const std::vector<uint32_t> &NodeBegin, LaneScratch &S) {
+  S.NodeIds.clear();
+  ++S.Epoch;
+  for (uint32_t R : Members)
+    for (uint32_t N = NodeBegin[R], E = NodeBegin[R + 1]; N != E; ++N) {
+      S.LocalOf[N] = uint32_t(S.NodeIds.size());
+      S.Stamp[N] = S.Epoch;
+      S.NodeIds.push_back(N);
+    }
+}
+
+/// Returns the per-routine node ranges, deriving them from the nodes'
+/// routine indices when the graph predates buildPsg's directory (nodes
+/// are created routine by routine, so each range is contiguous).
+std::vector<uint32_t> routineNodeBegins(const Program &Prog,
+                                        const ProgramSummaryGraph &Psg) {
+  if (Psg.RoutineNodeBegin.size() == Prog.Routines.size() + 1)
+    return Psg.RoutineNodeBegin;
+  std::vector<uint32_t> Begin(Prog.Routines.size() + 1, 0);
+  for (const PsgNode &Node : Psg.Nodes)
+    ++Begin[Node.RoutineIndex + 1];
+  for (size_t R = 1; R < Begin.size(); ++R)
+    Begin[R] += Begin[R - 1];
+  return Begin;
+}
+
+/// Solves one component's MUST-DEF / MAY-DEF subsystem (pass A) to its
+/// fixpoint.  All dependencies outside the component (callee entry
+/// summaries) have already converged, so the iteration — and the final
+/// call-return labels it broadcasts — is exactly the serial one.
+void solveGroupPassA(ProgramSummaryGraph &Psg,
+                     const std::vector<RegSet> &SavedPerRoutine,
+                     RegSet AllRegs, RegSet RaOnly,
+                     const std::vector<uint32_t> &Members,
+                     const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
+                     SolverStats &Stats) {
+  mapGroup(Members, NodeBegin, S);
+  uint32_t NumLocal = uint32_t(S.NodeIds.size());
+  Worklist List(NumLocal);
+  // Reverse id order so that within a routine the first sweep tends to
+  // run sink-to-source.
+  for (uint32_t Local = NumLocal; Local-- > 0;)
+    if (!isFixedPhase1(Psg.Nodes[S.NodeIds[Local]].Kind))
+      List.push(Local);
+
+  std::vector<uint32_t> ChangedCalls;
+  while (!List.empty()) {
+    uint32_t NodeId = S.NodeIds[List.pop()];
+    PsgNode &Node = Psg.Nodes[NodeId];
+    ++Stats.NodeEvaluations;
+
+    RegSet NewMustDef, NewMayDef;
+    bool First = true;
+    for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+      ++Stats.EdgeVisits;
+      const PsgNode &Dst = Psg.Nodes[Edge.Dst];
+      RegSet ThroughMust = Dst.Sets.MustDef | Edge.Label.MustDef;
+      NewMustDef = First ? ThroughMust : (NewMustDef & ThroughMust);
+      NewMayDef |= Dst.Sets.MayDef | Edge.Label.MayDef;
+      First = false;
+    }
+    if (First)
+      NewMustDef = AllRegs; // No path to any sink: meet over nothing.
+
+    if (NewMustDef == Node.Sets.MustDef && NewMayDef == Node.Sets.MayDef)
+      continue;
+    Node.Sets.MustDef = NewMustDef;
+    Node.Sets.MayDef = NewMayDef;
+    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
+         ++I) {
+      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
+      if (!isFixedPhase1(Psg.Nodes[Pred].Kind)) {
+        assert(S.inGroup(Pred) && "PSG edge crosses routines");
+        List.push(S.LocalOf[Pred]);
+      }
+    }
+
+    if (Node.Kind != PsgNodeKind::Entry)
+      continue;
+    // Refresh the def parts of this entry's call-return edges
+    // (Section 3.4 filter + the jsr's own def of ra).  Call sites outside
+    // the component belong to strictly later condensation levels and read
+    // the converged label when their own component seeds; only in-group
+    // sites need requeueing.
+    RegSet Saved = SavedPerRoutine[Node.RoutineIndex];
+    RegSet LabelMust = (NewMustDef - Saved) | RaOnly;
+    RegSet LabelMay = (NewMayDef - Saved) | RaOnly;
+    ChangedCalls.clear();
+    for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
+                  E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
+         I != E; ++I) {
+      PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
+      assert(Edge.IsCallReturn && "registered edge is not call-return");
+      if (Edge.Label.MustDef == LabelMust && Edge.Label.MayDef == LabelMay)
+        continue;
+      Edge.Label.MustDef = LabelMust;
+      Edge.Label.MayDef = LabelMay;
+      ChangedCalls.push_back(Edge.Src);
+    }
+    for (uint32_t CallNode : ChangedCalls)
+      if (S.inGroup(CallNode))
+        List.push(S.LocalOf[CallNode]);
+  }
+}
+
+/// Solves one component's MAY-USE subsystem (pass B) with all MUST-DEF
+/// labels frozen.
+void solveGroupPassB(ProgramSummaryGraph &Psg,
+                     const std::vector<RegSet> &SavedPerRoutine, RegSet RaOnly,
+                     const std::vector<uint32_t> &Members,
+                     const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
+                     SolverStats &Stats) {
+  mapGroup(Members, NodeBegin, S);
+  uint32_t NumLocal = uint32_t(S.NodeIds.size());
+  Worklist List(NumLocal);
+  for (uint32_t Local = NumLocal; Local-- > 0;)
+    if (!isFixedPhase1(Psg.Nodes[S.NodeIds[Local]].Kind))
+      List.push(Local);
+
+  std::vector<uint32_t> ChangedCalls;
+  while (!List.empty()) {
+    uint32_t NodeId = S.NodeIds[List.pop()];
+    PsgNode &Node = Psg.Nodes[NodeId];
+    ++Stats.NodeEvaluations;
+
+    // Figure 8: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
+    // MUST-DEF[E]), unioned across out-edges.
+    RegSet NewMayUse;
+    for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+      ++Stats.EdgeVisits;
+      NewMayUse |= Edge.Label.MayUse |
+                   (Psg.Nodes[Edge.Dst].Sets.MayUse - Edge.Label.MustDef);
+    }
+
+    if (NewMayUse == Node.Sets.MayUse)
+      continue;
+    Node.Sets.MayUse = NewMayUse;
+    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
+         ++I) {
+      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
+      if (!isFixedPhase1(Psg.Nodes[Pred].Kind)) {
+        assert(S.inGroup(Pred) && "PSG edge crosses routines");
+        List.push(S.LocalOf[Pred]);
+      }
+    }
+
+    if (Node.Kind != PsgNodeKind::Entry)
+      continue;
+    RegSet LabelUse = (NewMayUse - SavedPerRoutine[Node.RoutineIndex]) - RaOnly;
+    ChangedCalls.clear();
+    for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
+                  E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
+         I != E; ++I) {
+      PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
+      if (Edge.Label.MayUse == LabelUse)
+        continue;
+      Edge.Label.MayUse = LabelUse;
+      ChangedCalls.push_back(Edge.Src);
+    }
+    for (uint32_t CallNode : ChangedCalls)
+      if (S.inGroup(CallNode))
+        List.push(S.LocalOf[CallNode]);
+  }
+}
+
+/// Solves one component's phase 2 liveness to its fixpoint.  \p AccumIn
+/// is the indirect-call accumulator merged from all earlier condensation
+/// levels; any growth this component contributes (its own indirect-call
+/// return sites) is returned for the caller to merge at the level join.
+/// The phase 2 schedule orders every indirect-calling routine before
+/// every address-taken routine (or merges them into one component), so
+/// the accumulator a component reads is always complete.
+RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
+                        const std::vector<RegSet> &ExitSeed,
+                        const std::vector<bool> &IsAddressTakenExit,
+                        const std::vector<bool> &IsIndirectReturn,
+                        RegSet AccumIn, const std::vector<uint32_t> &Members,
+                        const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
+                        SolverStats &Stats) {
+  mapGroup(Members, NodeBegin, S);
+  uint32_t NumLocal = uint32_t(S.NodeIds.size());
+
+  // Exits of in-group address-taken routines: requeued whenever an
+  // in-group indirect return grows the accumulator.
+  std::vector<uint32_t> GroupATExits;
+  for (uint32_t R : Members)
+    if (Prog.Routines[R].AddressTaken)
+      for (uint32_t ExitNode : Psg.RoutineInfo[R].ExitNodes)
+        GroupATExits.push_back(ExitNode);
+
+  RegSet LocalAccum = AccumIn;
+  Worklist List(NumLocal);
+  for (uint32_t Local = NumLocal; Local-- > 0;) {
+    PsgNodeKind Kind = Psg.Nodes[S.NodeIds[Local]].Kind;
+    if (Kind != PsgNodeKind::Unknown && Kind != PsgNodeKind::Halt)
+      List.push(Local);
+  }
+
+  while (!List.empty()) {
+    uint32_t NodeId = S.NodeIds[List.pop()];
+    PsgNode &Node = Psg.Nodes[NodeId];
+    ++Stats.NodeEvaluations;
+
+    RegSet NewLive;
+    if (Node.Kind == PsgNodeKind::Exit) {
+      // The feeding return nodes live in caller routines: in-group, or
+      // in already-converged earlier levels.
+      NewLive = ExitSeed[NodeId];
+      for (uint32_t I = Psg.ReturnsOfExitBegin[NodeId],
+                    E = Psg.ReturnsOfExitBegin[NodeId + 1];
+           I != E; ++I)
+        NewLive |= Psg.Nodes[Psg.ReturnsOfExitIds[I]].Live;
+      if (IsAddressTakenExit[NodeId])
+        NewLive |= LocalAccum;
+    } else {
+      // Figure 10: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
+      // MUST-DEF[E]), unioned across out-edges.
+      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
+        ++Stats.EdgeVisits;
+        NewLive |= Edge.Label.MayUse |
+                   (Psg.Nodes[Edge.Dst].Live - Edge.Label.MustDef);
+      }
+    }
+
+    if (NewLive == Node.Live)
+      continue;
+    Node.Live = NewLive;
+
+    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
+         ++I) {
+      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
+      PsgNodeKind PredKind = Psg.Nodes[Pred].Kind;
+      if (PredKind != PsgNodeKind::Unknown && PredKind != PsgNodeKind::Halt) {
+        assert(S.inGroup(Pred) && "PSG edge crosses routines");
+        List.push(S.LocalOf[Pred]);
+      }
+    }
+
+    if (Node.Kind == PsgNodeKind::Return) {
+      // Callee exits outside the component are in later levels and pull
+      // this return's converged value when they seed.
+      for (uint32_t I = Psg.ExitsOfReturnBegin[NodeId],
+                    E = Psg.ExitsOfReturnBegin[NodeId + 1];
+           I != E; ++I) {
+        uint32_t ExitNode = Psg.ExitsOfReturnIds[I];
+        if (S.inGroup(ExitNode))
+          List.push(S.LocalOf[ExitNode]);
+      }
+      if (IsIndirectReturn[NodeId] && !LocalAccum.containsAll(Node.Live)) {
+        LocalAccum |= Node.Live;
+        for (uint32_t ExitNode : GroupATExits)
+          List.push(S.LocalOf[ExitNode]);
+      }
+    }
+  }
+
+  return LocalAccum;
 }
 
 } // namespace
@@ -45,8 +332,15 @@ bool isFixedPhase1(PsgNodeKind Kind) {
 //   Pass B solves MAY-USE from bottom with those labels frozen; the
 //   MAY-USE system is then monotone (labels' MAY-USE only grow), so it
 //   converges to the least fixpoint — the meet-over-valid-paths value.
+//
+// Both passes are scheduled callee-first over the call graph's SCC
+// condensation: a component only reads entry summaries its predecessors
+// already converged, so solving components of one condensation level
+// concurrently computes exactly the serial fixpoint and the serial
+// per-component iteration counts.
 SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
-                             const std::vector<RegSet> &SavedPerRoutine) {
+                             const std::vector<RegSet> &SavedPerRoutine,
+                             ThreadPool *Pool) {
   telemetry::Span PhaseSpan("psg.phase1");
   SolverStats Stats;
   RegSet AllRegs = RegSet::allBelow(NumIntRegs);
@@ -88,77 +382,32 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
          I != E; ++I)
       Psg.Edges[Psg.CrEdgeOfEntryIds[I]].Label.MustDef = AllRegs;
 
-  auto SeedWorklist = [&](Worklist &List) {
-    // Reverse id order so that within a routine the first sweep tends to
-    // run sink-to-source.
-    for (uint32_t NodeId = uint32_t(Psg.Nodes.size()); NodeId-- > 0;)
-      if (!isFixedPhase1(Psg.Nodes[NodeId].Kind))
-        List.push(NodeId);
-  };
+  CallGraph Graph = buildCallGraph(Prog);
+  SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
+  std::vector<uint32_t> NodeBegin = routineNodeBegins(Prog, Psg);
+  std::vector<LaneScratch> Scratch(laneCount(Pool));
+  for (LaneScratch &S : Scratch)
+    S.sizeFor(Psg.Nodes.size());
+  std::vector<SolverStats> GroupStats(Sched.NumGroups);
 
-  auto PushPreds = [&](Worklist &List, const PsgNode &Node) {
-    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
-         ++I) {
-      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
-      if (!isFixedPhase1(Psg.Nodes[Pred].Kind))
-        List.push(Pred);
-    }
+  auto RunPass = [&](bool MayUsePass) {
+    for (const std::vector<uint32_t> &Level : Sched.Levels)
+      forEachTask(Pool, Level.size(), [&](size_t I, unsigned Lane) {
+        uint32_t Group = Level[I];
+        if (Sched.Members[Group].empty())
+          return;
+        if (MayUsePass)
+          solveGroupPassB(Psg, SavedPerRoutine, RaOnly, Sched.Members[Group],
+                          NodeBegin, Scratch[Lane], GroupStats[Group]);
+        else
+          solveGroupPassA(Psg, SavedPerRoutine, AllRegs, RaOnly,
+                          Sched.Members[Group], NodeBegin, Scratch[Lane],
+                          GroupStats[Group]);
+      });
   };
 
   // --- Pass A: MUST-DEF and MAY-DEF. -------------------------------------
-  {
-    Worklist List(static_cast<uint32_t>(Psg.Nodes.size()));
-    SeedWorklist(List);
-    std::vector<uint32_t> ChangedCalls;
-    while (!List.empty()) {
-      uint32_t NodeId = List.pop();
-      PsgNode &Node = Psg.Nodes[NodeId];
-      ++Stats.NodeEvaluations;
-
-      RegSet NewMustDef, NewMayDef;
-      bool First = true;
-      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
-        ++Stats.EdgeVisits;
-        const PsgNode &Dst = Psg.Nodes[Edge.Dst];
-        RegSet ThroughMust = Dst.Sets.MustDef | Edge.Label.MustDef;
-        NewMustDef = First ? ThroughMust : (NewMustDef & ThroughMust);
-        NewMayDef |= Dst.Sets.MayDef | Edge.Label.MayDef;
-        First = false;
-      }
-      if (First)
-        NewMustDef = AllRegs; // No path to any sink: meet over nothing.
-
-      if (NewMustDef == Node.Sets.MustDef &&
-          NewMayDef == Node.Sets.MayDef)
-        continue;
-      Node.Sets.MustDef = NewMustDef;
-      Node.Sets.MayDef = NewMayDef;
-      PushPreds(List, Node);
-
-      if (Node.Kind != PsgNodeKind::Entry)
-        continue;
-      // Refresh the def parts of this entry's call-return edges
-      // (Section 3.4 filter + the jsr's own def of ra).
-      RegSet Saved = SavedPerRoutine[Node.RoutineIndex];
-      RegSet LabelMust = (NewMustDef - Saved) | RaOnly;
-      RegSet LabelMay = (NewMayDef - Saved) | RaOnly;
-      ChangedCalls.clear();
-      for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
-                    E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
-           I != E; ++I) {
-        PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
-        assert(Edge.IsCallReturn && "registered edge is not call-return");
-        if (Edge.Label.MustDef == LabelMust &&
-            Edge.Label.MayDef == LabelMay)
-          continue;
-        Edge.Label.MustDef = LabelMust;
-        Edge.Label.MayDef = LabelMay;
-        ChangedCalls.push_back(Edge.Src);
-      }
-      for (uint32_t CallNode : ChangedCalls)
-        List.push(CallNode);
-    }
-  }
+  RunPass(false);
 
   // --- Pass B: MAY-USE, with all MUST-DEF labels frozen. ------------------
   // Reset the MAY-USE state to bottom; indirect call-return edges keep
@@ -172,55 +421,19 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
          I != E; ++I)
       Psg.Edges[Psg.CrEdgeOfEntryIds[I]].Label.MayUse = RegSet();
 
-  {
-    Worklist List(static_cast<uint32_t>(Psg.Nodes.size()));
-    SeedWorklist(List);
-    std::vector<uint32_t> ChangedCalls;
-    while (!List.empty()) {
-      uint32_t NodeId = List.pop();
-      PsgNode &Node = Psg.Nodes[NodeId];
-      ++Stats.NodeEvaluations;
+  RunPass(true);
 
-      // Figure 8: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
-      // MUST-DEF[E]), unioned across out-edges.
-      RegSet NewMayUse;
-      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
-        ++Stats.EdgeVisits;
-        NewMayUse |= Edge.Label.MayUse |
-                     (Psg.Nodes[Edge.Dst].Sets.MayUse - Edge.Label.MustDef);
-      }
-
-      if (NewMayUse == Node.Sets.MayUse)
-        continue;
-      Node.Sets.MayUse = NewMayUse;
-      PushPreds(List, Node);
-
-      if (Node.Kind != PsgNodeKind::Entry)
-        continue;
-      RegSet LabelUse =
-          (NewMayUse - SavedPerRoutine[Node.RoutineIndex]) - RaOnly;
-      ChangedCalls.clear();
-      for (uint32_t I = Psg.CrEdgeOfEntryBegin[NodeId],
-                    E = Psg.CrEdgeOfEntryBegin[NodeId + 1];
-           I != E; ++I) {
-        PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
-        if (Edge.Label.MayUse == LabelUse)
-          continue;
-        Edge.Label.MayUse = LabelUse;
-        ChangedCalls.push_back(Edge.Src);
-      }
-      for (uint32_t CallNode : ChangedCalls)
-        List.push(CallNode);
-    }
+  for (const SolverStats &Group : GroupStats) {
+    Stats.NodeEvaluations += Group.NodeEvaluations;
+    Stats.EdgeVisits += Group.EdgeVisits;
   }
-
   telemetry::count("psg.phase1.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase1.edge_visits", Stats.EdgeVisits);
   return Stats;
 }
 
-SolverStats spike::runPhase2(const Program &Prog,
-                             ProgramSummaryGraph &Psg) {
+SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
+                             ThreadPool *Pool) {
   telemetry::Span PhaseSpan("psg.phase2");
   SolverStats Stats;
 
@@ -235,8 +448,7 @@ SolverStats spike::runPhase2(const Program &Prog,
     IsAddressTakenExit[ExitNode] = true;
   }
   if (Prog.EntryRoutine >= 0)
-    for (uint32_t ExitNode :
-         Psg.RoutineInfo[Prog.EntryRoutine].ExitNodes)
+    for (uint32_t ExitNode : Psg.RoutineInfo[Prog.EntryRoutine].ExitNodes)
       ExitSeed[ExitNode] = UnknownCallerLive;
 
   // Routines reachable from quarantined (or unowned) code must assume
@@ -253,77 +465,51 @@ SolverStats spike::runPhase2(const Program &Prog,
   for (uint32_t ReturnNode : Psg.IndirectReturnNodes)
     IsIndirectReturn[ReturnNode] = true;
 
-  // Union of the live sets of all indirect-call return nodes; flows into
-  // every address-taken routine's exits.
-  RegSet IndirectAccum;
-
   for (PsgNode &Node : Psg.Nodes)
-    Node.Live =
-        Node.Kind == PsgNodeKind::Unknown
-            ? Prog.jumpTargetLive(
-                  Prog.Routines[Node.RoutineIndex]
-                      .Blocks[Node.BlockIndex]
-                      .End -
-                  1)
-            : RegSet();
+    Node.Live = Node.Kind == PsgNodeKind::Unknown
+                    ? Prog.jumpTargetLive(Prog.Routines[Node.RoutineIndex]
+                                              .Blocks[Node.BlockIndex]
+                                              .End -
+                                          1)
+                    : RegSet();
 
-  Worklist List(static_cast<uint32_t>(Psg.Nodes.size()));
-  for (uint32_t NodeId = uint32_t(Psg.Nodes.size()); NodeId-- > 0;) {
-    PsgNodeKind Kind = Psg.Nodes[NodeId].Kind;
-    if (Kind != PsgNodeKind::Unknown && Kind != PsgNodeKind::Halt)
-      List.push(NodeId);
+  // Caller-first schedule: an exit's feeding return sites converge before
+  // the exit's component runs (or share its component), and the hub
+  // ordering does the same for the indirect-call accumulator.
+  CallGraph Graph = buildCallGraph(Prog);
+  SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
+  std::vector<uint32_t> NodeBegin = routineNodeBegins(Prog, Psg);
+  std::vector<LaneScratch> Scratch(laneCount(Pool));
+  for (LaneScratch &S : Scratch)
+    S.sizeFor(Psg.Nodes.size());
+  std::vector<SolverStats> GroupStats(Sched.NumGroups);
+
+  // Union of the live sets of all indirect-call return nodes; flows into
+  // every address-taken routine's exits.  Components read a level-start
+  // snapshot and return their contribution; contributions merge at the
+  // level join (union is commutative, so the merged value — and every
+  // later component's snapshot — is deterministic).
+  RegSet IndirectAccum;
+  std::vector<RegSet> GroupAccum(Sched.NumGroups);
+
+  for (const std::vector<uint32_t> &Level : Sched.Levels) {
+    forEachTask(Pool, Level.size(), [&](size_t I, unsigned Lane) {
+      uint32_t Group = Level[I];
+      if (Sched.Members[Group].empty())
+        return;
+      GroupAccum[Group] = solveGroupPhase2(
+          Prog, Psg, ExitSeed, IsAddressTakenExit, IsIndirectReturn,
+          IndirectAccum, Sched.Members[Group], NodeBegin, Scratch[Lane],
+          GroupStats[Group]);
+    });
+    for (uint32_t Group : Level)
+      IndirectAccum |= GroupAccum[Group];
   }
 
-  while (!List.empty()) {
-    uint32_t NodeId = List.pop();
-    PsgNode &Node = Psg.Nodes[NodeId];
-    ++Stats.NodeEvaluations;
-
-    RegSet NewLive;
-    if (Node.Kind == PsgNodeKind::Exit) {
-      NewLive = ExitSeed[NodeId];
-      for (uint32_t I = Psg.ReturnsOfExitBegin[NodeId],
-                    E = Psg.ReturnsOfExitBegin[NodeId + 1];
-           I != E; ++I)
-        NewLive |= Psg.Nodes[Psg.ReturnsOfExitIds[I]].Live;
-      if (IsAddressTakenExit[NodeId])
-        NewLive |= IndirectAccum;
-    } else {
-      // Figure 10: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
-      // MUST-DEF[E]), unioned across out-edges.
-      for (const PsgEdge &Edge : Psg.outEdges(NodeId)) {
-        ++Stats.EdgeVisits;
-        NewLive |= Edge.Label.MayUse |
-                   (Psg.Nodes[Edge.Dst].Live - Edge.Label.MustDef);
-      }
-    }
-
-    if (NewLive == Node.Live)
-      continue;
-    Node.Live = NewLive;
-
-    for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
-         ++I) {
-      uint32_t Pred = Psg.Edges[Psg.InEdgeIds[I]].Src;
-      PsgNodeKind PredKind = Psg.Nodes[Pred].Kind;
-      if (PredKind != PsgNodeKind::Unknown && PredKind != PsgNodeKind::Halt)
-        List.push(Pred);
-    }
-
-    if (Node.Kind == PsgNodeKind::Return) {
-      for (uint32_t I = Psg.ExitsOfReturnBegin[NodeId],
-                    E = Psg.ExitsOfReturnBegin[NodeId + 1];
-           I != E; ++I)
-        List.push(Psg.ExitsOfReturnIds[I]);
-      if (IsIndirectReturn[NodeId] &&
-          !IndirectAccum.containsAll(Node.Live)) {
-        IndirectAccum |= Node.Live;
-        for (uint32_t ExitNode : Psg.AddressTakenExitNodes)
-          List.push(ExitNode);
-      }
-    }
+  for (const SolverStats &Group : GroupStats) {
+    Stats.NodeEvaluations += Group.NodeEvaluations;
+    Stats.EdgeVisits += Group.EdgeVisits;
   }
-
   telemetry::count("psg.phase2.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase2.edge_visits", Stats.EdgeVisits);
   return Stats;

@@ -21,6 +21,15 @@
 /// restricts propagation to valid paths (the meet-over-all-valid-paths
 /// solution discussed in Section 5).
 ///
+/// Both phases are scheduled over the Tarjan SCC condensation of the call
+/// graph (see cfg/SccSchedule.h): each strongly connected component is
+/// solved with the serial worklist, components with no dependency between
+/// them run concurrently on the optional ThreadPool, and condensation
+/// levels are separated by joins.  Because every PSG edge is
+/// intra-routine, a component's worklist is self-contained and its
+/// iteration sequence — and therefore SolverStats — is identical for
+/// every job count, including the pool-less serial path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIKE_PSG_PSGSOLVER_H
@@ -33,8 +42,11 @@
 
 namespace spike {
 
+class ThreadPool;
+
 /// Solver statistics (used by tests, the ablation bench, and the
-/// telemetry counters).
+/// telemetry counters).  Aggregated over components in component-id
+/// order, so the totals are deterministic across thread counts.
 struct SolverStats {
   /// Worklist pops: each pop evaluates one node's dataflow equation.
   uint64_t NodeEvaluations = 0;
@@ -46,13 +58,19 @@ struct SolverStats {
 };
 
 /// Runs phase 1 to convergence.  \p SavedPerRoutine holds, per routine,
-/// the callee-saved registers it saves and restores (Section 3.4).
+/// the callee-saved registers it saves and restores (Section 3.4).  When
+/// \p Pool is non-null, call-graph components without mutual dependencies
+/// solve concurrently on it; the results and statistics are identical
+/// either way.
 SolverStats runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
-                      const std::vector<RegSet> &SavedPerRoutine);
+                      const std::vector<RegSet> &SavedPerRoutine,
+                      ThreadPool *Pool = nullptr);
 
 /// Runs phase 2 to convergence.  Phase 1 must have run first (the
-/// call-return edge labels it produced are inputs here).
-SolverStats runPhase2(const Program &Prog, ProgramSummaryGraph &Psg);
+/// call-return edge labels it produced are inputs here).  \p Pool as in
+/// runPhase1.
+SolverStats runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
+                      ThreadPool *Pool = nullptr);
 
 /// Returns the callee-saved-filtered copy of \p Sets for a routine whose
 /// saved-and-restored register set is \p Saved (the Section 3.4 filter).

@@ -1,0 +1,161 @@
+//===- support/ThreadPool.cpp - Work-stealing task pool -------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace spike;
+
+unsigned ThreadPool::defaultJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Jobs) {
+  Jobs = std::max(1u, Jobs);
+  Lanes.reserve(Jobs);
+  for (unsigned I = 0; I < Jobs; ++I)
+    Lanes.push_back(std::make_unique<Lane>());
+  Workers.reserve(Jobs - 1);
+  for (unsigned I = 1; I < Jobs; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Shutdown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::parallelFor(size_t Count, const Body &Fn) {
+  Tasks += Count;
+  if (Count == 0)
+    return;
+
+  // One lane (or one task): run inline — this is the exact serial code
+  // path the --jobs=1 configuration promises.
+  if (Lanes.size() == 1 || Count == 1) {
+    for (size_t Index = 0; Index < Count; ++Index)
+      Fn(Index, 0);
+    return;
+  }
+
+  // Distribute contiguous chunks so lane-local LIFO draining walks the
+  // index space in order.
+  size_t NumLanes = Lanes.size();
+  for (size_t LaneId = 0; LaneId < NumLanes; ++LaneId) {
+    size_t Begin = Count * LaneId / NumLanes;
+    size_t End = Count * (LaneId + 1) / NumLanes;
+    std::lock_guard<std::mutex> Lock(Lanes[LaneId]->M);
+    // Push in reverse so the owner's back-pop sees ascending indices.
+    for (size_t Index = End; Index-- > Begin;)
+      Lanes[LaneId]->Q.push_back(Index);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Remaining.store(Count, std::memory_order_relaxed);
+    Batch = &Fn;
+    ++Generation;
+  }
+  WorkCV.notify_all();
+
+  runLane(0);
+
+  // The deterministic join: wait until every index has executed AND every
+  // worker has left the batch, so no straggler can observe (or steal
+  // from) the next batch's deques with this batch's body.
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCV.wait(Lock, [this] {
+      return Remaining.load(std::memory_order_acquire) == 0 &&
+             ActiveWorkers == 0;
+    });
+    Batch = nullptr;
+    if (FirstError) {
+      std::exception_ptr E = FirstError;
+      FirstError = nullptr;
+      std::rethrow_exception(E);
+    }
+  }
+}
+
+void ThreadPool::workerMain(unsigned LaneId) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCV.wait(Lock, [&] {
+        return Shutdown || Generation != SeenGeneration;
+      });
+      if (Shutdown)
+        return;
+      SeenGeneration = Generation;
+      ++ActiveWorkers;
+    }
+    runLane(LaneId);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --ActiveWorkers;
+    }
+    DoneCV.notify_all();
+  }
+}
+
+void ThreadPool::runLane(unsigned LaneId) {
+  const Body *Fn;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Fn = Batch;
+  }
+  if (!Fn)
+    return; // Woke after the batch already drained.
+
+  size_t NumLanes = Lanes.size();
+  for (;;) {
+    size_t Index;
+    bool Got = false;
+    {
+      Lane &Own = *Lanes[LaneId];
+      std::lock_guard<std::mutex> Lock(Own.M);
+      if (!Own.Q.empty()) {
+        Index = Own.Q.back();
+        Own.Q.pop_back();
+        Got = true;
+      }
+    }
+    if (!Got) {
+      // Steal from the front of the next non-empty lane.
+      for (size_t Hop = 1; Hop < NumLanes && !Got; ++Hop) {
+        Lane &Victim = *Lanes[(LaneId + Hop) % NumLanes];
+        std::lock_guard<std::mutex> Lock(Victim.M);
+        if (!Victim.Q.empty()) {
+          Index = Victim.Q.front();
+          Victim.Q.pop_front();
+          Got = true;
+          Steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (!Got)
+      return; // Every deque is empty; stragglers finish on their lanes.
+
+    try {
+      (*Fn)(Index, LaneId);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Take M so the notify cannot slip between the joiner's predicate
+      // check and its block (the classic lost wakeup).
+      { std::lock_guard<std::mutex> Lock(M); }
+      DoneCV.notify_all();
+    }
+  }
+}

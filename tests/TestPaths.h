@@ -1,0 +1,52 @@
+//===- tests/TestPaths.h - Per-test scratch directories -------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ctest discovers every gtest case as its own test and runs them
+/// concurrently (`ctest -j`), so two tests writing the same
+/// `TempDir()/name` race: one test's golden file is overwritten by
+/// another mid-read.  Every test that touches the filesystem gets its
+/// own directory keyed by the running test's full name instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TESTS_TESTPATHS_H
+#define SPIKE_TESTS_TESTPATHS_H
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+
+namespace spike {
+namespace testpaths {
+
+/// A directory unique to the currently running test (created on first
+/// use): `<TempDir>/spike_<Suite>_<Test>`.
+inline std::string testScratchDir() {
+  std::string Name = "spike";
+  if (const ::testing::TestInfo *Info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    Name += std::string("_") + Info->test_suite_name() + "_" + Info->name();
+    for (char &C : Name)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+        C = '_';
+  }
+  std::string Dir = ::testing::TempDir() + "/" + Name;
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// A file path inside the current test's private scratch directory.
+inline std::string scratchFile(const std::string &Name) {
+  return testScratchDir() + "/" + Name;
+}
+
+} // namespace testpaths
+} // namespace spike
+
+#endif // SPIKE_TESTS_TESTPATHS_H

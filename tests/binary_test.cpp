@@ -4,6 +4,7 @@
 #include "binary/ProgramBuilder.h"
 #include "isa/Encoding.h"
 #include "isa/Registers.h"
+#include "TestPaths.h"
 
 #include <gtest/gtest.h>
 
@@ -199,7 +200,7 @@ TEST(ImageTest, ReadRejectsTrailingGarbage) {
 
 TEST(ImageTest, FileRoundTrip) {
   Image Img = tinyProgram();
-  std::string Path = ::testing::TempDir() + "/spike_image_test.spkx";
+  std::string Path = spike::testpaths::scratchFile("spike_image_test.spkx");
   ASSERT_TRUE(writeImageFile(Img, Path));
   std::optional<Image> Back = readImageFile(Path);
   ASSERT_TRUE(Back.has_value());

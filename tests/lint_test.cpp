@@ -20,6 +20,7 @@
 #include "opt/Pipeline.h"
 #include "synth/CfgGenerator.h"
 #include "synth/Profiles.h"
+#include "TestPaths.h"
 
 #include <gtest/gtest.h>
 
@@ -488,7 +489,8 @@ INSTANTIATE_TEST_SUITE_P(ThreeProfiles, LintVerifier,
 namespace {
 
 std::string scratch(const std::string &Name) {
-  return ::testing::TempDir() + "/" + Name;
+  // Per-test directory: concurrent ctest jobs must not share file names.
+  return spike::testpaths::scratchFile(Name);
 }
 
 std::string run(const std::string &Command, int *ExitCode) {

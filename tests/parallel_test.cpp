@@ -1,0 +1,323 @@
+//===- tests/parallel_test.cpp - parallel engine equivalence ---------------===//
+//
+// The parallel analysis engine's contract is absolute: for every profile
+// and every lane count, summaries, live sets, optimized images, and
+// telemetry counters are identical to --jobs=1.  (Only the pool.steals
+// counter and the analysis.jobs gauge may reflect the lane count; both
+// are excluded from every comparison below.)
+//
+// Three layers of evidence:
+//   - differential: all 20 synthetic profiles (the paper's 16 benchmark
+//     shapes plus 4 executable programs) analyzed at jobs 2/4/7 against
+//     the serial run — whole-program summaries, solver statistics, and
+//     the full telemetry counter registry must match,
+//   - sim-backed oracle: spike-opt --jobs=4 end to end on randomized
+//     executable programs — byte-identical output images with unchanged
+//     observable behaviour,
+//   - determinism stress: 25 repeated jobs=7 optimize runs — serialized
+//     images and RunReport JSON byte-identical across repeats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interproc/CfgTwoPhase.h"
+#include "opt/Pipeline.h"
+#include "psg/Analyzer.h"
+#include "sim/Simulator.h"
+#include "support/ThreadPool.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+#include "synth/Profiles.h"
+#include "telemetry/Telemetry.h"
+#include "TestPaths.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+/// The 20 differential subjects: every paper profile capped at ~120
+/// routines (the shapes matter, not the full sizes) plus 4 executable
+/// programs with varying indirection.
+std::vector<std::pair<std::string, Image>> differentialCorpus() {
+  std::vector<std::pair<std::string, Image>> Corpus;
+  for (const BenchmarkProfile &P : paperProfiles()) {
+    double Scale = P.Routines > 120 ? 120.0 / P.Routines : 1.0;
+    BenchmarkProfile Scaled = scaledProfile(P, Scale);
+    Corpus.emplace_back(P.Name, generateCfgProgram(Scaled));
+  }
+  for (uint64_t Seed : {3u, 11u, 29u, 5u}) {
+    ExecProfile P;
+    P.Routines = 24;
+    P.IndirectCallProb = Seed == 5 ? 0.25 : 0.05;
+    P.Seed = Seed;
+    Corpus.emplace_back("exec-" + std::to_string(Seed),
+                        generateExecProgram(P));
+  }
+  return Corpus;
+}
+
+/// One analysis run captured with its full telemetry registry, minus the
+/// two entries documented as lane-count-dependent.
+struct RunCapture {
+  AnalysisResult Result;
+  telemetry::Session::Registry Counters;
+  telemetry::Session::Registry Gauges;
+};
+
+RunCapture analyzeAt(const Image &Img, unsigned Jobs) {
+  telemetry::Session S("parallel_test");
+  RunCapture Cap;
+  {
+    telemetry::SessionScope Scope(S);
+    AnalysisOptions Opts;
+    Opts.Jobs = Jobs;
+    Cap.Result = analyzeImage(Img, CallingConv(), Opts);
+  }
+  Cap.Counters = S.counters();
+  Cap.Gauges = S.gauges();
+  Cap.Counters.erase("pool.steals");
+  Cap.Gauges.erase("analysis.jobs");
+  return Cap;
+}
+
+void expectSummariesEqual(const InterprocSummaries &Serial,
+                          const InterprocSummaries &Parallel,
+                          const std::string &Where) {
+  ASSERT_EQ(Serial.Routines.size(), Parallel.Routines.size()) << Where;
+  for (size_t R = 0; R < Serial.Routines.size(); ++R) {
+    const RoutineResults &S = Serial.Routines[R];
+    const RoutineResults &P = Parallel.Routines[R];
+    const std::string At = Where + " routine " + std::to_string(R);
+    ASSERT_EQ(S.EntrySummaries.size(), P.EntrySummaries.size()) << At;
+    ASSERT_EQ(S.LiveAtEntry.size(), P.LiveAtEntry.size()) << At;
+    ASSERT_EQ(S.LiveAtExit.size(), P.LiveAtExit.size()) << At;
+    for (size_t E = 0; E < S.EntrySummaries.size(); ++E) {
+      EXPECT_EQ(S.EntrySummaries[E].Used, P.EntrySummaries[E].Used) << At;
+      EXPECT_EQ(S.EntrySummaries[E].Defined, P.EntrySummaries[E].Defined)
+          << At;
+      EXPECT_EQ(S.EntrySummaries[E].Killed, P.EntrySummaries[E].Killed)
+          << At;
+      EXPECT_EQ(S.LiveAtEntry[E], P.LiveAtEntry[E]) << At;
+    }
+    for (size_t X = 0; X < S.LiveAtExit.size(); ++X)
+      EXPECT_EQ(S.LiveAtExit[X], P.LiveAtExit[X]) << At;
+  }
+}
+
+void expectRegistriesEqual(const telemetry::Session::Registry &Serial,
+                           const telemetry::Session::Registry &Parallel,
+                           const std::string &Where) {
+  for (const auto &[Name, Value] : Serial)
+    EXPECT_EQ(Parallel.count(Name), 1u)
+        << Where << ": entry '" << Name << "' missing in parallel run";
+  for (const auto &[Name, Value] : Parallel) {
+    auto It = Serial.find(Name);
+    if (It == Serial.end()) {
+      ADD_FAILURE() << Where << ": extra entry '" << Name
+                    << "' in parallel run";
+      continue;
+    }
+    EXPECT_EQ(It->second, Value) << Where << ": entry '" << Name << "'";
+  }
+}
+
+std::string runCommand(const std::string &Command, int *ExitCode) {
+  std::string Output;
+  std::FILE *Pipe = ::popen((Command + " 2>&1").c_str(), "r");
+  if (!Pipe) {
+    *ExitCode = -1;
+    return Output;
+  }
+  char Buffer[512];
+  while (std::fgets(Buffer, sizeof(Buffer), Pipe))
+    Output += Buffer;
+  int Status = ::pclose(Pipe);
+  *ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return Output;
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Zeroes every wall-clock value in a RunReport JSON document ("seconds"
+/// and "total_seconds" fields) and the schedule-dependent pool.steals
+/// counter, leaving everything the determinism contract covers.
+std::string scrubTimings(const std::string &Json) {
+  std::string Out;
+  Out.reserve(Json.size());
+  size_t Pos = 0;
+  while (Pos < Json.size()) {
+    size_t Next = std::string::npos;
+    size_t KeyLen = 0;
+    for (const char *Key :
+         {"\"seconds\": ", "\"total_seconds\": ", "\"pool.steals\": "}) {
+      size_t Hit = Json.find(Key, Pos);
+      if (Hit < Next) {
+        Next = Hit;
+        KeyLen = std::string(Key).size();
+      }
+    }
+    if (Next == std::string::npos) {
+      Out.append(Json, Pos, std::string::npos);
+      break;
+    }
+    Out.append(Json, Pos, Next + KeyLen - Pos);
+    Out += '0';
+    Pos = Next + KeyLen;
+    while (Pos < Json.size() && Json[Pos] != ',' && Json[Pos] != '}' &&
+           Json[Pos] != '\n')
+      ++Pos;
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: every profile, every lane count, against serial
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelDifferential, AllProfilesMatchSerialAtEveryJobCount) {
+  std::vector<std::pair<std::string, Image>> Corpus = differentialCorpus();
+  ASSERT_EQ(Corpus.size(), 20u);
+
+  for (const auto &[Name, Img] : Corpus) {
+    RunCapture Serial = analyzeAt(Img, 1);
+    for (unsigned Jobs : {2u, 4u, 7u}) {
+      const std::string Where =
+          Name + " jobs=" + std::to_string(Jobs);
+      RunCapture Parallel = analyzeAt(Img, Jobs);
+
+      expectSummariesEqual(Serial.Result.Summaries,
+                           Parallel.Result.Summaries, Where);
+
+      // Per-worker SolverStats aggregate to the serial counts: the
+      // SCC-scheduled worklists pop the same nodes in the same order
+      // regardless of which lane runs each component.
+      EXPECT_EQ(Serial.Result.Phase1Stats.NodeEvaluations,
+                Parallel.Result.Phase1Stats.NodeEvaluations)
+          << Where;
+      EXPECT_EQ(Serial.Result.Phase1Stats.EdgeVisits,
+                Parallel.Result.Phase1Stats.EdgeVisits)
+          << Where;
+      EXPECT_EQ(Serial.Result.Phase2Stats.NodeEvaluations,
+                Parallel.Result.Phase2Stats.NodeEvaluations)
+          << Where;
+      EXPECT_EQ(Serial.Result.Phase2Stats.EdgeVisits,
+                Parallel.Result.Phase2Stats.EdgeVisits)
+          << Where;
+
+      expectRegistriesEqual(Serial.Counters, Parallel.Counters,
+                            Where + " counters");
+      expectRegistriesEqual(Serial.Gauges, Parallel.Gauges,
+                            Where + " gauges");
+    }
+  }
+}
+
+TEST(ParallelDifferential, CfgTwoPhaseReferenceMatchesSerial) {
+  // The CFG-level reference engine gets the same SCC scheduling; its
+  // parallel path must reproduce its serial fixpoint exactly too.
+  std::vector<std::pair<std::string, Image>> Corpus = differentialCorpus();
+  ThreadPool Pool(4);
+  unsigned Checked = 0;
+  for (size_t I = 0; I < Corpus.size(); I += 4) {
+    AnalysisResult Base = analyzeAt(Corpus[I].second, 1).Result;
+    InterprocSummaries Serial =
+        runCfgTwoPhase(Base.Prog, Base.SavedPerRoutine);
+    InterprocSummaries Parallel =
+        runCfgTwoPhase(Base.Prog, Base.SavedPerRoutine, &Pool);
+    expectSummariesEqual(Serial, Parallel, Corpus[I].first + " two-phase");
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sim-backed oracle: spike-opt --jobs end to end
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelOracle, OptCliJobsFourMatchesSerialAndBehaviour) {
+  std::string Tool = std::string(SPIKE_TOOLS_DIR) + "/spike-opt";
+  for (uint64_t Seed : {17u, 23u, 41u}) {
+    ExecProfile P;
+    P.Routines = 20;
+    P.CallsPerRoutine = 2.5;
+    P.DeadCodeProb = 0.25;
+    P.ExtraSaveProb = 0.15;
+    P.Seed = Seed;
+    Image Original = generateExecProgram(P);
+
+    std::string In = testpaths::scratchFile("in" + std::to_string(Seed) +
+                                            ".spkx");
+    std::string Out1 = testpaths::scratchFile(
+        "out1_" + std::to_string(Seed) + ".spkx");
+    std::string Out4 = testpaths::scratchFile(
+        "out4_" + std::to_string(Seed) + ".spkx");
+    ASSERT_TRUE(writeImageFile(Original, In));
+
+    int Exit = 0;
+    std::string Log =
+        runCommand(Tool + " " + In + " -o " + Out1 + " --jobs=1", &Exit);
+    ASSERT_EQ(Exit, 0) << Log;
+    Log = runCommand(Tool + " " + In + " -o " + Out4 + " --jobs=4", &Exit);
+    ASSERT_EQ(Exit, 0) << Log;
+
+    EXPECT_EQ(readFileBytes(Out1), readFileBytes(Out4))
+        << "seed " << Seed << ": optimized image depends on --jobs";
+
+    std::optional<Image> Optimized = readImageFile(Out4);
+    ASSERT_TRUE(Optimized.has_value());
+    SimResult Before = simulate(Original);
+    SimResult After = simulate(*Optimized);
+    EXPECT_TRUE(Before.sameObservable(After))
+        << "seed " << Seed << ": --jobs=4 optimization changed behaviour";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism stress: repeated parallel runs are byte-identical
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelDeterminism, RepeatedRunsAreByteIdentical) {
+  ExecProfile P;
+  P.Routines = 32;
+  P.CallsPerRoutine = 2.5;
+  P.DeadCodeProb = 0.25;
+  P.ExtraSaveProb = 0.15;
+  P.IndirectCallProb = 0.1;
+  P.Seed = 4099;
+  Image Original = generateExecProgram(P);
+
+  std::vector<uint8_t> FirstBytes;
+  std::string FirstReport;
+  for (int Rep = 0; Rep < 25; ++Rep) {
+    telemetry::Session S("parallel_determinism");
+    Image Img = Original;
+    {
+      telemetry::SessionScope Scope(S);
+      PipelineOptions Opts;
+      Opts.Jobs = 7;
+      optimizeImage(Img, CallingConv(), Opts);
+    }
+    std::vector<uint8_t> Bytes = writeImage(Img);
+    std::string Report = scrubTimings(telemetry::runReportJson(S));
+    if (Rep == 0) {
+      FirstBytes = std::move(Bytes);
+      FirstReport = std::move(Report);
+      continue;
+    }
+    ASSERT_EQ(Bytes, FirstBytes) << "rep " << Rep;
+    ASSERT_EQ(Report, FirstReport) << "rep " << Rep;
+  }
+}

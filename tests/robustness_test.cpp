@@ -16,6 +16,7 @@
 #include "support/Rng.h"
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
+#include "TestPaths.h"
 
 #include <gtest/gtest.h>
 
@@ -100,7 +101,7 @@ TEST(FuzzTest, LintCliRejectsTruncatedFilesCleanly) {
   P.Routines = 6;
   P.Seed = 7;
   std::vector<uint8_t> Bytes = writeImage(generateExecProgram(P));
-  std::string Path = ::testing::TempDir() + "/lint_trunc.spkx";
+  std::string Path = spike::testpaths::scratchFile("lint_trunc.spkx");
   {
     std::ofstream Out(Path, std::ios::binary);
     Out.write(reinterpret_cast<const char *>(Bytes.data()),
@@ -245,3 +246,89 @@ TEST_P(PsgInvariants, HoldOnRandomPrograms) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PsgInvariants,
                          ::testing::Range(uint64_t(1), uint64_t(7)));
+
+//===----------------------------------------------------------------------===//
+// Parallel quarantine path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSameSummaries(const InterprocSummaries &A,
+                         const InterprocSummaries &B,
+                         const std::string &Where) {
+  ASSERT_EQ(A.Routines.size(), B.Routines.size()) << Where;
+  for (size_t R = 0; R < A.Routines.size(); ++R) {
+    const RoutineResults &X = A.Routines[R];
+    const RoutineResults &Y = B.Routines[R];
+    ASSERT_EQ(X.EntrySummaries.size(), Y.EntrySummaries.size()) << Where;
+    for (size_t E = 0; E < X.EntrySummaries.size(); ++E) {
+      EXPECT_EQ(X.EntrySummaries[E].Used, Y.EntrySummaries[E].Used)
+          << Where << " routine " << R;
+      EXPECT_EQ(X.EntrySummaries[E].Defined, Y.EntrySummaries[E].Defined)
+          << Where << " routine " << R;
+      EXPECT_EQ(X.EntrySummaries[E].Killed, Y.EntrySummaries[E].Killed)
+          << Where << " routine " << R;
+      EXPECT_EQ(X.LiveAtEntry[E], Y.LiveAtEntry[E]) << Where << " " << R;
+    }
+    ASSERT_EQ(X.LiveAtExit.size(), Y.LiveAtExit.size()) << Where;
+    for (size_t E = 0; E < X.LiveAtExit.size(); ++E)
+      EXPECT_EQ(X.LiveAtExit[E], Y.LiveAtExit[E]) << Where << " " << R;
+  }
+}
+
+} // namespace
+
+TEST(ParallelRobustness, QuarantineCasesMatchSerialAcrossJobs) {
+  // Quarantined routines (defective code modeled as unknowable) take a
+  // different path through the parallel engine — their worst-case
+  // summaries are fixed inputs, not solved.  Degraded programs must
+  // still analyze identically at every lane count.
+  ExecProfile P;
+  P.Routines = 10;
+  P.Seed = 99;
+  Image Img = generateExecProgram(P);
+  AnalysisResult Base = analyzeImage(Img);
+
+  for (uint32_t R = 0; R < Base.Prog.Routines.size(); R += 3) {
+    AnalysisOptions Serial;
+    Serial.Cfg.ForceQuarantine.push_back(Base.Prog.Routines[R].Name);
+    AnalysisOptions Parallel = Serial;
+    Parallel.Jobs = 4;
+    AnalysisResult A = analyzeImage(Img, CallingConv(), Serial);
+    AnalysisResult B = analyzeImage(Img, CallingConv(), Parallel);
+    expectSameSummaries(A.Summaries, B.Summaries,
+                        "quarantined " + Base.Prog.Routines[R].Name);
+  }
+}
+
+TEST(ParallelRobustness, CorruptedImagesLintIdenticallyAcrossJobs) {
+  // Whatever a byte-flipped image degrades into, the parallel linter
+  // must report exactly the serial diagnostics.
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 99;
+  std::vector<uint8_t> Bytes = writeImage(generateExecProgram(P));
+
+  Rng Rand(515);
+  unsigned Compared = 0;
+  for (int Trial = 0; Trial < 60 && Compared < 12; ++Trial) {
+    std::vector<uint8_t> Mutated = Bytes;
+    unsigned Flips = 1 + unsigned(Rand.below(8));
+    for (unsigned F = 0; F < Flips; ++F)
+      Mutated[Rand.below(Mutated.size())] ^= uint8_t(Rand.below(256));
+    std::optional<Image> Img = readImage(Mutated);
+    if (!Img)
+      continue;
+    ++Compared;
+
+    LintOptions Serial;
+    LintOptions Parallel;
+    Parallel.Jobs = 4;
+    LintResult A = lintImage(*Img, CallingConv(), Serial);
+    LintResult B = lintImage(*Img, CallingConv(), Parallel);
+    ASSERT_EQ(A.Diags.size(), B.Diags.size()) << "trial " << Trial;
+    for (size_t D = 0; D < A.Diags.size(); ++D)
+      EXPECT_EQ(A.Diags[D].str(), B.Diags[D].str()) << "trial " << Trial;
+  }
+  EXPECT_GE(Compared, 1u);
+}

@@ -9,6 +9,7 @@
 
 #include "telemetry/Json.h"
 #include "telemetry/RunReport.h"
+#include "TestPaths.h"
 
 #include <gtest/gtest.h>
 
@@ -23,7 +24,9 @@ namespace {
 std::string toolsDir() { return SPIKE_TOOLS_DIR; }
 
 std::string scratchPath(const std::string &Name) {
-  return ::testing::TempDir() + "/" + Name;
+  // Per-test directory: these cases run concurrently under `ctest -j`,
+  // and a shared TempDir() name lets one test clobber another's file.
+  return spike::testpaths::scratchFile(Name);
 }
 
 /// Runs a command, captures stdout, returns exit status via \p Status.

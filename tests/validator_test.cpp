@@ -24,6 +24,7 @@
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "TestPaths.h"
 
 #include <gtest/gtest.h>
 
@@ -128,7 +129,7 @@ TEST(LoaderTest, GoldenContainerErrorCodes) {
 }
 
 TEST(LoaderTest, FileErrorsAreDistinctAndNamed) {
-  std::string Dir = ::testing::TempDir();
+  std::string Dir = spike::testpaths::testScratchDir();
 
   // Nonexistent file.
   {

@@ -1,0 +1,67 @@
+//===- tools/ToolOptions.h - Shared --jobs plumbing -----------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every spike tool accepts the same parallelism flag:
+///
+///   --jobs=<n>   worker lanes for the parallel analysis engine
+///
+/// (the two-token form `--jobs <n>` works too).  The default is the
+/// hardware concurrency; `--jobs=1` runs everything inline on the main
+/// thread.  Every value produces identical output — the engine schedules
+/// work over the call graph's SCC condensation, so results, summaries,
+/// and telemetry counters do not depend on the lane count (only the
+/// pool.steals counter and the analysis.jobs gauge reflect it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TOOLS_TOOLOPTIONS_H
+#define SPIKE_TOOLS_TOOLOPTIONS_H
+
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spike {
+namespace toolopts {
+
+/// Consumes `--jobs=<n>` / `--jobs <n>` at position \p I of the argument
+/// list.  Returns true if Argv[I] was the jobs flag; \p I is advanced
+/// past any consumed value token.  A non-numeric or zero count exits
+/// with a usage error, matching the tools' flag handling.
+inline bool parseJobs(int Argc, char **Argv, int &I, unsigned &Jobs) {
+  const char *Value = nullptr;
+  if (std::strncmp(Argv[I], "--jobs", 6) == 0) {
+    if (Argv[I][6] == '=')
+      Value = Argv[I] + 7;
+    else if (Argv[I][6] == '\0' && I + 1 < Argc)
+      Value = Argv[++I];
+  }
+  if (!Value)
+    return false;
+  char *End = nullptr;
+  unsigned long Parsed = std::strtoul(Value, &End, 10);
+  if (End == Value || *End != '\0' || Parsed == 0 || Parsed > 1024) {
+    std::fprintf(stderr, "error: --jobs expects a count in [1, 1024]\n");
+    std::exit(2);
+  }
+  Jobs = unsigned(Parsed);
+  return true;
+}
+
+/// The usage-line fragment documenting the shared flag.
+inline const char *jobsUsage() { return "[--jobs=<n>]"; }
+
+/// The default job count when the flag is absent: the hardware
+/// concurrency.
+inline unsigned defaultJobs() { return ThreadPool::defaultJobs(); }
+
+} // namespace toolopts
+} // namespace spike
+
+#endif // SPIKE_TOOLS_TOOLOPTIONS_H

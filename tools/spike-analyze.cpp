@@ -14,6 +14,7 @@
 #include "lint/Linter.h"
 #include "psg/Analyzer.h"
 #include "psg/DotExport.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -50,6 +51,7 @@ void printRoutineSummaries(const AnalysisResult &Result,
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName, DotWhat;
   bool Summaries = false, Stats = false, Verify = false;
+  unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--summaries") == 0)
@@ -62,21 +64,23 @@ int main(int Argc, char **Argv) {
       RoutineName = Argv[++I];
     else if (std::strcmp(Argv[I], "--dot") == 0 && I + 1 < Argc)
       DotWhat = Argv[++I]; // "psg", "cfg", or "callgraph"
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--summaries] [--stats] "
-                   "[--verify] [--routine <name>] %s\n",
-                   Argv[0], tooltel::usage());
+                   "[--verify] [--routine <name>] %s %s\n",
+                   Argv[0], toolopts::jobsUsage(), tooltel::usage());
       return 2;
     } else
       Path = Argv[I];
   }
   if (Path.empty()) {
     std::fprintf(stderr, "usage: %s <image.spkx> [--summaries] [--stats] "
-                         "[--verify] [--routine <name>] %s\n",
-                 Argv[0], tooltel::usage());
+                         "[--verify] [--routine <name>] %s %s\n",
+                 Argv[0], toolopts::jobsUsage(), tooltel::usage());
     return 2;
   }
   if (!Summaries && !Verify && RoutineName.empty())
@@ -91,7 +95,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  AnalysisResult Result = analyzeImage(*Img);
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Jobs;
+  AnalysisResult Result = analyzeImage(*Img, {}, AOpts);
 
   if (Verify) {
     // Cross-check the PSG summaries against the CFG-level two-phase

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "binary/Assembler.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -27,10 +28,13 @@ static void usage(const char *Prog) {
 
 int main(int Argc, char **Argv) {
   std::string InputPath, OutputPath;
+  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
       OutputPath = Argv[++I];
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-') {

@@ -43,6 +43,7 @@
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -58,8 +59,8 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seed <n>] [--iterations <n>] "
-               "[--artifact-dir <dir>] [--skip-oracle] [--verbose] %s\n",
-               Prog, tooltel::usage());
+               "[--artifact-dir <dir>] [--skip-oracle] [--verbose] %s %s\n",
+               Prog, toolopts::jobsUsage(), tooltel::usage());
   return 2;
 }
 
@@ -69,6 +70,7 @@ struct FuzzConfig {
   std::string ArtifactDir;
   bool SkipOracle = false;
   bool Verbose = false;
+  unsigned Jobs = 1;
 };
 
 /// Global failure sink: remembers the first violation and counts all.
@@ -100,8 +102,9 @@ struct Verdicts {
 /// every routine that is not itself quarantined.
 void checkDegradationSound(const Image &Img, const AnalysisResult &Exact,
                            const std::string &Victim, Verdicts &V,
-                           const std::string &Context) {
+                           const std::string &Context, unsigned Jobs) {
   AnalysisOptions Opts;
+  Opts.Jobs = Jobs;
   Opts.Cfg.ForceQuarantine.push_back(Victim);
   AnalysisResult Degraded = analyzeImage(Img, CallingConv(), Opts);
 
@@ -146,17 +149,19 @@ void checkDegradationSound(const Image &Img, const AnalysisResult &Exact,
 /// image is force-quarantined in turn (bounded per image to keep the
 /// startup cost sane for large profiles).
 void runOracle(const std::vector<Image> &Corpus, Verdicts &V,
-               bool Verbose) {
+               bool Verbose, unsigned Jobs) {
+  AnalysisOptions ExactOpts;
+  ExactOpts.Jobs = Jobs;
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const Image &Img = Corpus[I];
-    AnalysisResult Exact = analyzeImage(Img);
+    AnalysisResult Exact = analyzeImage(Img, CallingConv(), ExactOpts);
     uint32_t Count = uint32_t(Exact.Prog.Routines.size());
     // All routines for small images, an even stride for big ones.
     uint32_t Step = Count <= 16 ? 1 : Count / 16;
     const std::string Context = "oracle corpus[" + std::to_string(I) + "]";
     for (uint32_t R = 0; R < Count; R += Step)
       checkDegradationSound(Img, Exact, Exact.Prog.Routines[R].Name, V,
-                            Context);
+                            Context, Jobs);
     if (Verbose)
       std::fprintf(stderr, "%s: %u routines checked\n", Context.c_str(),
                    (Count + Step - 1) / Step);
@@ -291,7 +296,7 @@ enum class MutantOutcome { CleanError, Degraded, Full };
 
 /// Drives one mutant through the full stack and asserts the trichotomy.
 MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
-                        const std::string &Context) {
+                        const std::string &Context, unsigned Jobs) {
   // Outcome 1: clean error.  Structured code, non-empty message, done.
   Expected<Image> Loaded = loadImage(Bytes);
   if (!Loaded) {
@@ -302,7 +307,9 @@ MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
   Image Img = *Loaded;
 
   ValidationReport Report = validateImage(Img);
-  AnalysisResult Analysis = analyzeImage(Img);
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Jobs;
+  AnalysisResult Analysis = analyzeImage(Img, CallingConv(), AOpts);
   const Program &Prog = Analysis.Prog;
   RegSet AllRegs = RegSet::allBelow(NumIntRegs);
 
@@ -361,6 +368,7 @@ MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
 
   PipelineOptions OptOpts;
   OptOpts.MaxRounds = 2;
+  OptOpts.Jobs = Jobs;
   PipelineStats Stats = optimizeImage(Img, CallingConv(), OptOpts);
   FUZZ_CHECK(Stats.RoundsRolledBack == 0, V,
              Context + " optimizer round rolled back (pass bug?)");
@@ -399,6 +407,7 @@ std::vector<Image> buildCorpus() {
 
 int main(int Argc, char **Argv) {
   FuzzConfig Config;
+  Config.Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc)
@@ -411,6 +420,8 @@ int main(int Argc, char **Argv) {
       Config.SkipOracle = true;
     else if (std::strcmp(Argv[I], "--verbose") == 0)
       Config.Verbose = true;
+    else if (toolopts::parseJobs(Argc, Argv, I, Config.Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else
@@ -426,7 +437,7 @@ int main(int Argc, char **Argv) {
     Serialized.push_back(writeImage(Img));
 
   if (!Config.SkipOracle) {
-    runOracle(Corpus, V, Config.Verbose);
+    runOracle(Corpus, V, Config.Verbose, Config.Jobs);
     if (V.Failures != 0) {
       std::fprintf(stderr,
                    "spike-fuzz: soundness oracle FAILED (%llu violations)\n",
@@ -464,7 +475,7 @@ int main(int Argc, char **Argv) {
       Mutant = mutateBytes(std::move(Mutant), Rand);
 
     uint64_t FailuresBefore = V.Failures;
-    MutantOutcome Outcome = runMutant(Mutant, V, Context);
+    MutantOutcome Outcome = runMutant(Mutant, V, Context, Config.Jobs);
     telemetry::count("fuzz.mutants");
     telemetry::count(Outcome == MutantOutcome::CleanError
                          ? "fuzz.outcome.error"

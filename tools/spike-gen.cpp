@@ -11,6 +11,7 @@
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -34,6 +35,7 @@ int main(int Argc, char **Argv) {
   double Scale = 1.0;
   unsigned Routines = 16;
   uint64_t Seed = 42;
+  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
   tooltel::Options TelemetryOpts;
 
   for (int I = 1; I < Argc; ++I) {
@@ -51,6 +53,8 @@ int main(int Argc, char **Argv) {
       Seed = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
       OutputPath = Argv[++I];
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else {

@@ -24,6 +24,7 @@
 #include "lint/JsonWriter.h"
 #include "lint/Linter.h"
 #include "opt/Pipeline.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -38,8 +39,8 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.spkx> [--json] [--verify] "
                "[--min-severity note|warning|error] [--disable <SLnnn>] "
-               "[--rounds <n>] %s\n",
-               Prog, tooltel::usage());
+               "[--rounds <n>] %s %s\n",
+               Prog, toolopts::jobsUsage(), tooltel::usage());
   return 2;
 }
 
@@ -50,6 +51,7 @@ int main(int Argc, char **Argv) {
   bool Json = false, Verify = false;
   unsigned Rounds = 3;
   LintOptions Opts;
+  Opts.Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
@@ -81,6 +83,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strcmp(Argv[I], "--rounds") == 0 && I + 1 < Argc)
       Rounds = unsigned(std::atoi(Argv[++I]));
+    else if (toolopts::parseJobs(Argc, Argv, I, Opts.Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-')
@@ -119,6 +123,7 @@ int main(int Argc, char **Argv) {
     PipeOpts.MaxRounds = Rounds;
     PipeOpts.LintSelfCheck = true;
     PipeOpts.CrossCheck = true;
+    PipeOpts.Jobs = Opts.Jobs;
     PipelineStats Stats = optimizeImage(Copy, CallingConv(), PipeOpts);
     for (const std::string &Report : Stats.LintReports)
       Result.Diags.push_back(makeDiagnostic(

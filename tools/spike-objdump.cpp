@@ -9,6 +9,7 @@
 #include "binary/Image.h"
 #include "cfg/CfgBuilder.h"
 #include "isa/Encoding.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -19,10 +20,13 @@ using namespace spike;
 
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName;
+  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
       RoutineName = Argv[++I];
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-') {

@@ -12,6 +12,7 @@
 #include "opt/AnnotationDeriver.h"
 #include "opt/Pipeline.h"
 #include "sim/Simulator.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
@@ -27,6 +28,7 @@ int main(int Argc, char **Argv) {
   bool Verify = false;
   bool SelfCheck = false;
   bool DeriveAnnotations = false;
+  unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
@@ -39,14 +41,16 @@ int main(int Argc, char **Argv) {
       SelfCheck = true;
     else if (std::strcmp(Argv[I], "--derive-annotations") == 0)
       DeriveAnnotations = true;
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <input.spkx> -o <output.spkx> "
                    "[--rounds N] [--verify] [--self-check] "
-                   "[--derive-annotations] %s\n",
-                   Argv[0], tooltel::usage());
+                   "[--derive-annotations] %s %s\n",
+                   Argv[0], toolopts::jobsUsage(), tooltel::usage());
       return 2;
     } else
       InputPath = Argv[I];
@@ -54,8 +58,8 @@ int main(int Argc, char **Argv) {
   if (InputPath.empty() || OutputPath.empty()) {
     std::fprintf(stderr, "usage: %s <input.spkx> -o <output.spkx> "
                          "[--rounds N] [--verify] [--self-check] "
-                         "[--derive-annotations] %s\n",
-                 Argv[0], tooltel::usage());
+                         "[--derive-annotations] %s %s\n",
+                 Argv[0], toolopts::jobsUsage(), tooltel::usage());
     return 2;
   }
 
@@ -77,6 +81,7 @@ int main(int Argc, char **Argv) {
   PipelineOptions Opts;
   Opts.MaxRounds = Rounds;
   Opts.LintSelfCheck = SelfCheck;
+  Opts.Jobs = Jobs;
   PipelineStats Stats = optimizeImage(*Img, CallingConv(), Opts);
   std::printf("rounds:                        %u\n", Stats.Rounds);
   std::printf("dead defs deleted:             %llu\n",

@@ -10,6 +10,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "sim/Simulator.h"
+#include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <algorithm>
@@ -28,6 +29,7 @@ int main(int Argc, char **Argv) {
   SimOptions Opts;
   bool DumpData = false;
   bool Profile = false;
+  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--args") == 0) {
@@ -39,6 +41,7 @@ int main(int Argc, char **Argv) {
       DumpData = true;
     } else if (std::strcmp(Argv[I], "--profile") == 0) {
       Profile = Opts.Profile = true;
+    } else if (toolopts::parseJobs(Argc, Argv, I, Jobs)) {
     } else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts)) {
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr,

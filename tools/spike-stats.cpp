@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "telemetry/RunReport.h"
+#include "ToolOptions.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,8 +50,11 @@ int main(int Argc, char **Argv) {
   std::string BaselinePath, CurrentPath;
   DiffOptions Opts;
   bool WarnOnly = false;
+  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--max-counter-growth") == 0 && I + 1 < Argc)
+    if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
+    else if (std::strcmp(Argv[I], "--max-counter-growth") == 0 && I + 1 < Argc)
       Opts.MaxCounterGrowth = std::atof(Argv[++I]);
     else if (std::strcmp(Argv[I], "--max-time-growth") == 0 && I + 1 < Argc)
       Opts.MaxTimeGrowth = std::atof(Argv[++I]);
