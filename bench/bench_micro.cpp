@@ -103,6 +103,41 @@ void BM_Phases(benchmark::State &State) {
 }
 BENCHMARK(BM_Phases)->Unit(benchmark::kMillisecond);
 
+void BM_PhasesProvenance(benchmark::State &State) {
+  // BM_Phases with derivation recording on: the difference between the
+  // two is the whole cost of provenance (one table write per set bit
+  // plus the attribution walk).
+  Program Prog = buildProgram(mediumImage(), CallingConv());
+  computeDefUbd(Prog);
+  std::vector<RegSet> Saved;
+  for (const Routine &R : Prog.Routines)
+    Saved.push_back(analyzeSaveRestore(Prog, R).Saved);
+  ProgramSummaryGraph Psg = buildPsg(Prog);
+  ProvenanceStore Prov;
+  for (auto _ : State) {
+    Prov.init(Psg.Nodes.size());
+    runPhase1(Prog, Psg, Saved, nullptr, &Prov);
+    runPhase2(Prog, Psg, nullptr, &Prov);
+    benchmark::DoNotOptimize(Psg.Nodes[0].Live);
+  }
+}
+BENCHMARK(BM_PhasesProvenance)->Unit(benchmark::kMillisecond);
+
+void BM_RecordProvenanceDisabled(benchmark::State &State) {
+  // The disabled path the solver takes on every set-growing step when
+  // recording is off: one null check, no memory touched (the allocator-
+  // level proof is tests/provenance_noalloc_test.cpp).
+  ProvDerivation D;
+  D.Kind = ProvKind::EdgeLabel;
+  D.Edge = 3;
+  for (auto _ : State) {
+    uint64_t Fresh =
+        recordProvenance(nullptr, ProvFact::Live, 7, RegSet({1, 5, 9}), D);
+    benchmark::DoNotOptimize(Fresh);
+  }
+}
+BENCHMARK(BM_RecordProvenanceDisabled);
+
 void BM_FullAnalysis(benchmark::State &State) {
   const Image &Img = mediumImage();
   for (auto _ : State) {

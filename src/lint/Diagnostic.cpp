@@ -75,6 +75,11 @@ std::string Diagnostic::str() const {
   }
   Line += ": ";
   Line += Message;
+  if (!Hint.empty()) {
+    Line += " (try: ";
+    Line += Hint;
+    Line += ")";
+  }
   return Line;
 }
 

@@ -93,6 +93,12 @@ struct Diagnostic {
   /// Human-readable description of the finding.
   std::string Message;
 
+  /// Optional follow-up command that explains the finding from first
+  /// principles (usually a spike-explain invocation that walks the
+  /// witness chain behind the diagnosed fact).  Empty when no deeper
+  /// explanation exists.
+  std::string Hint;
+
   /// Renders one line: "warning: SL002 [cc-clobber] r3 @17: ...".
   std::string str() const;
 };

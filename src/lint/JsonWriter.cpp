@@ -67,7 +67,13 @@ std::string spike::writeDiagnosticsJson(const LintResult &Result) {
     }
     Out += ", \"message\": \"";
     Out += jsonEscape(D.Message);
-    Out += "\"}";
+    Out += "\"";
+    if (!D.Hint.empty()) {
+      Out += ", \"hint\": \"";
+      Out += jsonEscape(D.Hint);
+      Out += "\"";
+    }
+    Out += "}";
   }
   Out += First ? "],\n" : "\n  ],\n";
   Out += "  \"counts\": {\"note\": ";

@@ -88,13 +88,17 @@ void spike::checkUndefEntryReads(LintContext &Ctx) {
   RegSet Live =
       Ctx.Analysis.Summaries.Routines[RoutineIndex].LiveAtEntry[Entry];
   RegSet Suspicious = Live - Provided - Conv.CalleeSaved;
-  for (unsigned Reg : Suspicious)
-    Ctx.Out.push_back(makeDiagnostic(
+  for (unsigned Reg : Suspicious) {
+    Diagnostic D = makeDiagnostic(
         RuleId::UndefEntryRead, int32_t(RoutineIndex), R.Name,
         int32_t(R.EntryBlocks[Entry]), int64_t(R.EntryAddresses[Entry]),
         "register " + regRef(Reg) +
             " is live at the program entry point: some path reads it "
-            "before anything defines it"));
+            "before anything defines it");
+    D.Hint = std::string("spike-explain --why-live ") + regName(Reg) +
+             "@entry:" + R.Name;
+    Ctx.Out.push_back(std::move(D));
+  }
 }
 
 void spike::checkCalleeSavedClobbers(LintContext &Ctx) {
@@ -121,21 +125,25 @@ void spike::checkCalleeSavedClobbers(LintContext &Ctx) {
       MayDef |= Ctx.Analysis.entrySets(RoutineIndex, E).MayDef;
 
     RegSet Clobbered = (MayDef & Conv.CalleeSaved) - Saved;
-    for (unsigned Reg : Clobbered)
-      Ctx.Out.push_back(makeDiagnostic(
+    for (unsigned Reg : Clobbered) {
+      Diagnostic D = makeDiagnostic(
           RuleId::CalleeSavedClobber, int32_t(RoutineIndex), R.Name,
           int32_t(R.EntryBlocks.empty() ? 0 : R.EntryBlocks[0]),
           int64_t(R.Begin),
           "callee-saved register " + regRef(Reg) +
               " may be clobbered (defined here or in a callee, and not "
-              "saved/restored by this routine)"));
+              "saved/restored by this routine)");
+      D.Hint = std::string("spike-explain --why-may-def ") + regName(Reg) +
+               "@entry:" + R.Name;
+      Ctx.Out.push_back(std::move(D));
+    }
   }
 }
 
-std::vector<uint64_t>
-spike::findDeadDefs(const Program &Prog,
-                    const InterprocSummaries &Summaries) {
-  std::vector<uint64_t> Dead;
+std::vector<DeadDefCandidate>
+spike::findDeadDefCandidates(const Program &Prog,
+                             const InterprocSummaries &Summaries) {
+  std::vector<DeadDefCandidate> Candidates;
   for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
        ++RoutineIndex) {
     const Routine &R = Prog.Routines[RoutineIndex];
@@ -144,6 +152,8 @@ spike::findDeadDefs(const Program &Prog,
     if (R.Quarantined)
       continue;
 
+    // The real lens: the interprocedural summaries, exactly what
+    // DeadDefElim consults.
     LivenessResult Live = solveLiveness(
         R,
         [&](uint32_t BlockIndex) {
@@ -157,17 +167,43 @@ spike::findDeadDefs(const Program &Prog,
           return Prog.jumpTargetLive(R.Blocks[BlockIndex].End - 1);
         });
 
+    // The optimistic lens: nothing live at exits or unknown jumps, calls
+    // consume nothing (call-defined kills are kept — they are local
+    // facts).  Every boundary set shrinks and liveness is monotone in
+    // them, so anything dead under the real lens is dead here too: the
+    // candidate set covers every definition DeadDefElim could fire on,
+    // and the candidates the real lens rejects are precisely the defs
+    // only an interprocedural fact keeps alive.
+    LivenessResult Optimistic = solveLiveness(
+        R,
+        [&](uint32_t BlockIndex) {
+          CallEffect Effect =
+              Summaries.callEffect(Prog, RoutineIndex, BlockIndex);
+          Effect.Used = RegSet();
+          return Effect;
+        },
+        [](uint32_t) { return RegSet(); },
+        [](uint32_t) { return RegSet(); });
+
     for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
          ++BlockIndex) {
       const BasicBlock &Block = R.Blocks[BlockIndex];
       CallEffect Effect;
+      CallEffect OptEffect;
       const CallEffect *EffectPtr = nullptr;
+      const CallEffect *OptEffectPtr = nullptr;
       if (Block.endsWithCall()) {
         Effect = Summaries.callEffect(Prog, RoutineIndex, BlockIndex);
+        OptEffect = Effect;
+        OptEffect.Used = RegSet();
         EffectPtr = &Effect;
+        OptEffectPtr = &OptEffect;
       }
       std::vector<RegSet> LiveBefore = liveBeforeEachInst(
           Prog, R, BlockIndex, Live.LiveOut[BlockIndex], EffectPtr);
+      std::vector<RegSet> OptBefore = liveBeforeEachInst(
+          Prog, R, BlockIndex, Optimistic.LiveOut[BlockIndex],
+          OptEffectPtr);
 
       for (uint64_t Offset = 0; Offset < Block.size(); ++Offset) {
         uint64_t Address = Block.Begin + Offset;
@@ -186,31 +222,53 @@ spike::findDeadDefs(const Program &Prog,
         RegSet Defs = Inst.defs();
         if (Defs.empty())
           continue; // Write to the zero register: already a nop.
+        RegSet OptAfter = Offset + 1 < Block.size()
+                              ? OptBefore[Offset + 1]
+                              : Optimistic.LiveOut[BlockIndex];
+        if (OptAfter.intersects(Defs))
+          continue; // Observed within the routine itself: no candidate.
         RegSet LiveAfter = Offset + 1 < Block.size()
                                ? LiveBefore[Offset + 1]
                                : Live.LiveOut[BlockIndex];
-        if (LiveAfter.intersects(Defs))
-          continue;
-        Dead.push_back(Address);
+        DeadDefCandidate C;
+        C.Address = Address;
+        C.RoutineIndex = RoutineIndex;
+        C.BlockIndex = BlockIndex;
+        C.Reg = *Defs.begin();
+        C.Dead = !LiveAfter.intersects(Defs);
+        Candidates.push_back(C);
       }
     }
   }
+  return Candidates;
+}
+
+std::vector<uint64_t>
+spike::findDeadDefs(const Program &Prog,
+                    const InterprocSummaries &Summaries) {
+  std::vector<uint64_t> Dead;
+  for (const DeadDefCandidate &C : findDeadDefCandidates(Prog, Summaries))
+    if (C.Dead)
+      Dead.push_back(C.Address);
   return Dead;
 }
 
 void spike::checkDeadDefs(LintContext &Ctx) {
   const Program &Prog = Ctx.Analysis.Prog;
-  for (uint64_t Address :
-       findDeadDefs(Prog, Ctx.Analysis.Summaries)) {
-    int32_t RoutineIndex = findRoutineByAddress(Prog, Address);
-    assert(RoutineIndex >= 0 && "dead def outside every routine");
-    const Routine &R = Prog.Routines[uint32_t(RoutineIndex)];
-    const Instruction &Inst = Prog.Insts[Address];
-    unsigned Reg = *Inst.defs().begin();
-    Ctx.Out.push_back(makeDiagnostic(
-        RuleId::DeadDef, RoutineIndex, R.Name, -1, int64_t(Address),
-        "definition of " + regRef(Reg) + " ('" + Inst.str() +
-            "') is never observed, interprocedurally dead"));
+  for (const DeadDefCandidate &C :
+       findDeadDefCandidates(Prog, Ctx.Analysis.Summaries)) {
+    if (!C.Dead)
+      continue;
+    const Routine &R = Prog.Routines[C.RoutineIndex];
+    const Instruction &Inst = Prog.Insts[C.Address];
+    Diagnostic D = makeDiagnostic(
+        RuleId::DeadDef, int32_t(C.RoutineIndex), R.Name, -1,
+        int64_t(C.Address),
+        "definition of " + regRef(C.Reg) + " ('" + Inst.str() +
+            "') is never observed, interprocedurally dead");
+    D.Hint = std::string("spike-explain --why-dead ") + regName(C.Reg) +
+             "@" + std::to_string(C.Address);
+    Ctx.Out.push_back(std::move(D));
   }
 }
 

@@ -83,6 +83,34 @@ void checkControlFlow(LintContext &Ctx);
 /// cause) and image-level degradations the CFG builder applied.
 void checkQuarantine(LintContext &Ctx);
 
+/// One pure register definition that *looks* dead locally: its target is
+/// dead under an optimistic intraprocedural liveness (nothing live at
+/// exits, nothing live at unknown jumps, calls consume nothing).  The
+/// interprocedural verdict then splits the candidates: Dead ones are
+/// exactly what DeadDefElim rewrites; the rest are saved by an
+/// interprocedural fact (a callee that reads the register, a caller that
+/// needs it after return, an unknown-code boundary) — the interesting
+/// rejections the optimizer attributes in its run report.
+struct DeadDefCandidate {
+  uint64_t Address = 0;
+  uint32_t RoutineIndex = 0;
+  uint32_t BlockIndex = 0;
+  unsigned Reg = 0;
+
+  /// True if the destination is dead under the real \p Summaries too
+  /// (DeadDefElim's condition); false if interprocedural facts keep it
+  /// live.
+  bool Dead = false;
+};
+
+/// Every dead-looking pure definition in \p Prog, classified against
+/// \p Summaries (see DeadDefCandidate).  Optimistic liveness only uses
+/// smaller boundary sets, so every interprocedurally dead definition is a
+/// candidate: findDeadDefs() is the Dead subset of this list.
+std::vector<DeadDefCandidate>
+findDeadDefCandidates(const Program &Prog,
+                      const InterprocSummaries &Summaries);
+
 /// The address of every pure register definition in \p Prog whose
 /// destination is dead under \p Summaries.  Shared by the SL003 rule and
 /// by opt/DeadDefElim (which rewrites exactly these addresses to nops).

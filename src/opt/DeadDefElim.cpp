@@ -3,21 +3,46 @@
 #include "opt/DeadDefElim.h"
 
 #include "isa/Encoding.h"
+#include "isa/Registers.h"
 #include "lint/LintRules.h"
 
 using namespace spike;
 
-DeadDefStats spike::eliminateDeadDefs(Image &Img, const Program &Prog,
-                                      const InterprocSummaries &Summaries) {
+DeadDefStats spike::eliminateDeadDefs(
+    Image &Img, const Program &Prog, const InterprocSummaries &Summaries,
+    std::vector<telemetry::TransformRecord> *Records) {
   // The lint subsystem owns the dead-def criterion (rule SL003 reports
-  // exactly what this pass deletes); sharing findDeadDefs guarantees the
-  // diagnostic and the transformation can never drift apart.
+  // exactly what this pass deletes); sharing the candidate finder
+  // guarantees the diagnostic and the transformation can never drift
+  // apart.
   DeadDefStats Stats;
   uint64_t NopWord = encodeInstruction(inst::nop());
-  for (uint64_t Address : findDeadDefs(Prog, Summaries)) {
-    Img.Code[Address] = NopWord;
-    ++Stats.DeletedInsts;
-    Stats.DeletedAddrs.push_back(Address);
+  for (const DeadDefCandidate &C : findDeadDefCandidates(Prog, Summaries)) {
+    if (C.Dead) {
+      Img.Code[C.Address] = NopWord;
+      ++Stats.DeletedInsts;
+      Stats.DeletedAddrs.push_back(C.Address);
+    }
+    if (!Records)
+      continue;
+    telemetry::TransformRecord Record;
+    Record.Pass = "dead_def";
+    Record.Outcome = C.Dead ? "applied" : "rejected";
+    Record.Address = int64_t(C.Address);
+    Record.Routine = Prog.Routines[C.RoutineIndex].Name;
+    if (C.Dead)
+      Record.Detail =
+          std::string(regName(C.Reg)) +
+          " is dead after the definition under the interprocedural "
+          "summaries (live-at-exit and call-used consulted): rewritten "
+          "to nop";
+    else
+      Record.Detail =
+          std::string(regName(C.Reg)) +
+          " looks dead intraprocedurally but an interprocedural fact "
+          "keeps it live (see: spike-explain --why-dead " +
+          regName(C.Reg) + "@" + std::to_string(C.Address) + ")";
+    Records->push_back(std::move(Record));
   }
   return Stats;
 }

@@ -31,6 +31,7 @@
 #include "binary/Image.h"
 #include "cfg/Program.h"
 #include "psg/Summaries.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdint>
 #include <vector>
@@ -48,8 +49,16 @@ struct DeadDefStats {
 /// Runs dead-def elimination over every routine of \p Prog, rewriting
 /// \p Img in place.  \p Prog must describe \p Img (same code layout) and
 /// \p Summaries must come from an analysis of it.
-DeadDefStats eliminateDeadDefs(Image &Img, const Program &Prog,
-                               const InterprocSummaries &Summaries);
+///
+/// When \p Records is non-null, the pass attributes its decisions: one
+/// "applied" record per deleted definition and one "rejected" record per
+/// dead-looking candidate an interprocedural fact saved (a callee that
+/// reads the register, a caller that needs it after return, an unknown-
+/// code boundary).  The transformation itself is identical either way.
+DeadDefStats
+eliminateDeadDefs(Image &Img, const Program &Prog,
+                  const InterprocSummaries &Summaries,
+                  std::vector<telemetry::TransformRecord> *Records = nullptr);
 
 } // namespace spike
 

@@ -109,6 +109,17 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
         Stats.UnreachableRoutinesRemoved += Unreachable.RoutinesRemoved;
         Stats.UnreachableInstsRemoved += Unreachable.InstsRemoved;
         ChangesThisRound += Unreachable.RoutinesRemoved;
+        if (Opts.AttributeTransforms)
+          for (const std::string &Name : Unreachable.RemovedNames) {
+            telemetry::TransformRecord Record;
+            Record.Pass = "unreachable";
+            Record.Outcome = "applied";
+            Record.Routine = Name;
+            Record.Detail =
+                "no call path reaches the routine from the program entry "
+                "or any address-taken routine: body rewritten to ret/nops";
+            Stats.Transforms.push_back(std::move(Record));
+          }
       }
       {
         telemetry::Span PassSpan("pass.save_restore");
@@ -117,6 +128,18 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
         Stats.SaveRestoreRegsEliminated += SaveRestores.EliminatedRegs;
         Stats.SaveRestoreInstsDeleted += SaveRestores.DeletedInsts;
         ChangesThisRound += SaveRestores.EliminatedRegs;
+        if (Opts.AttributeTransforms && SaveRestores.EliminatedRegs != 0) {
+          telemetry::TransformRecord Record;
+          Record.Pass = "save_restore";
+          Record.Outcome = "applied";
+          Record.Detail =
+              std::to_string(SaveRestores.EliminatedRegs) +
+              " callee-saved register(s) reallocated, " +
+              std::to_string(SaveRestores.DeletedInsts) +
+              " save/restore instruction(s) deleted: the Section 3.4 "
+              "sets show the saves are redundant";
+          Stats.Transforms.push_back(std::move(Record));
+        }
       }
     }
 
@@ -128,14 +151,31 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
           removeCallSpills(Img, Analysis.Prog, Analysis.Summaries);
       Stats.SpillPairsRemoved += Spills.RemovedPairs;
       ChangesThisRound += Spills.RemovedPairs;
+      if (Opts.AttributeTransforms)
+        for (uint64_t Address : Spills.DeletedAddrs) {
+          telemetry::TransformRecord Record;
+          Record.Pass = "spill";
+          Record.Outcome = "applied";
+          Record.Address = int64_t(Address);
+          int32_t RoutineIndex =
+              findRoutineByAddress(Analysis.Prog, Address);
+          if (RoutineIndex >= 0)
+            Record.Routine =
+                Analysis.Prog.Routines[uint32_t(RoutineIndex)].Name;
+          Record.Detail =
+              "call-context spill removed: the callee's call-defined "
+              "summary shows the spilled register survives the call";
+          Stats.Transforms.push_back(std::move(Record));
+        }
     }
 
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
       telemetry::Span PassSpan("pass.dead_def");
-      DeadDefStats DeadDefs =
-          eliminateDeadDefs(Img, Analysis.Prog, Analysis.Summaries);
+      DeadDefStats DeadDefs = eliminateDeadDefs(
+          Img, Analysis.Prog, Analysis.Summaries,
+          Opts.AttributeTransforms ? &Stats.Transforms : nullptr);
       Stats.DeadDefsDeleted += DeadDefs.DeletedInsts;
       ChangesThisRound += DeadDefs.DeletedInsts;
     }
@@ -219,6 +259,16 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     telemetry::count("opt.quarantined_routines", Stats.QuarantinedRoutines);
     for (const PipelineStats::RoundRecord &R : Stats.PerRound)
       telemetry::gaugeHigh("opt.memory.peak_bytes", R.AnalysisPeakBytes);
+    // Attribution records reach the session only here, after the loop:
+    // a rolled-back round's records were discarded with its stats, so
+    // the run report never attributes a transformation that did not
+    // survive.
+    for (const telemetry::TransformRecord &Record : Stats.Transforms) {
+      telemetry::count(Record.Outcome == "applied"
+                           ? "opt.transforms.applied"
+                           : "opt.transforms.rejected");
+      telemetry::attribute(Record);
+    }
   }
   return Stats;
 }

@@ -37,6 +37,7 @@
 #include "opt/SaveRestoreElim.h"
 #include "opt/SpillRemoval.h"
 #include "opt/UnreachableElim.h"
+#include "telemetry/Telemetry.h"
 
 #include <functional>
 #include <string>
@@ -70,6 +71,14 @@ struct PipelineOptions {
   /// flag).  The optimized image, stats, and telemetry counters are
   /// identical for every value.
   unsigned Jobs = 1;
+
+  /// Tag every transformation — and every rejected candidate — with the
+  /// summary facts that justified the decision.  Records land in
+  /// PipelineStats::Transforms and, when a telemetry session is active,
+  /// in the run report's "transforms" array (queryable via
+  /// `spike-explain --why-transformed`).  Off by default; the
+  /// transformations themselves are identical either way.
+  bool AttributeTransforms = false;
 };
 
 /// Cumulative statistics over all pipeline rounds.
@@ -117,6 +126,11 @@ struct PipelineStats {
 
   /// One record per round actually executed, including rolled-back ones.
   std::vector<RoundRecord> PerRound;
+
+  /// Transformation attributions (AttributeTransforms): what each pass
+  /// did or declined to do, and the summary facts behind the verdict.
+  /// Records of rolled-back rounds are discarded with the round.
+  std::vector<telemetry::TransformRecord> Transforms;
 
   /// Routines the CFG builder quarantined in the last completed round's
   /// analysis — code the optimizer refuses to touch (Section 3.5).

@@ -1,0 +1,211 @@
+//===- provenance/Provenance.h - Derivation recording ---------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The derivation recorder behind `spike-explain`: for every bit the PSG
+/// solver sets — (node, register) of the monotone set kinds MAY-USE,
+/// MAY-DEF, and phase-2 Live — the store remembers *which* edge, callee
+/// summary, or exit seed first established it.  Walking those records
+/// backward reproduces a concrete witness chain ending in a ground fact
+/// (an instruction USE on a summarized path, a calling-standard set at an
+/// indirect call, a Section 3.5 unknowable boundary, or an exit seed).
+///
+/// Only the three monotone (least-fixpoint) kinds are recorded.  MUST-DEF
+/// is a must problem solved as a *greatest* fixpoint: its interesting
+/// facts are absences ("this register is NOT call-defined"), and absences
+/// in a least-fixpoint set need no witness — minimality of the fixpoint
+/// is itself the proof that nothing demands the bit.  That is exactly the
+/// argument `spike-explain --why-dead` prints (see DESIGN.md §11).
+///
+/// Cost model: the store follows the telemetry layer's opt-in pattern.
+/// Disabled, the recorder entry point is `recordProvenance(nullptr, ...)`
+/// — a null check and nothing else; no allocation, no branch into the
+/// tables (proven at the allocator level by
+/// tests/provenance_noalloc_test.cpp and timed by bench_micro).  Enabled,
+/// each slot is written at most once (first derivation wins), which both
+/// bounds the cost at one table write per set bit and guarantees the
+/// recorded chain is acyclic: a bit's justification only references bits
+/// that were set strictly earlier.
+///
+/// Determinism: records are written exclusively by the serial per-SCC
+///-group worklists of PsgSolver (each node belongs to exactly one group,
+/// and a group's node range is touched by no other task), and the
+/// indirect-call accumulator's sources are merged serially at the level
+/// joins in group-id order — so the recorded tables, like every other
+/// solver output, are bit-identical at any --jobs value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_PROVENANCE_PROVENANCE_H
+#define SPIKE_PROVENANCE_PROVENANCE_H
+
+#include "isa/Registers.h"
+#include "support/RegSet.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// The recordable fact kinds: the three monotone set kinds the PSG solver
+/// grows from bottom.
+enum class ProvFact : uint8_t {
+  MayUse, ///< Phase 1 pass B: register may be read before defined.
+  MayDef, ///< Phase 1 pass A: register may be defined.
+  Live,   ///< Phase 2: register live at the node's program location.
+};
+
+/// Number of recordable fact kinds.
+inline constexpr unsigned NumProvFacts = 3;
+
+/// Returns "may-use" / "may-def" / "live".
+inline const char *provFactName(ProvFact Fact) {
+  switch (Fact) {
+  case ProvFact::MayUse:
+    return "may-use";
+  case ProvFact::MayDef:
+    return "may-def";
+  case ProvFact::Live:
+    return "live";
+  }
+  return "<unknown>";
+}
+
+/// How one recorded bit was first derived.  Ground kinds terminate a
+/// witness chain; step kinds reference one earlier fact (Ref at Node).
+enum class ProvKind : uint8_t {
+  None, ///< Slot never written (fact absent, or store disabled).
+
+  // --- Ground kinds: the chain ends here. -------------------------------
+  EdgeLabel,        ///< A flow-summary edge's own label carries the bit:
+                    ///< an instruction USE/DEF on an anchor-free path.
+  IndirectCall,     ///< The fixed calling-standard (or annotation) label
+                    ///< of an indirect call's call-return edge.
+  CallRa,           ///< The call instruction's own definition of ra.
+  SeedUnknownCaller,///< Exit seed: routine may return to unknown code
+                    ///< (program entry routine or address-taken).
+  SeedQuarantine,   ///< Exit seed: reachable from quarantined code, all
+                    ///< registers assumed live.
+  UnknownBoundary,  ///< Section 3.5 boundary at an unresolved jump.  The
+                    ///< solver never evaluates Unknown nodes, so this
+                    ///< kind is synthesized by the witness walker and
+                    ///< verified by recomputing the boundary sets.
+
+  // --- Step kinds: the chain continues at (Ref, Node). ------------------
+  EdgeFlow,    ///< Flows over edge Edge from the same fact at Node (its
+               ///< destination), surviving the label's MUST-DEF.
+  CallSummary, ///< A direct call-return edge's label carries the bit,
+               ///< which the Section 3.4 filter admitted from fact Ref at
+               ///< the callee entry node Node.
+  ReturnLive,  ///< Exit node: pulled from the Live set of return node
+               ///< Node (a call site of this routine).
+  IndirectHub, ///< Address-taken exit: pulled from the indirect-call
+               ///< accumulator, whose first contribution of this register
+               ///< came from indirect return node Node.
+};
+
+/// Returns true if \p Kind terminates a witness chain.
+inline bool isGroundKind(ProvKind Kind) {
+  switch (Kind) {
+  case ProvKind::EdgeLabel:
+  case ProvKind::IndirectCall:
+  case ProvKind::CallRa:
+  case ProvKind::SeedUnknownCaller:
+  case ProvKind::SeedQuarantine:
+  case ProvKind::UnknownBoundary:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One recorded derivation: how a (fact, node, register) bit was first
+/// set.  Edge and Node are meaningful per ProvKind (see above); unused
+/// fields stay at their defaults so derivations compare bitwise.
+struct ProvDerivation {
+  /// "No edge" / "no node" sentinel.
+  static constexpr uint32_t NoId = 0xffffffffu;
+
+  ProvKind Kind = ProvKind::None;
+  ProvFact Ref = ProvFact::MayUse; ///< Referenced fact kind (step kinds).
+  uint32_t Edge = NoId;            ///< PSG edge id, when edge-borne.
+  uint32_t Node = NoId;            ///< Referenced node id (step kinds).
+
+  bool operator==(const ProvDerivation &) const = default;
+};
+
+/// The whole-program derivation store: one ProvDerivation slot per
+/// (fact kind, PSG node, integer register), flat and index-computed so
+/// recording is a bounds-free array write.  Empty (default-constructed)
+/// means disabled.
+class ProvenanceStore {
+public:
+  /// Enables the store for a graph of \p NumNodes nodes, clearing any
+  /// prior contents.
+  void init(size_t NumNodes) {
+    for (std::vector<ProvDerivation> &Table : Tables)
+      Table.assign(NumNodes * NumIntRegs, ProvDerivation());
+  }
+
+  /// True once init() ran (recording and lookups are live).
+  bool enabled() const { return !Tables[0].empty(); }
+
+  /// Number of nodes the store was sized for (0 when disabled).
+  size_t numNodes() const { return Tables[0].size() / NumIntRegs; }
+
+  /// Bytes held by the derivation tables.
+  size_t bytes() const {
+    return NumProvFacts * Tables[0].size() * sizeof(ProvDerivation);
+  }
+
+  /// The writable slot for one bit.  Only valid when enabled.
+  ProvDerivation &slot(ProvFact Fact, uint32_t NodeId, unsigned Reg) {
+    return Tables[unsigned(Fact)][size_t(NodeId) * NumIntRegs + Reg];
+  }
+
+  /// The recorded derivation of one bit, or null when the store is
+  /// disabled or nothing was recorded.
+  const ProvDerivation *lookup(ProvFact Fact, uint32_t NodeId,
+                               unsigned Reg) const {
+    if (!enabled())
+      return nullptr;
+    const ProvDerivation &D =
+        Tables[unsigned(Fact)][size_t(NodeId) * NumIntRegs + Reg];
+    return D.Kind == ProvKind::None ? nullptr : &D;
+  }
+
+  bool operator==(const ProvenanceStore &) const = default;
+
+private:
+  std::vector<ProvDerivation> Tables[NumProvFacts];
+};
+
+/// Records \p D as the derivation of fact \p Fact for every register of
+/// \p Regs at \p NodeId.  First derivation wins: slots already holding a
+/// record are left untouched, keeping chains acyclic.  A null \p Store is
+/// the disabled path — one branch, no memory touched — so the solver can
+/// call this unconditionally.  Returns the number of freshly recorded
+/// bits (the provenance.records counter).
+inline uint64_t recordProvenance(ProvenanceStore *Store, ProvFact Fact,
+                                 uint32_t NodeId, RegSet Regs,
+                                 const ProvDerivation &D) {
+  if (!Store)
+    return 0;
+  uint64_t Fresh = 0;
+  for (unsigned Reg : Regs) {
+    ProvDerivation &Slot = Store->slot(Fact, NodeId, Reg);
+    if (Slot.Kind == ProvKind::None) {
+      Slot = D;
+      ++Fresh;
+    }
+  }
+  return Fresh;
+}
+
+} // namespace spike
+
+#endif // SPIKE_PROVENANCE_PROVENANCE_H

@@ -47,19 +47,35 @@ AnalysisResult spike::analyzeImage(const Image &Img,
     Result.Psg = buildPsg(Result.Prog, Opts.Psg, &Result.Memory, &Pool);
   }
 
+  // Opt-in derivation recording (spike-explain).  The null pointer *is*
+  // the disabled path: the solver's recording entry points no-op on it
+  // without touching memory.
+  ProvenanceStore *Prov = nullptr;
+  if (Opts.RecordProvenance) {
+    Result.Provenance.init(Result.Psg.Nodes.size());
+    Result.Memory.charge(Result.Provenance.bytes());
+    Prov = &Result.Provenance;
+  }
+
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase1);
-    Result.Phase1Stats =
-        runPhase1(Result.Prog, Result.Psg, Result.SavedPerRoutine, &Pool);
+    Result.Phase1Stats = runPhase1(Result.Prog, Result.Psg,
+                                   Result.SavedPerRoutine, &Pool, Prov);
   }
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase2);
-    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg, &Pool);
+    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg, &Pool, Prov);
   }
 
   Result.Summaries = extractSummaries(Result.Prog, Result.Psg,
                                       Result.SavedPerRoutine);
+  if (Prov) {
+    telemetry::count("provenance.records",
+                     Result.Phase1Stats.ProvenanceRecords +
+                         Result.Phase2Stats.ProvenanceRecords);
+    telemetry::gaugeHigh("provenance.bytes", Result.Provenance.bytes());
+  }
   telemetry::gaugeHigh("analyze.memory.peak_bytes",
                        Result.Memory.peakBytes());
   telemetry::gaugeSet("analysis.jobs", Pool.jobs());

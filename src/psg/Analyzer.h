@@ -22,6 +22,7 @@
 
 #include "binary/Image.h"
 #include "cfg/CfgBuilder.h"
+#include "provenance/Provenance.h"
 #include "psg/PsgBuilder.h"
 #include "psg/PsgSolver.h"
 #include "psg/Summaries.h"
@@ -40,6 +41,13 @@ struct AnalysisOptions {
   /// bit-identical summaries, live sets, and telemetry counters (only
   /// pool.steals and the analysis.jobs gauge reflect the setting).
   unsigned Jobs = 1;
+
+  /// Record, for every MAY-USE / MAY-DEF / Live bit the solver sets, the
+  /// edge or seed that first derived it (the spike-explain witness
+  /// source).  Off by default: the disabled path performs no allocation
+  /// and no recording work, and the recorded store — like every other
+  /// analysis output — is bit-identical at any Jobs value.
+  bool RecordProvenance = false;
 };
 
 /// Everything a full analysis run produces.
@@ -61,6 +69,10 @@ struct AnalysisResult {
 
   SolverStats Phase1Stats;
   SolverStats Phase2Stats;
+
+  /// First derivations of the solved bits (empty unless
+  /// AnalysisOptions::RecordProvenance was set).
+  ProvenanceStore Provenance;
 
   /// Returns the converged *unfiltered* flow sets of entrance \p Entry of
   /// routine \p RoutineIndex (the Section 3.4 callee-saved filter is only

@@ -8,13 +8,36 @@ using namespace spike;
 
 namespace {
 
-/// Escapes a string for a dot label.
+/// Escapes a string for a dot label.  Routine names come straight from
+/// image symbol tables, which may contain anything: quotes and
+/// backslashes would end the label early, and angle brackets / braces /
+/// pipes are structure characters inside record labels, so all of them
+/// are backslash-escaped.  Newlines become the dot line break "\n";
+/// remaining control characters (never printable in a label) become
+/// spaces.
 std::string escape(const std::string &Text) {
   std::string Out;
   for (char C : Text) {
-    if (C == '"' || C == '\\')
+    switch (C) {
+    case '"':
+    case '\\':
+    case '<':
+    case '>':
+    case '|':
+    case '{':
+    case '}':
       Out += '\\';
-    Out += C;
+      Out += C;
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
   }
   return Out;
 }
@@ -101,6 +124,69 @@ std::string spike::psgToDot(const Program &Prog,
     OS << "  n" << Edge.Src << " -> n" << Edge.Dst << " [";
     if (Edge.IsCallReturn)
       OS << "style=dashed, ";
+    OS << "label=\"U " << escape(Edge.Label.MayUse.str()) << "\\nD "
+       << escape(Edge.Label.MayDef.str()) << "\\nM "
+       << escape(Edge.Label.MustDef.str()) << "\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string spike::psgPathToDot(const Program &Prog,
+                                const ProgramSummaryGraph &Psg,
+                                const DotHighlight &Highlight) {
+  std::vector<bool> HotNode(Psg.Nodes.size(), false);
+  for (uint32_t NodeId : Highlight.Nodes)
+    if (NodeId < Psg.Nodes.size())
+      HotNode[NodeId] = true;
+  std::vector<bool> HotEdge(Psg.Edges.size(), false);
+  for (uint32_t EdgeId : Highlight.Edges)
+    if (EdgeId < Psg.Edges.size())
+      HotEdge[EdgeId] = true;
+
+  // Every routine the path touches gets its full PSG as a cluster, so
+  // the highlighted chain is visible in context.
+  std::vector<bool> InRoutine(Prog.Routines.size(), false);
+  for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId)
+    if (HotNode[NodeId])
+      InRoutine[Psg.Nodes[NodeId].RoutineIndex] = true;
+  for (uint32_t EdgeId = 0; EdgeId < Psg.Edges.size(); ++EdgeId)
+    if (HotEdge[EdgeId]) {
+      InRoutine[Psg.Nodes[Psg.Edges[EdgeId].Src].RoutineIndex] = true;
+      InRoutine[Psg.Nodes[Psg.Edges[EdgeId].Dst].RoutineIndex] = true;
+    }
+
+  std::ostringstream OS;
+  OS << "digraph witness {\n  node [fontname=\"monospace\"];\n";
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    if (!InRoutine[RoutineIndex])
+      continue;
+    OS << "  subgraph \"cluster_r" << RoutineIndex << "\" {\n"
+       << "    label=\"" << escape(Prog.Routines[RoutineIndex].Name)
+       << "\";\n";
+    for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId) {
+      const PsgNode &Node = Psg.Nodes[NodeId];
+      if (Node.RoutineIndex != RoutineIndex)
+        continue;
+      OS << "    n" << NodeId << " [label=\"" << psgNodeKindName(Node.Kind)
+         << " b" << Node.BlockIndex << "\"";
+      if (HotNode[NodeId])
+        OS << ", color=red, penwidth=2";
+      OS << "];\n";
+    }
+    OS << "  }\n";
+  }
+  for (uint32_t EdgeId = 0; EdgeId < Psg.Edges.size(); ++EdgeId) {
+    const PsgEdge &Edge = Psg.Edges[EdgeId];
+    if (!InRoutine[Psg.Nodes[Edge.Src].RoutineIndex] ||
+        !InRoutine[Psg.Nodes[Edge.Dst].RoutineIndex])
+      continue;
+    OS << "  n" << Edge.Src << " -> n" << Edge.Dst << " [";
+    if (Edge.IsCallReturn)
+      OS << "style=dashed, ";
+    if (HotEdge[EdgeId])
+      OS << "color=red, penwidth=2, ";
     OS << "label=\"U " << escape(Edge.Label.MayUse.str()) << "\\nD "
        << escape(Edge.Label.MayDef.str()) << "\\nM "
        << escape(Edge.Label.MustDef.str()) << "\"];\n";

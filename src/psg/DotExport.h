@@ -39,6 +39,23 @@ std::string psgToDot(const Program &Prog, const ProgramSummaryGraph &Psg,
 /// Renders the direct-call graph (cyclic SCCs highlighted).
 std::string callGraphToDot(const Program &Prog, const CallGraph &Graph);
 
+/// PSG node and edge ids to emphasize — typically a spike-explain
+/// witness path (see provenance/Witness.h's witnessPath()).
+struct DotHighlight {
+  std::vector<uint32_t> Nodes;
+  std::vector<uint32_t> Edges;
+};
+
+/// Renders every routine \p Highlight touches as one dot digraph, one
+/// cluster per routine with its full PSG, the highlighted nodes and
+/// edges overlaid in red with doubled pen width.  Witness chains cross
+/// routines (call summaries, return-site liveness), which the
+/// single-routine psgToDot cannot draw — `spike-explain --dot` uses
+/// this.
+std::string psgPathToDot(const Program &Prog,
+                         const ProgramSummaryGraph &Psg,
+                         const DotHighlight &Highlight);
+
 } // namespace spike
 
 #endif // SPIKE_PSG_DOTEXPORT_H

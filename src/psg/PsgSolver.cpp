@@ -5,9 +5,11 @@
 #include "cfg/SccSchedule.h"
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
+#include "provenance/Provenance.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
+#include <array>
 #include <cassert>
 
 using namespace spike;
@@ -63,6 +65,105 @@ void mapGroup(const std::vector<uint32_t> &Members,
     }
 }
 
+/// Attributes a fresh growth \p Added of fact \p Fact at \p NodeId to
+/// first derivations, re-walking the node's out-edges in CSR order: for
+/// each edge, first the bits the edge's own label contributes (a ground
+/// fact, a callee summary, or the call's def of ra), then the bits
+/// flowing through from the destination's current set.  The equation
+/// that produced the growth unions exactly these terms, so every Added
+/// bit is attributed; the first contributing term in edge order wins,
+/// which makes the record independent of worklist history.  Must run
+/// *before* the node's own set is updated: the destination sets read
+/// here are the ones the equation read, and on a self-edge the node's
+/// stale set cannot justify a bit with itself.
+uint64_t attributeAdded(const Program &Prog, const ProgramSummaryGraph &Psg,
+                        ProvenanceStore *Prov, ProvFact Fact, uint32_t NodeId,
+                        RegSet Added, unsigned RaReg) {
+  uint64_t Fresh = 0;
+  const PsgNode &Node = Psg.Nodes[NodeId];
+  for (uint32_t EdgeId = Node.FirstOut, End = Node.FirstOut + Node.NumOut;
+       EdgeId != End && !Added.empty(); ++EdgeId) {
+    const PsgEdge &Edge = Psg.Edges[EdgeId];
+
+    RegSet LabelSet =
+        Fact == ProvFact::MayDef ? Edge.Label.MayDef : Edge.Label.MayUse;
+    RegSet FromLabel = LabelSet & Added;
+    if (!FromLabel.empty()) {
+      ProvDerivation D;
+      D.Edge = EdgeId;
+      if (!Edge.IsCallReturn) {
+        D.Kind = ProvKind::EdgeLabel;
+        Fresh += recordProvenance(Prov, Fact, NodeId, FromLabel, D);
+      } else {
+        const BasicBlock &Block =
+            Prog.Routines[Node.RoutineIndex].Blocks[Node.BlockIndex];
+        if (Block.Term == TerminatorKind::Call) {
+          RegSet RaPart;
+          if (FromLabel.contains(RaReg))
+            RaPart.insert(RaReg);
+          if (!RaPart.empty()) {
+            ProvDerivation Ra = D;
+            Ra.Kind = ProvKind::CallRa;
+            Fresh += recordProvenance(Prov, Fact, NodeId, RaPart, Ra);
+          }
+          RegSet Rest = FromLabel - RaPart;
+          if (!Rest.empty()) {
+            assert(Block.CalleeRoutine >= 0 && Block.CalleeEntry >= 0 &&
+                   "direct call without a resolved callee");
+            D.Kind = ProvKind::CallSummary;
+            D.Ref =
+                Fact == ProvFact::MayDef ? ProvFact::MayDef : ProvFact::MayUse;
+            D.Node = Psg.RoutineInfo[uint32_t(Block.CalleeRoutine)]
+                         .EntryNodes[uint32_t(Block.CalleeEntry)];
+            Fresh += recordProvenance(Prov, Fact, NodeId, Rest, D);
+          }
+        } else {
+          D.Kind = ProvKind::IndirectCall;
+          Fresh += recordProvenance(Prov, Fact, NodeId, FromLabel, D);
+        }
+      }
+      Added -= FromLabel;
+    }
+
+    RegSet DstSet;
+    switch (Fact) {
+    case ProvFact::MayDef:
+      DstSet = Psg.Nodes[Edge.Dst].Sets.MayDef;
+      break;
+    case ProvFact::MayUse:
+      DstSet = Psg.Nodes[Edge.Dst].Sets.MayUse - Edge.Label.MustDef;
+      break;
+    case ProvFact::Live:
+      DstSet = Psg.Nodes[Edge.Dst].Live - Edge.Label.MustDef;
+      break;
+    }
+    RegSet FromDst = DstSet & Added;
+    if (!FromDst.empty()) {
+      ProvDerivation D;
+      D.Kind = ProvKind::EdgeFlow;
+      D.Ref = Fact;
+      D.Edge = EdgeId;
+      D.Node = Edge.Dst;
+      Fresh += recordProvenance(Prov, Fact, NodeId, FromDst, D);
+      Added -= FromDst;
+    }
+  }
+  assert(Added.empty() && "growth not covered by any equation term");
+  return Fresh;
+}
+
+/// Provenance plumbing for one phase-2 component (all null when
+/// recording is off).  The accumulator sources realize the serial-merge
+/// determinism argument: GlobalAccumSrc is only written between levels,
+/// LocalAccumSrc only by this component's own worklist.
+struct Phase2Prov {
+  ProvenanceStore *Store = nullptr;
+  const std::vector<RegSet> *SeedUnknownCaller = nullptr;
+  const std::vector<RegSet> *SeedQuarantine = nullptr;
+  const uint32_t *GlobalAccumSrc = nullptr; ///< Reg -> indirect return node.
+  uint32_t *LocalAccumSrc = nullptr; ///< Reg -> in-group contributor.
+};
+
 /// Returns the per-routine node ranges, deriving them from the nodes'
 /// routine indices when the graph predates buildPsg's directory (nodes
 /// are created routine by routine, so each range is contiguous).
@@ -82,12 +183,12 @@ std::vector<uint32_t> routineNodeBegins(const Program &Prog,
 /// fixpoint.  All dependencies outside the component (callee entry
 /// summaries) have already converged, so the iteration — and the final
 /// call-return labels it broadcasts — is exactly the serial one.
-void solveGroupPassA(ProgramSummaryGraph &Psg,
+void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
                      const std::vector<RegSet> &SavedPerRoutine,
                      RegSet AllRegs, RegSet RaOnly,
                      const std::vector<uint32_t> &Members,
                      const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                     SolverStats &Stats) {
+                     SolverStats &Stats, ProvenanceStore *Prov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
   Worklist List(NumLocal);
@@ -118,6 +219,13 @@ void solveGroupPassA(ProgramSummaryGraph &Psg,
 
     if (NewMustDef == Node.Sets.MustDef && NewMayDef == Node.Sets.MayDef)
       continue;
+    if (Prov) {
+      RegSet Added = NewMayDef - Node.Sets.MayDef;
+      if (!Added.empty())
+        Stats.ProvenanceRecords +=
+            attributeAdded(Prog, Psg, Prov, ProvFact::MayDef, NodeId, Added,
+                           Prog.Conv.RaReg);
+    }
     Node.Sets.MustDef = NewMustDef;
     Node.Sets.MayDef = NewMayDef;
     for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
@@ -159,11 +267,11 @@ void solveGroupPassA(ProgramSummaryGraph &Psg,
 
 /// Solves one component's MAY-USE subsystem (pass B) with all MUST-DEF
 /// labels frozen.
-void solveGroupPassB(ProgramSummaryGraph &Psg,
+void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
                      const std::vector<RegSet> &SavedPerRoutine, RegSet RaOnly,
                      const std::vector<uint32_t> &Members,
                      const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                     SolverStats &Stats) {
+                     SolverStats &Stats, ProvenanceStore *Prov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
   Worklist List(NumLocal);
@@ -188,6 +296,12 @@ void solveGroupPassB(ProgramSummaryGraph &Psg,
 
     if (NewMayUse == Node.Sets.MayUse)
       continue;
+    if (Prov) {
+      RegSet Added = NewMayUse - Node.Sets.MayUse;
+      Stats.ProvenanceRecords +=
+          attributeAdded(Prog, Psg, Prov, ProvFact::MayUse, NodeId, Added,
+                         Prog.Conv.RaReg);
+    }
     Node.Sets.MayUse = NewMayUse;
     for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
          ++I) {
@@ -230,7 +344,7 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
                         const std::vector<bool> &IsIndirectReturn,
                         RegSet AccumIn, const std::vector<uint32_t> &Members,
                         const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                        SolverStats &Stats) {
+                        SolverStats &Stats, const Phase2Prov &PP) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
 
@@ -278,6 +392,58 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
 
     if (NewLive == Node.Live)
       continue;
+    if (PP.Store) {
+      RegSet Remaining = NewLive - Node.Live;
+      if (Node.Kind == PsgNodeKind::Exit) {
+        // Attribute in the order the exit equation unions its terms:
+        // seeds first (ground facts), then feeding returns in registry
+        // order, then the indirect-call accumulator.
+        ProvDerivation D;
+        D.Kind = ProvKind::SeedUnknownCaller;
+        RegSet Part = (*PP.SeedUnknownCaller)[NodeId] & Remaining;
+        Stats.ProvenanceRecords +=
+            recordProvenance(PP.Store, ProvFact::Live, NodeId, Part, D);
+        Remaining -= Part;
+
+        D.Kind = ProvKind::SeedQuarantine;
+        Part = (*PP.SeedQuarantine)[NodeId] & Remaining;
+        Stats.ProvenanceRecords +=
+            recordProvenance(PP.Store, ProvFact::Live, NodeId, Part, D);
+        Remaining -= Part;
+
+        for (uint32_t I = Psg.ReturnsOfExitBegin[NodeId],
+                      E = Psg.ReturnsOfExitBegin[NodeId + 1];
+             I != E && !Remaining.empty(); ++I) {
+          uint32_t Ret = Psg.ReturnsOfExitIds[I];
+          Part = Psg.Nodes[Ret].Live & Remaining;
+          if (Part.empty())
+            continue;
+          D.Kind = ProvKind::ReturnLive;
+          D.Ref = ProvFact::Live;
+          D.Node = Ret;
+          Stats.ProvenanceRecords +=
+              recordProvenance(PP.Store, ProvFact::Live, NodeId, Part, D);
+          Remaining -= Part;
+        }
+
+        if (IsAddressTakenExit[NodeId]) {
+          for (unsigned Reg : LocalAccum & Remaining) {
+            D.Kind = ProvKind::IndirectHub;
+            D.Ref = ProvFact::Live;
+            D.Node = AccumIn.contains(Reg) ? PP.GlobalAccumSrc[Reg]
+                                           : PP.LocalAccumSrc[Reg];
+            RegSet One;
+            One.insert(Reg);
+            Stats.ProvenanceRecords +=
+                recordProvenance(PP.Store, ProvFact::Live, NodeId, One, D);
+          }
+        }
+      } else {
+        Stats.ProvenanceRecords +=
+            attributeAdded(Prog, Psg, PP.Store, ProvFact::Live, NodeId,
+                           Remaining, Prog.Conv.RaReg);
+      }
+    }
     Node.Live = NewLive;
 
     for (uint32_t I = Node.FirstIn, E = Node.FirstIn + Node.NumIn; I != E;
@@ -301,6 +467,9 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
           List.push(S.LocalOf[ExitNode]);
       }
       if (IsIndirectReturn[NodeId] && !LocalAccum.containsAll(Node.Live)) {
+        if (PP.Store)
+          for (unsigned Reg : Node.Live - LocalAccum)
+            PP.LocalAccumSrc[Reg] = NodeId;
         LocalAccum |= Node.Live;
         for (uint32_t ExitNode : GroupATExits)
           List.push(S.LocalOf[ExitNode]);
@@ -340,7 +509,9 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
 // per-component iteration counts.
 SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                              const std::vector<RegSet> &SavedPerRoutine,
-                             ThreadPool *Pool) {
+                             ThreadPool *Pool, ProvenanceStore *Prov) {
+  assert((!Prov || Prov->numNodes() == Psg.Nodes.size()) &&
+         "provenance store not initialized for this graph");
   telemetry::Span PhaseSpan("psg.phase1");
   SolverStats Stats;
   RegSet AllRegs = RegSet::allBelow(NumIntRegs);
@@ -397,12 +568,13 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
         if (Sched.Members[Group].empty())
           return;
         if (MayUsePass)
-          solveGroupPassB(Psg, SavedPerRoutine, RaOnly, Sched.Members[Group],
-                          NodeBegin, Scratch[Lane], GroupStats[Group]);
-        else
-          solveGroupPassA(Psg, SavedPerRoutine, AllRegs, RaOnly,
+          solveGroupPassB(Prog, Psg, SavedPerRoutine, RaOnly,
                           Sched.Members[Group], NodeBegin, Scratch[Lane],
-                          GroupStats[Group]);
+                          GroupStats[Group], Prov);
+        else
+          solveGroupPassA(Prog, Psg, SavedPerRoutine, AllRegs, RaOnly,
+                          Sched.Members[Group], NodeBegin, Scratch[Lane],
+                          GroupStats[Group], Prov);
       });
   };
 
@@ -426,6 +598,7 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
   for (const SolverStats &Group : GroupStats) {
     Stats.NodeEvaluations += Group.NodeEvaluations;
     Stats.EdgeVisits += Group.EdgeVisits;
+    Stats.ProvenanceRecords += Group.ProvenanceRecords;
   }
   telemetry::count("psg.phase1.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase1.edge_visits", Stats.EdgeVisits);
@@ -433,7 +606,9 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
 }
 
 SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
-                             ThreadPool *Pool) {
+                             ThreadPool *Pool, ProvenanceStore *Prov) {
+  assert((!Prov || Prov->numNodes() == Psg.Nodes.size()) &&
+         "provenance store not initialized for this graph");
   telemetry::Span PhaseSpan("psg.phase2");
   SolverStats Stats;
 
@@ -442,6 +617,10 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   // conservative live-at-exit assumption.
   std::vector<RegSet> ExitSeed(Psg.Nodes.size());
   std::vector<bool> IsAddressTakenExit(Psg.Nodes.size(), false);
+  // Seeds split by origin, so provenance can name which ground
+  // assumption put a bit into an exit (sized only when recording).
+  std::vector<RegSet> SeedUnknownCaller(Prov ? Psg.Nodes.size() : 0);
+  std::vector<RegSet> SeedQuarantine(Prov ? Psg.Nodes.size() : 0);
   RegSet UnknownCallerLive = Prog.Conv.unknownCallerLiveAtExit();
   for (uint32_t ExitNode : Psg.AddressTakenExitNodes) {
     ExitSeed[ExitNode] = UnknownCallerLive;
@@ -460,6 +639,17 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
     if (Prog.Routines[R].CalledFromQuarantine)
       for (uint32_t ExitNode : Psg.RoutineInfo[R].ExitNodes)
         ExitSeed[ExitNode] |= AllRegs;
+
+  if (Prov)
+    for (uint32_t NodeId = 0; NodeId < Psg.Nodes.size(); ++NodeId)
+      if (Psg.Nodes[NodeId].Kind == PsgNodeKind::Exit) {
+        const Routine &R = Prog.Routines[Psg.Nodes[NodeId].RoutineIndex];
+        if (IsAddressTakenExit[NodeId] ||
+            int32_t(Psg.Nodes[NodeId].RoutineIndex) == Prog.EntryRoutine)
+          SeedUnknownCaller[NodeId] = UnknownCallerLive;
+        if (R.CalledFromQuarantine)
+          SeedQuarantine[NodeId] = AllRegs;
+      }
 
   std::vector<bool> IsIndirectReturn(Psg.Nodes.size(), false);
   for (uint32_t ReturnNode : Psg.IndirectReturnNodes)
@@ -492,23 +682,49 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   RegSet IndirectAccum;
   std::vector<RegSet> GroupAccum(Sched.NumGroups);
 
+  // Provenance for the accumulator: which indirect return node first
+  // contributed each register.  Components track their own contributions
+  // in GroupAccumSrc (disjoint per task); the global map is only read
+  // during a level and only written at the serial level join, in
+  // group-id order — the same discipline that makes IndirectAccum itself
+  // deterministic.
+  constexpr uint32_t NoSrc = ProvDerivation::NoId;
+  std::array<uint32_t, NumIntRegs> NoSrcRow;
+  NoSrcRow.fill(NoSrc);
+  std::vector<uint32_t> GlobalAccumSrc(Prov ? NumIntRegs : 0, NoSrc);
+  std::vector<std::array<uint32_t, NumIntRegs>> GroupAccumSrc(
+      Prov ? Sched.NumGroups : 0, NoSrcRow);
+
   for (const std::vector<uint32_t> &Level : Sched.Levels) {
     forEachTask(Pool, Level.size(), [&](size_t I, unsigned Lane) {
       uint32_t Group = Level[I];
       if (Sched.Members[Group].empty())
         return;
+      Phase2Prov PP;
+      if (Prov) {
+        PP.Store = Prov;
+        PP.SeedUnknownCaller = &SeedUnknownCaller;
+        PP.SeedQuarantine = &SeedQuarantine;
+        PP.GlobalAccumSrc = GlobalAccumSrc.data();
+        PP.LocalAccumSrc = GroupAccumSrc[Group].data();
+      }
       GroupAccum[Group] = solveGroupPhase2(
           Prog, Psg, ExitSeed, IsAddressTakenExit, IsIndirectReturn,
           IndirectAccum, Sched.Members[Group], NodeBegin, Scratch[Lane],
-          GroupStats[Group]);
+          GroupStats[Group], PP);
     });
-    for (uint32_t Group : Level)
+    for (uint32_t Group : Level) {
+      if (Prov)
+        for (unsigned Reg : GroupAccum[Group] - IndirectAccum)
+          GlobalAccumSrc[Reg] = GroupAccumSrc[Group][Reg];
       IndirectAccum |= GroupAccum[Group];
+    }
   }
 
   for (const SolverStats &Group : GroupStats) {
     Stats.NodeEvaluations += Group.NodeEvaluations;
     Stats.EdgeVisits += Group.EdgeVisits;
+    Stats.ProvenanceRecords += Group.ProvenanceRecords;
   }
   telemetry::count("psg.phase2.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase2.edge_visits", Stats.EdgeVisits);

@@ -42,6 +42,7 @@
 
 namespace spike {
 
+class ProvenanceStore;
 class ThreadPool;
 
 /// Solver statistics (used by tests, the ablation bench, and the
@@ -55,22 +56,30 @@ struct SolverStats {
   /// number of RegSet operations, so this tracks the solver's set-op
   /// cost.
   uint64_t EdgeVisits = 0;
+
+  /// Bits freshly recorded in the provenance store (0 when recording is
+  /// off).  Like the other members, aggregated in component-id order.
+  uint64_t ProvenanceRecords = 0;
 };
 
 /// Runs phase 1 to convergence.  \p SavedPerRoutine holds, per routine,
 /// the callee-saved registers it saves and restores (Section 3.4).  When
 /// \p Pool is non-null, call-graph components without mutual dependencies
 /// solve concurrently on it; the results and statistics are identical
-/// either way.
+/// either way.  When \p Prov is non-null (and initialized for this
+/// graph), every MAY-USE / MAY-DEF bit's first derivation is recorded;
+/// the recorded tables are bit-identical at every job count.
 SolverStats runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                       const std::vector<RegSet> &SavedPerRoutine,
-                      ThreadPool *Pool = nullptr);
+                      ThreadPool *Pool = nullptr,
+                      ProvenanceStore *Prov = nullptr);
 
 /// Runs phase 2 to convergence.  Phase 1 must have run first (the
-/// call-return edge labels it produced are inputs here).  \p Pool as in
-/// runPhase1.
+/// call-return edge labels it produced are inputs here).  \p Pool and
+/// \p Prov as in runPhase1 (phase 2 records Live derivations).
 SolverStats runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
-                      ThreadPool *Pool = nullptr);
+                      ThreadPool *Pool = nullptr,
+                      ProvenanceStore *Prov = nullptr);
 
 /// Returns the callee-saved-filtered copy of \p Sets for a routine whose
 /// saved-and-restored register set is \p Saved (the Section 3.4 filter).

@@ -54,6 +54,24 @@ std::optional<RunReport> fromJson(const JsonValue &Doc, std::string *Error) {
   };
   ReadRegistry("counters", Report.Counters);
   ReadRegistry("gauges", Report.Gauges);
+
+  // Optional, additive: absent in reports written without attribution
+  // (and in every pre-attribution baseline on disk).
+  if (const JsonValue *Transforms = Doc.findArray("transforms")) {
+    for (const JsonValue &Item : Transforms->Items) {
+      if (!Item.isObject())
+        return failParse(Error, "transform entry is not an object");
+      RunReport::Transform T;
+      T.Pass = Item.stringOr("pass", "");
+      T.Outcome = Item.stringOr("outcome", "");
+      if (T.Pass.empty() || T.Outcome.empty())
+        return failParse(Error, "transform entry without pass/outcome");
+      T.Address = int64_t(Item.numberOr("address", -1));
+      T.Routine = Item.stringOr("routine", "");
+      T.Detail = Item.stringOr("detail", "");
+      Report.Transforms.push_back(std::move(T));
+    }
+  }
   return Report;
 }
 
@@ -65,6 +83,8 @@ const char *kindName(DiffRow::Kind K) {
     return "gauge";
   case DiffRow::Kind::Phase:
     return "phase";
+  case DiffRow::Kind::Transform:
+    return "transform";
   }
   return "<unknown>";
 }
@@ -142,6 +162,40 @@ ReportDiff spike::telemetry::diffReports(const RunReport &Baseline,
                      Cur > Base * (1 + Opts.MaxTimeGrowth);
     Diff.Regressions += Row.Regression;
     Diff.Rows.push_back(std::move(Row));
+  }
+
+  // Transformation attribution: outcome-aware verdicts on the
+  // per-(pass, outcome) record counts.  Compare only when both sides
+  // carry attribution — a pre-attribution baseline has nothing to say.
+  if (!Baseline.Transforms.empty() && !Current.Transforms.empty()) {
+    std::map<std::string, uint64_t> BaseCounts = Baseline.transformCounts();
+    std::map<std::string, uint64_t> CurCounts = Current.transformCounts();
+    std::map<std::string, std::pair<uint64_t, uint64_t>> Merged;
+    for (const auto &[Name, Value] : BaseCounts)
+      Merged[Name].first = Value;
+    for (const auto &[Name, Value] : CurCounts)
+      Merged[Name].second = Value;
+    for (const auto &[Name, Values] : Merged) {
+      const auto [Base, Cur] = Values;
+      DiffRow Row;
+      Row.K = DiffRow::Kind::Transform;
+      Row.Name = Name;
+      Row.Baseline = double(Base);
+      Row.Current = double(Cur);
+      Row.Ratio = Base == 0 ? (Cur == 0 ? 1.0 : double(Cur))
+                            : double(Cur) / double(Base);
+      bool IsApplied = Name.size() >= 8 &&
+                       Name.compare(Name.size() - 8, 8, ".applied") == 0;
+      if (IsApplied)
+        // Losing transformations is the regression; finding more is fine.
+        Row.Regression = Cur < Base;
+      else
+        Row.Regression = Base != 0 && double(Cur) > double(Base) *
+                                                        (1 +
+                                                         Opts.MaxCounterGrowth);
+      Diff.Regressions += Row.Regression;
+      Diff.Rows.push_back(std::move(Row));
+    }
   }
   return Diff;
 }

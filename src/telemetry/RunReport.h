@@ -25,9 +25,18 @@
 ///       ...
 ///     ],
 ///     "counters": {"psg.nodes": 4242, ...},
-///     "gauges": {"analyze.memory.peak_bytes": 123456, ...}
+///     "gauges": {"analyze.memory.peak_bytes": 123456, ...},
+///     "transforms": [
+///       {"pass": "dead_def", "outcome": "applied", "address": 17,
+///        "routine": "P1", "detail": "..."},
+///       ...
+///     ]
 ///   }
 /// \endcode
+///
+/// The "transforms" member is additive (still version 1): it appears only
+/// when the optimizer ran with transformation attribution enabled, and
+/// readers that predate it ignore it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +66,27 @@ struct RunReport {
 
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, uint64_t> Gauges;
+
+  /// One optimizer decision with its justification (see
+  /// telemetry::TransformRecord).  Empty unless the report was written
+  /// with transformation attribution enabled.
+  struct Transform {
+    std::string Pass;
+    std::string Outcome;
+    int64_t Address = -1;
+    std::string Routine;
+    std::string Detail;
+  };
+  std::vector<Transform> Transforms;
+
+  /// Record counts keyed "transform.<pass>.<outcome>" — the diffable
+  /// aggregation of Transforms.
+  std::map<std::string, uint64_t> transformCounts() const {
+    std::map<std::string, uint64_t> Counts;
+    for (const Transform &T : Transforms)
+      ++Counts["transform." + T.Pass + "." + T.Outcome];
+    return Counts;
+  }
 
   /// Seconds of phase \p Path, or 0 if absent.
   double phaseSeconds(const std::string &Path) const {
@@ -91,7 +121,7 @@ struct DiffOptions {
 
 /// One compared quantity.
 struct DiffRow {
-  enum class Kind { Counter, Gauge, Phase };
+  enum class Kind { Counter, Gauge, Phase, Transform };
   Kind K = Kind::Counter;
   std::string Name;
   double Baseline = 0;
@@ -117,7 +147,11 @@ struct ReportDiff {
 /// Compares \p Current against \p Baseline.  Quantities missing from
 /// either side are treated as zero on that side; growth over a zero
 /// baseline never regresses (new counters appear whenever new code is
-/// instrumented).
+/// instrumented).  Transformation attribution diffs by
+/// "transform.<pass>.<outcome>" count with an outcome-aware verdict: an
+/// "applied" count that *drops* regresses (the optimizer lost a
+/// transformation), a "rejected" count that grows beyond
+/// MaxCounterGrowth regresses (summaries got weaker).
 ReportDiff diffReports(const RunReport &Baseline, const RunReport &Current,
                        const DiffOptions &Opts = {});
 

@@ -189,6 +189,26 @@ std::string spike::telemetry::runReportJson(const Session &S) {
   RenderRegistry(S.counters());
   Out += ",\n  \"gauges\": {";
   RenderRegistry(S.gauges());
+
+  // Attribution records are additive: readers of version 1 that predate
+  // them simply ignore the member, and it is omitted entirely when no
+  // pass recorded one.
+  if (!S.transforms().empty()) {
+    Out += ",\n  \"transforms\": [";
+    const std::vector<TransformRecord> &Records = S.transforms();
+    for (size_t I = 0; I < Records.size(); ++I) {
+      const TransformRecord &R = Records[I];
+      Out += I == 0 ? "\n" : ",\n";
+      Out += "    {\"pass\": \"" + escape(R.Pass) + "\", \"outcome\": \"" +
+             escape(R.Outcome) + "\"";
+      if (R.Address >= 0)
+        Out += ", \"address\": " + std::to_string(R.Address);
+      if (!R.Routine.empty())
+        Out += ", \"routine\": \"" + escape(R.Routine) + "\"";
+      Out += ", \"detail\": \"" + escape(R.Detail) + "\"}";
+    }
+    Out += "\n  ]";
+  }
   Out += "\n}\n";
   return Out;
 }

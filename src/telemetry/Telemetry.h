@@ -71,6 +71,23 @@ struct PhaseRow {
   uint64_t Count = 0;
 };
 
+/// One optimizer decision with its justification: a pass either applied
+/// a transformation or rejected a candidate, and Detail names the
+/// summary facts behind the verdict.  Collected per session (opt-in via
+/// PipelineOptions::AttributeTransforms), rendered as the "transforms"
+/// array of a RunReport, and queryable via `spike-explain
+/// --why-transformed`.
+struct TransformRecord {
+  std::string Pass;    ///< "dead_def", "spill", "save_restore", ...
+  std::string Outcome; ///< "applied" or "rejected".
+
+  /// Instruction address the decision anchors to, or -1 (aggregate).
+  int64_t Address = -1;
+
+  std::string Routine; ///< Routine name, "" if whole-image.
+  std::string Detail;  ///< The justifying facts, human-readable.
+};
+
 /// All telemetry of one tool run.
 class Session {
 public:
@@ -126,6 +143,15 @@ public:
   const Registry &counters() const { return Counters; }
   const Registry &gauges() const { return Gauges; }
 
+  /// Appends one transformation-attribution record.
+  void addTransform(TransformRecord Record) {
+    Transforms.push_back(std::move(Record));
+  }
+
+  const std::vector<TransformRecord> &transforms() const {
+    return Transforms;
+  }
+
   /// Opens a span named \p Name nested under the innermost open span.
   /// Returns its id for endSpan().
   uint32_t beginSpan(std::string_view Name);
@@ -166,6 +192,7 @@ private:
   Clock::time_point Epoch;
   Registry Counters;
   Registry Gauges;
+  std::vector<TransformRecord> Transforms;
   std::vector<SpanEvent> Spans;
   std::vector<uint32_t> OpenStack;
 };
@@ -226,6 +253,12 @@ inline void gaugeSet(std::string_view Name, uint64_t Value) {
 inline void gaugeHigh(std::string_view Name, uint64_t Value) {
   if (Session *S = active())
     S->high(Name, Value);
+}
+
+/// Records a transformation attribution on the active session, if any.
+inline void attribute(TransformRecord Record) {
+  if (Session *S = active())
+    S->addTransform(std::move(Record));
 }
 
 /// Renders the session's spans as a Chrome trace-event / Perfetto JSON

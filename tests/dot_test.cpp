@@ -50,6 +50,38 @@ TEST(DotExportTest, PsgDigraphListsNodesAndLabels) {
   EXPECT_EQ(Dot.find("exit b2"), std::string::npos);
 }
 
+TEST(DotExportTest, EscapesHostileRoutineNames) {
+  // Routine names come straight from image symbol tables; quotes would
+  // end a dot label early and angle brackets / braces / pipes are record
+  // structure characters.  All must come out backslash-escaped.
+  AnalysisResult Result = exampleAnalysis();
+  Result.Prog.Routines[0].Name = "ma\"in<x>|{y}\\z\nw";
+  std::string Dot = cfgToDot(Result.Prog, 0);
+  EXPECT_NE(Dot.find("ma\\\"in\\<x\\>\\|\\{y\\}\\\\z\\nw"),
+            std::string::npos)
+      << Dot;
+  // The raw name (with its label-terminating quote) must not survive.
+  EXPECT_EQ(Dot.find("ma\"in"), std::string::npos);
+  std::string CallDot =
+      callGraphToDot(Result.Prog, buildCallGraph(Result.Prog));
+  EXPECT_NE(CallDot.find("ma\\\"in"), std::string::npos);
+}
+
+TEST(DotExportTest, HighlightOverlayRendersPathInRed) {
+  AnalysisResult Result = exampleAnalysis();
+  DotHighlight Highlight;
+  Highlight.Nodes = {0};
+  Highlight.Edges = {0};
+  std::string Dot = psgPathToDot(Result.Prog, Result.Psg, Highlight);
+  EXPECT_NE(Dot.find("digraph witness"), std::string::npos);
+  EXPECT_NE(Dot.find("subgraph \"cluster_r"), std::string::npos);
+  EXPECT_NE(Dot.find("color=red, penwidth=2"), std::string::npos);
+  // An empty highlight renders an empty (but valid) digraph.
+  std::string Empty = psgPathToDot(Result.Prog, Result.Psg, DotHighlight());
+  EXPECT_EQ(Empty.find("subgraph"), std::string::npos);
+  EXPECT_NE(Empty.find("digraph witness"), std::string::npos);
+}
+
 TEST(DotExportTest, CallGraphHighlightsCyclesAndDeadCode) {
   ProgramBuilder B;
   B.beginRoutine("main");

@@ -332,6 +332,93 @@ TEST(TelemetryDiff, PhaseTimeUsesFloorAndThreshold) {
             1u);
 }
 
+TEST(TelemetryDiff, TransformOutcomeAwareVerdict) {
+  auto TransformReport = [](uint64_t Applied, uint64_t Rejected) {
+    RunReport R;
+    R.Tool = "test";
+    for (uint64_t I = 0; I < Applied; ++I)
+      R.Transforms.push_back({"dead_def", "applied", int64_t(I), "f", "d"});
+    for (uint64_t I = 0; I < Rejected; ++I)
+      R.Transforms.push_back({"dead_def", "rejected", int64_t(I), "f", "d"});
+    return R;
+  };
+  DiffOptions Opts;
+  Opts.MaxCounterGrowth = 0.10;
+
+  // Same counts: clean.
+  EXPECT_EQ(diffReports(TransformReport(10, 20), TransformReport(10, 20),
+                        Opts)
+                .Regressions,
+            0u);
+  // Losing an applied transformation regresses, however small the drop.
+  EXPECT_EQ(diffReports(TransformReport(10, 20), TransformReport(9, 20),
+                        Opts)
+                .Regressions,
+            1u);
+  // Gaining applied transformations is an improvement, not a regression.
+  EXPECT_EQ(diffReports(TransformReport(10, 20), TransformReport(15, 20),
+                        Opts)
+                .Regressions,
+            0u);
+  // Rejections growing within the counter threshold: noise.
+  EXPECT_EQ(diffReports(TransformReport(10, 20), TransformReport(10, 22),
+                        Opts)
+                .Regressions,
+            0u);
+  // Rejections growing beyond it: summaries got weaker.
+  EXPECT_EQ(diffReports(TransformReport(10, 20), TransformReport(10, 25),
+                        Opts)
+                .Regressions,
+            1u);
+  // A baseline without attribution has nothing to say about transforms.
+  EXPECT_EQ(diffReports(reportWith({{"a", 1}}), TransformReport(0, 99),
+                        Opts)
+                .Regressions,
+            0u);
+}
+
+TEST(TelemetryJson, TransformRecordsRoundTrip) {
+  Session S("attr");
+  {
+    SessionScope Scope(S);
+    TransformRecord Record;
+    Record.Pass = "dead_def";
+    Record.Outcome = "applied";
+    Record.Address = 42;
+    Record.Routine = "P\"1"; // Exercises escaping.
+    Record.Detail = "r3 is dead after the definition";
+    attribute(Record);
+    Record.Outcome = "rejected";
+    Record.Address = -1; // Omitted from the document.
+    attribute(std::move(Record));
+  }
+  ASSERT_EQ(S.transforms().size(), 2u);
+
+  std::string Json = runReportJson(S);
+  std::string Error;
+  std::optional<RunReport> Report = parseRunReport(Json, &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  ASSERT_EQ(Report->Transforms.size(), 2u);
+  EXPECT_EQ(Report->Transforms[0].Pass, "dead_def");
+  EXPECT_EQ(Report->Transforms[0].Outcome, "applied");
+  EXPECT_EQ(Report->Transforms[0].Address, 42);
+  EXPECT_EQ(Report->Transforms[0].Routine, "P\"1");
+  EXPECT_EQ(Report->Transforms[1].Address, -1);
+
+  std::map<std::string, uint64_t> Counts = Report->transformCounts();
+  EXPECT_EQ(Counts.at("transform.dead_def.applied"), 1u);
+  EXPECT_EQ(Counts.at("transform.dead_def.rejected"), 1u);
+
+  // A session with no attribution omits the member entirely.
+  Session Empty("plain");
+  {
+    SessionScope Scope(Empty);
+    count("c");
+  }
+  EXPECT_EQ(runReportJson(Empty).find("\"transforms\""),
+            std::string::npos);
+}
+
 TEST(TelemetryDiff, RenderingSkipsUnchangedRows) {
   DiffOptions Opts;
   RunReport Base = reportWith({{"same", 3}, {"grew", 100}});

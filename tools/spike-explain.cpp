@@ -1,0 +1,282 @@
+//===- tools/spike-explain.cpp - why is this register live? ---------------===//
+//
+// Answers provenance queries over the interprocedural analysis: for any
+// solved bit, prints the witness chain — the concrete PSG edges, callee
+// summaries, and seeds that force it — and independently replays the
+// chain against the graph before believing it.
+//
+//   spike-explain app.spkx --why-live r5@entry:foo
+//   spike-explain app.spkx --why-may-use a1@call:bar#0
+//   spike-explain app.spkx --why-may-def s3@entry:qux --dot
+//   spike-explain app.spkx --why-dead t2@1234
+//   spike-explain app.spkx --why-transformed
+//   spike-explain app.spkx --check-witnesses
+//
+// Locations are <reg>@<kind>:<routine>[#i] with kind one of entry, exit,
+// call, return (i indexes the routine's entrances / exits / call sites,
+// default 0), or <reg>@node:<psg-node-id>.  --why-dead takes the
+// definition's instruction address instead.
+//
+// Exit codes: 0 query answered (including "fact does not hold"), 1 load
+// or replay or audit failure, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pipeline.h"
+#include "provenance/Witness.h"
+#include "psg/Analyzer.h"
+#include "psg/DotExport.h"
+#include "ToolOptions.h"
+#include "ToolTelemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+
+namespace {
+
+int usage(const char *Tool) {
+  std::fprintf(
+      stderr,
+      "usage: %s <image.spkx> <query> [--dot] %s %s\n"
+      "queries:\n"
+      "  --why-live <reg>@<loc>     why is <reg> live at <loc>?\n"
+      "  --why-may-use <reg>@<loc>  why may a call at <loc> use <reg>?\n"
+      "  --why-may-def <reg>@<loc>  why may a call at <loc> define <reg>?\n"
+      "  --why-dead [<reg>@]<addr>  why is the definition at <addr> dead\n"
+      "                             (or what observes it)?\n"
+      "  --why-transformed [<addr>] what did the optimizer do, and why?\n"
+      "  --check-witnesses          build + replay a witness for every\n"
+      "                             live-at-entry bit (CI contract)\n"
+      "locations: <kind>:<routine>[#i] with kind entry|exit|call|return,\n"
+      "or node:<psg-node-id>\n",
+      Tool, toolopts::jobsUsage(), tooltel::usage());
+  return 2;
+}
+
+/// A parsed <reg>@<where> query operand.
+struct Location {
+  unsigned Reg = NumIntRegs;
+  std::string Where; // Everything after the '@'.
+};
+
+bool parseLocation(const std::string &Spec, Location &Loc) {
+  size_t At = Spec.find('@');
+  if (At == std::string::npos || At == 0)
+    return false;
+  Loc.Reg = parseRegName(Spec.substr(0, At).c_str());
+  Loc.Where = Spec.substr(At + 1);
+  return Loc.Reg < NumIntRegs && !Loc.Where.empty();
+}
+
+/// Resolves "<kind>:<routine>[#i]" / "node:<id>" to a PSG node id;
+/// prints its own error and returns false on failure.
+bool resolveNode(const AnalysisResult &A, const std::string &Where,
+                 uint32_t &NodeId) {
+  size_t Colon = Where.find(':');
+  if (Colon == std::string::npos) {
+    std::fprintf(stderr,
+                 "error: location '%s' has no kind (want "
+                 "entry|exit|call|return|node ':' name)\n",
+                 Where.c_str());
+    return false;
+  }
+  std::string Kind = Where.substr(0, Colon);
+  std::string Name = Where.substr(Colon + 1);
+  unsigned Index = 0;
+  if (size_t Hash = Name.rfind('#'); Hash != std::string::npos) {
+    Index = unsigned(std::strtoul(Name.c_str() + Hash + 1, nullptr, 10));
+    Name = Name.substr(0, Hash);
+  }
+
+  if (Kind == "node") {
+    NodeId = uint32_t(std::strtoul(Name.c_str(), nullptr, 10));
+    if (NodeId >= A.Psg.Nodes.size()) {
+      std::fprintf(stderr, "error: PSG node %s out of range (have %zu)\n",
+                   Name.c_str(), A.Psg.Nodes.size());
+      return false;
+    }
+    return true;
+  }
+
+  for (uint32_t R = 0; R < A.Prog.Routines.size(); ++R) {
+    if (A.Prog.Routines[R].Name != Name)
+      continue;
+    const RoutinePsg &Info = A.Psg.RoutineInfo[R];
+    const std::vector<uint32_t> *Nodes = nullptr;
+    if (Kind == "entry")
+      Nodes = &Info.EntryNodes;
+    else if (Kind == "exit")
+      Nodes = &Info.ExitNodes;
+    else if (Kind == "call")
+      Nodes = &Info.CallNodes;
+    else if (Kind == "return")
+      Nodes = &Info.ReturnNodes;
+    else {
+      std::fprintf(stderr,
+                   "error: unknown location kind '%s' (want "
+                   "entry|exit|call|return|node)\n",
+                   Kind.c_str());
+      return false;
+    }
+    if (Index >= Nodes->size()) {
+      std::fprintf(stderr,
+                   "error: routine '%s' has %zu %s node(s), index %u out "
+                   "of range\n",
+                   Name.c_str(), Nodes->size(), Kind.c_str(), Index);
+      return false;
+    }
+    NodeId = (*Nodes)[Index];
+    return true;
+  }
+  std::fprintf(stderr, "error: no routine named '%s'\n", Name.c_str());
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path, Query, Operand;
+  bool Dot = false;
+  unsigned Jobs = toolopts::defaultJobs();
+  tooltel::Options TelemetryOpts;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--why-live") == 0 ||
+        std::strcmp(Argv[I], "--why-may-use") == 0 ||
+        std::strcmp(Argv[I], "--why-may-def") == 0 ||
+        std::strcmp(Argv[I], "--why-dead") == 0) {
+      if (!Query.empty() || I + 1 >= Argc)
+        return usage(Argv[0]);
+      Query = Argv[I];
+      Operand = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--why-transformed") == 0 ||
+               std::strcmp(Argv[I], "--check-witnesses") == 0) {
+      if (!Query.empty())
+        return usage(Argv[0]);
+      Query = Argv[I];
+      // --why-transformed takes an optional address filter.
+      if (Query == "--why-transformed" && I + 1 < Argc &&
+          Argv[I + 1][0] != '-')
+        Operand = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--dot") == 0)
+      Dot = true;
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
+    else if (Argv[I][0] == '-')
+      return usage(Argv[0]);
+    else if (Path.empty())
+      Path = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (Path.empty() || Query.empty())
+    return usage(Argv[0]);
+
+  tooltel::Emitter Telemetry("spike-explain", TelemetryOpts);
+
+  std::string Error;
+  std::optional<Image> Img = readImageFile(Path, &Error);
+  if (!Img) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // --why-transformed needs the optimizer, not the provenance store.
+  if (Query == "--why-transformed") {
+    PipelineOptions Opts;
+    Opts.AttributeTransforms = true;
+    Opts.Jobs = Jobs;
+    Image Work = *Img; // The image on disk stays untouched.
+    PipelineStats Stats = optimizeImage(Work, {}, Opts);
+    int64_t Filter =
+        Operand.empty() ? -1 : int64_t(std::strtoull(Operand.c_str(),
+                                                     nullptr, 10));
+    uint64_t Shown = 0;
+    for (const telemetry::TransformRecord &R : Stats.Transforms) {
+      if (Filter >= 0 && R.Address != Filter)
+        continue;
+      ++Shown;
+      std::printf("%s %s", R.Pass.c_str(), R.Outcome.c_str());
+      if (!R.Routine.empty())
+        std::printf(" [%s]", R.Routine.c_str());
+      if (R.Address >= 0)
+        std::printf(" @%lld", (long long)R.Address);
+      std::printf(": %s\n", R.Detail.c_str());
+    }
+    std::printf("%llu record(s) over %u round(s)%s\n",
+                (unsigned long long)Shown, Stats.Rounds,
+                Filter >= 0 ? " (address-filtered)" : "");
+    return 0;
+  }
+
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Jobs;
+  AOpts.RecordProvenance = true;
+  AnalysisResult Result = analyzeImage(*Img, {}, AOpts);
+
+  if (Query == "--check-witnesses") {
+    WitnessAudit Audit = auditEntryLiveness(Result);
+    for (const std::string &Failure : Audit.Failures)
+      std::fprintf(stderr, "FAIL: %s\n", Failure.c_str());
+    std::printf("check-witnesses: %llu entrance(s), %llu live bit(s), "
+                "%zu failure(s)\n",
+                (unsigned long long)Audit.EntriesChecked,
+                (unsigned long long)Audit.BitsChecked,
+                Audit.Failures.size());
+    return Audit.Failures.empty() ? 0 : 1;
+  }
+
+  if (Query == "--why-dead") {
+    // Accept both "<reg>@<addr>" and a bare address.
+    Location Loc;
+    uint64_t Address;
+    int RegArg = -1;
+    if (parseLocation(Operand, Loc)) {
+      Address = std::strtoull(Loc.Where.c_str(), nullptr, 10);
+      RegArg = int(Loc.Reg);
+    } else
+      Address = std::strtoull(Operand.c_str(), nullptr, 10);
+    DeadDefExplanation Ex = explainDeadDef(Result, Address, RegArg);
+    std::fputs(Ex.Text.c_str(), stdout);
+    return Ex.Found ? 0 : 1;
+  }
+
+  Location Loc;
+  if (!parseLocation(Operand, Loc)) {
+    std::fprintf(stderr,
+                 "error: '%s' is not a <reg>@<location> operand\n",
+                 Operand.c_str());
+    return 2;
+  }
+  uint32_t NodeId;
+  if (!resolveNode(Result, Loc.Where, NodeId))
+    return 1;
+
+  ProvFact Fact = Query == "--why-live"      ? ProvFact::Live
+                  : Query == "--why-may-use" ? ProvFact::MayUse
+                                             : ProvFact::MayDef;
+  Witness W = buildWitness(Result, Fact, NodeId, Loc.Reg);
+  if (W.Holds && !replayWitness(Result, W, &Error)) {
+    std::fprintf(stderr,
+                 "error: witness replay failed (%s) — provenance and "
+                 "graph disagree\n",
+                 Error.c_str());
+    return 1;
+  }
+  if (Dot && W.Holds) {
+    WitnessPath Path = witnessPath(W);
+    DotHighlight Highlight;
+    Highlight.Nodes = Path.Nodes;
+    Highlight.Edges = Path.Edges;
+    std::fputs(psgPathToDot(Result.Prog, Result.Psg, Highlight).c_str(),
+               stdout);
+    return 0;
+  }
+  std::fputs(renderWitness(Result, W).c_str(), stdout);
+  return 0;
+}

@@ -5,7 +5,10 @@
 //   spike-opt input.spkx -o output.spkx [--rounds N] [--verify]
 //
 // --verify additionally executes both images in the simulator and fails
-// if observable behaviour changed.
+// if observable behaviour changed.  --attribute tags every applied and
+// rejected transformation with its justifying summary facts; the records
+// land in the --metrics run report (and spike-explain --why-transformed
+// prints them interactively).
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +31,7 @@ int main(int Argc, char **Argv) {
   bool Verify = false;
   bool SelfCheck = false;
   bool DeriveAnnotations = false;
+  bool Attribute = false;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
@@ -41,6 +45,8 @@ int main(int Argc, char **Argv) {
       SelfCheck = true;
     else if (std::strcmp(Argv[I], "--derive-annotations") == 0)
       DeriveAnnotations = true;
+    else if (std::strcmp(Argv[I], "--attribute") == 0)
+      Attribute = true;
     else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
@@ -49,7 +55,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "usage: %s <input.spkx> -o <output.spkx> "
                    "[--rounds N] [--verify] [--self-check] "
-                   "[--derive-annotations] %s %s\n",
+                   "[--derive-annotations] [--attribute] %s %s\n",
                    Argv[0], toolopts::jobsUsage(), tooltel::usage());
       return 2;
     } else
@@ -58,7 +64,7 @@ int main(int Argc, char **Argv) {
   if (InputPath.empty() || OutputPath.empty()) {
     std::fprintf(stderr, "usage: %s <input.spkx> -o <output.spkx> "
                          "[--rounds N] [--verify] [--self-check] "
-                         "[--derive-annotations] %s %s\n",
+                         "[--derive-annotations] [--attribute] %s %s\n",
                  Argv[0], toolopts::jobsUsage(), tooltel::usage());
     return 2;
   }
@@ -82,6 +88,7 @@ int main(int Argc, char **Argv) {
   Opts.MaxRounds = Rounds;
   Opts.LintSelfCheck = SelfCheck;
   Opts.Jobs = Jobs;
+  Opts.AttributeTransforms = Attribute;
   PipelineStats Stats = optimizeImage(*Img, CallingConv(), Opts);
   std::printf("rounds:                        %u\n", Stats.Rounds);
   std::printf("dead defs deleted:             %llu\n",
