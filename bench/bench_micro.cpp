@@ -14,6 +14,8 @@
 #include "psg/Analyzer.h"
 #include "psg/PsgBuilder.h"
 #include "psg/PsgSolver.h"
+#include "slice/DepGraph.h"
+#include "slice/SlotFlow.h"
 #include "synth/CfgGenerator.h"
 #include "synth/Profiles.h"
 
@@ -146,6 +148,28 @@ void BM_FullAnalysis(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FullAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_SlotPhases(benchmark::State &State) {
+  // The memory analogue of BM_Phases: both slot phases (callee-first
+  // MAY-USE/MAY-DEF, caller-first liveness) on the medium program.
+  AnalysisResult Analysis = analyzeImage(mediumImage());
+  for (auto _ : State) {
+    SlotFlowResult Flow = solveSlotFlow(Analysis.Prog);
+    benchmark::DoNotOptimize(Flow.Routines.size());
+  }
+}
+BENCHMARK(BM_SlotPhases)->Unit(benchmark::kMillisecond);
+
+void BM_DepGraphBuild(benchmark::State &State) {
+  AnalysisResult Analysis = analyzeImage(mediumImage());
+  SlotFlowResult Flow = solveSlotFlow(Analysis.Prog);
+  for (auto _ : State) {
+    DependenceGraph Graph =
+        buildDepGraph(Analysis.Prog, Analysis.Summaries, Flow);
+    benchmark::DoNotOptimize(Graph.Edges.size());
+  }
+}
+BENCHMARK(BM_DepGraphBuild)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,69 @@
+//===- isa/StackRef.cpp - Decoded stack-memory operands --------------------===//
+
+#include "isa/StackRef.h"
+
+using namespace spike;
+
+StackRef spike::stackRefOf(const Instruction &Inst, unsigned SpReg) {
+  StackRef Ref;
+  const OpcodeInfo &Info = opcodeInfo(Inst.Op);
+  if (!Info.IsLoad && !Info.IsStore)
+    return Ref;
+  Ref.IsStore = Info.IsStore;
+  Ref.ValueReg = Info.IsStore ? Inst.Ra : Inst.Rc;
+  Ref.Kind =
+      Inst.Rb == SpReg ? StackRefKind::Slot : StackRefKind::Indexed;
+  Ref.Offset = Inst.Imm;
+  return Ref;
+}
+
+SpEffect spike::spEffectOf(const Instruction &Inst, unsigned SpReg,
+                           int64_t &Delta) {
+  if (!Inst.defs().contains(SpReg))
+    return SpEffect::None;
+  // The decodable adjustments: sp = sp + imm / sp = sp - imm.
+  if (Inst.Rc == SpReg && Inst.Ra == SpReg) {
+    if (Inst.Op == Opcode::AddI) {
+      Delta = int64_t(Inst.Imm);
+      return SpEffect::Adjust;
+    }
+    if (Inst.Op == Opcode::SubI) {
+      Delta = -int64_t(Inst.Imm);
+      return SpEffect::Adjust;
+    }
+  }
+  return SpEffect::Clobber;
+}
+
+bool spike::escapesSp(const Instruction &Inst, unsigned SpReg) {
+  StackRef Ref = stackRefOf(Inst, SpReg);
+  if (Ref.Kind == StackRefKind::Slot)
+    // Addressing through sp is not an escape, but storing sp's *value*
+    // into a slot is.
+    return Ref.IsStore && Ref.ValueReg == SpReg;
+  int64_t Delta;
+  if (spEffectOf(Inst, SpReg, Delta) == SpEffect::Adjust)
+    return false;
+  // Anything else that reads sp propagates its value somewhere the
+  // analysis cannot follow: another register, indexed-store data, a
+  // branch condition, an indirect target.
+  return Inst.uses().contains(SpReg);
+}
+
+std::string spike::stackRefComment(const Instruction &Inst,
+                                   unsigned SpReg) {
+  if (escapesSp(Inst, SpReg))
+    return "[sp escapes]";
+  StackRef Ref = stackRefOf(Inst, SpReg);
+  if (Ref.Kind == StackRefKind::Slot)
+    return Ref.Offset < 0
+               ? "[sp-" + std::to_string(-int64_t(Ref.Offset)) + "]"
+               : "[sp+" + std::to_string(Ref.Offset) + "]";
+  if (Ref.Kind == StackRefKind::Indexed)
+    return "[indexed]";
+  int64_t Delta = 0;
+  if (spEffectOf(Inst, SpReg, Delta) == SpEffect::Adjust)
+    return Delta < 0 ? "[sp -= " + std::to_string(-Delta) + "]"
+                     : "[sp += " + std::to_string(Delta) + "]";
+  return "";
+}

@@ -1,0 +1,94 @@
+//===- isa/StackRef.h - Decoded stack-memory operands ---------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place that decides what a stack slot is.
+///
+/// Several consumers care whether an instruction touches the stack frame:
+/// the spill-removal and save/restore passes match `imm(sp)` loads and
+/// stores, the slot dataflow of src/slice classifies every memory access,
+/// and spike-objdump annotates them in listings.  Each used to (or would)
+/// re-derive the decoding from raw operand fields; this header centralizes
+/// it so the passes and the analysis can never disagree about what a
+/// frame-slot access is.
+///
+/// Three questions, three helpers:
+///
+///   stackRefOf   — is this a memory access, and if so is it a decodable
+///                  `imm(sp)` slot access or an indexed access through
+///                  some other base register?
+///   spEffectOf   — does this instruction change the stack pointer, and
+///                  if so by a decodable constant (prologue/epilogue
+///                  adjustment) or unpredictably (clobber)?
+///   escapesSp    — does this instruction leak the value of sp into
+///                  memory or another register, after which indexed
+///                  accesses anywhere may alias frame slots?
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_ISA_STACKREF_H
+#define SPIKE_ISA_STACKREF_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <string>
+
+namespace spike {
+
+/// What kind of memory access an instruction performs.
+enum class StackRefKind : uint8_t {
+  None,    ///< Not a memory access.
+  Slot,    ///< `imm(sp)`: a frame slot at a decodable offset.
+  Indexed, ///< A load/store through a non-sp base: address unknown.
+};
+
+/// A decoded memory operand.
+struct StackRef {
+  StackRefKind Kind = StackRefKind::None;
+
+  /// True for stores, false for loads (meaningless for Kind None).
+  bool IsStore = false;
+
+  /// The word displacement off the current sp (Kind Slot only).
+  int32_t Offset = 0;
+
+  /// The register whose value is loaded into / stored from: Rc for
+  /// loads, Ra for stores (meaningless for Kind None).
+  unsigned ValueReg = 0;
+};
+
+/// Decodes the memory operand of \p Inst against stack pointer \p SpReg.
+StackRef stackRefOf(const Instruction &Inst, unsigned SpReg);
+
+/// How an instruction affects the stack pointer.
+enum class SpEffect : uint8_t {
+  None,    ///< Does not define sp.
+  Adjust,  ///< sp = sp +/- constant (frame push/pop).
+  Clobber, ///< Defines sp some other way: the frame layout is lost.
+};
+
+/// Classifies \p Inst's effect on \p SpReg.  For Adjust, \p Delta
+/// receives the signed word adjustment (negative for a prologue's
+/// `subi sp, sp, n`).  \p Delta is untouched otherwise.
+SpEffect spEffectOf(const Instruction &Inst, unsigned SpReg,
+                    int64_t &Delta);
+
+/// True if \p Inst makes the value of \p SpReg observable outside sp
+/// itself — stored to memory, copied or combined into another register,
+/// or used as an indirect branch/call target.  Slot accesses (which use
+/// sp only for addressing) and constant adjustments do not escape.
+bool escapesSp(const Instruction &Inst, unsigned SpReg);
+
+/// A listing annotation for \p Inst's stack behaviour: "[sp+16]" for a
+/// slot access, "[indexed]" for a non-sp memory access, "[sp escapes]"
+/// when the sp value leaks, "[sp += n]" for frame adjustments.  Empty
+/// when the instruction does none of these.
+std::string stackRefComment(const Instruction &Inst, unsigned SpReg);
+
+} // namespace spike
+
+#endif // SPIKE_ISA_STACKREF_H

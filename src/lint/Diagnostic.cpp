@@ -27,6 +27,7 @@ constexpr RuleInfo Rules[NumLintRules] = {
     {"SL009", "summary-mismatch", Severity::Error},
     {"SL010", "opt-regression", Severity::Error},
     {"SL011", "quarantine", Severity::Warning},
+    {"SL012", "dead-stack-store", Severity::Note},
 };
 
 const RuleInfo &info(RuleId Rule) {

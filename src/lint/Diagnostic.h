@@ -55,11 +55,12 @@ enum class RuleId : uint8_t {
   SummaryMismatch,    ///< SL009: PSG summary != CFG reference (verifier).
   OptRegression,      ///< SL010: optimization introduced a diagnostic.
   QuarantinedRoutine, ///< SL011: routine quarantined by validation.
+  DeadStackStore,     ///< SL012: stack store no load can observe.
 };
 
 /// Number of rules in the catalogue.
 inline constexpr unsigned NumLintRules =
-    unsigned(RuleId::QuarantinedRoutine) + 1;
+    unsigned(RuleId::DeadStackStore) + 1;
 
 /// Returns the stable code of \p Rule, e.g. "SL002".
 const char *ruleCode(RuleId Rule);

@@ -7,6 +7,8 @@
 #include "dataflow/Liveness.h"
 #include "isa/Encoding.h"
 #include "lint/Linter.h"
+#include "slice/DeadStore.h"
+#include "slice/SlotFlow.h"
 
 #include <algorithm>
 #include <cassert>
@@ -418,5 +420,27 @@ void spike::checkQuarantine(LintContext &Ctx) {
                                      F.RoutineName, -1, F.Address,
                                      std::string("image degraded: ") +
                                          F.Message));
+  }
+}
+
+void spike::checkDeadStackStores(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+  SlotFlowResult Flow = solveSlotFlow(Prog, Ctx.Opts.Jobs);
+  for (const DeadStoreCandidate &C : findDeadStackStores(Prog, Flow)) {
+    if (!C.Dead)
+      continue;
+    const Routine &R = Prog.Routines[C.RoutineIndex];
+    const Instruction &Inst = Prog.Insts[C.Address];
+    std::string Slot =
+        C.SpOffset < 0 ? "[sp-" + std::to_string(-int64_t(C.SpOffset)) + "]"
+                       : "[sp+" + std::to_string(C.SpOffset) + "]";
+    Diagnostic D = makeDiagnostic(
+        RuleId::DeadStackStore, int32_t(C.RoutineIndex), R.Name,
+        int32_t(C.BlockIndex), int64_t(C.Address),
+        "store to slot " + Slot + " ('" + Inst.str() +
+            "') is never loaded back, interprocedurally dead");
+    D.Hint =
+        "spike-slice --forward " + std::to_string(C.Address);
+    Ctx.Out.push_back(std::move(D));
   }
 }

@@ -38,6 +38,11 @@
 ///                          because the call created it).
 ///   SL008 cf-fallthrough   A reachable block falls off the end of its
 ///                          routine (no terminator, no successor).
+///   SL012 dead-stack-store A stack-slot store no later load — in this
+///                          routine, any callee, or any caller — can
+///                          observe under the interprocedural slot
+///                          dataflow.  DeadStoreElim's condition
+///                          reported instead of transformed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -82,6 +87,10 @@ void checkControlFlow(LintContext &Ctx);
 /// SL011: routines quarantined by semantic validation (with the root
 /// cause) and image-level degradations the CFG builder applied.
 void checkQuarantine(LintContext &Ctx);
+
+/// SL012: dead stack-slot stores (unobserved stores into frame slots),
+/// classified by the interprocedural slot dataflow (slice/DeadStore.h).
+void checkDeadStackStores(LintContext &Ctx);
 
 /// One pure register definition that *looks* dead locally: its target is
 /// dead under an optimistic intraprocedural liveness (nothing live at

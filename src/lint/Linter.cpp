@@ -67,6 +67,8 @@ LintResult spike::lintAnalysis(const Image &Img,
     checkControlFlow(Ctx);
   if (Opts.ruleEnabled(RuleId::QuarantinedRoutine))
     checkQuarantine(Ctx);
+  if (Opts.ruleEnabled(RuleId::DeadStackStore))
+    checkDeadStackStores(Ctx);
 
   if (Opts.Verify && Opts.ruleEnabled(RuleId::SummaryMismatch)) {
     std::vector<Diagnostic> Mismatches = crossCheckSummaries(Analysis);

@@ -1,0 +1,57 @@
+//===- opt/DeadStoreElim.cpp - Interprocedural dead-store elim ------------===//
+
+#include "opt/DeadStoreElim.h"
+
+#include "isa/Encoding.h"
+#include "slice/DeadStore.h"
+
+using namespace spike;
+
+namespace {
+
+std::string slotName(int32_t SpOffset) {
+  return SpOffset < 0 ? "[sp-" + std::to_string(-int64_t(SpOffset)) + "]"
+                      : "[sp+" + std::to_string(SpOffset) + "]";
+}
+
+} // namespace
+
+DeadStoreStats spike::eliminateDeadStackStores(
+    Image &Img, const Program &Prog, const SlotFlowResult &Flow,
+    std::vector<telemetry::TransformRecord> *Records) {
+  // The slice subsystem owns the dead-store criterion (rule SL012
+  // reports exactly what this pass deletes); sharing the candidate
+  // finder guarantees the diagnostic and the transformation can never
+  // drift apart.
+  DeadStoreStats Stats;
+  uint64_t NopWord = encodeInstruction(inst::nop());
+  for (const DeadStoreCandidate &C : findDeadStackStores(Prog, Flow)) {
+    if (C.Dead) {
+      Img.Code[C.Address] = NopWord;
+      ++Stats.DeletedInsts;
+      Stats.DeletedAddrs.push_back(C.Address);
+    }
+    if (!Records)
+      continue;
+    telemetry::TransformRecord Record;
+    Record.Pass = "dead_store";
+    Record.Outcome = C.Dead ? "applied" : "rejected";
+    Record.Address = int64_t(C.Address);
+    Record.Routine = Prog.Routines[C.RoutineIndex].Name;
+    if (C.Dead)
+      Record.Detail =
+          "slot " + slotName(C.SpOffset) +
+          " is not live after the store under the interprocedural slot "
+          "dataflow (callee MAY-USE and caller live-at-exit consulted): "
+          "rewritten to nop (see: spike-slice --forward " +
+          std::to_string(C.Address) + ")";
+    else
+      Record.Detail =
+          "slot " + slotName(C.SpOffset) +
+          " may still be read after the store (a later load, a callee, "
+          "or a caller reaches it; see: spike-slice --forward " +
+          std::to_string(C.Address) + ")";
+    Records->push_back(std::move(Record));
+  }
+  return Stats;
+}

@@ -169,6 +169,24 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
         }
     }
 
+    // Dead stores go before dead defs: dead-def elimination may delete an
+    // epilogue sp restore whose callers provably never read sp again —
+    // sound for registers, but it breaks frame discipline and turns the
+    // routine Opaque to the slot dataflow.  Running on still-disciplined
+    // frames keeps the store analysis sharp, and nop-ing a store first
+    // lets the dead-def pass delete the value producer in the same round.
+    {
+      AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
+      RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
+      telemetry::Span PassSpan("pass.dead_store");
+      SlotFlowResult Flow = solveSlotFlow(Analysis.Prog, Opts.Jobs);
+      DeadStoreStats DeadStores = eliminateDeadStackStores(
+          Img, Analysis.Prog, Flow,
+          Opts.AttributeTransforms ? &Stats.Transforms : nullptr);
+      Stats.DeadStoresDeleted += DeadStores.DeletedInsts;
+      ChangesThisRound += DeadStores.DeletedInsts;
+    }
+
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
@@ -246,6 +264,7 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     telemetry::count("opt.rounds", Stats.Rounds);
     telemetry::count("opt.rounds_rolled_back", Stats.RoundsRolledBack);
     telemetry::count("opt.dead_defs_deleted", Stats.DeadDefsDeleted);
+    telemetry::count("opt.dead_stores_deleted", Stats.DeadStoresDeleted);
     telemetry::count("opt.spill_pairs_removed", Stats.SpillPairsRemoved);
     telemetry::count("opt.save_restore_regs_eliminated",
                      Stats.SaveRestoreRegsEliminated);

@@ -34,6 +34,7 @@
 #include "binary/Image.h"
 #include "isa/CallingConv.h"
 #include "opt/DeadDefElim.h"
+#include "opt/DeadStoreElim.h"
 #include "opt/SaveRestoreElim.h"
 #include "opt/SpillRemoval.h"
 #include "opt/UnreachableElim.h"
@@ -86,6 +87,7 @@ struct PipelineStats {
   uint64_t UnreachableRoutinesRemoved = 0;
   uint64_t UnreachableInstsRemoved = 0;
   uint64_t DeadDefsDeleted = 0;
+  uint64_t DeadStoresDeleted = 0;
   uint64_t SpillPairsRemoved = 0;
   uint64_t SaveRestoreRegsEliminated = 0;
   uint64_t SaveRestoreInstsDeleted = 0;
@@ -137,7 +139,7 @@ struct PipelineStats {
   uint64_t QuarantinedRoutines = 0;
 
   uint64_t totalDeleted() const {
-    return DeadDefsDeleted + 2 * SpillPairsRemoved +
+    return DeadDefsDeleted + DeadStoresDeleted + 2 * SpillPairsRemoved +
            SaveRestoreInstsDeleted + UnreachableInstsRemoved;
   }
 

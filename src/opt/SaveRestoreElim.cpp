@@ -5,6 +5,7 @@
 #include "cfg/CallGraph.h"
 #include "dataflow/Liveness.h"
 #include "isa/Encoding.h"
+#include "isa/StackRef.h"
 
 #include <algorithm>
 #include <vector>
@@ -160,9 +161,9 @@ spike::eliminateSaveRestores(Image &Img, const Program &Prog,
         if (containsAddr(Detail.SaveAddrs, Address) ||
             containsAddr(Detail.RestoreAddrs, Address))
           continue;
-        const Instruction &Inst = Prog.Insts[Address];
-        SlotShared = (Inst.Op == Opcode::Ldq || Inst.Op == Opcode::Stq) &&
-                     Inst.Rb == Sp && Inst.Imm == Detail.Slot;
+        StackRef Ref = stackRefOf(Prog.Insts[Address], Sp);
+        SlotShared =
+            Ref.Kind == StackRefKind::Slot && Ref.Offset == Detail.Slot;
       }
       if (SlotShared)
         continue;

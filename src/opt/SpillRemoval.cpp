@@ -3,6 +3,7 @@
 #include "opt/SpillRemoval.h"
 
 #include "isa/Encoding.h"
+#include "isa/StackRef.h"
 
 using namespace spike;
 
@@ -11,10 +12,11 @@ namespace {
 /// Returns true if \p Inst reads or writes the stack slot \p Slot, or
 /// redefines the stack pointer (which changes what the slot means).
 bool touchesSlot(const Instruction &Inst, unsigned Sp, int32_t Slot) {
-  if ((Inst.Op == Opcode::Ldq || Inst.Op == Opcode::Stq) && Inst.Rb == Sp &&
-      Inst.Imm == Slot)
+  StackRef Ref = stackRefOf(Inst, Sp);
+  if (Ref.Kind == StackRefKind::Slot && Ref.Offset == Slot)
     return true;
-  return Inst.defs().contains(Sp);
+  int64_t Delta;
+  return spEffectOf(Inst, Sp, Delta) != SpEffect::None;
 }
 
 } // namespace
@@ -50,12 +52,12 @@ spike::removeCallSpills(Image &Img, const Program &Prog,
       int32_t Slot = 0;
       for (uint64_t Address = Block.Begin; Address + 1 < Block.End;
            ++Address) {
-        const Instruction &Inst = Prog.Insts[Address];
-        if (Inst.Op == Opcode::Stq && Inst.Rb == Sp && Inst.Ra != Sp &&
-            !Killed.contains(Inst.Ra)) {
+        StackRef Ref = stackRefOf(Prog.Insts[Address], Sp);
+        if (Ref.Kind == StackRefKind::Slot && Ref.IsStore &&
+            Ref.ValueReg != Sp && !Killed.contains(Ref.ValueReg)) {
           StoreAddr = int64_t(Address);
-          SpillReg = Inst.Ra;
-          Slot = Inst.Imm;
+          SpillReg = Ref.ValueReg;
+          Slot = Ref.Offset;
         }
       }
       if (StoreAddr < 0)
@@ -78,8 +80,9 @@ spike::removeCallSpills(Image &Img, const Program &Prog,
       for (uint64_t Address = Return.Begin; Address < Return.End;
            ++Address) {
         const Instruction &Inst = Prog.Insts[Address];
-        if (Inst.Op == Opcode::Ldq && Inst.Rb == Sp && Inst.Imm == Slot &&
-            Inst.Rc == SpillReg) {
+        StackRef Ref = stackRefOf(Inst, Sp);
+        if (Ref.Kind == StackRefKind::Slot && !Ref.IsStore &&
+            Ref.Offset == Slot && Ref.ValueReg == SpillReg) {
           LoadAddr = int64_t(Address);
           break;
         }
@@ -96,10 +99,9 @@ spike::removeCallSpills(Image &Img, const Program &Prog,
            Address < R.End && !SlotSharedElsewhere; ++Address) {
         if (int64_t(Address) == StoreAddr || int64_t(Address) == LoadAddr)
           continue;
-        const Instruction &Inst = Prog.Insts[Address];
-        SlotSharedElsewhere = (Inst.Op == Opcode::Ldq ||
-                               Inst.Op == Opcode::Stq) &&
-                              Inst.Rb == Sp && Inst.Imm == Slot;
+        StackRef Ref = stackRefOf(Prog.Insts[Address], Sp);
+        SlotSharedElsewhere =
+            Ref.Kind == StackRefKind::Slot && Ref.Offset == Slot;
       }
       if (SlotSharedElsewhere)
         continue;

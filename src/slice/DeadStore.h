@@ -1,0 +1,52 @@
+//===- slice/DeadStore.h - Interprocedural dead stack stores ---*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finds stack-slot stores whose value no later load — in this routine,
+/// any callee, or any caller — can observe.  The finder is shared by the
+/// SL012 lint rule (reports) and the dead-store elimination pass
+/// (deletes), so the two can never disagree about which stores are dead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SLICE_DEADSTORE_H
+#define SPIKE_SLICE_DEADSTORE_H
+
+#include "slice/SlotFlow.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spike {
+
+/// One sp-relative store, with the verdict of the slot liveness query.
+struct DeadStoreCandidate {
+  uint64_t Address = 0;
+  uint32_t RoutineIndex = 0;
+  uint32_t BlockIndex = 0;
+
+  /// The slot in entry-sp coordinates (what the analysis tracks).
+  int64_t FrameOffset = 0;
+
+  /// The literal `imm(sp)` offset at the store (what the code says).
+  int32_t SpOffset = 0;
+
+  /// True if the stored value is provably unobservable: the slot is not
+  /// live after the store on any path, interprocedurally.
+  bool Dead = false;
+};
+
+/// Walks every analyzable store of \p Prog backward against the solved
+/// slot liveness and classifies it.  Routines with Opaque facts (and
+/// everything under GlobalEscape) yield no candidates at all — their
+/// stores are unknowable, not live.  Results are sorted by address and
+/// deterministic.
+std::vector<DeadStoreCandidate>
+findDeadStackStores(const Program &Prog, const SlotFlowResult &Flow);
+
+} // namespace spike
+
+#endif // SPIKE_SLICE_DEADSTORE_H

@@ -1,0 +1,44 @@
+//===- slice/Slicer.h - Dependence-graph slicing ---------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward and forward slices over the instruction dependence graph:
+/// the transitive closure of "what does this instruction need" and
+/// "what does this instruction feed", plus a Graphviz rendering of the
+/// induced subgraph for spike-slice --dot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SLICE_SLICER_H
+#define SPIKE_SLICE_SLICER_H
+
+#include "slice/DepGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// All addresses the instruction at \p Address transitively depends on,
+/// including \p Address itself, sorted ascending.
+std::vector<uint64_t> backwardSlice(const DependenceGraph &Graph,
+                                    uint64_t Address);
+
+/// All addresses that transitively depend on the instruction at
+/// \p Address, including \p Address itself, sorted ascending.
+std::vector<uint64_t> forwardSlice(const DependenceGraph &Graph,
+                                   uint64_t Address);
+
+/// Renders the subgraph induced by \p Addresses as Graphviz DOT, with
+/// one node per instruction (labelled with its disassembly) and edge
+/// styles per dependence kind.
+std::string sliceToDot(const Program &Prog, const DependenceGraph &Graph,
+                       const std::vector<uint64_t> &Addresses);
+
+} // namespace spike
+
+#endif // SPIKE_SLICE_SLICER_H

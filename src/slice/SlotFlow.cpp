@@ -1,0 +1,381 @@
+//===- slice/SlotFlow.cpp - Stack-slot memory dataflow ---------------------===//
+
+#include "slice/SlotFlow.h"
+
+#include "cfg/CallGraph.h"
+#include "cfg/SccSchedule.h"
+#include "isa/StackRef.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+
+using namespace spike;
+
+namespace {
+
+/// One decoded slot access inside a block body, in entry coordinates.
+struct SlotOp {
+  uint64_t Address = 0;
+  int64_t Offset = 0;
+  bool IsStore = false;
+};
+
+/// Per-routine facts both phases share, computed once up front.
+struct RoutinePrep {
+  /// Some reachable instruction leaks the sp value (escapesSp).
+  bool Escapes = false;
+
+  /// Frame discipline broke down: sp clobbered, conflicting deltas,
+  /// unresolved control flow, or a return at a nonzero delta.
+  bool BadFrame = false;
+
+  /// Slot accesses per block, in address order (reachable blocks only).
+  std::vector<std::vector<SlotOp>> Ops;
+
+  /// Number of slot loads / stores seen (telemetry).
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+};
+
+/// Recovers the sp delta of every reachable block of \p R, decodes its
+/// slot accesses, and classifies frame discipline.  Seeding every
+/// entrance with delta 0 and propagating forward visits exactly the
+/// reachable blocks; a join conflict (two paths reach a block at
+/// different deltas) or any undecodable sp effect poisons the routine.
+void prepRoutine(const Program &Prog, uint32_t RoutineIndex,
+                 RoutinePrep &Prep, RoutineSlotFacts &Facts) {
+  const Routine &R = Prog.Routines[RoutineIndex];
+  unsigned Sp = Prog.Conv.SpReg;
+  size_t NumBlocks = R.Blocks.size();
+  Facts.DeltaIn.assign(NumBlocks, UnknownDelta);
+  Facts.DeltaOut.assign(NumBlocks, UnknownDelta);
+  // Sized up front: phase 2 reads a same-SCC caller's BlockLiveOut
+  // before that caller's own liveness solve has run.
+  Facts.BlockLiveIn.assign(NumBlocks, SlotSet());
+  Facts.BlockLiveOut.assign(NumBlocks, SlotSet());
+  Prep.Ops.assign(NumBlocks, {});
+  if (R.Quarantined) {
+    Prep.BadFrame = true;
+    return;
+  }
+
+  std::vector<uint32_t> Work;
+  auto Join = [&](uint32_t Block, int64_t Delta) {
+    if (Facts.DeltaIn[Block] == UnknownDelta) {
+      Facts.DeltaIn[Block] = Delta;
+      Work.push_back(Block);
+      return;
+    }
+    if (Facts.DeltaIn[Block] != Delta)
+      Prep.BadFrame = true;
+  };
+  for (uint32_t Entry : R.EntryBlocks)
+    Join(Entry, 0);
+
+  while (!Work.empty() && !Prep.BadFrame) {
+    uint32_t BlockIndex = Work.back();
+    Work.pop_back();
+    const BasicBlock &Block = R.Blocks[BlockIndex];
+    int64_t Delta = Facts.DeltaIn[BlockIndex];
+    std::vector<SlotOp> &Ops = Prep.Ops[BlockIndex];
+    Ops.clear(); // A re-join never happens, but stay idempotent.
+    for (uint64_t Address = Block.Begin; Address < Block.End; ++Address) {
+      const Instruction &Inst = Prog.Insts[Address];
+      if (escapesSp(Inst, Sp))
+        Prep.Escapes = true;
+      int64_t Adjust = 0;
+      switch (spEffectOf(Inst, Sp, Adjust)) {
+      case SpEffect::None:
+        break;
+      case SpEffect::Adjust:
+        Delta += Adjust;
+        continue;
+      case SpEffect::Clobber:
+        Prep.BadFrame = true;
+        return;
+      }
+      StackRef Ref = stackRefOf(Inst, Sp);
+      if (Ref.Kind == StackRefKind::Slot) {
+        Ops.push_back({Address, Delta + int64_t(Ref.Offset), Ref.IsStore});
+        ++(Ref.IsStore ? Prep.Stores : Prep.Loads);
+      }
+      // Indexed accesses cannot alias any frame under the no-escape
+      // contract; when an escape exists, GlobalEscape handles it.
+    }
+    Facts.DeltaOut[BlockIndex] = Delta;
+    if (Block.Term == TerminatorKind::UnresolvedJump) {
+      Prep.BadFrame = true;
+      return;
+    }
+    if (Block.Term == TerminatorKind::Return && Delta != 0) {
+      Prep.BadFrame = true;
+      return;
+    }
+    for (uint32_t Succ : Block.Succs)
+      Join(Succ, Delta);
+  }
+}
+
+/// Phase 1 transfer: recomputes MayUse/MayDef of one routine from its
+/// own slot ops plus its direct callees' (current) caller-visible facts.
+/// Returns true if either set changed.
+bool computeMayUseDef(const Program &Prog, uint32_t RoutineIndex,
+                      const std::vector<RoutinePrep> &Prep,
+                      std::vector<RoutineSlotFacts> &Facts) {
+  const Routine &R = Prog.Routines[RoutineIndex];
+  RoutineSlotFacts &F = Facts[RoutineIndex];
+  SlotSet Use, Def;
+  if (F.Opaque) {
+    Use = Def = SlotSet::top();
+  } else {
+    for (uint32_t BlockIndex = 0; BlockIndex < R.Blocks.size();
+         ++BlockIndex) {
+      if (F.DeltaIn[BlockIndex] == UnknownDelta)
+        continue; // Unreachable: never executes.
+      for (const SlotOp &Op : Prep[RoutineIndex].Ops[BlockIndex])
+        (Op.IsStore ? Def : Use).insert(Op.Offset);
+      const BasicBlock &Block = R.Blocks[BlockIndex];
+      if (Block.Term == TerminatorKind::IndirectCall) {
+        Use = Def = SlotSet::top();
+      } else if (Block.Term == TerminatorKind::Call) {
+        const RoutineSlotFacts &Callee =
+            Facts[uint32_t(Block.CalleeRoutine)];
+        int64_t Delta = F.DeltaOut[BlockIndex];
+        Use |= Callee.MayUse.nonNegative().shifted(Delta);
+        Def |= Callee.MayDef.nonNegative().shifted(Delta);
+      }
+    }
+  }
+  bool Changed = !(Use == F.MayUse) || !(Def == F.MayDef);
+  F.MayUse = Use;
+  F.MayDef = Def;
+  return Changed;
+}
+
+/// Phase 2: recomputes LiveAtExit of one routine from the slot liveness
+/// after each of its direct call sites.
+SlotSet computeLiveAtExit(const Program &Prog, uint32_t RoutineIndex,
+                          const CallGraph &Graph,
+                          const std::vector<RoutineSlotFacts> &Facts) {
+  const Routine &R = Prog.Routines[RoutineIndex];
+  if (Facts[RoutineIndex].Opaque || R.AddressTaken ||
+      R.CalledFromQuarantine)
+    return SlotSet::top();
+  SlotSet Out; // Entry routine with no callers: nothing survives it.
+  for (uint32_t Caller : Graph.Callers[RoutineIndex]) {
+    const RoutineSlotFacts &CF = Facts[Caller];
+    if (CF.Opaque)
+      return SlotSet::top();
+    const Routine &CR = Prog.Routines[Caller];
+    for (uint32_t CallBlock : CR.CallBlocks) {
+      if (CR.Blocks[CallBlock].CalleeRoutine != int32_t(RoutineIndex))
+        continue;
+      int64_t Delta = CF.DeltaOut[CallBlock];
+      if (Delta == UnknownDelta)
+        continue; // Unreachable call site: never executes.
+      Out |= CF.BlockLiveOut[CallBlock].shifted(-Delta);
+    }
+  }
+  return Out;
+}
+
+/// Phase 2: solves the intra-routine backward slot liveness of one
+/// routine against its (current) LiveAtExit and its callees' final
+/// phase-1 facts.  Pure in those inputs, so re-running it after the
+/// group fixpoint converges is deterministic.
+void solveBlockLiveness(const Program &Prog, uint32_t RoutineIndex,
+                        const std::vector<RoutinePrep> &Prep,
+                        std::vector<RoutineSlotFacts> &Facts) {
+  const Routine &R = Prog.Routines[RoutineIndex];
+  RoutineSlotFacts &F = Facts[RoutineIndex];
+  size_t NumBlocks = R.Blocks.size();
+  F.BlockLiveIn.assign(NumBlocks, SlotSet());
+  F.BlockLiveOut.assign(NumBlocks, SlotSet());
+  if (F.Opaque) {
+    F.BlockLiveIn.assign(NumBlocks, SlotSet::top());
+    F.BlockLiveOut.assign(NumBlocks, SlotSet::top());
+    return;
+  }
+
+  // Round-robin sweeps in reverse block order (address order is roughly
+  // topological, so backward facts converge in few sweeps).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t BlockIndex = uint32_t(NumBlocks); BlockIndex-- > 0;) {
+      if (F.DeltaIn[BlockIndex] == UnknownDelta)
+        continue;
+      const BasicBlock &Block = R.Blocks[BlockIndex];
+      SlotSet Out;
+      if (Block.Term == TerminatorKind::Return)
+        Out = F.LiveAtExit;
+      else if (Block.Term == TerminatorKind::Halt)
+        Out = SlotSet();
+      else if (Block.Succs.empty())
+        Out = SlotSet::top(); // Falls off the routine: unknowable.
+      else
+        for (uint32_t Succ : Block.Succs)
+          Out |= F.BlockLiveIn[Succ];
+
+      SlotSet Before = Out;
+      if (Block.Term == TerminatorKind::IndirectCall)
+        Before = SlotSet::top();
+      else if (Block.Term == TerminatorKind::Call) {
+        const RoutineSlotFacts &Callee =
+            Facts[uint32_t(Block.CalleeRoutine)];
+        Before |= Callee.MayUse.nonNegative().shifted(
+            F.DeltaOut[BlockIndex]);
+      }
+      const std::vector<SlotOp> &Ops = Prep[RoutineIndex].Ops[BlockIndex];
+      for (size_t I = Ops.size(); I-- > 0;) {
+        if (Ops[I].IsStore)
+          Before.erase(Ops[I].Offset); // Exact-slot must-kill.
+        else
+          Before.insert(Ops[I].Offset);
+      }
+      if (!(Out == F.BlockLiveOut[BlockIndex])) {
+        F.BlockLiveOut[BlockIndex] = Out;
+        Changed = true;
+      }
+      if (!(Before == F.BlockLiveIn[BlockIndex])) {
+        F.BlockLiveIn[BlockIndex] = Before;
+        Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+SlotSet SlotFlowResult::callMayUse(const Program &Prog, uint32_t Routine,
+                                   uint32_t Block) const {
+  const BasicBlock &B = Prog.Routines[Routine].Blocks[Block];
+  if (B.Term == TerminatorKind::IndirectCall)
+    return SlotSet::top();
+  if (B.Term != TerminatorKind::Call || B.CalleeRoutine < 0)
+    return SlotSet();
+  int64_t Delta = Routines[Routine].DeltaOut[Block];
+  if (Delta == UnknownDelta)
+    return SlotSet::top();
+  return Routines[uint32_t(B.CalleeRoutine)]
+      .MayUse.nonNegative()
+      .shifted(Delta);
+}
+
+SlotSet SlotFlowResult::callMayDef(const Program &Prog, uint32_t Routine,
+                                   uint32_t Block) const {
+  const BasicBlock &B = Prog.Routines[Routine].Blocks[Block];
+  if (B.Term == TerminatorKind::IndirectCall)
+    return SlotSet::top();
+  if (B.Term != TerminatorKind::Call || B.CalleeRoutine < 0)
+    return SlotSet();
+  int64_t Delta = Routines[Routine].DeltaOut[Block];
+  if (Delta == UnknownDelta)
+    return SlotSet::top();
+  return Routines[uint32_t(B.CalleeRoutine)]
+      .MayDef.nonNegative()
+      .shifted(Delta);
+}
+
+SlotFlowResult spike::solveSlotFlow(const Program &Prog,
+                                    ThreadPool *Pool) {
+  telemetry::Span SolveSpan("slice.slotflow");
+  SlotFlowResult Result;
+  size_t NumRoutines = Prog.Routines.size();
+  Result.Routines.resize(NumRoutines);
+  std::vector<RoutinePrep> Prep(NumRoutines);
+  CallGraph Graph = buildCallGraph(Prog);
+
+  // Per-routine prep (deltas, escapes, slot ops) is independent work.
+  forEachTask(Pool, NumRoutines, [&](size_t R, unsigned) {
+    prepRoutine(Prog, uint32_t(R), Prep[R], Result.Routines[R]);
+  });
+
+  uint64_t SlotLoads = 0, SlotStores = 0;
+  for (size_t R = 0; R < NumRoutines; ++R) {
+    const Routine &Rt = Prog.Routines[R];
+    Result.Routines[R].Opaque =
+        Rt.Quarantined || Prep[R].Escapes || Prep[R].BadFrame;
+    Result.OpaqueRoutines += Result.Routines[R].Opaque;
+    SlotLoads += Prep[R].Loads;
+    SlotStores += Prep[R].Stores;
+    // A reachable sp leak (and any quarantined routine, whose bytes may
+    // do anything) lets frame pointers roam: no slot fact anywhere holds.
+    if (Graph.Reachable[R] && (Rt.Quarantined || Prep[R].Escapes))
+      Result.GlobalEscape = true;
+  }
+
+  uint64_t Phase1Iters = 0, Phase2Iters = 0;
+  if (Result.GlobalEscape) {
+    for (RoutineSlotFacts &F : Result.Routines) {
+      F.MayUse = F.MayDef = F.LiveAtExit = SlotSet::top();
+      F.BlockLiveIn.assign(F.DeltaIn.size(), SlotSet::top());
+      F.BlockLiveOut.assign(F.DeltaIn.size(), SlotSet::top());
+    }
+  } else {
+    {
+      telemetry::Span Phase1Span("slice.phase1");
+      SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
+      std::vector<uint64_t> GroupIters(Sched.NumGroups, 0);
+      for (const std::vector<uint32_t> &Level : Sched.Levels)
+        forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
+          uint32_t Group = Level[I];
+          bool Changed = true;
+          while (Changed) {
+            Changed = false;
+            ++GroupIters[Group];
+            for (uint32_t R : Sched.Members[Group])
+              Changed |= computeMayUseDef(Prog, R, Prep, Result.Routines);
+          }
+        });
+      for (uint64_t Iters : GroupIters) // Serial: after the joins.
+        Phase1Iters += Iters;
+    }
+    {
+      telemetry::Span Phase2Span("slice.phase2");
+      SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
+      std::vector<uint64_t> GroupIters(Sched.NumGroups, 0);
+      for (const std::vector<uint32_t> &Level : Sched.Levels)
+        forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
+          uint32_t Group = Level[I];
+          bool Changed = true;
+          while (Changed) {
+            Changed = false;
+            ++GroupIters[Group];
+            for (uint32_t R : Sched.Members[Group]) {
+              SlotSet Exit =
+                  computeLiveAtExit(Prog, R, Graph, Result.Routines);
+              if (!(Exit == Result.Routines[R].LiveAtExit)) {
+                Result.Routines[R].LiveAtExit = Exit;
+                Changed = true;
+              }
+              // Block liveness is a pure function of LiveAtExit and the
+              // callees' final phase-1 facts; recompute each sweep so
+              // in-group callers read current values.
+              solveBlockLiveness(Prog, R, Prep, Result.Routines);
+            }
+          }
+        });
+      for (uint64_t Iters : GroupIters)
+        Phase2Iters += Iters;
+    }
+  }
+
+  if (telemetry::active()) {
+    telemetry::count("slice.routines", NumRoutines);
+    telemetry::count("slice.opaque_routines", Result.OpaqueRoutines);
+    telemetry::count("slice.slot_loads", SlotLoads);
+    telemetry::count("slice.slot_stores", SlotStores);
+    telemetry::count("slice.global_escape", Result.GlobalEscape ? 1 : 0);
+    telemetry::count("slice.phase1.group_iterations", Phase1Iters);
+    telemetry::count("slice.phase2.group_iterations", Phase2Iters);
+  }
+  return Result;
+}
+
+SlotFlowResult spike::solveSlotFlow(const Program &Prog, unsigned Jobs) {
+  if (Jobs <= 1)
+    return solveSlotFlow(Prog, nullptr);
+  ThreadPool Pool(Jobs);
+  return solveSlotFlow(Prog, &Pool);
+}

@@ -1,0 +1,243 @@
+//===- support/SlotSet.h - Bounded stack-slot offset sets -----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of frame-slot offsets, the memory analogue of RegSet.
+///
+/// Offsets are word displacements from a routine's *entry* stack pointer:
+/// negative offsets name slots of the routine's own frame (allocated by
+/// the prologue's sp adjustment), non-negative offsets name slots of the
+/// caller's frame (and its ancestors').  The representable window is
+/// [MinOffset, MaxOffset); anything outside — or anything unknowable, like
+/// an access at an unknown sp delta — collapses the set to the lattice
+/// top ("may touch any slot"), which every consumer must treat as
+/// worst-case.  Top is sticky: no operation except assignment leaves it.
+///
+/// The deliberate asymmetry of the lattice: inserting an offset the
+/// window cannot represent goes to top (never silently drops a MAY
+/// fact), while erase() of anything from top is a no-op (a kill can
+/// never be proven against an unknown set).  Difference with a top
+/// subtrahend likewise returns the minuend unchanged.  These choices keep
+/// every use of the set conservative without per-call-site reasoning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_SLOTSET_H
+#define SPIKE_SUPPORT_SLOTSET_H
+
+#include <cstdint>
+#include <string>
+
+namespace spike {
+
+/// A set of frame-slot offsets over a bounded window, plus a "top"
+/// element meaning "any slot at all".
+class SlotSet {
+public:
+  /// The representable offset window, in words relative to the entry sp.
+  static constexpr int64_t MinOffset = -64;
+  static constexpr int64_t MaxOffset = 64; // Exclusive.
+
+  constexpr SlotSet() = default;
+
+  /// The lattice top: may touch any slot, in or out of the window.
+  static constexpr SlotSet top() {
+    SlotSet S;
+    S.Top = true;
+    return S;
+  }
+
+  /// True if \p Offset lies inside the representable window.
+  static constexpr bool inWindow(int64_t Offset) {
+    return Offset >= MinOffset && Offset < MaxOffset;
+  }
+
+  constexpr bool isTop() const { return Top; }
+
+  constexpr bool empty() const { return !Top && Lo == 0 && Hi == 0; }
+
+  /// Number of representable offsets in the set (meaningless for top).
+  constexpr unsigned size() const {
+    return unsigned(__builtin_popcountll(Lo) + __builtin_popcountll(Hi));
+  }
+
+  /// Adds \p Offset.  An offset outside the window collapses to top —
+  /// a MAY fact is never dropped.
+  constexpr void insert(int64_t Offset) {
+    if (Top)
+      return;
+    if (!inWindow(Offset)) {
+      *this = top();
+      return;
+    }
+    word(Offset) |= bit(Offset);
+  }
+
+  /// Removes \p Offset.  No-op on top (a kill cannot be proven against an
+  /// unknown set) and on out-of-window offsets.
+  constexpr void erase(int64_t Offset) {
+    if (Top || !inWindow(Offset))
+      return;
+    word(Offset) &= ~bit(Offset);
+  }
+
+  /// May the set contain \p Offset?  Top may contain anything; a non-top
+  /// set contains exactly its in-window bits.
+  constexpr bool mayContain(int64_t Offset) const {
+    if (Top)
+      return true;
+    if (!inWindow(Offset))
+      return false;
+    return (word(Offset) & bit(Offset)) != 0;
+  }
+
+  constexpr SlotSet &operator|=(const SlotSet &Other) {
+    if (Other.Top)
+      *this = top();
+    if (Top)
+      return *this;
+    Lo |= Other.Lo;
+    Hi |= Other.Hi;
+    return *this;
+  }
+
+  constexpr SlotSet operator|(const SlotSet &Other) const {
+    SlotSet Result = *this;
+    Result |= Other;
+    return Result;
+  }
+
+  /// Set difference.  A top minuend stays top; a top subtrahend removes
+  /// nothing (conservative in every liveness-style use).
+  constexpr SlotSet &operator-=(const SlotSet &Other) {
+    if (Top || Other.Top)
+      return *this;
+    Lo &= ~Other.Lo;
+    Hi &= ~Other.Hi;
+    return *this;
+  }
+
+  constexpr SlotSet operator-(const SlotSet &Other) const {
+    SlotSet Result = *this;
+    Result -= Other;
+    return Result;
+  }
+
+  /// True if the sets share an offset.  Top intersects everything except
+  /// the empty set.
+  constexpr bool intersects(const SlotSet &Other) const {
+    if (Top)
+      return !Other.empty() || Other.Top;
+    if (Other.Top)
+      return !empty();
+    return (Lo & Other.Lo) != 0 || (Hi & Other.Hi) != 0;
+  }
+
+  constexpr bool operator==(const SlotSet &Other) const {
+    return Top == Other.Top && Lo == Other.Lo && Hi == Other.Hi;
+  }
+
+  /// The subset at non-negative offsets: the caller-visible part of a
+  /// routine's facts (its own frame lives below the entry sp and vanishes
+  /// on return).  Top stays top.
+  constexpr SlotSet nonNegative() const {
+    if (Top)
+      return top();
+    SlotSet Result;
+    Result.Hi = Hi;
+    return Result;
+  }
+
+  /// The set with every offset translated by \p Delta — the change of
+  /// coordinates between a caller's view and a callee's.  Any offset the
+  /// shift pushes out of the window collapses the result to top: the
+  /// translated fact exists but is no longer representable.  Top stays
+  /// top.
+  SlotSet shifted(int64_t Delta) const {
+    if (Top)
+      return top();
+    SlotSet Result;
+    for (int64_t Offset : *this) {
+      if (!inWindow(Offset + Delta))
+        return top();
+      Result.insert(Offset + Delta);
+    }
+    return Result;
+  }
+
+  /// Iterates the in-window offsets in ascending order.  Iterating top
+  /// yields nothing — callers must check isTop() first.
+  class const_iterator {
+  public:
+    const_iterator(const SlotSet &Set, unsigned Index)
+        : Set(&Set), Index(Index) {
+      advance();
+    }
+    int64_t operator*() const { return int64_t(Index) + MinOffset; }
+    const_iterator &operator++() {
+      ++Index;
+      advance();
+      return *this;
+    }
+    bool operator!=(const const_iterator &Other) const {
+      return Index != Other.Index;
+    }
+
+  private:
+    void advance() {
+      while (Index < 128 && !Set->hasBitIndex(Index))
+        ++Index;
+    }
+    const SlotSet *Set;
+    unsigned Index;
+  };
+
+  const_iterator begin() const { return const_iterator(*this, 0); }
+  const_iterator end() const { return const_iterator(*this, 128); }
+
+  /// Renders "{sp-3, sp+0, sp+5}"; top renders "{unknown}".
+  std::string str() const {
+    if (Top)
+      return "{unknown}";
+    std::string S = "{";
+    bool First = true;
+    for (int64_t Offset : *this) {
+      if (!First)
+        S += ", ";
+      First = false;
+      S += Offset < 0 ? "sp-" + std::to_string(-Offset)
+                      : "sp+" + std::to_string(Offset);
+    }
+    S += "}";
+    return S;
+  }
+
+private:
+  constexpr bool hasBitIndex(unsigned Index) const {
+    if (Top)
+      return false;
+    uint64_t Word = Index < 64 ? Lo : Hi;
+    return (Word >> (Index & 63)) & 1;
+  }
+  constexpr uint64_t &word(int64_t Offset) {
+    return Offset < 0 ? Lo : Hi;
+  }
+  constexpr const uint64_t &word(int64_t Offset) const {
+    return Offset < 0 ? Lo : Hi;
+  }
+  static constexpr uint64_t bit(int64_t Offset) {
+    return uint64_t(1) << (uint64_t(Offset - MinOffset) & 63);
+  }
+
+  /// Lo covers [MinOffset, 0), Hi covers [0, MaxOffset).
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  bool Top = false;
+};
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_SLOTSET_H

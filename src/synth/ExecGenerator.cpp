@@ -65,6 +65,9 @@ public:
     }
 
     emitScratchWork();
+    // Short-circuit keeps the Rng stream identical when the knob is off.
+    if (Profile.DeadStoreProb > 0 && Rand.chance(Profile.DeadStoreProb))
+      emitDeadStore();
     if (Plan.HasDeadCode)
       emitDeadCode();
     if (Plan.HasSwitch)
@@ -122,6 +125,14 @@ private:
     B.emit(inst::rrr(Opcode::Add, reg::T0 + 1, reg::T0, reg::S0));
     B.emit(inst::rri(Opcode::SllI, reg::T0 + 1, reg::T0 + 1, 1));
     B.emit(inst::rrr(Opcode::Xor, reg::S0, reg::S0, reg::T0 + 1));
+  }
+
+  /// Stores a scratch value into the one frame slot nothing ever reads
+  /// (slots 0..2 hold saves, 3..3+Calls-1 are spill slots, FrameSize-1
+  /// is the ra slot; FrameSize-2 is always free): a dead stack store.
+  void emitDeadStore() {
+    B.emit(inst::lda(reg::T0, int32_t(Rand.range(1, 255))));
+    B.emit(inst::stq(reg::T0, FrameSize - 2, reg::SP));
   }
 
   /// Writes t6/t7, which nothing ever reads: dead-def targets.

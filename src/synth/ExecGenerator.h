@@ -56,6 +56,12 @@ struct ExecProfile {
   /// address-taken routine.
   double IndirectCallProb = 0.08;
 
+  /// Probability a routine stores a scratch value into a frame slot that
+  /// is never loaded back (an interprocedurally dead stack store, the
+  /// target of SL012 and dead-store elimination).  Zero leaves the
+  /// random stream untouched, so existing seeds reproduce exactly.
+  double DeadStoreProb = 0.0;
+
   /// Words in the observable data section.
   unsigned DataWords = 64;
 

@@ -1,6 +1,11 @@
 //===- tools/spike-objdump.cpp - disassembler driver ------------------------===//
 //
 // Prints the disassembly of a .spkx image (re-assemblable with spike-as).
+// SP-relative memory operands are annotated with the frame slot they
+// touch ("; [sp+16]"), sp adjustments with their direction, and accesses
+// the stack analysis cannot pin down are flagged ("; [indexed]",
+// "; [sp escapes]").  Annotations are comments, so the output still
+// round-trips through spike-as.
 //
 //   spike-objdump app.spkx [--routine <name>]
 //
@@ -9,14 +14,32 @@
 #include "binary/Image.h"
 #include "cfg/CfgBuilder.h"
 #include "isa/Encoding.h"
+#include "isa/StackRef.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 using namespace spike;
+
+namespace {
+
+/// Appends the stack annotation of the instruction at \p Address, if any.
+void appendAnnotation(const Image &Img, uint64_t Address, unsigned Sp,
+                      std::string &Line) {
+  std::optional<Instruction> Inst = decodeInstruction(Img.Code[Address]);
+  if (!Inst)
+    return;
+  std::string Comment = stackRefComment(*Inst, Sp);
+  if (!Comment.empty())
+    Line += "\t; " + Comment;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName;
@@ -50,11 +73,30 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+  unsigned Sp = CallingConv().SpReg;
 
   if (RoutineName.empty()) {
     std::string Text;
     disassemble(*Img, Text);
-    std::fputs(Text.c_str(), stdout);
+    // Annotate instruction lines ("  <addr>:\t<inst>") in place; other
+    // lines (labels, directives) pass through untouched.
+    std::string Line;
+    size_t Start = 0;
+    while (Start < Text.size()) {
+      size_t Newline = Text.find('\n', Start);
+      if (Newline == std::string::npos)
+        Newline = Text.size();
+      Line = Text.substr(Start, Newline - Start);
+      if (Line.size() > 2 && Line[0] == ' ' && Line[1] == ' ' &&
+          std::isdigit((unsigned char)Line[2])) {
+        uint64_t Address = std::strtoull(Line.c_str() + 2, nullptr, 10);
+        if (Address < Img->Code.size())
+          appendAnnotation(*Img, Address, Sp, Line);
+      }
+      std::fputs(Line.c_str(), stdout);
+      std::fputc('\n', stdout);
+      Start = Newline + 1;
+    }
     return 0;
   }
 
@@ -68,9 +110,12 @@ int main(int Argc, char **Argv) {
                 R.Blocks.size());
     for (uint64_t Address = R.Begin; Address < R.End; ++Address) {
       std::optional<Instruction> Inst = decodeInstruction(Img->Code[Address]);
+      std::string Line = Inst ? Inst->str(int64_t(Address))
+                              : std::string("<bad encoding>");
+      if (Inst)
+        appendAnnotation(*Img, Address, Sp, Line);
       std::printf("  %llu:\t%s\n", (unsigned long long)Address,
-                  Inst ? Inst->str(int64_t(Address)).c_str()
-                       : "<bad encoding>");
+                  Line.c_str());
     }
     return 0;
   }
