@@ -338,6 +338,7 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
     if (!R.Quarantined) {
       R.Quarantined = true;
       R.QuarantineReason = F.Message;
+      R.Degrade = DegradeReason::Validation;
     }
   }
   for (const std::string &Name : Options.ForceQuarantine)
@@ -345,6 +346,14 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
       if (R.Name == Name && !R.Quarantined) {
         R.Quarantined = true;
         R.QuarantineReason = "quarantine forced by build options";
+        R.Degrade = DegradeReason::Forced;
+      }
+  for (const std::string &Name : Options.BudgetDegrade)
+    for (Routine &R : Prog.Routines)
+      if (R.Name == Name && !R.Quarantined) {
+        R.Quarantined = true;
+        R.QuarantineReason = "analysis budget exceeded";
+        R.Degrade = DegradeReason::Budget;
       }
 
   // Attach secondary entrances to their containing routines; orphaned
@@ -493,6 +502,7 @@ Program spike::buildProgram(const Image &Img, const CallingConv &Conv,
     telemetry::count("cfg.blocks", Prog.numBlocks());
     telemetry::count("cfg.insts", Prog.Insts.size());
     telemetry::count("cfg.quarantined_routines", Prog.numQuarantined());
+    telemetry::count("degrade.budget_routines", Prog.numBudgetDegraded());
   }
 
   return Prog;

@@ -42,6 +42,13 @@ struct CfgBuildOptions {
   /// the fuzzer's soundness oracle (and tests) to check that degraded
   /// summaries stay conservative relative to exact ones.
   std::vector<std::string> ForceQuarantine;
+
+  /// Routine names to degrade because their SCC group blew its analysis
+  /// budget on a previous attempt (DegradeReason::Budget).  Same
+  /// worst-case Section 3.5 collapse as quarantine; distinct reason so
+  /// lint (SL013) and run reports can tell "the code is garbage" from
+  /// "the budget was too small".
+  std::vector<std::string> BudgetDegrade;
 };
 
 /// Decodes \p Img and builds the routine/basic-block structure.

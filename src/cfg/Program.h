@@ -88,6 +88,32 @@ struct BasicBlock {
   }
 };
 
+/// Why a routine was collapsed to the paper's Section 3.5 unknowable
+/// model.  Validation and Forced are the PR 2 quarantine family; Budget
+/// is resource governance: the routine's SCC group blew its analysis
+/// budget and was soundly degraded instead of aborting the run.
+enum class DegradeReason : uint8_t {
+  None = 0,   ///< Analyzed normally.
+  Validation, ///< Semantic validation found the code unanalyzable.
+  Forced,     ///< Forced by build options (fuzzer oracle, tests).
+  Budget,     ///< Analysis budget exceeded (deadline/memory/iterations).
+};
+
+/// Stable lower-case name ("none", "validation", "forced", "budget").
+inline const char *degradeReasonName(DegradeReason Reason) {
+  switch (Reason) {
+  case DegradeReason::None:
+    return "none";
+  case DegradeReason::Validation:
+    return "validation";
+  case DegradeReason::Forced:
+    return "forced";
+  case DegradeReason::Budget:
+    return "budget";
+  }
+  return "unknown";
+}
+
 /// A routine: a contiguous instruction range with one or more entrances.
 struct Routine {
   std::string Name;
@@ -123,6 +149,12 @@ struct Routine {
 
   /// Human-readable root cause for the quarantine (first finding).
   std::string QuarantineReason;
+
+  /// Which family of cause set Quarantined.  Every consumer of the
+  /// Quarantined bit treats all reasons identically (worst-case model,
+  /// never transformed); the reason only steers diagnostics (SL011 vs
+  /// SL013) and run-report accounting.
+  DegradeReason Degrade = DegradeReason::None;
 
   /// True if a quarantined (or unowned) code region may call into this
   /// routine: a direct jsr from quarantined code names it, or quarantined
@@ -171,11 +203,19 @@ struct Program {
   /// dropped symbols/annotations); kept for diagnostics (lint rule SL011).
   ValidationReport Validation;
 
-  /// Returns the number of quarantined routines.
+  /// Returns the number of quarantined routines (all degrade reasons).
   uint64_t numQuarantined() const {
     uint64_t Count = 0;
     for (const Routine &R : Routines)
       Count += R.Quarantined;
+    return Count;
+  }
+
+  /// Returns the number of routines degraded by resource governance.
+  uint64_t numBudgetDegraded() const {
+    uint64_t Count = 0;
+    for (const Routine &R : Routines)
+      Count += R.Degrade == DegradeReason::Budget;
     return Count;
   }
 

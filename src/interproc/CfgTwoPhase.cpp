@@ -10,6 +10,7 @@
 #include "dataflow/Liveness.h"
 #include "dataflow/Worklist.h"
 #include "psg/PsgSolver.h"
+#include "support/Budget.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -31,8 +32,9 @@ namespace {
 class TwoPhaseEngine {
 public:
   TwoPhaseEngine(const Program &Prog,
-                 const std::vector<RegSet> &SavedPerRoutine, ThreadPool *Pool)
-      : Prog(Prog), Saved(SavedPerRoutine), Pool(Pool) {
+                 const std::vector<RegSet> &SavedPerRoutine, ThreadPool *Pool,
+                 const ResourceGovernor *Gov)
+      : Prog(Prog), Saved(SavedPerRoutine), Pool(Pool), Gov(Gov) {
     RaOnly.insert(Prog.Conv.RaReg);
     AllRegs = RegSet::allBelow(NumIntRegs);
     EntrySets.resize(Prog.Routines.size());
@@ -178,6 +180,17 @@ private:
     return int32_t(It - Members.begin());
   }
 
+  /// Throws the budget-blown error for one component, naming its member
+  /// routines so the governed driver can degrade exactly that group.
+  [[noreturn]] void throwBlown(BudgetVerdict Verdict, const char *Phase,
+                               const std::vector<uint32_t> &Members) const {
+    std::vector<std::string> Names;
+    Names.reserve(Members.size());
+    for (uint32_t R : Members)
+      Names.push_back(Prog.Routines[R].Name);
+    throw BudgetBlownError(Verdict, Phase, std::move(Names));
+  }
+
   /// Solves one component's phase-1 pass: callee summaries outside the
   /// component have converged in earlier levels, so only in-component
   /// callers requeue.
@@ -185,7 +198,13 @@ private:
                         bool MayUsePass) {
     Worklist List(Members.size());
     List.pushAll();
+    uint64_t Pops = 0;
     while (!List.empty()) {
+      if (Gov) {
+        BudgetVerdict V = Gov->poll(++Pops);
+        if (V != BudgetVerdict::Ok)
+          throwBlown(V, "cfg-two-phase.phase1", Members);
+      }
       uint32_t RoutineIndex = Members[List.pop()];
       const Routine &R = Prog.Routines[RoutineIndex];
       std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
@@ -264,7 +283,13 @@ private:
     RegSet LocalAccum = AccumIn;
     Worklist List(Members.size());
     List.pushAll();
+    uint64_t Pops = 0;
     while (!List.empty()) {
+      if (Gov) {
+        BudgetVerdict V = Gov->poll(++Pops);
+        if (V != BudgetVerdict::Ok)
+          throwBlown(V, "cfg-two-phase.phase2", Members);
+      }
       uint32_t RoutineIndex = Members[List.pop()];
       const Routine &R = Prog.Routines[RoutineIndex];
 
@@ -337,6 +362,7 @@ private:
   const Program &Prog;
   const std::vector<RegSet> &Saved;
   ThreadPool *Pool;
+  const ResourceGovernor *Gov;
   RegSet RaOnly;
   RegSet AllRegs;
   CallGraph Graph;
@@ -369,10 +395,10 @@ private:
 InterprocSummaries
 spike::runCfgTwoPhase(const Program &Prog,
                       const std::vector<RegSet> &SavedPerRoutine,
-                      ThreadPool *Pool) {
+                      ThreadPool *Pool, const ResourceGovernor *Gov) {
   telemetry::Span RefSpan("interproc.cfg_two_phase");
   telemetry::count("interproc.cfg_two_phase.runs");
-  TwoPhaseEngine Engine(Prog, SavedPerRoutine, Pool);
+  TwoPhaseEngine Engine(Prog, SavedPerRoutine, Pool, Gov);
   Engine.run();
   return Engine.takeResults();
 }

@@ -29,17 +29,21 @@
 
 namespace spike {
 
+class ResourceGovernor;
 class ThreadPool;
 
 /// Runs the reference two-phase analysis on \p Prog.
 /// \p SavedPerRoutine is the per-routine Section 3.4 filter set (use the
 /// same sets as the PSG run for apples-to-apples comparison).  When
 /// \p Pool is non-null, call-graph components without mutual dependencies
-/// solve concurrently; the results are identical either way.
+/// solve concurrently; the results are identical either way.  When \p Gov
+/// is non-null, each component's worklist polls it per pop and throws
+/// BudgetBlownError naming the component's routines on a non-Ok verdict.
 InterprocSummaries
 runCfgTwoPhase(const Program &Prog,
                const std::vector<RegSet> &SavedPerRoutine,
-               ThreadPool *Pool = nullptr);
+               ThreadPool *Pool = nullptr,
+               const ResourceGovernor *Gov = nullptr);
 
 } // namespace spike
 

@@ -28,6 +28,7 @@ constexpr RuleInfo Rules[NumLintRules] = {
     {"SL010", "opt-regression", Severity::Error},
     {"SL011", "quarantine", Severity::Warning},
     {"SL012", "dead-stack-store", Severity::Note},
+    {"SL013", "budget-degraded", Severity::Warning},
 };
 
 const RuleInfo &info(RuleId Rule) {

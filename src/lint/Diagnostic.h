@@ -56,11 +56,12 @@ enum class RuleId : uint8_t {
   OptRegression,      ///< SL010: optimization introduced a diagnostic.
   QuarantinedRoutine, ///< SL011: routine quarantined by validation.
   DeadStackStore,     ///< SL012: stack store no load can observe.
+  BudgetDegraded,     ///< SL013: routine degraded by the analysis budget.
 };
 
 /// Number of rules in the catalogue.
 inline constexpr unsigned NumLintRules =
-    unsigned(RuleId::DeadStackStore) + 1;
+    unsigned(RuleId::BudgetDegraded) + 1;
 
 /// Returns the stable code of \p Rule, e.g. "SL002".
 const char *ruleCode(RuleId Rule);

@@ -397,10 +397,12 @@ void spike::checkQuarantine(LintContext &Ctx) {
   const Program &Prog = Ctx.Analysis.Prog;
 
   // One diagnostic per quarantined routine, carrying its root cause.
+  // Budget-degraded routines share the quarantine bit but are SL013's
+  // concern: they are not unknowable code, just unaffordable code.
   for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
        ++RoutineIndex) {
     const Routine &R = Prog.Routines[RoutineIndex];
-    if (!R.Quarantined)
+    if (!R.Quarantined || R.Degrade == DegradeReason::Budget)
       continue;
     Ctx.Out.push_back(makeDiagnostic(
         RuleId::QuarantinedRoutine, int32_t(RoutineIndex), R.Name, -1,
@@ -420,6 +422,25 @@ void spike::checkQuarantine(LintContext &Ctx) {
                                      F.RoutineName, -1, F.Address,
                                      std::string("image degraded: ") +
                                          F.Message));
+  }
+}
+
+void spike::checkBudgetDegraded(LintContext &Ctx) {
+  const Program &Prog = Ctx.Analysis.Prog;
+  for (uint32_t RoutineIndex = 0; RoutineIndex < Prog.Routines.size();
+       ++RoutineIndex) {
+    const Routine &R = Prog.Routines[RoutineIndex];
+    if (R.Degrade != DegradeReason::Budget)
+      continue;
+    Diagnostic D = makeDiagnostic(
+        RuleId::BudgetDegraded, int32_t(RoutineIndex), R.Name, -1,
+        int64_t(R.Begin),
+        "routine degraded to an unknowable summary because its analysis "
+        "blew the resource budget: results are sound but maximally "
+        "conservative here");
+    D.Hint = "re-run with a larger --deadline-ms / --mem-budget-mb / "
+             "--max-iters to analyze this routine precisely";
+    Ctx.Out.push_back(std::move(D));
   }
 }
 

@@ -43,6 +43,12 @@
 ///                          observe under the interprocedural slot
 ///                          dataflow.  DeadStoreElim's condition
 ///                          reported instead of transformed.
+///   SL013 budget-degraded  A routine analyzed as Section 3.5 unknowable
+///                          code not because it is unknowable but because
+///                          its SCC group blew the analysis budget: the
+///                          results here are sound but maximally
+///                          conservative, and a larger budget would
+///                          sharpen them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -91,6 +97,11 @@ void checkQuarantine(LintContext &Ctx);
 /// SL012: dead stack-slot stores (unobserved stores into frame slots),
 /// classified by the interprocedural slot dataflow (slice/DeadStore.h).
 void checkDeadStackStores(LintContext &Ctx);
+
+/// SL013: routines degraded to unknowable summaries by the analysis
+/// budget (DegradeReason::Budget) — sound, but a larger budget would
+/// sharpen them.  SL011 covers the genuinely unknowable quarantines.
+void checkBudgetDegraded(LintContext &Ctx);
 
 /// One pure register definition that *looks* dead locally: its target is
 /// dead under an optimistic intraprocedural liveness (nothing live at

@@ -69,6 +69,8 @@ LintResult spike::lintAnalysis(const Image &Img,
     checkQuarantine(Ctx);
   if (Opts.ruleEnabled(RuleId::DeadStackStore))
     checkDeadStackStores(Ctx);
+  if (Opts.ruleEnabled(RuleId::BudgetDegraded))
+    checkBudgetDegraded(Ctx);
 
   if (Opts.Verify && Opts.ruleEnabled(RuleId::SummaryMismatch)) {
     std::vector<Diagnostic> Mismatches = crossCheckSummaries(Analysis);

@@ -6,6 +6,7 @@
 #include "lint/Linter.h"
 #include "psg/Analyzer.h"
 #include "support/Stopwatch.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -73,6 +74,21 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
   AnalysisOptions AOpts;
   AOpts.Jobs = Opts.Jobs;
 
+  // One governor for the whole loop; analyzeImage re-arms the deadline
+  // per analysis, so --deadline-ms bounds each analysis, not the run.
+  ResourceGovernor Gov(Opts.Budget, /*Mem=*/nullptr, Opts.Cancel);
+  ResourceGovernor *GovPtr = Gov.enabled() ? &Gov : nullptr;
+  AOpts.Governor = GovPtr;
+
+  // Routines degraded to Section 3.5 unknowable summaries after budget
+  // blows.  The set persists across rounds — a retried round must not
+  // rediscover the same blow — and only ever grows, which with the
+  // degrade-everything escalation bounds the retries.
+  std::vector<std::string> Degraded;
+  bool TriedAll = false;
+  BudgetVerdict FirstBlow = BudgetVerdict::Ok;
+  std::string FirstBlowPhase;
+
   LintResult Baseline;
   if (Opts.LintSelfCheck) {
     LintOptions BaselineOpts = selfCheckOptions();
@@ -86,22 +102,31 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
       strictKeys(validateImage(Img));
 
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
-    // Every pass mutates the image, so each one runs against a fresh
-    // analysis (the decoded Program must describe the current bytes).
-    uint64_t ChangesThisRound = 0;
+    // The round's transaction boundary: a validation failure or a budget
+    // blow mid-round restores both and discards the partial work.
     Image Snapshot = Img;
     PipelineStats Entering = Stats;
+    unsigned RetriesThisRound = 0;
+
+    // One analyze-transform round against the current Img/Stats.
+    // Returns true when the loop should run another round.  Every pass
+    // mutates the image, so each one runs against a fresh analysis (the
+    // decoded Program must describe the current bytes).
+    auto RunRound = [&]() -> bool {
+    uint64_t ChangesThisRound = 0;
     telemetry::Span RoundSpan("opt.round");
     Stopwatch RoundTimer;
     RoundTimer.start();
     uint64_t RoundPeakBytes = 0;
     uint64_t RoundQuarantined = 0;
+    uint64_t RoundBudgetDegraded = 0;
 
     {
       // Dead routines first: everything after has less code to chew on.
       AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
       RoundQuarantined = Analysis.Prog.numQuarantined();
+      RoundBudgetDegraded = Analysis.Prog.numBudgetDegraded();
       {
         telemetry::Span PassSpan("pass.unreachable");
         UnreachableElimStats Unreachable =
@@ -143,6 +168,8 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
       }
     }
 
+    if (GovPtr)
+      GovPtr->pollOrThrow("opt.pass.spill_removal");
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
@@ -175,18 +202,37 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     // routine Opaque to the slot dataflow.  Running on still-disciplined
     // frames keeps the store analysis sharp, and nop-ing a store first
     // lets the dead-def pass delete the value producer in the same round.
+    if (GovPtr)
+      GovPtr->pollOrThrow("opt.pass.dead_store");
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
       telemetry::Span PassSpan("pass.dead_store");
-      SlotFlowResult Flow = solveSlotFlow(Analysis.Prog, Opts.Jobs);
-      DeadStoreStats DeadStores = eliminateDeadStackStores(
-          Img, Analysis.Prog, Flow,
-          Opts.AttributeTransforms ? &Stats.Transforms : nullptr);
-      Stats.DeadStoresDeleted += DeadStores.DeletedInsts;
-      ChangesThisRound += DeadStores.DeletedInsts;
+      try {
+        ThreadPool SlotPool(Opts.Jobs);
+        SlotFlowResult Flow = solveSlotFlow(Analysis.Prog, &SlotPool, GovPtr);
+        DeadStoreStats DeadStores = eliminateDeadStackStores(
+            Img, Analysis.Prog, Flow,
+            Opts.AttributeTransforms ? &Stats.Transforms : nullptr);
+        Stats.DeadStoresDeleted += DeadStores.DeletedInsts;
+        ChangesThisRound += DeadStores.DeletedInsts;
+      } catch (const BudgetBlownError &E) {
+        // Only the slot dataflow blew.  Skipping an optimization is
+        // always sound, so the round continues without this pass rather
+        // than degrading register summaries the pass does not use.
+        if (E.verdict() == BudgetVerdict::Cancelled)
+          throw;
+        ++Stats.SlotFlowSkips;
+        Stats.LintReports.push_back(
+            "round " + std::to_string(Round + 1) +
+            ": dead-store pass skipped: slot dataflow budget blown (" +
+            budgetVerdictName(E.verdict()) + ")");
+        telemetry::count("degrade.slotflow_skips");
+      }
     }
 
+    if (GovPtr)
+      GovPtr->pollOrThrow("opt.pass.dead_def");
     {
       AnalysisResult Analysis = analyzeImage(Img, Conv, AOpts);
       RoundPeakBytes = std::max(RoundPeakBytes, Analysis.Memory.peakBytes());
@@ -216,8 +262,8 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
       telemetry::Span CommitSpan("commit_check");
       std::string Failure = roundFailure(Img, BaselineDefects);
       if (!Failure.empty()) {
-        Img = std::move(Snapshot);
-        Stats = std::move(Entering);
+        Img = Snapshot;
+        Stats = Entering;
         ++Stats.RoundsRolledBack;
         Stats.LintReports.push_back("round " + std::to_string(Round + 1) +
                                     " rolled back: " + Failure);
@@ -225,9 +271,10 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
         Record.Seconds = RoundTimer.seconds();
         Stats.PerRound.push_back(Record);
         Stats.QuarantinedRoutines = RoundQuarantined;
+        Stats.BudgetDegradedRoutines = RoundBudgetDegraded;
         // Re-running the same transforms on the restored image would
         // fail the same way; stop here.
-        break;
+        return false;
       }
     }
 
@@ -255,8 +302,60 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     Record.Seconds = RoundTimer.seconds();
     Stats.PerRound.push_back(Record);
     Stats.QuarantinedRoutines = RoundQuarantined;
+    Stats.BudgetDegradedRoutines = RoundBudgetDegraded;
 
-    if (ChangesThisRound == 0)
+    return ChangesThisRound != 0;
+    };
+
+    // The retry ladder: a budget blow rolls the round back and re-runs
+    // it with the blown group's routines degraded; no growth or an
+    // exhausted attempt budget escalates to degrade-everything for one
+    // final attempt.  Only cancellation escapes as an exception.
+    bool Continue = false;
+    for (;;) {
+      try {
+        AOpts.Cfg.BudgetDegrade = Degraded;
+        Continue = RunRound();
+        break;
+      } catch (const BudgetBlownError &E) {
+        // The round's partial mutations were justified by summaries the
+        // solver never finished computing; discard them.
+        Img = Snapshot;
+        if (E.verdict() == BudgetVerdict::Cancelled)
+          throw;
+        telemetry::count("degrade.budget_blows");
+        if (FirstBlow == BudgetVerdict::Ok) {
+          FirstBlow = E.verdict();
+          FirstBlowPhase = E.phase();
+        }
+        ++Entering.BudgetRetries;
+        if (TriedAll) {
+          // Even one unknowable summary per routine did not fit the
+          // budget: degradation has nothing left to give.  Stop with
+          // the last committed image, which is valid.
+          Entering.StoppedOnBudget = true;
+          Entering.LintReports.push_back(
+              "optimization stopped in round " + std::to_string(Round + 1) +
+              ": analysis budget (" + budgetVerdictName(E.verdict()) +
+              ") exceeded in " + E.phase() + " with every routine degraded");
+          Stats = std::move(Entering);
+          Continue = false;
+          break;
+        }
+        bool Grew = mergeRoutineNames(Degraded, E.routines());
+        if (!Grew ||
+            RetriesThisRound + 1 >= std::max(1u, Opts.Budget.MaxAttempts)) {
+          mergeRoutineNames(Degraded, primaryRoutineNames(Img));
+          TriedAll = true;
+        }
+        ++RetriesThisRound;
+        Entering.LintReports.push_back(
+            "round " + std::to_string(Round + 1) + " retried: " + E.what() +
+            "; " + std::to_string(Degraded.size()) + " routine(s) degraded");
+        Stats = Entering;
+      }
+    }
+    if (!Continue)
       break;
   }
 
@@ -276,6 +375,12 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
     telemetry::count("opt.cross_check_mismatches",
                      Stats.CrossCheckMismatches);
     telemetry::count("opt.quarantined_routines", Stats.QuarantinedRoutines);
+    telemetry::count("opt.budget_retries", Stats.BudgetRetries);
+    telemetry::count("opt.budget_degraded_routines",
+                     Stats.BudgetDegradedRoutines);
+    for (const std::string &Name : Degraded)
+      telemetry::degrade({Name, budgetVerdictName(FirstBlow),
+                          FirstBlowPhase});
     for (const PipelineStats::RoundRecord &R : Stats.PerRound)
       telemetry::gaugeHigh("opt.memory.peak_bytes", R.AnalysisPeakBytes);
     // Attribution records reach the session only here, after the loop:
@@ -297,4 +402,19 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
   PipelineOptions Opts;
   Opts.MaxRounds = MaxRounds;
   return optimizeImage(Img, Conv, Opts);
+}
+
+Expected<PipelineStats>
+spike::optimizeImageGoverned(Image &Img, const CallingConv &Conv,
+                             PipelineOptions Opts, const BudgetOptions &Budget,
+                             CancellationToken *Token) {
+  Opts.Budget = Budget;
+  Opts.Cancel = Token;
+  try {
+    return optimizeImage(Img, Conv, Opts);
+  } catch (const BudgetBlownError &E) {
+    // Only cancellation reaches here — every other budget condition
+    // degrades soundly inside the loop.
+    return E.toStatus();
+  }
 }

@@ -38,6 +38,7 @@
 #include "opt/SaveRestoreElim.h"
 #include "opt/SpillRemoval.h"
 #include "opt/UnreachableElim.h"
+#include "support/Budget.h"
 #include "telemetry/Telemetry.h"
 
 #include <functional>
@@ -80,6 +81,20 @@ struct PipelineOptions {
   /// `spike-explain --why-transformed`).  Off by default; the
   /// transformations themselves are identical either way.
   bool AttributeTransforms = false;
+
+  /// Resource budget for every analysis the pipeline runs, polled by the
+  /// solvers at worklist-pop granularity and by the driver between
+  /// passes.  All-zero = ungoverned.  A budget blow mid-round rolls the
+  /// round back and retries it with the blown SCC group's routines
+  /// degraded to Section 3.5 unknowable summaries; when even a fully
+  /// degraded analysis cannot fit, the loop stops and the last committed
+  /// (valid) image is returned with StoppedOnBudget set.  Only
+  /// cancellation escapes as a BudgetBlownError exception — use
+  /// optimizeImageGoverned for a structured Status instead.
+  BudgetOptions Budget;
+
+  /// Cooperative cancellation observed by every governor poll.
+  CancellationToken *Cancel = nullptr;
 };
 
 /// Cumulative statistics over all pipeline rounds.
@@ -136,7 +151,24 @@ struct PipelineStats {
 
   /// Routines the CFG builder quarantined in the last completed round's
   /// analysis — code the optimizer refuses to touch (Section 3.5).
+  /// Includes the budget-degraded ones below (they share the bit).
   uint64_t QuarantinedRoutines = 0;
+
+  /// Routines analyzed with Section 3.5 unknowable summaries in the last
+  /// completed round because their SCC group blew the analysis budget.
+  uint64_t BudgetDegradedRoutines = 0;
+
+  /// Round attempts re-run after a budget blow forced degradation.
+  unsigned BudgetRetries = 0;
+
+  /// Dead-store passes skipped because the slot dataflow blew the budget
+  /// (skipping an optimization is always sound).
+  unsigned SlotFlowSkips = 0;
+
+  /// True if the loop stopped because the analysis budget could not be
+  /// met even with every routine degraded; the returned image is the
+  /// last committed (valid) one.  The reason lands in LintReports.
+  bool StoppedOnBudget = false;
 
   uint64_t totalDeleted() const {
     return DeadDefsDeleted + DeadStoresDeleted + 2 * SpillPairsRemoved +
@@ -158,6 +190,17 @@ PipelineStats optimizeImage(Image &Img, const CallingConv &Conv,
 /// Convenience overload with default options.
 PipelineStats optimizeImage(Image &Img, const CallingConv &Conv = {},
                             unsigned MaxRounds = 3);
+
+/// optimizeImage under \p Budget and \p Token, with cancellation (the
+/// only budget condition optimizeImage raises as an exception) converted
+/// to a structured Status.  Injected environment faults (std::bad_alloc,
+/// faultinject::TaskFault) still propagate to the caller's handler.
+Expected<PipelineStats> optimizeImageGoverned(Image &Img,
+                                              const CallingConv &Conv,
+                                              PipelineOptions Opts,
+                                              const BudgetOptions &Budget,
+                                              CancellationToken *Token =
+                                                  nullptr);
 
 } // namespace spike
 

@@ -7,6 +7,8 @@
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
+
 using namespace spike;
 
 AnalysisResult spike::analyzeImage(const Image &Img,
@@ -15,6 +17,15 @@ AnalysisResult spike::analyzeImage(const Image &Img,
   AnalysisResult Result;
   telemetry::Span AnalyzeSpan("analyze");
   telemetry::count("analyze.runs");
+
+  // The memory tracker the governor meters is this run's own; re-arming
+  // here makes --deadline-ms bound one attempt, not the sum of retries.
+  const ResourceGovernor *Gov = nullptr;
+  if (Opts.Governor && Opts.Governor->enabled()) {
+    Opts.Governor->attachMemory(&Result.Memory);
+    Opts.Governor->arm();
+    Gov = Opts.Governor;
+  }
 
   // The pool exists for every job count: at Jobs == 1 it spawns no
   // threads and runs tasks inline, so pool.tasks is identical across job
@@ -26,6 +37,8 @@ AnalysisResult spike::analyzeImage(const Image &Img,
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::CfgBuild);
     Result.Prog = buildProgram(Img, Conv, &Result.Memory, Opts.Cfg, &Pool);
   }
+  if (Gov)
+    Gov->pollOrThrow("analyze.cfg-build");
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Initialization);
@@ -46,6 +59,8 @@ AnalysisResult spike::analyzeImage(const Image &Img,
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::PsgBuild);
     Result.Psg = buildPsg(Result.Prog, Opts.Psg, &Result.Memory, &Pool);
   }
+  if (Gov)
+    Gov->pollOrThrow("analyze.psg-build");
 
   // Opt-in derivation recording (spike-explain).  The null pointer *is*
   // the disabled path: the solver's recording entry points no-op on it
@@ -60,12 +75,12 @@ AnalysisResult spike::analyzeImage(const Image &Img,
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase1);
     Result.Phase1Stats = runPhase1(Result.Prog, Result.Psg,
-                                   Result.SavedPerRoutine, &Pool, Prov);
+                                   Result.SavedPerRoutine, &Pool, Prov, Gov);
   }
 
   {
     StageTimer::Scope Scope(Result.Stages, AnalysisStage::Phase2);
-    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg, &Pool, Prov);
+    Result.Phase2Stats = runPhase2(Result.Prog, Result.Psg, &Pool, Prov, Gov);
   }
 
   Result.Summaries = extractSummaries(Result.Prog, Result.Psg,
@@ -82,4 +97,80 @@ AnalysisResult spike::analyzeImage(const Image &Img,
   telemetry::count("pool.tasks", Pool.tasksRun());
   telemetry::count("pool.steals", Pool.steals());
   return Result;
+}
+
+std::vector<std::string> spike::primaryRoutineNames(const Image &Img) {
+  std::vector<std::string> Names;
+  for (const Symbol &Sym : Img.Symbols)
+    if (!Sym.Secondary)
+      Names.push_back(Sym.Name);
+  std::sort(Names.begin(), Names.end());
+  Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+  return Names;
+}
+
+Expected<GovernedAnalysis>
+spike::analyzeImageGoverned(const Image &Img, const CallingConv &Conv,
+                            AnalysisOptions Opts, const BudgetOptions &Budget,
+                            CancellationToken *Token) {
+  ResourceGovernor Gov(Budget, /*Mem=*/nullptr, Token);
+  Opts.Governor = Gov.enabled() ? &Gov : nullptr;
+
+  // The degrade set accumulates across attempts; every retry either grows
+  // it or escalates to all routines, so the loop terminates.  Intentionally
+  // NOT caught here: std::bad_alloc and faultinject::TaskFault — those are
+  // environment failures, not budget verdicts, and propagate to the tool's
+  // top-level handler.
+  std::vector<std::string> Degraded = Opts.Cfg.BudgetDegrade;
+  std::sort(Degraded.begin(), Degraded.end());
+  Degraded.erase(std::unique(Degraded.begin(), Degraded.end()),
+                 Degraded.end());
+
+  GovernedAnalysis Out;
+  const unsigned MaxAttempts = std::max(1u, Budget.MaxAttempts);
+  bool TriedAll = false;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    Out.Attempts = Attempt;
+    Opts.Cfg.BudgetDegrade = Degraded;
+    try {
+      Out.Result = analyzeImage(Img, Conv, Opts);
+    } catch (const BudgetBlownError &E) {
+      if (Out.FirstBlow == BudgetVerdict::Ok)
+        Out.FirstBlow = E.verdict();
+      telemetry::count("degrade.budget_blows");
+
+      // Cancellation is a request to stop, not to try harder with less.
+      if (E.verdict() == BudgetVerdict::Cancelled)
+        return E.toStatus();
+
+      // Even one unknowable summary per routine did not fit the budget:
+      // degradation has nothing left to give.
+      if (TriedAll)
+        return Status::error(ErrCode::BudgetUnsatisfiable,
+                             std::string("analysis budget (") +
+                                 budgetVerdictName(E.verdict()) +
+                                 ") still exceeded in " + E.phase() +
+                                 " with every routine degraded");
+
+      bool Grew = mergeRoutineNames(Degraded, E.routines());
+      // A blow that names no routines (stage-boundary poll) or no fresh
+      // ones cannot be fixed by degrading the same set again; nor can an
+      // attempt past the retry budget.  Escalate to degrade-everything
+      // for one final attempt.
+      if (!Grew || Attempt + 1 >= MaxAttempts) {
+        mergeRoutineNames(Degraded, primaryRoutineNames(Img));
+        TriedAll = true;
+      }
+      continue;
+    }
+
+    for (const Routine &R : Out.Result.Prog.Routines)
+      if (R.Degrade == DegradeReason::Budget) {
+        Out.DegradedRoutines.push_back(R.Name);
+        telemetry::degrade({R.Name, budgetVerdictName(Out.FirstBlow), ""});
+      }
+    if (Attempt > 1)
+      telemetry::count("degrade.analysis_retries", Attempt - 1);
+    return Out;
+  }
 }

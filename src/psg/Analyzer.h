@@ -26,6 +26,7 @@
 #include "psg/PsgBuilder.h"
 #include "psg/PsgSolver.h"
 #include "psg/Summaries.h"
+#include "support/Budget.h"
 #include "support/MemoryTracker.h"
 #include "support/Stopwatch.h"
 
@@ -48,6 +49,13 @@ struct AnalysisOptions {
   /// and no recording work, and the recorded store — like every other
   /// analysis output — is bit-identical at any Jobs value.
   bool RecordProvenance = false;
+
+  /// Resource governor the solver phases poll (null = ungoverned).  At
+  /// the start of the run the analyzer attaches its MemoryTracker and
+  /// re-arms the deadline, so a deadline bounds one analysis attempt.
+  /// When a budget blows, analyzeImage throws BudgetBlownError; use
+  /// analyzeImageGoverned for the degrade-and-retry policy.
+  ResourceGovernor *Governor = nullptr;
 };
 
 /// Everything a full analysis run produces.
@@ -86,6 +94,42 @@ struct AnalysisResult {
 /// Runs the complete analysis on \p Img.
 AnalysisResult analyzeImage(const Image &Img, const CallingConv &Conv = {},
                             const AnalysisOptions &Opts = {});
+
+/// Every primary symbol name of \p Img, sorted and deduplicated: the
+/// degrade-everything escalation set of the governed retry ladders
+/// (secondary symbols alias a primary at the same address, so degrading
+/// the primaries covers every routine).
+std::vector<std::string> primaryRoutineNames(const Image &Img);
+
+/// What a governed analysis run produced, besides the result itself.
+struct GovernedAnalysis {
+  AnalysisResult Result;
+
+  /// Routines degraded to Section 3.5 unknowable summaries because their
+  /// SCC group blew the budget (DegradeReason::Budget in Result.Prog).
+  std::vector<std::string> DegradedRoutines;
+
+  /// analyzeImage attempts consumed (1 = no budget blown).
+  unsigned Attempts = 1;
+
+  /// The verdict that forced the first degradation, or Ok.
+  BudgetVerdict FirstBlow = BudgetVerdict::Ok;
+};
+
+/// Runs analyzeImage under \p Budget with the sound-degradation retry
+/// policy: when an SCC group blows the budget, its routines are
+/// collapsed to Section 3.5 unknowable summaries (the quarantine
+/// machinery, tagged DegradeReason::Budget) and the analysis re-runs
+/// with the deadline re-armed.  After BudgetOptions::MaxAttempts, every
+/// routine is degraded for one final attempt.  Returns the (possibly
+/// degraded but always sound) result, or a structured error when the
+/// run was cancelled or the budget cannot be met even fully degraded.
+/// With the deterministic --max-iters trigger, the degradation sequence
+/// and result are bit-identical at every Jobs value.
+Expected<GovernedAnalysis>
+analyzeImageGoverned(const Image &Img, const CallingConv &Conv,
+                     AnalysisOptions Opts, const BudgetOptions &Budget,
+                     CancellationToken *Token = nullptr);
 
 } // namespace spike
 

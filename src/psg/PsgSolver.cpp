@@ -6,6 +6,7 @@
 #include "dataflow/CallPolicy.h"
 #include "dataflow/Worklist.h"
 #include "provenance/Provenance.h"
+#include "support/Budget.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
@@ -29,6 +30,18 @@ bool isFixedPhase1(PsgNodeKind Kind) {
 }
 
 unsigned laneCount(ThreadPool *Pool) { return Pool ? Pool->jobs() : 1; }
+
+/// Throws the budget-blown error for one SCC group, naming its member
+/// routines so the governed driver can degrade exactly that group.
+[[noreturn]] void throwBlown(BudgetVerdict Verdict, const char *Phase,
+                             const Program &Prog,
+                             const std::vector<uint32_t> &Members) {
+  std::vector<std::string> Names;
+  Names.reserve(Members.size());
+  for (uint32_t R : Members)
+    Names.push_back(Prog.Routines[R].Name);
+  throw BudgetBlownError(Verdict, Phase, std::move(Names));
+}
 
 /// Per-lane scratch for mapping one component's nodes to dense local
 /// worklist indices without clearing O(|Nodes|) state per component: the
@@ -188,7 +201,8 @@ void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
                      RegSet AllRegs, RegSet RaOnly,
                      const std::vector<uint32_t> &Members,
                      const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                     SolverStats &Stats, ProvenanceStore *Prov) {
+                     SolverStats &Stats, ProvenanceStore *Prov,
+                     const ResourceGovernor *Gov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
   Worklist List(NumLocal);
@@ -199,10 +213,16 @@ void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
       List.push(Local);
 
   std::vector<uint32_t> ChangedCalls;
+  uint64_t Pops = 0;
   while (!List.empty()) {
     uint32_t NodeId = S.NodeIds[List.pop()];
     PsgNode &Node = Psg.Nodes[NodeId];
     ++Stats.NodeEvaluations;
+    if (Gov) {
+      BudgetVerdict V = Gov->poll(++Pops);
+      if (V != BudgetVerdict::Ok)
+        throwBlown(V, "psg.phase1.must-def", Prog, Members);
+    }
 
     RegSet NewMustDef, NewMayDef;
     bool First = true;
@@ -271,7 +291,8 @@ void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
                      const std::vector<RegSet> &SavedPerRoutine, RegSet RaOnly,
                      const std::vector<uint32_t> &Members,
                      const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                     SolverStats &Stats, ProvenanceStore *Prov) {
+                     SolverStats &Stats, ProvenanceStore *Prov,
+                     const ResourceGovernor *Gov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
   Worklist List(NumLocal);
@@ -280,10 +301,16 @@ void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
       List.push(Local);
 
   std::vector<uint32_t> ChangedCalls;
+  uint64_t Pops = 0;
   while (!List.empty()) {
     uint32_t NodeId = S.NodeIds[List.pop()];
     PsgNode &Node = Psg.Nodes[NodeId];
     ++Stats.NodeEvaluations;
+    if (Gov) {
+      BudgetVerdict V = Gov->poll(++Pops);
+      if (V != BudgetVerdict::Ok)
+        throwBlown(V, "psg.phase1.may-use", Prog, Members);
+    }
 
     // Figure 8: MAY-USE[N_X] = MAY-USE[E] ∪ (MAY-USE[N_Y] −
     // MUST-DEF[E]), unioned across out-edges.
@@ -344,7 +371,8 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
                         const std::vector<bool> &IsIndirectReturn,
                         RegSet AccumIn, const std::vector<uint32_t> &Members,
                         const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                        SolverStats &Stats, const Phase2Prov &PP) {
+                        SolverStats &Stats, const Phase2Prov &PP,
+                        const ResourceGovernor *Gov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
 
@@ -364,10 +392,16 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
       List.push(Local);
   }
 
+  uint64_t Pops = 0;
   while (!List.empty()) {
     uint32_t NodeId = S.NodeIds[List.pop()];
     PsgNode &Node = Psg.Nodes[NodeId];
     ++Stats.NodeEvaluations;
+    if (Gov) {
+      BudgetVerdict V = Gov->poll(++Pops);
+      if (V != BudgetVerdict::Ok)
+        throwBlown(V, "psg.phase2", Prog, Members);
+    }
 
     RegSet NewLive;
     if (Node.Kind == PsgNodeKind::Exit) {
@@ -509,7 +543,8 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
 // per-component iteration counts.
 SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                              const std::vector<RegSet> &SavedPerRoutine,
-                             ThreadPool *Pool, ProvenanceStore *Prov) {
+                             ThreadPool *Pool, ProvenanceStore *Prov,
+                             const ResourceGovernor *Gov) {
   assert((!Prov || Prov->numNodes() == Psg.Nodes.size()) &&
          "provenance store not initialized for this graph");
   telemetry::Span PhaseSpan("psg.phase1");
@@ -570,11 +605,11 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
         if (MayUsePass)
           solveGroupPassB(Prog, Psg, SavedPerRoutine, RaOnly,
                           Sched.Members[Group], NodeBegin, Scratch[Lane],
-                          GroupStats[Group], Prov);
+                          GroupStats[Group], Prov, Gov);
         else
           solveGroupPassA(Prog, Psg, SavedPerRoutine, AllRegs, RaOnly,
                           Sched.Members[Group], NodeBegin, Scratch[Lane],
-                          GroupStats[Group], Prov);
+                          GroupStats[Group], Prov, Gov);
       });
   };
 
@@ -606,7 +641,8 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
 }
 
 SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
-                             ThreadPool *Pool, ProvenanceStore *Prov) {
+                             ThreadPool *Pool, ProvenanceStore *Prov,
+                             const ResourceGovernor *Gov) {
   assert((!Prov || Prov->numNodes() == Psg.Nodes.size()) &&
          "provenance store not initialized for this graph");
   telemetry::Span PhaseSpan("psg.phase2");
@@ -711,7 +747,7 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
       GroupAccum[Group] = solveGroupPhase2(
           Prog, Psg, ExitSeed, IsAddressTakenExit, IsIndirectReturn,
           IndirectAccum, Sched.Members[Group], NodeBegin, Scratch[Lane],
-          GroupStats[Group], PP);
+          GroupStats[Group], PP, Gov);
     });
     for (uint32_t Group : Level) {
       if (Prov)

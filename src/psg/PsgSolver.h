@@ -43,6 +43,7 @@
 namespace spike {
 
 class ProvenanceStore;
+class ResourceGovernor;
 class ThreadPool;
 
 /// Solver statistics (used by tests, the ablation bench, and the
@@ -69,17 +70,24 @@ struct SolverStats {
 /// either way.  When \p Prov is non-null (and initialized for this
 /// graph), every MAY-USE / MAY-DEF bit's first derivation is recorded;
 /// the recorded tables are bit-identical at every job count.
+/// When \p Gov is non-null (and enabled), every SCC group's worklist
+/// polls it per pop; a non-Ok verdict throws BudgetBlownError naming the
+/// group's routines (unwound deterministically through the pool: the
+/// lowest-index group of the level wins).
 SolverStats runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                       const std::vector<RegSet> &SavedPerRoutine,
                       ThreadPool *Pool = nullptr,
-                      ProvenanceStore *Prov = nullptr);
+                      ProvenanceStore *Prov = nullptr,
+                      const ResourceGovernor *Gov = nullptr);
 
 /// Runs phase 2 to convergence.  Phase 1 must have run first (the
-/// call-return edge labels it produced are inputs here).  \p Pool and
-/// \p Prov as in runPhase1 (phase 2 records Live derivations).
+/// call-return edge labels it produced are inputs here).  \p Pool,
+/// \p Prov, and \p Gov as in runPhase1 (phase 2 records Live
+/// derivations).
 SolverStats runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
                       ThreadPool *Pool = nullptr,
-                      ProvenanceStore *Prov = nullptr);
+                      ProvenanceStore *Prov = nullptr,
+                      const ResourceGovernor *Gov = nullptr);
 
 /// Returns the callee-saved-filtered copy of \p Sets for a routine whose
 /// saved-and-restored register set is \p Saved (the Section 3.4 filter).

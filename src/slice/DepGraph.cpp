@@ -4,6 +4,7 @@
 
 #include "isa/Registers.h"
 #include "isa/StackRef.h"
+#include "support/Budget.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -517,7 +518,8 @@ const char *spike::depKindName(DepKind Kind) {
 DependenceGraph spike::buildDepGraph(const Program &Prog,
                                      const InterprocSummaries &Summaries,
                                      const SlotFlowResult &Flow,
-                                     ThreadPool *Pool) {
+                                     ThreadPool *Pool,
+                                     const ResourceGovernor *Gov) {
   telemetry::Span BuildSpan("slice.depgraph");
   DependenceGraph Graph;
   Graph.NumAddrs = Prog.Insts.size();
@@ -554,6 +556,11 @@ DependenceGraph spike::buildDepGraph(const Program &Prog,
   forEachTask(Pool, NumRoutines, [&](size_t Index, unsigned) {
     uint32_t RoutineIndex = uint32_t(Index);
     const Routine &R = Prog.Routines[RoutineIndex];
+    if (Gov) {
+      BudgetVerdict V = Gov->poll();
+      if (V != BudgetVerdict::Ok)
+        throw BudgetBlownError(V, "slice.depgraph", {R.Name});
+    }
     if (R.Quarantined)
       return; // Placeholder bytes: no instruction-level facts.
     std::vector<DepEdge> &Out = PerRoutine[Index];

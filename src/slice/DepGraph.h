@@ -85,11 +85,14 @@ struct DependenceGraph {
 /// register call effects, \p Flow the slot facts; quarantined routines
 /// contribute no intra-routine edges (their decoded bytes are
 /// placeholders).  Runs per-routine work on \p Pool when non-null; the
-/// result is bit-identical for every pool size.
+/// result is bit-identical for every pool size.  When \p Gov is
+/// non-null, every per-routine build task polls it and throws
+/// BudgetBlownError naming the routine on a non-Ok verdict.
 DependenceGraph buildDepGraph(const Program &Prog,
                               const InterprocSummaries &Summaries,
                               const SlotFlowResult &Flow,
-                              ThreadPool *Pool = nullptr);
+                              ThreadPool *Pool = nullptr,
+                              const ResourceGovernor *Gov = nullptr);
 
 } // namespace spike
 

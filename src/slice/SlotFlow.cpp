@@ -5,6 +5,7 @@
 #include "cfg/CallGraph.h"
 #include "cfg/SccSchedule.h"
 #include "isa/StackRef.h"
+#include "support/Budget.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -277,8 +278,23 @@ SlotSet SlotFlowResult::callMayDef(const Program &Prog, uint32_t Routine,
       .shifted(Delta);
 }
 
-SlotFlowResult spike::solveSlotFlow(const Program &Prog,
-                                    ThreadPool *Pool) {
+namespace {
+
+/// Throws the budget-blown error for one SCC group of the slot solver.
+[[noreturn]] void throwSlotBlown(BudgetVerdict Verdict, const char *Phase,
+                                 const Program &Prog,
+                                 const std::vector<uint32_t> &Members) {
+  std::vector<std::string> Names;
+  Names.reserve(Members.size());
+  for (uint32_t R : Members)
+    Names.push_back(Prog.Routines[R].Name);
+  throw BudgetBlownError(Verdict, Phase, std::move(Names));
+}
+
+} // namespace
+
+SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
+                                    const ResourceGovernor *Gov) {
   telemetry::Span SolveSpan("slice.slotflow");
   SlotFlowResult Result;
   size_t NumRoutines = Prog.Routines.size();
@@ -324,6 +340,12 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog,
           while (Changed) {
             Changed = false;
             ++GroupIters[Group];
+            if (Gov) {
+              BudgetVerdict V = Gov->poll(GroupIters[Group]);
+              if (V != BudgetVerdict::Ok)
+                throwSlotBlown(V, "slice.phase1", Prog,
+                               Sched.Members[Group]);
+            }
             for (uint32_t R : Sched.Members[Group])
               Changed |= computeMayUseDef(Prog, R, Prep, Result.Routines);
           }
@@ -342,6 +364,12 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog,
           while (Changed) {
             Changed = false;
             ++GroupIters[Group];
+            if (Gov) {
+              BudgetVerdict V = Gov->poll(GroupIters[Group]);
+              if (V != BudgetVerdict::Ok)
+                throwSlotBlown(V, "slice.phase2", Prog,
+                               Sched.Members[Group]);
+            }
             for (uint32_t R : Sched.Members[Group]) {
               SlotSet Exit =
                   computeLiveAtExit(Prog, R, Graph, Result.Routines);

@@ -103,9 +103,15 @@ struct SlotFlowResult {
                      uint32_t Block) const;
 };
 
+class ResourceGovernor;
+
 /// Solves the slot dataflow of \p Prog on \p Pool (or inline when null).
-/// Results are bit-identical for every pool size.
-SlotFlowResult solveSlotFlow(const Program &Prog, ThreadPool *Pool);
+/// Results are bit-identical for every pool size.  When \p Gov is
+/// non-null, each SCC group's fixpoint sweep polls it per iteration and
+/// throws BudgetBlownError naming the group's routines on a non-Ok
+/// verdict.
+SlotFlowResult solveSlotFlow(const Program &Prog, ThreadPool *Pool,
+                             const ResourceGovernor *Gov = nullptr);
 
 /// Convenience overload owning a pool with \p Jobs lanes.
 SlotFlowResult solveSlotFlow(const Program &Prog, unsigned Jobs = 1);

@@ -1,0 +1,126 @@
+//===- support/Budget.cpp - Resource governance for analyses --------------===//
+
+#include "support/Budget.h"
+
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace spike;
+
+bool spike::mergeRoutineNames(std::vector<std::string> &Set,
+                              const std::vector<std::string> &Names) {
+  size_t Before = Set.size();
+  for (const std::string &Name : Names)
+    if (!std::binary_search(Set.begin(), Set.end(), Name))
+      Set.push_back(Name);
+  if (Set.size() == Before)
+    return false;
+  std::sort(Set.begin(), Set.end());
+  Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+  return true;
+}
+
+const char *spike::budgetVerdictName(BudgetVerdict Verdict) {
+  switch (Verdict) {
+  case BudgetVerdict::Ok:
+    return "ok";
+  case BudgetVerdict::Cancelled:
+    return "cancelled";
+  case BudgetVerdict::IterationCapHit:
+    return "iteration-cap";
+  case BudgetVerdict::MemoryExceeded:
+    return "memory";
+  case BudgetVerdict::DeadlineExpired:
+    return "deadline";
+  }
+  return "unknown";
+}
+
+ErrCode spike::errCodeForVerdict(BudgetVerdict Verdict) {
+  switch (Verdict) {
+  case BudgetVerdict::Ok:
+    return ErrCode::None;
+  case BudgetVerdict::Cancelled:
+    return ErrCode::Cancelled;
+  case BudgetVerdict::IterationCapHit:
+    return ErrCode::IterationCapExceeded;
+  case BudgetVerdict::MemoryExceeded:
+    return ErrCode::MemBudgetExceeded;
+  case BudgetVerdict::DeadlineExpired:
+    return ErrCode::DeadlineExpired;
+  }
+  return ErrCode::None;
+}
+
+BudgetBlownError::BudgetBlownError(BudgetVerdict Verdict, std::string Phase,
+                                   std::vector<std::string> Routines)
+    : std::runtime_error([&] {
+        std::ostringstream OS;
+        OS << "budget blown (" << budgetVerdictName(Verdict) << ") in "
+           << Phase;
+        if (!Routines.empty()) {
+          OS << ", group of " << Routines.size() << " routine"
+             << (Routines.size() == 1 ? "" : "s") << " [";
+          for (size_t I = 0; I < Routines.size() && I < 4; ++I)
+            OS << (I ? ", " : "") << Routines[I];
+          if (Routines.size() > 4)
+            OS << ", ...";
+          OS << ']';
+        }
+        return OS.str();
+      }()),
+      Verdict(Verdict), Phase(std::move(Phase)),
+      Routines(std::move(Routines)) {}
+
+Status BudgetBlownError::toStatus() const {
+  Status S = Status::error(errCodeForVerdict(Verdict), what());
+  if (!Routines.empty())
+    S.inRoutine(Routines.front());
+  return S;
+}
+
+void ResourceGovernor::arm() {
+  Start = std::chrono::steady_clock::now();
+  PollCount.store(0, std::memory_order_relaxed);
+  DeadlineTripped.store(false, std::memory_order_relaxed);
+}
+
+int64_t ResourceGovernor::elapsedMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+BudgetVerdict ResourceGovernor::pollSlow(uint64_t GroupIterations) const {
+  if (Token && Token->cancelled())
+    return BudgetVerdict::Cancelled;
+  if (faultinject::cancelFired()) {
+    // Latch through the token so every other lane's next poll also sees
+    // the cancellation rather than re-counting toward a second trigger.
+    if (Token)
+      Token->cancel();
+    return BudgetVerdict::Cancelled;
+  }
+  // The one deterministic trigger, checked before the timing-dependent
+  // ones so the bit-identity contract is not racy against the clock.
+  if (Opts.MaxIterations != 0 && GroupIterations > Opts.MaxIterations)
+    return BudgetVerdict::IterationCapHit;
+  if (Opts.MemBudgetMB != 0 && Mem &&
+      Mem->liveBytes() > (Opts.MemBudgetMB << 20))
+    return BudgetVerdict::MemoryExceeded;
+  if (Opts.DeadlineMs != 0) {
+    if (DeadlineTripped.load(std::memory_order_relaxed))
+      return BudgetVerdict::DeadlineExpired;
+    uint64_t N = PollCount.fetch_add(1, std::memory_order_relaxed);
+    if ((N & 63) == 0) {
+      int64_t Elapsed = faultinject::skewedElapsedMs(elapsedMs());
+      if (Elapsed > int64_t(Opts.DeadlineMs)) {
+        DeadlineTripped.store(true, std::memory_order_relaxed);
+        return BudgetVerdict::DeadlineExpired;
+      }
+    }
+  }
+  return BudgetVerdict::Ok;
+}

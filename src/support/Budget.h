@@ -1,0 +1,195 @@
+//===- support/Budget.h - Resource governance for analyses ----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for long-running analyses.
+///
+/// The paper's escape hatch for code Spike cannot analyze (Section 3.5:
+/// model it as unknowable and stay sound) applies just as well to code
+/// Spike cannot *afford* to analyze.  A ResourceGovernor carries the
+/// run's budget — wall-clock deadline, analysis-memory ceiling,
+/// per-SCC-group fixpoint-iteration cap, and a cooperative cancellation
+/// token — and every solver loop polls it at worklist-pop granularity.
+/// When a budget blows, the solver throws BudgetBlownError naming the
+/// SCC group's routines; the governed analysis driver catches it,
+/// collapses those routines to Section 3.5 unknowable summaries (the
+/// same machinery quarantine uses), and retries.  Every tool therefore
+/// terminates with either a sound conservative answer or a structured
+/// Status error — never a wedge, an OOM kill, or a wrong result.
+///
+/// Verdict determinism: the iteration cap depends only on a group's pop
+/// count, which the SCC scheduler makes identical at every --jobs value,
+/// so cap-triggered degradation is bit-identical across job counts.
+/// Deadline and memory verdicts are inherently timing-dependent; they
+/// still always degrade soundly, but *which* group degrades may vary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_BUDGET_H
+#define SPIKE_SUPPORT_BUDGET_H
+
+#include "support/MemoryTracker.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// The budget knobs every tool exposes.  Zero means unlimited.
+struct BudgetOptions {
+  /// Wall-clock budget per governed-analysis attempt, in milliseconds.
+  /// Re-armed at the start of each retry, so --deadline-ms bounds one
+  /// attempt, not the sum of attempts.
+  uint64_t DeadlineMs = 0;
+
+  /// Ceiling on live analysis bytes (the MemoryTracker accounting the
+  /// paper's Table 2 numbers use), in mebibytes.
+  uint64_t MemBudgetMB = 0;
+
+  /// Ceiling on worklist pops per SCC group per solver phase.  The only
+  /// deterministic trigger: identical at every --jobs value.
+  uint64_t MaxIterations = 0;
+
+  /// Governed-analysis retries before escalating to degrade-everything.
+  unsigned MaxAttempts = 4;
+
+  /// True if any limit is set.
+  bool any() const {
+    return DeadlineMs != 0 || MemBudgetMB != 0 || MaxIterations != 0;
+  }
+};
+
+/// What a governor poll concluded.
+enum class BudgetVerdict : uint8_t {
+  Ok = 0,
+  Cancelled,        ///< The cancellation token was set (or injected).
+  IterationCapHit,  ///< A group exceeded MaxIterations worklist pops.
+  MemoryExceeded,   ///< Live analysis bytes exceeded MemBudgetMB.
+  DeadlineExpired,  ///< Wall clock (possibly skewed by fault injection)
+                    ///< passed DeadlineMs.
+};
+
+/// Stable lower-case name ("ok", "cancelled", "iteration-cap",
+/// "memory", "deadline") used in counters, JSON, and messages.
+const char *budgetVerdictName(BudgetVerdict Verdict);
+
+/// Maps a non-Ok verdict to its structured error code.
+ErrCode errCodeForVerdict(BudgetVerdict Verdict);
+
+/// Merges \p Names into the sorted, duplicate-free \p Set.  Returns true
+/// if the set grew — the degradation ladder's termination guarantee:
+/// every retry either grows the degrade set or escalates.
+bool mergeRoutineNames(std::vector<std::string> &Set,
+                       const std::vector<std::string> &Names);
+
+/// Cooperative cancellation: set once, observed by every governor poll.
+class CancellationToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_release); }
+  bool cancelled() const { return Flag.load(std::memory_order_acquire); }
+  void reset() { Flag.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Thrown by solver loops when a poll returns non-Ok.  Carries routine
+/// *names* (not indices): the Program that owned the indices is usually
+/// gone by the time the governed driver catches this.
+class BudgetBlownError : public std::runtime_error {
+public:
+  BudgetBlownError(BudgetVerdict Verdict, std::string Phase,
+                   std::vector<std::string> Routines);
+
+  BudgetVerdict verdict() const { return Verdict; }
+  const std::string &phase() const { return Phase; }
+  const std::vector<std::string> &routines() const { return Routines; }
+
+  /// The structured error a tool should exit with when degradation is
+  /// not an option (or has been exhausted).
+  Status toStatus() const;
+
+private:
+  BudgetVerdict Verdict;
+  std::string Phase;
+  std::vector<std::string> Routines;
+};
+
+/// The budget enforcer solvers poll.  A default-constructed governor is
+/// disabled and polls return Ok at the cost of one branch.  poll() is
+/// const and thread-safe: it is called from inside ThreadPool tasks,
+/// where MemoryTracker reads are race-free because all charges happen on
+/// the calling thread between parallel sections.
+class ResourceGovernor {
+public:
+  ResourceGovernor() = default;
+
+  /// A governor with limits from \p Opts, reading live bytes from \p Mem
+  /// (may be null: memory limit then never trips) and cancellation from
+  /// \p Token (may be null).  Call arm() before the first poll.
+  explicit ResourceGovernor(const BudgetOptions &Opts,
+                            const MemoryTracker *Mem = nullptr,
+                            CancellationToken *Token = nullptr)
+      : Opts(Opts), Mem(Mem), Token(Token),
+        Enabled(Opts.any() || Token != nullptr) {}
+
+  bool enabled() const { return Enabled; }
+  const BudgetOptions &options() const { return Opts; }
+
+  /// Points the memory limit at \p M (the analyzer's own tracker, which
+  /// does not exist yet when the tool constructs the governor).  Called
+  /// from serial code before the parallel phases start.
+  void attachMemory(const MemoryTracker *M) { Mem = M; }
+
+  /// (Re)starts the deadline clock and clears the tripped latch.  Called
+  /// once per governed-analysis attempt, from serial code.
+  void arm();
+
+  /// Milliseconds since arm(), without fault-injection skew.
+  int64_t elapsedMs() const;
+
+  /// One worklist-pop poll.  \p GroupIterations is the calling group's
+  /// own pop count (pass 0 from loops without a per-group counter — the
+  /// iteration cap then never trips there).
+  BudgetVerdict poll(uint64_t GroupIterations = 0) const {
+    if (!Enabled)
+      return BudgetVerdict::Ok;
+    return pollSlow(GroupIterations);
+  }
+
+  /// Polls and throws BudgetBlownError on any non-Ok verdict.  For loops
+  /// whose caller degrades a whole phase rather than one group, so the
+  /// error carries no routine names.
+  void pollOrThrow(const char *Phase, uint64_t GroupIterations = 0) const {
+    BudgetVerdict V = poll(GroupIterations);
+    if (V != BudgetVerdict::Ok)
+      throw BudgetBlownError(V, Phase, {});
+  }
+
+private:
+  BudgetVerdict pollSlow(uint64_t GroupIterations) const;
+
+  BudgetOptions Opts;
+  const MemoryTracker *Mem = nullptr;
+  CancellationToken *Token = nullptr;
+  bool Enabled = false;
+
+  std::chrono::steady_clock::time_point Start;
+
+  /// Deadline checks are strided: the wall clock is read every 64th poll
+  /// and the verdict latched, so the per-pop cost is one atomic add.
+  mutable std::atomic<uint64_t> PollCount{0};
+  mutable std::atomic<bool> DeadlineTripped{false};
+};
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_BUDGET_H

@@ -19,6 +19,8 @@
 #ifndef SPIKE_SUPPORT_MEMORYTRACKER_H
 #define SPIKE_SUPPORT_MEMORYTRACKER_H
 
+#include "support/FaultInjection.h"
+
 #include <cstddef>
 #include <cstdint>
 
@@ -30,8 +32,12 @@ namespace spike {
 /// allowed everywhere and means "do not account".
 class MemoryTracker {
 public:
-  /// Charges \p Bytes to the tracker.
+  /// Charges \p Bytes to the tracker.  Every charge is a fault-injection
+  /// allocation point: under --inject-fault=alloc@<n> the Nth tracked
+  /// allocation in the process throws std::bad_alloc, exactly as a real
+  /// allocator would at that spot.
   void charge(size_t Bytes) {
+    faultinject::allocPoint();
     LiveBytes += Bytes;
     if (LiveBytes > PeakBytes)
       PeakBytes = LiveBytes;

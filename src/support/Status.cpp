@@ -54,6 +54,18 @@ const char *spike::errorCodeName(ErrCode Code) {
     return "AnnotationUnresolved";
   case ErrCode::CodeOutsideRoutines:
     return "CodeOutsideRoutines";
+  case ErrCode::DeadlineExpired:
+    return "DeadlineExpired";
+  case ErrCode::MemBudgetExceeded:
+    return "MemBudgetExceeded";
+  case ErrCode::IterationCapExceeded:
+    return "IterationCapExceeded";
+  case ErrCode::Cancelled:
+    return "Cancelled";
+  case ErrCode::BudgetUnsatisfiable:
+    return "BudgetUnsatisfiable";
+  case ErrCode::InjectedFault:
+    return "InjectedFault";
   }
   return "Unknown";
 }

@@ -61,6 +61,15 @@ enum class ErrCode : uint8_t {
   AnnotationUnresolved, ///< Annotation address is not the matching kind of
                         ///< instruction.
   CodeOutsideRoutines,  ///< Code words before the first primary symbol.
+
+  // Resource governance (ResourceGovernor / analyzeImageGoverned).
+  DeadlineExpired,      ///< --deadline-ms wall-clock budget exhausted.
+  MemBudgetExceeded,    ///< --mem-budget-mb analysis-memory ceiling hit.
+  IterationCapExceeded, ///< --max-iters fixpoint-iteration cap hit.
+  Cancelled,            ///< Cooperative cancellation was requested.
+  BudgetUnsatisfiable,  ///< Budget blown even with every routine degraded.
+  InjectedFault,        ///< A --inject-fault seam fired (bad_alloc or
+                        ///< task fault) and could not be degraded around.
 };
 
 /// Short stable name for an error code ("BadMagic", "EmptyJumpTable", ...).

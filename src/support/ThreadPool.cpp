@@ -37,10 +37,23 @@ void ThreadPool::parallelFor(size_t Count, const Body &Fn) {
     return;
 
   // One lane (or one task): run inline — this is the exact serial code
-  // path the --jobs=1 configuration promises.
+  // path the --jobs=1 configuration promises.  The exception contract
+  // matches the threaded path: every index still executes and the
+  // lowest-index exception is rethrown after the batch, so a throwing
+  // task has the same sibling-visible effects at every job count.
   if (Lanes.size() == 1 || Count == 1) {
-    for (size_t Index = 0; Index < Count; ++Index)
-      Fn(Index, 0);
+    std::exception_ptr FirstE;
+    for (size_t Index = 0; Index < Count; ++Index) {
+      try {
+        faultinject::taskPoint();
+        Fn(Index, 0);
+      } catch (...) {
+        if (!FirstE)
+          FirstE = std::current_exception();
+      }
+    }
+    if (FirstE)
+      std::rethrow_exception(FirstE);
     return;
   }
 
@@ -79,6 +92,7 @@ void ThreadPool::parallelFor(size_t Count, const Body &Fn) {
     if (FirstError) {
       std::exception_ptr E = FirstError;
       FirstError = nullptr;
+      FirstErrorIndex = std::numeric_limits<size_t>::max();
       std::rethrow_exception(E);
     }
   }
@@ -145,11 +159,17 @@ void ThreadPool::runLane(unsigned LaneId) {
       return; // Every deque is empty; stragglers finish on their lanes.
 
     try {
+      faultinject::taskPoint();
       (*Fn)(Index, LaneId);
     } catch (...) {
+      // Keep the exception of the lowest task index, not the first to
+      // arrive: which exception the join rethrows must not depend on
+      // the schedule.
       std::lock_guard<std::mutex> Lock(M);
-      if (!FirstError)
+      if (!FirstError || Index < FirstErrorIndex) {
         FirstError = std::current_exception();
+        FirstErrorIndex = Index;
+      }
     }
     if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Take M so the notify cannot slip between the joiner's predicate

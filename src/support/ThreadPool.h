@@ -33,11 +33,14 @@
 #ifndef SPIKE_SUPPORT_THREADPOOL_H
 #define SPIKE_SUPPORT_THREADPOOL_H
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -65,8 +68,11 @@ public:
   unsigned jobs() const { return unsigned(Lanes.size()); }
 
   /// Runs \p Fn for every index in [0, Count) and blocks until all have
-  /// completed.  The first exception a task throws is rethrown here after
-  /// the join.  Must not be called from inside a task.
+  /// completed — a throwing task never wedges its siblings or leaks
+  /// queued indices.  If tasks threw, the exception of the *lowest index*
+  /// (task-submission order, not schedule order) is rethrown here after
+  /// the join, so which exception escapes is deterministic at every job
+  /// count.  Must not be called from inside a task.
   void parallelFor(size_t Count, const Body &Fn);
 
   /// Total indices executed across all batches — deterministic: identical
@@ -105,7 +111,11 @@ private:
   unsigned ActiveWorkers = 0;      ///< Workers currently inside a batch.
   bool Shutdown = false;
   std::atomic<size_t> Remaining{0};
+
+  /// Exception of the lowest-index throwing task this batch, rethrown
+  /// after the join (submission-order determinism).
   std::exception_ptr FirstError;
+  size_t FirstErrorIndex = std::numeric_limits<size_t>::max();
 
   uint64_t Tasks = 0; ///< Written only by the calling thread.
   std::atomic<uint64_t> Steals{0};
@@ -119,8 +129,10 @@ inline void forEachTask(ThreadPool *Pool, size_t Count,
     Pool->parallelFor(Count, Fn);
     return;
   }
-  for (size_t Index = 0; Index < Count; ++Index)
+  for (size_t Index = 0; Index < Count; ++Index) {
+    faultinject::taskPoint();
     Fn(Index, 0);
+  }
 }
 
 } // namespace spike

@@ -72,6 +72,22 @@ std::optional<RunReport> fromJson(const JsonValue &Doc, std::string *Error) {
       Report.Transforms.push_back(std::move(T));
     }
   }
+
+  // Optional, additive: absent unless the resource governor degraded
+  // something.
+  if (const JsonValue *Degraded = Doc.findArray("degraded")) {
+    for (const JsonValue &Item : Degraded->Items) {
+      if (!Item.isObject())
+        return failParse(Error, "degraded entry is not an object");
+      RunReport::Degraded D;
+      D.Routine = Item.stringOr("routine", "");
+      D.Reason = Item.stringOr("reason", "");
+      if (D.Routine.empty() || D.Reason.empty())
+        return failParse(Error, "degraded entry without routine/reason");
+      D.Phase = Item.stringOr("phase", "");
+      Report.Degradations.push_back(std::move(D));
+    }
+  }
   return Report;
 }
 
@@ -85,6 +101,8 @@ const char *kindName(DiffRow::Kind K) {
     return "phase";
   case DiffRow::Kind::Transform:
     return "transform";
+  case DiffRow::Kind::Degrade:
+    return "degrade";
   }
   return "<unknown>";
 }
@@ -109,8 +127,15 @@ void diffRegistry(const std::map<std::string, uint64_t> &Baseline,
     Row.Current = double(Cur);
     Row.Ratio = Base == 0 ? (Cur == 0 ? 1.0 : double(Cur)) // growth over 0
                           : double(Cur) / double(Base);
-    Row.Regression =
-        Base != 0 && double(Cur) > double(Base) * (1 + Opts.MaxCounterGrowth);
+    // Degradation counters regress on ANY growth, zero baseline
+    // included: a run silently losing precision to its budget is the
+    // regression these counters exist to catch.
+    if (K == DiffRow::Kind::Counter && Name.rfind("degrade.", 0) == 0)
+      Row.Regression = Cur > Base;
+    else
+      Row.Regression = Base != 0 && double(Cur) > double(Base) *
+                                                      (1 +
+                                                       Opts.MaxCounterGrowth);
     Diff.Regressions += Row.Regression;
     Diff.Rows.push_back(std::move(Row));
   }
@@ -193,6 +218,32 @@ ReportDiff spike::telemetry::diffReports(const RunReport &Baseline,
         Row.Regression = Base != 0 && double(Cur) > double(Base) *
                                                         (1 +
                                                          Opts.MaxCounterGrowth);
+      Diff.Regressions += Row.Regression;
+      Diff.Rows.push_back(std::move(Row));
+    }
+  }
+
+  // Degradation records: unlike attribution they are always written
+  // when present, so an empty baseline genuinely means "nothing was
+  // degraded" and any current degradation is a new one.
+  if (!Baseline.Degradations.empty() || !Current.Degradations.empty()) {
+    std::map<std::string, uint64_t> BaseCounts = Baseline.degradeCounts();
+    std::map<std::string, uint64_t> CurCounts = Current.degradeCounts();
+    std::map<std::string, std::pair<uint64_t, uint64_t>> Merged;
+    for (const auto &[Name, Value] : BaseCounts)
+      Merged[Name].first = Value;
+    for (const auto &[Name, Value] : CurCounts)
+      Merged[Name].second = Value;
+    for (const auto &[Name, Values] : Merged) {
+      const auto [Base, Cur] = Values;
+      DiffRow Row;
+      Row.K = DiffRow::Kind::Degrade;
+      Row.Name = Name;
+      Row.Baseline = double(Base);
+      Row.Current = double(Cur);
+      Row.Ratio = Base == 0 ? (Cur == 0 ? 1.0 : double(Cur))
+                            : double(Cur) / double(Base);
+      Row.Regression = Cur > Base;
       Diff.Regressions += Row.Regression;
       Diff.Rows.push_back(std::move(Row));
     }

@@ -30,13 +30,19 @@
 ///       {"pass": "dead_def", "outcome": "applied", "address": 17,
 ///        "routine": "P1", "detail": "..."},
 ///       ...
+///     ],
+///     "degraded": [
+///       {"routine": "P7", "reason": "deadline", "phase": "psg.phase1"},
+///       ...
 ///     ]
 ///   }
 /// \endcode
 ///
 /// The "transforms" member is additive (still version 1): it appears only
 /// when the optimizer ran with transformation attribution enabled, and
-/// readers that predate it ignore it.
+/// readers that predate it ignore it.  "degraded" is additive the same
+/// way: present only when the resource governor degraded routines to
+/// unknowable summaries (see support/Budget.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -88,6 +94,25 @@ struct RunReport {
     return Counts;
   }
 
+  /// One routine the resource governor degraded to an unknowable
+  /// summary (see telemetry::DegradeRecord).  Empty on ungoverned runs
+  /// and on governed runs that fit their budget.
+  struct Degraded {
+    std::string Routine;
+    std::string Reason;
+    std::string Phase;
+  };
+  std::vector<Degraded> Degradations;
+
+  /// Record counts keyed "degrade.<reason>" — the diffable aggregation
+  /// of Degradations.
+  std::map<std::string, uint64_t> degradeCounts() const {
+    std::map<std::string, uint64_t> Counts;
+    for (const Degraded &D : Degradations)
+      ++Counts["degrade." + D.Reason];
+    return Counts;
+  }
+
   /// Seconds of phase \p Path, or 0 if absent.
   double phaseSeconds(const std::string &Path) const {
     for (const Phase &P : Phases)
@@ -121,7 +146,7 @@ struct DiffOptions {
 
 /// One compared quantity.
 struct DiffRow {
-  enum class Kind { Counter, Gauge, Phase, Transform };
+  enum class Kind { Counter, Gauge, Phase, Transform, Degrade };
   Kind K = Kind::Counter;
   std::string Name;
   double Baseline = 0;
@@ -152,6 +177,11 @@ struct ReportDiff {
 /// "applied" count that *drops* regresses (the optimizer lost a
 /// transformation), a "rejected" count that grows beyond
 /// MaxCounterGrowth regresses (summaries got weaker).
+///
+/// Degradation is held to a stricter standard: "degrade.*" counters and
+/// the per-reason Degradations counts regress on ANY growth, zero
+/// baseline included — a run that silently starts losing precision to
+/// its budget is exactly the regression these records exist to catch.
 ReportDiff diffReports(const RunReport &Baseline, const RunReport &Current,
                        const DiffOptions &Opts = {});
 

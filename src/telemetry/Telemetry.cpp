@@ -209,6 +209,23 @@ std::string spike::telemetry::runReportJson(const Session &S) {
     }
     Out += "\n  ]";
   }
+
+  // Degradation records are additive the same way: present only when
+  // the resource governor degraded something.
+  if (!S.degrades().empty()) {
+    Out += ",\n  \"degraded\": [";
+    const std::vector<DegradeRecord> &Records = S.degrades();
+    for (size_t I = 0; I < Records.size(); ++I) {
+      const DegradeRecord &R = Records[I];
+      Out += I == 0 ? "\n" : ",\n";
+      Out += "    {\"routine\": \"" + escape(R.Routine) +
+             "\", \"reason\": \"" + escape(R.Reason) + "\"";
+      if (!R.Phase.empty())
+        Out += ", \"phase\": \"" + escape(R.Phase) + "\"";
+      Out += "}";
+    }
+    Out += "\n  ]";
+  }
   Out += "\n}\n";
   return Out;
 }

@@ -88,6 +88,18 @@ struct TransformRecord {
   std::string Detail;  ///< The justifying facts, human-readable.
 };
 
+/// One soundness-preserving degradation the resource governor forced: a
+/// routine collapsed to a Section 3.5 unknowable summary because its
+/// analysis blew the budget.  Rendered as the "degraded" array of a
+/// RunReport and diffed by spike-stats, where *any* growth is flagged as
+/// a regression (precision silently lost is the failure mode these
+/// records exist to catch).
+struct DegradeRecord {
+  std::string Routine; ///< Routine name.
+  std::string Reason;  ///< Blown verdict: "deadline", "memory", ...
+  std::string Phase;   ///< Solver phase that blew, "" if unknown.
+};
+
 /// All telemetry of one tool run.
 class Session {
 public:
@@ -152,6 +164,13 @@ public:
     return Transforms;
   }
 
+  /// Appends one budget-degradation record.
+  void addDegrade(DegradeRecord Record) {
+    Degrades.push_back(std::move(Record));
+  }
+
+  const std::vector<DegradeRecord> &degrades() const { return Degrades; }
+
   /// Opens a span named \p Name nested under the innermost open span.
   /// Returns its id for endSpan().
   uint32_t beginSpan(std::string_view Name);
@@ -193,6 +212,7 @@ private:
   Registry Counters;
   Registry Gauges;
   std::vector<TransformRecord> Transforms;
+  std::vector<DegradeRecord> Degrades;
   std::vector<SpanEvent> Spans;
   std::vector<uint32_t> OpenStack;
 };
@@ -259,6 +279,12 @@ inline void gaugeHigh(std::string_view Name, uint64_t Value) {
 inline void attribute(TransformRecord Record) {
   if (Session *S = active())
     S->addTransform(std::move(Record));
+}
+
+/// Records a budget-degradation on the active session, if any.
+inline void degrade(DegradeRecord Record) {
+  if (Session *S = active())
+    S->addDegrade(std::move(Record));
 }
 
 /// Renders the session's spans as a Chrome trace-event / Perfetto JSON

@@ -14,6 +14,7 @@
 #include "lint/Linter.h"
 #include "psg/Analyzer.h"
 #include "psg/DotExport.h"
+#include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -46,13 +47,12 @@ void printRoutineSummaries(const AnalysisResult &Result,
                 R.ExitBlocks[X], RR.LiveAtExit[X].str().c_str());
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   std::string Path, RoutineName, DotWhat;
   bool Summaries = false, Stats = false, Verify = false;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
+  toolbudget::Options BudgetOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--summaries") == 0)
       Summaries = true;
@@ -68,24 +68,30 @@ int main(int Argc, char **Argv) {
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, BudgetOpts))
+      ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--summaries] [--stats] "
-                   "[--verify] [--routine <name>] %s %s\n",
-                   Argv[0], toolopts::jobsUsage(), tooltel::usage());
+                   "[--verify] [--routine <name>] %s %s %s\n",
+                   Argv[0], toolopts::jobsUsage(), toolbudget::usage(),
+                   tooltel::usage());
       return 2;
     } else
       Path = Argv[I];
   }
   if (Path.empty()) {
-    std::fprintf(stderr, "usage: %s <image.spkx> [--summaries] [--stats] "
-                         "[--verify] [--routine <name>] %s %s\n",
-                 Argv[0], toolopts::jobsUsage(), tooltel::usage());
+    std::fprintf(stderr,
+                 "usage: %s <image.spkx> [--summaries] [--stats] "
+                 "[--verify] [--routine <name>] %s %s %s\n",
+                 Argv[0], toolopts::jobsUsage(), toolbudget::usage(),
+                 tooltel::usage());
     return 2;
   }
   if (!Summaries && !Verify && RoutineName.empty())
     Stats = true;
 
+  toolbudget::Session Faults(BudgetOpts);
   tooltel::Emitter Telemetry("spike-analyze", TelemetryOpts);
 
   std::string Error;
@@ -97,7 +103,22 @@ int main(int Argc, char **Argv) {
 
   AnalysisOptions AOpts;
   AOpts.Jobs = Jobs;
-  AnalysisResult Result = analyzeImage(*Img, {}, AOpts);
+  AnalysisResult Result;
+  if (BudgetOpts.any()) {
+    Expected<GovernedAnalysis> Governed = analyzeImageGoverned(
+        *Img, {}, AOpts, BudgetOpts.Budget, Faults.token());
+    if (!Governed)
+      return toolbudget::exitError(Governed.error());
+    Result = std::move(Governed->Result);
+    for (const std::string &Name : Governed->DegradedRoutines)
+      std::fprintf(stderr,
+                   "note: %s degraded to an unknowable summary "
+                   "(budget: %s, attempt %u)\n",
+                   Name.c_str(), budgetVerdictName(Governed->FirstBlow),
+                   Governed->Attempts);
+  } else {
+    Result = analyzeImage(*Img, {}, AOpts);
+  }
 
   if (Verify) {
     // Cross-check the PSG summaries against the CFG-level two-phase
@@ -167,4 +188,10 @@ int main(int Argc, char **Argv) {
     std::printf("memory:        %.2f MB\n", Result.Memory.peakMBytes());
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

@@ -26,6 +26,7 @@
 #include "provenance/Witness.h"
 #include "psg/Analyzer.h"
 #include "psg/DotExport.h"
+#include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -54,6 +55,7 @@ int usage(const char *Tool) {
       "locations: <kind>:<routine>[#i] with kind entry|exit|call|return,\n"
       "or node:<psg-node-id>\n",
       Tool, toolopts::jobsUsage(), tooltel::usage());
+  std::fprintf(stderr, "budget flags: %s\n", toolbudget::usage());
   return 2;
 }
 
@@ -136,13 +138,12 @@ bool resolveNode(const AnalysisResult &A, const std::string &Where,
   return false;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   std::string Path, Query, Operand;
   bool Dot = false;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
+  toolbudget::Options BudgetOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--why-live") == 0 ||
         std::strcmp(Argv[I], "--why-may-use") == 0 ||
@@ -167,6 +168,8 @@ int main(int Argc, char **Argv) {
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, BudgetOpts))
+      ;
     else if (Argv[I][0] == '-')
       return usage(Argv[0]);
     else if (Path.empty())
@@ -177,6 +180,7 @@ int main(int Argc, char **Argv) {
   if (Path.empty() || Query.empty())
     return usage(Argv[0]);
 
+  toolbudget::Session Faults(BudgetOpts);
   tooltel::Emitter Telemetry("spike-explain", TelemetryOpts);
 
   std::string Error;
@@ -191,6 +195,8 @@ int main(int Argc, char **Argv) {
     PipelineOptions Opts;
     Opts.AttributeTransforms = true;
     Opts.Jobs = Jobs;
+    Opts.Budget = BudgetOpts.Budget;
+    Opts.Cancel = Faults.token();
     Image Work = *Img; // The image on disk stays untouched.
     PipelineStats Stats = optimizeImage(Work, {}, Opts);
     int64_t Filter =
@@ -217,7 +223,21 @@ int main(int Argc, char **Argv) {
   AnalysisOptions AOpts;
   AOpts.Jobs = Jobs;
   AOpts.RecordProvenance = true;
-  AnalysisResult Result = analyzeImage(*Img, {}, AOpts);
+  AnalysisResult Result;
+  if (BudgetOpts.any()) {
+    Expected<GovernedAnalysis> Governed = analyzeImageGoverned(
+        *Img, {}, AOpts, BudgetOpts.Budget, Faults.token());
+    if (!Governed)
+      return toolbudget::exitError(Governed.error());
+    Result = std::move(Governed->Result);
+    for (const std::string &Name : Governed->DegradedRoutines)
+      std::fprintf(stderr,
+                   "note: %s degraded to an unknowable summary; witness "
+                   "chains through it end at its summary\n",
+                   Name.c_str());
+  } else {
+    Result = analyzeImage(*Img, {}, AOpts);
+  }
 
   if (Query == "--check-witnesses") {
     WitnessAudit Audit = auditEntryLiveness(Result);
@@ -279,4 +299,10 @@ int main(int Argc, char **Argv) {
   }
   std::fputs(renderWitness(Result, W).c_str(), stdout);
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

@@ -38,11 +38,14 @@
 #include "lint/Linter.h"
 #include "opt/Pipeline.h"
 #include "psg/Analyzer.h"
+#include "slice/Slicer.h"
+#include "slice/SlotFlow.h"
 #include "support/Rng.h"
 #include "support/Stopwatch.h"
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -59,8 +62,10 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seed <n>] [--iterations <n>] "
-               "[--artifact-dir <dir>] [--skip-oracle] [--verbose] %s %s\n",
-               Prog, toolopts::jobsUsage(), tooltel::usage());
+               "[--artifact-dir <dir>] [--skip-oracle] [--verbose] "
+               "%s %s %s\n",
+               Prog, toolopts::jobsUsage(), toolbudget::usage(),
+               tooltel::usage());
   return 2;
 }
 
@@ -71,6 +76,8 @@ struct FuzzConfig {
   bool SkipOracle = false;
   bool Verbose = false;
   unsigned Jobs = 1;
+  toolbudget::Options Budget;
+  CancellationToken *Cancel = nullptr;
 };
 
 /// Global failure sink: remembers the first violation and counts all.
@@ -96,11 +103,19 @@ struct Verdicts {
 // Soundness oracle
 //===----------------------------------------------------------------------===//
 
+/// \p Outer must be a superset of \p Inner (top swallows everything).
+bool slotContainsAll(const SlotSet &Outer, const SlotSet &Inner) {
+  return (Outer | Inner) == Outer;
+}
+
 /// Compares the analysis of \p Img with \p Victim force-quarantined
 /// against the exact analysis \p Exact.  Sound degradation may only
 /// widen call-used / call-killed / live sets and narrow raw MUST-DEF of
-/// every routine that is not itself quarantined.
+/// every routine that is not itself quarantined.  The same monotonicity
+/// contract holds for the slot dataflow (\p ExactFlow): degraded slot
+/// may-sets only widen, opaqueness is never lost.
 void checkDegradationSound(const Image &Img, const AnalysisResult &Exact,
+                           const SlotFlowResult &ExactFlow,
                            const std::string &Victim, Verdicts &V,
                            const std::string &Context, unsigned Jobs) {
   AnalysisOptions Opts;
@@ -143,6 +158,30 @@ void checkDegradationSound(const Image &Img, const AnalysisResult &Exact,
                      " exit=" + std::to_string(Exit) +
                      " live-at-exit shrank");
   }
+
+  // Slot dataflow under the same degradation.  Quarantining any routine
+  // triggers the global escape collapse, and no routine's slot facts may
+  // get more precise than the exact run's.
+  SlotFlowResult DegradedFlow = solveSlotFlow(Degraded.Prog, Jobs);
+  FUZZ_CHECK(DegradedFlow.GlobalEscape, V,
+             Where + " quarantine without slot global escape");
+  FUZZ_CHECK(!ExactFlow.GlobalEscape || DegradedFlow.GlobalEscape, V,
+             Where + " slot global escape lost");
+  for (uint32_t R = 0; R < Exact.Prog.Routines.size(); ++R) {
+    if (Degraded.Prog.Routines[R].Quarantined)
+      continue;
+    const RoutineSlotFacts &EF = ExactFlow.Routines[R];
+    const RoutineSlotFacts &DF = DegradedFlow.Routines[R];
+    const std::string At =
+        Where + " routine=" + Exact.Prog.Routines[R].Name;
+    FUZZ_CHECK(!EF.Opaque || DF.Opaque, V, At + " slot opaqueness lost");
+    FUZZ_CHECK(slotContainsAll(DF.MayUse, EF.MayUse), V,
+               At + " slot may-use shrank");
+    FUZZ_CHECK(slotContainsAll(DF.MayDef, EF.MayDef), V,
+               At + " slot may-def shrank");
+    FUZZ_CHECK(slotContainsAll(DF.LiveAtExit, EF.LiveAtExit), V,
+               At + " slot live-at-exit shrank");
+  }
 }
 
 /// Runs the oracle over every synthetic profile: each routine of each
@@ -155,13 +194,14 @@ void runOracle(const std::vector<Image> &Corpus, Verdicts &V,
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const Image &Img = Corpus[I];
     AnalysisResult Exact = analyzeImage(Img, CallingConv(), ExactOpts);
+    SlotFlowResult ExactFlow = solveSlotFlow(Exact.Prog, Jobs);
     uint32_t Count = uint32_t(Exact.Prog.Routines.size());
     // All routines for small images, an even stride for big ones.
     uint32_t Step = Count <= 16 ? 1 : Count / 16;
     const std::string Context = "oracle corpus[" + std::to_string(I) + "]";
     for (uint32_t R = 0; R < Count; R += Step)
-      checkDegradationSound(Img, Exact, Exact.Prog.Routines[R].Name, V,
-                            Context, Jobs);
+      checkDegradationSound(Img, Exact, ExactFlow,
+                            Exact.Prog.Routines[R].Name, V, Context, Jobs);
     if (Verbose)
       std::fprintf(stderr, "%s: %u routines checked\n", Context.c_str(),
                    (Count + Step - 1) / Step);
@@ -296,7 +336,9 @@ enum class MutantOutcome { CleanError, Degraded, Full };
 
 /// Drives one mutant through the full stack and asserts the trichotomy.
 MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
-                        const std::string &Context, unsigned Jobs) {
+                        const std::string &Context,
+                        const FuzzConfig &Config) {
+  unsigned Jobs = Config.Jobs;
   // Outcome 1: clean error.  Structured code, non-empty message, done.
   Expected<Image> Loaded = loadImage(Bytes);
   if (!Loaded) {
@@ -309,14 +351,32 @@ MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
   ValidationReport Report = validateImage(Img);
   AnalysisOptions AOpts;
   AOpts.Jobs = Jobs;
-  AnalysisResult Analysis = analyzeImage(Img, CallingConv(), AOpts);
+  AnalysisResult Analysis;
+  if (Config.Budget.any()) {
+    // Under a resource budget the trichotomy gains no fourth arm: a
+    // budget the degradation ladder cannot satisfy is a clean error,
+    // anything else lands in the usual three with possibly more
+    // quarantined routines.
+    Expected<GovernedAnalysis> Governed = analyzeImageGoverned(
+        Img, CallingConv(), AOpts, Config.Budget.Budget, Config.Cancel);
+    if (!Governed) {
+      FUZZ_CHECK(Governed.error().Code != ErrCode::None, V, Context);
+      FUZZ_CHECK(!Governed.error().Message.empty(), V, Context);
+      return MutantOutcome::CleanError;
+    }
+    Analysis = std::move(Governed->Result);
+  } else {
+    Analysis = analyzeImage(Img, CallingConv(), AOpts);
+  }
   const Program &Prog = Analysis.Prog;
   RegSet AllRegs = RegSet::allBelow(NumIntRegs);
 
   if (Report.clean()) {
-    // Outcome 3: full result.  verify() agrees, nothing is quarantined.
+    // Outcome 3: full result.  verify() agrees, nothing is quarantined
+    // except what the budget (if any) degraded.
     FUZZ_CHECK(!Img.verify().has_value(), V, Context);
-    FUZZ_CHECK(Prog.numQuarantined() == 0, V, Context);
+    FUZZ_CHECK(Prog.numQuarantined() == Prog.numBudgetDegraded(), V,
+               Context);
   } else {
     // Outcome 2: quarantined but sound.  verify() reports the defect,
     // every routine the validator implicates is quarantined and carries
@@ -356,6 +416,39 @@ MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
     FUZZ_CHECK(Quarantines >= 1, V, Context + " no SL011 for degraded image");
   }
 
+  // Slice-subsystem soundness on every surviving mutant: slot facts must
+  // respect quarantine (a quarantined routine is opaque and triggers the
+  // global escape collapse) and slices over the dependence graph must be
+  // well-formed — sorted, in range, and anchored at their seed.
+  SlotFlowResult Flow = solveSlotFlow(Prog, Jobs);
+  if (Prog.numQuarantined() != 0)
+    FUZZ_CHECK(Flow.GlobalEscape, V,
+               Context + " quarantine without slot global escape");
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+    if (Prog.Routines[R].Quarantined)
+      FUZZ_CHECK(Flow.Routines[R].Opaque, V,
+                 Context + " quarantined routine '" + Prog.Routines[R].Name +
+                     "' not opaque in slot facts");
+  if (!Prog.Insts.empty()) {
+    DependenceGraph Graph = buildDepGraph(Prog, Analysis.Summaries, Flow);
+    uint64_t SeedAddress = Prog.Insts.size() / 2;
+    for (bool BackwardDir : {true, false}) {
+      std::vector<uint64_t> Slice = BackwardDir
+                                        ? backwardSlice(Graph, SeedAddress)
+                                        : forwardSlice(Graph, SeedAddress);
+      bool SeedPresent = false, InRange = true, Sorted = true;
+      for (size_t S = 0; S < Slice.size(); ++S) {
+        SeedPresent |= Slice[S] == SeedAddress;
+        InRange &= Slice[S] < Prog.Insts.size();
+        if (S != 0)
+          Sorted &= Slice[S - 1] < Slice[S];
+      }
+      FUZZ_CHECK(SeedPresent, V, Context + " slice lost its seed");
+      FUZZ_CHECK(InRange, V, Context + " slice address out of range");
+      FUZZ_CHECK(Sorted, V, Context + " slice not sorted ascending");
+    }
+  }
+
   // The optimizer must refuse quarantined bytes and produce output that
   // still validates (no new strict findings) and round-trips; a round
   // that fails either check must roll back — and with sound passes none
@@ -369,6 +462,8 @@ MutantOutcome runMutant(const std::vector<uint8_t> &Bytes, Verdicts &V,
   PipelineOptions OptOpts;
   OptOpts.MaxRounds = 2;
   OptOpts.Jobs = Jobs;
+  OptOpts.Budget = Config.Budget.Budget;
+  OptOpts.Cancel = Config.Cancel;
   PipelineStats Stats = optimizeImage(Img, CallingConv(), OptOpts);
   FUZZ_CHECK(Stats.RoundsRolledBack == 0, V,
              Context + " optimizer round rolled back (pass bug?)");
@@ -403,9 +498,7 @@ std::vector<Image> buildCorpus() {
   return Corpus;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   FuzzConfig Config;
   Config.Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
@@ -424,10 +517,14 @@ int main(int Argc, char **Argv) {
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, Config.Budget))
+      ;
     else
       return usage(Argv[0]);
   }
 
+  toolbudget::Session Faults(Config.Budget);
+  Config.Cancel = Faults.token();
   tooltel::Emitter Telemetry("spike-fuzz", TelemetryOpts);
 
   Verdicts V;
@@ -475,7 +572,7 @@ int main(int Argc, char **Argv) {
       Mutant = mutateBytes(std::move(Mutant), Rand);
 
     uint64_t FailuresBefore = V.Failures;
-    MutantOutcome Outcome = runMutant(Mutant, V, Context, Config.Jobs);
+    MutantOutcome Outcome = runMutant(Mutant, V, Context, Config);
     telemetry::count("fuzz.mutants");
     telemetry::count(Outcome == MutantOutcome::CleanError
                          ? "fuzz.outcome.error"
@@ -515,4 +612,10 @@ int main(int Argc, char **Argv) {
     std::printf("spike-fuzz: %.0f mutants/s over %.2f s\n",
                 double(Config.Iterations) / LoopSeconds, LoopSeconds);
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

@@ -24,6 +24,7 @@
 #include "lint/JsonWriter.h"
 #include "lint/Linter.h"
 #include "opt/Pipeline.h"
+#include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -39,20 +40,20 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.spkx> [--json] [--verify] "
                "[--min-severity note|warning|error] [--disable <SLnnn>] "
-               "[--rounds <n>] %s %s\n",
-               Prog, toolopts::jobsUsage(), tooltel::usage());
+               "[--rounds <n>] %s %s %s\n",
+               Prog, toolopts::jobsUsage(), toolbudget::usage(),
+               tooltel::usage());
   return 2;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   std::string Path;
   bool Json = false, Verify = false;
   unsigned Rounds = 3;
   LintOptions Opts;
   Opts.Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
+  toolbudget::Options BudgetOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
       Json = true;
@@ -87,6 +88,8 @@ int main(int Argc, char **Argv) {
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, BudgetOpts))
+      ;
     else if (Argv[I][0] == '-')
       return usage(Argv[0]);
     else
@@ -95,6 +98,7 @@ int main(int Argc, char **Argv) {
   if (Path.empty())
     return usage(Argv[0]);
 
+  toolbudget::Session Faults(BudgetOpts);
   tooltel::Emitter Telemetry("spike-lint", TelemetryOpts);
 
   std::string Error;
@@ -112,7 +116,21 @@ int main(int Argc, char **Argv) {
   }
 
   Opts.Verify = Verify;
-  LintResult Result = lintImage(*Img, CallingConv(), Opts);
+  LintResult Result;
+  if (BudgetOpts.any()) {
+    // Budget-degraded routines fall out of the analysis and surface as
+    // SL013 warnings; a budget degradation cannot fix leads to a
+    // structured error instead of a diagnostic list.
+    AnalysisOptions AOpts;
+    AOpts.Jobs = Opts.Jobs;
+    Expected<GovernedAnalysis> Governed = analyzeImageGoverned(
+        *Img, CallingConv(), AOpts, BudgetOpts.Budget, Faults.token());
+    if (!Governed)
+      return toolbudget::exitError(Governed.error());
+    Result = lintAnalysis(*Img, Governed->Result, Opts);
+  } else {
+    Result = lintImage(*Img, CallingConv(), Opts);
+  }
 
   bool VerifyFailed = false;
   if (Verify && !Result.hasErrors()) {
@@ -124,6 +142,8 @@ int main(int Argc, char **Argv) {
     PipeOpts.LintSelfCheck = true;
     PipeOpts.CrossCheck = true;
     PipeOpts.Jobs = Opts.Jobs;
+    PipeOpts.Budget = BudgetOpts.Budget;
+    PipeOpts.Cancel = Faults.token();
     PipelineStats Stats = optimizeImage(Copy, CallingConv(), PipeOpts);
     for (const std::string &Report : Stats.LintReports)
       Result.Diags.push_back(makeDiagnostic(
@@ -146,4 +166,10 @@ int main(int Argc, char **Argv) {
                   Result.hasErrors() || VerifyFailed ? "FAILED" : "passed");
   }
   return Result.hasErrors() || VerifyFailed ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

@@ -15,6 +15,7 @@
 #include "opt/AnnotationDeriver.h"
 #include "opt/Pipeline.h"
 #include "sim/Simulator.h"
+#include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -25,7 +26,9 @@
 
 using namespace spike;
 
-int main(int Argc, char **Argv) {
+namespace {
+
+int runTool(int Argc, char **Argv) {
   std::string InputPath, OutputPath;
   unsigned Rounds = 3;
   bool Verify = false;
@@ -34,6 +37,7 @@ int main(int Argc, char **Argv) {
   bool Attribute = false;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
+  toolbudget::Options BudgetOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc)
       OutputPath = Argv[++I];
@@ -51,24 +55,30 @@ int main(int Argc, char **Argv) {
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, BudgetOpts))
+      ;
     else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <input.spkx> -o <output.spkx> "
                    "[--rounds N] [--verify] [--self-check] "
-                   "[--derive-annotations] [--attribute] %s %s\n",
-                   Argv[0], toolopts::jobsUsage(), tooltel::usage());
+                   "[--derive-annotations] [--attribute] %s %s %s\n",
+                   Argv[0], toolopts::jobsUsage(), toolbudget::usage(),
+                   tooltel::usage());
       return 2;
     } else
       InputPath = Argv[I];
   }
   if (InputPath.empty() || OutputPath.empty()) {
-    std::fprintf(stderr, "usage: %s <input.spkx> -o <output.spkx> "
-                         "[--rounds N] [--verify] [--self-check] "
-                         "[--derive-annotations] [--attribute] %s %s\n",
-                 Argv[0], toolopts::jobsUsage(), tooltel::usage());
+    std::fprintf(stderr,
+                 "usage: %s <input.spkx> -o <output.spkx> "
+                 "[--rounds N] [--verify] [--self-check] "
+                 "[--derive-annotations] [--attribute] %s %s %s\n",
+                 Argv[0], toolopts::jobsUsage(), toolbudget::usage(),
+                 tooltel::usage());
     return 2;
   }
 
+  toolbudget::Session Faults(BudgetOpts);
   tooltel::Emitter Telemetry("spike-opt", TelemetryOpts);
 
   std::string Error;
@@ -89,6 +99,8 @@ int main(int Argc, char **Argv) {
   Opts.LintSelfCheck = SelfCheck;
   Opts.Jobs = Jobs;
   Opts.AttributeTransforms = Attribute;
+  Opts.Budget = BudgetOpts.Budget;
+  Opts.Cancel = Faults.token();
   PipelineStats Stats = optimizeImage(*Img, CallingConv(), Opts);
   std::printf("rounds:                        %u\n", Stats.Rounds);
   std::printf("dead defs deleted:             %llu\n",
@@ -101,6 +113,18 @@ int main(int Argc, char **Argv) {
               Stats.RoundsRolledBack);
   std::printf("quarantined routines:          %llu\n",
               (unsigned long long)Stats.QuarantinedRoutines);
+  if (Stats.BudgetRetries || Stats.BudgetDegradedRoutines ||
+      Stats.SlotFlowSkips || Stats.StoppedOnBudget) {
+    std::printf("budget retries:                %u\n", Stats.BudgetRetries);
+    std::printf("budget-degraded routines:      %llu\n",
+                (unsigned long long)Stats.BudgetDegradedRoutines);
+    if (Stats.SlotFlowSkips)
+      std::printf("slot-flow passes skipped:      %u\n",
+                  Stats.SlotFlowSkips);
+    if (Stats.StoppedOnBudget)
+      std::printf("optimization stopped early: budget exhausted even with "
+                  "every routine degraded\n");
+  }
   for (size_t R = 0; R < Stats.PerRound.size(); ++R) {
     const PipelineStats::RoundRecord &Rec = Stats.PerRound[R];
     std::printf("  round %zu: %.4f s, %.2f MB analysis peak, "
@@ -145,4 +169,10 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

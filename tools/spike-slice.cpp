@@ -26,6 +26,7 @@
 #include "slice/DepGraph.h"
 #include "slice/Slicer.h"
 #include "slice/SlotFlow.h"
+#include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -49,6 +50,7 @@ int usage(const char *Tool) {
       "                      MAY-DEF, LIVE-AT-EXIT, dead stores)\n"
       "--dot renders the slice subgraph as Graphviz instead of a list\n",
       Tool, toolopts::jobsUsage(), tooltel::usage());
+  std::fprintf(stderr, "budget flags: %s\n", toolbudget::usage());
   return 2;
 }
 
@@ -66,14 +68,13 @@ void printSlice(const Program &Prog, const std::vector<uint64_t> &Slice,
   }
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   std::string Path, RoutineName;
   uint64_t Seed = 0;
   bool Backward = false, Forward = false, Slots = false, Dot = false;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
+  toolbudget::Options BudgetOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--backward") == 0 && I + 1 < Argc) {
       Backward = true;
@@ -91,6 +92,8 @@ int main(int Argc, char **Argv) {
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, BudgetOpts))
+      ;
     else if (Argv[I][0] == '-')
       return usage(Argv[0]);
     else
@@ -100,6 +103,7 @@ int main(int Argc, char **Argv) {
       (!Backward && !Forward && !Slots))
     return usage(Argv[0]);
 
+  toolbudget::Session Faults(BudgetOpts);
   tooltel::Emitter Telemetry("spike-slice", TelemetryOpts);
 
   std::string Error;
@@ -111,9 +115,33 @@ int main(int Argc, char **Argv) {
 
   AnalysisOptions AOpts;
   AOpts.Jobs = Jobs;
-  AnalysisResult Analysis = analyzeImage(*Img, CallingConv(), AOpts);
+  AnalysisResult Analysis;
+  if (BudgetOpts.any()) {
+    Expected<GovernedAnalysis> Governed = analyzeImageGoverned(
+        *Img, CallingConv(), AOpts, BudgetOpts.Budget, Faults.token());
+    if (!Governed)
+      return toolbudget::exitError(Governed.error());
+    Analysis = std::move(Governed->Result);
+    for (const std::string &Name : Governed->DegradedRoutines)
+      std::fprintf(stderr,
+                   "note: %s degraded to an unknowable summary; slices "
+                   "through it are conservative\n",
+                   Name.c_str());
+  } else {
+    Analysis = analyzeImage(*Img, CallingConv(), AOpts);
+  }
   const Program &Prog = Analysis.Prog;
-  SlotFlowResult Flow = solveSlotFlow(Prog, Jobs);
+
+  // The slice phases get their own governed attempt: a blow here has no
+  // retry ladder (a slice is a query, not a transformation) and escapes
+  // as a structured error via guardedMain.
+  ResourceGovernor SliceGov(BudgetOpts.Budget, &Analysis.Memory,
+                            Faults.token());
+  const ResourceGovernor *Gov = SliceGov.enabled() ? &SliceGov : nullptr;
+  if (Gov)
+    SliceGov.arm();
+  ThreadPool SlotPool(Jobs);
+  SlotFlowResult Flow = solveSlotFlow(Prog, &SlotPool, Gov);
 
   if (Slots) {
     if (Flow.GlobalEscape)
@@ -152,7 +180,7 @@ int main(int Argc, char **Argv) {
   if (Jobs > 1)
     Pool = &OwnedPool;
   DependenceGraph Graph =
-      buildDepGraph(Prog, Analysis.Summaries, Flow, Pool);
+      buildDepGraph(Prog, Analysis.Summaries, Flow, Pool, Gov);
   std::vector<uint64_t> Slice = Backward ? backwardSlice(Graph, Seed)
                                          : forwardSlice(Graph, Seed);
   if (Dot)
@@ -160,4 +188,10 @@ int main(int Argc, char **Argv) {
   else
     printSlice(Prog, Slice, Backward ? "backward" : "forward", Seed);
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }
