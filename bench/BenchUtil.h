@@ -162,12 +162,17 @@ public:
 
   /// Runs \p Body inside a span named \p Name and returns its seconds —
   /// the harness's replacement for a raw stopwatch: the interval also
-  /// lands in the trace and the RunReport's phase table.
+  /// lands in the trace and the RunReport's phase table, and the sample
+  /// feeds the "bench.<name>_ns" histogram so repeated measurements of
+  /// one benchmark diff percentile-aware in spike-profile / spike-stats.
   template <typename Fn> double timed(std::string_view Name, Fn &&Body) {
     uint32_t Id = S.beginSpan(Name);
     std::forward<Fn>(Body)();
     S.endSpan(Id);
-    return S.spanSeconds(Id);
+    double Seconds = S.spanSeconds(Id);
+    S.record("bench." + std::string(Name) + "_ns",
+             uint64_t(Seconds * 1e9 + 0.5));
+    return Seconds;
   }
 
   /// Current value of registry counter \p Name.

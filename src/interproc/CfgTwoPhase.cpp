@@ -2,6 +2,7 @@
 
 #include "interproc/CfgTwoPhase.h"
 
+#include "telemetry/Profiling.h"
 #include "telemetry/Telemetry.h"
 
 #include "cfg/SccSchedule.h"
@@ -124,8 +125,10 @@ private:
 
   /// Solves the intra-routine three-set problem for routine
   /// \p RoutineIndex with the current callee summaries; returns the IN
-  /// value of every block.
-  std::vector<FlowSets> solveRoutineSets(uint32_t RoutineIndex) const {
+  /// value of every block.  \p SetOps, when non-null, accumulates the
+  /// block evaluations of the inner worklist.
+  std::vector<FlowSets> solveRoutineSets(uint32_t RoutineIndex,
+                                         uint64_t *SetOps) const {
     const Routine &R = Prog.Routines[RoutineIndex];
     // MUST-DEF starts at top (must problem, greatest fixpoint); the MAY
     // sets start at bottom — matching the PSG solvers.
@@ -135,6 +138,8 @@ private:
     List.pushAll();
     while (!List.empty()) {
       uint32_t BlockIndex = List.pop();
+      if (SetOps)
+        ++*SetOps;
       const BasicBlock &Block = R.Blocks[BlockIndex];
       FlowSets Out;
       switch (Block.Term) {
@@ -191,46 +196,75 @@ private:
     throw BudgetBlownError(Verdict, Phase, std::move(Names));
   }
 
+  /// Bits flipped between \p OldSet and \p NewSet — the convergence
+  /// trace's unit of set growth (symmetric difference, so a greatest-
+  /// fixpoint shrink counts the same as a least-fixpoint grow).
+  static uint64_t changedBits(RegSet OldSet, RegSet NewSet) {
+    return (NewSet - OldSet).count() + (OldSet - NewSet).count();
+  }
+
   /// Solves one component's phase-1 pass: callee summaries outside the
   /// component have converged in earlier levels, so only in-component
-  /// callers requeue.
-  void solveGroupPhase1(const std::vector<uint32_t> &Members,
-                        bool MayUsePass) {
+  /// callers requeue.  \p Prof, when non-null, accumulates the group's
+  /// cost (same discipline as the PSG solvers: one writer per group).
+  void solveGroupPhase1(const std::vector<uint32_t> &Members, bool MayUsePass,
+                        telemetry::GroupCost *Prof) {
     Worklist List(Members.size());
     List.pushAll();
     uint64_t Pops = 0;
+    std::vector<uint32_t> LocalPops(Prof ? Members.size() : 0, 0);
     while (!List.empty()) {
       if (Gov) {
         BudgetVerdict V = Gov->poll(++Pops);
         if (V != BudgetVerdict::Ok)
           throwBlown(V, "cfg-two-phase.phase1", Members);
       }
-      uint32_t RoutineIndex = Members[List.pop()];
+      uint32_t Local = List.pop();
+      uint32_t RoutineIndex = Members[Local];
       const Routine &R = Prog.Routines[RoutineIndex];
-      std::vector<FlowSets> In = solveRoutineSets(RoutineIndex);
+      if (Prof) {
+        ++Prof->Pops;
+        ++Prof->RoutinePops[RoutineIndex];
+        ++LocalPops[Local];
+      }
+      std::vector<FlowSets> In =
+          solveRoutineSets(RoutineIndex, Prof ? &Prof->SetOps : nullptr);
       bool Changed = false;
+      uint64_t Delta = 0;
       for (uint32_t EntryIndex = 0; EntryIndex < R.numEntries();
            ++EntryIndex) {
         const FlowSets &NewSets = In[R.EntryBlocks[EntryIndex]];
         FlowSets &Stored = EntrySets[RoutineIndex][EntryIndex];
         if (MayUsePass) {
-          if (NewSets.MayUse != Stored.MayUse)
+          if (NewSets.MayUse != Stored.MayUse) {
             Changed = true;
+            if (Prof)
+              Delta += changedBits(Stored.MayUse, NewSets.MayUse);
+          }
           Stored.MayUse = NewSets.MayUse;
         } else {
           if (NewSets.MustDef != Stored.MustDef ||
-              NewSets.MayDef != Stored.MayDef)
+              NewSets.MayDef != Stored.MayDef) {
             Changed = true;
+            if (Prof)
+              Delta += changedBits(Stored.MustDef, NewSets.MustDef) +
+                       changedBits(Stored.MayDef, NewSets.MayDef);
+          }
           Stored = NewSets;
         }
       }
+      if (Prof && Changed)
+        Prof->ChangedBits.record(Delta);
       if (Changed)
         for (uint32_t Caller : Callers[RoutineIndex]) {
-          int32_t Local = localOf(Members, Caller);
-          if (Local >= 0)
-            List.push(uint32_t(Local));
+          int32_t CallerLocal = localOf(Members, Caller);
+          if (CallerLocal >= 0)
+            List.push(uint32_t(CallerLocal));
         }
     }
+    if (Prof)
+      for (uint32_t Count : LocalPops)
+        Prof->Iters = std::max<uint64_t>(Prof->Iters, Count);
   }
 
   // Like the PSG solver, phase 1 runs in two passes: the MAY-USE
@@ -240,10 +274,20 @@ private:
   // pass B restarts MAY-USE from bottom with them frozen.
   void runPhase1() {
     SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
+    bool Profile = telemetry::profiling();
+    std::vector<telemetry::GroupCost> Profiles(Profile ? Sched.NumGroups : 0);
+    std::vector<uint64_t> RoutinePops(Profile ? Prog.Routines.size() : 0, 0);
+    for (telemetry::GroupCost &P : Profiles)
+      P.RoutinePops = RoutinePops.data();
     auto RunPass = [&](bool MayUsePass) {
       for (const std::vector<uint32_t> &Level : Sched.Levels)
         forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
-          solveGroupPhase1(Sched.Members[Level[I]], MayUsePass);
+          uint32_t Group = Level[I];
+          telemetry::GroupCost *Prof = Profile ? &Profiles[Group] : nullptr;
+          uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
+          solveGroupPhase1(Sched.Members[Group], MayUsePass, Prof);
+          if (Prof)
+            Prof->Ns += telemetry::costClockNs() - T0;
         });
     };
 
@@ -252,6 +296,16 @@ private:
       for (FlowSets &Sets : PerEntry)
         Sets.MayUse = RegSet();
     RunPass(true);
+    if (Profile)
+      telemetry::emitGroupCosts(
+          "interproc.phase1", Profiles,
+          [&](size_t Group) -> const std::vector<uint32_t> & {
+            return Sched.Members[Group];
+          },
+          [&](uint32_t Routine) -> std::string_view {
+            return Prog.Routines[Routine].Name;
+          },
+          RoutinePops.data());
   }
 
   /// Solves intra-routine liveness for \p RoutineIndex with the current
@@ -279,19 +333,29 @@ private:
   /// earlier levels; the (possibly grown) value is returned for the level
   /// join, exactly like the PSG solver.
   RegSet solveGroupPhase2(const std::vector<uint32_t> &Members,
-                          RegSet AccumIn) {
+                          RegSet AccumIn, telemetry::GroupCost *Prof) {
     RegSet LocalAccum = AccumIn;
     Worklist List(Members.size());
     List.pushAll();
     uint64_t Pops = 0;
+    std::vector<uint32_t> LocalPops(Prof ? Members.size() : 0, 0);
     while (!List.empty()) {
       if (Gov) {
         BudgetVerdict V = Gov->poll(++Pops);
         if (V != BudgetVerdict::Ok)
           throwBlown(V, "cfg-two-phase.phase2", Members);
       }
-      uint32_t RoutineIndex = Members[List.pop()];
+      uint32_t Local = List.pop();
+      uint32_t RoutineIndex = Members[Local];
       const Routine &R = Prog.Routines[RoutineIndex];
+      if (Prof) {
+        ++Prof->Pops;
+        ++Prof->RoutinePops[RoutineIndex];
+        ++LocalPops[Local];
+        // No inner worklist stats from solveLiveness, so the blocks it
+        // sweeps stand in for the set operations of this solve.
+        Prof->SetOps += R.Blocks.size();
+      }
 
       RegSet ExitLive = ExitSeedOfRoutine[RoutineIndex];
       for (const auto &[Caller, CallIndex] : CallerSites[RoutineIndex])
@@ -306,25 +370,33 @@ private:
         LiveAtEntry[RoutineIndex][EntryIndex] =
             Live.LiveIn[R.EntryBlocks[EntryIndex]];
 
+      uint64_t Delta = 0;
       for (uint32_t CallIndex = 0; CallIndex < R.CallBlocks.size();
            ++CallIndex) {
         const BasicBlock &BlockRef = R.Blocks[R.CallBlocks[CallIndex]];
         RegSet AtReturn = Live.LiveOut[R.CallBlocks[CallIndex]];
         if (ReturnLive[RoutineIndex][CallIndex] == AtReturn)
           continue;
+        if (Prof)
+          Delta += changedBits(ReturnLive[RoutineIndex][CallIndex], AtReturn);
         ReturnLive[RoutineIndex][CallIndex] = AtReturn;
         if (BlockRef.Term == TerminatorKind::Call) {
-          int32_t Local = localOf(Members, BlockRef.CalleeRoutine);
-          if (Local >= 0)
-            List.push(uint32_t(Local));
+          int32_t CalleeLocal = localOf(Members, BlockRef.CalleeRoutine);
+          if (CalleeLocal >= 0)
+            List.push(uint32_t(CalleeLocal));
         } else if (!LocalAccum.containsAll(AtReturn)) {
           LocalAccum |= AtReturn;
-          for (uint32_t Local = 0; Local < Members.size(); ++Local)
-            if (Prog.Routines[Members[Local]].AddressTaken)
-              List.push(Local);
+          for (uint32_t M = 0; M < Members.size(); ++M)
+            if (Prog.Routines[Members[M]].AddressTaken)
+              List.push(M);
         }
       }
+      if (Prof && Delta != 0)
+        Prof->ChangedBits.record(Delta);
     }
+    if (Prof)
+      for (uint32_t Count : LocalPops)
+        Prof->Iters = std::max<uint64_t>(Prof->Iters, Count);
     return LocalAccum;
   }
 
@@ -344,6 +416,11 @@ private:
     }
 
     SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
+    bool Profile = telemetry::profiling();
+    std::vector<telemetry::GroupCost> Profiles(Profile ? Sched.NumGroups : 0);
+    std::vector<uint64_t> RoutinePops(Profile ? Prog.Routines.size() : 0, 0);
+    for (telemetry::GroupCost &P : Profiles)
+      P.RoutinePops = RoutinePops.data();
     RegSet IndirectAccum;
     std::vector<RegSet> GroupAccum(Sched.NumGroups);
     for (const std::vector<uint32_t> &Level : Sched.Levels) {
@@ -351,12 +428,26 @@ private:
         uint32_t Group = Level[I];
         if (Sched.Members[Group].empty())
           return;
+        telemetry::GroupCost *Prof = Profile ? &Profiles[Group] : nullptr;
+        uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
         GroupAccum[Group] =
-            solveGroupPhase2(Sched.Members[Group], IndirectAccum);
+            solveGroupPhase2(Sched.Members[Group], IndirectAccum, Prof);
+        if (Prof)
+          Prof->Ns += telemetry::costClockNs() - T0;
       });
       for (uint32_t Group : Level)
         IndirectAccum |= GroupAccum[Group];
     }
+    if (Profile)
+      telemetry::emitGroupCosts(
+          "interproc.phase2", Profiles,
+          [&](size_t Group) -> const std::vector<uint32_t> & {
+            return Sched.Members[Group];
+          },
+          [&](uint32_t Routine) -> std::string_view {
+            return Prog.Routines[Routine].Name;
+          },
+          RoutinePops.data());
   }
 
   const Program &Prog;

@@ -2,41 +2,14 @@
 
 #include "lint/JsonWriter.h"
 
-#include <cstdio>
+#include "telemetry/Json.h"
 
 using namespace spike;
 
 std::string spike::jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 2);
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buffer[8];
-        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-        Out += Buffer;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
+  // One escaper for the whole project: telemetry::jsonEscape also
+  // handles \b and \f, which this writer's original copy dropped.
+  return telemetry::jsonEscape(S);
 }
 
 std::string spike::writeDiagnosticsJson(const LintResult &Result) {

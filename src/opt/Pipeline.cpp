@@ -383,6 +383,31 @@ PipelineStats spike::optimizeImage(Image &Img, const CallingConv &Conv,
                           FirstBlowPhase});
     for (const PipelineStats::RoundRecord &R : Stats.PerRound)
       telemetry::gaugeHigh("opt.memory.peak_bytes", R.AnalysisPeakBytes);
+    // Round-level hot-spot attribution: one row per round (the SCC slot
+    // carries the round index), plus the convergence histogram of
+    // changes-per-round.  Change counts are deterministic; the measured
+    // round times carry the "_ns" suffix the determinism scrub keys on.
+    {
+      std::string RoundPath = telemetry::active()->currentPath() +
+                              "/opt.round";
+      telemetry::Histogram RoundChanges, RoundNs;
+      for (size_t Round = 0; Round < Stats.PerRound.size(); ++Round) {
+        const PipelineStats::RoundRecord &R = Stats.PerRound[Round];
+        RoundChanges.record(R.Changes);
+        uint64_t Ns = uint64_t(R.Seconds * 1e9 + 0.5);
+        RoundNs.record(Ns);
+        telemetry::HotSpotRecord Row;
+        Row.Phase = RoundPath;
+        if (R.RolledBack)
+          Row.Routine = "(rolled back)";
+        Row.Scc = int64_t(Round);
+        Row.Pops = R.Changes;
+        Row.Ns = Ns;
+        telemetry::hotspot(std::move(Row));
+      }
+      telemetry::recordHistogram("opt.round_changes", RoundChanges);
+      telemetry::recordHistogram("opt.round_ns", RoundNs);
+    }
     // Attribution records reach the session only here, after the loop:
     // a rolled-back round's records were discarded with its stats, so
     // the run report never attributes a transformation that did not

@@ -96,6 +96,20 @@ AnalysisResult spike::analyzeImage(const Image &Img,
   telemetry::gaugeSet("analysis.jobs", Pool.jobs());
   telemetry::count("pool.tasks", Pool.tasksRun());
   telemetry::count("pool.steals", Pool.steals());
+  // Lane utilization: which worker executed (or stole) how much.  The
+  // batch-size histogram is deterministic — one sample per parallel
+  // region, i.e. per SCC schedule level — while the steal counts and the
+  // per-lane split depend on the schedule and are scrubbed alongside the
+  // other "pool.*" values in the determinism tests.
+  if (telemetry::active()) {
+    telemetry::recordHistogram("pool.batch_tasks", Pool.batchTasks());
+    telemetry::recordHistogram("pool.batch_steals", Pool.batchSteals());
+    for (unsigned Lane = 0; Lane < Pool.jobs(); ++Lane) {
+      std::string Prefix = "pool.lane." + std::to_string(Lane);
+      telemetry::gaugeSet(Prefix + ".tasks", Pool.laneExecuted(Lane));
+      telemetry::gaugeSet(Prefix + ".steals", Pool.laneStolen(Lane));
+    }
+  }
   return Result;
 }
 

@@ -8,6 +8,7 @@
 #include "provenance/Provenance.h"
 #include "support/Budget.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Profiling.h"
 #include "telemetry/Telemetry.h"
 
 #include <array>
@@ -52,16 +53,29 @@ struct LaneScratch {
   std::vector<uint32_t> NodeIds; ///< Local index -> global node id.
   uint32_t Epoch = 0;
 
-  void sizeFor(size_t NumNodes) {
+  /// Per-node pop counts of the current group — allocated only when a
+  /// telemetry session is profiling the run (empty = profiling off).
+  std::vector<uint32_t> PopCounts;
+
+  void sizeFor(size_t NumNodes, bool Profile) {
     if (Stamp.size() != NumNodes) {
       Stamp.assign(NumNodes, 0);
       LocalOf.assign(NumNodes, 0);
       Epoch = 0;
     }
+    if (Profile && PopCounts.size() != NumNodes)
+      PopCounts.assign(NumNodes, 0);
   }
 
   bool inGroup(uint32_t NodeId) const { return Stamp[NodeId] == Epoch; }
 };
+
+/// Profiling accumulator of one SCC group, filled inside the group's own
+/// task (race-free: a group is solved by exactly one task per pass) and
+/// merged into the telemetry session serially after the joins, in
+/// group-id order — the same discipline SolverStats already follows, so
+/// everything except the measured Ns is bit-identical at every --jobs.
+using GroupProfile = telemetry::GroupCost;
 
 /// Gives the nodes of the component's member routines dense local ids,
 /// in ascending global order (members are ascending and each routine's
@@ -70,12 +84,35 @@ void mapGroup(const std::vector<uint32_t> &Members,
               const std::vector<uint32_t> &NodeBegin, LaneScratch &S) {
   S.NodeIds.clear();
   ++S.Epoch;
+  bool Profile = !S.PopCounts.empty();
   for (uint32_t R : Members)
     for (uint32_t N = NodeBegin[R], E = NodeBegin[R + 1]; N != E; ++N) {
       S.LocalOf[N] = uint32_t(S.NodeIds.size());
       S.Stamp[N] = S.Epoch;
+      if (Profile)
+        S.PopCounts[N] = 0;
       S.NodeIds.push_back(N);
     }
+}
+
+/// Folds the group-local per-node pop counts into \p Prof at the end of
+/// one pass: total pops already accumulated per pop; Iters is the
+/// deepest per-node count (how many sweeps the slowest equation took).
+void finishPassProfile(const LaneScratch &S, GroupProfile *Prof) {
+  if (!Prof)
+    return;
+  uint32_t MaxPops = 0;
+  for (uint32_t NodeId : S.NodeIds)
+    if (S.PopCounts[NodeId] > MaxPops)
+      MaxPops = S.PopCounts[NodeId];
+  Prof->Iters += MaxPops;
+}
+
+/// Symmetric-difference bit count between an old and new set pair — the
+/// per-pop convergence-trace sample (how many facts this evaluation
+/// actually moved).
+uint64_t changedBits(RegSet OldA, RegSet NewA) {
+  return (NewA - OldA).count() + (OldA - NewA).count();
 }
 
 /// Attributes a fresh growth \p Added of fact \p Fact at \p NodeId to
@@ -201,10 +238,11 @@ void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
                      RegSet AllRegs, RegSet RaOnly,
                      const std::vector<uint32_t> &Members,
                      const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                     SolverStats &Stats, ProvenanceStore *Prov,
-                     const ResourceGovernor *Gov) {
+                     SolverStats &Stats, GroupProfile *Prof,
+                     ProvenanceStore *Prov, const ResourceGovernor *Gov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
+  uint64_t EdgeVisitsBefore = Stats.EdgeVisits;
   Worklist List(NumLocal);
   // Reverse id order so that within a routine the first sweep tends to
   // run sink-to-source.
@@ -218,6 +256,11 @@ void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
     uint32_t NodeId = S.NodeIds[List.pop()];
     PsgNode &Node = Psg.Nodes[NodeId];
     ++Stats.NodeEvaluations;
+    if (Prof) {
+      ++Prof->Pops;
+      ++Prof->RoutinePops[Node.RoutineIndex];
+      ++S.PopCounts[NodeId];
+    }
     if (Gov) {
       BudgetVerdict V = Gov->poll(++Pops);
       if (V != BudgetVerdict::Ok)
@@ -239,6 +282,9 @@ void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
 
     if (NewMustDef == Node.Sets.MustDef && NewMayDef == Node.Sets.MayDef)
       continue;
+    if (Prof)
+      Prof->ChangedBits.record(changedBits(Node.Sets.MustDef, NewMustDef) +
+                               changedBits(Node.Sets.MayDef, NewMayDef));
     if (Prov) {
       RegSet Added = NewMayDef - Node.Sets.MayDef;
       if (!Added.empty())
@@ -283,6 +329,10 @@ void solveGroupPassA(const Program &Prog, ProgramSummaryGraph &Psg,
       if (S.inGroup(CallNode))
         List.push(S.LocalOf[CallNode]);
   }
+
+  if (Prof)
+    Prof->SetOps += Stats.EdgeVisits - EdgeVisitsBefore;
+  finishPassProfile(S, Prof);
 }
 
 /// Solves one component's MAY-USE subsystem (pass B) with all MUST-DEF
@@ -291,10 +341,11 @@ void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
                      const std::vector<RegSet> &SavedPerRoutine, RegSet RaOnly,
                      const std::vector<uint32_t> &Members,
                      const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                     SolverStats &Stats, ProvenanceStore *Prov,
-                     const ResourceGovernor *Gov) {
+                     SolverStats &Stats, GroupProfile *Prof,
+                     ProvenanceStore *Prov, const ResourceGovernor *Gov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
+  uint64_t EdgeVisitsBefore = Stats.EdgeVisits;
   Worklist List(NumLocal);
   for (uint32_t Local = NumLocal; Local-- > 0;)
     if (!isFixedPhase1(Psg.Nodes[S.NodeIds[Local]].Kind))
@@ -306,6 +357,11 @@ void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
     uint32_t NodeId = S.NodeIds[List.pop()];
     PsgNode &Node = Psg.Nodes[NodeId];
     ++Stats.NodeEvaluations;
+    if (Prof) {
+      ++Prof->Pops;
+      ++Prof->RoutinePops[Node.RoutineIndex];
+      ++S.PopCounts[NodeId];
+    }
     if (Gov) {
       BudgetVerdict V = Gov->poll(++Pops);
       if (V != BudgetVerdict::Ok)
@@ -323,6 +379,8 @@ void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
 
     if (NewMayUse == Node.Sets.MayUse)
       continue;
+    if (Prof)
+      Prof->ChangedBits.record(changedBits(Node.Sets.MayUse, NewMayUse));
     if (Prov) {
       RegSet Added = NewMayUse - Node.Sets.MayUse;
       Stats.ProvenanceRecords +=
@@ -356,6 +414,10 @@ void solveGroupPassB(const Program &Prog, ProgramSummaryGraph &Psg,
       if (S.inGroup(CallNode))
         List.push(S.LocalOf[CallNode]);
   }
+
+  if (Prof)
+    Prof->SetOps += Stats.EdgeVisits - EdgeVisitsBefore;
+  finishPassProfile(S, Prof);
 }
 
 /// Solves one component's phase 2 liveness to its fixpoint.  \p AccumIn
@@ -371,10 +433,11 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
                         const std::vector<bool> &IsIndirectReturn,
                         RegSet AccumIn, const std::vector<uint32_t> &Members,
                         const std::vector<uint32_t> &NodeBegin, LaneScratch &S,
-                        SolverStats &Stats, const Phase2Prov &PP,
-                        const ResourceGovernor *Gov) {
+                        SolverStats &Stats, GroupProfile *Prof,
+                        const Phase2Prov &PP, const ResourceGovernor *Gov) {
   mapGroup(Members, NodeBegin, S);
   uint32_t NumLocal = uint32_t(S.NodeIds.size());
+  uint64_t EdgeVisitsBefore = Stats.EdgeVisits;
 
   // Exits of in-group address-taken routines: requeued whenever an
   // in-group indirect return grows the accumulator.
@@ -397,6 +460,11 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
     uint32_t NodeId = S.NodeIds[List.pop()];
     PsgNode &Node = Psg.Nodes[NodeId];
     ++Stats.NodeEvaluations;
+    if (Prof) {
+      ++Prof->Pops;
+      ++Prof->RoutinePops[Node.RoutineIndex];
+      ++S.PopCounts[NodeId];
+    }
     if (Gov) {
       BudgetVerdict V = Gov->poll(++Pops);
       if (V != BudgetVerdict::Ok)
@@ -426,6 +494,8 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
 
     if (NewLive == Node.Live)
       continue;
+    if (Prof)
+      Prof->ChangedBits.record(changedBits(Node.Live, NewLive));
     if (PP.Store) {
       RegSet Remaining = NewLive - Node.Live;
       if (Node.Kind == PsgNodeKind::Exit) {
@@ -511,6 +581,9 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
     }
   }
 
+  if (Prof)
+    Prof->SetOps += Stats.EdgeVisits - EdgeVisitsBefore;
+  finishPassProfile(S, Prof);
   return LocalAccum;
 }
 
@@ -591,10 +664,15 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
   CallGraph Graph = buildCallGraph(Prog);
   SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
   std::vector<uint32_t> NodeBegin = routineNodeBegins(Prog, Psg);
+  bool Profile = telemetry::profiling();
   std::vector<LaneScratch> Scratch(laneCount(Pool));
   for (LaneScratch &S : Scratch)
-    S.sizeFor(Psg.Nodes.size());
+    S.sizeFor(Psg.Nodes.size(), Profile);
   std::vector<SolverStats> GroupStats(Sched.NumGroups);
+  std::vector<GroupProfile> Profiles(Profile ? Sched.NumGroups : 0);
+  std::vector<uint64_t> RoutinePops(Profile ? Prog.Routines.size() : 0, 0);
+  for (GroupProfile &P : Profiles)
+    P.RoutinePops = RoutinePops.data();
 
   auto RunPass = [&](bool MayUsePass) {
     for (const std::vector<uint32_t> &Level : Sched.Levels)
@@ -602,14 +680,18 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
         uint32_t Group = Level[I];
         if (Sched.Members[Group].empty())
           return;
+        GroupProfile *Prof = Profile ? &Profiles[Group] : nullptr;
+        uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
         if (MayUsePass)
           solveGroupPassB(Prog, Psg, SavedPerRoutine, RaOnly,
                           Sched.Members[Group], NodeBegin, Scratch[Lane],
-                          GroupStats[Group], Prov, Gov);
+                          GroupStats[Group], Prof, Prov, Gov);
         else
           solveGroupPassA(Prog, Psg, SavedPerRoutine, AllRegs, RaOnly,
                           Sched.Members[Group], NodeBegin, Scratch[Lane],
-                          GroupStats[Group], Prov, Gov);
+                          GroupStats[Group], Prof, Prov, Gov);
+        if (Prof)
+          Prof->Ns += telemetry::costClockNs() - T0;
       });
   };
 
@@ -637,6 +719,16 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
   }
   telemetry::count("psg.phase1.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase1.edge_visits", Stats.EdgeVisits);
+  if (Profile)
+    telemetry::emitGroupCosts(
+        "psg.phase1", Profiles,
+        [&](size_t Group) -> const std::vector<uint32_t> & {
+          return Sched.Members[Group];
+        },
+        [&](uint32_t Routine) -> std::string_view {
+          return Prog.Routines[Routine].Name;
+        },
+        RoutinePops.data());
   return Stats;
 }
 
@@ -705,10 +797,15 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   CallGraph Graph = buildCallGraph(Prog);
   SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
   std::vector<uint32_t> NodeBegin = routineNodeBegins(Prog, Psg);
+  bool Profile = telemetry::profiling();
   std::vector<LaneScratch> Scratch(laneCount(Pool));
   for (LaneScratch &S : Scratch)
-    S.sizeFor(Psg.Nodes.size());
+    S.sizeFor(Psg.Nodes.size(), Profile);
   std::vector<SolverStats> GroupStats(Sched.NumGroups);
+  std::vector<GroupProfile> Profiles(Profile ? Sched.NumGroups : 0);
+  std::vector<uint64_t> RoutinePops(Profile ? Prog.Routines.size() : 0, 0);
+  for (GroupProfile &P : Profiles)
+    P.RoutinePops = RoutinePops.data();
 
   // Union of the live sets of all indirect-call return nodes; flows into
   // every address-taken routine's exits.  Components read a level-start
@@ -744,10 +841,14 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
         PP.GlobalAccumSrc = GlobalAccumSrc.data();
         PP.LocalAccumSrc = GroupAccumSrc[Group].data();
       }
+      GroupProfile *Prof = Profile ? &Profiles[Group] : nullptr;
+      uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
       GroupAccum[Group] = solveGroupPhase2(
           Prog, Psg, ExitSeed, IsAddressTakenExit, IsIndirectReturn,
           IndirectAccum, Sched.Members[Group], NodeBegin, Scratch[Lane],
-          GroupStats[Group], PP, Gov);
+          GroupStats[Group], Prof, PP, Gov);
+      if (Prof)
+        Prof->Ns += telemetry::costClockNs() - T0;
     });
     for (uint32_t Group : Level) {
       if (Prov)
@@ -764,5 +865,15 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   }
   telemetry::count("psg.phase2.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase2.edge_visits", Stats.EdgeVisits);
+  if (Profile)
+    telemetry::emitGroupCosts(
+        "psg.phase2", Profiles,
+        [&](size_t Group) -> const std::vector<uint32_t> & {
+          return Sched.Members[Group];
+        },
+        [&](uint32_t Routine) -> std::string_view {
+          return Prog.Routines[Routine].Name;
+        },
+        RoutinePops.data());
   return Stats;
 }

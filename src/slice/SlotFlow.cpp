@@ -6,6 +6,7 @@
 #include "cfg/SccSchedule.h"
 #include "isa/StackRef.h"
 #include "support/Budget.h"
+#include "telemetry/Profiling.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -117,12 +118,25 @@ void prepRoutine(const Program &Prog, uint32_t RoutineIndex,
   }
 }
 
+/// Offsets flipped between \p OldSet and \p NewSet, the slot analogue of
+/// the register solvers' changed-bit deltas.  A collapse to (or from)
+/// top counts as the full window width: every representable fact moved.
+uint64_t changedSlotBits(const SlotSet &OldSet, const SlotSet &NewSet) {
+  if (OldSet == NewSet)
+    return 0;
+  if (OldSet.isTop() || NewSet.isTop())
+    return uint64_t(SlotSet::MaxOffset - SlotSet::MinOffset);
+  return (NewSet - OldSet).size() + (OldSet - NewSet).size();
+}
+
 /// Phase 1 transfer: recomputes MayUse/MayDef of one routine from its
 /// own slot ops plus its direct callees' (current) caller-visible facts.
-/// Returns true if either set changed.
+/// Returns true if either set changed; \p Delta, when non-null,
+/// accumulates the flipped-offset count of the change.
 bool computeMayUseDef(const Program &Prog, uint32_t RoutineIndex,
                       const std::vector<RoutinePrep> &Prep,
-                      std::vector<RoutineSlotFacts> &Facts) {
+                      std::vector<RoutineSlotFacts> &Facts,
+                      uint64_t *Delta) {
   const Routine &R = Prog.Routines[RoutineIndex];
   RoutineSlotFacts &F = Facts[RoutineIndex];
   SlotSet Use, Def;
@@ -148,6 +162,8 @@ bool computeMayUseDef(const Program &Prog, uint32_t RoutineIndex,
     }
   }
   bool Changed = !(Use == F.MayUse) || !(Def == F.MayDef);
+  if (Delta && Changed)
+    *Delta += changedSlotBits(F.MayUse, Use) + changedSlotBits(F.MayDef, Def);
   F.MayUse = Use;
   F.MayDef = Def;
   return Changed;
@@ -183,10 +199,12 @@ SlotSet computeLiveAtExit(const Program &Prog, uint32_t RoutineIndex,
 /// Phase 2: solves the intra-routine backward slot liveness of one
 /// routine against its (current) LiveAtExit and its callees' final
 /// phase-1 facts.  Pure in those inputs, so re-running it after the
-/// group fixpoint converges is deterministic.
+/// group fixpoint converges is deterministic.  \p SetOps, when non-null,
+/// accumulates the block evaluations of the round-robin sweeps.
 void solveBlockLiveness(const Program &Prog, uint32_t RoutineIndex,
                         const std::vector<RoutinePrep> &Prep,
-                        std::vector<RoutineSlotFacts> &Facts) {
+                        std::vector<RoutineSlotFacts> &Facts,
+                        uint64_t *SetOps) {
   const Routine &R = Prog.Routines[RoutineIndex];
   RoutineSlotFacts &F = Facts[RoutineIndex];
   size_t NumBlocks = R.Blocks.size();
@@ -206,6 +224,8 @@ void solveBlockLiveness(const Program &Prog, uint32_t RoutineIndex,
     for (uint32_t BlockIndex = uint32_t(NumBlocks); BlockIndex-- > 0;) {
       if (F.DeltaIn[BlockIndex] == UnknownDelta)
         continue;
+      if (SetOps)
+        ++*SetOps;
       const BasicBlock &Block = R.Blocks[BlockIndex];
       SlotSet Out;
       if (Block.Term == TerminatorKind::Return)
@@ -329,13 +349,21 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
       F.BlockLiveOut.assign(F.DeltaIn.size(), SlotSet::top());
     }
   } else {
+    bool Profile = telemetry::profiling();
     {
       telemetry::Span Phase1Span("slice.phase1");
       SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
       std::vector<uint64_t> GroupIters(Sched.NumGroups, 0);
+      std::vector<telemetry::GroupCost> Profiles(Profile ? Sched.NumGroups
+                                                         : 0);
+      std::vector<uint64_t> RoutinePops(Profile ? NumRoutines : 0, 0);
+      for (telemetry::GroupCost &P : Profiles)
+        P.RoutinePops = RoutinePops.data();
       for (const std::vector<uint32_t> &Level : Sched.Levels)
         forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
           uint32_t Group = Level[I];
+          telemetry::GroupCost *Prof = Profile ? &Profiles[Group] : nullptr;
+          uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
           bool Changed = true;
           while (Changed) {
             Changed = false;
@@ -346,20 +374,53 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
                 throwSlotBlown(V, "slice.phase1", Prog,
                                Sched.Members[Group]);
             }
-            for (uint32_t R : Sched.Members[Group])
-              Changed |= computeMayUseDef(Prog, R, Prep, Result.Routines);
+            for (uint32_t R : Sched.Members[Group]) {
+              uint64_t Delta = 0;
+              if (Prof) {
+                ++Prof->Pops;
+                ++Prof->RoutinePops[R];
+                Prof->SetOps += Prog.Routines[R].Blocks.size();
+              }
+              bool RChanged = computeMayUseDef(Prog, R, Prep,
+                                               Result.Routines,
+                                               Prof ? &Delta : nullptr);
+              Changed |= RChanged;
+              if (Prof && RChanged)
+                Prof->ChangedBits.record(Delta);
+            }
+          }
+          if (Prof) {
+            Prof->Iters = GroupIters[Group];
+            Prof->Ns += telemetry::costClockNs() - T0;
           }
         });
       for (uint64_t Iters : GroupIters) // Serial: after the joins.
         Phase1Iters += Iters;
+      if (Profile)
+        telemetry::emitGroupCosts(
+            "slice.phase1", Profiles,
+            [&](size_t Group) -> const std::vector<uint32_t> & {
+              return Sched.Members[Group];
+            },
+            [&](uint32_t Routine) -> std::string_view {
+              return Prog.Routines[Routine].Name;
+            },
+            RoutinePops.data());
     }
     {
       telemetry::Span Phase2Span("slice.phase2");
       SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
       std::vector<uint64_t> GroupIters(Sched.NumGroups, 0);
+      std::vector<telemetry::GroupCost> Profiles(Profile ? Sched.NumGroups
+                                                         : 0);
+      std::vector<uint64_t> RoutinePops(Profile ? NumRoutines : 0, 0);
+      for (telemetry::GroupCost &P : Profiles)
+        P.RoutinePops = RoutinePops.data();
       for (const std::vector<uint32_t> &Level : Sched.Levels)
         forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
           uint32_t Group = Level[I];
+          telemetry::GroupCost *Prof = Profile ? &Profiles[Group] : nullptr;
+          uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
           bool Changed = true;
           while (Changed) {
             Changed = false;
@@ -371,21 +432,43 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
                                Sched.Members[Group]);
             }
             for (uint32_t R : Sched.Members[Group]) {
+              if (Prof) {
+                ++Prof->Pops;
+                ++Prof->RoutinePops[R];
+              }
               SlotSet Exit =
                   computeLiveAtExit(Prog, R, Graph, Result.Routines);
               if (!(Exit == Result.Routines[R].LiveAtExit)) {
+                if (Prof)
+                  Prof->ChangedBits.record(
+                      changedSlotBits(Result.Routines[R].LiveAtExit, Exit));
                 Result.Routines[R].LiveAtExit = Exit;
                 Changed = true;
               }
               // Block liveness is a pure function of LiveAtExit and the
               // callees' final phase-1 facts; recompute each sweep so
               // in-group callers read current values.
-              solveBlockLiveness(Prog, R, Prep, Result.Routines);
+              solveBlockLiveness(Prog, R, Prep, Result.Routines,
+                                 Prof ? &Prof->SetOps : nullptr);
             }
+          }
+          if (Prof) {
+            Prof->Iters = GroupIters[Group];
+            Prof->Ns += telemetry::costClockNs() - T0;
           }
         });
       for (uint64_t Iters : GroupIters)
         Phase2Iters += Iters;
+      if (Profile)
+        telemetry::emitGroupCosts(
+            "slice.phase2", Profiles,
+            [&](size_t Group) -> const std::vector<uint32_t> & {
+              return Sched.Members[Group];
+            },
+            [&](uint32_t Routine) -> std::string_view {
+              return Prog.Routines[Routine].Name;
+            },
+            RoutinePops.data());
     }
   }
 

@@ -42,6 +42,9 @@ void ThreadPool::parallelFor(size_t Count, const Body &Fn) {
   // lowest-index exception is rethrown after the batch, so a throwing
   // task has the same sibling-visible effects at every job count.
   if (Lanes.size() == 1 || Count == 1) {
+    BatchTasks.record(Count);
+    BatchSteals.record(0);
+    Lanes[0]->Executed += Count;
     std::exception_ptr FirstE;
     for (size_t Index = 0; Index < Count; ++Index) {
       try {
@@ -56,6 +59,8 @@ void ThreadPool::parallelFor(size_t Count, const Body &Fn) {
       std::rethrow_exception(FirstE);
     return;
   }
+
+  uint64_t StealsBefore = Steals.load(std::memory_order_relaxed);
 
   // Distribute contiguous chunks so lane-local LIFO draining walks the
   // index space in order.
@@ -89,6 +94,9 @@ void ThreadPool::parallelFor(size_t Count, const Body &Fn) {
              ActiveWorkers == 0;
     });
     Batch = nullptr;
+    BatchTasks.record(Count);
+    BatchSteals.record(Steals.load(std::memory_order_relaxed) -
+                       StealsBefore);
     if (FirstError) {
       std::exception_ptr E = FirstError;
       FirstError = nullptr;
@@ -152,11 +160,16 @@ void ThreadPool::runLane(unsigned LaneId) {
           Victim.Q.pop_front();
           Got = true;
           Steals.fetch_add(1, std::memory_order_relaxed);
+          // Charged to the thief: "work lane 3 executed that it did
+          // not start with" is the utilization signal.
+          ++Lanes[LaneId]->Stolen;
         }
       }
     }
     if (!Got)
       return; // Every deque is empty; stragglers finish on their lanes.
+
+    ++Lanes[LaneId]->Executed;
 
     try {
       faultinject::taskPoint();

@@ -34,6 +34,7 @@
 #define SPIKE_SUPPORT_THREADPOOL_H
 
 #include "support/FaultInjection.h"
+#include "telemetry/Histogram.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -83,6 +84,28 @@ public:
   /// jobs() == 1); telemetry only, never compared across runs.
   uint64_t steals() const { return Steals.load(std::memory_order_relaxed); }
 
+  /// Indices executed by lane \p LaneId across all batches.  Written only
+  /// by the lane's own thread during a batch; the deterministic join
+  /// orders those writes before any read here.  The per-lane split is
+  /// schedule-dependent (stealing moves work between lanes) even though
+  /// the sum equals tasksRun().
+  uint64_t laneExecuted(unsigned LaneId) const {
+    return Lanes[LaneId]->Executed;
+  }
+
+  /// Steals performed by lane \p LaneId (i.e. indices it executed that
+  /// started on another lane's deque).  Schedule-dependent.
+  uint64_t laneStolen(unsigned LaneId) const { return Lanes[LaneId]->Stolen; }
+
+  /// Batch sizes (indices per parallelFor call).  Each SCC schedule
+  /// level is one batch, so this is the per-level width distribution.
+  /// Deterministic: identical at every job count.
+  const telemetry::Histogram &batchTasks() const { return BatchTasks; }
+
+  /// Steals per batch — the per-schedule-level imbalance signal.
+  /// Schedule-dependent.
+  const telemetry::Histogram &batchSteals() const { return BatchSteals; }
+
   /// The default job count for tools: the hardware concurrency, clamped
   /// to at least 1.
   static unsigned defaultJobs();
@@ -95,6 +118,11 @@ private:
   struct Lane {
     std::mutex M;
     std::deque<size_t> Q;
+
+    /// Indices this lane executed / stole.  Single-writer (the lane's
+    /// executing thread); readers rely on the join's synchronization.
+    uint64_t Executed = 0;
+    uint64_t Stolen = 0;
   };
 
   void workerMain(unsigned LaneId);
@@ -119,6 +147,11 @@ private:
 
   uint64_t Tasks = 0; ///< Written only by the calling thread.
   std::atomic<uint64_t> Steals{0};
+
+  /// Per-batch accounting, updated by the calling thread after each
+  /// join (BatchTasks deterministic, BatchSteals schedule-dependent).
+  telemetry::Histogram BatchTasks;
+  telemetry::Histogram BatchSteals;
 };
 
 /// Runs \p Fn over [0, Count) on \p Pool, or as a plain inline loop when

@@ -1,0 +1,143 @@
+//===- telemetry/Histogram.h - Log2-bucketed value histogram --*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, log2-bucketed histogram of uint64 samples — the metric
+/// type behind the profiling layer's per-routine solve times, worklist
+/// pops per SCC group, and convergence traces.
+///
+/// Design constraints, in order:
+///
+///   - **No allocation, ever.**  The bucket array is a std::array, so a
+///     Histogram can live in solver scratch structures that run under
+///     the disabled-telemetry no-allocation guarantee, and inside
+///     support-layer types (ThreadPool) that do not link the telemetry
+///     library.
+///
+///   - **Deterministic.**  Bucketing is a pure function of the sample
+///     value; merge() is elementwise addition, so merging per-group
+///     histograms in group-id order after parallel joins yields
+///     bit-identical buckets at every --jobs (the same contract
+///     SolverStats already obeys).
+///
+///   - **Fixed size.**  Bucket 0 holds the value 0; bucket i (1..63)
+///     holds values in [2^(i-1), 2^i); the top bucket absorbs the
+///     overflow.  64 buckets cover the full uint64 range, so there is no
+///     configuration to disagree about between writer and reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TELEMETRY_HISTOGRAM_H
+#define SPIKE_TELEMETRY_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+
+namespace spike {
+namespace telemetry {
+
+/// Fixed-size log2 histogram of uint64 samples.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  /// The bucket a sample lands in: 0 for the value 0, otherwise
+  /// floor(log2(Value)) + 1, clamped to the top bucket.
+  static constexpr unsigned bucketFor(uint64_t Value) {
+    if (Value == 0)
+      return 0;
+    unsigned Bucket = 64 - unsigned(__builtin_clzll(Value));
+    return Bucket < NumBuckets ? Bucket : NumBuckets - 1;
+  }
+
+  /// Inclusive lower bound of \p Bucket (0, 1, 2, 4, 8, ...).
+  static constexpr uint64_t bucketLo(unsigned Bucket) {
+    return Bucket == 0 ? 0 : uint64_t(1) << (Bucket - 1);
+  }
+
+  /// Inclusive upper bound of \p Bucket (0, 1, 3, 7, 15, ...).
+  static constexpr uint64_t bucketHi(unsigned Bucket) {
+    if (Bucket == 0)
+      return 0;
+    if (Bucket >= NumBuckets - 1)
+      return ~uint64_t(0);
+    return (uint64_t(1) << Bucket) - 1;
+  }
+
+  /// Adds one sample.
+  void record(uint64_t Value) {
+    ++BucketCounts[bucketFor(Value)];
+    ++Samples;
+    Total += Value;
+    if (Value < MinV)
+      MinV = Value;
+    if (Value > MaxV)
+      MaxV = Value;
+  }
+
+  /// Elementwise addition of \p Other into this histogram.
+  void merge(const Histogram &Other) {
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      BucketCounts[I] += Other.BucketCounts[I];
+    Samples += Other.Samples;
+    Total += Other.Total;
+    if (Other.MinV < MinV)
+      MinV = Other.MinV;
+    if (Other.MaxV > MaxV)
+      MaxV = Other.MaxV;
+  }
+
+  bool empty() const { return Samples == 0; }
+  uint64_t count() const { return Samples; }
+  uint64_t sum() const { return Total; }
+  uint64_t min() const { return Samples == 0 ? 0 : MinV; }
+  uint64_t max() const { return MaxV; }
+  uint64_t bucket(unsigned I) const { return BucketCounts[I]; }
+
+  /// Mean sample value, rounded down; 0 when empty.
+  uint64_t mean() const { return Samples == 0 ? 0 : Total / Samples; }
+
+  /// Upper bound of the bucket holding the \p P-th percentile sample
+  /// (P in [0, 100]); 0 when empty.  Bucket-granular by construction:
+  /// good to a factor of two, which is what a log2 histogram promises.
+  uint64_t percentile(double P) const {
+    if (Samples == 0)
+      return 0;
+    if (P < 0)
+      P = 0;
+    if (P > 100)
+      P = 100;
+    // The rank of the percentile sample, 1-based (nearest-rank method).
+    uint64_t Rank = uint64_t(P / 100.0 * double(Samples - 1)) + 1;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      Seen += BucketCounts[I];
+      if (Seen >= Rank) {
+        uint64_t Hi = bucketHi(I);
+        return Hi < MaxV ? Hi : MaxV;
+      }
+    }
+    return MaxV;
+  }
+
+  bool operator==(const Histogram &Other) const {
+    return Samples == Other.Samples && Total == Other.Total &&
+           min() == Other.min() && MaxV == Other.MaxV &&
+           BucketCounts == Other.BucketCounts;
+  }
+
+private:
+  std::array<uint64_t, NumBuckets> BucketCounts{};
+  uint64_t Samples = 0;
+  uint64_t Total = 0;
+  uint64_t MinV = ~uint64_t(0);
+  uint64_t MaxV = 0;
+};
+
+} // namespace telemetry
+} // namespace spike
+
+#endif // SPIKE_TELEMETRY_HISTOGRAM_H

@@ -88,6 +88,19 @@ std::optional<JsonValue> parseJson(std::string_view Text,
 std::optional<JsonValue> parseJsonFile(const std::string &Path,
                                        std::string *Error = nullptr);
 
+/// Escapes \p S for a JSON string literal (the contents, not the
+/// surrounding quotes).  The single authoritative escaper for every JSON
+/// writer in the project: quotes, backslashes, and all control
+/// characters (including \b and \f, which ad-hoc escapers tend to drop)
+/// round-trip through parseJson() exactly.  Bytes >= 0x80 pass through
+/// as UTF-8.
+std::string jsonEscape(std::string_view S);
+
+/// jsonEscape() wrapped in double quotes — a complete JSON string token.
+inline std::string jsonQuote(std::string_view S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
 } // namespace telemetry
 } // namespace spike
 

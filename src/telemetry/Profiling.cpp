@@ -1,0 +1,76 @@
+//===- telemetry/Profiling.cpp - Solver cost attribution -------------------===//
+
+#include "telemetry/Profiling.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <string>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+void spike::telemetry::emitGroupCosts(
+    std::string_view Prefix, const std::vector<GroupCost> &Costs,
+    const std::function<const std::vector<uint32_t> &(size_t Group)>
+        &MembersOf,
+    const std::function<std::string_view(uint32_t Routine)> &NameOf,
+    const uint64_t *RoutinePops) {
+  Session *S = active();
+  if (!S)
+    return;
+
+  std::string P(Prefix);
+  std::string Path = S->currentPath();
+  Histogram GroupPops, GroupIters, GroupSetOps, GroupNs, RoutineNs;
+  Histogram ChangedBits;
+
+  for (size_t Group = 0; Group < Costs.size(); ++Group) {
+    const std::vector<uint32_t> &Members = MembersOf(Group);
+    if (Members.empty())
+      continue;
+    const GroupCost &Cost = Costs[Group];
+
+    GroupPops.record(Cost.Pops);
+    GroupIters.record(Cost.Iters);
+    GroupSetOps.record(Cost.SetOps);
+    GroupNs.record(Cost.Ns);
+    ChangedBits.merge(Cost.ChangedBits);
+
+    HotSpotRecord Row;
+    Row.Phase = Path;
+    Row.Scc = int64_t(Group);
+    Row.Pops = Cost.Pops;
+    Row.Iters = Cost.Iters;
+    Row.SetOps = Cost.SetOps;
+    Row.Ns = Cost.Ns;
+    S->addHotSpot(std::move(Row));
+
+    if (!RoutinePops)
+      continue;
+    for (uint32_t Routine : Members) {
+      uint64_t Pops = RoutinePops[Routine];
+      // Pro-rata time split: pops are the one per-routine signal the
+      // group worklist exposes, and they track evaluation cost well
+      // enough to aim a refactor with.  Integer division, so routine
+      // rows sum to their group's Ns within rounding.
+      uint64_t Ns = Cost.Pops == 0 ? 0 : Cost.Ns * Pops / Cost.Pops;
+      RoutineNs.record(Ns);
+
+      HotSpotRecord RRow;
+      RRow.Phase = Path;
+      RRow.Routine = std::string(NameOf(Routine));
+      RRow.Scc = int64_t(Group);
+      RRow.Pops = Pops;
+      RRow.Ns = Ns;
+      S->addHotSpot(std::move(RRow));
+    }
+  }
+
+  S->mergeHistogram(P + ".group_pops", GroupPops);
+  S->mergeHistogram(P + ".group_iters", GroupIters);
+  S->mergeHistogram(P + ".group_set_ops", GroupSetOps);
+  S->mergeHistogram(P + ".changed_bits", ChangedBits);
+  S->mergeHistogram(P + ".group_ns", GroupNs);
+  if (RoutinePops)
+    S->mergeHistogram(P + ".routine_ns", RoutineNs);
+}

@@ -1,0 +1,83 @@
+//===- telemetry/Profiling.h - Solver cost attribution --------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-SCC-group cost accumulator every solver layer fills inside
+/// its parallel tasks, and the one merge routine that turns a vector of
+/// them into session histograms and hot-spot rows.
+///
+/// The discipline mirrors SolverStats: a GroupCost is written by exactly
+/// one task (the group's own solve), never touches the telemetry session
+/// from inside a task, and is merged serially after the joins in
+/// group-id order — so every emitted value except the measured wall
+/// times is bit-identical at every --jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TELEMETRY_PROFILING_H
+#define SPIKE_TELEMETRY_PROFILING_H
+
+#include "telemetry/Histogram.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace spike {
+namespace telemetry {
+
+/// Profiling accumulator of one SCC group (or one routine-granular work
+/// item), filled inside the group's own task.
+struct GroupCost {
+  uint64_t Pops = 0;   ///< Worklist pops across the group's passes.
+  uint64_t Iters = 0;  ///< Fixpoint sweeps (max pops of any single node).
+  uint64_t SetOps = 0; ///< RegSet/SlotSet operations (edge visits).
+  uint64_t Ns = 0;     ///< Wall time inside the group's solves.
+  Histogram ChangedBits; ///< Set-growth bits per changing pop.
+
+  /// Shared routine-indexed pop array, disjointly written because the
+  /// condensation partitions routines across groups.  Null when the
+  /// caller attributes at group granularity only.
+  uint64_t *RoutinePops = nullptr;
+};
+
+/// A steady-clock stamp for GroupCost::Ns accounting; callers take one
+/// before and one after a group solve, gated on telemetry::profiling().
+inline uint64_t costClockNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Merges per-group costs into the active session (no-op when none):
+/// under the innermost open span's path P and name prefix \p Prefix,
+/// emits
+///
+///   - histograms "<Prefix>.group_pops", ".group_iters",
+///     ".group_set_ops" (one sample per nonempty group — deterministic),
+///     ".changed_bits" (the convergence trace — deterministic),
+///     ".group_ns" and ".routine_ns" (schedule-dependent, hence the
+///     "_ns" suffix the determinism scrubbers key on);
+///   - one group-level HotSpotRecord per nonempty group (Phase = P);
+///   - when \p RoutinePops is non-null, one routine-level HotSpotRecord
+///     per member routine, its Ns the group's Ns split pro-rata by pops
+///     (so routine rows sum to their group within integer rounding).
+///
+/// \p MembersOf yields a group's member routine indices; \p NameOf a
+/// routine's name.  Both are only called here, serially.
+void emitGroupCosts(
+    std::string_view Prefix, const std::vector<GroupCost> &Costs,
+    const std::function<const std::vector<uint32_t> &(size_t Group)>
+        &MembersOf,
+    const std::function<std::string_view(uint32_t Routine)> &NameOf,
+    const uint64_t *RoutinePops);
+
+} // namespace telemetry
+} // namespace spike
+
+#endif // SPIKE_TELEMETRY_PROFILING_H

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace spike;
 using namespace spike::telemetry;
@@ -73,6 +74,49 @@ std::optional<RunReport> fromJson(const JsonValue &Doc, std::string *Error) {
     }
   }
 
+  // Optional, additive: absent in reports written before the profiling
+  // layer existed.
+  if (const JsonValue *Histograms = Doc.findObject("histograms")) {
+    for (const auto &[Name, Value] : Histograms->Members) {
+      if (!Value.isObject())
+        return failParse(Error, "histogram entry is not an object");
+      RunReport::HistogramData H;
+      H.Count = uint64_t(Value.numberOr("count", 0));
+      H.Sum = uint64_t(Value.numberOr("sum", 0));
+      H.Min = uint64_t(Value.numberOr("min", 0));
+      H.Max = uint64_t(Value.numberOr("max", 0));
+      if (const JsonValue *Buckets = Value.findObject("buckets"))
+        for (const auto &[Index, N] : Buckets->Members) {
+          char *End = nullptr;
+          unsigned long Bucket = std::strtoul(Index.c_str(), &End, 10);
+          if (End != Index.c_str() + Index.size() ||
+              Bucket >= Histogram::NumBuckets || !N.isNumber())
+            return failParse(Error, "malformed histogram bucket");
+          H.Buckets[unsigned(Bucket)] = uint64_t(N.Num);
+        }
+      Report.Histograms.emplace(Name, std::move(H));
+    }
+  }
+
+  // Optional, additive, same vintage as "histograms".
+  if (const JsonValue *HotSpots = Doc.findArray("hotspots")) {
+    for (const JsonValue &Item : HotSpots->Items) {
+      if (!Item.isObject())
+        return failParse(Error, "hotspot entry is not an object");
+      RunReport::HotSpot H;
+      H.Phase = Item.stringOr("phase", "");
+      if (H.Phase.empty())
+        return failParse(Error, "hotspot entry without a phase");
+      H.Routine = Item.stringOr("routine", "");
+      H.Scc = int64_t(Item.numberOr("scc", -1));
+      H.Pops = uint64_t(Item.numberOr("pops", 0));
+      H.Iters = uint64_t(Item.numberOr("iters", 0));
+      H.SetOps = uint64_t(Item.numberOr("set_ops", 0));
+      H.Ns = uint64_t(Item.numberOr("ns", 0));
+      Report.Hotspots.push_back(std::move(H));
+    }
+  }
+
   // Optional, additive: absent unless the resource governor degraded
   // something.
   if (const JsonValue *Degraded = Doc.findArray("degraded")) {
@@ -103,8 +147,30 @@ const char *kindName(DiffRow::Kind K) {
     return "transform";
   case DiffRow::Kind::Degrade:
     return "degrade";
+  case DiffRow::Kind::Histogram:
+    return "histogram";
   }
   return "<unknown>";
+}
+
+/// True for histogram names that hold nanosecond samples — the naming
+/// convention DESIGN.md fixes: schedule-dependent time histograms end
+/// in "_ns" (or ".ns") and are diffed with phase-time semantics.
+bool isTimeHistogram(const std::string &Name) {
+  auto EndsWith = [&](const char *Suffix, size_t Len) {
+    return Name.size() >= Len &&
+           Name.compare(Name.size() - Len, Len, Suffix) == 0;
+  };
+  return EndsWith("_ns", 3) || EndsWith(".ns", 3);
+}
+
+/// True for registry entries the determinism contract documents as
+/// schedule-dependent: steal accounting and per-lane utilization.  Two
+/// runs at the same --jobs legitimately disagree about who stole what,
+/// so these render in the diff but never count as regressions.
+bool isScheduleDependent(const std::string &Name) {
+  return Name == "pool.steals" || Name == "pool.batch_steals" ||
+         Name.rfind("pool.lane.", 0) == 0;
 }
 
 /// Diffs one name->value registry into \p Diff.
@@ -130,7 +196,9 @@ void diffRegistry(const std::map<std::string, uint64_t> &Baseline,
     // Degradation counters regress on ANY growth, zero baseline
     // included: a run silently losing precision to its budget is the
     // regression these counters exist to catch.
-    if (K == DiffRow::Kind::Counter && Name.rfind("degrade.", 0) == 0)
+    if (isScheduleDependent(Name))
+      Row.Regression = false;
+    else if (K == DiffRow::Kind::Counter && Name.rfind("degrade.", 0) == 0)
       Row.Regression = Cur > Base;
     else
       Row.Regression = Base != 0 && double(Cur) > double(Base) *
@@ -220,6 +288,75 @@ ReportDiff spike::telemetry::diffReports(const RunReport &Baseline,
                                                          Opts.MaxCounterGrowth);
       Diff.Regressions += Row.Regression;
       Diff.Rows.push_back(std::move(Row));
+    }
+  }
+
+  // Histograms: percentile-aware.  A shifted distribution can hide a
+  // regression from aggregate counters (same pop count, much fatter
+  // tail), so p50 and p90 are compared directly at bucket granularity.
+  {
+    std::map<std::string, std::pair<const RunReport::HistogramData *,
+                                    const RunReport::HistogramData *>>
+        Merged;
+    for (const auto &[Name, H] : Baseline.Histograms)
+      Merged[Name].first = &H;
+    for (const auto &[Name, H] : Current.Histograms)
+      Merged[Name].second = &H;
+    const RunReport::HistogramData Empty;
+    for (const auto &[Name, Sides] : Merged) {
+      const RunReport::HistogramData &Base =
+          Sides.first ? *Sides.first : Empty;
+      const RunReport::HistogramData &Cur =
+          Sides.second ? *Sides.second : Empty;
+      bool Timed = isTimeHistogram(Name);
+      // The phase floor expressed in this histogram's unit: sub-floor
+      // time percentiles are noise exactly like sub-floor phases.
+      double Floor = Timed ? Opts.TimeFloorSeconds * 1e9 : 0;
+      double Growth = Timed ? Opts.MaxTimeGrowth : Opts.MaxCounterGrowth;
+
+      // The mean is exact (sum / count), so it carries the standard
+      // threshold semantics unmodified.
+      {
+        DiffRow Row;
+        Row.K = DiffRow::Kind::Histogram;
+        Row.Name = Name + ".mean";
+        Row.Baseline =
+            Base.Count == 0 ? 0 : double(Base.Sum) / double(Base.Count);
+        Row.Current =
+            Cur.Count == 0 ? 0 : double(Cur.Sum) / double(Cur.Count);
+        Row.Ratio = Row.Baseline == 0
+                        ? (Row.Current == 0 ? 1.0 : Row.Current)
+                        : Row.Current / Row.Baseline;
+        Row.Regression = !isScheduleDependent(Name) &&
+                         Row.Baseline > Floor && Row.Current > Floor &&
+                         Row.Baseline > 0 &&
+                         Row.Current > Row.Baseline * (1 + Growth);
+        Diff.Regressions += Row.Regression;
+        Diff.Rows.push_back(std::move(Row));
+      }
+
+      // Percentiles are quantized to log2 bucket bounds, so one bucket
+      // step doubles the value without any real shift; a percentile
+      // regresses only past the threshold AND more than one bucket
+      // step, which catches tail blowups the mean can hide without
+      // flagging quantization noise.
+      for (double P : {50.0, 90.0}) {
+        DiffRow Row;
+        Row.K = DiffRow::Kind::Histogram;
+        Row.Name = Name + (P == 50.0 ? ".p50" : ".p90");
+        Row.Baseline = double(Base.percentile(P));
+        Row.Current = double(Cur.percentile(P));
+        Row.Ratio = Row.Baseline == 0
+                        ? (Row.Current == 0 ? 1.0 : Row.Current)
+                        : Row.Current / Row.Baseline;
+        Row.Regression = !isScheduleDependent(Name) &&
+                         Row.Baseline > Floor && Row.Current > Floor &&
+                         Row.Baseline > 0 &&
+                         Row.Current > Row.Baseline * (1 + Growth) &&
+                         Row.Current > Row.Baseline * 2.5;
+        Diff.Regressions += Row.Regression;
+        Diff.Rows.push_back(std::move(Row));
+      }
     }
   }
 

@@ -49,6 +49,8 @@
 #ifndef SPIKE_TELEMETRY_RUNREPORT_H
 #define SPIKE_TELEMETRY_RUNREPORT_H
 
+#include "telemetry/Histogram.h"
+
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -72,6 +74,53 @@ struct RunReport {
 
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, uint64_t> Gauges;
+
+  /// One parsed histogram: the summary moments plus the sparse log2
+  /// bucket counts (bucket index -> count; see telemetry::Histogram for
+  /// the bucketing function).  Additive member: empty for reports
+  /// written before the profiling layer existed.
+  struct HistogramData {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0;
+    uint64_t Max = 0;
+    std::map<unsigned, uint64_t> Buckets;
+
+    /// Nearest-rank percentile at bucket granularity, mirroring
+    /// Histogram::percentile(); 0 when empty.
+    uint64_t percentile(double P) const {
+      if (Count == 0)
+        return 0;
+      if (P < 0)
+        P = 0;
+      if (P > 100)
+        P = 100;
+      uint64_t Rank = uint64_t(P / 100.0 * double(Count - 1)) + 1;
+      uint64_t Seen = 0;
+      for (const auto &[Bucket, N] : Buckets) {
+        Seen += N;
+        if (Seen >= Rank) {
+          uint64_t Hi = Histogram::bucketHi(Bucket);
+          return Hi < Max ? Hi : Max;
+        }
+      }
+      return Max;
+    }
+  };
+  std::map<std::string, HistogramData> Histograms;
+
+  /// One hot-spot attribution row (see telemetry::HotSpotRecord).
+  /// Additive member, like Histograms.
+  struct HotSpot {
+    std::string Phase;
+    std::string Routine;
+    int64_t Scc = -1;
+    uint64_t Pops = 0;
+    uint64_t Iters = 0;
+    uint64_t SetOps = 0;
+    uint64_t Ns = 0;
+  };
+  std::vector<HotSpot> Hotspots;
 
   /// One optimizer decision with its justification (see
   /// telemetry::TransformRecord).  Empty unless the report was written
@@ -146,7 +195,7 @@ struct DiffOptions {
 
 /// One compared quantity.
 struct DiffRow {
-  enum class Kind { Counter, Gauge, Phase, Transform, Degrade };
+  enum class Kind { Counter, Gauge, Phase, Transform, Degrade, Histogram };
   Kind K = Kind::Counter;
   std::string Name;
   double Baseline = 0;
@@ -182,6 +231,21 @@ struct ReportDiff {
 /// the per-reason Degradations counts regress on ANY growth, zero
 /// baseline included — a run that silently starts losing precision to
 /// its budget is exactly the regression these records exist to catch.
+///
+/// Histograms diff percentile-aware: each histogram present on either
+/// side contributes "<name>.mean", "<name>.p50", and "<name>.p90" rows.
+/// Time-valued histograms (names ending "_ns" or ".ns") use the
+/// MaxTimeGrowth threshold above a TimeFloorSeconds-equivalent floor;
+/// count-valued histograms use MaxCounterGrowth, zero baselines never
+/// regressing — the same semantics as phases and counters respectively.
+/// The mean is exact and carries the thresholds unmodified; p50/p90 are
+/// quantized to log2 bucket bounds and additionally require more than
+/// one bucket step to regress.
+///
+/// Schedule-dependent quantities — steal accounting ("pool.steals",
+/// "pool.batch_steals") and per-lane utilization ("pool.lane.*") — are
+/// rendered for inspection but never count as regressions: two runs at
+/// the same --jobs legitimately disagree about who stole what.
 ReportDiff diffReports(const RunReport &Baseline, const RunReport &Current,
                        const DiffOptions &Opts = {});
 

@@ -2,6 +2,8 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "telemetry/Json.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -90,39 +92,9 @@ SessionScope::~SessionScope() { ActiveSession = Previous; }
 
 namespace {
 
-/// Escapes \p S for a JSON string literal.
-std::string escape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buffer[8];
-        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-        Out += Buffer;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
+/// All JSON writers share the parser's escaper so routine names with
+/// quotes, backslashes, or control characters round-trip exactly.
+std::string escape(const std::string &S) { return jsonEscape(S); }
 
 std::string formatDouble(double Value) {
   char Buffer[64];
@@ -190,6 +162,54 @@ std::string spike::telemetry::runReportJson(const Session &S) {
   Out += ",\n  \"gauges\": {";
   RenderRegistry(S.gauges());
 
+  // Histograms are additive (still version 1): the member is omitted
+  // when nothing recorded one, and pre-profiling readers ignore it.
+  // Buckets render sparsely, keyed by bucket index.
+  if (!S.histograms().empty()) {
+    Out += ",\n  \"histograms\": {";
+    bool FirstH = true;
+    for (const auto &[Name, H] : S.histograms()) {
+      Out += FirstH ? "\n" : ",\n";
+      FirstH = false;
+      Out += "    \"" + escape(Name) + "\": {\"count\": " +
+             std::to_string(H.count()) + ", \"sum\": " +
+             std::to_string(H.sum()) + ", \"min\": " +
+             std::to_string(H.min()) + ", \"max\": " +
+             std::to_string(H.max()) + ", \"buckets\": {";
+      bool FirstB = true;
+      for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+        if (H.bucket(I) == 0)
+          continue;
+        if (!FirstB)
+          Out += ", ";
+        FirstB = false;
+        Out += "\"" + std::to_string(I) + "\": " + std::to_string(H.bucket(I));
+      }
+      Out += "}}";
+    }
+    Out += "\n  }";
+  }
+
+  // Hot-spot attribution rows are additive the same way.
+  if (!S.hotspots().empty()) {
+    Out += ",\n  \"hotspots\": [";
+    const std::vector<HotSpotRecord> &Records = S.hotspots();
+    for (size_t I = 0; I < Records.size(); ++I) {
+      const HotSpotRecord &R = Records[I];
+      Out += I == 0 ? "\n" : ",\n";
+      Out += "    {\"phase\": \"" + escape(R.Phase) + "\"";
+      if (!R.Routine.empty())
+        Out += ", \"routine\": \"" + escape(R.Routine) + "\"";
+      if (R.Scc >= 0)
+        Out += ", \"scc\": " + std::to_string(R.Scc);
+      Out += ", \"pops\": " + std::to_string(R.Pops) +
+             ", \"iters\": " + std::to_string(R.Iters) +
+             ", \"set_ops\": " + std::to_string(R.SetOps) +
+             ", \"ns\": " + std::to_string(R.Ns) + "}";
+    }
+    Out += "\n  ]";
+  }
+
   // Attribution records are additive: readers of version 1 that predate
   // them simply ignore the member, and it is omitted entirely when no
   // pass recorded one.
@@ -228,6 +248,89 @@ std::string spike::telemetry::runReportJson(const Session &S) {
   }
   Out += "\n}\n";
   return Out;
+}
+
+namespace {
+
+/// One frame name of a folded stack: ';' delimits frames and the final
+/// space delimits the value, so both are rewritten.
+std::string foldedFrame(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out) {
+    if (C == ';')
+      C = ':';
+    else if (C == ' ' || C == '\n' || C == '\t' || C == '\r')
+      C = '_';
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string
+spike::telemetry::foldedStacks(const std::string &Tool,
+                               const std::vector<PhaseRow> &Rows,
+                               const std::vector<HotSpotRecord> &HotSpots) {
+  // Total nanoseconds per span path, then self = total - children.
+  std::map<std::string, uint64_t> Total;
+  for (const PhaseRow &Row : Rows)
+    Total[Row.Path] += uint64_t(Row.Seconds * 1e9 + 0.5);
+
+  std::map<std::string, uint64_t> Self = Total;
+  for (const auto &[Path, Ns] : Total) {
+    size_t Slash = Path.rfind('/');
+    if (Slash == std::string::npos)
+      continue;
+    auto Parent = Self.find(Path.substr(0, Slash));
+    if (Parent == Self.end())
+      continue;
+    Parent->second -= Parent->second < Ns ? Parent->second : Ns;
+  }
+
+  // Routine-level hot-spot rows become leaf frames under their phase,
+  // carved out of the phase's self time so the document still sums to
+  // the measured wall clock.  Group-level rows are skipped: their time
+  // is exactly the sum of their routine rows and would double-count.
+  std::map<std::pair<std::string, std::string>, uint64_t> Leaves;
+  for (const HotSpotRecord &R : HotSpots) {
+    if (R.Routine.empty() || R.Ns == 0)
+      continue;
+    Leaves[{R.Phase, R.Routine}] += R.Ns;
+    auto Phase = Self.find(R.Phase);
+    if (Phase != Self.end())
+      Phase->second -= Phase->second < R.Ns ? Phase->second : R.Ns;
+  }
+
+  std::string ToolFrame = foldedFrame(Tool);
+  std::map<std::string, uint64_t> Lines;
+  auto StackOf = [&](const std::string &Path) {
+    std::string Stack = ToolFrame;
+    if (Path.empty())
+      return Stack;
+    size_t Begin = 0;
+    while (Begin <= Path.size()) {
+      size_t End = Path.find('/', Begin);
+      if (End == std::string::npos)
+        End = Path.size();
+      Stack += ";" + foldedFrame(Path.substr(Begin, End - Begin));
+      Begin = End + 1;
+    }
+    return Stack;
+  };
+  for (const auto &[Path, Ns] : Self)
+    if (Ns > 0)
+      Lines[StackOf(Path)] += Ns;
+  for (const auto &[Key, Ns] : Leaves)
+    Lines[StackOf(Key.first) + ";" + foldedFrame(Key.second)] += Ns;
+
+  std::string Out;
+  for (const auto &[Stack, Ns] : Lines)
+    Out += Stack + " " + std::to_string(Ns) + "\n";
+  return Out;
+}
+
+std::string spike::telemetry::foldedStacks(const Session &S) {
+  return foldedStacks(S.tool(), S.phaseRows(), S.hotspots());
 }
 
 bool spike::telemetry::writeTextFile(const std::string &Path,

@@ -37,6 +37,8 @@
 #ifndef SPIKE_TELEMETRY_TELEMETRY_H
 #define SPIKE_TELEMETRY_TELEMETRY_H
 
+#include "telemetry/Histogram.h"
+
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -86,6 +88,28 @@ struct TransformRecord {
 
   std::string Routine; ///< Routine name, "" if whole-image.
   std::string Detail;  ///< The justifying facts, human-readable.
+};
+
+/// One row of the solver hot-spot attribution: the cost a phase charged
+/// to one SCC group (Routine empty) or one routine within its group.
+/// Collected after every parallel join in group-id order, rendered as
+/// the additive "hotspots" array of a RunReport, and ranked by
+/// `spike-profile --topk`.
+///
+/// Determinism contract: every field except Ns is bit-identical across
+/// --jobs; Ns is measured wall time and therefore schedule-dependent
+/// (tests scrub it the way they already scrub span seconds).  Per-phase
+/// routine Ns values sum (within rounding) to their group's Ns, and
+/// group Ns values sum to the enclosing span's measured time, so the
+/// attribution is a partition, not a sample.
+struct HotSpotRecord {
+  std::string Phase;   ///< Span path of the charging phase.
+  std::string Routine; ///< Routine name; "" for a group-level row.
+  int64_t Scc = -1;    ///< SCC group id within the phase, -1 if none.
+  uint64_t Pops = 0;   ///< Worklist pops attributed.
+  uint64_t Iters = 0;  ///< Fixpoint iterations (passes over the group).
+  uint64_t SetOps = 0; ///< RegSet/SlotSet operations attributed.
+  uint64_t Ns = 0;     ///< Attributed solve time (schedule-dependent).
 };
 
 /// One soundness-preserving degradation the resource governor forced: a
@@ -155,6 +179,34 @@ public:
   const Registry &counters() const { return Counters; }
   const Registry &gauges() const { return Gauges; }
 
+  /// Adds one sample to histogram \p Name (creating it empty).
+  void record(std::string_view Name, uint64_t Value) {
+    histogramFor(Name).record(Value);
+  }
+
+  /// Merges a locally accumulated histogram into histogram \p Name —
+  /// how per-group histograms built inside parallel tasks reach the
+  /// session (serially, after the join, in group-id order).
+  void mergeHistogram(std::string_view Name, const Histogram &H) {
+    histogramFor(Name).merge(H);
+  }
+
+  /// Histogram \p Name, or null if never touched.
+  const Histogram *histogram(std::string_view Name) const {
+    auto It = Histograms.find(Name);
+    return It == Histograms.end() ? nullptr : &It->second;
+  }
+
+  using HistogramRegistry = std::map<std::string, Histogram, std::less<>>;
+  const HistogramRegistry &histograms() const { return Histograms; }
+
+  /// Appends one hot-spot attribution row.
+  void addHotSpot(HotSpotRecord Record) {
+    HotSpots.push_back(std::move(Record));
+  }
+
+  const std::vector<HotSpotRecord> &hotspots() const { return HotSpots; }
+
   /// Appends one transformation-attribution record.
   void addTransform(TransformRecord Record) {
     Transforms.push_back(std::move(Record));
@@ -198,6 +250,13 @@ public:
   /// The slash-joined ancestor path of span \p Id ("a/b/c").
   std::string spanPath(uint32_t Id) const;
 
+  /// The path of the innermost open span, or "" outside any span —
+  /// what a hot-spot record's Phase should name so folded stacks can
+  /// attach routine leaves under the right frame.
+  std::string currentPath() const {
+    return OpenStack.empty() ? std::string() : spanPath(OpenStack.back());
+  }
+
 private:
   using Clock = std::chrono::steady_clock;
 
@@ -207,12 +266,21 @@ private:
                         .count());
   }
 
+  Histogram &histogramFor(std::string_view Name) {
+    auto It = Histograms.find(Name);
+    if (It == Histograms.end())
+      It = Histograms.emplace(std::string(Name), Histogram()).first;
+    return It->second;
+  }
+
   std::string Tool;
   Clock::time_point Epoch;
   Registry Counters;
   Registry Gauges;
+  HistogramRegistry Histograms;
   std::vector<TransformRecord> Transforms;
   std::vector<DegradeRecord> Degrades;
+  std::vector<HotSpotRecord> HotSpots;
   std::vector<SpanEvent> Spans;
   std::vector<uint32_t> OpenStack;
 };
@@ -275,6 +343,32 @@ inline void gaugeHigh(std::string_view Name, uint64_t Value) {
     S->high(Name, Value);
 }
 
+/// Adds one sample to histogram \p Name of the active session, if any.
+/// Like count(), this is the only cost a disabled run pays: one pointer
+/// test, no allocation, no clock read.
+inline void record(std::string_view Name, uint64_t Value) {
+  if (Session *S = active())
+    S->record(Name, Value);
+}
+
+/// Merges a task-local histogram into the active session, if any.
+inline void recordHistogram(std::string_view Name, const Histogram &H) {
+  if (Session *S = active())
+    if (!H.empty())
+      S->mergeHistogram(Name, H);
+}
+
+/// Records a hot-spot attribution row on the active session, if any.
+inline void hotspot(HotSpotRecord Record) {
+  if (Session *S = active())
+    S->addHotSpot(std::move(Record));
+}
+
+/// True when a session is active — solvers capture this *before* a
+/// parallel loop to decide whether to pay for per-group clock reads
+/// inside tasks (tasks themselves must never touch the session).
+inline bool profiling() { return active() != nullptr; }
+
 /// Records a transformation attribution on the active session, if any.
 inline void attribute(TransformRecord Record) {
   if (Session *S = active())
@@ -293,8 +387,24 @@ std::string traceJson(const Session &S);
 
 /// Renders the session as a RunReport JSON document (schema
 /// "spike-run-report" version 1: tool, total_seconds, phases, counters,
-/// gauges).  See telemetry/RunReport.h for the reader and differ.
+/// gauges, and — additively — histograms and hotspots).  See
+/// telemetry/RunReport.h for the reader and differ.
 std::string runReportJson(const Session &S);
+
+/// Renders phase rows plus hot-spot attribution as folded stacks — the
+/// `stackcollapse` format flamegraph consumers (speedscope, inferno)
+/// ingest: one `tool;frame;frame value` line per stack, values in
+/// nanoseconds of *self* time (a frame's total minus its children's),
+/// with hot routines appearing as leaf frames under their phase and
+/// their time carved out of the phase's self time.  Line order is
+/// path-sorted, so the document is deterministic up to the timing
+/// values themselves.
+std::string foldedStacks(const std::string &Tool,
+                         const std::vector<PhaseRow> &Rows,
+                         const std::vector<HotSpotRecord> &HotSpots);
+
+/// foldedStacks() over a live session.
+std::string foldedStacks(const Session &S);
 
 /// Writes \p Contents to \p Path; false (with errno intact) on failure.
 bool writeTextFile(const std::string &Path, const std::string &Contents);

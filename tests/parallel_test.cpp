@@ -15,7 +15,9 @@
 //     executable programs — byte-identical output images with unchanged
 //     observable behaviour,
 //   - determinism stress: 25 repeated jobs=7 optimize runs — serialized
-//     images and RunReport JSON byte-identical across repeats.
+//     images byte-identical and RunReports identical across repeats
+//     once the contract's schedule-dependent values (wall time, steal
+//     accounting, lane utilization) are scrubbed.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +30,7 @@
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "telemetry/RunReport.h"
 #include "telemetry/Telemetry.h"
 #include "TestPaths.h"
 
@@ -35,6 +38,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <iterator>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -65,12 +70,25 @@ std::vector<std::pair<std::string, Image>> differentialCorpus() {
 }
 
 /// One analysis run captured with its full telemetry registry, minus the
-/// two entries documented as lane-count-dependent.
+/// entries documented as lane-count-dependent.
 struct RunCapture {
   AnalysisResult Result;
   telemetry::Session::Registry Counters;
   telemetry::Session::Registry Gauges;
+  telemetry::Session::HistogramRegistry Histograms;
+  std::vector<telemetry::HotSpotRecord> HotSpots;
 };
+
+/// True for histogram names the determinism contract excludes: measured
+/// time (the "_ns"/".ns" naming convention) and steal counts.
+bool scheduleDependentHistogram(const std::string &Name) {
+  auto EndsWith = [&](const char *Suffix) {
+    size_t Len = std::strlen(Suffix);
+    return Name.size() >= Len &&
+           Name.compare(Name.size() - Len, Len, Suffix) == 0;
+  };
+  return EndsWith("_ns") || EndsWith(".ns") || Name == "pool.batch_steals";
+}
 
 RunCapture analyzeAt(const Image &Img, unsigned Jobs) {
   telemetry::Session S("parallel_test");
@@ -83,9 +101,40 @@ RunCapture analyzeAt(const Image &Img, unsigned Jobs) {
   }
   Cap.Counters = S.counters();
   Cap.Gauges = S.gauges();
+  Cap.Histograms = S.histograms();
+  Cap.HotSpots = S.hotspots();
+
   Cap.Counters.erase("pool.steals");
   Cap.Gauges.erase("analysis.jobs");
+  // Per-lane utilization gauges exist per configured lane and are
+  // schedule-dependent by definition.
+  for (auto It = Cap.Gauges.begin(); It != Cap.Gauges.end();)
+    It = It->first.rfind("pool.lane.", 0) == 0 ? Cap.Gauges.erase(It)
+                                               : std::next(It);
+  for (auto It = Cap.Histograms.begin(); It != Cap.Histograms.end();)
+    It = scheduleDependentHistogram(It->first) ? Cap.Histograms.erase(It)
+                                               : std::next(It);
+  // Hot-spot rows: every field except measured time is covered.
+  for (telemetry::HotSpotRecord &R : Cap.HotSpots)
+    R.Ns = 0;
   return Cap;
+}
+
+void expectHotSpotsEqual(const std::vector<telemetry::HotSpotRecord> &Serial,
+                         const std::vector<telemetry::HotSpotRecord> &Parallel,
+                         const std::string &Where) {
+  ASSERT_EQ(Serial.size(), Parallel.size()) << Where;
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    const telemetry::HotSpotRecord &S = Serial[I];
+    const telemetry::HotSpotRecord &P = Parallel[I];
+    const std::string At = Where + " hotspot " + std::to_string(I);
+    EXPECT_EQ(S.Phase, P.Phase) << At;
+    EXPECT_EQ(S.Routine, P.Routine) << At;
+    EXPECT_EQ(S.Scc, P.Scc) << At;
+    EXPECT_EQ(S.Pops, P.Pops) << At;
+    EXPECT_EQ(S.Iters, P.Iters) << At;
+    EXPECT_EQ(S.SetOps, P.SetOps) << At;
+  }
 }
 
 void expectSummariesEqual(const InterprocSummaries &Serial,
@@ -150,35 +199,49 @@ std::vector<uint8_t> readFileBytes(const std::string &Path) {
                               std::istreambuf_iterator<char>());
 }
 
-/// Zeroes every wall-clock value in a RunReport JSON document ("seconds"
-/// and "total_seconds" fields) and the schedule-dependent pool.steals
-/// counter, leaving everything the determinism contract covers.
-std::string scrubTimings(const std::string &Json) {
+/// Canonicalizes a RunReport JSON document down to exactly what the
+/// determinism contract covers: wall-clock values, steal accounting,
+/// lane utilization, time-valued histograms, and hot-spot Ns are all
+/// dropped; every other quantity is rendered one per line.
+std::string canonicalReport(const std::string &Json) {
+  std::string Error;
+  std::optional<telemetry::RunReport> R =
+      telemetry::parseRunReport(Json, &Error);
+  if (!R)
+    return "parse error: " + Error;
   std::string Out;
-  Out.reserve(Json.size());
-  size_t Pos = 0;
-  while (Pos < Json.size()) {
-    size_t Next = std::string::npos;
-    size_t KeyLen = 0;
-    for (const char *Key :
-         {"\"seconds\": ", "\"total_seconds\": ", "\"pool.steals\": "}) {
-      size_t Hit = Json.find(Key, Pos);
-      if (Hit < Next) {
-        Next = Hit;
-        KeyLen = std::string(Key).size();
-      }
-    }
-    if (Next == std::string::npos) {
-      Out.append(Json, Pos, std::string::npos);
-      break;
-    }
-    Out.append(Json, Pos, Next + KeyLen - Pos);
-    Out += '0';
-    Pos = Next + KeyLen;
-    while (Pos < Json.size() && Json[Pos] != ',' && Json[Pos] != '}' &&
-           Json[Pos] != '\n')
-      ++Pos;
+  auto Add = [&](const std::string &Line) {
+    Out += Line;
+    Out += '\n';
+  };
+  for (const auto &[Name, Value] : R->Counters)
+    if (Name != "pool.steals")
+      Add("counter " + Name + "=" + std::to_string(Value));
+  for (const auto &[Name, Value] : R->Gauges)
+    if (Name.rfind("pool.lane.", 0) != 0)
+      Add("gauge " + Name + "=" + std::to_string(Value));
+  for (const telemetry::RunReport::Phase &P : R->Phases)
+    Add("phase " + P.Path + " x" + std::to_string(P.Count));
+  for (const auto &[Name, H] : R->Histograms) {
+    if (scheduleDependentHistogram(Name))
+      continue;
+    std::string Line = "hist " + Name + " n=" + std::to_string(H.Count) +
+                       " sum=" + std::to_string(H.Sum) +
+                       " min=" + std::to_string(H.Min) +
+                       " max=" + std::to_string(H.Max);
+    for (const auto &[Bucket, N] : H.Buckets)
+      Line += " " + std::to_string(Bucket) + ":" + std::to_string(N);
+    Add(Line);
   }
+  for (const telemetry::RunReport::HotSpot &H : R->Hotspots)
+    Add("hotspot " + H.Phase + "|" + H.Routine + "|" +
+        std::to_string(H.Scc) + "|" + std::to_string(H.Pops) + "|" +
+        std::to_string(H.Iters) + "|" + std::to_string(H.SetOps));
+  for (const telemetry::RunReport::Transform &T : R->Transforms)
+    Add("transform " + T.Pass + "|" + T.Outcome + "|" +
+        std::to_string(T.Address) + "|" + T.Routine);
+  for (const telemetry::RunReport::Degraded &D : R->Degradations)
+    Add("degraded " + D.Routine + "|" + D.Reason + "|" + D.Phase);
   return Out;
 }
 
@@ -222,8 +285,74 @@ TEST(ParallelDifferential, AllProfilesMatchSerialAtEveryJobCount) {
                             Where + " counters");
       expectRegistriesEqual(Serial.Gauges, Parallel.Gauges,
                             Where + " gauges");
+
+      // The profiling layer obeys the same contract: count-valued
+      // histograms (pops, iters, set ops, changed bits per group) and
+      // every non-time hot-spot field are bit-identical at any lane
+      // count; only measured time and steal accounting may move.
+      EXPECT_TRUE(Serial.Histograms == Parallel.Histograms)
+          << Where << " histograms";
+      expectHotSpotsEqual(Serial.HotSpots, Parallel.HotSpots, Where);
     }
   }
+}
+
+TEST(ParallelDifferential, HotSpotPopsPartitionThePhaseCounters) {
+  // The attribution is a partition, not a sample: at jobs=1 the group
+  // solves nest serially inside the phase span, so the group rows' pops
+  // must sum exactly to the phase's worklist counter, the routine rows'
+  // pops must sum to the group rows', and the attributed solve time can
+  // never exceed the span's wall clock.
+  BenchmarkProfile Profile = scaledProfile(*findProfile("go"), 0.2);
+  Image Img = generateCfgProgram(Profile);
+
+  telemetry::Session S("attribution");
+  {
+    telemetry::SessionScope Scope(S);
+    AnalysisOptions Opts;
+    Opts.Jobs = 1;
+    analyzeImage(Img, CallingConv(), Opts);
+  }
+
+  auto EndsWith = [](const std::string &Path, const std::string &Tail) {
+    return Path.size() >= Tail.size() &&
+           Path.compare(Path.size() - Tail.size(), Tail.size(), Tail) == 0;
+  };
+
+  unsigned PhasesSeen = 0;
+  for (const char *Phase : {"psg.phase1", "psg.phase2"}) {
+    uint64_t GroupPops = 0, RoutinePops = 0, AttributedNs = 0;
+    for (const telemetry::HotSpotRecord &R : S.hotspots()) {
+      if (!EndsWith(R.Phase, Phase))
+        continue;
+      if (R.Routine.empty()) {
+        GroupPops += R.Pops;
+        AttributedNs += R.Ns;
+      } else {
+        RoutinePops += R.Pops;
+      }
+    }
+    EXPECT_GT(GroupPops, 0u) << Phase;
+    EXPECT_EQ(GroupPops,
+              S.counter(std::string(Phase) + ".worklist_pops"))
+        << Phase;
+    EXPECT_EQ(RoutinePops, GroupPops) << Phase;
+
+    double SpanSeconds = 0;
+    for (const telemetry::PhaseRow &Row : S.phaseRows())
+      if (EndsWith(Row.Path, Phase))
+        SpanSeconds += Row.Seconds;
+    EXPECT_GT(SpanSeconds, 0.0) << Phase;
+    EXPECT_LE(double(AttributedNs) * 1e-9, SpanSeconds + 1e-9) << Phase;
+    ++PhasesSeen;
+  }
+  EXPECT_EQ(PhasesSeen, 2u);
+
+  // The per-group histograms carry the same totals as the rows.
+  const telemetry::Histogram *Pops =
+      S.histogram("psg.phase1.group_pops");
+  ASSERT_NE(Pops, nullptr);
+  EXPECT_EQ(Pops->sum(), S.counter("psg.phase1.worklist_pops"));
 }
 
 TEST(ParallelDifferential, ProvenanceWitnessesByteIdenticalAcrossJobs) {
@@ -340,7 +469,7 @@ TEST(ParallelDeterminism, RepeatedRunsAreByteIdentical) {
       optimizeImage(Img, CallingConv(), Opts);
     }
     std::vector<uint8_t> Bytes = writeImage(Img);
-    std::string Report = scrubTimings(telemetry::runReportJson(S));
+    std::string Report = canonicalReport(telemetry::runReportJson(S));
     if (Rep == 0) {
       FirstBytes = std::move(Bytes);
       FirstReport = std::move(Report);

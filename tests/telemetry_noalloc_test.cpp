@@ -1,8 +1,9 @@
 //===- tests/telemetry_noalloc_test.cpp - Disabled-mode overhead -----------===//
 //
 // Proves the "zero-cost when disabled" claim at the allocator level: with
-// no active session, Span construction, count(), gaugeSet(), and
-// gaugeHigh() perform no heap allocation at all.
+// no active session, Span construction, count(), gaugeSet(), gaugeHigh(),
+// record(), recordHistogram(), and hotspot() perform no heap allocation
+// at all.
 //
 // This lives in its own binary (not spike_tests) because it replaces the
 // global operator new/delete with counting versions — a program-wide
@@ -64,6 +65,24 @@ TEST(TelemetryNoAlloc, DisabledModePerformsNoAllocations) {
   EXPECT_EQ(LiveAllocations.load(), Before);
 }
 
+TEST(TelemetryNoAlloc, DisabledProfilingPerformsNoAllocations) {
+  ASSERT_EQ(telemetry::active(), nullptr);
+
+  // The Histogram itself is allocation-free by construction (a
+  // std::array), and the profiling helpers must stay free when no
+  // session is active — they sit inside solver loops.
+  telemetry::Histogram Local;
+  uint64_t Before = LiveAllocations.load();
+  for (int I = 0; I < 1000; ++I) {
+    Local.record(uint64_t(I) * 37);
+    telemetry::record("histogram.name.that.would.allocate", uint64_t(I));
+    telemetry::recordHistogram("histogram.merge.target", Local);
+    telemetry::hotspot({});
+  }
+  EXPECT_EQ(LiveAllocations.load(), Before);
+  EXPECT_EQ(Local.count(), 1000u);
+}
+
 TEST(TelemetryNoAlloc, EnabledModeRecords) {
   // Sanity: the same calls do observe once a session is active, so the
   // disabled-mode result above is not vacuous.
@@ -72,9 +91,12 @@ TEST(TelemetryNoAlloc, EnabledModeRecords) {
     telemetry::SessionScope Scope(S);
     telemetry::Span Span("sp");
     telemetry::count("c", 2);
+    telemetry::record("h", 5);
   }
   EXPECT_EQ(S.counter("c"), 2u);
   EXPECT_EQ(S.spans().size(), 1u);
+  ASSERT_NE(S.histogram("h"), nullptr);
+  EXPECT_EQ(S.histogram("h")->count(), 1u);
 }
 
 } // namespace

@@ -419,6 +419,357 @@ TEST(TelemetryJson, TransformRecordsRoundTrip) {
             std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryHistogram, BucketingEdges) {
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+  EXPECT_EQ(Histogram::bucketFor(7), 3u);
+  EXPECT_EQ(Histogram::bucketFor(8), 4u);
+  EXPECT_EQ(Histogram::bucketFor(uint64_t(1) << 62), 63u);
+  EXPECT_EQ(Histogram::bucketFor(~uint64_t(0)), 63u);
+  // Every bucket's bounds land back in that bucket.
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketLo(B)), B) << B;
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketHi(B)), B) << B;
+  }
+}
+
+TEST(TelemetryHistogram, MomentsAndMerge) {
+  Histogram H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0u);
+  for (uint64_t V : {5, 0, 17, 1})
+    H.record(V);
+  EXPECT_FALSE(H.empty());
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 23u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 17u);
+  EXPECT_EQ(H.mean(), 5u); // 23/4 rounded down.
+  EXPECT_EQ(H.bucket(0), 1u); // the 0
+  EXPECT_EQ(H.bucket(1), 1u); // the 1
+  EXPECT_EQ(H.bucket(3), 1u); // the 5
+  EXPECT_EQ(H.bucket(5), 1u); // the 17
+
+  // Merging two halves equals recording everything into one — the
+  // property the parallel join relies on.
+  Histogram A, B, All;
+  for (uint64_t V : {3, 9, 100}) {
+    A.record(V);
+    All.record(V);
+  }
+  for (uint64_t V : {0, 7}) {
+    B.record(V);
+    All.record(V);
+  }
+  Histogram Merged = A;
+  Merged.merge(B);
+  EXPECT_TRUE(Merged == All);
+  EXPECT_FALSE(Merged == A);
+}
+
+TEST(TelemetryHistogram, PercentileNearestRankAtBucketGranularity) {
+  Histogram H;
+  for (uint64_t V = 1; V <= 100; ++V)
+    H.record(V);
+  EXPECT_EQ(H.percentile(0), 1u);
+  // The rank-50 sample sits in bucket 6 ([32,63]).
+  EXPECT_EQ(H.percentile(50), 63u);
+  // The rank-90 sample's bucket hi (127) exceeds the observed max.
+  EXPECT_EQ(H.percentile(90), 100u);
+  EXPECT_EQ(H.percentile(100), 100u);
+  // Out-of-range P clamps instead of misbehaving.
+  EXPECT_EQ(H.percentile(-5), 1u);
+  EXPECT_EQ(H.percentile(400), 100u);
+
+  Histogram Single;
+  Single.record(42);
+  for (double P : {0.0, 50.0, 99.0})
+    EXPECT_EQ(Single.percentile(P), 42u) << P;
+
+  Histogram Empty;
+  EXPECT_EQ(Empty.percentile(50), 0u);
+}
+
+TEST(TelemetryJson, HistogramsAndHotspotsRoundTrip) {
+  Session S("prof");
+  Histogram Local;
+  {
+    SessionScope Scope(S);
+    Span Phase("solve");
+    record("solver.pops", 3);
+    record("solver.pops", 900);
+    record("solver.pops", 0);
+    for (uint64_t V : {1, 2, 3, 70})
+      Local.record(V);
+    recordHistogram("solver.iters", Local);
+
+    HotSpotRecord Group;
+    Group.Phase = "solve";
+    Group.Scc = 4;
+    Group.Pops = 17;
+    Group.Iters = 3;
+    Group.SetOps = 120;
+    Group.Ns = 5000;
+    hotspot(Group);
+    HotSpotRecord Routine = Group;
+    Routine.Routine = "P9";
+    hotspot(std::move(Routine));
+  }
+
+  std::string Error;
+  std::optional<RunReport> Report =
+      parseRunReport(runReportJson(S), &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+
+  ASSERT_EQ(Report->Histograms.count("solver.pops"), 1u);
+  const RunReport::HistogramData &Pops =
+      Report->Histograms.at("solver.pops");
+  EXPECT_EQ(Pops.Count, 3u);
+  EXPECT_EQ(Pops.Sum, 903u);
+  EXPECT_EQ(Pops.Min, 0u);
+  EXPECT_EQ(Pops.Max, 900u);
+  // Sparse buckets: the 0, the 3, and the 900 ([512,1023]).
+  ASSERT_EQ(Pops.Buckets.size(), 3u);
+  EXPECT_EQ(Pops.Buckets.at(0), 1u);
+  EXPECT_EQ(Pops.Buckets.at(2), 1u);
+  EXPECT_EQ(Pops.Buckets.at(10), 1u);
+
+  // The reader-side percentile mirrors the writer's.
+  const Histogram *Live = S.histogram("solver.iters");
+  ASSERT_NE(Live, nullptr);
+  const RunReport::HistogramData &Iters =
+      Report->Histograms.at("solver.iters");
+  for (double P : {0.0, 50.0, 90.0, 100.0})
+    EXPECT_EQ(Iters.percentile(P), Live->percentile(P)) << P;
+
+  ASSERT_EQ(Report->Hotspots.size(), 2u);
+  EXPECT_EQ(Report->Hotspots[0].Phase, "solve");
+  EXPECT_EQ(Report->Hotspots[0].Routine, "");
+  EXPECT_EQ(Report->Hotspots[0].Scc, 4);
+  EXPECT_EQ(Report->Hotspots[0].Pops, 17u);
+  EXPECT_EQ(Report->Hotspots[0].Iters, 3u);
+  EXPECT_EQ(Report->Hotspots[0].SetOps, 120u);
+  EXPECT_EQ(Report->Hotspots[0].Ns, 5000u);
+  EXPECT_EQ(Report->Hotspots[1].Routine, "P9");
+
+  // Sessions that never profiled omit both members entirely, keeping
+  // old readers and byte-level report diffs quiet.
+  Session Plain("plain");
+  {
+    SessionScope Scope(Plain);
+    count("c");
+  }
+  std::string Json = runReportJson(Plain);
+  EXPECT_EQ(Json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"hotspots\""), std::string::npos);
+}
+
+TEST(TelemetryJson, HostileNamesInProfilingDataRoundTrip) {
+  // Routine names are attacker-ish input as far as the JSON writer is
+  // concerned: quotes, backslashes, and every class of control byte the
+  // escaper special-cases (\b, \f, \n, and a raw ).
+  const std::string Hostile = std::string("r\"q\\b\b\f\n") + "\x01" + "end";
+  Session S("prof\"tool");
+  {
+    SessionScope Scope(S);
+    Span P("phase\\one");
+    record(Hostile, 7);
+    HotSpotRecord Row;
+    Row.Phase = S.currentPath();
+    Row.Routine = Hostile;
+    Row.Pops = 1;
+    Row.Ns = 1;
+    hotspot(std::move(Row));
+  }
+
+  std::string Error;
+  std::optional<RunReport> Report =
+      parseRunReport(runReportJson(S), &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_EQ(Report->Tool, "prof\"tool");
+  EXPECT_EQ(Report->Histograms.count(Hostile), 1u);
+  ASSERT_EQ(Report->Hotspots.size(), 1u);
+  EXPECT_EQ(Report->Hotspots[0].Phase, "phase\\one");
+  EXPECT_EQ(Report->Hotspots[0].Routine, Hostile);
+
+  // The trace document survives the same span name.
+  std::optional<JsonValue> Trace = parseJson(traceJson(S), &Error);
+  ASSERT_TRUE(Trace.has_value()) << Error;
+  const JsonValue *Events = Trace->findArray("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->Items.size(), 1u);
+  EXPECT_EQ(Events->Items[0].stringOr("name", ""), "phase\\one");
+}
+
+TEST(TelemetryJson, FoldedStacksFormatAndSelfTimeCarving) {
+  std::vector<PhaseRow> Rows = {
+      {"analyze", 1.0, 1},
+      {"analyze/solve", 0.6, 1},
+  };
+  std::vector<HotSpotRecord> Spots;
+  HotSpotRecord Group;
+  Group.Phase = "analyze/solve";
+  Group.Scc = 0;
+  Group.Ns = 600000000; // Group rows are skipped: routine rows cover them.
+  Spots.push_back(Group);
+  HotSpotRecord R1;
+  R1.Phase = "analyze/solve";
+  R1.Routine = "hot routine;1"; // Frame delimiters must be rewritten.
+  R1.Scc = 0;
+  R1.Ns = 250000000;
+  Spots.push_back(R1);
+  HotSpotRecord R2 = R1;
+  R2.Routine = "P2";
+  R2.Ns = 100000000;
+  Spots.push_back(R2);
+
+  // Self time decomposes the wall clock: analyze keeps 0.4s after its
+  // child, solve keeps 0.25s after its routine leaves, and all four
+  // lines sum back to the 1s root total.
+  EXPECT_EQ(foldedStacks("my tool", Rows, Spots),
+            "my_tool;analyze 400000000\n"
+            "my_tool;analyze;solve 250000000\n"
+            "my_tool;analyze;solve;P2 100000000\n"
+            "my_tool;analyze;solve;hot_routine:1 250000000\n");
+
+  // Empty input renders an empty document, not a stray tool line.
+  EXPECT_EQ(foldedStacks("t", {}, {}), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram diffing
+//===----------------------------------------------------------------------===//
+
+RunReport::HistogramData histFrom(std::initializer_list<uint64_t> Values) {
+  Histogram H;
+  for (uint64_t V : Values)
+    H.record(V);
+  RunReport::HistogramData D;
+  D.Count = H.count();
+  D.Sum = H.sum();
+  D.Min = H.min();
+  D.Max = H.max();
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B)
+    if (H.bucket(B))
+      D.Buckets[B] = H.bucket(B);
+  return D;
+}
+
+RunReport reportWithHist(const std::string &Name,
+                         RunReport::HistogramData D) {
+  RunReport R;
+  R.Tool = "test";
+  R.Histograms.emplace(Name, std::move(D));
+  return R;
+}
+
+const DiffRow *rowNamed(const ReportDiff &Diff, const std::string &Name) {
+  for (const DiffRow &Row : Diff.Rows)
+    if (Row.Name == Name)
+      return &Row;
+  return nullptr;
+}
+
+TEST(TelemetryDiff, HistogramMeanCarriesCounterThreshold) {
+  RunReport Base = reportWithHist("solver.pops", histFrom({100, 100}));
+
+  ReportDiff Ok = diffReports(
+      Base, reportWithHist("solver.pops", histFrom({110, 110})), {});
+  EXPECT_EQ(Ok.Regressions, 0u);
+
+  ReportDiff Bad = diffReports(
+      Base, reportWithHist("solver.pops", histFrom({111, 111})), {});
+  EXPECT_EQ(Bad.Regressions, 1u);
+  EXPECT_NE(Bad.str().find("histogram solver.pops.mean"),
+            std::string::npos)
+      << Bad.str();
+
+  // A zero baseline is new instrumentation, never a regression.
+  RunReport Empty;
+  Empty.Tool = "test";
+  EXPECT_EQ(diffReports(Empty,
+                        reportWithHist("solver.pops", histFrom({999})),
+                        {})
+                .Regressions,
+            0u);
+}
+
+TEST(TelemetryDiff, HistogramPercentilesNeedMoreThanABucketStep) {
+  RunReport Base = reportWithHist("solver.pops", histFrom({10, 10, 10}));
+
+  // 2x growth: beyond the counter threshold but only one log2 bucket
+  // step — quantization noise, not a flagged tail.
+  ReportDiff OneStep = diffReports(
+      Base, reportWithHist("solver.pops", histFrom({20, 20, 20})), {});
+  const DiffRow *P50 = rowNamed(OneStep, "solver.pops.p50");
+  ASSERT_NE(P50, nullptr);
+  EXPECT_FALSE(P50->Regression);
+
+  // 2.6x: more than a bucket step — a genuinely fatter distribution.
+  ReportDiff Blown = diffReports(
+      Base, reportWithHist("solver.pops", histFrom({26, 26, 26})), {});
+  P50 = rowNamed(Blown, "solver.pops.p50");
+  ASSERT_NE(P50, nullptr);
+  EXPECT_TRUE(P50->Regression);
+  const DiffRow *P90 = rowNamed(Blown, "solver.pops.p90");
+  ASSERT_NE(P90, nullptr);
+  EXPECT_TRUE(P90->Regression);
+}
+
+TEST(TelemetryDiff, ScheduleDependentEntriesNeverRegress) {
+  // Steal accounting and lane utilization vary between two runs at the
+  // same --jobs; they render in the diff but carry no verdict.
+  RunReport Base = reportWith({{"pool.steals", 10}});
+  Base.Gauges["pool.lane.0.tasks"] = 5;
+  Base.Histograms.emplace("pool.batch_steals", histFrom({2, 2}));
+  RunReport Cur = reportWith({{"pool.steals", 500}});
+  Cur.Gauges["pool.lane.0.tasks"] = 400;
+  Cur.Histograms.emplace("pool.batch_steals", histFrom({60, 60}));
+
+  ReportDiff Diff = diffReports(Base, Cur, {});
+  EXPECT_EQ(Diff.Regressions, 0u);
+  // The rows are still there for a human reading the rendering.
+  EXPECT_NE(rowNamed(Diff, "pool.steals"), nullptr);
+  EXPECT_NE(rowNamed(Diff, "pool.batch_steals.mean"), nullptr);
+}
+
+TEST(TelemetryDiff, TimeHistogramsUseTimeThresholdAndFloor) {
+  // Sub-floor time samples are noise at any ratio (floor = 0.01s in
+  // nanoseconds), exactly like sub-floor phases.
+  EXPECT_EQ(
+      diffReports(reportWithHist("solve.routine_ns", histFrom({1000})),
+                  reportWithHist("solve.routine_ns", histFrom({900000})),
+                  {})
+          .Regressions,
+      0u);
+
+  // Above the floor the 25% time threshold applies where the 10%
+  // counter threshold would already have fired.
+  RunReport Base =
+      reportWithHist("solve.routine_ns", histFrom({100000000}));
+  EXPECT_EQ(diffReports(Base,
+                        reportWithHist("solve.routine_ns",
+                                       histFrom({120000000})),
+                        {})
+                .Regressions,
+            0u);
+  EXPECT_EQ(diffReports(Base,
+                        reportWithHist("solve.routine_ns",
+                                       histFrom({130000000})),
+                        {})
+                .Regressions,
+            1u);
+}
+
 TEST(TelemetryDiff, RenderingSkipsUnchangedRows) {
   DiffOptions Opts;
   RunReport Base = reportWith({{"same", 3}, {"grew", 100}});

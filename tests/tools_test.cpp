@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -303,6 +304,131 @@ TEST(ToolsTest, StatsGoldenDiffFlagsRegression) {
 
   for (const std::string &Path : {Baseline, Current})
     std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// spike-profile
+//===----------------------------------------------------------------------===//
+
+TEST(ToolsTest, ProfileRendersTablesAndFoldedExport) {
+  std::string Img = scratchPath("profile_demo.spkx");
+  std::string Metrics = scratchPath("profile_demo.metrics.json");
+  std::string Folded = scratchPath("profile_demo.folded");
+
+  int Status = 0;
+  std::string Out = runCommand(toolsDir() +
+                                   "/spike-gen --benchmark go "
+                                   "--scale 0.05 -o " +
+                                   Img,
+                               &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  Out = runCommand(toolsDir() + "/spike-analyze " + Img +
+                       " --metrics=" + Metrics,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  Out = runCommand(toolsDir() + "/spike-profile " + Metrics +
+                       " --topk 5 --folded " + Folded,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("hot SCC groups"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("hot routines"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("histograms:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("attribution coverage"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("psg.phase1"), std::string::npos) << Out;
+  // A clean run carries no degradation banner.
+  EXPECT_EQ(Out.find("DEGRADED"), std::string::npos) << Out;
+
+  // The folded export is shaped for speedscope/inferno: every line is
+  // "frame(;frame)* <ns>" — exactly one space, an all-digit value, and
+  // the tool name as the root frame.
+  std::ifstream In(Folded);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  unsigned Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    ASSERT_GT(Space, 0u) << Line;
+    EXPECT_EQ(Line.find(' '), Space) << Line;
+    EXPECT_EQ(Line.rfind("spike-analyze", 0), 0u) << Line;
+    for (size_t I = Space + 1; I < Line.size(); ++I)
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(Line[I])))
+          << Line;
+  }
+  EXPECT_GT(Lines, 0u);
+
+  for (const std::string &Path : {Img, Metrics, Folded})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, ProfileDiffSharesStatsThresholdSemantics) {
+  std::string Baseline = scratchPath("profile_base.json");
+  std::string Current = scratchPath("profile_cur.json");
+  writeFile(Baseline, R"({"schema":"spike-run-report","version":1,
+    "tool":"t","total_seconds":1.0,"phases":[],"counters":{},"gauges":{},
+    "histograms":{"solver.pops":{"count":2,"sum":200,"min":100,"max":100,
+      "buckets":{"7":2}}}})");
+  writeFile(Current, R"({"schema":"spike-run-report","version":1,
+    "tool":"t","total_seconds":1.0,"phases":[],"counters":{},"gauges":{},
+    "histograms":{"solver.pops":{"count":2,"sum":300,"min":150,"max":150,
+      "buckets":{"8":2}}}})");
+
+  // Self-diff is clean.
+  int Status = 0;
+  std::string Out = runCommand(toolsDir() + "/spike-profile --diff " +
+                                   Baseline + " " + Baseline,
+                               &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("0 regression(s)"), std::string::npos) << Out;
+
+  // A 1.5x mean regresses; the one-bucket p50 step does not.
+  Out = runCommand(toolsDir() + "/spike-profile --diff " + Baseline +
+                       " " + Current,
+                   &Status);
+  EXPECT_NE(Status, 0) << Out;
+  EXPECT_NE(Out.find("histogram solver.pops.mean"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("1 regression(s)"), std::string::npos) << Out;
+
+  // --warn-only reports but does not fail — the CI bench-smoke mode.
+  Out = runCommand(toolsDir() + "/spike-profile --diff " + Baseline +
+                       " " + Current + " --warn-only",
+                   &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("1 regression(s)"), std::string::npos) << Out;
+
+  for (const std::string &Path : {Baseline, Current})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, ProfileFlagsDegradedRunsAndRejectsBadUsage) {
+  std::string Degraded = scratchPath("profile_degraded.json");
+  writeFile(Degraded, R"({"schema":"spike-run-report","version":1,
+    "tool":"t","total_seconds":1.0,"phases":[],"counters":{},"gauges":{},
+    "degraded":[{"routine":"P7","reason":"deadline","phase":"psg.phase1"}]})");
+
+  int Status = 0;
+  std::string Out =
+      runCommand(toolsDir() + "/spike-profile " + Degraded, &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("!! DEGRADED PROFILE"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("degrade.deadline = 1"), std::string::npos) << Out;
+
+  runCommand(toolsDir() + "/spike-profile", &Status);
+  EXPECT_NE(Status, 0);
+  runCommand(toolsDir() + "/spike-profile --diff " + Degraded, &Status);
+  EXPECT_NE(Status, 0);
+  Out = runCommand(toolsDir() + "/spike-profile " + Degraded +
+                       " --topk nonsense",
+                   &Status);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("--topk"), std::string::npos) << Out;
+  runCommand(toolsDir() + "/spike-profile /nonexistent.json", &Status);
+  EXPECT_NE(Status, 0);
+
+  std::remove(Degraded.c_str());
 }
 
 TEST(ToolsTest, StatsRejectsBadInput) {

@@ -5,12 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Every spike tool accepts the same two observability flags:
+/// Every spike tool accepts the same observability flags:
 ///
 ///   --trace=<file>     write a Chrome trace-event / Perfetto JSON trace
 ///   --metrics=<file>   write a spike-run-report JSON document
+///   --folded=<file>    write folded stacks (speedscope / inferno
+///                      `flamegraph.pl` input: one `path;to;frame N`
+///                      line per stack, N in self-nanoseconds)
 ///
-/// (the two-token forms `--trace <file>` / `--metrics <file>` work too).
+/// (the two-token forms `--trace <file>` etc. work too).  A flag given
+/// without a file path, or with an empty one, is a usage error — the
+/// run is observably misconfigured and silently dropping the request
+/// would defeat the point of asking for telemetry.
 /// ToolTelemetry ties them to a telemetry::Session: when either flag is
 /// given, the Emitter installs a session as the process-wide active one
 /// for the tool's whole run and writes the requested files when the tool
@@ -33,38 +39,52 @@
 namespace spike {
 namespace tooltel {
 
-/// Where to write the trace and run report; empty means "not requested".
+/// Where to write the trace, run report, and folded stacks; empty means
+/// "not requested".
 struct Options {
   std::string TracePath;
   std::string MetricsPath;
+  std::string FoldedPath;
 
-  bool enabled() const { return !TracePath.empty() || !MetricsPath.empty(); }
+  bool enabled() const {
+    return !TracePath.empty() || !MetricsPath.empty() ||
+           !FoldedPath.empty();
+  }
 };
 
-/// Consumes `--trace=<f>` / `--metrics=<f>` (and their two-token forms)
-/// at position \p I of the argument list.  Returns true if Argv[I] was a
-/// telemetry flag; \p I is advanced past any consumed value token.
+/// Consumes `--trace=<f>` / `--metrics=<f>` / `--folded=<f>` (and their
+/// two-token forms) at position \p I of the argument list.  Returns true
+/// if Argv[I] was a telemetry flag; \p I is advanced past any consumed
+/// value token.  A recognized flag with a missing or empty path exits
+/// with a structured usage error, matching toolopts::parseJobs.
 inline bool parseFlag(int Argc, char **Argv, int &I, Options &Opts) {
   auto Match = [&](const char *Name, std::string &Into) {
     size_t Len = std::strlen(Name);
     if (std::strncmp(Argv[I], Name, Len) != 0)
       return false;
-    if (Argv[I][Len] == '=') {
-      Into = Argv[I] + Len + 1;
-      return true;
+    const char *Value = nullptr;
+    if (Argv[I][Len] == '=')
+      Value = Argv[I] + Len + 1;
+    else if (Argv[I][Len] == '\0')
+      Value = I + 1 < Argc ? Argv[++I] : "";
+    else
+      return false;
+    if (*Value == '\0') {
+      std::fprintf(stderr, "error: %s expects a file path\n", Name);
+      std::exit(2);
     }
-    if (Argv[I][Len] == '\0' && I + 1 < Argc) {
-      Into = Argv[++I];
-      return true;
-    }
-    return false;
+    Into = Value;
+    return true;
   };
   return Match("--trace", Opts.TracePath) ||
-         Match("--metrics", Opts.MetricsPath);
+         Match("--metrics", Opts.MetricsPath) ||
+         Match("--folded", Opts.FoldedPath);
 }
 
 /// The usage-line suffix documenting the shared flags.
-inline const char *usage() { return "[--trace=<file>] [--metrics=<file>]"; }
+inline const char *usage() {
+  return "[--trace=<file>] [--metrics=<file>] [--folded=<file>]";
+}
 
 /// Owns the tool run's Session and writes the output files on
 /// destruction (or on an explicit finish()).
@@ -100,6 +120,7 @@ public:
     };
     Write(Opts.TracePath, telemetry::traceJson(*S));
     Write(Opts.MetricsPath, telemetry::runReportJson(*S));
+    Write(Opts.FoldedPath, telemetry::foldedStacks(*S));
   }
 
 private:

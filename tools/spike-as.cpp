@@ -20,10 +20,12 @@ using namespace spike;
 
 static void usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s <input.s> -o <output.spkx>\n"
+               "usage: %s <input.s> -o <output.spkx> %s %s\n"
                "  assembles synthetic-ISA assembly into an executable "
-               "image\n",
-               Prog);
+               "image\n"
+               "  (--jobs is accepted for CLI uniformity; assembly is "
+               "serial)\n",
+               Prog, toolopts::jobsUsage(), tooltel::usage());
 }
 
 int main(int Argc, char **Argv) {

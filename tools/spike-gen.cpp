@@ -25,8 +25,10 @@ static void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --benchmark <name> [--scale f] -o <out.spkx>\n"
                "       %s --exec [--routines N] [--seed S] -o <out.spkx>\n"
-               "       %s --list\n",
-               Prog, Prog, Prog);
+               "       %s --list\n"
+               "  shared flags: %s %s (--jobs is accepted for CLI "
+               "uniformity; generation is serial)\n",
+               Prog, Prog, Prog, toolopts::jobsUsage(), tooltel::usage());
 }
 
 int main(int Argc, char **Argv) {

@@ -15,6 +15,7 @@
 #include "cfg/CfgBuilder.h"
 #include "isa/Encoding.h"
 #include "isa/StackRef.h"
+#include "support/ThreadPool.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -43,7 +44,7 @@ void appendAnnotation(const Image &Img, uint64_t Address, unsigned Sp,
 
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName;
-  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
+  unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
@@ -53,15 +54,15 @@ int main(int Argc, char **Argv) {
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: %s <image.spkx> [--routine <name>]\n", Argv[0]);
+      std::fprintf(stderr, "usage: %s <image.spkx> [--routine <name>] %s %s\n",
+                   Argv[0], toolopts::jobsUsage(), tooltel::usage());
       return 2;
     } else
       Path = Argv[I];
   }
   if (Path.empty()) {
-    std::fprintf(stderr, "usage: %s <image.spkx> [--routine <name>]\n",
-                 Argv[0]);
+    std::fprintf(stderr, "usage: %s <image.spkx> [--routine <name>] %s %s\n",
+                 Argv[0], toolopts::jobsUsage(), tooltel::usage());
     return 2;
   }
 
@@ -101,7 +102,9 @@ int main(int Argc, char **Argv) {
   }
 
   // Single-routine mode: use the CFG partition to find its range.
-  Program Prog = buildProgram(*Img, CallingConv());
+  ThreadPool Pool(Jobs);
+  Program Prog = buildProgram(*Img, CallingConv(), /*Mem=*/nullptr, {},
+                              &Pool);
   for (const Routine &R : Prog.Routines) {
     if (R.Name != RoutineName)
       continue;

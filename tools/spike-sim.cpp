@@ -10,6 +10,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "sim/Simulator.h"
+#include "support/ThreadPool.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
@@ -29,7 +30,7 @@ int main(int Argc, char **Argv) {
   SimOptions Opts;
   bool DumpData = false;
   bool Profile = false;
-  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
+  unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--args") == 0) {
@@ -46,16 +47,17 @@ int main(int Argc, char **Argv) {
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s <image.spkx> [--args n...] "
-                   "[--max-steps N] [--dump-data] [--profile]\n",
-                   Argv[0]);
+                   "[--max-steps N] [--dump-data] [--profile] %s %s\n",
+                   Argv[0], toolopts::jobsUsage(), tooltel::usage());
       return 2;
     } else
       Path = Argv[I];
   }
   if (Path.empty()) {
-    std::fprintf(stderr, "usage: %s <image.spkx> [--args n...] "
-                         "[--max-steps N] [--dump-data] [--profile]\n",
-                 Argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <image.spkx> [--args n...] "
+                 "[--max-steps N] [--dump-data] [--profile] %s %s\n",
+                 Argv[0], toolopts::jobsUsage(), tooltel::usage());
     return 2;
   }
 
@@ -82,7 +84,9 @@ int main(int Argc, char **Argv) {
   }
   if (Profile) {
     // Attribute execution counts to routines and print the hottest.
-    Program Prog = buildProgram(*Img, CallingConv());
+    ThreadPool Pool(Jobs);
+    Program Prog = buildProgram(*Img, CallingConv(), /*Mem=*/nullptr, {},
+                                &Pool);
     struct Row {
       std::string Name;
       uint64_t Count;

@@ -23,6 +23,7 @@
 
 #include "telemetry/RunReport.h"
 #include "ToolOptions.h"
+#include "ToolTelemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,8 +40,8 @@ int usage(const char *Prog) {
                "usage: %s <baseline.json> <current.json> "
                "[--max-counter-growth <fraction>] "
                "[--max-time-growth <fraction>] [--time-floor <seconds>] "
-               "[--warn-only]\n",
-               Prog);
+               "[--warn-only] %s %s\n",
+               Prog, toolopts::jobsUsage(), tooltel::usage());
   return 2;
 }
 
@@ -50,9 +51,12 @@ int main(int Argc, char **Argv) {
   std::string BaselinePath, CurrentPath;
   DiffOptions Opts;
   bool WarnOnly = false;
-  unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
+  unsigned Jobs = toolopts::defaultJobs();
+  tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (std::strcmp(Argv[I], "--max-counter-growth") == 0 && I + 1 < Argc)
       Opts.MaxCounterGrowth = std::atof(Argv[++I]);
@@ -73,6 +77,9 @@ int main(int Argc, char **Argv) {
   }
   if (BaselinePath.empty() || CurrentPath.empty())
     return usage(Argv[0]);
+
+  tooltel::Emitter Telemetry("spike-stats", TelemetryOpts);
+  telemetry::Span DiffSpan("stats.diff");
 
   std::string Error;
   std::optional<RunReport> Baseline = readRunReportFile(BaselinePath, &Error);
