@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Scripted spike-serve session over the go paper profile: load once,
+# query, patch a routine in place, and re-query — the whole demand-driven
+# loop one client would drive, pipelined over stdin.  CI runs this under
+# ASan/UBSan and uploads the RunReport (the serve.* counters) as an
+# artifact.
+#
+# The patch is the routine's own code with the second and third
+# instructions swapped: a real change that keeps the routine partition,
+# so the server must take the incremental path ("full":false) and only
+# the routine's SCC group plus dependents may re-solve.
+#
+# Usage: scripts/serve-smoke.sh <tools-dir> [report.json]
+
+set -eu
+
+TOOLS="${1:?usage: serve-smoke.sh <tools-dir> [report.json]}"
+REPORT="${2:-serve-run.json}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+"$TOOLS/spike-gen" --benchmark go --scale 0.2 -o "$SCRATCH/go.spkx"
+
+# First routine with at least 4 instructions, so the word swap below has
+# room to work with (labels are "name:" or "name (address taken):").
+ROUTINE="" CODE=""
+for R in $("$TOOLS/spike-objdump" "$SCRATCH/go.spkx" \
+    | awk '/^[A-Za-z_][A-Za-z0-9_]*( \(address taken\))?:$/ { sub(":", "", $1); print $1 }' \
+    | head -10); do
+  CODE=$("$TOOLS/spike-objdump" "$SCRATCH/go.spkx" --routine "$R" --words)
+  if [ "$(printf '%s' "$CODE" | awk -F',' '{ print NF }')" -ge 4 ]; then
+    ROUTINE=$R
+    break
+  fi
+done
+test -n "$ROUTINE" || { echo "serve-smoke: no patchable routine found" >&2; exit 1; }
+PATCHED=$(printf '%s' "$CODE" \
+  | awk -F',' 'BEGIN { OFS="," } { t = $2; $2 = $3; $3 = t; print }')
+test "$PATCHED" != "$CODE" || { echo "serve-smoke: patch is a no-op" >&2; exit 1; }
+
+{
+  echo 'analyze'
+  echo 'lint {"min-severity":"warning"}'
+  echo 'slice {"addr":5}'
+  echo 'explain {"fact":"dead","addr":5}'
+  printf 'patch-routine {"routine":"%s","code":%s}\n' "$ROUTINE" "$PATCHED"
+  echo 'analyze'
+  printf 'analyze {"routine":"%s"}\n' "$ROUTINE"
+  echo 'stats'
+  echo 'this is not a command'
+  echo 'shutdown'
+} > "$SCRATCH/session.txt"
+
+"$TOOLS/spike-serve" "$SCRATCH/go.spkx" --jobs=4 --metrics="$REPORT" \
+  < "$SCRATCH/session.txt" > "$SCRATCH/replies.txt"
+
+echo "--- session replies ---"
+cut -c1-200 "$SCRATCH/replies.txt"
+
+FAIL=0
+LINES=$(wc -l < "$SCRATCH/session.txt")
+REPLIES=$(wc -l < "$SCRATCH/replies.txt")
+if [ "$REPLIES" -ne "$LINES" ]; then
+  echo "serve-smoke: $LINES commands but $REPLIES replies" >&2; FAIL=1
+fi
+if grep -vq '"ok":' "$SCRATCH/replies.txt"; then
+  echo "serve-smoke: reply without an ok field" >&2; FAIL=1
+fi
+ERRORS=$(grep -c '"ok":false' "$SCRATCH/replies.txt" || true)
+if [ "$ERRORS" -ne 1 ]; then
+  echo "serve-smoke: expected exactly 1 error reply (the garbage line), got $ERRORS" >&2
+  FAIL=1
+fi
+if ! grep -q '"cmd":"patch-routine".*"ok":true.*"full":false' "$SCRATCH/replies.txt"; then
+  echo "serve-smoke: patch did not take the incremental path" >&2; FAIL=1
+fi
+if ! grep -q '"cmd":"stats".*"patches":1' "$SCRATCH/replies.txt"; then
+  echo "serve-smoke: stats does not report the patch" >&2; FAIL=1
+fi
+test -s "$REPORT" || { echo "serve-smoke: no run report at $REPORT" >&2; FAIL=1; }
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "serve-smoke: FAILED" >&2
+  exit 1
+fi
+echo "serve-smoke: OK ($LINES commands, 1 expected error reply, report in $REPORT)"

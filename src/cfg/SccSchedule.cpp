@@ -73,18 +73,26 @@ spike::buildSccSchedule(size_t NumNodes,
 
   // Levels: longest dependency distance.  Descending group-id order
   // visits every predecessor group before its successors, so one sweep
-  // over the cross-group edges suffices.
+  // over the cross-group edges suffices; the same sweep collects the
+  // condensation DAG's successor adjacency.
   std::vector<uint32_t> LevelOfGroup(Sched.NumGroups, 0);
+  Sched.GroupSucc.resize(Sched.NumGroups);
   uint32_t MaxLevel = 0;
   for (uint32_t Group = Sched.NumGroups; Group-- > 0;) {
     for (uint32_t Node : Sched.Members[Group])
       for (uint32_t Succ : Deps[Node]) {
         uint32_t SuccGroup = Sched.GroupOfRoutine[Succ];
-        if (SuccGroup != Group)
+        if (SuccGroup != Group) {
           LevelOfGroup[SuccGroup] = std::max(LevelOfGroup[SuccGroup],
                                              LevelOfGroup[Group] + 1);
+          Sched.GroupSucc[Group].push_back(SuccGroup);
+        }
       }
     MaxLevel = std::max(MaxLevel, LevelOfGroup[Group]);
+  }
+  for (std::vector<uint32_t> &Succs : Sched.GroupSucc) {
+    std::sort(Succs.begin(), Succs.end());
+    Succs.erase(std::unique(Succs.begin(), Succs.end()), Succs.end());
   }
   Sched.Levels.resize(size_t(MaxLevel) + 1);
   for (uint32_t Group = 0; Group < Sched.NumGroups; ++Group)

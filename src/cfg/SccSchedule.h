@@ -51,6 +51,12 @@ struct SccSchedule {
   /// concurrently; a group only depends on groups in strictly earlier
   /// levels.
   std::vector<std::vector<uint32_t>> Levels;
+
+  /// Cross-group successor adjacency of the condensation DAG: GroupSucc[G]
+  /// lists the groups that depend on G (deduplicated, ascending).  The
+  /// incremental re-analysis engine walks this to close a dirty frontier
+  /// over transitive dependents.
+  std::vector<std::vector<uint32_t>> GroupSucc;
 };
 
 /// Builds the schedule for a dependency graph over \p NumNodes nodes:

@@ -1,0 +1,88 @@
+//===- interproc/Incremental.h - Incremental re-analysis ------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental interprocedural re-analysis after a routine patch.
+///
+/// A resident service (spike-serve) holds a converged AnalysisResult and
+/// receives a new image version that differs from the analyzed one in a
+/// few routines' code.  Re-solving from scratch repeats work for every
+/// routine the patch cannot have affected; reanalyzeIncremental instead
+/// rebuilds the cheap structures (CFG, PSG — both already parallel and a
+/// small fraction of total time), diffs the routine records to find the
+/// *structurally dirty* set, and re-runs the two PSG phases with the
+/// solver's PhaseReuse protocol (psg/PsgSolver.h): SCC groups outside the
+/// dirty frontier restore their cached converged sets, labels, and
+/// provenance slots; groups on the frontier iterate exactly as a fresh
+/// solve would and extend the frontier to dependents whose inputs
+/// actually changed (phase 1 toward callers, phase 2 toward callees).
+/// The stack-slot dataflow re-solves the same way (slice/SlotFlow.h).
+///
+/// The contract — enforced by the differential oracle tests — is strict
+/// bit-identity: the resulting summaries, PSG sets, provenance store,
+/// and slot facts equal a from-scratch solve of the new image at every
+/// job count.  When the identity cannot be guaranteed cheaply (routine
+/// partition changed, phase 2's dirty closure reaches the indirect-call
+/// accumulator), the engine falls back to a full solve and says so in
+/// the outcome instead of risking a stale fact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_INTERPROC_INCREMENTAL_H
+#define SPIKE_INTERPROC_INCREMENTAL_H
+
+#include "psg/Analyzer.h"
+#include "slice/SlotFlow.h"
+
+namespace spike {
+
+/// What one incremental re-analysis did — the dirty-frontier accounting
+/// a serving layer reports per patch (`stats` command, serve.* run-report
+/// counters).
+struct IncrementalOutcome {
+  /// The engine fell back to a full from-scratch solve (routine
+  /// partition changed, or the resident result lacks the provenance
+  /// store the options ask for).  The result is still correct.
+  bool Full = false;
+
+  /// Phase 2's dirty closure reached an address-taken or
+  /// indirect-calling routine, so phase 2 re-solved every routine
+  /// (phase 1 reuse still applied).
+  bool Phase2Escalated = false;
+
+  /// The slot engine fell back to a full solve (global sp-escape in
+  /// either version collapses every fact to top anyway).
+  bool SlotFull = false;
+
+  /// Routines whose code / CFG record / annotation slices changed.
+  uint64_t StructDirty = 0;
+
+  /// Routines re-solved (not restored) by each register phase.
+  uint64_t Phase1Dirty = 0;
+  uint64_t Phase2Dirty = 0;
+
+  /// Routines re-solved by each slot phase (0 when Slots is null).
+  uint64_t SlotPhase1Dirty = 0;
+  uint64_t SlotPhase2Dirty = 0;
+};
+
+/// Re-analyzes \p NewImg against the resident converged result \p A of a
+/// previous image version, replacing \p A (and, when non-null, the
+/// resident slot facts \p Slots) with state bit-identical to a fresh
+/// analyzeImage / solveSlotFlow of \p NewImg under the same options.
+/// \p Opts must request the same provenance mode the resident result was
+/// produced with; a mismatch falls back to a full solve.  On a
+/// BudgetBlownError (governed runs) \p A and \p Slots are untouched —
+/// the caller keeps serving the old version and may retry degraded.
+IncrementalOutcome reanalyzeIncremental(const Image &NewImg,
+                                        const CallingConv &Conv,
+                                        const AnalysisOptions &Opts,
+                                        AnalysisResult &A,
+                                        SlotFlowResult *Slots = nullptr);
+
+} // namespace spike
+
+#endif // SPIKE_INTERPROC_INCREMENTAL_H

@@ -214,6 +214,257 @@ struct Phase2Prov {
   uint32_t *LocalAccumSrc = nullptr; ///< Reg -> in-group contributor.
 };
 
+/// Returns the per-routine first-edge ids, CSR-style (edges are sorted by
+/// source node and nodes are contiguous per routine, so routine r owns
+/// exactly [EdgeBegin[r], EdgeBegin[r+1])).  Empty routines inherit the
+/// next non-empty routine's begin.
+std::vector<uint32_t> routineEdgeBegins(const ProgramSummaryGraph &Psg,
+                                        const std::vector<uint32_t> &NodeBegin) {
+  size_t NumRoutines = NodeBegin.size() - 1;
+  std::vector<uint32_t> Begin(NumRoutines + 1);
+  Begin[NumRoutines] = uint32_t(Psg.Edges.size());
+  for (size_t R = NumRoutines; R-- > 0;)
+    Begin[R] = NodeBegin[R] == NodeBegin[R + 1]
+                   ? Begin[R + 1]
+                   : Psg.Nodes[NodeBegin[R]].FirstOut;
+  return Begin;
+}
+
+/// Id-remapping tables between the cached converged graph and the freshly
+/// rebuilt one, plus the shared dirty-flag plumbing.  Struct-clean
+/// routines have identical per-routine node/edge layout in both versions,
+/// so their ids remap by a per-routine offset; entry nodes additionally
+/// remap through the routine directory, which stays valid even when the
+/// owning routine restructured.
+struct ReuseMaps {
+  const PhaseReuse *R = nullptr;
+  const ProgramSummaryGraph *NewPsg = nullptr;
+  std::vector<uint32_t> OldNodeBegin, NewNodeBegin;
+  std::vector<uint32_t> OldEdgeBegin, NewEdgeBegin;
+
+  explicit operator bool() const { return R != nullptr; }
+
+  bool structClean(uint32_t Routine) const {
+    return (*R->StructClean)[Routine] != 0;
+  }
+
+  bool routineDirty(uint32_t Routine) const {
+    return R->Dirty[Routine].load(std::memory_order_relaxed) != 0;
+  }
+
+  bool groupDirty(const std::vector<uint32_t> &Members) const {
+    for (uint32_t Routine : Members)
+      if (routineDirty(Routine))
+        return true;
+    return false;
+  }
+
+  void flag(uint32_t Routine) const {
+    R->Dirty[Routine].store(1, std::memory_order_relaxed);
+  }
+
+  uint32_t newNode(uint32_t OldNode) const {
+    const PsgNode &Node = R->OldPsg->Nodes[OldNode];
+    if (Node.Kind == PsgNodeKind::Entry)
+      return NewPsg->RoutineInfo[Node.RoutineIndex].EntryNodes[Node.AuxIndex];
+    assert(structClean(Node.RoutineIndex) &&
+           "remapping a non-entry node of a restructured routine");
+    return NewNodeBegin[Node.RoutineIndex] +
+           (OldNode - OldNodeBegin[Node.RoutineIndex]);
+  }
+
+  uint32_t newEdge(uint32_t OldEdge) const {
+    uint32_t Routine =
+        R->OldPsg->Nodes[R->OldPsg->Edges[OldEdge].Src].RoutineIndex;
+    assert(structClean(Routine) &&
+           "remapping an edge of a restructured routine");
+    return NewEdgeBegin[Routine] + (OldEdge - OldEdgeBegin[Routine]);
+  }
+
+  /// The cached id of new edge \p NewEdgeId hosted by struct-clean
+  /// routine \p Routine.
+  uint32_t oldEdge(uint32_t NewEdgeId, uint32_t Routine) const {
+    return OldEdgeBegin[Routine] + (NewEdgeId - NewEdgeBegin[Routine]);
+  }
+
+  ProvDerivation remap(const ProvDerivation &D) const {
+    ProvDerivation Out = D;
+    if (Out.Edge != ProvDerivation::NoId)
+      Out.Edge = newEdge(Out.Edge);
+    if (Out.Node != ProvDerivation::NoId)
+      Out.Node = newNode(Out.Node);
+    return Out;
+  }
+};
+
+ReuseMaps buildReuseMaps(const PhaseReuse *Reuse,
+                         const ProgramSummaryGraph &Psg,
+                         const std::vector<uint32_t> &NodeBegin) {
+  ReuseMaps Maps;
+  if (!Reuse)
+    return Maps;
+  Maps.R = Reuse;
+  Maps.NewPsg = &Psg;
+  Maps.NewNodeBegin = NodeBegin;
+  Maps.OldNodeBegin.assign(Reuse->OldPsg->RoutineNodeBegin.begin(),
+                           Reuse->OldPsg->RoutineNodeBegin.end());
+  if (Maps.OldNodeBegin.size() != NodeBegin.size()) {
+    // Derive the old ranges when the cached graph predates the directory.
+    Maps.OldNodeBegin.assign(NodeBegin.size(), 0);
+    for (const PsgNode &Node : Reuse->OldPsg->Nodes)
+      ++Maps.OldNodeBegin[Node.RoutineIndex + 1];
+    for (size_t I = 1; I < Maps.OldNodeBegin.size(); ++I)
+      Maps.OldNodeBegin[I] += Maps.OldNodeBegin[I - 1];
+  }
+  Maps.OldEdgeBegin = routineEdgeBegins(*Reuse->OldPsg, Maps.OldNodeBegin);
+  Maps.NewEdgeBegin = routineEdgeBegins(Psg, NodeBegin);
+  return Maps;
+}
+
+/// Copies the cached provenance slots of one fact for the \p Count nodes
+/// starting at \p OldBase / \p NewBase, remapping every reference.
+void restoreProvenance(ProvenanceStore *Prov, const ReuseMaps &Maps,
+                       ProvFact Fact, uint32_t OldBase, uint32_t NewBase,
+                       uint32_t Count) {
+  if (!Prov)
+    return;
+  const ProvenanceStore *OldProv = Maps.R->OldProv;
+  for (uint32_t K = 0; K < Count; ++K)
+    for (unsigned Reg = 0; Reg < NumIntRegs; ++Reg)
+      if (const ProvDerivation *D = OldProv->lookup(Fact, OldBase + K, Reg))
+        Prov->slot(Fact, NewBase + K, Reg) = Maps.remap(*D);
+}
+
+/// Restores one clean group's pass-specific phase 1 state: the member
+/// nodes' converged sets, their provenance slots, and the call-return
+/// labels their entries broadcast.  Entries still at the pass's initial
+/// value are skipped when re-broadcasting — a fresh solve never refreshes
+/// a label whose entry node never changed, so the label must keep its
+/// initial value to stay bit-identical.
+void restoreGroupPhase1(ProgramSummaryGraph &Psg,
+                        const std::vector<RegSet> &SavedPerRoutine,
+                        RegSet AllRegs, RegSet RaOnly, bool MayUsePass,
+                        const std::vector<uint32_t> &Members,
+                        const ReuseMaps &Maps, ProvenanceStore *Prov) {
+  const ProgramSummaryGraph &Old = *Maps.R->OldPsg;
+  for (uint32_t R : Members) {
+    assert(Maps.structClean(R) && "restoring a restructured routine");
+    uint32_t OldBase = Maps.OldNodeBegin[R];
+    uint32_t NewBase = Maps.NewNodeBegin[R];
+    uint32_t Count = Maps.NewNodeBegin[R + 1] - NewBase;
+    for (uint32_t K = 0; K < Count; ++K) {
+      const PsgNode &From = Old.Nodes[OldBase + K];
+      PsgNode &To = Psg.Nodes[NewBase + K];
+      if (MayUsePass) {
+        To.Sets.MayUse = From.Sets.MayUse;
+      } else {
+        To.Sets.MustDef = From.Sets.MustDef;
+        To.Sets.MayDef = From.Sets.MayDef;
+      }
+    }
+    restoreProvenance(Prov, Maps,
+                      MayUsePass ? ProvFact::MayUse : ProvFact::MayDef,
+                      OldBase, NewBase, Count);
+
+    RegSet Saved = SavedPerRoutine[R];
+    for (uint32_t EntryNode : Psg.RoutineInfo[R].EntryNodes) {
+      const FlowSets &Sets = Psg.Nodes[EntryNode].Sets;
+      if (MayUsePass ? Sets.MayUse.empty()
+                     : (Sets.MustDef == AllRegs && Sets.MayDef.empty()))
+        continue;
+      RegSet LabelMust = (Sets.MustDef - Saved) | RaOnly;
+      RegSet LabelMay = (Sets.MayDef - Saved) | RaOnly;
+      RegSet LabelUse = (Sets.MayUse - Saved) - RaOnly;
+      for (uint32_t I = Psg.CrEdgeOfEntryBegin[EntryNode],
+                    E = Psg.CrEdgeOfEntryBegin[EntryNode + 1];
+           I != E; ++I) {
+        PsgEdge &Edge = Psg.Edges[Psg.CrEdgeOfEntryIds[I]];
+        if (MayUsePass) {
+          Edge.Label.MayUse = LabelUse;
+        } else {
+          Edge.Label.MustDef = LabelMust;
+          Edge.Label.MayDef = LabelMay;
+        }
+      }
+    }
+  }
+}
+
+/// After a dirty group converged one phase 1 pass, flags every
+/// struct-clean caller whose call-return label differs from the cache —
+/// those callers' cached state is stale and their groups (all at strictly
+/// later schedule levels) must iterate.  Restructured callers were seeded
+/// dirty up front.
+void flagCallersOnLabelDiff(const ProgramSummaryGraph &Psg, bool MayUsePass,
+                            const std::vector<uint32_t> &Members,
+                            const ReuseMaps &Maps) {
+  const ProgramSummaryGraph &Old = *Maps.R->OldPsg;
+  for (uint32_t R : Members)
+    for (uint32_t EntryNode : Psg.RoutineInfo[R].EntryNodes)
+      for (uint32_t I = Psg.CrEdgeOfEntryBegin[EntryNode],
+                    E = Psg.CrEdgeOfEntryBegin[EntryNode + 1];
+           I != E; ++I) {
+        uint32_t EdgeId = Psg.CrEdgeOfEntryIds[I];
+        const PsgEdge &Edge = Psg.Edges[EdgeId];
+        uint32_t Host = Psg.Nodes[Edge.Src].RoutineIndex;
+        if (!Maps.structClean(Host))
+          continue;
+        const PsgEdge &OldE = Old.Edges[Maps.oldEdge(EdgeId, Host)];
+        bool Differs =
+            MayUsePass ? !(OldE.Label.MayUse == Edge.Label.MayUse)
+                       : !(OldE.Label.MustDef == Edge.Label.MustDef &&
+                           OldE.Label.MayDef == Edge.Label.MayDef);
+        if (Differs)
+          Maps.flag(Host);
+      }
+}
+
+/// Restores one clean group's phase 2 state: member Live sets and their
+/// provenance slots.
+void restoreGroupPhase2(ProgramSummaryGraph &Psg,
+                        const std::vector<uint32_t> &Members,
+                        const ReuseMaps &Maps, ProvenanceStore *Prov) {
+  const ProgramSummaryGraph &Old = *Maps.R->OldPsg;
+  for (uint32_t R : Members) {
+    assert(Maps.structClean(R) && "restoring a restructured routine");
+    uint32_t OldBase = Maps.OldNodeBegin[R];
+    uint32_t NewBase = Maps.NewNodeBegin[R];
+    uint32_t Count = Maps.NewNodeBegin[R + 1] - NewBase;
+    for (uint32_t K = 0; K < Count; ++K)
+      Psg.Nodes[NewBase + K].Live = Old.Nodes[OldBase + K].Live;
+    restoreProvenance(Prov, Maps, ProvFact::Live, OldBase, NewBase, Count);
+  }
+}
+
+/// After a dirty group converged phase 2, flags the routines whose exits
+/// read a member return site's liveness — unconditionally for
+/// restructured members (their callees were seeded dirty anyway; this is
+/// the cheap belt to that suspenders), on a value difference for
+/// struct-clean ones.
+void flagCalleesOnLiveDiff(const ProgramSummaryGraph &Psg,
+                           const std::vector<uint32_t> &Members,
+                           const ReuseMaps &Maps) {
+  const ProgramSummaryGraph &Old = *Maps.R->OldPsg;
+  for (uint32_t R : Members) {
+    bool Clean = Maps.structClean(R);
+    const std::vector<uint32_t> &Returns = Psg.RoutineInfo[R].ReturnNodes;
+    for (size_t C = 0; C < Returns.size(); ++C) {
+      uint32_t Ret = Returns[C];
+      bool Changed = true;
+      if (Clean) {
+        uint32_t OldRet = Old.RoutineInfo[R].ReturnNodes[C];
+        Changed = !(Psg.Nodes[Ret].Live == Old.Nodes[OldRet].Live);
+      }
+      if (!Changed)
+        continue;
+      for (uint32_t I = Psg.ExitsOfReturnBegin[Ret],
+                    E = Psg.ExitsOfReturnBegin[Ret + 1];
+           I != E; ++I)
+        Maps.flag(Psg.Nodes[Psg.ExitsOfReturnIds[I]].RoutineIndex);
+    }
+  }
+}
+
 /// Returns the per-routine node ranges, deriving them from the nodes'
 /// routine indices when the graph predates buildPsg's directory (nodes
 /// are created routine by routine, so each range is contiguous).
@@ -617,9 +868,12 @@ RegSet solveGroupPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
 SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                              const std::vector<RegSet> &SavedPerRoutine,
                              ThreadPool *Pool, ProvenanceStore *Prov,
-                             const ResourceGovernor *Gov) {
+                             const ResourceGovernor *Gov,
+                             const PhaseReuse *Reuse) {
   assert((!Prov || Prov->numNodes() == Psg.Nodes.size()) &&
          "provenance store not initialized for this graph");
+  assert((!Reuse || !Prov || (Reuse->OldProv && Reuse->OldProv->enabled())) &&
+         "incremental re-solve with recording needs the cached store");
   telemetry::Span PhaseSpan("psg.phase1");
   SolverStats Stats;
   RegSet AllRegs = RegSet::allBelow(NumIntRegs);
@@ -664,6 +918,7 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
   CallGraph Graph = buildCallGraph(Prog);
   SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
   std::vector<uint32_t> NodeBegin = routineNodeBegins(Prog, Psg);
+  ReuseMaps Maps = buildReuseMaps(Reuse, Psg, NodeBegin);
   bool Profile = telemetry::profiling();
   std::vector<LaneScratch> Scratch(laneCount(Pool));
   for (LaneScratch &S : Scratch)
@@ -673,6 +928,8 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
   std::vector<uint64_t> RoutinePops(Profile ? Prog.Routines.size() : 0, 0);
   for (GroupProfile &P : Profiles)
     P.RoutinePops = RoutinePops.data();
+  // Written only by each group's own task; read after the joins.
+  std::vector<uint8_t> Restored(Maps ? 2 * size_t(Sched.NumGroups) : 0, 0);
 
   auto RunPass = [&](bool MayUsePass) {
     for (const std::vector<uint32_t> &Level : Sched.Levels)
@@ -680,6 +937,17 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
         uint32_t Group = Level[I];
         if (Sched.Members[Group].empty())
           return;
+        if (Maps && !Maps.groupDirty(Sched.Members[Group])) {
+          // Every input this group would read matches the cached solve:
+          // restore its converged state instead of iterating.
+          restoreGroupPhase1(Psg, SavedPerRoutine, AllRegs, RaOnly,
+                             MayUsePass, Sched.Members[Group], Maps, Prov);
+          Restored[size_t(MayUsePass) * Sched.NumGroups + Group] = 1;
+          return;
+        }
+        if (Maps)
+          for (uint32_t R : Sched.Members[Group])
+            Maps.flag(R); // Once any member is dirty, the whole group is.
         GroupProfile *Prof = Profile ? &Profiles[Group] : nullptr;
         uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
         if (MayUsePass)
@@ -690,6 +958,8 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
           solveGroupPassA(Prog, Psg, SavedPerRoutine, AllRegs, RaOnly,
                           Sched.Members[Group], NodeBegin, Scratch[Lane],
                           GroupStats[Group], Prof, Prov, Gov);
+        if (Maps)
+          flagCallersOnLabelDiff(Psg, MayUsePass, Sched.Members[Group], Maps);
         if (Prof)
           Prof->Ns += telemetry::costClockNs() - T0;
       });
@@ -719,6 +989,16 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
   }
   telemetry::count("psg.phase1.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase1.edge_visits", Stats.EdgeVisits);
+  if (Maps) {
+    uint64_t Reused = 0;
+    for (uint8_t Flag : Restored)
+      Reused += Flag;
+    uint64_t DirtyRoutines = 0;
+    for (size_t R = 0; R < Prog.Routines.size(); ++R)
+      DirtyRoutines += Maps.routineDirty(uint32_t(R));
+    telemetry::count("psg.phase1.groups_reused", Reused);
+    telemetry::count("psg.phase1.dirty_routines", DirtyRoutines);
+  }
   if (Profile)
     telemetry::emitGroupCosts(
         "psg.phase1", Profiles,
@@ -734,9 +1014,12 @@ SolverStats spike::runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
 
 SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
                              ThreadPool *Pool, ProvenanceStore *Prov,
-                             const ResourceGovernor *Gov) {
+                             const ResourceGovernor *Gov,
+                             const PhaseReuse *Reuse) {
   assert((!Prov || Prov->numNodes() == Psg.Nodes.size()) &&
          "provenance store not initialized for this graph");
+  assert((!Reuse || !Prov || (Reuse->OldProv && Reuse->OldProv->enabled())) &&
+         "incremental re-solve with recording needs the cached store");
   telemetry::Span PhaseSpan("psg.phase2");
   SolverStats Stats;
 
@@ -797,6 +1080,61 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   CallGraph Graph = buildCallGraph(Prog);
   SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
   std::vector<uint32_t> NodeBegin = routineNodeBegins(Prog, Psg);
+  ReuseMaps Maps = buildReuseMaps(Reuse, Psg, NodeBegin);
+
+  if (Maps) {
+    // Escalation guard: close the seeded dirty frontier over the schedule
+    // DAG.  Flags only ever propagate along caller -> callee group edges,
+    // so the closure over-approximates every group that could become
+    // dirty during the run.  If it reaches an address-taken or
+    // indirect-calling routine, the order-dependent indirect-call
+    // accumulator would be involved — re-solve everything fresh instead
+    // (still cheaper than rebuilding: the structures are already built).
+    std::vector<uint8_t> InClosure(Sched.NumGroups, 0);
+    std::vector<uint32_t> Work;
+    for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+      if (Maps.routineDirty(R)) {
+        uint32_t Group = Sched.GroupOfRoutine[R];
+        if (!InClosure[Group]) {
+          InClosure[Group] = 1;
+          Work.push_back(Group);
+        }
+      }
+    while (!Work.empty()) {
+      uint32_t Group = Work.back();
+      Work.pop_back();
+      for (uint32_t Succ : Sched.GroupSucc[Group])
+        if (!InClosure[Succ]) {
+          InClosure[Succ] = 1;
+          Work.push_back(Succ);
+        }
+    }
+    bool Escalate = false;
+    for (uint32_t Group = 0; Group < Sched.NumGroups && !Escalate; ++Group)
+      if (InClosure[Group])
+        for (uint32_t R : Sched.Members[Group])
+          if (Prog.Routines[R].AddressTaken || Graph.HasIndirectCalls[R]) {
+            Escalate = true;
+            break;
+          }
+    if (Escalate) {
+      telemetry::count("psg.phase2.reuse_escalations");
+      if (Reuse->EscalatedOut)
+        Reuse->EscalatedOut->store(1, std::memory_order_relaxed);
+      for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+        Maps.flag(R);
+    }
+    // Belt to the caller's seeding contract: every (new-graph) callee of
+    // a restructured routine re-solves.
+    for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+      if (!Maps.structClean(R))
+        for (uint32_t Ret : Psg.RoutineInfo[R].ReturnNodes)
+          for (uint32_t I = Psg.ExitsOfReturnBegin[Ret],
+                        E = Psg.ExitsOfReturnBegin[Ret + 1];
+               I != E; ++I)
+            Maps.flag(Psg.Nodes[Psg.ExitsOfReturnIds[I]].RoutineIndex);
+  }
+
   bool Profile = telemetry::profiling();
   std::vector<LaneScratch> Scratch(laneCount(Pool));
   for (LaneScratch &S : Scratch)
@@ -828,11 +1166,25 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   std::vector<std::array<uint32_t, NumIntRegs>> GroupAccumSrc(
       Prov ? Sched.NumGroups : 0, NoSrcRow);
 
+  // Written only by each group's own task; read after the joins.
+  std::vector<uint8_t> Restored(Maps ? Sched.NumGroups : 0, 0);
+
   for (const std::vector<uint32_t> &Level : Sched.Levels) {
     forEachTask(Pool, Level.size(), [&](size_t I, unsigned Lane) {
       uint32_t Group = Level[I];
       if (Sched.Members[Group].empty())
         return;
+      if (Maps && !Maps.groupDirty(Sched.Members[Group])) {
+        // The guard above proved no clean group touches the accumulator
+        // as a producer-to-dirty-consumer, so restoring is safe; its
+        // GroupAccum contribution stays empty.
+        restoreGroupPhase2(Psg, Sched.Members[Group], Maps, Prov);
+        Restored[Group] = 1;
+        return;
+      }
+      if (Maps)
+        for (uint32_t R : Sched.Members[Group])
+          Maps.flag(R);
       Phase2Prov PP;
       if (Prov) {
         PP.Store = Prov;
@@ -847,6 +1199,8 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
           Prog, Psg, ExitSeed, IsAddressTakenExit, IsIndirectReturn,
           IndirectAccum, Sched.Members[Group], NodeBegin, Scratch[Lane],
           GroupStats[Group], Prof, PP, Gov);
+      if (Maps)
+        flagCalleesOnLiveDiff(Psg, Sched.Members[Group], Maps);
       if (Prof)
         Prof->Ns += telemetry::costClockNs() - T0;
     });
@@ -865,6 +1219,16 @@ SolverStats spike::runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
   }
   telemetry::count("psg.phase2.worklist_pops", Stats.NodeEvaluations);
   telemetry::count("psg.phase2.edge_visits", Stats.EdgeVisits);
+  if (Maps) {
+    uint64_t Reused = 0;
+    for (uint8_t Flag : Restored)
+      Reused += Flag;
+    uint64_t DirtyRoutines = 0;
+    for (size_t R = 0; R < Prog.Routines.size(); ++R)
+      DirtyRoutines += Maps.routineDirty(uint32_t(R));
+    telemetry::count("psg.phase2.groups_reused", Reused);
+    telemetry::count("psg.phase2.dirty_routines", DirtyRoutines);
+  }
   if (Profile)
     telemetry::emitGroupCosts(
         "psg.phase2", Profiles,

@@ -38,6 +38,8 @@
 #include "psg/PsgGraph.h"
 #include "support/RegSet.h"
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 namespace spike {
@@ -63,6 +65,49 @@ struct SolverStats {
   uint64_t ProvenanceRecords = 0;
 };
 
+/// Converged state of a previous solve of a *previous version* of the
+/// same program, enabling incremental re-analysis after a routine patch
+/// (interproc/Incremental.h drives this).
+///
+/// The contract: the old and new programs have the same routine
+/// partition (count, names, boundaries).  StructClean[r] is 1 when
+/// routine r's code, CFG record, and annotation slices are identical in
+/// both versions, so its per-routine PSG layout — node and edge id
+/// ranges — is identical up to a constant offset.  Dirty[r] is a
+/// monotone (false -> true only) per-routine flag array the caller seeds
+/// and the solver grows:
+///
+///   - Phase 1 expects Dirty seeded with the struct-dirty routines.
+///   - Phase 2 expects Dirty seeded with phase 1's final flags plus the
+///     struct-dirty routines and every routine called by a struct-dirty
+///     routine in *either* version (a dropped call still shrinks the old
+///     callee's exit liveness).
+///
+/// At its scheduled slot, an SCC group with no dirty member restores the
+/// cached converged values (and, when recording, the remapped provenance
+/// slots) instead of iterating; a dirty group iterates from the standard
+/// initial values — exactly what a fresh solve would do, because every
+/// input it reads has converged to the fresh solve's value — and then
+/// compares its outward-facing results (phase 1: call-return labels,
+/// phase 2: return-site liveness) against the cache, flagging dependent
+/// routines on any difference.  Phase 2 additionally escalates to a full
+/// re-solve when the dirty closure over the schedule DAG reaches any
+/// address-taken or indirect-calling routine, side-stepping the
+/// order-dependent indirect-call accumulator.  The result — values,
+/// labels, and provenance tables — is bit-identical to a fresh solve of
+/// the new program; only SolverStats (work actually done) shrinks.
+struct PhaseReuse {
+  const Program *OldProg = nullptr;
+  const ProgramSummaryGraph *OldPsg = nullptr;
+  const ProvenanceStore *OldProv = nullptr; ///< Null when recording is off.
+  const std::vector<uint8_t> *StructClean = nullptr; ///< Per routine.
+  std::atomic<uint8_t> *Dirty = nullptr; ///< Per routine, monotone.
+
+  /// Out-flag (optional): phase 2 sets it when the dirty closure forced a
+  /// full re-solve.
+  std::atomic<uint8_t> *EscalatedOut = nullptr;
+};
+
 /// Runs phase 1 to convergence.  \p SavedPerRoutine holds, per routine,
 /// the callee-saved registers it saves and restores (Section 3.4).  When
 /// \p Pool is non-null, call-graph components without mutual dependencies
@@ -74,11 +119,14 @@ struct SolverStats {
 /// polls it per pop; a non-Ok verdict throws BudgetBlownError naming the
 /// group's routines (unwound deterministically through the pool: the
 /// lowest-index group of the level wins).
+/// When \p Reuse is non-null, clean SCC groups restore cached state
+/// instead of iterating (see PhaseReuse).
 SolverStats runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
                       const std::vector<RegSet> &SavedPerRoutine,
                       ThreadPool *Pool = nullptr,
                       ProvenanceStore *Prov = nullptr,
-                      const ResourceGovernor *Gov = nullptr);
+                      const ResourceGovernor *Gov = nullptr,
+                      const PhaseReuse *Reuse = nullptr);
 
 /// Runs phase 2 to convergence.  Phase 1 must have run first (the
 /// call-return edge labels it produced are inputs here).  \p Pool,
@@ -87,7 +135,8 @@ SolverStats runPhase1(const Program &Prog, ProgramSummaryGraph &Psg,
 SolverStats runPhase2(const Program &Prog, ProgramSummaryGraph &Psg,
                       ThreadPool *Pool = nullptr,
                       ProvenanceStore *Prov = nullptr,
-                      const ResourceGovernor *Gov = nullptr);
+                      const ResourceGovernor *Gov = nullptr,
+                      const PhaseReuse *Reuse = nullptr);
 
 /// Returns the callee-saved-filtered copy of \p Sets for a routine whose
 /// saved-and-restored register set is \p Saved (the Section 3.4 filter).

@@ -1,0 +1,962 @@
+//===- serve/Serve.cpp - Resident analysis server -------------------------===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "isa/Registers.h"
+#include "lint/Linter.h"
+#include "provenance/Witness.h"
+#include "slice/Slicer.h"
+#include "telemetry/Json.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define SPIKE_SERVE_POSIX 1
+#endif
+
+using spike::telemetry::JsonValue;
+using spike::telemetry::jsonQuote;
+
+namespace spike {
+
+namespace {
+
+/// Read-only commands: evaluated in parallel inside a batch because each
+/// reply is a pure function of the resident state.
+bool isQueryCommand(const std::string &Cmd) {
+  return Cmd == "analyze" || Cmd == "lint" || Cmd == "explain" ||
+         Cmd == "slice";
+}
+
+std::string u64(uint64_t V) { return std::to_string(V); }
+
+/// Renders a RegSet as a JSON array of register names, ascending.
+std::string regArray(const RegSet &S) {
+  std::string Out = "[";
+  bool First = true;
+  for (unsigned R = 0; R < NumIntRegs; ++R) {
+    if (!S.contains(R))
+      continue;
+    if (!First)
+      Out += ",";
+    Out += jsonQuote(regName(R));
+    First = false;
+  }
+  return Out + "]";
+}
+
+std::string addrArray(const std::vector<uint64_t> &Addrs) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Addrs.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += u64(Addrs[I]);
+  }
+  return Out + "]";
+}
+
+/// "r5@entry:foo" -> register + location tail, mirroring spike-explain's
+/// grammar but reporting errors as strings (the server never prints).
+bool parseLocation(const std::string &Spec, unsigned &Reg, std::string &Where,
+                   std::string &Err) {
+  size_t At = Spec.find('@');
+  if (At == std::string::npos || At == 0) {
+    Err = "location '" + Spec + "' is not <reg>@<kind>:<routine>";
+    return false;
+  }
+  Reg = parseRegName(Spec.substr(0, At).c_str());
+  Where = Spec.substr(At + 1);
+  if (Reg >= NumIntRegs) {
+    Err = "unknown register '" + Spec.substr(0, At) + "'";
+    return false;
+  }
+  if (Where.empty()) {
+    Err = "location '" + Spec + "' has no <kind>:<routine> part";
+    return false;
+  }
+  return true;
+}
+
+/// "<kind>:<routine>[#i]" / "node:<id>" -> PSG node id.
+bool resolveNodeId(const AnalysisResult &A, const std::string &Where,
+                   uint32_t &NodeId, std::string &Err) {
+  size_t Colon = Where.find(':');
+  if (Colon == std::string::npos) {
+    Err = "location '" + Where +
+          "' has no kind (want entry|exit|call|return|node ':' name)";
+    return false;
+  }
+  std::string Kind = Where.substr(0, Colon);
+  std::string Name = Where.substr(Colon + 1);
+  unsigned Index = 0;
+  if (size_t Hash = Name.rfind('#'); Hash != std::string::npos) {
+    Index = unsigned(std::strtoul(Name.c_str() + Hash + 1, nullptr, 10));
+    Name = Name.substr(0, Hash);
+  }
+
+  if (Kind == "node") {
+    NodeId = uint32_t(std::strtoul(Name.c_str(), nullptr, 10));
+    if (NodeId >= A.Psg.Nodes.size()) {
+      Err = "PSG node " + Name + " out of range (have " +
+            u64(A.Psg.Nodes.size()) + ")";
+      return false;
+    }
+    return true;
+  }
+
+  for (uint32_t R = 0; R < A.Prog.Routines.size(); ++R) {
+    if (A.Prog.Routines[R].Name != Name)
+      continue;
+    const RoutinePsg &Info = A.Psg.RoutineInfo[R];
+    const std::vector<uint32_t> *Nodes = nullptr;
+    if (Kind == "entry")
+      Nodes = &Info.EntryNodes;
+    else if (Kind == "exit")
+      Nodes = &Info.ExitNodes;
+    else if (Kind == "call")
+      Nodes = &Info.CallNodes;
+    else if (Kind == "return")
+      Nodes = &Info.ReturnNodes;
+    else {
+      Err = "unknown location kind '" + Kind +
+            "' (want entry|exit|call|return|node)";
+      return false;
+    }
+    if (Index >= Nodes->size()) {
+      Err = "routine '" + Name + "' has " + u64(Nodes->size()) + " " + Kind +
+            " node(s), index " + u64(Index) + " out of range";
+      return false;
+    }
+    NodeId = (*Nodes)[Index];
+    return true;
+  }
+  Err = "no routine named '" + Name + "'";
+  return false;
+}
+
+int32_t findRoutine(const Program &Prog, const std::string &Name) {
+  for (uint32_t R = 0; R < Prog.Routines.size(); ++R)
+    if (Prog.Routines[R].Name == Name)
+      return int32_t(R);
+  return -1;
+}
+
+const char *verdictWord(BudgetVerdict V) {
+  switch (V) {
+  case BudgetVerdict::Ok:
+    return "ok";
+  case BudgetVerdict::Cancelled:
+    return "cancelled";
+  case BudgetVerdict::IterationCapHit:
+    return "iteration-cap";
+  case BudgetVerdict::MemoryExceeded:
+    return "memory";
+  case BudgetVerdict::DeadlineExpired:
+    return "deadline";
+  }
+  return "?";
+}
+
+} // namespace
+
+/// One parsed protocol line.
+struct Server::Request {
+  uint64_t Seq = 0;
+  std::string Cmd;
+  JsonValue Args; ///< Kind Null when the line carried no JSON.
+  std::string ParseError;
+};
+
+/// One reply plus the accounting flags the batch loop aggregates after
+/// the parallel join (query handlers never touch ServeStats directly).
+struct Server::Reply {
+  std::string Text;
+  bool IsError = false;
+  bool Degraded = false;
+  bool DepBuilt = false;
+  bool DepHit = false;
+};
+
+// These helpers need Request's definition, so they live below it.
+namespace {
+
+std::string replyHead(const Server::Request &Req, bool Ok) {
+  std::string Head = "{\"cmd\":";
+  Head += jsonQuote(Req.Cmd.empty() ? "?" : Req.Cmd);
+  Head += ",\"seq\":";
+  Head += u64(Req.Seq);
+  Head += Ok ? ",\"ok\":true" : ",\"ok\":false";
+  return Head;
+}
+
+Server::Reply errorReply(const Server::Request &Req, const std::string &Msg) {
+  Server::Reply R;
+  R.IsError = true;
+  R.Text = replyHead(Req, false) + ",\"error\":" + jsonQuote(Msg) + "}";
+  return R;
+}
+
+Server::Reply degradedError(const Server::Request &Req,
+                            const BudgetBlownError &E) {
+  Server::Reply R;
+  R.IsError = true;
+  R.Degraded = true;
+  R.Text = replyHead(Req, false) + ",\"degraded\":true,\"note\":" +
+           jsonQuote(std::string("!! DEGRADED: budget blown (") +
+                     verdictWord(E.verdict()) + ") in " + E.phase()) +
+           "}";
+  return R;
+}
+
+} // namespace
+
+Server::Server(ServerOptions Opts_)
+    : Opts(std::move(Opts_)), Pool(Opts.Jobs ? Opts.Jobs : 1) {}
+
+Server::~Server() = default;
+
+void Server::installFresh(Image NewImg, AnalysisResult NewA,
+                          SlotFlowResult NewSlots) {
+  Img = std::move(NewImg);
+  A = std::move(NewA);
+  Slots = std::move(NewSlots);
+  Deps.reset();
+  Loaded = true;
+}
+
+bool Server::loadImage(Image NewImg, std::string *Error) {
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Opts.Jobs;
+  AOpts.RecordProvenance = Opts.RecordProvenance;
+  try {
+    AnalysisResult NewA;
+    if (Opts.Budget.any()) {
+      Expected<GovernedAnalysis> G =
+          analyzeImageGoverned(NewImg, Opts.Conv, AOpts, Opts.Budget, nullptr);
+      if (!G) {
+        if (Error)
+          *Error = G.error().str();
+        return false;
+      }
+      NewA = std::move(G->Result);
+    } else {
+      NewA = analyzeImage(NewImg, Opts.Conv, AOpts);
+    }
+    SlotFlowResult NewSlots = solveSlotFlow(NewA.Prog, &Pool);
+    installFresh(std::move(NewImg), std::move(NewA), std::move(NewSlots));
+    ++St.Loads;
+    return true;
+  } catch (const std::exception &E) {
+    if (Error)
+      *Error = E.what();
+    return false;
+  }
+}
+
+Server::Request Server::parseRequest(const std::string &Line,
+                                     uint64_t Seq) const {
+  Request Req;
+  Req.Seq = Seq;
+  size_t B = Line.find_first_not_of(" \t\r");
+  if (B == std::string::npos) {
+    Req.ParseError = "empty line";
+    return Req;
+  }
+  size_t E = Line.find_first_of(" \t", B);
+  Req.Cmd = Line.substr(B, E == std::string::npos ? std::string::npos : E - B);
+  if (!Req.Cmd.empty() && Req.Cmd.back() == '\r')
+    Req.Cmd.pop_back();
+  if (E == std::string::npos)
+    return Req;
+  size_t ArgB = Line.find_first_not_of(" \t", E);
+  if (ArgB == std::string::npos)
+    return Req;
+  std::string ArgText = Line.substr(ArgB);
+  while (!ArgText.empty() &&
+         (ArgText.back() == '\r' || ArgText.back() == ' ' ||
+          ArgText.back() == '\t'))
+    ArgText.pop_back();
+  if (ArgText.empty())
+    return Req;
+  std::string JsonErr;
+  std::optional<JsonValue> Parsed = telemetry::parseJson(ArgText, &JsonErr);
+  if (!Parsed) {
+    Req.ParseError = "bad JSON arguments: " + JsonErr;
+    return Req;
+  }
+  if (!Parsed->isObject()) {
+    Req.ParseError = "arguments must be a JSON object";
+    return Req;
+  }
+  Req.Args = std::move(*Parsed);
+  return Req;
+}
+
+Server::Reply Server::dispatch(const Request &Req) {
+  try {
+    if (!Req.ParseError.empty())
+      return errorReply(Req, Req.ParseError);
+    if (Req.Cmd == "load")
+      return handleLoad(Req);
+    if (Req.Cmd == "analyze")
+      return handleAnalyze(Req);
+    if (Req.Cmd == "lint")
+      return handleLint(Req);
+    if (Req.Cmd == "explain")
+      return handleExplain(Req);
+    if (Req.Cmd == "slice")
+      return handleSlice(Req);
+    if (Req.Cmd == "patch-routine")
+      return handlePatch(Req);
+    if (Req.Cmd == "stats")
+      return handleStats(Req);
+    if (Req.Cmd == "shutdown") {
+      Exited = true;
+      Reply R;
+      R.Text = replyHead(Req, true) + "}";
+      return R;
+    }
+    return errorReply(Req, "unknown command '" + Req.Cmd + "'");
+  } catch (const BudgetBlownError &E) {
+    return degradedError(Req, E);
+  } catch (const std::exception &E) {
+    return errorReply(Req, std::string("internal error: ") + E.what());
+  }
+}
+
+Server::Reply Server::handleLoad(const Request &Req) {
+  std::string Path = Req.Args.stringOr("path", "");
+  if (Path.empty())
+    return errorReply(Req, "load needs {\"path\": \"<image.spkx>\"}");
+  std::string Error;
+  std::optional<Image> NewImg = readImageFile(Path, &Error);
+  if (!NewImg)
+    return errorReply(Req, Error);
+
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Opts.Jobs;
+  AOpts.RecordProvenance = Opts.RecordProvenance;
+  std::vector<std::string> DegradedRoutines;
+  AnalysisResult NewA;
+  if (Opts.Budget.any()) {
+    Expected<GovernedAnalysis> G =
+        analyzeImageGoverned(*NewImg, Opts.Conv, AOpts, Opts.Budget, nullptr);
+    if (!G)
+      return errorReply(Req, G.error().str());
+    NewA = std::move(G->Result);
+    DegradedRoutines = std::move(G->DegradedRoutines);
+  } else {
+    NewA = analyzeImage(*NewImg, Opts.Conv, AOpts);
+  }
+  SlotFlowResult NewSlots = solveSlotFlow(NewA.Prog, &Pool);
+
+  uint64_t Quarantined = 0;
+  for (const Routine &R : NewA.Prog.Routines)
+    Quarantined += R.Quarantined;
+  uint64_t NumRoutines = NewA.Prog.Routines.size();
+  installFresh(std::move(*NewImg), std::move(NewA), std::move(NewSlots));
+  ++St.Loads;
+
+  Reply R;
+  R.Text = replyHead(Req, true) + ",\"routines\":" + u64(NumRoutines) +
+           ",\"quarantined\":" + u64(Quarantined);
+  if (!DegradedRoutines.empty()) {
+    R.Degraded = true;
+    std::string Names;
+    for (const std::string &N : DegradedRoutines) {
+      if (!Names.empty())
+        Names += ", ";
+      Names += N;
+    }
+    R.Text += ",\"degraded\":true,\"note\":" +
+              jsonQuote("!! DEGRADED: budget degraded " + Names);
+  }
+  R.Text += "}";
+  return R;
+}
+
+Server::Reply Server::handleAnalyze(const Request &Req) const {
+  if (!Loaded)
+    return errorReply(Req, "no image loaded");
+  std::string Name = Req.Args.stringOr("routine", "");
+  if (Name.empty()) {
+    uint64_t Quarantined = 0, AddressTaken = 0;
+    for (const Routine &R : A.Prog.Routines) {
+      Quarantined += R.Quarantined;
+      AddressTaken += R.AddressTaken;
+    }
+    Reply R;
+    R.Text = replyHead(Req, true) +
+             ",\"routines\":" + u64(A.Prog.Routines.size()) +
+             ",\"quarantined\":" + u64(Quarantined) +
+             ",\"address_taken\":" + u64(AddressTaken) +
+             ",\"psg_nodes\":" + u64(A.Psg.Nodes.size()) +
+             ",\"phase1_evals\":" + u64(A.Phase1Stats.NodeEvaluations) +
+             ",\"phase2_evals\":" + u64(A.Phase2Stats.NodeEvaluations) + "}";
+    return R;
+  }
+
+  int32_t RIdx = findRoutine(A.Prog, Name);
+  if (RIdx < 0)
+    return errorReply(Req, "no routine named '" + Name + "'");
+  const Routine &Rt = A.Prog.Routines[uint32_t(RIdx)];
+  const RoutineResults &Res = A.Summaries.Routines[uint32_t(RIdx)];
+
+  std::string Entries = "[";
+  for (size_t I = 0; I < Res.EntrySummaries.size(); ++I) {
+    if (I)
+      Entries += ",";
+    const CallSummary &S = Res.EntrySummaries[I];
+    Entries += "{\"address\":" + u64(Rt.EntryAddresses[I]) +
+               ",\"used\":" + regArray(S.Used) +
+               ",\"defined\":" + regArray(S.Defined) +
+               ",\"killed\":" + regArray(S.Killed) +
+               ",\"live_in\":" + regArray(Res.LiveAtEntry[I]) + "}";
+  }
+  Entries += "]";
+  std::string Exits = "[";
+  for (size_t I = 0; I < Res.LiveAtExit.size(); ++I) {
+    if (I)
+      Exits += ",";
+    Exits += "{\"live_out\":" + regArray(Res.LiveAtExit[I]) + "}";
+  }
+  Exits += "]";
+
+  Reply R;
+  R.Text = replyHead(Req, true) + ",\"routine\":" + jsonQuote(Rt.Name) +
+           ",\"begin\":" + u64(Rt.Begin) + ",\"end\":" + u64(Rt.End) +
+           std::string(",\"quarantined\":") +
+           (Rt.Quarantined ? "true" : "false") +
+           std::string(",\"address_taken\":") +
+           (Rt.AddressTaken ? "true" : "false") + ",\"entries\":" + Entries +
+           ",\"exits\":" + Exits + "}";
+  return R;
+}
+
+Server::Reply Server::handleLint(const Request &Req) const {
+  if (!Loaded)
+    return errorReply(Req, "no image loaded");
+  LintOptions LOpts;
+  LOpts.Jobs = 1; // Parallelism comes from the query batch, not the rules.
+  std::string MinSev = Req.Args.stringOr("min-severity", "");
+  if (MinSev == "warning")
+    LOpts.MinSeverity = Severity::Warning;
+  else if (MinSev == "error")
+    LOpts.MinSeverity = Severity::Error;
+  else if (!MinSev.empty() && MinSev != "note")
+    return errorReply(Req, "min-severity must be note|warning|error");
+  if (const JsonValue *V = Req.Args.find("verify"); V && V->isBool())
+    LOpts.Verify = V->B;
+
+  LintResult Result = lintAnalysis(Img, A, LOpts);
+  std::string Diags = "[";
+  for (size_t I = 0; I < Result.Diags.size(); ++I) {
+    if (I)
+      Diags += ",";
+    Diags += jsonQuote(Result.Diags[I].str());
+  }
+  Diags += "]";
+  Reply R;
+  R.Text = replyHead(Req, true) + ",\"count\":" + u64(Result.Diags.size()) +
+           ",\"errors\":" + u64(Result.count(Severity::Error)) +
+           ",\"warnings\":" + u64(Result.count(Severity::Warning)) +
+           ",\"diags\":" + Diags + "}";
+  return R;
+}
+
+Server::Reply Server::handleExplain(const Request &Req) const {
+  if (!Loaded)
+    return errorReply(Req, "no image loaded");
+  std::string Fact = Req.Args.stringOr("fact", "");
+
+  if (Fact == "dead") {
+    const JsonValue *AddrV = Req.Args.find("addr");
+    if (!AddrV || !AddrV->isNumber())
+      return errorReply(Req, "explain dead needs a numeric \"addr\"");
+    int RegArg = -1;
+    std::string RegStr = Req.Args.stringOr("reg", "");
+    if (!RegStr.empty()) {
+      unsigned Reg = parseRegName(RegStr.c_str());
+      if (Reg >= NumIntRegs)
+        return errorReply(Req, "unknown register '" + RegStr + "'");
+      RegArg = int(Reg);
+    }
+    DeadDefExplanation Ex =
+        explainDeadDef(A, uint64_t(AddrV->Num), RegArg);
+    Reply R;
+    R.Text = replyHead(Req, true) +
+             std::string(",\"found\":") + (Ex.Found ? "true" : "false") +
+             std::string(",\"dead\":") + (Ex.Dead ? "true" : "false") +
+             ",\"reg\":" + jsonQuote(Ex.Found ? regName(Ex.Reg) : "") +
+             ",\"text\":" + jsonQuote(Ex.Text) + "}";
+    return R;
+  }
+
+  ProvFact PF;
+  if (Fact == "live")
+    PF = ProvFact::Live;
+  else if (Fact == "may-use")
+    PF = ProvFact::MayUse;
+  else if (Fact == "may-def")
+    PF = ProvFact::MayDef;
+  else
+    return errorReply(Req, "fact must be live|may-use|may-def|dead");
+  if (!A.Provenance.enabled())
+    return errorReply(Req,
+                      "provenance recording is off (server started without "
+                      "it); explain cannot answer");
+
+  std::string Loc = Req.Args.stringOr("loc", "");
+  unsigned Reg = NumIntRegs;
+  std::string Where, Err;
+  if (Loc.empty() || !parseLocation(Loc, Reg, Where, Err))
+    return errorReply(Req, Err.empty()
+                               ? "explain needs {\"loc\": \"<reg>@<where>\"}"
+                               : Err);
+  uint32_t NodeId = 0;
+  if (!resolveNodeId(A, Where, NodeId, Err))
+    return errorReply(Req, Err);
+
+  Witness W = buildWitness(A, PF, NodeId, Reg);
+  if (W.Holds && !replayWitness(A, W, &Err))
+    return errorReply(Req, "witness replay failed: " + Err);
+  Reply R;
+  R.Text = replyHead(Req, true) + std::string(",\"holds\":") +
+           (W.Holds ? "true" : "false") +
+           ",\"steps\":" + u64(W.Steps.size()) +
+           ",\"witness\":" + jsonQuote(renderWitness(A, W)) + "}";
+  return R;
+}
+
+const DependenceGraph &Server::depGraph(bool &WasHit) {
+  std::lock_guard<std::mutex> Lock(DepsMu);
+  if (Deps) {
+    WasHit = true;
+    return *Deps;
+  }
+  WasHit = false;
+  // Inline build (no pool): slice queries already run inside pool tasks,
+  // and the build is deterministic either way.
+  if (Opts.Budget.any()) {
+    ResourceGovernor Gov(Opts.Budget, &A.Memory, nullptr);
+    Gov.arm();
+    Deps = buildDepGraph(A.Prog, A.Summaries, Slots, nullptr, &Gov);
+  } else {
+    Deps = buildDepGraph(A.Prog, A.Summaries, Slots, nullptr, nullptr);
+  }
+  return *Deps;
+}
+
+Server::Reply Server::handleSlice(const Request &Req) {
+  if (!Loaded)
+    return errorReply(Req, "no image loaded");
+  const JsonValue *AddrV = Req.Args.find("addr");
+  if (!AddrV || !AddrV->isNumber())
+    return errorReply(Req, "slice needs a numeric \"addr\"");
+  uint64_t Addr = uint64_t(AddrV->Num);
+  std::string Dir = Req.Args.stringOr("dir", "backward");
+  if (Dir != "backward" && Dir != "forward")
+    return errorReply(Req, "dir must be backward|forward");
+  if (Addr >= A.Prog.Insts.size())
+    return errorReply(Req, "address " + u64(Addr) + " out of range (have " +
+                               u64(A.Prog.Insts.size()) + " words)");
+
+  bool WasHit = false;
+  const DependenceGraph &Graph = depGraph(WasHit);
+  std::vector<uint64_t> Addrs = Dir == "backward"
+                                    ? backwardSlice(Graph, Addr)
+                                    : forwardSlice(Graph, Addr);
+  Reply R;
+  R.DepHit = WasHit;
+  R.DepBuilt = !WasHit;
+  R.Text = replyHead(Req, true) + ",\"dir\":" + jsonQuote(Dir) +
+           ",\"count\":" + u64(Addrs.size()) +
+           ",\"addresses\":" + addrArray(Addrs) + "}";
+  return R;
+}
+
+Server::Reply Server::handlePatch(const Request &Req) {
+  if (!Loaded)
+    return errorReply(Req, "no image loaded");
+  std::string Name = Req.Args.stringOr("routine", "");
+  if (Name.empty())
+    return errorReply(Req, "patch-routine needs {\"routine\": \"name\", "
+                           "\"code\": [words]}");
+  int32_t RIdx = findRoutine(A.Prog, Name);
+  if (RIdx < 0)
+    return errorReply(Req, "no routine named '" + Name + "'");
+  const Routine &Rt = A.Prog.Routines[uint32_t(RIdx)];
+
+  const JsonValue *CodeV = Req.Args.findArray("code");
+  if (!CodeV)
+    return errorReply(Req, "patch-routine needs a \"code\" array");
+  uint64_t Want = Rt.End - Rt.Begin;
+  if (CodeV->Items.size() != Want)
+    return errorReply(Req, "routine '" + Name + "' spans " + u64(Want) +
+                               " word(s); got " + u64(CodeV->Items.size()) +
+                               " (patches keep the routine partition)");
+  // Instruction words use all 64 bits (the opcode sits at bit 56), which
+  // exceeds JSON number precision — words may therefore also be sent as
+  // decimal or 0x-prefixed strings, and numbers past 2^53 are rejected
+  // rather than silently rounded.
+  std::vector<uint64_t> Words;
+  Words.reserve(CodeV->Items.size());
+  for (const JsonValue &W : CodeV->Items) {
+    if (W.isNumber()) {
+      if (W.Num < 0 || W.Num > 9007199254740992.0 ||
+          double(uint64_t(W.Num)) != W.Num)
+        return errorReply(Req, "\"code\" number not exactly representable; "
+                               "send words above 2^53 as strings");
+      Words.push_back(uint64_t(W.Num));
+    } else if (W.isString() && !W.Str.empty()) {
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long V = std::strtoull(W.Str.c_str(), &End, 0);
+      if (errno != 0 || End == W.Str.c_str() || *End != '\0')
+        return errorReply(Req, "bad \"code\" word '" + W.Str + "'");
+      Words.push_back(uint64_t(V));
+    } else {
+      return errorReply(Req, "\"code\" entries must be numbers or "
+                             "decimal/hex strings");
+    }
+  }
+
+  Image NewImg = Img;
+  std::copy(Words.begin(), Words.end(), NewImg.Code.begin() + Rt.Begin);
+
+  AnalysisOptions AOpts;
+  AOpts.Jobs = Opts.Jobs;
+  AOpts.RecordProvenance = Opts.RecordProvenance;
+  ResourceGovernor Gov(Opts.Budget, nullptr, nullptr);
+  if (Opts.Budget.any())
+    AOpts.Governor = &Gov;
+
+  IncrementalOutcome Out;
+  bool Degraded = false;
+  std::string DegradedNote;
+  try {
+    Out = reanalyzeIncremental(NewImg, Opts.Conv, AOpts, A, &Slots);
+  } catch (const BudgetBlownError &E) {
+    // The budget blew mid-patch; the resident result is untouched.  Fall
+    // back to the governed degrade ladder so the patch still lands with
+    // sound (degraded) summaries, per the `!! DEGRADED` reply contract.
+    AOpts.Governor = nullptr;
+    Expected<GovernedAnalysis> G =
+        analyzeImageGoverned(NewImg, Opts.Conv, AOpts, Opts.Budget, nullptr);
+    if (!G) {
+      Reply R = errorReply(
+          Req, "patch rejected, still serving the previous version: " +
+                   G.error().str());
+      R.Degraded = true;
+      R.Text.pop_back(); // Replace the closing brace with the banner note.
+      R.Text += ",\"degraded\":true,\"note\":" +
+                jsonQuote(std::string("!! DEGRADED: budget blown (") +
+                          verdictWord(E.verdict()) + ") in " + E.phase()) +
+                "}";
+      return R;
+    }
+    A = std::move(G->Result);
+    Slots = solveSlotFlow(A.Prog, &Pool);
+    Out = IncrementalOutcome();
+    Out.Full = true;
+    Out.StructDirty = Out.Phase1Dirty = Out.Phase2Dirty =
+        A.Prog.Routines.size();
+    Degraded = true;
+    std::string Names;
+    for (const std::string &N : G->DegradedRoutines) {
+      if (!Names.empty())
+        Names += ", ";
+      Names += N;
+    }
+    DegradedNote = "!! DEGRADED: budget degraded " +
+                   (Names.empty() ? std::string("(no routines)") : Names);
+  }
+
+  Img = std::move(NewImg);
+  {
+    std::lock_guard<std::mutex> Lock(DepsMu);
+    Deps.reset();
+  }
+  ++St.Patches;
+  St.PatchFullSolves += Out.Full;
+  St.LastPatch = Out;
+
+  Reply R;
+  R.Degraded = Degraded;
+  R.Text = replyHead(Req, true) + ",\"routine\":" + jsonQuote(Name) +
+           std::string(",\"full\":") + (Out.Full ? "true" : "false") +
+           std::string(",\"phase2_escalated\":") +
+           (Out.Phase2Escalated ? "true" : "false") +
+           ",\"struct_dirty\":" + u64(Out.StructDirty) +
+           ",\"phase1_dirty\":" + u64(Out.Phase1Dirty) +
+           ",\"phase2_dirty\":" + u64(Out.Phase2Dirty) +
+           ",\"slot_phase1_dirty\":" + u64(Out.SlotPhase1Dirty) +
+           ",\"slot_phase2_dirty\":" + u64(Out.SlotPhase2Dirty);
+  if (Degraded)
+    R.Text += ",\"degraded\":true,\"note\":" + jsonQuote(DegradedNote);
+  R.Text += "}";
+  return R;
+}
+
+Server::Reply Server::handleStats(const Request &Req) const {
+  Reply R;
+  R.Text = replyHead(Req, true) + std::string(",\"loaded\":") +
+           (Loaded ? "true" : "false") + ",\"jobs\":" + u64(Pool.jobs()) +
+           ",\"routines\":" + u64(Loaded ? A.Prog.Routines.size() : 0) +
+           ",\"queries\":" + u64(St.Queries) + ",\"loads\":" + u64(St.Loads) +
+           ",\"patches\":" + u64(St.Patches) +
+           ",\"patch_full_solves\":" + u64(St.PatchFullSolves) +
+           ",\"depgraph_builds\":" + u64(St.DepGraphBuilds) +
+           ",\"depgraph_hits\":" + u64(St.DepGraphHits) +
+           ",\"degraded_replies\":" + u64(St.DegradedReplies) +
+           ",\"errors\":" + u64(St.Errors) + ",\"last_patch\":{" +
+           "\"full\":" + (St.LastPatch.Full ? "true" : "false") +
+           ",\"struct_dirty\":" + u64(St.LastPatch.StructDirty) +
+           ",\"phase1_dirty\":" + u64(St.LastPatch.Phase1Dirty) +
+           ",\"phase2_dirty\":" + u64(St.LastPatch.Phase2Dirty) +
+           ",\"slot_phase1_dirty\":" + u64(St.LastPatch.SlotPhase1Dirty) +
+           ",\"slot_phase2_dirty\":" + u64(St.LastPatch.SlotPhase2Dirty) +
+           "}}";
+  return R;
+}
+
+std::string Server::handleLine(const std::string &Line) {
+  return handleBatch({Line}).front();
+}
+
+std::vector<std::string>
+Server::handleBatch(const std::vector<std::string> &Lines) {
+  std::vector<std::string> Out(Lines.size());
+
+  // Parse every line up front, in input order (sequence numbers are
+  // assigned by arrival, not completion).
+  std::vector<Request> Reqs;
+  Reqs.reserve(Lines.size());
+  for (const std::string &Line : Lines)
+    Reqs.push_back(parseRequest(Line, NextSeq++));
+
+  size_t I = 0;
+  while (I < Lines.size()) {
+    bool Query = Reqs[I].ParseError.empty() && isQueryCommand(Reqs[I].Cmd);
+    if (!Query) {
+      // Barrier command: runs serially with the telemetry session active.
+      Reply R = dispatch(Reqs[I]);
+      St.Errors += R.IsError;
+      St.DegradedReplies += R.Degraded;
+      if (R.IsError)
+        telemetry::count("serve.errors");
+      if (R.Degraded)
+        telemetry::count("serve.degraded_replies");
+      if (Reqs[I].Cmd == "load" && !R.IsError)
+        telemetry::count("serve.loads");
+      if (Reqs[I].Cmd == "patch-routine" && !R.IsError) {
+        telemetry::count("serve.patches");
+        telemetry::count("serve.patch.struct_dirty", St.LastPatch.StructDirty);
+        telemetry::count("serve.patch.phase1_dirty", St.LastPatch.Phase1Dirty);
+        telemetry::count("serve.patch.phase2_dirty", St.LastPatch.Phase2Dirty);
+        if (St.LastPatch.Full)
+          telemetry::count("serve.patch.full_solves");
+      }
+      Out[I] = std::move(R.Text);
+      ++I;
+      continue;
+    }
+
+    // Maximal run of read-only queries: fan out on the pool.  The
+    // telemetry session is paused unconditionally (even at Jobs == 1) so
+    // counters do not depend on the batch shape or job count; serve.*
+    // counts are emitted after the join instead.
+    size_t J = I;
+    while (J < Lines.size() && Reqs[J].ParseError.empty() &&
+           isQueryCommand(Reqs[J].Cmd))
+      ++J;
+    std::vector<Reply> Replies(J - I);
+    {
+      telemetry::SessionPause Paused;
+      forEachTask(&Pool, J - I, [&](size_t K, unsigned) {
+        Replies[K] = dispatch(Reqs[I + K]);
+      });
+    }
+    uint64_t Errors = 0, Degraded = 0, DepBuilds = 0, DepHits = 0;
+    for (size_t K = 0; K < Replies.size(); ++K) {
+      Errors += Replies[K].IsError;
+      Degraded += Replies[K].Degraded;
+      DepBuilds += Replies[K].DepBuilt;
+      DepHits += Replies[K].DepHit;
+      Out[I + K] = std::move(Replies[K].Text);
+    }
+    St.Queries += J - I;
+    St.Errors += Errors;
+    St.DegradedReplies += Degraded;
+    St.DepGraphBuilds += DepBuilds;
+    St.DepGraphHits += DepHits;
+    telemetry::count("serve.queries", J - I);
+    if (Errors)
+      telemetry::count("serve.errors", Errors);
+    if (Degraded)
+      telemetry::count("serve.degraded_replies", Degraded);
+    if (DepBuilds)
+      telemetry::count("serve.depgraph.builds", DepBuilds);
+    if (DepHits)
+      telemetry::count("serve.depgraph.hits", DepHits);
+    I = J;
+  }
+  return Out;
+}
+
+#ifdef SPIKE_SERVE_POSIX
+
+int serveStream(Server &S, FILE *In, FILE *Out) {
+  int Fd = fileno(In);
+  std::string Buf;
+  std::vector<std::string> Lines;
+  char Chunk[4096];
+  bool Eof = false;
+  while (!Eof && !S.exited()) {
+    // Block for input, then greedily drain whatever else is already
+    // buffered so pipelined queries land in one batch.
+    ssize_t N = ::read(Fd, Chunk, sizeof Chunk);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      Eof = true;
+    else
+      Buf.append(Chunk, size_t(N));
+    while (!Eof) {
+      struct pollfd P = {Fd, POLLIN, 0};
+      if (::poll(&P, 1, 0) <= 0 || !(P.revents & (POLLIN | POLLHUP)))
+        break;
+      N = ::read(Fd, Chunk, sizeof Chunk);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Eof = true;
+        break;
+      }
+      if (N == 0) {
+        Eof = true;
+        break;
+      }
+      Buf.append(Chunk, size_t(N));
+    }
+
+    Lines.clear();
+    size_t Pos = 0, Nl;
+    while ((Nl = Buf.find('\n', Pos)) != std::string::npos) {
+      Lines.push_back(Buf.substr(Pos, Nl - Pos));
+      Pos = Nl + 1;
+    }
+    Buf.erase(0, Pos);
+    if (Eof && !Buf.empty()) {
+      Lines.push_back(Buf);
+      Buf.clear();
+    }
+    if (Lines.empty())
+      continue;
+    for (const std::string &Reply : S.handleBatch(Lines)) {
+      std::fputs(Reply.c_str(), Out);
+      std::fputc('\n', Out);
+    }
+    std::fflush(Out);
+  }
+  return 0;
+}
+
+int serveSocket(Server &S, const std::string &Path, std::string *Error) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return 1;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof Addr.sun_path) {
+    if (Error)
+      *Error = "socket path too long: " + Path;
+    ::close(Fd);
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0 ||
+      ::listen(Fd, 4) < 0) {
+    if (Error)
+      *Error = std::string("bind/listen on ") + Path + ": " +
+               std::strerror(errno);
+    ::close(Fd);
+    return 1;
+  }
+  while (!S.exited()) {
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("accept: ") + std::strerror(errno);
+      ::close(Fd);
+      return 1;
+    }
+    FILE *In = fdopen(Conn, "r");
+    FILE *Out = fdopen(dup(Conn), "w");
+    if (In && Out)
+      serveStream(S, In, Out);
+    if (In)
+      fclose(In);
+    if (Out)
+      fclose(Out);
+  }
+  ::close(Fd);
+  ::unlink(Path.c_str());
+  return 0;
+}
+
+#else // !SPIKE_SERVE_POSIX
+
+int serveStream(Server &S, FILE *In, FILE *Out) {
+  // Portable fallback: line-at-a-time, no readahead batching.
+  std::string Line;
+  int C;
+  while (!S.exited() && (C = std::fgetc(In)) != EOF) {
+    if (C != '\n') {
+      Line.push_back(char(C));
+      continue;
+    }
+    std::fputs(S.handleLine(Line).c_str(), Out);
+    std::fputc('\n', Out);
+    std::fflush(Out);
+    Line.clear();
+  }
+  if (!Line.empty() && !S.exited()) {
+    std::fputs(S.handleLine(Line).c_str(), Out);
+    std::fputc('\n', Out);
+    std::fflush(Out);
+  }
+  return 0;
+}
+
+int serveSocket(Server &, const std::string &, std::string *Error) {
+  if (Error)
+    *Error = "unix-domain sockets are not supported on this platform";
+  return 1;
+}
+
+#endif // SPIKE_SERVE_POSIX
+
+} // namespace spike

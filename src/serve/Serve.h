@@ -1,0 +1,196 @@
+//===- serve/Serve.h - Resident analysis server ---------------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived, demand-driven front end over the interprocedural
+/// analysis: load an image once, keep the converged PSG summaries,
+/// provenance store, and stack-slot facts resident, and answer queries
+/// over a newline-delimited line protocol.  Each request is one line
+///
+///   <command> [<json-object>]
+///
+/// and each reply is exactly one line of JSON carrying the request's
+/// sequence number, so a client can pipeline freely.  Commands:
+///
+///   load          {"path": "app.spkx"}      analyze an image fresh
+///   analyze       [{"routine": "name"}]     summaries (whole program or
+///                                           one routine)
+///   lint          [{"min-severity": "..."}] rule-catalogue diagnostics
+///   explain       {"fact": "live|may-use|may-def",
+///                  "loc": "r5@entry:foo"}   provenance witness chain
+///                 {"fact": "dead", "addr": N [, "reg": "r3"]}
+///   slice         {"addr": N [, "dir": "backward|forward"]}
+///   patch-routine {"routine": "name",
+///                  "code": [w0, w1, ...]}   splice new code, re-analyze
+///                                           incrementally (words above
+///                                           2^53 must be sent as decimal
+///                                           or 0x-prefixed strings —
+///                                           JSON numbers are doubles)
+///   stats         {}                        server counters + the last
+///                                           patch's dirty frontier
+///   shutdown      {}                        end the session
+///
+/// `patch-routine` drives interproc/Incremental.h: only the patched
+/// routine's SCC group and its transitive dependents re-solve; the reply
+/// and the `stats` command report the dirty-frontier sizes.  Read-only
+/// queries (`analyze`, `lint`, `explain`, `slice`) between mutations are
+/// independent, and handleBatch() evaluates a run of them in parallel on
+/// the server's pool — replies are byte-identical at every job count and
+/// for every interleaving, because each reply is a pure function of the
+/// resident state.  Budget options apply per request: a blown query or
+/// patch degrades that one reply (marked with the `!! DEGRADED` banner
+/// in its "note" field) and the server keeps serving.
+///
+/// A malformed line — unknown command, bad JSON, missing field — yields
+/// an "ok": false reply, never a crash; the spike-fuzz serve arm feeds
+/// this contract random garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SERVE_SERVE_H
+#define SPIKE_SERVE_SERVE_H
+
+#include "binary/Image.h"
+#include "interproc/Incremental.h"
+#include "psg/Analyzer.h"
+#include "slice/DepGraph.h"
+#include "slice/SlotFlow.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spike {
+
+/// Configuration of one Server instance.
+struct ServerOptions {
+  /// Worker lanes of the resident pool: used by every analysis and by
+  /// parallel query batches.  Replies are identical for every value.
+  unsigned Jobs = 1;
+
+  /// Per-request resource budget (empty = ungoverned).  A blown request
+  /// degrades its own reply; the server survives.
+  BudgetOptions Budget;
+
+  /// Record provenance during (re-)analysis so `explain` can answer.
+  bool RecordProvenance = true;
+
+  /// Calling standard used for every analysis.
+  CallingConv Conv;
+};
+
+/// Monotonic server counters, mirrored into the `stats` reply and the
+/// serve.* run-report counters.
+struct ServeStats {
+  uint64_t Queries = 0;        ///< analyze/lint/explain/slice handled.
+  uint64_t Loads = 0;          ///< successful `load` commands.
+  uint64_t Patches = 0;        ///< successful `patch-routine` commands.
+  uint64_t PatchFullSolves = 0;///< patches that fell back to a full solve.
+  uint64_t DepGraphBuilds = 0; ///< dependence-graph cache misses.
+  uint64_t DepGraphHits = 0;   ///< dependence-graph cache hits.
+  uint64_t DegradedReplies = 0;///< replies carrying the degraded banner.
+  uint64_t Errors = 0;         ///< "ok": false replies of any kind.
+
+  /// Dirty-frontier accounting of the most recent patch.
+  IncrementalOutcome LastPatch;
+};
+
+/// The resident analysis service.  Thread-compatible: all public entry
+/// points are called from one thread; handleBatch() fans read-only
+/// queries out over the internal pool itself.
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Loads \p Img as if by a `load` command (the tool's positional image
+  /// argument).  Returns false and sets \p Error on analysis failure.
+  bool loadImage(Image Img, std::string *Error = nullptr);
+
+  /// Handles one protocol line and returns its one-line JSON reply.
+  std::string handleLine(const std::string &Line);
+
+  /// Handles \p Lines in order, evaluating maximal runs of read-only
+  /// queries in parallel on the pool.  Replies are positionally parallel
+  /// to \p Lines and byte-identical to handling each line alone.
+  std::vector<std::string> handleBatch(const std::vector<std::string> &Lines);
+
+  /// True once a `shutdown` command was handled.
+  bool exited() const { return Exited; }
+
+  /// True while an image is loaded and analyzed.
+  bool loaded() const { return Loaded; }
+
+  const ServeStats &stats() const { return St; }
+
+  /// Resident-state accessors, for embedders and the differential oracle
+  /// tests (valid only while loaded()).
+  const AnalysisResult &analysis() const { return A; }
+  const SlotFlowResult &slotFlow() const { return Slots; }
+  const Image &image() const { return Img; }
+
+  /// Implementation types, public so file-local helpers in Serve.cpp can
+  /// build replies; not part of the client API.
+  struct Reply;
+  struct Request;
+
+private:
+  Request parseRequest(const std::string &Line, uint64_t Seq) const;
+  Reply dispatch(const Request &Req);
+  Reply handleLoad(const Request &Req);
+  Reply handleAnalyze(const Request &Req) const;
+  Reply handleLint(const Request &Req) const;
+  Reply handleExplain(const Request &Req) const;
+  Reply handleSlice(const Request &Req);
+  Reply handlePatch(const Request &Req);
+  Reply handleStats(const Request &Req) const;
+
+  /// Returns the cached dependence graph, building it on first use
+  /// (thread-safe; concurrent `slice` queries build once).
+  const DependenceGraph &depGraph(bool &WasHit);
+
+  void installFresh(Image NewImg, AnalysisResult NewA, SlotFlowResult NewSlots);
+
+  ServerOptions Opts;
+  ThreadPool Pool;
+
+  // Resident state (mutated only by barrier commands).
+  bool Loaded = false;
+  Image Img;
+  AnalysisResult A;
+  SlotFlowResult Slots;
+
+  // Lazily built dependence graph; reset by load / patch-routine.
+  std::optional<DependenceGraph> Deps;
+  std::mutex DepsMu;
+
+  ServeStats St;
+  uint64_t NextSeq = 0;
+  bool Exited = false;
+};
+
+/// Serves the line protocol over stdio-style streams until EOF or a
+/// `shutdown` command.  Reads greedily: all complete lines already
+/// buffered on \p In are handled as one batch, so pipelined read-only
+/// queries run in parallel.  Returns 0 (protocol errors are replies, not
+/// exit codes).
+int serveStream(Server &S, FILE *In, FILE *Out);
+
+/// Binds a unix-domain socket at \p Path and serves connections
+/// sequentially until a `shutdown` command arrives.  Returns 0 on
+/// orderly shutdown, 1 on socket errors (message in \p Error).
+int serveSocket(Server &S, const std::string &Path, std::string *Error);
+
+} // namespace spike
+
+#endif // SPIKE_SERVE_SERVE_H

@@ -10,6 +10,8 @@
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 using namespace spike;
 
@@ -313,8 +315,12 @@ namespace {
 
 } // namespace
 
-SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
-                                    const ResourceGovernor *Gov) {
+namespace {
+
+SlotFlowResult solveSlotFlowImpl(const Program &Prog, ThreadPool *Pool,
+                                 const ResourceGovernor *Gov,
+                                 const SlotReuse *Reuse,
+                                 SlotReuseStats *Stats) {
   telemetry::Span SolveSpan("slice.slotflow");
   SlotFlowResult Result;
   size_t NumRoutines = Prog.Routines.size();
@@ -341,6 +347,35 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
       Result.GlobalEscape = true;
   }
 
+  // Reuse preconditions.  Under a global escape every fact is top and the
+  // "solve" below is a constant fill, so reuse would save nothing; an
+  // old-version escape means the cache is all-top and restoring it would
+  // be wrong.  StructClean[r] implies identical prep for r, so a
+  // struct-clean routine's Opaque bit matches the old version's.
+  if (Reuse &&
+      (Result.GlobalEscape || !Reuse->Old || Reuse->Old->GlobalEscape ||
+       Reuse->Old->Routines.size() != NumRoutines || !Reuse->StructClean ||
+       Reuse->StructClean->size() != NumRoutines))
+    Reuse = nullptr;
+  if (Stats)
+    Stats->Full = Reuse == nullptr;
+  // Monotone per-routine dirty flags; relaxed atomics because same-level
+  // groups may flag a common later-level dependent concurrently, and the
+  // pool's level joins order every cross-level read after the writes.
+  std::unique_ptr<std::atomic<uint8_t>[]> Dirty;
+  if (Reuse) {
+    Dirty.reset(new std::atomic<uint8_t>[NumRoutines]);
+    for (size_t R = 0; R < NumRoutines; ++R)
+      Dirty[R].store((*Reuse->StructClean)[R] ? 0 : 1,
+                     std::memory_order_relaxed);
+  }
+  auto GroupDirty = [&](const std::vector<uint32_t> &Members) {
+    for (uint32_t R : Members)
+      if (Dirty[R].load(std::memory_order_relaxed))
+        return true;
+    return false;
+  };
+
   uint64_t Phase1Iters = 0, Phase2Iters = 0;
   if (Result.GlobalEscape) {
     for (RoutineSlotFacts &F : Result.Routines) {
@@ -354,6 +389,7 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
       telemetry::Span Phase1Span("slice.phase1");
       SccSchedule Sched = buildCalleeFirstSchedule(Prog, Graph);
       std::vector<uint64_t> GroupIters(Sched.NumGroups, 0);
+      std::vector<uint8_t> Restored(Reuse ? Sched.NumGroups : 0, 0);
       std::vector<telemetry::GroupCost> Profiles(Profile ? Sched.NumGroups
                                                          : 0);
       std::vector<uint64_t> RoutinePops(Profile ? NumRoutines : 0, 0);
@@ -362,6 +398,19 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
       for (const std::vector<uint32_t> &Level : Sched.Levels)
         forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
           uint32_t Group = Level[I];
+          if (Reuse && !GroupDirty(Sched.Members[Group])) {
+            // Every input this group reads equals the old version's, so
+            // its unique fixpoint is the cached one.
+            for (uint32_t R : Sched.Members[Group]) {
+              Result.Routines[R].MayUse = Reuse->Old->Routines[R].MayUse;
+              Result.Routines[R].MayDef = Reuse->Old->Routines[R].MayDef;
+            }
+            Restored[Group] = 1;
+            return;
+          }
+          if (Reuse)
+            for (uint32_t R : Sched.Members[Group])
+              Dirty[R].store(1, std::memory_order_relaxed);
           telemetry::GroupCost *Prof = Profile ? &Profiles[Group] : nullptr;
           uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
           bool Changed = true;
@@ -389,6 +438,16 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
                 Prof->ChangedBits.record(Delta);
             }
           }
+          if (Reuse)
+            // Callers whose inputs actually changed join the frontier;
+            // they sit at strictly later schedule levels.
+            for (uint32_t R : Sched.Members[Group]) {
+              const RoutineSlotFacts &OldF = Reuse->Old->Routines[R];
+              if (!(Result.Routines[R].MayUse == OldF.MayUse) ||
+                  !(Result.Routines[R].MayDef == OldF.MayDef))
+                for (uint32_t Caller : Graph.Callers[R])
+                  Dirty[Caller].store(1, std::memory_order_relaxed);
+            }
           if (Prof) {
             Prof->Iters = GroupIters[Group];
             Prof->Ns += telemetry::costClockNs() - T0;
@@ -396,6 +455,15 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
         });
       for (uint64_t Iters : GroupIters) // Serial: after the joins.
         Phase1Iters += Iters;
+      if (Reuse) {
+        uint64_t Reused = 0;
+        for (uint8_t Flag : Restored)
+          Reused += Flag;
+        telemetry::count("slice.phase1.groups_reused", Reused);
+        if (Stats)
+          for (size_t R = 0; R < NumRoutines; ++R)
+            Stats->Phase1Dirty += Dirty[R].load(std::memory_order_relaxed);
+      }
       if (Profile)
         telemetry::emitGroupCosts(
             "slice.phase1", Profiles,
@@ -410,7 +478,13 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
     {
       telemetry::Span Phase2Span("slice.phase2");
       SccSchedule Sched = buildCallerFirstSchedule(Prog, Graph);
+      if (Reuse && Reuse->Phase2Seeds &&
+          Reuse->Phase2Seeds->size() == NumRoutines)
+        for (size_t R = 0; R < NumRoutines; ++R)
+          if ((*Reuse->Phase2Seeds)[R])
+            Dirty[R].store(1, std::memory_order_relaxed);
       std::vector<uint64_t> GroupIters(Sched.NumGroups, 0);
+      std::vector<uint8_t> Restored(Reuse ? Sched.NumGroups : 0, 0);
       std::vector<telemetry::GroupCost> Profiles(Profile ? Sched.NumGroups
                                                          : 0);
       std::vector<uint64_t> RoutinePops(Profile ? NumRoutines : 0, 0);
@@ -419,6 +493,19 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
       for (const std::vector<uint32_t> &Level : Sched.Levels)
         forEachTask(Pool, Level.size(), [&](size_t I, unsigned) {
           uint32_t Group = Level[I];
+          if (Reuse && !GroupDirty(Sched.Members[Group])) {
+            for (uint32_t R : Sched.Members[Group]) {
+              const RoutineSlotFacts &OldF = Reuse->Old->Routines[R];
+              Result.Routines[R].LiveAtExit = OldF.LiveAtExit;
+              Result.Routines[R].BlockLiveIn = OldF.BlockLiveIn;
+              Result.Routines[R].BlockLiveOut = OldF.BlockLiveOut;
+            }
+            Restored[Group] = 1;
+            return;
+          }
+          if (Reuse)
+            for (uint32_t R : Sched.Members[Group])
+              Dirty[R].store(1, std::memory_order_relaxed);
           telemetry::GroupCost *Prof = Profile ? &Profiles[Group] : nullptr;
           uint64_t T0 = Prof ? telemetry::costClockNs() : 0;
           bool Changed = true;
@@ -452,6 +539,20 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
                                  Prof ? &Prof->SetOps : nullptr);
             }
           }
+          if (Reuse)
+            // Callees read this group's members' liveness after their
+            // call sites; flag them when it moved.  Struct-dirty members
+            // are skipped (block counts may differ) — their callees in
+            // both versions are pre-seeded by Phase2Seeds.
+            for (uint32_t R : Sched.Members[Group]) {
+              if (!(*Reuse->StructClean)[R])
+                continue;
+              const RoutineSlotFacts &OldF = Reuse->Old->Routines[R];
+              if (!(Result.Routines[R].LiveAtExit == OldF.LiveAtExit) ||
+                  Result.Routines[R].BlockLiveOut != OldF.BlockLiveOut)
+                for (uint32_t Callee : Graph.Callees[R])
+                  Dirty[Callee].store(1, std::memory_order_relaxed);
+            }
           if (Prof) {
             Prof->Iters = GroupIters[Group];
             Prof->Ns += telemetry::costClockNs() - T0;
@@ -459,6 +560,15 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
         });
       for (uint64_t Iters : GroupIters)
         Phase2Iters += Iters;
+      if (Reuse) {
+        uint64_t Reused = 0;
+        for (uint8_t Flag : Restored)
+          Reused += Flag;
+        telemetry::count("slice.phase2.groups_reused", Reused);
+        if (Stats)
+          for (size_t R = 0; R < NumRoutines; ++R)
+            Stats->Phase2Dirty += Dirty[R].load(std::memory_order_relaxed);
+      }
       if (Profile)
         telemetry::emitGroupCosts(
             "slice.phase2", Profiles,
@@ -484,9 +594,24 @@ SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
   return Result;
 }
 
+} // namespace
+
+SlotFlowResult spike::solveSlotFlow(const Program &Prog, ThreadPool *Pool,
+                                    const ResourceGovernor *Gov) {
+  return solveSlotFlowImpl(Prog, Pool, Gov, nullptr, nullptr);
+}
+
 SlotFlowResult spike::solveSlotFlow(const Program &Prog, unsigned Jobs) {
   if (Jobs <= 1)
     return solveSlotFlow(Prog, nullptr);
   ThreadPool Pool(Jobs);
   return solveSlotFlow(Prog, &Pool);
+}
+
+SlotFlowResult spike::solveSlotFlowIncremental(const Program &Prog,
+                                               const SlotReuse &Reuse,
+                                               ThreadPool *Pool,
+                                               const ResourceGovernor *Gov,
+                                               SlotReuseStats *Stats) {
+  return solveSlotFlowImpl(Prog, Pool, Gov, &Reuse, Stats);
 }

@@ -116,6 +116,46 @@ SlotFlowResult solveSlotFlow(const Program &Prog, ThreadPool *Pool,
 /// Convenience overload owning a pool with \p Jobs lanes.
 SlotFlowResult solveSlotFlow(const Program &Prog, unsigned Jobs = 1);
 
+/// Converged slot facts of a previous version of the same program, for
+/// incremental re-solving after a routine patch (interproc/Incremental.h
+/// computes the seeds).  Both phase transfer functions *replace* their
+/// facts each sweep, so every fixpoint is unique and any converging
+/// strategy — including restoring clean SCC groups from the cache — is
+/// bit-identical to a fresh solve.
+struct SlotReuse {
+  const SlotFlowResult *Old = nullptr;
+
+  /// Per routine: 1 when the routine's code and CFG record are identical
+  /// in both versions (same partition assumed).
+  const std::vector<uint8_t> *StructClean = nullptr;
+
+  /// Per routine: extra phase 2 dirty seeds — every routine called by a
+  /// struct-dirty routine in either version (a dropped call site shrinks
+  /// the old callee's exit liveness).
+  const std::vector<uint8_t> *Phase2Seeds = nullptr;
+};
+
+/// Dirty-frontier accounting of one incremental slot solve.
+struct SlotReuseStats {
+  /// Reuse was abandoned: global sp-escape in either version, or a
+  /// routine-count mismatch.  The solve ran fresh (still correct).
+  bool Full = false;
+
+  /// Routines re-solved (not restored) per phase.
+  uint64_t Phase1Dirty = 0;
+  uint64_t Phase2Dirty = 0;
+};
+
+/// Solves \p Prog like solveSlotFlow but restores SCC groups outside the
+/// dirty frontier from \p Reuse.Old instead of iterating them.  The
+/// result is bit-identical to solveSlotFlow(Prog, ...) at every job
+/// count.
+SlotFlowResult solveSlotFlowIncremental(const Program &Prog,
+                                        const SlotReuse &Reuse,
+                                        ThreadPool *Pool,
+                                        const ResourceGovernor *Gov = nullptr,
+                                        SlotReuseStats *Stats = nullptr);
+
 } // namespace spike
 
 #endif // SPIKE_SLICE_SLOTFLOW_H

@@ -86,6 +86,12 @@ SessionScope::SessionScope(Session &S) : Previous(ActiveSession) {
 
 SessionScope::~SessionScope() { ActiveSession = Previous; }
 
+SessionPause::SessionPause() : Previous(ActiveSession) {
+  ActiveSession = nullptr;
+}
+
+SessionPause::~SessionPause() { ActiveSession = Previous; }
+
 //===----------------------------------------------------------------------===//
 // Rendering
 //===----------------------------------------------------------------------===//

@@ -302,6 +302,25 @@ private:
   Session *Previous;
 };
 
+/// Temporarily removes the active session for a scope (restored on
+/// destruction).  Sessions are single-threaded; code that fans work out
+/// to pool tasks which may pass through instrumented library calls
+/// (spike-serve's parallel query batches) pauses the session first so
+/// every instrumentation site inside the region is the same no-op it is
+/// in an untraced run — unconditionally, keeping counters identical at
+/// every job count.
+class SessionPause {
+public:
+  SessionPause();
+  ~SessionPause();
+
+  SessionPause(const SessionPause &) = delete;
+  SessionPause &operator=(const SessionPause &) = delete;
+
+private:
+  Session *Previous;
+};
+
 /// RAII span charged to the active session; free when none is active.
 class Span {
 public:

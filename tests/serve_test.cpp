@@ -1,0 +1,411 @@
+//===- tests/serve_test.cpp - resident server & incremental oracle ---------===//
+//
+// The serving layer's contract has two halves, both enforced here:
+//
+//   - Incremental bit-identity: after any sequence of `patch-routine`
+//     commands, the resident summaries, provenance store, slot facts,
+//     and lint findings equal a fresh full solve of the patched image —
+//     at every job count (the differential oracle, over the same 20
+//     synthetic profiles the parallel engine is tested on).
+//
+//   - Query determinism: a batch of in-flight analyze/explain/slice/lint
+//     queries fanned out over the pool returns byte-identical replies
+//     regardless of job count, batch shape, or submission order.
+//
+// Plus the robustness floor: malformed protocol lines are error replies,
+// never crashes, and a blown per-request budget degrades that reply
+// (the `!! DEGRADED` banner) without killing the server.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Linter.h"
+#include "serve/Serve.h"
+#include "slice/SlotFlow.h"
+#include "synth/CfgGenerator.h"
+#include "synth/ExecGenerator.h"
+#include "synth/Profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace spike;
+
+namespace {
+
+/// The 20 differential subjects, mirroring parallel_test: every paper
+/// profile capped at ~120 routines plus 4 executable programs.
+std::vector<std::pair<std::string, Image>> serveCorpus() {
+  std::vector<std::pair<std::string, Image>> Corpus;
+  for (const BenchmarkProfile &P : paperProfiles()) {
+    double Scale = P.Routines > 120 ? 120.0 / P.Routines : 1.0;
+    BenchmarkProfile Scaled = scaledProfile(P, Scale);
+    Corpus.emplace_back(P.Name, generateCfgProgram(Scaled));
+  }
+  for (uint64_t Seed : {3u, 11u, 29u, 5u}) {
+    ExecProfile P;
+    P.Routines = 24;
+    P.IndirectCallProb = Seed == 5 ? 0.25 : 0.05;
+    P.Seed = Seed;
+    Corpus.emplace_back("exec-" + std::to_string(Seed),
+                        generateExecProgram(P));
+  }
+  return Corpus;
+}
+
+/// One randomized same-length routine patch: copy 1-3 words to other
+/// positions within the same routine (stays decodable, may change
+/// control flow, def/use sets, even quarantine the routine).  Mutates
+/// \p Img in place and returns the protocol line performing it.
+std::string mutateRoutine(Image &Img, const Routine &Rt,
+                          std::mt19937_64 &Rng) {
+  uint64_t Span = Rt.End - Rt.Begin;
+  unsigned Edits = 1 + unsigned(Rng() % 3);
+  for (unsigned E = 0; E < Edits; ++E) {
+    uint64_t Dst = Rt.Begin + Rng() % Span;
+    uint64_t Src = Rt.Begin + Rng() % Span;
+    Img.Code[Dst] = Img.Code[Src];
+  }
+  std::string Line = "patch-routine {\"routine\":\"" + Rt.Name +
+                     "\",\"code\":[";
+  for (uint64_t A = Rt.Begin; A < Rt.End; ++A) {
+    if (A != Rt.Begin)
+      Line += ",";
+    Line += "\"" + std::to_string(Img.Code[A]) + "\"";
+  }
+  Line += "]}";
+  return Line;
+}
+
+/// Picks a patchable routine: named, non-empty, at least 4 words so the
+/// mutation has room to do something interesting.
+const Routine *pickRoutine(const Program &Prog, std::mt19937_64 &Rng) {
+  std::vector<const Routine *> Candidates;
+  for (const Routine &Rt : Prog.Routines)
+    if (!Rt.Name.empty() && Rt.End - Rt.Begin >= 4)
+      Candidates.push_back(&Rt);
+  if (Candidates.empty())
+    return nullptr;
+  return Candidates[Rng() % Candidates.size()];
+}
+
+void expectSummariesEqual(const InterprocSummaries &Got,
+                          const InterprocSummaries &Want,
+                          const std::string &Where) {
+  ASSERT_EQ(Got.Routines.size(), Want.Routines.size()) << Where;
+  for (size_t R = 0; R < Got.Routines.size(); ++R) {
+    const RoutineResults &G = Got.Routines[R];
+    const RoutineResults &W = Want.Routines[R];
+    const std::string At = Where + " routine " + std::to_string(R);
+    ASSERT_EQ(G.EntrySummaries.size(), W.EntrySummaries.size()) << At;
+    for (size_t E = 0; E < G.EntrySummaries.size(); ++E) {
+      EXPECT_TRUE(G.EntrySummaries[E].Used == W.EntrySummaries[E].Used) << At;
+      EXPECT_TRUE(G.EntrySummaries[E].Defined == W.EntrySummaries[E].Defined)
+          << At;
+      EXPECT_TRUE(G.EntrySummaries[E].Killed == W.EntrySummaries[E].Killed)
+          << At;
+    }
+    ASSERT_EQ(G.LiveAtEntry.size(), W.LiveAtEntry.size()) << At;
+    for (size_t E = 0; E < G.LiveAtEntry.size(); ++E)
+      EXPECT_TRUE(G.LiveAtEntry[E] == W.LiveAtEntry[E]) << At;
+    ASSERT_EQ(G.LiveAtExit.size(), W.LiveAtExit.size()) << At;
+    for (size_t E = 0; E < G.LiveAtExit.size(); ++E)
+      EXPECT_TRUE(G.LiveAtExit[E] == W.LiveAtExit[E]) << At;
+  }
+}
+
+void expectSlotsEqual(const SlotFlowResult &Got, const SlotFlowResult &Want,
+                      const std::string &Where) {
+  EXPECT_EQ(Got.GlobalEscape, Want.GlobalEscape) << Where;
+  EXPECT_EQ(Got.OpaqueRoutines, Want.OpaqueRoutines) << Where;
+  ASSERT_EQ(Got.Routines.size(), Want.Routines.size()) << Where;
+  for (size_t R = 0; R < Got.Routines.size(); ++R) {
+    const RoutineSlotFacts &G = Got.Routines[R];
+    const RoutineSlotFacts &W = Want.Routines[R];
+    const std::string At = Where + " routine " + std::to_string(R);
+    EXPECT_EQ(G.Opaque, W.Opaque) << At;
+    EXPECT_TRUE(G.MayUse == W.MayUse) << At;
+    EXPECT_TRUE(G.MayDef == W.MayDef) << At;
+    EXPECT_TRUE(G.LiveAtExit == W.LiveAtExit) << At;
+    EXPECT_TRUE(G.DeltaIn == W.DeltaIn) << At;
+    EXPECT_TRUE(G.DeltaOut == W.DeltaOut) << At;
+    EXPECT_TRUE(G.BlockLiveIn == W.BlockLiveIn) << At;
+    EXPECT_TRUE(G.BlockLiveOut == W.BlockLiveOut) << At;
+  }
+}
+
+std::vector<std::string> lintStrings(const Image &Img,
+                                     const AnalysisResult &A) {
+  LintResult R = lintAnalysis(Img, A, LintOptions());
+  std::vector<std::string> Out;
+  Out.reserve(R.Diags.size());
+  for (const Diagnostic &D : R.Diags)
+    Out.push_back(D.str());
+  return Out;
+}
+
+/// Removes the per-connection `"seq":N` field so replies can be compared
+/// across servers and submission orders.
+std::string stripSeq(std::string Reply) {
+  size_t Pos = Reply.find("\"seq\":");
+  if (Pos == std::string::npos)
+    return Reply;
+  size_t End = Pos + 6;
+  while (End < Reply.size() && Reply[End] >= '0' && Reply[End] <= '9')
+    ++End;
+  if (End < Reply.size() && Reply[End] == ',')
+    ++End;
+  return Reply.erase(Pos, End - Pos);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Differential oracle: randomized patch sequences vs fresh full solves.
+// ---------------------------------------------------------------------------
+
+TEST(ServeIncrementalTest, DifferentialOracleAcrossProfilesAndJobs) {
+  constexpr int Rounds = 2;
+  for (auto &[Name, BaseImg] : serveCorpus()) {
+    // Precompute the patch script and the fresh-solve oracle once per
+    // profile (the script is identical at every job count; identity of
+    // the fresh solve across job counts is parallel_test's theorem).
+    AnalysisOptions OracleOpts;
+    OracleOpts.Jobs = 1;
+    OracleOpts.RecordProvenance = true;
+    AnalysisResult Base = analyzeImage(BaseImg, CallingConv(), OracleOpts);
+
+    std::mt19937_64 Rng(0x5e71e ^ std::hash<std::string>()(Name));
+    Image Cur = BaseImg;
+    std::vector<std::string> PatchLines;
+    std::vector<AnalysisResult> Fresh;
+    std::vector<SlotFlowResult> FreshSlots;
+    std::vector<std::vector<std::string>> FreshLint;
+    std::vector<Image> PatchedImages;
+    for (int R = 0; R < Rounds; ++R) {
+      const Routine *Rt = pickRoutine(Base.Prog, Rng);
+      ASSERT_NE(Rt, nullptr) << Name;
+      PatchLines.push_back(mutateRoutine(Cur, *Rt, Rng));
+      PatchedImages.push_back(Cur);
+      Fresh.push_back(analyzeImage(Cur, CallingConv(), OracleOpts));
+      FreshSlots.push_back(solveSlotFlow(Fresh.back().Prog, 1u));
+      FreshLint.push_back(lintStrings(Cur, Fresh.back()));
+    }
+
+    for (unsigned Jobs : {1u, 2u, 4u, 7u}) {
+      ServerOptions SOpts;
+      SOpts.Jobs = Jobs;
+      SOpts.RecordProvenance = true;
+      Server S(SOpts);
+      std::string Error;
+      ASSERT_TRUE(S.loadImage(BaseImg, &Error)) << Name << ": " << Error;
+      for (int R = 0; R < Rounds; ++R) {
+        const std::string Where =
+            Name + " jobs=" + std::to_string(Jobs) + " round " +
+            std::to_string(R);
+        std::string Reply = S.handleLine(PatchLines[R]);
+        ASSERT_NE(Reply.find("\"ok\":true"), std::string::npos)
+            << Where << ": " << Reply;
+        // The routine partition never changes, so the engine must take
+        // the incremental path — a silent full fallback would make this
+        // oracle vacuous.
+        EXPECT_NE(Reply.find("\"full\":false"), std::string::npos)
+            << Where << ": " << Reply;
+
+        expectSummariesEqual(S.analysis().Summaries, Fresh[R].Summaries,
+                             Where);
+        EXPECT_TRUE(S.analysis().Provenance == Fresh[R].Provenance)
+            << Where << ": provenance stores differ";
+        expectSlotsEqual(S.slotFlow(), FreshSlots[R], Where);
+        EXPECT_EQ(lintStrings(S.image(), S.analysis()), FreshLint[R])
+            << Where;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-query determinism.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A mixed read-only query workload over \p Prog: every routine's
+/// summary, slices in both directions, witness queries, and a lint.
+std::vector<std::string> queryWorkload(const Program &Prog) {
+  std::vector<std::string> Lines;
+  for (const Routine &Rt : Prog.Routines)
+    if (!Rt.Name.empty())
+      Lines.push_back("analyze {\"routine\":\"" + Rt.Name + "\"}");
+  for (const Routine &Rt : Prog.Routines) {
+    if (Rt.Name.empty() || Rt.Quarantined)
+      continue;
+    Lines.push_back("slice {\"addr\":" + std::to_string(Rt.Begin) +
+                    ",\"dir\":\"backward\"}");
+    Lines.push_back("slice {\"addr\":" + std::to_string(Rt.Begin) +
+                    ",\"dir\":\"forward\"}");
+    Lines.push_back("explain {\"fact\":\"live\",\"loc\":\"ra@entry:" +
+                    Rt.Name + "\"}");
+  }
+  Lines.push_back("lint {}");
+  Lines.push_back("analyze");
+  return Lines;
+}
+
+} // namespace
+
+TEST(ServeConcurrencyTest, BatchRepliesIdenticalAcrossJobCounts) {
+  ExecProfile P;
+  P.Routines = 24;
+  P.IndirectCallProb = 0.05;
+  P.Seed = 11;
+  Image Img = generateExecProgram(P);
+
+  ServerOptions Serial;
+  Serial.Jobs = 1;
+  Server S1(Serial);
+  ASSERT_TRUE(S1.loadImage(Img));
+  std::vector<std::string> Lines = queryWorkload(S1.analysis().Prog);
+  ASSERT_GT(Lines.size(), 30u);
+
+  // Baseline: one line at a time on the serial server.
+  std::vector<std::string> Expected;
+  for (const std::string &L : Lines)
+    Expected.push_back(S1.handleLine(L));
+
+  for (unsigned Jobs : {2u, 4u, 7u}) {
+    ServerOptions SOpts;
+    SOpts.Jobs = Jobs;
+    Server S(SOpts);
+    ASSERT_TRUE(S.loadImage(Img));
+    std::vector<std::string> Got = S.handleBatch(Lines);
+    ASSERT_EQ(Got.size(), Expected.size());
+    for (size_t I = 0; I < Got.size(); ++I)
+      EXPECT_EQ(Got[I], Expected[I]) << "jobs=" << Jobs << " line " << I
+                                     << ": " << Lines[I];
+  }
+}
+
+TEST(ServeConcurrencyTest, BatchRepliesIndependentOfSubmissionOrder) {
+  ExecProfile P;
+  P.Routines = 24;
+  P.IndirectCallProb = 0.05;
+  P.Seed = 29;
+  Image Img = generateExecProgram(P);
+
+  ServerOptions SOpts;
+  SOpts.Jobs = 7;
+  Server A(SOpts);
+  ASSERT_TRUE(A.loadImage(Img));
+  std::vector<std::string> Lines = queryWorkload(A.analysis().Prog);
+  std::vector<std::string> InOrder = A.handleBatch(Lines);
+
+  // Same queries, shuffled, on an identically-loaded server: each reply
+  // must match its in-order twin once the arrival sequence number is
+  // stripped.
+  std::vector<size_t> Perm(Lines.size());
+  for (size_t I = 0; I < Perm.size(); ++I)
+    Perm[I] = I;
+  std::mt19937_64 Rng(42);
+  std::shuffle(Perm.begin(), Perm.end(), Rng);
+  std::vector<std::string> Shuffled;
+  for (size_t I : Perm)
+    Shuffled.push_back(Lines[I]);
+
+  Server B(SOpts);
+  ASSERT_TRUE(B.loadImage(Img));
+  std::vector<std::string> OutOfOrder = B.handleBatch(Shuffled);
+  ASSERT_EQ(OutOfOrder.size(), InOrder.size());
+  for (size_t I = 0; I < Perm.size(); ++I)
+    EXPECT_EQ(stripSeq(OutOfOrder[I]), stripSeq(InOrder[Perm[I]]))
+        << "query: " << Shuffled[I];
+
+  // Re-running the same batch on the same (already warm) server changes
+  // only the sequence numbers.
+  std::vector<std::string> Again = B.handleBatch(Shuffled);
+  for (size_t I = 0; I < Again.size(); ++I)
+    EXPECT_EQ(stripSeq(Again[I]), stripSeq(OutOfOrder[I]));
+}
+
+// ---------------------------------------------------------------------------
+// Robustness floor.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocolTest, MalformedLinesAreErrorRepliesNotCrashes) {
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 3;
+  Image Img = generateExecProgram(P);
+  ServerOptions SOpts;
+  SOpts.Jobs = 2;
+  Server S(SOpts);
+  ASSERT_TRUE(S.loadImage(Img));
+
+  const char *Garbage[] = {
+      "",
+      "   ",
+      "analyze {unterminated",
+      "analyze [1,2,3]",
+      "patch-routine {\"routine\":\"main\"}",
+      "patch-routine {\"routine\":\"main\",\"code\":[-1]}",
+      "slice {\"addr\":\"not-a-number\"}",
+      "slice {\"addr\":999999999}",
+      "explain {\"fact\":\"frobnicate\"}",
+      "explain {\"fact\":\"live\",\"loc\":\"zz9@entry:main\"}",
+      "no-such-command {}",
+      "load {\"path\":\"/nonexistent/x.spkx\"}",
+      "lint {\"min-severity\":\"fatal\"}",
+  };
+  for (const char *Line : Garbage) {
+    std::string Reply = S.handleLine(Line);
+    EXPECT_NE(Reply.find("\"ok\":false"), std::string::npos) << Line;
+  }
+  // The server survived all of it and still answers real queries.
+  std::string Reply = S.handleLine("analyze");
+  EXPECT_NE(Reply.find("\"ok\":true"), std::string::npos) << Reply;
+  EXPECT_EQ(S.stats().Errors, std::size(Garbage));
+}
+
+TEST(ServeBudgetTest, BlownPatchDegradesReplyAndServerSurvives) {
+  ExecProfile P;
+  P.Routines = 12;
+  P.Seed = 5;
+  Image Img = generateExecProgram(P);
+
+  ServerOptions SOpts;
+  SOpts.Jobs = 2;
+  SOpts.Budget.MaxIterations = 1; // Deterministic: first SCC sweep blows.
+  Server S(SOpts);
+  // The governed load already degrades; that is fine — the point is the
+  // patch path.
+  ASSERT_TRUE(S.loadImage(Img));
+
+  const Routine *Rt = nullptr;
+  for (const Routine &R : S.analysis().Prog.Routines)
+    if (!R.Name.empty() && R.End - R.Begin >= 4) {
+      Rt = &R;
+      break;
+    }
+  ASSERT_NE(Rt, nullptr);
+  std::string Line =
+      "patch-routine {\"routine\":\"" + Rt->Name + "\",\"code\":[";
+  for (uint64_t A = Rt->Begin; A < Rt->End; ++A) {
+    if (A != Rt->Begin)
+      Line += ",";
+    Line += "\"" + std::to_string(S.image().Code[A]) + "\"";
+  }
+  Line += "]}";
+  std::string Reply = S.handleLine(Line);
+  // Either the incremental path fit inside the budget (a no-op patch can)
+  // or the reply carries the degraded banner; in both cases the server
+  // keeps serving.
+  if (Reply.find("\"degraded\":true") != std::string::npos) {
+    EXPECT_NE(Reply.find("!! DEGRADED"), std::string::npos) << Reply;
+  }
+  std::string Stats = S.handleLine("stats");
+  EXPECT_NE(Stats.find("\"ok\":true"), std::string::npos) << Stats;
+}

@@ -445,3 +445,136 @@ TEST(ToolsTest, StatsRejectsBadInput) {
 
   std::remove(Garbage.c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// spike-serve: the resident line-protocol server
+//===----------------------------------------------------------------------===//
+
+TEST(ToolsTest, ServeSessionRepliesAndRunReport) {
+  std::string Asm = scratchPath("serve_demo.s");
+  std::string Img = scratchPath("serve_demo.spkx");
+  std::string Session = scratchPath("serve_session.txt");
+  std::string Metrics = scratchPath("serve_run.json");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  // The `patch-routine` payload is the routine's own words (an identity
+  // patch), fetched the way a real client would: spike-objdump --words.
+  std::string Words = runCommand(
+      toolsDir() + "/spike-objdump " + Img + " --routine fact --words",
+      &Status);
+  ASSERT_EQ(Status, 0) << Words;
+  while (!Words.empty() && (Words.back() == '\n' || Words.back() == '\r'))
+    Words.pop_back();
+  ASSERT_FALSE(Words.empty());
+  EXPECT_EQ(Words.front(), '[');
+
+  writeFile(Session, "analyze\n"
+                     "lint\n"
+                     "bogus-command {}\n"
+                     "patch-routine {\"routine\":\"fact\",\"code\":" +
+                         Words + "}\n"
+                     "stats\n"
+                     "shutdown\n");
+  Out = runCommand(toolsDir() + "/spike-serve " + Img + " --jobs=2" +
+                       " --metrics=" + Metrics + " < " + Session,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  // One JSON reply per line, in order, errors as replies not exits.
+  EXPECT_NE(Out.find("\"cmd\":\"analyze\",\"seq\":0,\"ok\":true"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"cmd\":\"bogus-command\",\"seq\":2,\"ok\":false"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"cmd\":\"patch-routine\",\"seq\":3,\"ok\":true"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"full\":false"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"patches\":1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"cmd\":\"shutdown\",\"seq\":5,\"ok\":true"),
+            std::string::npos)
+      << Out;
+
+  // The RunReport carries the serve.* counters.
+  std::string Error;
+  std::optional<spike::telemetry::RunReport> Report =
+      spike::telemetry::readRunReportFile(Metrics, &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_EQ(Report->Tool, "spike-serve");
+  EXPECT_EQ(Report->Counters.at("serve.queries"), 2u);
+  EXPECT_EQ(Report->Counters.at("serve.errors"), 1u);
+  EXPECT_EQ(Report->Counters.at("serve.patches"), 1u);
+
+  for (const std::string &Path : {Asm, Img, Session, Metrics})
+    std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, ServeUsageErrorsAndUniformFlags) {
+  int Status = 0;
+  std::string Out =
+      runCommand(toolsDir() + "/spike-serve --bogus-flag", &Status);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("usage:"), std::string::npos) << Out;
+  // The uniform tool flags are all advertised.
+  for (const char *Flag : {"--jobs", "--trace", "--metrics", "--deadline-ms"})
+    EXPECT_NE(Out.find(Flag), std::string::npos) << Flag << " not in: " << Out;
+
+  // A broken image is a structured startup error, not a protocol reply.
+  Out = runCommand(toolsDir() + "/spike-serve /nonexistent.spkx", &Status);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("error"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, ServeBlownBudgetDegradesReplyNotServer) {
+  std::string Asm = scratchPath("serve_budget.s");
+  std::string Img = scratchPath("serve_budget.spkx");
+  std::string Session = scratchPath("serve_budget_session.txt");
+  std::string Metrics = scratchPath("serve_budget_run.json");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  std::string Words = runCommand(
+      toolsDir() + "/spike-objdump " + Img + " --routine fact --words",
+      &Status);
+  ASSERT_EQ(Status, 0) << Words;
+  while (!Words.empty() && (Words.back() == '\n' || Words.back() == '\r'))
+    Words.pop_back();
+
+  // --max-iters=1 blows on any re-analysis: the patch reply degrades
+  // (the `!! DEGRADED` banner), and the server keeps answering.
+  writeFile(Session, "patch-routine {\"routine\":\"fact\",\"code\":" +
+                         Words + "}\n"
+                     "stats\n"
+                     "shutdown\n");
+  Out = runCommand(toolsDir() + "/spike-serve " + Img +
+                       " --max-iters=1 --metrics=" + Metrics + " < " +
+                       Session,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("\"degraded\":true"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("!! DEGRADED"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"cmd\":\"stats\",\"seq\":1,\"ok\":true"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"cmd\":\"shutdown\",\"seq\":2,\"ok\":true"),
+            std::string::npos)
+      << Out;
+
+  std::string Error;
+  std::optional<spike::telemetry::RunReport> Report =
+      spike::telemetry::readRunReportFile(Metrics, &Error);
+  ASSERT_TRUE(Report.has_value()) << Error;
+  EXPECT_GE(Report->Counters.at("serve.degraded_replies"), 1u);
+
+  for (const std::string &Path : {Asm, Img, Session, Metrics})
+    std::remove(Path.c_str());
+}

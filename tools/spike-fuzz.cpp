@@ -28,6 +28,16 @@
 //      bytes alone), or a *full result* (no strict finding, normal
 //      pipeline).  Nothing may crash, hang, or silently mis-optimize.
 //
+//   3. Serve arm (--serve-iterations N).  Each iteration runs one
+//      spike-serve session in-process: a deterministic random command
+//      stream (valid queries, routine patches, image loads, malformed
+//      lines, truncated JSON, random batching) against the resident
+//      server.  Every reply must be one well-formed JSON object, the
+//      server must never die, and at the end of the stream the resident
+//      summaries, provenance, and slot facts must be bit-identical to a
+//      fresh full solve of the final patched image (the fresh-solve
+//      oracle mirroring tests/serve_test.cpp).
+//
 // Exit status: 0 all iterations clean, 1 any property violated (the
 // offending mutant is written to --artifact-dir if given), 2 usage.
 //
@@ -38,6 +48,7 @@
 #include "lint/Linter.h"
 #include "opt/Pipeline.h"
 #include "psg/Analyzer.h"
+#include "serve/Serve.h"
 #include "slice/Slicer.h"
 #include "slice/SlotFlow.h"
 #include "support/Rng.h"
@@ -45,13 +56,16 @@
 #include "synth/CfgGenerator.h"
 #include "synth/ExecGenerator.h"
 #include "synth/Profiles.h"
+#include "telemetry/Json.h"
 #include "ToolBudget.h"
 #include "ToolOptions.h"
 #include "ToolTelemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -62,6 +76,7 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seed <n>] [--iterations <n>] "
+               "[--serve-iterations <n>] "
                "[--artifact-dir <dir>] [--skip-oracle] [--verbose] "
                "%s %s %s\n",
                Prog, toolopts::jobsUsage(), toolbudget::usage(),
@@ -72,6 +87,7 @@ int usage(const char *Prog) {
 struct FuzzConfig {
   uint64_t Seed = 1;
   uint64_t Iterations = 10000;
+  uint64_t ServeIterations = 0;
   std::string ArtifactDir;
   bool SkipOracle = false;
   bool Verbose = false;
@@ -498,6 +514,290 @@ std::vector<Image> buildCorpus() {
   return Corpus;
 }
 
+//===----------------------------------------------------------------------===//
+// Serve arm: fuzz the resident server's line protocol
+//===----------------------------------------------------------------------===//
+
+/// Field-by-field equality mirroring the differential oracle in
+/// tests/serve_test.cpp, as predicates so FUZZ_CHECK can name the
+/// divergence.
+bool summariesEqual(const InterprocSummaries &A, const InterprocSummaries &B) {
+  if (A.Routines.size() != B.Routines.size())
+    return false;
+  for (size_t R = 0; R < A.Routines.size(); ++R) {
+    const RoutineResults &G = A.Routines[R];
+    const RoutineResults &W = B.Routines[R];
+    if (G.EntrySummaries.size() != W.EntrySummaries.size() ||
+        G.LiveAtEntry.size() != W.LiveAtEntry.size() ||
+        G.LiveAtExit.size() != W.LiveAtExit.size())
+      return false;
+    for (size_t E = 0; E < G.EntrySummaries.size(); ++E)
+      if (!(G.EntrySummaries[E].Used == W.EntrySummaries[E].Used) ||
+          !(G.EntrySummaries[E].Defined == W.EntrySummaries[E].Defined) ||
+          !(G.EntrySummaries[E].Killed == W.EntrySummaries[E].Killed))
+        return false;
+    for (size_t E = 0; E < G.LiveAtEntry.size(); ++E)
+      if (!(G.LiveAtEntry[E] == W.LiveAtEntry[E]))
+        return false;
+    for (size_t E = 0; E < G.LiveAtExit.size(); ++E)
+      if (!(G.LiveAtExit[E] == W.LiveAtExit[E]))
+        return false;
+  }
+  return true;
+}
+
+bool slotsEqual(const SlotFlowResult &A, const SlotFlowResult &B) {
+  if (A.GlobalEscape != B.GlobalEscape ||
+      A.OpaqueRoutines != B.OpaqueRoutines ||
+      A.Routines.size() != B.Routines.size())
+    return false;
+  for (size_t R = 0; R < A.Routines.size(); ++R) {
+    const RoutineSlotFacts &G = A.Routines[R];
+    const RoutineSlotFacts &W = B.Routines[R];
+    if (G.Opaque != W.Opaque || !(G.MayUse == W.MayUse) ||
+        !(G.MayDef == W.MayDef) || !(G.LiveAtExit == W.LiveAtExit) ||
+        !(G.DeltaIn == W.DeltaIn) || !(G.DeltaOut == W.DeltaOut) ||
+        !(G.BlockLiveIn == W.BlockLiveIn) ||
+        !(G.BlockLiveOut == W.BlockLiveOut))
+      return false;
+  }
+  return true;
+}
+
+/// A patchable routine of the resident program: named and wide enough
+/// for a within-routine word shuffle.
+const Routine *servePickRoutine(const Program &Prog, Rng &Rand) {
+  std::vector<const Routine *> Candidates;
+  for (const Routine &Rt : Prog.Routines)
+    if (!Rt.Name.empty() && Rt.End - Rt.Begin >= 4)
+      Candidates.push_back(&Rt);
+  if (Candidates.empty())
+    return nullptr;
+  return Candidates[Rand.below(Candidates.size())];
+}
+
+/// Applies a 1-3 word within-routine shuffle to \p Img and returns the
+/// patch-routine line performing it.  Words travel as decimal strings:
+/// the opcode lives in the top byte and JSON numbers are doubles.
+std::string servePatchLine(Image &Img, const Routine &Rt, Rng &Rand) {
+  uint64_t Span = Rt.End - Rt.Begin;
+  unsigned Edits = 1 + unsigned(Rand.below(3));
+  for (unsigned E = 0; E < Edits; ++E) {
+    uint64_t Dst = Rt.Begin + Rand.below(Span);
+    uint64_t Src = Rt.Begin + Rand.below(Span);
+    Img.Code[Dst] = Img.Code[Src];
+  }
+  std::string Line =
+      "patch-routine {\"routine\":\"" + Rt.Name + "\",\"code\":[";
+  for (uint64_t A = Rt.Begin; A < Rt.End; ++A) {
+    if (A != Rt.Begin)
+      Line += ",";
+    Line += "\"" + std::to_string(Img.Code[A]) + "\"";
+  }
+  Line += "]}";
+  return Line;
+}
+
+/// Malformed protocol input: unknown commands, type-confused arguments,
+/// truncated JSON, and printable byte noise.  Never contains '\n' (the
+/// stream layer owns line framing).
+std::string garbageLine(Rng &Rand) {
+  static const char *const Fixed[] = {
+      "bogus {}",
+      "analyze {\"routine\":42}",
+      "slice {\"addr\":\"nope\"}",
+      "slice {}",
+      "explain {\"fact\":\"live\"}",
+      "explain {\"fact\":\"confused\",\"loc\":\"r1@entry:main\"}",
+      "explain {\"fact\":\"live\",\"loc\":\"r1@lunch:main\"}",
+      "patch-routine {\"routine\":\"no-such-routine\",\"code\":[1,2]}",
+      "patch-routine {\"routine\":17}",
+      "patch-routine {\"routine\":\"main\",\"code\":\"not-an-array\"}",
+      "load {\"path\":\"/nonexistent/image.spkx\"}",
+      "load {}",
+      "lint {\"min-severity\":\"fatal\"}",
+      "{\"cmd\":\"analyze\"}",
+      "patch-routine",
+  };
+  switch (Rand.below(3)) {
+  case 0:
+    return Fixed[Rand.below(std::size(Fixed))];
+  case 1: { // truncated JSON
+    const std::string Whole = "slice {\"addr\":123,\"dir\":\"backward\"}";
+    return Whole.substr(0, 1 + Rand.below(Whole.size()));
+  }
+  default: { // printable byte noise
+    std::string Line;
+    size_t N = 1 + Rand.below(40);
+    for (size_t I = 0; I < N; ++I)
+      Line.push_back(char(0x20 + Rand.below(0x5f)));
+    return Line;
+  }
+  }
+}
+
+/// A well-formed read-only query over the resident program (the address
+/// or node may still be semantically bogus — that yields an error reply,
+/// which is part of the contract under test).
+std::string serveQueryLine(const Program &Prog, uint64_t CodeWords,
+                           Rng &Rand) {
+  switch (Rand.below(6)) {
+  case 0:
+    return "analyze";
+  case 1: {
+    if (Prog.Routines.empty())
+      return "analyze";
+    const Routine &Rt = Prog.Routines[Rand.below(Prog.Routines.size())];
+    return "analyze {\"routine\":\"" + Rt.Name + "\"}";
+  }
+  case 2:
+    return Rand.chance(0.5) ? "lint"
+                            : "lint {\"min-severity\":\"warning\"}";
+  case 3: {
+    uint64_t Addr = Rand.below(CodeWords ? CodeWords : 1);
+    return "slice {\"addr\":" + std::to_string(Addr) + ",\"dir\":\"" +
+           (Rand.chance(0.5) ? "backward" : "forward") + "\"}";
+  }
+  case 4: {
+    uint64_t Addr = Rand.below(CodeWords ? CodeWords : 1);
+    return "explain {\"fact\":\"dead\",\"addr\":" + std::to_string(Addr) +
+           "}";
+  }
+  default: {
+    static const char *const Facts[] = {"live", "may-use", "may-def"};
+    const Routine *Rt = servePickRoutine(Prog, Rand);
+    if (!Rt)
+      return "stats";
+    return std::string("explain {\"fact\":\"") + Facts[Rand.below(3)] +
+           "\",\"loc\":\"r" + std::to_string(Rand.below(NumIntRegs)) +
+           "@" + (Rand.chance(0.5) ? "entry" : "exit") + ":" + Rt->Name +
+           "\"}";
+  }
+  }
+}
+
+/// One fuzzed serve session: a deterministic random command stream
+/// (queries, patches, loads, garbage, random batch boundaries) against a
+/// resident server.  Every reply must be one well-formed JSON object
+/// carrying an "ok" field; afterwards two oracles run — a twin server
+/// replaying the identical stream line-by-line must answer byte-for-byte
+/// the same, and the resident state must equal a fresh full solve of the
+/// final patched image.  Appends the stream to \p StreamOut so a failing
+/// session can be written as an artifact.
+void runServeSession(const std::vector<Image> &Corpus,
+                     const std::vector<std::string> &LoadPaths,
+                     Verdicts &V, Rng &Rand, const std::string &Context,
+                     std::vector<std::string> &StreamOut) {
+  ServerOptions SO;
+  SO.Jobs = 1 + unsigned(Rand.below(4));
+  Server S(SO);
+  size_t Base = Rand.below(Corpus.size());
+  std::string Err;
+  if (!S.loadImage(Corpus[Base], &Err)) {
+    V.fail(Context + " base image rejected: " + Err);
+    return;
+  }
+  Image Shadow = Corpus[Base];
+
+  std::vector<std::string> &Lines = StreamOut; // whole stream, for twin
+  std::vector<std::string> Replies;            // positionally parallel
+  std::vector<std::string> Pending;            // current batch
+
+  auto Flush = [&] {
+    if (Pending.empty())
+      return;
+    std::vector<std::string> Batch = S.handleBatch(Pending);
+    if (std::getenv("SPIKE_SERVE_DEBUG"))
+      for (size_t I = 0; I < Batch.size(); ++I)
+        std::fprintf(stderr, ">> %s\n<< %s\n", Pending[I].c_str(),
+                     Batch[I].c_str());
+    FUZZ_CHECK(Batch.size() == Pending.size(), V, Context + " reply count");
+    for (const std::string &Reply : Batch) {
+      FUZZ_CHECK(telemetry::parseJson(Reply).has_value(), V,
+                 Context + " reply not JSON: " + Reply);
+      FUZZ_CHECK(Reply.find("\"ok\":") != std::string::npos, V,
+                 Context + " reply without ok field: " + Reply);
+    }
+    Replies.insert(Replies.end(), Batch.begin(), Batch.end());
+    Pending.clear();
+  };
+
+  unsigned NumCmds = 6 + unsigned(Rand.below(18));
+  for (unsigned C = 0; C < NumCmds; ++C) {
+    std::string Line;
+    switch (Rand.below(10)) {
+    case 0: { // load crossover: jump to another corpus image
+      Flush(); // barrier lines are built against the resident program
+      size_t Next = Rand.below(LoadPaths.size());
+      Line = "load {\"path\":" + telemetry::jsonQuote(LoadPaths[Next]) + "}";
+      Shadow = Corpus[Next];
+      break;
+    }
+    case 1:
+    case 2: { // same-length routine patch
+      Flush();
+      const Routine *Rt = servePickRoutine(S.analysis().Prog, Rand);
+      Line = Rt ? servePatchLine(Shadow, *Rt, Rand) : "stats";
+      break;
+    }
+    case 3:
+    case 4:
+    case 5:
+      Line = garbageLine(Rand);
+      break;
+    default:
+      Line = serveQueryLine(S.analysis().Prog, Shadow.Code.size(), Rand);
+      break;
+    }
+    Lines.push_back(Line);
+    Pending.push_back(Line);
+    if (Rand.chance(0.35))
+      Flush();
+  }
+  Lines.push_back("stats");
+  Pending.push_back("stats");
+  Flush();
+
+  // The server survived the stream: the trailing stats answered ok.
+  FUZZ_CHECK(Replies.back().find("\"ok\":true") != std::string::npos, V,
+             Context + " trailing stats failed: " + Replies.back());
+
+  // Oracle 1: a fresh server replaying the identical stream one line at
+  // a time answers byte-for-byte the same — batching, job count (the
+  // twin shares SO.Jobs, but replies must not depend on it anyway), and
+  // interleaving are unobservable.
+  Server Twin(SO);
+  if (!Twin.loadImage(Corpus[Base], &Err)) {
+    V.fail(Context + " twin rejected the base image: " + Err);
+    return;
+  }
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    std::string Reply = Twin.handleLine(Lines[I]);
+    if (Reply != Replies[I]) {
+      V.fail(Context + " replay diverged at line " + std::to_string(I) +
+             " '" + Lines[I] + "': batch='" + Replies[I] + "' serial='" +
+             Reply + "'");
+      return;
+    }
+  }
+
+  // Oracle 2: the resident state equals a fresh full solve of the final
+  // patched image (the incremental engine left no stale facts behind).
+  FUZZ_CHECK(S.image() == Shadow, V,
+             Context + " resident image diverged from the patch stream");
+  AnalysisOptions AO;
+  AO.Jobs = 1;
+  AO.RecordProvenance = true;
+  AnalysisResult Fresh = analyzeImage(Shadow, CallingConv(), AO);
+  FUZZ_CHECK(summariesEqual(S.analysis().Summaries, Fresh.Summaries), V,
+             Context + " resident summaries diverge from fresh solve");
+  FUZZ_CHECK(S.analysis().Provenance == Fresh.Provenance, V,
+             Context + " resident provenance diverges from fresh solve");
+  SlotFlowResult FreshSlots = solveSlotFlow(Fresh.Prog, 1);
+  FUZZ_CHECK(slotsEqual(S.slotFlow(), FreshSlots), V,
+             Context + " resident slot facts diverge from fresh solve");
+}
+
 int runTool(int Argc, char **Argv) {
   FuzzConfig Config;
   Config.Jobs = toolopts::defaultJobs();
@@ -507,6 +807,8 @@ int runTool(int Argc, char **Argv) {
       Config.Seed = std::strtoull(Argv[++I], nullptr, 0);
     else if (std::strcmp(Argv[I], "--iterations") == 0 && I + 1 < Argc)
       Config.Iterations = std::strtoull(Argv[++I], nullptr, 0);
+    else if (std::strcmp(Argv[I], "--serve-iterations") == 0 && I + 1 < Argc)
+      Config.ServeIterations = std::strtoull(Argv[++I], nullptr, 0);
     else if (std::strcmp(Argv[I], "--artifact-dir") == 0 && I + 1 < Argc)
       Config.ArtifactDir = Argv[++I];
     else if (std::strcmp(Argv[I], "--skip-oracle") == 0)
@@ -595,6 +897,60 @@ int runTool(int Argc, char **Argv) {
   }
 
   double LoopSeconds = LoopTimer.seconds();
+
+  if (Config.ServeIterations != 0) {
+    // The serve arm needs the corpus on disk so `load` crossovers walk
+    // the real file path.  Files live next to the artifacts if a dir was
+    // given, else in the system temp dir, and are removed afterwards.
+    std::string Dir = Config.ArtifactDir;
+    if (Dir.empty()) {
+      const char *Tmp = std::getenv("TMPDIR");
+      Dir = Tmp && *Tmp ? Tmp : "/tmp";
+    }
+    std::vector<std::string> LoadPaths;
+    for (size_t I = 0; I < Serialized.size(); ++I) {
+      std::string Path = Dir + "/spike-fuzz-serve-" +
+                         std::to_string(Config.Seed) + "-" +
+                         std::to_string(I) + ".spkx";
+      std::ofstream Out(Path, std::ios::binary);
+      Out.write(reinterpret_cast<const char *>(Serialized[I].data()),
+                std::streamsize(Serialized[I].size()));
+      LoadPaths.push_back(Path);
+    }
+
+    telemetry::Span ServeSpan("fuzz.serve_loop");
+    uint64_t Commands = 0;
+    for (uint64_t Iter = 0; Iter < Config.ServeIterations; ++Iter) {
+      const std::string Context =
+          "serve seed=" + std::to_string(Config.Seed) +
+          " iter=" + std::to_string(Iter);
+      uint64_t FailuresBefore = V.Failures;
+      std::vector<std::string> Stream;
+      runServeSession(Corpus, LoadPaths, V, Rand, Context, Stream);
+      Commands += Stream.size();
+      telemetry::count("fuzz.serve.sessions");
+      if (V.Failures != FailuresBefore && !Config.ArtifactDir.empty()) {
+        std::string Path = Config.ArtifactDir + "/serve-" +
+                           std::to_string(Config.Seed) + "-" +
+                           std::to_string(Iter) + ".txt";
+        std::ofstream Out(Path, std::ios::binary);
+        for (const std::string &Line : Stream)
+          Out << Line << "\n";
+        std::fprintf(stderr, "spike-fuzz: command stream written to %s\n",
+                     Path.c_str());
+      }
+    }
+    telemetry::count("fuzz.serve.commands", Commands);
+    for (const std::string &Path : LoadPaths)
+      std::remove(Path.c_str());
+
+    if (V.Failures == 0)
+      std::printf("spike-fuzz: %llu serve sessions (%llu commands) "
+                  "replayed clean against the fresh-solve oracle\n",
+                  (unsigned long long)Config.ServeIterations,
+                  (unsigned long long)Commands);
+  }
+
   telemetry::count("fuzz.failures", V.Failures);
   if (LoopSeconds > 0)
     telemetry::gaugeSet("fuzz.mutants_per_second",

@@ -7,7 +7,12 @@
 // "; [sp escapes]").  Annotations are comments, so the output still
 // round-trips through spike-as.
 //
-//   spike-objdump app.spkx [--routine <name>]
+//   spike-objdump app.spkx [--routine <name>] [--words]
+//
+// --words prints the routine's raw code as a JSON array of decimal
+// strings — the exact "code" payload of a spike-serve `patch-routine`
+// command (strings, not numbers: the opcode lives in the top byte and
+// JSON numbers are doubles).
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,24 +49,31 @@ void appendAnnotation(const Image &Img, uint64_t Address, unsigned Sp,
 
 int main(int Argc, char **Argv) {
   std::string Path, RoutineName;
+  bool Words = false;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--routine") == 0 && I + 1 < Argc)
       RoutineName = Argv[++I];
+    else if (std::strcmp(Argv[I], "--words") == 0)
+      Words = true;
     else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
       ;
     else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
       ;
     else if (Argv[I][0] == '-') {
-      std::fprintf(stderr, "usage: %s <image.spkx> [--routine <name>] %s %s\n",
+      std::fprintf(stderr,
+                   "usage: %s <image.spkx> [--routine <name>] [--words] "
+                   "%s %s\n",
                    Argv[0], toolopts::jobsUsage(), tooltel::usage());
       return 2;
     } else
       Path = Argv[I];
   }
-  if (Path.empty()) {
-    std::fprintf(stderr, "usage: %s <image.spkx> [--routine <name>] %s %s\n",
+  if (Path.empty() || (Words && RoutineName.empty())) {
+    std::fprintf(stderr,
+                 "usage: %s <image.spkx> [--routine <name>] [--words] "
+                 "%s %s\n",
                  Argv[0], toolopts::jobsUsage(), tooltel::usage());
     return 2;
   }
@@ -108,6 +120,17 @@ int main(int Argc, char **Argv) {
   for (const Routine &R : Prog.Routines) {
     if (R.Name != RoutineName)
       continue;
+    if (Words) {
+      std::string Out = "[";
+      for (uint64_t Address = R.Begin; Address < R.End; ++Address) {
+        if (Address != R.Begin)
+          Out += ",";
+        Out += "\"" + std::to_string(Img->Code[Address]) + "\"";
+      }
+      Out += "]";
+      std::printf("%s\n", Out.c_str());
+      return 0;
+    }
     std::printf("%s:  ; [%llu, %llu), %zu blocks\n", R.Name.c_str(),
                 (unsigned long long)R.Begin, (unsigned long long)R.End,
                 R.Blocks.size());

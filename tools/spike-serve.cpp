@@ -1,0 +1,134 @@
+//===- tools/spike-serve.cpp - resident analysis server -------------------===//
+//
+// Serves the interprocedural analysis over a newline-delimited line
+// protocol (see serve/Serve.h): load an image once, keep the summaries,
+// provenance, and slot facts resident, answer queries, and re-analyze
+// incrementally when a routine is patched.
+//
+//   spike-serve app.spkx                      serve stdin/stdout
+//   spike-serve app.spkx --socket=/tmp/s      serve a unix-domain socket
+//   echo 'analyze {"routine":"main"}' | spike-serve app.spkx
+//
+// Each request line is `<command> [<json-object>]`; each reply is one
+// line of JSON.  Commands: load, analyze, lint, explain, slice,
+// patch-routine, stats, shutdown.  Budget flags apply per request: a
+// blown request carries the `!! DEGRADED` banner in its reply and the
+// server keeps serving.
+//
+// Exit codes: 0 served until EOF/shutdown, 1 load or socket failure,
+// 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+#include "ToolBudget.h"
+#include "ToolOptions.h"
+#include "ToolTelemetry.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace spike;
+
+namespace {
+
+int usage(const char *Tool) {
+  std::fprintf(stderr,
+               "usage: %s [<image.spkx>] [--socket=<path>] [--no-provenance] "
+               "%s %s\n"
+               "protocol: one `<command> [<json>]` per line on stdin (or the "
+               "socket),\n"
+               "one JSON reply per line; commands: load analyze lint explain "
+               "slice\n"
+               "patch-routine stats shutdown\n",
+               Tool, toolopts::jobsUsage(), tooltel::usage());
+  std::fprintf(stderr, "budget flags: %s\n", toolbudget::usage());
+  return 2;
+}
+
+/// Consumes `--socket=<path>` / `--socket <path>`.
+bool parseSocket(int Argc, char **Argv, int &I, std::string &Path) {
+  const char *Name = "--socket";
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Argv[I], Name, Len) != 0)
+    return false;
+  const char *Value = nullptr;
+  if (Argv[I][Len] == '=')
+    Value = Argv[I] + Len + 1;
+  else if (Argv[I][Len] == '\0')
+    Value = I + 1 < Argc ? Argv[++I] : "";
+  else
+    return false;
+  if (*Value == '\0') {
+    std::fprintf(stderr, "error: --socket expects a path\n");
+    std::exit(2);
+  }
+  Path = Value;
+  return true;
+}
+
+int runTool(int Argc, char **Argv) {
+  std::string ImagePath, SocketPath;
+  bool NoProvenance = false;
+  unsigned Jobs = toolopts::defaultJobs();
+  tooltel::Options TelemetryOpts;
+  toolbudget::Options BudgetOpts;
+  for (int I = 1; I < Argc; ++I) {
+    if (parseSocket(Argc, Argv, I, SocketPath))
+      ;
+    else if (std::strcmp(Argv[I], "--no-provenance") == 0)
+      NoProvenance = true;
+    else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
+      ;
+    else if (tooltel::parseFlag(Argc, Argv, I, TelemetryOpts))
+      ;
+    else if (toolbudget::parseFlag(Argc, Argv, I, BudgetOpts))
+      ;
+    else if (Argv[I][0] == '-')
+      return usage(Argv[0]);
+    else if (ImagePath.empty())
+      ImagePath = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+
+  toolbudget::Session Faults(BudgetOpts);
+  tooltel::Emitter Telemetry("spike-serve", TelemetryOpts);
+
+  ServerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Budget = BudgetOpts.Budget;
+  Opts.RecordProvenance = !NoProvenance;
+  Server S(Opts);
+
+  if (!ImagePath.empty()) {
+    std::string Error;
+    std::optional<Image> Img = readImageFile(ImagePath, &Error);
+    if (!Img) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!S.loadImage(std::move(*Img), &Error)) {
+      std::fprintf(stderr, "error: cannot analyze '%s': %s\n",
+                   ImagePath.c_str(), Error.c_str());
+      return 1;
+    }
+  }
+
+  if (!SocketPath.empty()) {
+    std::string Error;
+    if (serveSocket(S, SocketPath, &Error) != 0) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  return serveStream(S, stdin, stdout);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
+}
