@@ -10,12 +10,18 @@
 # so the server must take the incremental path ("full":false) and only
 # the routine's SCC group plus dependents may re-solve.
 #
-# Usage: scripts/serve-smoke.sh <tools-dir> [report.json]
+# Observability rides along: the session runs with --access-log and
+# --slow-ms=0, asserts one well-formed JSONL record per request, scrapes
+# the `metrics` exposition out of the reply stream, and validates both
+# with spike-top --validate (the CI exposition checker).
+#
+# Usage: scripts/serve-smoke.sh <tools-dir> [report.json] [access.log]
 
 set -eu
 
-TOOLS="${1:?usage: serve-smoke.sh <tools-dir> [report.json]}"
+TOOLS="${1:?usage: serve-smoke.sh <tools-dir> [report.json] [access.log]}"
 REPORT="${2:-serve-run.json}"
+ACCESS="${3:-serve-access.log}"
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 
@@ -48,10 +54,12 @@ test "$PATCHED" != "$CODE" || { echo "serve-smoke: patch is a no-op" >&2; exit 1
   printf 'analyze {"routine":"%s"}\n' "$ROUTINE"
   echo 'stats'
   echo 'this is not a command'
+  echo 'metrics {}'
   echo 'shutdown'
 } > "$SCRATCH/session.txt"
 
 "$TOOLS/spike-serve" "$SCRATCH/go.spkx" --jobs=4 --metrics="$REPORT" \
+  --access-log="$ACCESS" --slow-ms=0 \
   < "$SCRATCH/session.txt" > "$SCRATCH/replies.txt"
 
 echo "--- session replies ---"
@@ -79,8 +87,36 @@ if ! grep -q '"cmd":"stats".*"patches":1' "$SCRATCH/replies.txt"; then
 fi
 test -s "$REPORT" || { echo "serve-smoke: no run report at $REPORT" >&2; FAIL=1; }
 
+# Observability assertions: header + one JSONL record per request, the
+# garbage line classified as a protocol error, and both surfaces pass
+# the strict spike-top checkers.
+ACCESS_LINES=$(wc -l < "$ACCESS")
+if [ "$ACCESS_LINES" -ne $((LINES + 1)) ]; then
+  echo "serve-smoke: access log has $ACCESS_LINES lines, want header + $LINES records" >&2
+  FAIL=1
+fi
+head -1 "$ACCESS" | grep -q '"schema":"spike-serve-access-log"' \
+  || { echo "serve-smoke: access log header missing schema id" >&2; FAIL=1; }
+head -1 "$ACCESS" | grep -q '"build":{' \
+  || { echo "serve-smoke: access log header missing build provenance" >&2; FAIL=1; }
+grep -q '"command":"?".*"protocol_error":true' "$ACCESS" \
+  || { echo "serve-smoke: garbage line not classified as protocol error" >&2; FAIL=1; }
+grep -q '"command":"patch-routine".*"patch":{"full":false' "$ACCESS" \
+  || { echo "serve-smoke: patch record missing dirty-frontier object" >&2; FAIL=1; }
+"$TOOLS/spike-top" --validate < "$ACCESS" \
+  || { echo "serve-smoke: access log failed spike-top --validate" >&2; FAIL=1; }
+"$TOOLS/spike-top" --once --prom-out="$SCRATCH/scrape.prom" \
+  < "$SCRATCH/replies.txt" > "$SCRATCH/top.txt" \
+  || { echo "serve-smoke: spike-top could not render the reply stream" >&2; FAIL=1; }
+"$TOOLS/spike-top" --validate < "$SCRATCH/scrape.prom" \
+  || { echo "serve-smoke: metrics exposition failed spike-top --validate" >&2; FAIL=1; }
+grep -q 'top commands by p99 latency' "$SCRATCH/top.txt" \
+  || { echo "serve-smoke: spike-top table missing" >&2; FAIL=1; }
+echo "--- spike-top --once ---"
+cat "$SCRATCH/top.txt"
+
 if [ "$FAIL" -ne 0 ]; then
   echo "serve-smoke: FAILED" >&2
   exit 1
 fi
-echo "serve-smoke: OK ($LINES commands, 1 expected error reply, report in $REPORT)"
+echo "serve-smoke: OK ($LINES commands, 1 expected error reply, report in $REPORT, access log in $ACCESS)"

@@ -10,17 +10,21 @@
 #include "lint/Linter.h"
 #include "provenance/Witness.h"
 #include "slice/Slicer.h"
+#include "support/BuildInfo.h"
 #include "telemetry/Json.h"
+#include "telemetry/Prometheus.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 #define SPIKE_SERVE_POSIX 1
@@ -153,6 +157,14 @@ int32_t findRoutine(const Program &Prog, const std::string &Name) {
   return -1;
 }
 
+/// Steady-clock nanoseconds; called only when the server observes
+/// requests, so an unobserved server takes no timestamps at all.
+uint64_t nowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
 const char *verdictWord(BudgetVerdict V) {
   switch (V) {
   case BudgetVerdict::Ok:
@@ -187,6 +199,14 @@ struct Server::Reply {
   bool Degraded = false;
   bool DepBuilt = false;
   bool DepHit = false;
+
+  // Observability accounting (read only when the observer is enabled).
+  bool ProtocolError = false;            ///< Malformed line / unknown command.
+  const char *DegradeReason = nullptr;   ///< Static verdict word, or null.
+  bool HasPatch = false;                 ///< Frontier below is meaningful.
+  IncrementalOutcome Frontier;           ///< The patch's dirty frontier.
+  uint64_t QueueNs = 0;                  ///< Arrival to execution start.
+  uint64_t ExecNs = 0;                   ///< Execution start to reply done.
 };
 
 // These helpers need Request's definition, so they live below it.
@@ -213,6 +233,7 @@ Server::Reply degradedError(const Server::Request &Req,
   Server::Reply R;
   R.IsError = true;
   R.Degraded = true;
+  R.DegradeReason = verdictWord(E.verdict());
   R.Text = replyHead(Req, false) + ",\"degraded\":true,\"note\":" +
            jsonQuote(std::string("!! DEGRADED: budget blown (") +
                      verdictWord(E.verdict()) + ") in " + E.phase()) +
@@ -223,7 +244,17 @@ Server::Reply degradedError(const Server::Request &Req,
 } // namespace
 
 Server::Server(ServerOptions Opts_)
-    : Opts(std::move(Opts_)), Pool(Opts.Jobs ? Opts.Jobs : 1) {}
+    : Opts(std::move(Opts_)), Pool(Opts.Jobs ? Opts.Jobs : 1) {
+  if (Opts.Observe || !Opts.AccessLogPath.empty() || Opts.SlowMs >= 0) {
+    if (Obs.enable(Opts.AccessLogPath, Opts.SlowMs, Pool.jobs(),
+                   &StartupError)) {
+      // The resident fallback session: captures hot-spot attribution and
+      // serve.* counters whenever the embedding tool has no session of
+      // its own active, so `stats` and `metrics` always have substance.
+      ObsSession.emplace("spike-serve");
+    }
+  }
+}
 
 Server::~Server() = default;
 
@@ -306,8 +337,11 @@ Server::Request Server::parseRequest(const std::string &Line,
 
 Server::Reply Server::dispatch(const Request &Req) {
   try {
-    if (!Req.ParseError.empty())
-      return errorReply(Req, Req.ParseError);
+    if (!Req.ParseError.empty()) {
+      Reply R = errorReply(Req, Req.ParseError);
+      R.ProtocolError = true;
+      return R;
+    }
     if (Req.Cmd == "load")
       return handleLoad(Req);
     if (Req.Cmd == "analyze")
@@ -322,13 +356,17 @@ Server::Reply Server::dispatch(const Request &Req) {
       return handlePatch(Req);
     if (Req.Cmd == "stats")
       return handleStats(Req);
+    if (Req.Cmd == "metrics")
+      return handleMetrics(Req);
     if (Req.Cmd == "shutdown") {
       Exited = true;
       Reply R;
       R.Text = replyHead(Req, true) + "}";
       return R;
     }
-    return errorReply(Req, "unknown command '" + Req.Cmd + "'");
+    Reply R = errorReply(Req, "unknown command '" + Req.Cmd + "'");
+    R.ProtocolError = true;
+    return R;
   } catch (const BudgetBlownError &E) {
     return degradedError(Req, E);
   } catch (const std::exception &E) {
@@ -374,6 +412,7 @@ Server::Reply Server::handleLoad(const Request &Req) {
            ",\"quarantined\":" + u64(Quarantined);
   if (!DegradedRoutines.empty()) {
     R.Degraded = true;
+    R.DegradeReason = "budget";
     std::string Names;
     for (const std::string &N : DegradedRoutines) {
       if (!Names.empty())
@@ -645,6 +684,7 @@ Server::Reply Server::handlePatch(const Request &Req) {
 
   IncrementalOutcome Out;
   bool Degraded = false;
+  const char *DegradeReason = nullptr;
   std::string DegradedNote;
   try {
     Out = reanalyzeIncremental(NewImg, Opts.Conv, AOpts, A, &Slots);
@@ -660,6 +700,7 @@ Server::Reply Server::handlePatch(const Request &Req) {
           Req, "patch rejected, still serving the previous version: " +
                    G.error().str());
       R.Degraded = true;
+      R.DegradeReason = verdictWord(E.verdict());
       R.Text.pop_back(); // Replace the closing brace with the banner note.
       R.Text += ",\"degraded\":true,\"note\":" +
                 jsonQuote(std::string("!! DEGRADED: budget blown (") +
@@ -674,6 +715,7 @@ Server::Reply Server::handlePatch(const Request &Req) {
     Out.StructDirty = Out.Phase1Dirty = Out.Phase2Dirty =
         A.Prog.Routines.size();
     Degraded = true;
+    DegradeReason = verdictWord(E.verdict());
     std::string Names;
     for (const std::string &N : G->DegradedRoutines) {
       if (!Names.empty())
@@ -695,6 +737,9 @@ Server::Reply Server::handlePatch(const Request &Req) {
 
   Reply R;
   R.Degraded = Degraded;
+  R.DegradeReason = DegradeReason;
+  R.HasPatch = true;
+  R.Frontier = Out;
   R.Text = replyHead(Req, true) + ",\"routine\":" + jsonQuote(Name) +
            std::string(",\"full\":") + (Out.Full ? "true" : "false") +
            std::string(",\"phase2_escalated\":") +
@@ -721,14 +766,77 @@ Server::Reply Server::handleStats(const Request &Req) const {
            ",\"depgraph_builds\":" + u64(St.DepGraphBuilds) +
            ",\"depgraph_hits\":" + u64(St.DepGraphHits) +
            ",\"degraded_replies\":" + u64(St.DegradedReplies) +
-           ",\"errors\":" + u64(St.Errors) + ",\"last_patch\":{" +
+           ",\"errors\":" + u64(St.Errors) +
+           ",\"protocol_errors\":" + u64(St.ProtocolErrors) +
+           ",\"last_patch\":{" +
            "\"full\":" + (St.LastPatch.Full ? "true" : "false") +
            ",\"struct_dirty\":" + u64(St.LastPatch.StructDirty) +
            ",\"phase1_dirty\":" + u64(St.LastPatch.Phase1Dirty) +
            ",\"phase2_dirty\":" + u64(St.LastPatch.Phase2Dirty) +
            ",\"slot_phase1_dirty\":" + u64(St.LastPatch.SlotPhase1Dirty) +
            ",\"slot_phase2_dirty\":" + u64(St.LastPatch.SlotPhase2Dirty) +
-           "}}";
+           "}";
+  // The enriched-stats section: per-command latency / queue-wait
+  // percentiles.  Present only when observing, so unobserved replies are
+  // byte-for-byte what they were before observability existed.
+  if (Obs.enabled())
+    R.Text += "," + Obs.statsJson();
+  R.Text += "}";
+  return R;
+}
+
+Server::Reply Server::handleMetrics(const Request &Req) const {
+  telemetry::PromWriter W;
+
+  // Build provenance first, conventional `<name>_info` gauge.
+  const BuildInfo &B = buildInfo();
+  W.info("spike_build_info", {{"git", B.GitDescribe},
+                              {"compiler", B.Compiler},
+                              {"type", B.BuildType},
+                              {"sanitizer", B.Sanitizer}});
+
+  // The authoritative server counters (ServeStats is the source of
+  // truth; session counters below only mirror a subset of these).
+  W.gauge("spike_serve_loaded", Loaded ? 1 : 0);
+  W.gauge("spike_serve_jobs", Pool.jobs());
+  W.gauge("spike_serve_routines", Loaded ? A.Prog.Routines.size() : 0);
+  W.counter("spike_serve_queries_total", St.Queries);
+  W.counter("spike_serve_loads_total", St.Loads);
+  W.counter("spike_serve_patches_total", St.Patches);
+  W.counter("spike_serve_patch_full_solves_total", St.PatchFullSolves);
+  W.counter("spike_serve_depgraph_builds_total", St.DepGraphBuilds);
+  W.counter("spike_serve_depgraph_hits_total", St.DepGraphHits);
+  W.counter("spike_serve_degraded_replies_total", St.DegradedReplies);
+  W.counter("spike_serve_errors_total", St.Errors);
+  W.counter("spike_serve_protocol_errors_total", St.ProtocolErrors);
+
+  // Per-command request distributions, command baked into the metric
+  // name (one histogram family per command keeps the writer label-free).
+  if (Obs.enabled()) {
+    for (unsigned I = 0; I < serve::NumCommands; ++I) {
+      serve::Command C = serve::Command(I);
+      if (Obs.latency(C).empty())
+        continue;
+      std::string Cmd = telemetry::promName(serve::commandName(C));
+      W.histogram("spike_serve_latency_" + Cmd + "_ns", Obs.latency(C));
+      W.histogram("spike_serve_queue_wait_" + Cmd + "_ns", Obs.queueWait(C));
+    }
+  }
+
+  // Everything the live telemetry session accumulated — analysis-phase
+  // counters, solver histograms, hot-spot attribution.  The serve.*
+  // mirrors are skipped: the authoritative values already went out above
+  // and the per-command histograms have their own families.
+  const telemetry::Session *Sess = telemetry::active();
+  if (!Sess && ObsSession)
+    Sess = &*ObsSession;
+  if (Sess)
+    telemetry::renderSessionProm(W, *Sess, "serve.");
+
+  Reply R;
+  R.Text = replyHead(Req, true) +
+           ",\"content_type\":" + jsonQuote("text/plain; version=0.0.4") +
+           ",\"body\":" + jsonQuote(W.str()) + "}";
   return R;
 }
 
@@ -740,6 +848,19 @@ std::vector<std::string>
 Server::handleBatch(const std::vector<std::string> &Lines) {
   std::vector<std::string> Out(Lines.size());
 
+  // When observing without an embedder session, install the resident
+  // fallback session for the whole batch: serve.* counters, hot-spot
+  // attribution, and the per-command histogram mirrors all land there,
+  // so `metrics` has live substance between tool restarts.  Nested
+  // scopes are fine — SessionScope restores the previous active session.
+  std::optional<telemetry::SessionScope> ObsScope;
+  if (Obs.enabled() && ObsSession && !telemetry::active())
+    ObsScope.emplace(*ObsSession);
+  telemetry::Session *Sess = telemetry::active();
+
+  const bool Observing = Obs.enabled();
+  const uint64_t Arrival = Observing ? nowNs() : 0;
+
   // Parse every line up front, in input order (sequence numbers are
   // assigned by arrival, not completion).
   std::vector<Request> Reqs;
@@ -747,16 +868,64 @@ Server::handleBatch(const std::vector<std::string> &Lines) {
   for (const std::string &Line : Lines)
     Reqs.push_back(parseRequest(Line, NextSeq++));
 
+  // Builds one request record from an accounted reply and hands it to
+  // the observer with the hot spots its dispatch charged to the session.
+  // Called serially, in arrival order, after any parallel join — the
+  // determinism contract the byte-identity tests rely on.
+  auto ObserveRequest = [&](size_t Idx, const Reply &R, size_t SpotsBefore) {
+    serve::RequestRecord Rec;
+    Rec.Seq = Reqs[Idx].Seq;
+    Rec.Cmd = serve::commandFor(Reqs[Idx].Cmd);
+    Rec.Ok = !R.IsError;
+    Rec.ProtocolError = R.ProtocolError;
+    Rec.Degraded = R.Degraded;
+    Rec.DegradeReason = R.DegradeReason;
+    Rec.BytesIn = Lines[Idx].size();
+    Rec.BytesOut = Out[Idx].size();
+    Rec.QueueNs = R.QueueNs;
+    Rec.ExecNs = R.ExecNs;
+    Rec.Slow = Obs.slow(R.ExecNs);
+    if (R.HasPatch) {
+      Rec.HasPatch = true;
+      Rec.PatchFull = R.Frontier.Full;
+      Rec.StructDirty = R.Frontier.StructDirty;
+      Rec.Phase1Dirty = R.Frontier.Phase1Dirty;
+      Rec.Phase2Dirty = R.Frontier.Phase2Dirty;
+      Rec.SlotPhase1Dirty = R.Frontier.SlotPhase1Dirty;
+      Rec.SlotPhase2Dirty = R.Frontier.SlotPhase2Dirty;
+    }
+    static const std::vector<telemetry::HotSpotRecord> NoSpots;
+    if (Rec.Slow && Sess && SpotsBefore < Sess->hotspots().size()) {
+      std::vector<telemetry::HotSpotRecord> Spots(
+          Sess->hotspots().begin() + SpotsBefore, Sess->hotspots().end());
+      Obs.observe(Rec, Reqs[Idx].Cmd, Spots);
+    } else {
+      Obs.observe(Rec, Reqs[Idx].Cmd, NoSpots);
+    }
+  };
+
   size_t I = 0;
   while (I < Lines.size()) {
     bool Query = Reqs[I].ParseError.empty() && isQueryCommand(Reqs[I].Cmd);
     if (!Query) {
       // Barrier command: runs serially with the telemetry session active.
+      // Hot spots recorded during dispatch (a patch's re-solve, a load's
+      // fresh analysis) belong to this request: bracket the session's
+      // hot-spot vector and attach the delta if the request is slow.
+      size_t SpotsBefore = Sess ? Sess->hotspots().size() : 0;
+      uint64_t T0 = Observing ? nowNs() : 0;
       Reply R = dispatch(Reqs[I]);
+      if (Observing) {
+        R.QueueNs = T0 - Arrival;
+        R.ExecNs = nowNs() - T0;
+      }
       St.Errors += R.IsError;
       St.DegradedReplies += R.Degraded;
+      St.ProtocolErrors += R.ProtocolError;
       if (R.IsError)
         telemetry::count("serve.errors");
+      if (R.ProtocolError)
+        telemetry::count("serve.protocol_errors");
       if (R.Degraded)
         telemetry::count("serve.degraded_replies");
       if (Reqs[I].Cmd == "load" && !R.IsError)
@@ -770,6 +939,8 @@ Server::handleBatch(const std::vector<std::string> &Lines) {
           telemetry::count("serve.patch.full_solves");
       }
       Out[I] = std::move(R.Text);
+      if (Observing)
+        ObserveRequest(I, R, SpotsBefore);
       ++I;
       continue;
     }
@@ -777,7 +948,9 @@ Server::handleBatch(const std::vector<std::string> &Lines) {
     // Maximal run of read-only queries: fan out on the pool.  The
     // telemetry session is paused unconditionally (even at Jobs == 1) so
     // counters do not depend on the batch shape or job count; serve.*
-    // counts are emitted after the join instead.
+    // counts are emitted after the join instead.  Each task takes its
+    // own execute timestamps — queue wait is time spent parked behind
+    // the batch (and behind busier lanes) before its dispatch began.
     size_t J = I;
     while (J < Lines.size() && Reqs[J].ParseError.empty() &&
            isQueryCommand(Reqs[J].Cmd))
@@ -786,7 +959,14 @@ Server::handleBatch(const std::vector<std::string> &Lines) {
     {
       telemetry::SessionPause Paused;
       forEachTask(&Pool, J - I, [&](size_t K, unsigned) {
-        Replies[K] = dispatch(Reqs[I + K]);
+        if (Observing) {
+          uint64_t T0 = nowNs();
+          Replies[K] = dispatch(Reqs[I + K]);
+          Replies[K].QueueNs = T0 - Arrival;
+          Replies[K].ExecNs = nowNs() - T0;
+        } else {
+          Replies[K] = dispatch(Reqs[I + K]);
+        }
       });
     }
     uint64_t Errors = 0, Degraded = 0, DepBuilds = 0, DepHits = 0;
@@ -811,6 +991,15 @@ Server::handleBatch(const std::vector<std::string> &Lines) {
       telemetry::count("serve.depgraph.builds", DepBuilds);
     if (DepHits)
       telemetry::count("serve.depgraph.hits", DepHits);
+    if (Observing) {
+      // Observe the whole run serially, in arrival order, after the
+      // join (and after SessionPause ended, so the histogram mirrors
+      // reach the session).  Queries never record hot spots — they only
+      // read resident state — so the bracket is empty by construction.
+      size_t SpotsAt = Sess ? Sess->hotspots().size() : 0;
+      for (size_t K = 0; K < Replies.size(); ++K)
+        ObserveRequest(I + K, Replies[K], SpotsAt);
+    }
     I = J;
   }
   return Out;
@@ -894,7 +1083,43 @@ int serveSocket(Server &S, const std::string &Path, std::string *Error) {
     return 1;
   }
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
-  ::unlink(Path.c_str());
+
+  // A leftover socket file — say, from a crashed or SIGKILLed server —
+  // would make bind() fail with EADDRINUSE even though nothing is
+  // listening.  Probe before binding: a connect() that succeeds means a
+  // live server owns the path (refuse to steal it); ECONNREFUSED means
+  // the inode is stale and safe to unlink and rebind.  Anything that is
+  // not a socket is never removed.
+  struct stat SB;
+  if (::lstat(Path.c_str(), &SB) == 0) {
+    if (!S_ISSOCK(SB.st_mode)) {
+      if (Error)
+        *Error = Path + " exists and is not a socket; refusing to replace it";
+      ::close(Fd);
+      return 1;
+    }
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Probe >= 0) {
+      int Rc = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof Addr);
+      int ConnErr = errno;
+      ::close(Probe);
+      if (Rc == 0) {
+        if (Error)
+          *Error = Path + " is in use by a live server";
+        ::close(Fd);
+        return 1;
+      }
+      if (ConnErr != ECONNREFUSED && ConnErr != ENOENT) {
+        if (Error)
+          *Error = std::string("probe connect on ") + Path + ": " +
+                   std::strerror(ConnErr);
+        ::close(Fd);
+        return 1;
+      }
+    }
+    ::unlink(Path.c_str());
+  }
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0 ||
       ::listen(Fd, 4) < 0) {
     if (Error)
@@ -911,6 +1136,7 @@ int serveSocket(Server &S, const std::string &Path, std::string *Error) {
       if (Error)
         *Error = std::string("accept: ") + std::strerror(errno);
       ::close(Fd);
+      ::unlink(Path.c_str());
       return 1;
     }
     FILE *In = fdopen(Conn, "r");

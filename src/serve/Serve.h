@@ -29,8 +29,13 @@
 ///                                           2^53 must be sent as decimal
 ///                                           or 0x-prefixed strings —
 ///                                           JSON numbers are doubles)
-///   stats         {}                        server counters + the last
-///                                           patch's dirty frontier
+///   stats         {}                        server counters, the last
+///                                           patch's dirty frontier, and
+///                                           (when observing) per-command
+///                                           latency percentiles
+///   metrics       {}                        live counters/gauges/histograms
+///                                           in Prometheus text-exposition
+///                                           format (JSON-escaped "body")
 ///   shutdown      {}                        end the session
 ///
 /// `patch-routine` drives interproc/Incremental.h: only the patched
@@ -48,6 +53,17 @@
 /// an "ok": false reply, never a crash; the spike-fuzz serve arm feeds
 /// this contract random garbage.
 ///
+/// Request-scoped observability (serve/Observe.h) rides on the same
+/// batch loop: when enabled, every request is timed (queue wait vs
+/// execute), recorded into per-command histograms, and appended to the
+/// access log as one JSONL line; requests over the slow threshold carry
+/// the hot-spot attribution their dispatch charged to the resident
+/// telemetry session.  Records are observed serially in arrival order,
+/// so scrubbed of timing fields the log is byte-identical at every job
+/// count.  Off by default: an unobserved server takes no timestamps and
+/// allocates nothing for observability, keeping the differential-oracle
+/// byte-identity contract untouched.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIKE_SERVE_SERVE_H
@@ -56,9 +72,11 @@
 #include "binary/Image.h"
 #include "interproc/Incremental.h"
 #include "psg/Analyzer.h"
+#include "serve/Observe.h"
 #include "slice/DepGraph.h"
 #include "slice/SlotFlow.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -84,6 +102,20 @@ struct ServerOptions {
 
   /// Calling standard used for every analysis.
   CallingConv Conv;
+
+  /// Request observability master switch.  Observation is on when this
+  /// is set OR an access log is configured OR a slow threshold is set;
+  /// when all three are off the server takes no per-request timestamps
+  /// and allocates nothing for observability.
+  bool Observe = false;
+
+  /// JSONL access-log path; empty = no log (histograms only).
+  std::string AccessLogPath;
+
+  /// Requests whose execute time reaches this many milliseconds are
+  /// marked slow and carry hot-spot attribution in the access log.
+  /// 0 marks everything slow (CI mode); < 0 disables the threshold.
+  int64_t SlowMs = -1;
 };
 
 /// Monotonic server counters, mirrored into the `stats` reply and the
@@ -97,6 +129,8 @@ struct ServeStats {
   uint64_t DepGraphHits = 0;   ///< dependence-graph cache hits.
   uint64_t DegradedReplies = 0;///< replies carrying the degraded banner.
   uint64_t Errors = 0;         ///< "ok": false replies of any kind.
+  uint64_t ProtocolErrors = 0; ///< the malformed-line subset of Errors
+                               ///< (bad JSON, unknown command).
 
   /// Dirty-frontier accounting of the most recent patch.
   IncrementalOutcome LastPatch;
@@ -133,6 +167,14 @@ public:
 
   const ServeStats &stats() const { return St; }
 
+  /// The request observer (histograms, access log).  Disabled unless the
+  /// options asked for observation.
+  const serve::RequestObserver &observer() const { return Obs; }
+
+  /// Non-empty when the options could not be honored at construction
+  /// (unopenable access log); the server still serves, unobserved.
+  const std::string &startupError() const { return StartupError; }
+
   /// Resident-state accessors, for embedders and the differential oracle
   /// tests (valid only while loaded()).
   const AnalysisResult &analysis() const { return A; }
@@ -154,6 +196,7 @@ private:
   Reply handleSlice(const Request &Req);
   Reply handlePatch(const Request &Req);
   Reply handleStats(const Request &Req) const;
+  Reply handleMetrics(const Request &Req) const;
 
   /// Returns the cached dependence graph, building it on first use
   /// (thread-safe; concurrent `slice` queries build once).
@@ -177,6 +220,14 @@ private:
   ServeStats St;
   uint64_t NextSeq = 0;
   bool Exited = false;
+
+  // Request observability.  ObsSession is the resident fallback session
+  // that captures hot-spot attribution (and serve.* counters) when the
+  // embedding tool did not install its own telemetry session; it lives
+  // as long as the server, so `metrics` is scrapeable without restart.
+  serve::RequestObserver Obs;
+  std::optional<telemetry::Session> ObsSession;
+  std::string StartupError;
 };
 
 /// Serves the line protocol over stdio-style streams until EOF or a

@@ -1,0 +1,45 @@
+//===- support/BuildInfo.cpp - Binary build provenance ---------------------===//
+
+#include "support/BuildInfo.h"
+
+// The definitions come from src/support/CMakeLists.txt; the fallbacks
+// keep the file compilable outside the build system (tooling, IDEs).
+#ifndef SPIKE_GIT_DESCRIBE
+#define SPIKE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SPIKE_COMPILER
+#define SPIKE_COMPILER "unknown"
+#endif
+#ifndef SPIKE_CXX_FLAGS
+#define SPIKE_CXX_FLAGS ""
+#endif
+#ifndef SPIKE_BUILD_TYPE
+#define SPIKE_BUILD_TYPE "unknown"
+#endif
+#ifndef SPIKE_SANITIZE_MODE
+#define SPIKE_SANITIZE_MODE "off"
+#endif
+
+using namespace spike;
+
+const BuildInfo &spike::buildInfo() {
+  static const BuildInfo Info = {
+      SPIKE_GIT_DESCRIBE, SPIKE_COMPILER, SPIKE_CXX_FLAGS,
+      SPIKE_BUILD_TYPE,   SPIKE_SANITIZE_MODE,
+  };
+  return Info;
+}
+
+std::string spike::buildInfoLine() {
+  const BuildInfo &B = buildInfo();
+  return std::string(B.GitDescribe) + " (" + B.Compiler + ", " + B.BuildType +
+         ", sanitizer=" + B.Sanitizer + ")";
+}
+
+std::string spike::buildInfoJson(std::string (*Quote)(std::string_view)) {
+  const BuildInfo &B = buildInfo();
+  return "{\"git\":" + Quote(B.GitDescribe) +
+         ",\"compiler\":" + Quote(B.Compiler) +
+         ",\"flags\":" + Quote(B.Flags) + ",\"type\":" + Quote(B.BuildType) +
+         ",\"sanitizer\":" + Quote(B.Sanitizer) + "}";
+}

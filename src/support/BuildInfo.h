@@ -1,0 +1,56 @@
+//===- support/BuildInfo.h - Binary build provenance ----------*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build provenance baked into every binary at configure time: the git
+/// describe string, the compiler, the effective C++ flags, the build
+/// type, and the sanitizer set.  Every tool surfaces it via `--version`,
+/// every RunReport embeds it as the "build" object, the serve access
+/// log writes it into its header line, and the `metrics` command exports
+/// it as the conventional `spike_build_info` gauge — so any telemetry
+/// artifact can be traced back to the exact binary that produced it
+/// (an ASan run report diffed against a release baseline is the classic
+/// false regression this prevents).
+///
+/// The values are plain compile definitions on BuildInfo.cpp (set by
+/// src/support/CMakeLists.txt), not a generated header, so nothing else
+/// rebuilds when the git head moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_SUPPORT_BUILDINFO_H
+#define SPIKE_SUPPORT_BUILDINFO_H
+
+#include <string>
+#include <string_view>
+
+namespace spike {
+
+/// The provenance of this binary.  All pointers are static strings.
+struct BuildInfo {
+  const char *GitDescribe; ///< `git describe --always --dirty`, or "unknown".
+  const char *Compiler;    ///< "GNU 13.2.0", "Clang 17.0.1", ...
+  const char *Flags;       ///< Effective CMAKE_CXX_FLAGS (+ build-type flags).
+  const char *BuildType;   ///< CMAKE_BUILD_TYPE ("RelWithDebInfo", ...).
+  const char *Sanitizer;   ///< "off", "address,undefined", or "thread".
+};
+
+/// The build info compiled into this binary.
+const BuildInfo &buildInfo();
+
+/// One-line human rendering: "<describe> (<compiler>, <type>, sanitizer=<s>)".
+std::string buildInfoLine();
+
+/// The "build" JSON object fragment shared by RunReport documents and
+/// the serve access-log header:
+///   {"git":"...","compiler":"...","flags":"...","type":"...","sanitizer":"..."}
+/// Keys are stable; values are escaped by the caller-supplied quoter so
+/// this header does not depend on the telemetry library.
+std::string buildInfoJson(std::string (*Quote)(std::string_view));
+
+} // namespace spike
+
+#endif // SPIKE_SUPPORT_BUILDINFO_H

@@ -1,0 +1,353 @@
+//===- telemetry/Prometheus.cpp - Text-exposition rendering ----------------===//
+
+#include "telemetry/Prometheus.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace spike;
+using namespace spike::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Names and labels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool nameStartChar(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == ':';
+}
+
+bool nameChar(char C) {
+  return nameStartChar(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+bool labelStartChar(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool labelChar(char C) {
+  return labelStartChar(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+std::string renderLabels(const PromLabels &Labels) {
+  if (Labels.empty())
+    return std::string();
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, Value] : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += Name + "=\"" + promLabelValue(Value) + "\"";
+  }
+  return Out + "}";
+}
+
+} // namespace
+
+std::string spike::telemetry::promName(std::string_view Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw)
+    Out += nameChar(C) ? C : '_';
+  if (Out.empty() || std::isdigit(static_cast<unsigned char>(Out.front())))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string spike::telemetry::promLabelValue(std::string_view Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// PromWriter
+//===----------------------------------------------------------------------===//
+
+void PromWriter::typeLine(const std::string &Name, const char *Type) {
+  if (!Typed.insert(Name).second)
+    return;
+  Out += "# TYPE " + Name + " " + Type + "\n";
+}
+
+void PromWriter::counter(const std::string &Name, uint64_t Value) {
+  typeLine(Name, "counter");
+  Out += Name + " " + std::to_string(Value) + "\n";
+}
+
+void PromWriter::gauge(const std::string &Name, uint64_t Value) {
+  typeLine(Name, "gauge");
+  Out += Name + " " + std::to_string(Value) + "\n";
+}
+
+void PromWriter::histogram(const std::string &Name, const Histogram &H) {
+  typeLine(Name, "histogram");
+  uint64_t Cumulative = 0;
+  for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+    if (H.bucket(I) == 0)
+      continue;
+    Cumulative += H.bucket(I);
+    Out += Name + "_bucket{le=\"" + std::to_string(Histogram::bucketHi(I)) +
+           "\"} " + std::to_string(Cumulative) + "\n";
+  }
+  Out += Name + "_bucket{le=\"+Inf\"} " + std::to_string(H.count()) + "\n";
+  Out += Name + "_sum " + std::to_string(H.sum()) + "\n";
+  Out += Name + "_count " + std::to_string(H.count()) + "\n";
+}
+
+void PromWriter::info(const std::string &Name, const PromLabels &Labels) {
+  typeLine(Name, "gauge");
+  Out += Name + renderLabels(Labels) + " 1\n";
+}
+
+void PromWriter::labeled(const std::string &Name, const PromLabels &Labels,
+                         uint64_t Value) {
+  typeLine(Name, "gauge");
+  Out += Name + renderLabels(Labels) + " " + std::to_string(Value) + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One line's cursor; fail() composes the line-numbered message.
+struct LineParser {
+  std::string_view Line;
+  size_t Pos = 0;
+  size_t LineNo = 0;
+  std::string *Error = nullptr;
+
+  bool fail(const std::string &Message) {
+    if (Error && Error->empty())
+      *Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  }
+
+  bool done() const { return Pos >= Line.size(); }
+  char peek() const { return done() ? '\0' : Line[Pos]; }
+
+  void skipSpace() {
+    while (!done() && (Line[Pos] == ' ' || Line[Pos] == '\t'))
+      ++Pos;
+  }
+
+  bool parseName(std::string &Into, bool Label) {
+    size_t Begin = Pos;
+    if (done() || !(Label ? labelStartChar(peek()) : nameStartChar(peek())))
+      return fail(Label ? "expected a label name" : "expected a metric name");
+    while (!done() && (Label ? labelChar(peek()) : nameChar(peek())))
+      ++Pos;
+    Into = std::string(Line.substr(Begin, Pos - Begin));
+    return true;
+  }
+
+  bool parseLabelValue(std::string &Into) {
+    if (peek() != '"')
+      return fail("expected '\"' opening a label value");
+    ++Pos;
+    Into.clear();
+    while (!done() && peek() != '"') {
+      char C = Line[Pos++];
+      if (C != '\\') {
+        Into += C;
+        continue;
+      }
+      if (done())
+        return fail("dangling backslash in label value");
+      char E = Line[Pos++];
+      if (E == '\\')
+        Into += '\\';
+      else if (E == '"')
+        Into += '"';
+      else if (E == 'n')
+        Into += '\n';
+      else
+        return fail(std::string("unknown label escape '\\") + E + "'");
+    }
+    if (done())
+      return fail("unterminated label value");
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseValue(double &Into) {
+    skipSpace();
+    if (done())
+      return fail("sample line without a value");
+    size_t Begin = Pos;
+    while (!done() && Line[Pos] != ' ' && Line[Pos] != '\t')
+      ++Pos;
+    std::string Token(Line.substr(Begin, Pos - Begin));
+    // strtod accepts "inf"/"nan" spellings including the +Inf the
+    // histogram convention writes.
+    char *End = nullptr;
+    Into = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size())
+      return fail("bad sample value '" + Token + "'");
+    return true;
+  }
+};
+
+bool parseCommentLine(LineParser &P) {
+  // "# HELP <name> <text>" / "# TYPE <name> <type>" / plain comment.
+  P.Pos = 1;
+  P.skipSpace();
+  std::string_view Rest = P.Line.substr(P.Pos);
+  bool IsHelp = Rest.rfind("HELP", 0) == 0;
+  bool IsType = Rest.rfind("TYPE", 0) == 0;
+  if (!IsHelp && !IsType)
+    return true; // Free-form comment.
+  P.Pos += 4;
+  P.skipSpace();
+  std::string Name;
+  if (!P.parseName(Name, /*Label=*/false))
+    return false;
+  if (IsHelp)
+    return true; // Help text is free-form to end of line.
+  P.skipSpace();
+  std::string Kind;
+  while (!P.done() && P.peek() != ' ' && P.peek() != '\t')
+    Kind += P.Line[P.Pos++];
+  if (Kind != "counter" && Kind != "gauge" && Kind != "histogram" &&
+      Kind != "summary" && Kind != "untyped")
+    return P.fail("unknown metric type '" + Kind + "'");
+  P.skipSpace();
+  if (!P.done())
+    return P.fail("trailing text after TYPE line");
+  return true;
+}
+
+bool parseSampleLine(LineParser &P, PromSample &Sample) {
+  if (!P.parseName(Sample.Name, /*Label=*/false))
+    return false;
+  if (P.peek() == '{') {
+    ++P.Pos;
+    P.skipSpace();
+    while (P.peek() != '}') {
+      std::string LabelName, LabelValue;
+      if (!P.parseName(LabelName, /*Label=*/true))
+        return false;
+      P.skipSpace();
+      if (P.peek() != '=')
+        return P.fail("expected '=' after label name '" + LabelName + "'");
+      ++P.Pos;
+      P.skipSpace();
+      if (!P.parseLabelValue(LabelValue))
+        return false;
+      Sample.Labels.emplace_back(std::move(LabelName), std::move(LabelValue));
+      P.skipSpace();
+      if (P.peek() == ',') {
+        ++P.Pos;
+        P.skipSpace();
+        continue;
+      }
+      if (P.peek() != '}')
+        return P.fail("expected ',' or '}' in label set");
+    }
+    ++P.Pos; // Closing brace.
+  }
+  if (!P.parseValue(Sample.Value))
+    return false;
+  // Optional millisecond timestamp.
+  P.skipSpace();
+  if (!P.done()) {
+    size_t Begin = P.Pos;
+    if (P.peek() == '-' || P.peek() == '+')
+      ++P.Pos;
+    while (!P.done() && std::isdigit(static_cast<unsigned char>(P.peek())))
+      ++P.Pos;
+    if (P.Pos == Begin)
+      return P.fail("trailing text after sample value");
+    P.skipSpace();
+    if (!P.done())
+      return P.fail("trailing text after sample timestamp");
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<std::vector<PromSample>>
+spike::telemetry::parseExposition(std::string_view Text, std::string *Error) {
+  std::vector<PromSample> Samples;
+  size_t LineNo = 0;
+  size_t Begin = 0;
+  while (Begin <= Text.size()) {
+    size_t End = Text.find('\n', Begin);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Begin, End - Begin);
+    Begin = End + 1;
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty()) {
+      if (Begin > Text.size())
+        break;
+      continue;
+    }
+
+    LineParser P{Line, 0, LineNo, Error};
+    if (Line.front() == '#') {
+      if (!parseCommentLine(P))
+        return std::nullopt;
+      continue;
+    }
+    PromSample Sample;
+    if (!parseSampleLine(P, Sample))
+      return std::nullopt;
+    Samples.push_back(std::move(Sample));
+  }
+  return Samples;
+}
+
+//===----------------------------------------------------------------------===//
+// Session rendering
+//===----------------------------------------------------------------------===//
+
+void spike::telemetry::renderSessionProm(PromWriter &W, const Session &S,
+                                         std::string_view SkipPrefix) {
+  auto Skipped = [&](const std::string &Name) {
+    return !SkipPrefix.empty() && Name.rfind(SkipPrefix, 0) == 0;
+  };
+  for (const auto &[Name, Value] : S.counters())
+    if (!Skipped(Name))
+      W.counter("spike_" + promName(Name), Value);
+  for (const auto &[Name, Value] : S.gauges())
+    if (!Skipped(Name))
+      W.gauge("spike_" + promName(Name), Value);
+  for (const auto &[Name, H] : S.histograms())
+    if (!Skipped(Name))
+      W.histogram("spike_" + promName(Name), H);
+
+  // Per-routine hot-spot aggregation: routine names are label values
+  // (hostile bytes escape there), never metric names.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> ByRoutine;
+  for (const HotSpotRecord &R : S.hotspots()) {
+    if (R.Routine.empty())
+      continue; // Group rows double-count their routine rows.
+    auto &[Ns, Pops] = ByRoutine[R.Routine];
+    Ns += R.Ns;
+    Pops += R.Pops;
+  }
+  for (const auto &[Routine, Totals] : ByRoutine) {
+    W.labeled("spike_hot_routine_ns", {{"routine", Routine}}, Totals.first);
+    W.labeled("spike_hot_routine_pops", {{"routine", Routine}},
+              Totals.second);
+  }
+}

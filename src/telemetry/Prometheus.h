@@ -1,0 +1,121 @@
+//===- telemetry/Prometheus.h - Text-exposition rendering -----*- C++ -*-===//
+//
+// Part of the spike-psg project (Goodwin, PLDI 1997 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prometheus text-exposition (version 0.0.4) rendering and parsing —
+/// the scrape format behind spike-serve's `metrics` protocol command
+/// and the spike-top live tables.
+///
+/// Naming convention (DESIGN.md §16): every exported metric is prefixed
+/// `spike_`, and registry names are sanitized by mapping every character
+/// outside `[a-zA-Z0-9_:]` to `_` ("serve.latency.patch-routine" becomes
+/// `spike_serve_latency_patch_routine`).  Hostile strings — routine
+/// names with quotes, backslashes, newlines — never become metric
+/// names; they travel as *label values*, where the exposition format
+/// has an escape syntax (`\\`, `\"`, `\n`).
+///
+/// Histograms render the conventional cumulative `_bucket{le="..."}`
+/// series (upper bounds are the log2 bucket bounds of
+/// telemetry::Histogram, zero-count buckets elided) plus `_sum` and
+/// `_count`.
+///
+/// The parser accepts the full sample grammar (names, labels with
+/// escapes, float/±Inf/NaN values, optional timestamps, HELP/TYPE
+/// comments) and is strict about it — it is both the round-trip test
+/// for the writer and the CI exposition checker (`spike-top
+/// --validate`).  Everything here is deterministic: rendering the same
+/// session twice yields byte-identical documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIKE_TELEMETRY_PROMETHEUS_H
+#define SPIKE_TELEMETRY_PROMETHEUS_H
+
+#include "telemetry/Histogram.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spike {
+namespace telemetry {
+
+/// Sanitizes \p Raw into a legal metric name: characters outside
+/// [a-zA-Z0-9_:] map to '_', and a leading digit gets a '_' prefix.
+std::string promName(std::string_view Raw);
+
+/// Escapes \p Raw for use inside a double-quoted label value
+/// (backslash, double quote, and newline get backslash escapes).
+std::string promLabelValue(std::string_view Raw);
+
+/// One label set: (name, value) pairs, values unescaped.
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Builds one exposition document.  Metric names passed in must already
+/// be legal (callers sanitize registry names with promName); a `# TYPE`
+/// line is emitted the first time each family is touched.
+class PromWriter {
+public:
+  void counter(const std::string &Name, uint64_t Value);
+  void gauge(const std::string &Name, uint64_t Value);
+  void histogram(const std::string &Name, const Histogram &H);
+
+  /// The `<name>{labels} 1` info-metric convention (spike_build_info).
+  void info(const std::string &Name, const PromLabels &Labels);
+
+  /// One labeled sample of gauge family \p Name — how per-routine
+  /// hot-spot aggregations export without hostile names leaking into
+  /// metric names.
+  void labeled(const std::string &Name, const PromLabels &Labels,
+               uint64_t Value);
+
+  const std::string &str() const { return Out; }
+
+private:
+  void typeLine(const std::string &Name, const char *Type);
+
+  std::string Out;
+  std::set<std::string> Typed;
+};
+
+/// One parsed sample line.
+struct PromSample {
+  std::string Name;
+  PromLabels Labels; ///< Values unescaped.
+  double Value = 0;
+
+  /// The value of label \p Name, or "" if absent.
+  std::string label(std::string_view LabelName) const {
+    for (const auto &[N, V] : Labels)
+      if (N == LabelName)
+        return V;
+    return std::string();
+  }
+};
+
+/// Parses an exposition document into its samples; nullopt (with a
+/// line-numbered message in \p Error) on any syntax violation.
+std::optional<std::vector<PromSample>>
+parseExposition(std::string_view Text, std::string *Error = nullptr);
+
+/// Renders \p S's counters, gauges, histograms, and a per-routine
+/// aggregation of its hot-spot rows (spike_hot_routine_ns /
+/// spike_hot_routine_pops, routine as a label) into \p W, every metric
+/// prefixed "spike_".  Registry names starting with \p SkipPrefix are
+/// omitted — spike-serve exports its own authoritative serve_* family
+/// from ServeStats and must not collide with mirrored session counters.
+void renderSessionProm(PromWriter &W, const Session &S,
+                       std::string_view SkipPrefix = {});
+
+} // namespace telemetry
+} // namespace spike
+
+#endif // SPIKE_TELEMETRY_PROMETHEUS_H

@@ -32,6 +32,12 @@ std::optional<RunReport> fromJson(const JsonValue &Doc, std::string *Error) {
   Report.Tool = Doc.stringOr("tool", "<unknown>");
   Report.TotalSeconds = Doc.numberOr("total_seconds", 0);
 
+  // Optional, additive: build provenance of the writing binary.
+  if (const JsonValue *Build = Doc.findObject("build"))
+    for (const auto &[Key, Value] : Build->Members)
+      if (Value.isString())
+        Report.Build[Key] = Value.Str;
+
   if (const JsonValue *Phases = Doc.findArray("phases")) {
     for (const JsonValue &Item : Phases->Items) {
       if (!Item.isObject())
@@ -161,7 +167,19 @@ bool isTimeHistogram(const std::string &Name) {
     return Name.size() >= Len &&
            Name.compare(Name.size() - Len, Len, Suffix) == 0;
   };
-  return EndsWith("_ns", 3) || EndsWith(".ns", 3);
+  // The serve request histograms hold nanoseconds but are keyed by
+  // command ("serve.latency.analyze"), so the prefix carries the unit.
+  return EndsWith("_ns", 3) || EndsWith(".ns", 3) ||
+         Name.rfind("serve.latency.", 0) == 0 ||
+         Name.rfind("serve.queue_wait.", 0) == 0;
+}
+
+/// Serve-side health counters held to the degrade.* standard: ANY growth
+/// regresses, zero baseline included.  A server that starts mis-parsing
+/// requests or degrading replies is a correctness problem no 10% grace
+/// threshold should hide.
+bool isServeHealthCounter(const std::string &Name) {
+  return Name == "serve.protocol_errors" || Name == "serve.degraded_replies";
 }
 
 /// True for registry entries the determinism contract documents as
@@ -198,7 +216,8 @@ void diffRegistry(const std::map<std::string, uint64_t> &Baseline,
     // regression these counters exist to catch.
     if (isScheduleDependent(Name))
       Row.Regression = false;
-    else if (K == DiffRow::Kind::Counter && Name.rfind("degrade.", 0) == 0)
+    else if (K == DiffRow::Kind::Counter &&
+             (Name.rfind("degrade.", 0) == 0 || isServeHealthCounter(Name)))
       Row.Regression = Cur > Base;
     else
       Row.Regression = Base != 0 && double(Cur) > double(Base) *

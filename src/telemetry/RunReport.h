@@ -65,6 +65,13 @@ struct RunReport {
   std::string Tool;
   double TotalSeconds = 0;
 
+  /// The "build" provenance object (git/compiler/flags/type/sanitizer),
+  /// verbatim.  Additive member: empty for reports written before build
+  /// provenance existed.  Informational — never diffed — but spike-stats
+  /// prints a note when the two sides were produced by different
+  /// binaries, since that alone explains most timing deltas.
+  std::map<std::string, std::string> Build;
+
   struct Phase {
     std::string Path;
     double Seconds = 0;
@@ -231,6 +238,11 @@ struct ReportDiff {
 /// the per-reason Degradations counts regress on ANY growth, zero
 /// baseline included — a run that silently starts losing precision to
 /// its budget is exactly the regression these records exist to catch.
+/// The serve health counters "serve.protocol_errors" and
+/// "serve.degraded_replies" follow the same any-growth rule, and the
+/// serve request histograms ("serve.latency.*", "serve.queue_wait.*")
+/// hold nanoseconds and diff with the time semantics below despite not
+/// ending in "_ns".
 ///
 /// Histograms diff percentile-aware: each histogram present on either
 /// side contributes "<name>.mean", "<name>.p50", and "<name>.p90" rows.

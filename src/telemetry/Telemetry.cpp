@@ -2,6 +2,7 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "support/BuildInfo.h"
 #include "telemetry/Json.h"
 
 #include <algorithm>
@@ -142,6 +143,11 @@ std::string spike::telemetry::runReportJson(const Session &S) {
   Out += "  \"schema\": \"spike-run-report\",\n";
   Out += "  \"version\": 1,\n";
   Out += "  \"tool\": \"" + escape(S.tool()) + "\",\n";
+  // Build provenance is additive (still version 1): pre-provenance
+  // readers ignore the member, and it ties the report to the binary
+  // that wrote it (diffing an ASan run against a release baseline is
+  // the classic false regression this flags).
+  Out += "  \"build\": " + buildInfoJson(&jsonQuote) + ",\n";
   Out += "  \"total_seconds\": " + formatDouble(S.elapsedSeconds()) + ",\n";
 
   Out += "  \"phases\": [";

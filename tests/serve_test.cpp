@@ -409,3 +409,373 @@ TEST(ServeBudgetTest, BlownPatchDegradesReplyAndServerSurvives) {
   std::string Stats = S.handleLine("stats");
   EXPECT_NE(Stats.find("\"ok\":true"), std::string::npos) << Stats;
 }
+
+// ---------------------------------------------------------------------------
+// Request-scoped observability: the access log and its determinism
+// contract (DESIGN.md §16).
+// ---------------------------------------------------------------------------
+
+#include "TestPaths.h"
+#include "telemetry/Json.h"
+#include "telemetry/Prometheus.h"
+
+#include <cstring>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define SPIKE_SERVE_TEST_POSIX 1
+#endif
+
+namespace {
+
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// The byte-identity scrub: timing fields (queue_ns/exec_ns/hotspot ns),
+/// bytes_out (the stats/metrics replies embed timing digits, so their
+/// length is timing-derived), and the header's jobs count.
+std::string scrubTiming(const std::string &Log) {
+  std::string Out = std::regex_replace(
+      Log, std::regex("\"(queue_ns|exec_ns|ns|bytes_out)\":[0-9]+"),
+      "\"$1\":X");
+  return std::regex_replace(Out, std::regex("\"jobs\":[0-9]+"), "\"jobs\":X");
+}
+
+std::vector<std::string> logLines(const std::string &Log) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0, Nl;
+  while ((Nl = Log.find('\n', Pos)) != std::string::npos) {
+    Lines.push_back(Log.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+} // namespace
+
+TEST(ServeObserveTest, AccessLogSchemaAndScrubbedJobIdentity) {
+  ExecProfile P;
+  P.Routines = 16;
+  P.Seed = 7;
+  Image Img = generateExecProgram(P);
+
+  // Pick a named routine once, off a throwaway analysis, so every job
+  // variant runs the same session.
+  std::string Target;
+  {
+    ServerOptions Probe;
+    Probe.Jobs = 1;
+    Server P0(Probe);
+    ASSERT_TRUE(P0.loadImage(Img));
+    std::mt19937_64 Rng(1);
+    const Routine *Rt = pickRoutine(P0.analysis().Prog, Rng);
+    ASSERT_NE(Rt, nullptr);
+    Target = Rt->Name;
+  }
+
+  const std::vector<std::string> Session = {
+      "analyze",
+      "lint",
+      "analyze {\"routine\":\"" + Target + "\"}",
+      "bogus {}",
+      "stats",
+      "metrics",
+  };
+
+  std::vector<std::string> Scrubbed;
+  std::string FirstLog;
+  for (unsigned Jobs : {1u, 2u, 4u, 7u}) {
+    std::string Path = testpaths::scratchFile("access.j" +
+                                              std::to_string(Jobs) + ".log");
+    ServerOptions SOpts;
+    SOpts.Jobs = Jobs;
+    SOpts.AccessLogPath = Path;
+    SOpts.SlowMs = 0; // every request is "slow": hotspots attach wherever
+                      // the dispatch charged any.
+    Server S(SOpts);
+    ASSERT_TRUE(S.startupError().empty()) << S.startupError();
+    ASSERT_TRUE(S.loadImage(Img));
+    S.handleBatch(Session);
+    std::string Log = readWholeFile(Path);
+    if (Scrubbed.empty())
+      FirstLog = Log;
+    Scrubbed.push_back(scrubTiming(Log));
+  }
+
+  // Schema: header first, then one record per request, in arrival order.
+  std::vector<std::string> Lines = logLines(FirstLog);
+  ASSERT_EQ(Lines.size(), 1 + Session.size());
+  EXPECT_NE(Lines[0].find("\"schema\":\"spike-serve-access-log\""),
+            std::string::npos);
+  EXPECT_NE(Lines[0].find("\"version\":1"), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"slow_ms\":0"), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"build\":{"), std::string::npos);
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    const std::string &L = Lines[I];
+    EXPECT_NE(L.find("\"seq\":" + std::to_string(I - 1)), std::string::npos)
+        << L;
+    for (const char *Key : {"\"cmd\":", "\"command\":", "\"ok\":",
+                            "\"protocol_error\":", "\"degraded\":",
+                            "\"bytes_in\":", "\"bytes_out\":", "\"queue_ns\":",
+                            "\"exec_ns\":", "\"slow\":true"})
+      EXPECT_NE(L.find(Key), std::string::npos) << Key << " missing in " << L;
+  }
+  // The garbage line is a protocol error with canonical command "?", and
+  // the raw token survives in "cmd".
+  EXPECT_NE(Lines[4].find("\"cmd\":\"bogus\""), std::string::npos);
+  EXPECT_NE(Lines[4].find("\"command\":\"?\""), std::string::npos);
+  EXPECT_NE(Lines[4].find("\"protocol_error\":true"), std::string::npos);
+  EXPECT_NE(Lines[4].find("\"ok\":false"), std::string::npos);
+
+  // Determinism: with timing scrubbed, every job count wrote the same
+  // bytes.
+  for (size_t I = 1; I < Scrubbed.size(); ++I)
+    EXPECT_EQ(Scrubbed[0], Scrubbed[I]) << "jobs variant " << I;
+}
+
+TEST(ServeObserveTest, SlowPatchRecordCarriesFrontierAndHotspots) {
+  ExecProfile P;
+  P.Routines = 12;
+  P.Seed = 11;
+  Image Img = generateExecProgram(P);
+
+  std::string Path = testpaths::scratchFile("access.log");
+  ServerOptions SOpts;
+  SOpts.Jobs = 2;
+  SOpts.AccessLogPath = Path;
+  SOpts.SlowMs = 0;
+  Server S(SOpts);
+  ASSERT_TRUE(S.loadImage(Img));
+
+  // A real mutation: an identity patch dirties nothing, so reanalysis
+  // would have no SCCs to attribute.  Keep drawing until the code
+  // actually changed (deterministic: the Rng seed is fixed).
+  std::mt19937_64 Rng(2);
+  const Routine *Rt = pickRoutine(S.analysis().Prog, Rng);
+  ASSERT_NE(Rt, nullptr);
+  Image Mutated = S.image();
+  std::string Line;
+  for (int Draw = 0; Draw < 64; ++Draw) {
+    Line = mutateRoutine(Mutated, *Rt, Rng);
+    if (!std::equal(Mutated.Code.begin() + Rt->Begin,
+                    Mutated.Code.begin() + Rt->End,
+                    S.image().Code.begin() + Rt->Begin))
+      break;
+  }
+  std::string Reply = S.handleLine(Line);
+  ASSERT_NE(Reply.find("\"ok\":true"), std::string::npos) << Reply;
+
+  std::vector<std::string> Lines = logLines(readWholeFile(Path));
+  ASSERT_EQ(Lines.size(), 2u);
+  const std::string &Rec = Lines[1];
+  EXPECT_NE(Rec.find("\"command\":\"patch-routine\""), std::string::npos);
+  for (const char *Key :
+       {"\"patch\":{\"full\":", "\"struct_dirty\":", "\"phase1_dirty\":",
+        "\"phase2_dirty\":", "\"slot_phase1_dirty\":",
+        "\"slot_phase2_dirty\":"})
+    EXPECT_NE(Rec.find(Key), std::string::npos) << Key << " missing: " << Rec;
+  // --slow-ms=0 marks the patch slow, so the per-SCC attribution of its
+  // reanalysis rides along.
+  EXPECT_NE(Rec.find("\"slow\":true"), std::string::npos) << Rec;
+  EXPECT_NE(Rec.find("\"hotspots\":[{\"phase\":"), std::string::npos) << Rec;
+}
+
+TEST(ServeObserveTest, ObservedStatsGrowHistogramsUnobservedStaysStable) {
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 3;
+  Image Img = generateExecProgram(P);
+
+  // Observed (no access log — histograms only, the spike-serve default).
+  ServerOptions OOpts;
+  OOpts.Jobs = 2;
+  OOpts.Observe = true;
+  Server Observed(OOpts);
+  ASSERT_TRUE(Observed.loadImage(Img));
+  EXPECT_NE(Observed.handleLine("wat {}").find("\"ok\":false"),
+            std::string::npos);
+  Observed.handleLine("analyze");
+  EXPECT_EQ(Observed.stats().ProtocolErrors, 1u);
+  EXPECT_EQ(Observed.observer().latency(serve::Command::Analyze).count(), 1u);
+  EXPECT_EQ(Observed.observer().latency(serve::Command::Unknown).count(), 1u);
+  std::string Stats = Observed.handleLine("stats");
+  EXPECT_NE(Stats.find("\"protocol_errors\":1"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"latency\":{"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"queue_wait\":{"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"analyze\":{\"count\":1"), std::string::npos)
+      << Stats;
+
+  // Unobserved (the library default): the stats reply keeps its original
+  // shape — no latency block, no timestamps taken.
+  ServerOptions UOpts;
+  UOpts.Jobs = 2;
+  Server Plain(UOpts);
+  ASSERT_TRUE(Plain.loadImage(Img));
+  Plain.handleLine("analyze");
+  std::string PlainStats = Plain.handleLine("stats");
+  EXPECT_NE(PlainStats.find("\"protocol_errors\":0"), std::string::npos)
+      << PlainStats;
+  EXPECT_EQ(PlainStats.find("\"latency\""), std::string::npos) << PlainStats;
+  EXPECT_FALSE(Plain.observer().enabled());
+}
+
+TEST(ServeObserveTest, MetricsReplyIsParseableExposition) {
+  ExecProfile P;
+  P.Routines = 8;
+  P.Seed = 5;
+  Image Img = generateExecProgram(P);
+  ServerOptions SOpts;
+  SOpts.Jobs = 2;
+  SOpts.Observe = true;
+  Server S(SOpts);
+  ASSERT_TRUE(S.loadImage(Img));
+  S.handleLine("analyze");
+  std::string Reply = S.handleLine("metrics");
+  ASSERT_NE(Reply.find("\"ok\":true"), std::string::npos) << Reply;
+  ASSERT_NE(Reply.find("\"content_type\":\"text/plain; version=0.0.4\""),
+            std::string::npos)
+      << Reply;
+
+  std::optional<telemetry::JsonValue> V = telemetry::parseJson(Reply);
+  ASSERT_TRUE(V && V->isObject());
+  const telemetry::JsonValue *Body = V->find("body");
+  ASSERT_TRUE(Body && Body->isString());
+  std::string Error;
+  std::optional<std::vector<telemetry::PromSample>> Samples =
+      telemetry::parseExposition(Body->Str, &Error);
+  ASSERT_TRUE(Samples) << Error;
+
+  auto Has = [&](const char *Name) {
+    for (const telemetry::PromSample &Smp : *Samples)
+      if (Smp.Name == Name)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("spike_build_info"));
+  EXPECT_TRUE(Has("spike_serve_queries_total"));
+  EXPECT_TRUE(Has("spike_serve_protocol_errors_total"));
+  EXPECT_TRUE(Has("spike_serve_loaded"));
+  EXPECT_TRUE(Has("spike_serve_latency_analyze_ns_count"));
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket lifecycle: stale files are reclaimed, live servers are
+// not stolen, foreign files are never unlinked.
+// ---------------------------------------------------------------------------
+
+#ifdef SPIKE_SERVE_TEST_POSIX
+
+namespace {
+
+/// Connects to \p Path, retrying while the server thread binds; sends
+/// \p Request and returns the reply line ("" on failure).
+std::string roundTrip(const std::string &Path, const std::string &Request) {
+  for (int Try = 0; Try < 200; ++Try) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return "";
+    sockaddr_un Addr = {};
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) == 0) {
+      (void)!::write(Fd, Request.c_str(), Request.size());
+      ::shutdown(Fd, SHUT_WR);
+      std::string Reply;
+      char Buf[4096];
+      ssize_t N;
+      while ((N = ::read(Fd, Buf, sizeof Buf)) > 0)
+        Reply.append(Buf, size_t(N));
+      ::close(Fd);
+      return Reply;
+    }
+    ::close(Fd);
+    ::usleep(10000);
+  }
+  return "";
+}
+
+/// Binds a socket at \p Path and closes the fd without unlinking —
+/// exactly what a SIGKILLed server leaves behind.
+void leaveStaleSocket(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr), 0);
+  ::close(Fd);
+}
+
+} // namespace
+
+TEST(ServeSocketTest, StaleSocketFileIsReclaimed) {
+  std::string Path = testpaths::scratchFile("stale.sock");
+  leaveStaleSocket(Path);
+  struct stat SB;
+  ASSERT_EQ(::lstat(Path.c_str(), &SB), 0); // The stale inode exists.
+
+  ServerOptions SOpts;
+  SOpts.Jobs = 1;
+  Server S(SOpts);
+  int Rc = -1;
+  std::string Error;
+  std::thread Srv([&] { Rc = serveSocket(S, Path, &Error); });
+  std::string Reply = roundTrip(Path, "shutdown {}\n");
+  Srv.join();
+  EXPECT_EQ(Rc, 0) << Error;
+  EXPECT_NE(Reply.find("\"ok\":true"), std::string::npos) << Reply;
+  // The server unlinked its socket on the way out.
+  EXPECT_NE(::lstat(Path.c_str(), &SB), 0);
+}
+
+TEST(ServeSocketTest, LiveServerSocketIsNotStolen) {
+  std::string Path = testpaths::scratchFile("live.sock");
+  ServerOptions SOpts;
+  SOpts.Jobs = 1;
+  Server First(SOpts);
+  int FirstRc = -1;
+  std::thread Srv([&] { FirstRc = serveSocket(First, Path, nullptr); });
+  // Wait until the first server listens.
+  std::string Probe = roundTrip(Path, "stats\n");
+  ASSERT_NE(Probe.find("\"ok\":true"), std::string::npos) << Probe;
+
+  Server Second(SOpts);
+  std::string Error;
+  EXPECT_EQ(serveSocket(Second, Path, &Error), 1);
+  EXPECT_NE(Error.find("in use by a live server"), std::string::npos)
+      << Error;
+
+  // The first server is unharmed and still answers, then shuts down.
+  std::string Reply = roundTrip(Path, "shutdown {}\n");
+  EXPECT_NE(Reply.find("\"ok\":true"), std::string::npos) << Reply;
+  Srv.join();
+  EXPECT_EQ(FirstRc, 0);
+}
+
+TEST(ServeSocketTest, NonSocketFileIsNeverUnlinked) {
+  std::string Path = testpaths::scratchFile("not-a-socket");
+  {
+    std::ofstream Out(Path);
+    Out << "precious data\n";
+  }
+  ServerOptions SOpts;
+  SOpts.Jobs = 1;
+  Server S(SOpts);
+  std::string Error;
+  EXPECT_EQ(serveSocket(S, Path, &Error), 1);
+  EXPECT_NE(Error.find("not a socket"), std::string::npos) << Error;
+  EXPECT_EQ(readWholeFile(Path), "precious data\n");
+}
+
+#endif // SPIKE_SERVE_TEST_POSIX

@@ -100,3 +100,39 @@ TEST(TelemetryNoAlloc, EnabledModeRecords) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Serve observability: a disabled RequestObserver is free too.
+//===----------------------------------------------------------------------===//
+
+#include "serve/Observe.h"
+
+namespace {
+
+TEST(ServeObserveNoAlloc, DisabledObserverPerformsNoAllocations) {
+  ASSERT_EQ(telemetry::active(), nullptr);
+
+  serve::RequestObserver Obs; // Default: disabled, no log.
+  const std::string RawCmd = "analyze";
+  const std::vector<telemetry::HotSpotRecord> NoSpots;
+
+  uint64_t Before = LiveAllocations.load();
+  for (int I = 0; I < 1000; ++I) {
+    // Filling a record is plain member stores; enabled()/slow() are the
+    // bool tests handleBatch gates every timestamp on; observe() must
+    // bail before any rendering.
+    serve::RequestRecord R;
+    R.Seq = uint64_t(I);
+    R.Cmd = serve::Command::Analyze;
+    R.BytesIn = 64;
+    R.BytesOut = 128;
+    R.ExecNs = uint64_t(I) * 1000;
+    if (Obs.enabled())
+      R.Slow = Obs.slow(R.ExecNs);
+    Obs.observe(R, RawCmd, NoSpots);
+  }
+  EXPECT_EQ(LiveAllocations.load(), Before);
+  EXPECT_EQ(Obs.latency(serve::Command::Analyze).count(), 0u);
+}
+
+} // namespace

@@ -785,3 +785,206 @@ TEST(TelemetryDiff, RenderingSkipsUnchangedRows) {
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition: the scrape surface behind `metrics` and
+// spike-top (DESIGN.md §16).
+// ---------------------------------------------------------------------------
+
+#include "telemetry/Prometheus.h"
+
+namespace {
+
+const PromSample *sampleNamed(const std::vector<PromSample> &S,
+                              const char *Name) {
+  for (const PromSample &P : S)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+TEST(TelemetryProm, NameSanitizationAndLabelEscaping) {
+  EXPECT_EQ(promName("serve.latency.patch-routine"),
+            "serve_latency_patch_routine");
+  EXPECT_EQ(promName("a:b_c9"), "a:b_c9");
+  EXPECT_EQ(promName("9lives"), "_9lives");
+  EXPECT_EQ(promName("spaces and \"quotes\""), "spaces_and__quotes_");
+
+  EXPECT_EQ(promLabelValue("plain"), "plain");
+  EXPECT_EQ(promLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(promLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(promLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(TelemetryProm, WriterParserRoundTrip) {
+  const std::string Hostile = "loop\"und\\er\nscore";
+
+  PromWriter W;
+  W.counter("spike_x_total", 7);
+  W.gauge("spike_g", 3);
+  Histogram H;
+  H.record(10);
+  H.record(100);
+  H.record(1000);
+  W.histogram("spike_h_ns", H);
+  W.info("spike_build_info", {{"git", "abc"}, {"type", "Rel"}});
+  W.labeled("spike_hot_routine_ns", {{"routine", Hostile}}, 42);
+
+  std::string Error;
+  std::optional<std::vector<PromSample>> Samples =
+      parseExposition(W.str(), &Error);
+  ASSERT_TRUE(Samples) << Error;
+
+  const PromSample *X = sampleNamed(*Samples, "spike_x_total");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->Value, 7.0);
+  ASSERT_NE(sampleNamed(*Samples, "spike_g"), nullptr);
+
+  // The histogram reassembles: cumulative buckets ending at +Inf == count.
+  const PromSample *Count = sampleNamed(*Samples, "spike_h_ns_count");
+  ASSERT_NE(Count, nullptr);
+  EXPECT_EQ(Count->Value, 3.0);
+  double LastCum = 0;
+  bool SawInf = false;
+  for (const PromSample &P : *Samples) {
+    if (P.Name != "spike_h_ns_bucket")
+      continue;
+    EXPECT_GE(P.Value, LastCum); // Cumulative, non-decreasing.
+    LastCum = P.Value;
+    if (P.label("le") == "+Inf") {
+      SawInf = true;
+      EXPECT_EQ(P.Value, 3.0);
+    }
+  }
+  EXPECT_TRUE(SawInf);
+
+  // Info-metric labels and hostile label values round-trip unescaped.
+  const PromSample *Info = sampleNamed(*Samples, "spike_build_info");
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Value, 1.0);
+  EXPECT_EQ(Info->label("git"), "abc");
+  const PromSample *Hot = sampleNamed(*Samples, "spike_hot_routine_ns");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(Hot->label("routine"), Hostile);
+  EXPECT_EQ(Hot->Value, 42.0);
+}
+
+TEST(TelemetryProm, ParserRejectsMalformedInput) {
+  for (const char *Doc : {
+           "spike_x\n",                  // No value.
+           "spike_x{le=\"1\" 3\n",       // Unterminated label set.
+           "spike_x{l=\"a\\q\"} 1\n",    // Bad escape.
+           "1bad 3\n",                   // Name starts with a digit.
+           "spike_x notanumber\n",       // Unparseable value.
+       }) {
+    std::string Error;
+    EXPECT_FALSE(parseExposition(Doc, &Error)) << Doc;
+    EXPECT_FALSE(Error.empty()) << Doc;
+  }
+  // The empty document is valid (a server with nothing to say).
+  EXPECT_TRUE(parseExposition("", nullptr));
+}
+
+TEST(TelemetryProm, RenderSessionSkipsPrefixAndAggregatesHotspots) {
+  const std::string Hostile = "evil\"routine\nname";
+  Session S("prom");
+  {
+    SessionScope Scope(S);
+    telemetry::count("serve.queries", 5); // Mirrored name: must be skipped.
+    telemetry::count("solver.pops", 11);
+    telemetry::record("solve.routine_ns", 50);
+    telemetry::hotspot({"psg.phase1", Hostile, 0, 3, 1, 7, 100});
+    telemetry::hotspot({"psg.phase2", Hostile, 1, 2, 1, 5, 50});
+  }
+
+  PromWriter W;
+  renderSessionProm(W, S, "serve.");
+  std::string Error;
+  std::optional<std::vector<PromSample>> Samples =
+      parseExposition(W.str(), &Error);
+  ASSERT_TRUE(Samples) << Error;
+
+  const PromSample *Pops = sampleNamed(*Samples, "spike_solver_pops");
+  ASSERT_NE(Pops, nullptr);
+  EXPECT_EQ(Pops->Value, 11.0);
+  // The skip prefix kept the mirrored serve.* counters out (spike-serve
+  // exports the authoritative family itself).
+  for (const PromSample &P : *Samples)
+    EXPECT_EQ(P.Name.find("serve_queries"), std::string::npos) << P.Name;
+
+  // Hot-spot rows aggregate per routine, the name as a label value.
+  const PromSample *Ns = sampleNamed(*Samples, "spike_hot_routine_ns");
+  ASSERT_NE(Ns, nullptr);
+  EXPECT_EQ(Ns->label("routine"), Hostile);
+  EXPECT_EQ(Ns->Value, 150.0);
+  const PromSample *HotPops = sampleNamed(*Samples, "spike_hot_routine_pops");
+  ASSERT_NE(HotPops, nullptr);
+  EXPECT_EQ(HotPops->Value, 5.0);
+}
+
+TEST(TelemetryJson, RunReportCarriesBuildInfo) {
+  Session S("build");
+  {
+    SessionScope Scope(S);
+    telemetry::count("c", 1);
+  }
+  std::string Json = runReportJson(S);
+  EXPECT_NE(Json.find("\"build\": {"), std::string::npos);
+
+  std::string Error;
+  std::optional<RunReport> R = parseRunReport(Json, &Error);
+  ASSERT_TRUE(R) << Error;
+  EXPECT_EQ(R->Build.count("git"), 1u);
+  EXPECT_EQ(R->Build.count("compiler"), 1u);
+  EXPECT_EQ(R->Build.count("type"), 1u);
+}
+
+TEST(TelemetryDiff, ServeHealthCountersRegressOnAnyGrowth) {
+  // serve.protocol_errors / serve.degraded_replies are held to the
+  // degrade.* standard: any growth regresses, zero baseline included —
+  // no 10% grace for a server that starts mis-parsing requests.
+  for (const char *Name : {"serve.protocol_errors", "serve.degraded_replies"}) {
+    RunReport Zero = reportWith({{Name, 0}});
+    EXPECT_EQ(diffReports(Zero, reportWith({{Name, 1}}), {}).Regressions, 1u)
+        << Name;
+    EXPECT_EQ(diffReports(Zero, reportWith({{Name, 0}}), {}).Regressions, 0u)
+        << Name;
+    RunReport Ten = reportWith({{Name, 10}});
+    EXPECT_EQ(diffReports(Ten, reportWith({{Name, 11}}), {}).Regressions, 1u)
+        << Name;
+  }
+  // An ordinary counter with the same shape stays under the threshold
+  // rule (growth over zero is new instrumentation, never a regression).
+  EXPECT_EQ(diffReports(reportWith({{"serve.queries", 0}}),
+                        reportWith({{"serve.queries", 5}}), {})
+                .Regressions,
+            0u);
+}
+
+TEST(TelemetryDiff, ServeLatencyHistogramsUseTimeSemantics) {
+  // serve.latency.<cmd> / serve.queue_wait.<cmd> hold nanoseconds even
+  // though the name carries no _ns suffix: sub-floor samples are noise.
+  EXPECT_EQ(
+      diffReports(reportWithHist("serve.latency.analyze", histFrom({1000})),
+                  reportWithHist("serve.latency.analyze", histFrom({900000})),
+                  {})
+          .Regressions,
+      0u);
+  EXPECT_EQ(diffReports(
+                reportWithHist("serve.queue_wait.lint", histFrom({1000})),
+                reportWithHist("serve.queue_wait.lint", histFrom({800000})),
+                {})
+                .Regressions,
+            0u);
+  // Above the 0.01s floor the 25% time threshold applies.
+  EXPECT_EQ(diffReports(
+                reportWithHist("serve.latency.analyze",
+                               histFrom({100000000})),
+                reportWithHist("serve.latency.analyze",
+                               histFrom({130000000})),
+                {})
+                .Regressions,
+            1u);
+}
+
+} // namespace

@@ -578,3 +578,218 @@ TEST(ToolsTest, ServeBlownBudgetDegradesReplyNotServer) {
   for (const std::string &Path : {Asm, Img, Session, Metrics})
     std::remove(Path.c_str());
 }
+
+TEST(ToolsTest, VersionFlagIsUniformAcrossTools) {
+  int Status = 0;
+  std::string Suffix;
+  for (const char *Tool :
+       {"spike-as", "spike-analyze", "spike-serve", "spike-stats",
+        "spike-top", "spike-profile"}) {
+    std::string Out =
+        runCommand(toolsDir() + "/" + Tool + " --version", &Status);
+    ASSERT_EQ(Status, 0) << Tool << ": " << Out;
+    // "<tool> <git describe> (<compiler>, <type>, sanitizer=<s>)".
+    ASSERT_EQ(Out.rfind(std::string(Tool) + " ", 0), 0u) << Out;
+    EXPECT_NE(Out.find("sanitizer="), std::string::npos) << Out;
+    std::string This = Out.substr(std::string(Tool).size());
+    if (Suffix.empty())
+      Suffix = This;
+    else
+      EXPECT_EQ(This, Suffix) << Tool; // One build, one provenance line.
+  }
+  // --version wins even when the rest of the command line is garbage.
+  std::string Out = runCommand(
+      toolsDir() + "/spike-serve --version --definitely-not-a-flag", &Status);
+  EXPECT_EQ(Status, 0) << Out;
+}
+
+namespace {
+
+/// A fixed-value exposition document: every derived table cell is exact.
+const char *GoldenExposition = R"(# TYPE spike_serve_latency_analyze_ns histogram
+spike_serve_latency_analyze_ns_bucket{le="1024"} 2
+spike_serve_latency_analyze_ns_bucket{le="2048"} 3
+spike_serve_latency_analyze_ns_bucket{le="+Inf"} 4
+spike_serve_latency_analyze_ns_sum 6000
+spike_serve_latency_analyze_ns_count 4
+# TYPE spike_serve_latency_lint_ns histogram
+spike_serve_latency_lint_ns_bucket{le="512"} 1
+spike_serve_latency_lint_ns_bucket{le="+Inf"} 1
+spike_serve_latency_lint_ns_sum 400
+spike_serve_latency_lint_ns_count 1
+# TYPE spike_serve_queue_wait_analyze_ns histogram
+spike_serve_queue_wait_analyze_ns_bucket{le="256"} 4
+spike_serve_queue_wait_analyze_ns_bucket{le="+Inf"} 4
+spike_serve_queue_wait_analyze_ns_sum 800
+spike_serve_queue_wait_analyze_ns_count 4
+# TYPE spike_hot_routine_ns gauge
+spike_hot_routine_ns{routine="main"} 7000
+spike_hot_routine_ns{routine="fact"} 5000
+# TYPE spike_hot_routine_pops gauge
+spike_hot_routine_pops{routine="main"} 9
+spike_hot_routine_pops{routine="fact"} 3
+# TYPE spike_serve_queries_total counter
+spike_serve_queries_total 4
+spike_serve_loads_total 1
+spike_serve_patches_total 2
+spike_serve_patch_full_solves_total 1
+spike_serve_errors_total 1
+spike_serve_protocol_errors_total 2
+spike_serve_degraded_replies_total 1
+spike_serve_depgraph_hits_total 3
+spike_serve_depgraph_builds_total 1
+)";
+
+/// A fixed-value access log matching the JSONL schema.
+const char *GoldenAccessLog =
+    R"({"schema":"spike-serve-access-log","version":1,"jobs":4,"slow_ms":0,"build":{"git":"test","compiler":"t","flags":"","type":"T","sanitizer":"off"}}
+{"seq":0,"cmd":"analyze","command":"analyze","ok":true,"protocol_error":false,"degraded":false,"bytes_in":7,"bytes_out":100,"queue_ns":10,"exec_ns":5000,"slow":true}
+{"seq":1,"cmd":"lint","command":"lint","ok":true,"protocol_error":false,"degraded":false,"bytes_in":4,"bytes_out":50,"queue_ns":10,"exec_ns":9000,"slow":true}
+{"seq":2,"cmd":"wat","command":"?","ok":false,"protocol_error":true,"degraded":false,"bytes_in":3,"bytes_out":60,"queue_ns":5,"exec_ns":200,"slow":false}
+{"seq":3,"cmd":"analyze","command":"analyze","ok":true,"protocol_error":false,"degraded":true,"degrade_reason":"iteration-cap","bytes_in":7,"bytes_out":90,"queue_ns":10,"exec_ns":7000,"slow":true}
+)";
+
+} // namespace
+
+TEST(ToolsTest, TopRendersGoldenTables) {
+  std::string Prom = scratchPath("golden.prom");
+  std::string Log = scratchPath("golden.log");
+  writeFile(Prom, GoldenExposition);
+  writeFile(Log, GoldenAccessLog);
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-top --once < " + Prom, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_EQ(Out,
+            "top commands by p99 latency\n"
+            "  command           count      mean_ns       p50_ns       "
+            "p90_ns       p99_ns\n"
+            "  analyze               4         1500         1024         "
+            "2048         2048\n"
+            "  lint                  1          400          512          "
+            "512          512\n"
+            "top commands by p99 queue wait\n"
+            "  command           count      mean_ns       p50_ns       "
+            "p90_ns       p99_ns\n"
+            "  analyze               4          200          256          "
+            "256          256\n"
+            "top routines by attributed ns\n"
+            "  routine                              ns       pops\n"
+            "  main                               7000          9\n"
+            "  fact                               5000          3\n"
+            "rates\n"
+            "  requests 8  errors 1 (12.5%)  protocol_errors 2  degraded 1 "
+            "(12.5%)\n"
+            "  patches 2  full_solves 1 (50.0%)  depgraph_hit 75.0%\n");
+
+  Out = runCommand(toolsDir() + "/spike-top --once < " + Log, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_EQ(Out, "access log: 4 records, 1 protocol errors, 1 degraded\n"
+                 "  command           count   errors     slow  exec_ns_total\n"
+                 "  analyze               2        0        2          12000\n"
+                 "  lint                  1        0        1           9000\n"
+                 "  ?                     1        1        0            200\n"
+                 "slowest requests\n"
+                 "  seq 1  lint                   9000 ns\n"
+                 "  seq 3  analyze                7000 ns\n"
+                 "  seq 0  analyze                5000 ns\n");
+
+  // --top=1 truncates every ranked table deterministically.
+  Out = runCommand(toolsDir() + "/spike-top --once --top=1 < " + Prom,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("analyze"), std::string::npos);
+  EXPECT_EQ(Out.find("\n  lint"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, TopValidatesStrictly) {
+  std::string Prom = scratchPath("valid.prom");
+  std::string Log = scratchPath("valid.log");
+  writeFile(Prom, GoldenExposition);
+  writeFile(Log, GoldenAccessLog);
+
+  int Status = 0;
+  std::string Out = runCommand(
+      toolsDir() + "/spike-top --validate < " + Prom, &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("exposition OK: 26 sample(s)"), std::string::npos)
+      << Out;
+
+  Out = runCommand(toolsDir() + "/spike-top --validate < " + Log, &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("access log OK: 4 record(s)"), std::string::npos) << Out;
+
+  // A malformed sample line fails the exposition check.
+  std::string BadProm = scratchPath("bad.prom");
+  writeFile(BadProm, std::string(GoldenExposition) + "spike_broken\n");
+  Out = runCommand(toolsDir() + "/spike-top --validate < " + BadProm,
+                   &Status);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("exposition invalid"), std::string::npos) << Out;
+
+  // A record missing schema fields fails the access-log check.
+  std::string BadLog = scratchPath("bad.log");
+  writeFile(BadLog, std::string(GoldenAccessLog) + "{\"seq\":4}\n");
+  Out = runCommand(toolsDir() + "/spike-top --validate < " + BadLog, &Status);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("access log invalid"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, ServeAccessLogMetricsAndTopEndToEnd) {
+  std::string Asm = scratchPath("serve_obs.s");
+  std::string Img = scratchPath("serve_obs.spkx");
+  std::string Session = scratchPath("serve_obs_session.txt");
+  std::string Log = scratchPath("serve_obs_access.log");
+  std::string Replies = scratchPath("serve_obs_replies.txt");
+  std::string Prom = scratchPath("serve_obs.prom");
+  writeFile(Asm, DemoSource);
+
+  int Status = 0;
+  std::string Out =
+      runCommand(toolsDir() + "/spike-as " + Asm + " -o " + Img, &Status);
+  ASSERT_EQ(Status, 0) << Out;
+
+  writeFile(Session, "analyze {\"routine\":\"fact\"}\n"
+                     "wat {}\n"
+                     "metrics {}\n"
+                     "shutdown {}\n");
+  Out = runCommand(toolsDir() + "/spike-serve " + Img + " --access-log=" +
+                       Log + " --slow-ms=0 < " + Session,
+                   &Status);
+  ASSERT_EQ(Status, 0) << Out;
+  writeFile(Replies, Out);
+
+  // The access log validates strictly and rolls up as a table.
+  Out = runCommand(toolsDir() + "/spike-top --validate < " + Log, &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("access log OK: 4 record(s)"), std::string::npos) << Out;
+  Out = runCommand(toolsDir() + "/spike-top --once < " + Log, &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("access log: 4 records, 1 protocol errors"),
+            std::string::npos)
+      << Out;
+
+  // The reply stream feeds spike-top (the metrics reply's body), and
+  // --prom-out re-exports raw exposition that validates in turn.
+  Out = runCommand(toolsDir() + "/spike-top --once --prom-out=" + Prom +
+                       " < " + Replies,
+                   &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("top commands by p99 latency"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("analyze"), std::string::npos) << Out;
+  Out = runCommand(toolsDir() + "/spike-top --validate < " + Prom, &Status);
+  EXPECT_EQ(Status, 0) << Out;
+  EXPECT_NE(Out.find("exposition OK:"), std::string::npos) << Out;
+
+  // --no-observe contradicts the observability flags.
+  Out = runCommand(toolsDir() + "/spike-serve " + Img +
+                       " --no-observe --access-log=" + Log,
+                   &Status);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("contradicts"), std::string::npos) << Out;
+
+  for (const std::string &Path : {Asm, Img, Session, Log, Replies, Prom})
+    std::remove(Path.c_str());
+}

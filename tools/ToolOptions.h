@@ -21,6 +21,7 @@
 #ifndef SPIKE_TOOLS_TOOLOPTIONS_H
 #define SPIKE_TOOLS_TOOLOPTIONS_H
 
+#include "support/BuildInfo.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -29,6 +30,20 @@
 
 namespace spike {
 namespace toolopts {
+
+/// Handles the shared `--version` flag: when present anywhere in the
+/// argument list, prints "<tool> <git describe> (<compiler>, <type>,
+/// sanitizer=<s>)" on stdout and exits 0.  Called first by every tool
+/// main, before any other flag parsing, so `--version` works even when
+/// other arguments would be usage errors.
+inline void handleVersion(int Argc, char **Argv, const char *Tool) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--version") == 0) {
+      std::printf("%s %s\n", Tool, buildInfoLine().c_str());
+      std::exit(0);
+    }
+  }
+}
 
 /// Consumes `--jobs=<n>` / `--jobs <n>` at position \p I of the argument
 /// list.  Returns true if Argv[I] was the jobs flag; \p I is advanced

@@ -193,5 +193,6 @@ int runTool(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-analyze");
   return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

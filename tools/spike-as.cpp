@@ -29,6 +29,7 @@ static void usage(const char *Prog) {
 }
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-as");
   std::string InputPath, OutputPath;
   unsigned Jobs = toolopts::defaultJobs(); // accepted for CLI uniformity
   tooltel::Options TelemetryOpts;

@@ -304,5 +304,6 @@ int runTool(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-explain");
   return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

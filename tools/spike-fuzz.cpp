@@ -973,5 +973,6 @@ int runTool(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-fuzz");
   return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

@@ -32,6 +32,7 @@ static void usage(const char *Prog) {
 }
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-gen");
   std::string BenchmarkName, OutputPath;
   bool Exec = false, List = false;
   double Scale = 1.0;

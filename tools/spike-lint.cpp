@@ -171,5 +171,6 @@ int runTool(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-lint");
   return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

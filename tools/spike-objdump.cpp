@@ -48,6 +48,7 @@ void appendAnnotation(const Image &Img, uint64_t Address, unsigned Sp,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-objdump");
   std::string Path, RoutineName;
   bool Words = false;
   unsigned Jobs = toolopts::defaultJobs();

@@ -174,5 +174,6 @@ int runTool(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-opt");
   return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

@@ -21,6 +21,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ToolOptions.h"
+
 #include "telemetry/RunReport.h"
 #include "telemetry/Telemetry.h"
 
@@ -268,6 +270,7 @@ int runDiff(const std::string &BaselinePath, const std::string &CurrentPath,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-profile");
   std::vector<std::string> Paths;
   bool DiffMode = false, WarnOnly = false;
   unsigned TopK = 10;

@@ -11,9 +11,16 @@
 //
 // Each request line is `<command> [<json-object>]`; each reply is one
 // line of JSON.  Commands: load, analyze, lint, explain, slice,
-// patch-routine, stats, shutdown.  Budget flags apply per request: a
-// blown request carries the `!! DEGRADED` banner in its reply and the
-// server keeps serving.
+// patch-routine, stats, metrics, shutdown.  Budget flags apply per
+// request: a blown request carries the `!! DEGRADED` banner in its reply
+// and the server keeps serving.
+//
+// Request observability is on by default (--no-observe turns it off):
+// per-command latency/queue-wait histograms feed the `stats` and
+// `metrics` replies, --access-log=<file> appends one JSONL record per
+// request, and requests at or over --slow-ms=<n> milliseconds carry
+// per-SCC hot-spot attribution in their access-log record (--slow-ms=0
+// attributes everything; spike-top renders the result live).
 //
 // Exit codes: 0 served until EOF/shutdown, 1 load or socket failure,
 // 2 usage error.
@@ -36,20 +43,21 @@ namespace {
 int usage(const char *Tool) {
   std::fprintf(stderr,
                "usage: %s [<image.spkx>] [--socket=<path>] [--no-provenance] "
+               "[--access-log=<file>] [--slow-ms=<n>] [--no-observe] "
                "%s %s\n"
                "protocol: one `<command> [<json>]` per line on stdin (or the "
                "socket),\n"
                "one JSON reply per line; commands: load analyze lint explain "
                "slice\n"
-               "patch-routine stats shutdown\n",
+               "patch-routine stats metrics shutdown\n",
                Tool, toolopts::jobsUsage(), tooltel::usage());
   std::fprintf(stderr, "budget flags: %s\n", toolbudget::usage());
   return 2;
 }
 
-/// Consumes `--socket=<path>` / `--socket <path>`.
-bool parseSocket(int Argc, char **Argv, int &I, std::string &Path) {
-  const char *Name = "--socket";
+/// Consumes `--<name>=<value>` / `--<name> <value>`.
+bool parseStringFlag(int Argc, char **Argv, int &I, const char *Name,
+                     std::string &Value_) {
   size_t Len = std::strlen(Name);
   if (std::strncmp(Argv[I], Name, Len) != 0)
     return false;
@@ -61,22 +69,44 @@ bool parseSocket(int Argc, char **Argv, int &I, std::string &Path) {
   else
     return false;
   if (*Value == '\0') {
-    std::fprintf(stderr, "error: --socket expects a path\n");
+    std::fprintf(stderr, "error: %s expects a value\n", Name);
     std::exit(2);
   }
-  Path = Value;
+  Value_ = Value;
+  return true;
+}
+
+/// Consumes `--slow-ms=<n>` / `--slow-ms <n>` (milliseconds, >= 0).
+bool parseSlowMs(int Argc, char **Argv, int &I, int64_t &SlowMs) {
+  std::string Value;
+  if (!parseStringFlag(Argc, Argv, I, "--slow-ms", Value))
+    return false;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Value.c_str(), &End, 10);
+  if (End == Value.c_str() || *End != '\0' || Parsed < 0) {
+    std::fprintf(stderr, "error: --slow-ms expects milliseconds >= 0\n");
+    std::exit(2);
+  }
+  SlowMs = Parsed;
   return true;
 }
 
 int runTool(int Argc, char **Argv) {
-  std::string ImagePath, SocketPath;
-  bool NoProvenance = false;
+  std::string ImagePath, SocketPath, AccessLogPath;
+  bool NoProvenance = false, NoObserve = false;
+  int64_t SlowMs = -1;
   unsigned Jobs = toolopts::defaultJobs();
   tooltel::Options TelemetryOpts;
   toolbudget::Options BudgetOpts;
   for (int I = 1; I < Argc; ++I) {
-    if (parseSocket(Argc, Argv, I, SocketPath))
+    if (parseStringFlag(Argc, Argv, I, "--socket", SocketPath))
       ;
+    else if (parseStringFlag(Argc, Argv, I, "--access-log", AccessLogPath))
+      ;
+    else if (parseSlowMs(Argc, Argv, I, SlowMs))
+      ;
+    else if (std::strcmp(Argv[I], "--no-observe") == 0)
+      NoObserve = true;
     else if (std::strcmp(Argv[I], "--no-provenance") == 0)
       NoProvenance = true;
     else if (toolopts::parseJobs(Argc, Argv, I, Jobs))
@@ -100,7 +130,21 @@ int runTool(int Argc, char **Argv) {
   Opts.Jobs = Jobs;
   Opts.Budget = BudgetOpts.Budget;
   Opts.RecordProvenance = !NoProvenance;
+  // The served tool observes by default (the embeddable library does
+  // not); --no-observe restores the zero-timestamp configuration.
+  Opts.Observe = !NoObserve;
+  Opts.AccessLogPath = AccessLogPath;
+  Opts.SlowMs = SlowMs;
+  if (NoObserve && (!AccessLogPath.empty() || SlowMs >= 0)) {
+    std::fprintf(stderr, "error: --no-observe contradicts --access-log / "
+                         "--slow-ms\n");
+    return 2;
+  }
   Server S(Opts);
+  if (!S.startupError().empty()) {
+    std::fprintf(stderr, "error: %s\n", S.startupError().c_str());
+    return 1;
+  }
 
   if (!ImagePath.empty()) {
     std::string Error;
@@ -130,5 +174,6 @@ int runTool(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-serve");
   return toolbudget::guardedMain([&] { return runTool(Argc, Argv); });
 }

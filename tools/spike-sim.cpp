@@ -25,6 +25,7 @@
 using namespace spike;
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-sim");
   std::string Path;
   std::vector<int64_t> Args;
   SimOptions Opts;

@@ -48,6 +48,7 @@ int usage(const char *Prog) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  toolopts::handleVersion(Argc, Argv, "spike-stats");
   std::string BaselinePath, CurrentPath;
   DiffOptions Opts;
   bool WarnOnly = false;
@@ -100,6 +101,24 @@ int main(int Argc, char **Argv) {
               Baseline->Tool.c_str(), Baseline->TotalSeconds);
   std::printf("current:  %s (%s, %.4f s)\n", CurrentPath.c_str(),
               Current->Tool.c_str(), Current->TotalSeconds);
+
+  // Different binaries explain most timing deltas on their own; say so
+  // up front (informational — never a regression by itself).
+  if (!Baseline->Build.empty() && !Current->Build.empty() &&
+      Baseline->Build != Current->Build) {
+    auto Field = [](const RunReport &R, const char *K) {
+      auto It = R.Build.find(K);
+      return It == R.Build.end() ? std::string("?") : It->second;
+    };
+    std::printf("note: reports come from different builds "
+                "(baseline %s/%s/%s, current %s/%s/%s)\n",
+                Field(*Baseline, "git").c_str(),
+                Field(*Baseline, "type").c_str(),
+                Field(*Baseline, "sanitizer").c_str(),
+                Field(*Current, "git").c_str(),
+                Field(*Current, "type").c_str(),
+                Field(*Current, "sanitizer").c_str());
+  }
 
   ReportDiff Diff = diffReports(*Baseline, *Current, Opts);
   std::fputs(Diff.str().c_str(), stdout);
